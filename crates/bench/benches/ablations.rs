@@ -1,0 +1,108 @@
+//! Benchmarks over the ablation harnesses (X1–X5): keeps the design
+//! alternatives' costs tracked alongside the reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use miniraid_core::config::{ReplicationStrategy, TwoStepRecovery};
+use miniraid_core::ids::SiteId;
+use miniraid_sim::ablation::{
+    availability_ablation, backup_ablation, piggyback_ablation, recovery_ablation,
+};
+use miniraid_sim::Routing;
+
+fn bench_two_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_two_step");
+    group.sample_size(10);
+    group.bench_function("on_demand_recovery", |b| {
+        b.iter(|| {
+            black_box(recovery_ablation(1987, None, 0.5, Routing::RoundRobinUp).recovery_ms)
+        })
+    });
+    group.bench_function("batch_recovery_threshold_1_0", |b| {
+        b.iter(|| {
+            black_box(
+                recovery_ablation(
+                    1987,
+                    Some(TwoStepRecovery {
+                        threshold: 1.0,
+                        batch_size: 5,
+                    }),
+                    0.5,
+                    Routing::RoundRobinUp,
+                )
+                .recovery_ms,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_piggyback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_piggyback");
+    group.sample_size(10);
+    group.bench_function("standalone_clears", |b| {
+        b.iter(|| black_box(piggyback_ablation(1987, false).copier_txn_ms))
+    });
+    group.bench_function("piggybacked_clears", |b| {
+        b.iter(|| black_box(piggyback_ablation(1987, true).copier_txn_ms))
+    });
+    group.finish();
+}
+
+fn bench_backup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ct3");
+    group.sample_size(10);
+    group.bench_function("partial_replication_with_ct3", |b| {
+        b.iter(|| black_box(backup_ablation(1987, true).unavailable_aborts))
+    });
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_routing");
+    group.sample_size(10);
+    group.bench_function("figure1_routing_mostly_site1", |b| {
+        b.iter(|| {
+            black_box(
+                recovery_ablation(
+                    1987,
+                    None,
+                    0.5,
+                    Routing::MostlyWithOccasional {
+                        base: SiteId(1),
+                        nth: 50,
+                        alt: SiteId(0),
+                    },
+                )
+                .txns_to_recover,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_strategy");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("rowaa", ReplicationStrategy::RowaAvailable),
+        ("rowa", ReplicationStrategy::Rowa),
+        ("majority_quorum", ReplicationStrategy::MajorityQuorum),
+    ] {
+        group.bench_function(format!("availability_run_{name}"), |b| {
+            b.iter(|| black_box(availability_ablation(1987, strategy).msgs_per_commit))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_two_step,
+    bench_piggyback,
+    bench_backup,
+    bench_routing,
+    bench_strategies
+);
+criterion_main!(benches);

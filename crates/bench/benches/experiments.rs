@@ -1,0 +1,85 @@
+//! Benchmarks that time the regeneration of each of the paper's
+//! experiments end-to-end (one Criterion target per table/figure), so
+//! regressions in the simulator or protocol show up as bench changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use miniraid_core::ids::SiteId;
+use miniraid_core::ProtocolConfig;
+use miniraid_sim::scenario::{experiment2, experiment3_scenario1, experiment3_scenario2};
+use miniraid_sim::world::{SimConfig, Simulation};
+use miniraid_sim::{Manager, Routing};
+use miniraid_txn::workload::UniformGen;
+
+fn bench_exp1_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp1");
+    group.sample_size(20);
+    // One measured slice of Experiment 1: 50 transactions with fail-lock
+    // maintenance, the §2.2.1 configuration.
+    group.bench_function("table_2_2_1_faillock_overhead_slice", |b| {
+        b.iter(|| {
+            let protocol = ProtocolConfig {
+                db_size: 50,
+                n_sites: 4,
+                ..ProtocolConfig::default()
+            };
+            let sim = Simulation::new(SimConfig::paper(protocol));
+            let mut manager = Manager::new(sim, UniformGen::new(1987, 50, 10));
+            let records = manager.run_many(&Routing::Fixed(SiteId(0)), 50);
+            black_box(records.len())
+        })
+    });
+    // §2.2.2/§2.2.3: one fail + recover + copier cycle.
+    group.bench_function("table_2_2_2_control_txn_cycle", |b| {
+        b.iter(|| {
+            let protocol = ProtocolConfig {
+                db_size: 50,
+                n_sites: 4,
+                ..ProtocolConfig::default()
+            };
+            let sim = Simulation::new(SimConfig::paper(protocol));
+            let mut manager = Manager::new(sim, UniformGen::new(1987, 50, 10));
+            manager.sim.fail_site(SiteId(3), true);
+            manager.run_many(&Routing::RoundRobinUp, 10);
+            manager.sim.recover_site(SiteId(3));
+            let records = manager.run_many(&Routing::Fixed(SiteId(3)), 10);
+            black_box(records.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_exp2_figure1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp2");
+    group.sample_size(10);
+    group.bench_function("figure1_full_recovery_cycle", |b| {
+        let routing = Routing::MostlyWithOccasional {
+            base: SiteId(1),
+            nth: 50,
+            alt: SiteId(0),
+        };
+        b.iter(|| black_box(experiment2(1987, routing.clone()).txns_to_recover))
+    });
+    group.finish();
+}
+
+fn bench_exp3_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp3");
+    group.sample_size(10);
+    group.bench_function("figure2_overlapping_failures", |b| {
+        b.iter(|| black_box(experiment3_scenario1(1987).aborts))
+    });
+    group.bench_function("figure3_staggered_failures", |b| {
+        b.iter(|| black_box(experiment3_scenario2(1987).aborts))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exp1_components,
+    bench_exp2_figure1,
+    bench_exp3_figures
+);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Engine-level benchmarks: full protocol rounds (2PC, copier, recovery)
+//! through the sans-IO state machine with a synchronous in-memory pump —
+//! the real CPU cost of the protocol logic, with messaging stripped out.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::VecDeque;
+use std::hint::black_box;
+
+use miniraid_core::config::ProtocolConfig;
+use miniraid_core::engine::{Input, Output, SiteEngine, TimerId};
+use miniraid_core::ids::{ItemId, SiteId, TxnId};
+use miniraid_core::messages::{Command, Message};
+use miniraid_core::ops::{Operation, Transaction};
+
+/// Minimal synchronous pump (mirrors the one in core's tests).
+struct Pump {
+    engines: Vec<SiteEngine>,
+    queue: VecDeque<(SiteId, SiteId, Message)>,
+    timers: VecDeque<(SiteId, TimerId)>,
+}
+
+impl Pump {
+    fn new(config: ProtocolConfig) -> Self {
+        let engines = (0..config.n_sites)
+            .map(|i| SiteEngine::new(SiteId(i), config.clone()))
+            .collect();
+        Pump {
+            engines,
+            queue: VecDeque::new(),
+            timers: VecDeque::new(),
+        }
+    }
+
+    fn absorb(&mut self, site: SiteId, outputs: Vec<Output>) {
+        for out in outputs {
+            match out {
+                Output::Send { to, msg } => self.queue.push_back((to, site, msg)),
+                Output::SetTimer(id) => self.timers.push_back((site, id)),
+                _ => {}
+            }
+        }
+    }
+
+    fn settle(&mut self) {
+        loop {
+            while let Some((to, from, msg)) = self.queue.pop_front() {
+                let outputs = self.engines[to.index()].handle_owned(Input::Deliver { from, msg });
+                self.absorb(to, outputs);
+            }
+            match self.timers.pop_front() {
+                Some((site, id)) => {
+                    let outputs = self.engines[site.index()].handle_owned(Input::Timer(id));
+                    self.absorb(site, outputs);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn command(&mut self, site: SiteId, cmd: Command) {
+        let outputs = self.engines[site.index()].handle_owned(Input::Control(cmd));
+        self.absorb(site, outputs);
+        self.settle();
+    }
+}
+
+fn config(n_sites: u8) -> ProtocolConfig {
+    ProtocolConfig {
+        db_size: 50,
+        n_sites,
+        ..ProtocolConfig::default()
+    }
+}
+
+fn bench_two_phase_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for n_sites in [2u8, 4, 8] {
+        group.bench_function(format!("2pc_round_{n_sites}_sites"), |b| {
+            let mut pump = Pump::new(config(n_sites));
+            let mut txn_id = 0u64;
+            b.iter(|| {
+                txn_id += 1;
+                pump.command(
+                    SiteId(0),
+                    Command::Begin(Transaction::new(
+                        TxnId(txn_id),
+                        vec![
+                            Operation::Read(ItemId(1)),
+                            Operation::Write(ItemId(2), txn_id),
+                            Operation::Write(ItemId(3), txn_id),
+                        ],
+                    )),
+                );
+            })
+        });
+    }
+    group.bench_function("read_only_local_commit", |b| {
+        let mut pump = Pump::new(config(4));
+        let mut txn_id = 0u64;
+        b.iter(|| {
+            txn_id += 1;
+            pump.command(
+                SiteId(0),
+                Command::Begin(Transaction::new(
+                    TxnId(txn_id),
+                    vec![Operation::Read(ItemId(5))],
+                )),
+            );
+        })
+    });
+    group.finish();
+}
+
+fn bench_recovery_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("fail_recover_cycle_4_sites", |b| {
+        b.iter_batched(
+            || {
+                let mut pump = Pump::new(config(4));
+                // Dirty some state so recovery transfers real fail-locks.
+                pump.command(SiteId(3), Command::Fail);
+                for t in 1..=5u64 {
+                    pump.command(
+                        SiteId(0),
+                        Command::Begin(Transaction::new(
+                            TxnId(t),
+                            vec![Operation::Write(ItemId(t as u32), t)],
+                        )),
+                    );
+                }
+                pump
+            },
+            |mut pump| {
+                pump.command(SiteId(3), Command::Recover);
+                black_box(pump.engines[3].is_up())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("copier_refresh_one_item", |b| {
+        b.iter_batched(
+            || {
+                let mut pump = Pump::new(config(2));
+                pump.command(SiteId(0), Command::Fail);
+                // Two writes: one aborts on detection, one commits.
+                for t in 1..=2u64 {
+                    pump.command(
+                        SiteId(1),
+                        Command::Begin(Transaction::new(
+                            TxnId(t),
+                            vec![Operation::Write(ItemId(7), t)],
+                        )),
+                    );
+                }
+                pump.command(SiteId(0), Command::Recover);
+                pump
+            },
+            |mut pump| {
+                pump.command(
+                    SiteId(0),
+                    Command::Begin(Transaction::new(
+                        TxnId(10),
+                        vec![Operation::Read(ItemId(7))],
+                    )),
+                );
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_phase_commit, bench_recovery_round);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Benchmarks of the workload generators and the concurrency-control
+//! substrate (the paper's named future benchmarks, ET1 and Wisconsin,
+//! included).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use miniraid_core::ids::TxnId;
+use miniraid_core::ops::Transaction;
+use miniraid_txn::et1::{Et1Gen, Et1Scale};
+use miniraid_txn::history::PrecedenceGraph;
+use miniraid_txn::scheduler::{LockingScheduler, SerialScheduler};
+use miniraid_txn::wisconsin::WisconsinGen;
+use miniraid_txn::workload::{UniformGen, WorkloadGen, ZipfGen};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    group.bench_function("uniform_next_txn", |b| {
+        let mut g = UniformGen::new(1, 50, 10);
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            black_box(g.next_txn(TxnId(id)))
+        })
+    });
+    group.bench_function("zipf_next_txn_db10k", |b| {
+        let mut g = ZipfGen::new(1, 10_000, 10, 0.99, 0.5);
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            black_box(g.next_txn(TxnId(id)))
+        })
+    });
+    group.bench_function("et1_next_txn", |b| {
+        let mut g = Et1Gen::new(1, Et1Scale::tiny());
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            black_box(g.next_txn(TxnId(id)))
+        })
+    });
+    group.bench_function("wisconsin_next_txn", |b| {
+        let mut g = WisconsinGen::new(1, 1000);
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            black_box(g.next_txn(TxnId(id)))
+        })
+    });
+    group.finish();
+}
+
+fn batch(n: u64) -> Vec<Transaction> {
+    let mut g = UniformGen::new(7, 64, 6);
+    (1..=n).map(|i| g.next_txn(TxnId(i))).collect()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    let txns = batch(100);
+    group.bench_function("serial_100_txns", |b| {
+        b.iter(|| black_box(SerialScheduler::run(64, &txns).commit_order.len()))
+    });
+    group.bench_function("strict_2pl_100_txns", |b| {
+        b.iter(|| black_box(LockingScheduler::run(64, &txns).commit_order.len()))
+    });
+    let history = LockingScheduler::run(64, &txns).history;
+    group.bench_function("serializability_check_100_txns", |b| {
+        b.iter(|| {
+            let graph = PrecedenceGraph::build(black_box(&history));
+            black_box(graph.is_serializable())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_schedulers);
+criterion_main!(benches);

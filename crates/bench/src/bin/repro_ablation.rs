@@ -1,0 +1,130 @@
+//! Ablation studies for the design choices the paper proposes but does
+//! not implement (DESIGN.md X1–X5).
+//!
+//! Run: `cargo run --release -p miniraid-bench --bin repro_ablation`
+
+use miniraid_core::config::{ReplicationStrategy, TwoStepRecovery};
+use miniraid_core::ids::SiteId;
+use miniraid_sim::ablation::{
+    availability_ablation, backup_ablation, piggyback_ablation, recovery_ablation,
+};
+use miniraid_sim::Routing;
+
+fn main() {
+    println!("== X1: two-step recovery (paper §3.2 proposal) ==");
+    println!(
+        "{:<34} {:>12} {:>12} {:>10}",
+        "policy", "recovery ms", "txns", "copiers"
+    );
+    let policies: Vec<(String, Option<TwoStepRecovery>)> = vec![
+        ("on-demand only (paper impl)".into(), None),
+        (
+            "two-step, threshold 0.10".into(),
+            Some(TwoStepRecovery { threshold: 0.10, batch_size: 5 }),
+        ),
+        (
+            "two-step, threshold 0.25".into(),
+            Some(TwoStepRecovery { threshold: 0.25, batch_size: 5 }),
+        ),
+        (
+            "two-step, threshold 0.50".into(),
+            Some(TwoStepRecovery { threshold: 0.50, batch_size: 5 }),
+        ),
+        (
+            "batch immediately (threshold 1.0)".into(),
+            Some(TwoStepRecovery { threshold: 1.0, batch_size: 5 }),
+        ),
+    ];
+    for (label, two_step) in policies {
+        let r = recovery_ablation(1987, two_step, 0.5, Routing::RoundRobinUp);
+        println!(
+            "{:<34} {:>12.1} {:>12} {:>10}",
+            label, r.recovery_ms, r.txns_to_recover, r.copier_requests
+        );
+    }
+
+    println!("\n== X2: clear-fail-locks piggybacked in 2PC (paper §2.2.3) ==");
+    let plain = piggyback_ablation(1987, false);
+    let piggy = piggyback_ablation(1987, true);
+    println!(
+        "standalone clear transactions : copier txn {:.1} ms, {} clear messages",
+        plain.copier_txn_ms, plain.clear_messages
+    );
+    println!(
+        "piggybacked in CopyUpdate     : copier txn {:.1} ms, {} clear messages",
+        piggy.copier_txn_ms, piggy.clear_messages
+    );
+    println!(
+        "saving: {:.1} ms ({:.0} % of the copier transaction) — the paper estimated ~30 %",
+        plain.copier_txn_ms - piggy.copier_txn_ms,
+        (plain.copier_txn_ms - piggy.copier_txn_ms) / plain.copier_txn_ms * 100.0
+    );
+
+    println!("\n== X3: read/write mix during recovery (paper §5 discussion) ==");
+    println!(
+        "{:<16} {:>12} {:>12} {:>10}",
+        "read fraction", "recovery ms", "txns", "copiers"
+    );
+    for frac in [0.5, 0.7, 0.9] {
+        let r = recovery_ablation(1987, None, frac, Routing::RoundRobinUp);
+        println!(
+            "{:<16} {:>12.1} {:>12} {:>10}",
+            frac, r.recovery_ms, r.txns_to_recover, r.copier_requests
+        );
+    }
+
+    println!("\n== X4: control transaction type 3 / backup copies (paper §3.2) ==");
+    let without = backup_ablation(1987, false);
+    let with = backup_ablation(1987, true);
+    println!(
+        "without CT3: {} of {} probe reads unavailable, {} backups",
+        without.unavailable_aborts, without.probe_reads, without.backups_created
+    );
+    println!(
+        "with CT3   : {} of {} probe reads unavailable, {} backups",
+        with.unavailable_aborts, with.probe_reads, with.backups_created
+    );
+
+    println!("\n== X5: coordinator routing during recovery (Figure 1's hidden knob) ==");
+    println!(
+        "{:<34} {:>12} {:>12} {:>10}",
+        "routing", "recovery ms", "txns", "copiers"
+    );
+    let mostly = Routing::MostlyWithOccasional {
+        base: SiteId(1),
+        nth: 50,
+        alt: SiteId(0),
+    };
+    for (label, routing) in [
+        ("mostly site 1 (matches Figure 1)", mostly),
+        ("round-robin both sites", Routing::RoundRobinUp),
+    ] {
+        let r = recovery_ablation(1987, None, 0.5, routing);
+        println!(
+            "{:<34} {:>12.1} {:>12} {:>10}",
+            label, r.recovery_ms, r.txns_to_recover, r.copier_requests
+        );
+    }
+
+    println!("\n== X6: availability under failures — ROWAA vs. the baselines ==");
+    println!(
+        "{:<18} {:>9} {:>10} {:>10} {:>11} {:>12}",
+        "strategy", "all up", "1 down", "2 of 4 down", "recovered", "msgs/commit"
+    );
+    for (label, strategy) in [
+        ("ROWAA (paper)", ReplicationStrategy::RowaAvailable),
+        ("plain ROWA", ReplicationStrategy::Rowa),
+        ("majority quorum", ReplicationStrategy::MajorityQuorum),
+    ] {
+        let r = availability_ablation(1987, strategy);
+        println!(
+            "{:<18} {:>6}/{:<3} {:>6}/{:<3} {:>6}/{:<3} {:>7}/{:<3} {:>12.1}",
+            label,
+            r.committed[0], r.issued[0],
+            r.committed[1], r.issued[1],
+            r.committed[2], r.issued[2],
+            r.committed[3], r.issued[3],
+            r.msgs_per_commit,
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Runs every reproduction in sequence: Experiment 1 tables, Experiment
+//! 2 (Figure 1), Experiment 3 (Figures 2–3), and the ablations.
+//!
+//! Run: `cargo run --release -p miniraid-bench --bin repro_all`
+
+use std::process::Command;
+
+fn main() {
+    let bins = ["repro_exp1", "repro_exp2", "repro_exp3", "repro_ablation"];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        println!("\n########## {bin} ##########");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,132 @@
+//! Shared plumbing for the reproduction binaries: the paper's reference
+//! values and table rendering.
+
+#![warn(missing_docs)]
+
+/// Reference values reported by the paper (milliseconds / counts).
+pub mod paper {
+    /// §2.2.1: coordinator transaction time without fail-locks code (ms).
+    pub const COORD_WITHOUT_FAILLOCKS_MS: f64 = 176.0;
+    /// §2.2.1: coordinator transaction time with fail-locks code (ms).
+    pub const COORD_WITH_FAILLOCKS_MS: f64 = 186.0;
+    /// §2.2.1: participant time without fail-locks code (ms).
+    pub const PART_WITHOUT_FAILLOCKS_MS: f64 = 90.0;
+    /// §2.2.1: participant time with fail-locks code (ms).
+    pub const PART_WITH_FAILLOCKS_MS: f64 = 97.0;
+    /// §2.2.2: type-1 control transaction, recovering site (ms).
+    pub const CT1_RECOVERING_MS: f64 = 190.0;
+    /// §2.2.2: type-1 control transaction, operational site (ms).
+    pub const CT1_OPERATIONAL_MS: f64 = 50.0;
+    /// §2.2.2: type-2 control transaction (ms).
+    pub const CT2_MS: f64 = 68.0;
+    /// §2.2.3: transaction generating one copier transaction (ms).
+    pub const COPIER_TXN_MS: f64 = 270.0;
+    /// §2.2.3: increase over the no-copier baseline (percent).
+    pub const COPIER_INCREASE_PERCENT: f64 = 45.0;
+    /// §2.2.3: copy-request service time (ms).
+    pub const COPY_SERVICE_MS: f64 = 25.0;
+    /// §2.2.3: clear-fail-locks time per site (ms).
+    pub const CLEAR_FAILLOCKS_MS: f64 = 20.0;
+    /// §3.1.1: fail-locked copies on site 0 after 100 transactions (>90 %).
+    pub const EXP2_PEAK_MIN: u32 = 45;
+    /// §3.1.1: transactions to completely recover site 0.
+    pub const EXP2_TXNS_TO_RECOVER: u64 = 160;
+    /// §3.1.1: copier transactions requested during recovery.
+    pub const EXP2_COPIERS: u64 = 2;
+    /// §3.1.2: transactions to clear the first 10 fail-locks.
+    pub const EXP2_FIRST_TEN: u64 = 6;
+    /// §3.1.2: transactions to clear the last 10 fail-locks.
+    pub const EXP2_LAST_TEN: u64 = 106;
+    /// §4.2.1: aborted transactions in scenario 1.
+    pub const EXP3_S1_ABORTS: u32 = 13;
+    /// §4.2.2: aborted transactions in scenario 2.
+    pub const EXP3_S2_ABORTS: u32 = 0;
+}
+
+/// One row of a paper-vs-measured table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Metric name.
+    pub metric: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Unit suffix for display.
+    pub unit: &'static str,
+}
+
+impl Row {
+    /// Build a row.
+    pub fn new(metric: &str, paper: f64, measured: f64, unit: &'static str) -> Self {
+        Row {
+            metric: metric.to_string(),
+            paper,
+            measured,
+            unit,
+        }
+    }
+
+    /// measured / paper.
+    pub fn ratio(&self) -> f64 {
+        if self.paper == 0.0 {
+            if self.measured == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.measured / self.paper
+        }
+    }
+}
+
+/// Render a paper-vs-measured table.
+pub fn render_table(title: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<44} {:>10} {:>10} {:>8}\n",
+        "metric", "paper", "measured", "ratio"
+    ));
+    out.push_str(&"-".repeat(76));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!(
+            "{:<44} {:>8.1}{:<2} {:>8.1}{:<2} {:>7.2}x\n",
+            row.metric, row.paper, row.unit, row.measured, row.unit, row.ratio()
+        ));
+    }
+    out
+}
+
+/// Results directory (created on demand): `target/repro/`.
+pub fn results_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from("target/repro");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero_paper_value() {
+        assert_eq!(Row::new("x", 0.0, 0.0, "").ratio(), 1.0);
+        assert!(Row::new("x", 0.0, 1.0, "").ratio().is_infinite());
+        assert!((Row::new("x", 2.0, 1.0, "").ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows = vec![
+            Row::new("coordinator", 176.0, 180.0, "ms"),
+            Row::new("participant", 90.0, 92.0, "ms"),
+        ];
+        let s = render_table("Experiment 1", &rows);
+        assert!(s.contains("Experiment 1"));
+        assert!(s.contains("coordinator"));
+        assert!(s.contains("1.02x"));
+    }
+}

@@ -1,0 +1,411 @@
+//! The interactive console: command parsing and execution against a
+//! simulated cluster. Kept separate from `main.rs` so every command is
+//! unit-testable without a terminal.
+
+use std::fmt::Write as _;
+
+use miniraid_core::config::{ProtocolConfig, TwoStepRecovery};
+use miniraid_core::ids::{ItemId, SiteId, TxnId};
+use miniraid_core::ops::{Operation, Transaction};
+use miniraid_sim::report::{ascii_chart, site_series};
+use miniraid_sim::{CostModel, Manager, ProcessorModel, Routing, SimConfig, Simulation};
+use miniraid_txn::workload::UniformGen;
+
+/// A parsed console command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliCommand {
+    /// `fail <site>` — fail a site (announced).
+    Fail(u8),
+    /// `crash <site>` — fail a site silently (protocol must detect it).
+    Crash(u8),
+    /// `recover <site>` — run a type-1 control transaction.
+    Recover(u8),
+    /// `txn <site> <op>...` with ops `r<item>` / `w<item>=<value>`.
+    Txn(u8, Vec<Operation>),
+    /// `run <n> [site]` — run n generated transactions (round-robin or
+    /// fixed site).
+    Run(u64, Option<u8>),
+    /// `partition <groups>` — e.g. `partition 0,0,1` splits site 2 away.
+    Partition(Vec<u8>),
+    /// `heal` — remove the partition.
+    Heal,
+    /// `status` — session vectors, fail-lock counts, metrics.
+    Status,
+    /// `chart` — fail-lock history chart.
+    Chart,
+    /// `help`.
+    Help,
+    /// `quit`.
+    Quit,
+}
+
+/// Parse one input line.
+pub fn parse(line: &str) -> Result<CliCommand, String> {
+    let mut words = line.split_whitespace();
+    let Some(head) = words.next() else {
+        return Err("empty command".into());
+    };
+    let site_arg = |w: Option<&str>| -> Result<u8, String> {
+        w.ok_or_else(|| "missing site id".to_string())?
+            .parse::<u8>()
+            .map_err(|_| "site id must be a small integer".to_string())
+    };
+    match head {
+        "fail" => Ok(CliCommand::Fail(site_arg(words.next())?)),
+        "crash" => Ok(CliCommand::Crash(site_arg(words.next())?)),
+        "recover" => Ok(CliCommand::Recover(site_arg(words.next())?)),
+        "txn" => {
+            let site = site_arg(words.next())?;
+            let mut ops = Vec::new();
+            for word in words {
+                ops.push(parse_op(word)?);
+            }
+            if ops.is_empty() {
+                return Err("txn needs at least one operation (r<item> or w<item>=<value>)".into());
+            }
+            Ok(CliCommand::Txn(site, ops))
+        }
+        "run" => {
+            let n = words
+                .next()
+                .ok_or("run needs a count")?
+                .parse::<u64>()
+                .map_err(|_| "count must be an integer".to_string())?;
+            let site = match words.next() {
+                Some(w) => Some(
+                    w.parse::<u8>()
+                        .map_err(|_| "site id must be a small integer".to_string())?,
+                ),
+                None => None,
+            };
+            Ok(CliCommand::Run(n, site))
+        }
+        "partition" => {
+            let spec = words.next().ok_or("partition needs groups, e.g. 0,0,1")?;
+            let groups: Result<Vec<u8>, _> = spec.split(',').map(|g| g.parse::<u8>()).collect();
+            Ok(CliCommand::Partition(
+                groups.map_err(|_| "groups must be integers, e.g. 0,0,1".to_string())?,
+            ))
+        }
+        "heal" => Ok(CliCommand::Heal),
+        "status" => Ok(CliCommand::Status),
+        "chart" => Ok(CliCommand::Chart),
+        "help" | "?" => Ok(CliCommand::Help),
+        "quit" | "exit" => Ok(CliCommand::Quit),
+        other => Err(format!("unknown command '{other}' (try 'help')")),
+    }
+}
+
+fn parse_op(word: &str) -> Result<Operation, String> {
+    if let Some(rest) = word.strip_prefix('r') {
+        let item = rest
+            .parse::<u32>()
+            .map_err(|_| format!("bad read op '{word}' (want r<item>)"))?;
+        return Ok(Operation::Read(ItemId(item)));
+    }
+    if let Some(rest) = word.strip_prefix('w') {
+        let (item, value) = rest
+            .split_once('=')
+            .ok_or_else(|| format!("bad write op '{word}' (want w<item>=<value>)"))?;
+        let item = item
+            .parse::<u32>()
+            .map_err(|_| format!("bad item in '{word}'"))?;
+        let value = value
+            .parse::<u64>()
+            .map_err(|_| format!("bad value in '{word}'"))?;
+        return Ok(Operation::Write(ItemId(item), value));
+    }
+    Err(format!("bad operation '{word}' (want r<item> or w<item>=<value>)"))
+}
+
+/// The console session: a managing site over the simulator.
+pub struct Console {
+    manager: Manager<UniformGen>,
+    next_manual_txn: u64,
+    n_sites: u8,
+    db_size: u32,
+}
+
+impl Console {
+    /// Build a console over `n_sites` sites and `db_size` items.
+    pub fn new(n_sites: u8, db_size: u32, max_txn: u32, seed: u64) -> Self {
+        let protocol = ProtocolConfig {
+            db_size,
+            n_sites,
+            two_step_recovery: Some(TwoStepRecovery::default()),
+            ..ProtocolConfig::default()
+        };
+        let mut config = SimConfig::paper(protocol);
+        config.cost = CostModel::paper_1987();
+        config.processor = ProcessorModel::PerSite;
+        let sim = Simulation::new(config);
+        let manager = Manager::new(sim, UniformGen::new(seed, db_size, max_txn));
+        Console {
+            manager,
+            next_manual_txn: 1_000_000, // keep manual ids clear of generated ones
+            n_sites,
+            db_size,
+        }
+    }
+
+    /// Execute one command; returns the text to display and whether the
+    /// session should end.
+    pub fn execute(&mut self, cmd: CliCommand) -> (String, bool) {
+        let mut out = String::new();
+        match cmd {
+            CliCommand::Fail(site) => {
+                if site >= self.n_sites {
+                    return (format!("no such site {site}"), false);
+                }
+                self.manager.sim.fail_site(SiteId(site), true);
+                let _ = writeln!(out, "site {site} failed (announced)");
+            }
+            CliCommand::Crash(site) => {
+                if site >= self.n_sites {
+                    return (format!("no such site {site}"), false);
+                }
+                self.manager.sim.fail_site(SiteId(site), false);
+                let _ = writeln!(
+                    out,
+                    "site {site} crashed silently — the next transaction will detect it"
+                );
+            }
+            CliCommand::Recover(site) => {
+                if site >= self.n_sites {
+                    return (format!("no such site {site}"), false);
+                }
+                if self.manager.sim.recover_site(SiteId(site)) {
+                    let stale = self.manager.sim.engine(SiteId(site)).own_stale_count();
+                    let _ = writeln!(
+                        out,
+                        "site {site} operational again (session {}), {stale} stale copies",
+                        self.manager.sim.engine(SiteId(site)).session()
+                    );
+                } else {
+                    let _ = writeln!(out, "recovery of site {site} failed (no operational peer?)");
+                }
+            }
+            CliCommand::Txn(site, ops) => {
+                if site >= self.n_sites {
+                    return (format!("no such site {site}"), false);
+                }
+                for op in &ops {
+                    if op.item().0 >= self.db_size {
+                        return (format!("item {} outside database of {}", op.item(), self.db_size), false);
+                    }
+                }
+                let id = TxnId(self.next_manual_txn);
+                self.next_manual_txn += 1;
+                let record = self.manager.sim.run_txn(SiteId(site), Transaction::new(id, ops));
+                let _ = writeln!(
+                    out,
+                    "{}: {:?} in {:.1} ms ({} copier txns, {} fail-locks set, {} cleared)",
+                    record.report.txn,
+                    record.report.outcome,
+                    record.coordinator_ms(),
+                    record.report.stats.copier_requests,
+                    record.report.stats.faillocks_set,
+                    record.report.stats.faillocks_cleared,
+                );
+                for (item, value) in &record.report.read_results {
+                    let _ = writeln!(out, "  read {item} -> {} (version {})", value.data, value.version);
+                }
+            }
+            CliCommand::Run(n, site) => {
+                let routing = match site {
+                    Some(s) if s < self.n_sites => Routing::Fixed(SiteId(s)),
+                    Some(s) => return (format!("no such site {s}"), false),
+                    None => Routing::RoundRobinUp,
+                };
+                let records = self.manager.run_many(&routing, n);
+                let committed = records.iter().filter(|r| r.report.outcome.is_committed()).count();
+                let _ = writeln!(
+                    out,
+                    "ran {n} generated transactions: {committed} committed, {} aborted",
+                    n as usize - committed
+                );
+            }
+            CliCommand::Partition(groups) => {
+                if groups.len() != self.n_sites as usize {
+                    return (
+                        format!("need exactly {} groups (one per site)", self.n_sites),
+                        false,
+                    );
+                }
+                self.manager.sim.set_partition(groups.clone());
+                let _ = writeln!(out, "network partitioned into groups {groups:?}");
+            }
+            CliCommand::Heal => {
+                self.manager.sim.heal_partition();
+                let _ = writeln!(
+                    out,
+                    "partition healed ({} messages were dropped at the boundary)",
+                    self.manager.sim.partition_drops
+                );
+            }
+            CliCommand::Status => {
+                let counts = self.manager.sim.faillock_counts();
+                for s in 0..self.n_sites {
+                    let engine = self.manager.sim.engine(SiteId(s));
+                    let m = engine.metrics();
+                    let _ = writeln!(
+                        out,
+                        "site {s}: {:?} session {} | fail-locked copies {} | coord {} commit {} abort {} | copiers {} ct1 {} ct2 {}",
+                        engine.status(),
+                        engine.session(),
+                        counts[s as usize],
+                        m.txns_coordinated,
+                        m.txns_committed,
+                        m.txns_aborted,
+                        m.copier_requests,
+                        m.control_type1,
+                        m.control_type2,
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "virtual time {} | converged: {}",
+                    self.manager.sim.now(),
+                    self.manager.sim.up_sites_converged()
+                );
+            }
+            CliCommand::Chart => {
+                if self.manager.series.is_empty() {
+                    let _ = writeln!(out, "no workload history yet (use 'run <n>')");
+                } else {
+                    out.push_str(&ascii_chart(
+                        "fail-locked copies per site vs. generated transaction",
+                        &site_series(&self.manager.series),
+                        14,
+                    ));
+                }
+            }
+            CliCommand::Help => {
+                out.push_str(HELP);
+            }
+            CliCommand::Quit => return ("bye".into(), true),
+        }
+        (out, false)
+    }
+}
+
+/// Help text.
+pub const HELP: &str = "\
+commands:
+  fail <site>              fail a site (graceful, announced)
+  crash <site>             fail a site silently (protocol detects it)
+  recover <site>           bring a site back (type-1 control transaction)
+  txn <site> <ops>...      run a transaction, e.g.: txn 0 r3 w5=42 r5
+  run <n> [site]           run n generated transactions (round-robin or fixed)
+  partition <groups>       split the network, e.g.: partition 0,0,1
+  heal                     remove the partition
+  status                   session vectors, fail-locks, per-site metrics
+  chart                    fail-lock history chart
+  help                     this text
+  quit                     exit
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_commands() {
+        assert_eq!(parse("fail 2"), Ok(CliCommand::Fail(2)));
+        assert_eq!(parse("crash 0"), Ok(CliCommand::Crash(0)));
+        assert_eq!(parse("recover 1"), Ok(CliCommand::Recover(1)));
+        assert_eq!(
+            parse("txn 0 r3 w5=42"),
+            Ok(CliCommand::Txn(
+                0,
+                vec![Operation::Read(ItemId(3)), Operation::Write(ItemId(5), 42)]
+            ))
+        );
+        assert_eq!(parse("run 10"), Ok(CliCommand::Run(10, None)));
+        assert_eq!(parse("run 10 1"), Ok(CliCommand::Run(10, Some(1))));
+        assert_eq!(parse("status"), Ok(CliCommand::Status));
+        assert_eq!(parse("chart"), Ok(CliCommand::Chart));
+        assert_eq!(parse("help"), Ok(CliCommand::Help));
+        assert_eq!(parse("quit"), Ok(CliCommand::Quit));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("").is_err());
+        assert!(parse("fail").is_err());
+        assert!(parse("fail x").is_err());
+        assert!(parse("txn 0").is_err());
+        assert!(parse("txn 0 z9").is_err());
+        assert!(parse("txn 0 w5").is_err());
+        assert!(parse("run ten").is_err());
+        assert!(parse("frobnicate").is_err());
+    }
+
+    #[test]
+    fn full_session_fail_recover_cycle() {
+        let mut console = Console::new(2, 20, 5, 7);
+        let (_, quit) = console.execute(CliCommand::Fail(0));
+        assert!(!quit);
+        let (out, _) = console.execute(CliCommand::Txn(1, vec![Operation::Write(ItemId(3), 9)]));
+        assert!(out.contains("Committed"), "{out}");
+        let (out, _) = console.execute(CliCommand::Status);
+        assert!(out.contains("site 0: Down"), "{out}");
+        assert!(out.contains("fail-locked copies 1"), "{out}");
+        let (out, _) = console.execute(CliCommand::Recover(0));
+        assert!(out.contains("operational again"), "{out}");
+        let (out, _) = console.execute(CliCommand::Txn(0, vec![Operation::Read(ItemId(3))]));
+        assert!(out.contains("read x3 -> 9"), "{out}");
+        let (out, quit) = console.execute(CliCommand::Quit);
+        assert_eq!(out, "bye");
+        assert!(quit);
+    }
+
+    #[test]
+    fn partition_commands() {
+        assert_eq!(parse("partition 0,0,1"), Ok(CliCommand::Partition(vec![0, 0, 1])));
+        assert_eq!(parse("heal"), Ok(CliCommand::Heal));
+        assert!(parse("partition").is_err());
+        assert!(parse("partition a,b").is_err());
+
+        let mut console = Console::new(3, 20, 5, 7);
+        let (out, _) = console.execute(CliCommand::Partition(vec![0, 0]));
+        assert!(out.contains("need exactly 3"));
+        let (out, _) = console.execute(CliCommand::Partition(vec![0, 0, 1]));
+        assert!(out.contains("partitioned"));
+        // A write from the majority side: first detects, then commits.
+        console.execute(CliCommand::Txn(0, vec![Operation::Write(ItemId(0), 1)]));
+        let (out, _) = console.execute(CliCommand::Txn(0, vec![Operation::Write(ItemId(0), 1)]));
+        assert!(out.contains("Committed"), "{out}");
+        let (out, _) = console.execute(CliCommand::Heal);
+        assert!(out.contains("healed"));
+    }
+
+    #[test]
+    fn run_and_chart() {
+        let mut console = Console::new(3, 20, 5, 7);
+        let (out, _) = console.execute(CliCommand::Run(12, None));
+        assert!(out.contains("12 generated transactions"), "{out}");
+        let (out, _) = console.execute(CliCommand::Chart);
+        assert!(out.contains("site 0"), "{out}");
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let mut console = Console::new(2, 20, 5, 7);
+        let (out, _) = console.execute(CliCommand::Fail(9));
+        assert!(out.contains("no such site"));
+        let (out, _) =
+            console.execute(CliCommand::Txn(0, vec![Operation::Read(ItemId(999))]));
+        assert!(out.contains("outside database"));
+    }
+
+    #[test]
+    fn crash_requires_detection() {
+        let mut console = Console::new(2, 20, 5, 7);
+        console.execute(CliCommand::Crash(0));
+        let (out, _) = console.execute(CliCommand::Txn(1, vec![Operation::Write(ItemId(0), 1)]));
+        assert!(out.contains("Aborted"), "{out}");
+        let (out, _) = console.execute(CliCommand::Txn(1, vec![Operation::Write(ItemId(0), 1)]));
+        assert!(out.contains("Committed"), "{out}");
+    }
+}

@@ -1,0 +1,12 @@
+//! # miniraid-cli — the interactive managing site
+//!
+//! The paper's managing site "provided interactive control of system
+//! actions. It was used to cause sites to fail and recover and to
+//! initiate a database transaction to a site." This crate is that
+//! console, over the deterministic simulator: fail/crash/recover sites,
+//! run ad-hoc or generated transactions, and inspect session vectors,
+//! fail-locks and metrics live.
+
+#![warn(missing_docs)]
+
+pub mod console;

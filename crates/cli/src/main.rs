@@ -1,0 +1,51 @@
+//! The miniraid interactive console — the paper's managing site,
+//! "used to cause sites to fail and recover and to initiate a database
+//! transaction to a site", driving the deterministic simulator.
+//!
+//! Run: `cargo run -p miniraid-cli -- [n_sites] [db_size] [max_txn_size]`
+
+use std::io::{BufRead, Write};
+
+use miniraid_cli::console::{parse, Console, HELP};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_sites: u8 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let db_size: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(50);
+    let max_txn: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    println!(
+        "miniraid managing site — {n_sites} sites, {db_size} items, max txn size {max_txn}"
+    );
+    println!("{HELP}");
+
+    let mut console = Console::new(n_sites, db_size, max_txn, 1987);
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("miniraid> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse(&line) {
+            Ok(cmd) => {
+                let (output, quit) = console.execute(cmd);
+                println!("{output}");
+                if quit {
+                    break;
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The managing site as a standalone process: drives `miniraid-site`
+//! processes over TCP.
+//!
+//! ```text
+//! miniraid-ctl <n_sites> <base_port> txn <site> <op>...   # r<item> / w<item>=<value>
+//! miniraid-ctl <n_sites> <base_port> fail <site>
+//! miniraid-ctl <n_sites> <base_port> recover <site>
+//! miniraid-ctl <n_sites> <base_port> terminate
+//! ```
+
+use std::time::Duration;
+
+use miniraid_cluster::control::ManagingClient;
+use miniraid_core::ids::{ItemId, SiteId};
+use miniraid_core::ops::{Operation, Transaction};
+use miniraid_net::tcp::{AddressPlan, TcpEndpoint};
+
+const WAIT: Duration = Duration::from_secs(10);
+
+fn main() {
+    let usage = "usage: miniraid-ctl <n_sites> <base_port> <txn|fail|recover|terminate> ...";
+    let mut args = std::env::args().skip(1);
+    let n_sites: u8 = args.next().and_then(|s| s.parse().ok()).expect(usage);
+    let base_port: u16 = args.next().and_then(|s| s.parse().ok()).expect(usage);
+    let command = args.next().expect(usage);
+
+    let plan = AddressPlan { base_port };
+    let (transport, mailbox) =
+        TcpEndpoint::bind(SiteId(n_sites), plan).expect("bind manager port");
+    let mut client = ManagingClient::new(transport, mailbox, n_sites);
+
+    match command.as_str() {
+        "txn" => {
+            let site: u8 = args.next().and_then(|s| s.parse().ok()).expect(usage);
+            let mut ops = Vec::new();
+            for word in args {
+                ops.push(parse_op(&word).expect("op syntax: r<item> or w<item>=<value>"));
+            }
+            assert!(!ops.is_empty(), "txn needs at least one operation");
+            let id = client.next_txn_id_from_clock();
+            let report = client
+                .run_txn(SiteId(site), Transaction::new(id, ops), WAIT)
+                .expect("transaction report");
+            println!("{}: {:?}", report.txn, report.outcome);
+            for (item, value) in &report.read_results {
+                println!("  read {item} -> {} (version {})", value.data, value.version);
+            }
+        }
+        "fail" => {
+            let site: u8 = args.next().and_then(|s| s.parse().ok()).expect(usage);
+            client.fail(SiteId(site));
+            println!("sent Fail to site {site}");
+        }
+        "recover" => {
+            let site: u8 = args.next().and_then(|s| s.parse().ok()).expect(usage);
+            let session = client.recover(SiteId(site), WAIT).expect("recovery");
+            println!("site {site} operational in session {session}");
+        }
+        "terminate" => {
+            client.terminate_all();
+            println!("sent Terminate to all {n_sites} sites");
+        }
+        other => panic!("unknown command '{other}'\n{usage}"),
+    }
+}
+
+fn parse_op(word: &str) -> Option<Operation> {
+    if let Some(rest) = word.strip_prefix('r') {
+        return Some(Operation::Read(ItemId(rest.parse().ok()?)));
+    }
+    if let Some(rest) = word.strip_prefix('w') {
+        let (item, value) = rest.split_once('=')?;
+        return Some(Operation::Write(ItemId(item.parse().ok()?), value.parse().ok()?));
+    }
+    None
+}

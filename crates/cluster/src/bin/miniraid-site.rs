@@ -1,0 +1,88 @@
+//! Run one database site as a standalone OS process over TCP — the
+//! paper's deployment shape ("database sites were implemented as Unix
+//! processes"), but across real processes and sockets.
+//!
+//! ```text
+//! miniraid-site <site_id> <n_sites> <base_port> [db_size] [durable_dir]
+//! ```
+//!
+//! Site `i` listens on `base_port + i`; the managing process
+//! (`miniraid-ctl`) uses id `n_sites` on `base_port + n_sites`. The
+//! process exits when it receives a Terminate command.
+
+use miniraid_cluster::site::{run_site, run_site_durable, ClusterTiming};
+use miniraid_core::config::{ProtocolConfig, TwoStepRecovery};
+use miniraid_core::engine::SiteEngine;
+use miniraid_core::ids::SiteId;
+use miniraid_net::tcp::{AddressPlan, TcpEndpoint};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: miniraid-site <site_id> <n_sites> <base_port> [db_size] [durable_dir]";
+    let site_id: u8 = args.next().and_then(|s| s.parse().ok()).expect(usage);
+    let n_sites: u8 = args.next().and_then(|s| s.parse().ok()).expect(usage);
+    let base_port: u16 = args.next().and_then(|s| s.parse().ok()).expect(usage);
+    let db_size: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(50);
+    let durable_dir = args.next();
+
+    let mut config = ProtocolConfig {
+        db_size,
+        n_sites,
+        two_step_recovery: Some(TwoStepRecovery::default()),
+        ..ProtocolConfig::default()
+    };
+    let plan = AddressPlan { base_port };
+    let (transport, mailbox) =
+        TcpEndpoint::bind(SiteId(site_id), plan).expect("bind site port");
+    let manager = SiteId(n_sites);
+    eprintln!(
+        "miniraid-site {site_id}/{n_sites} listening on {} ({} items{})",
+        plan.addr(SiteId(site_id)),
+        db_size,
+        durable_dir.as_deref().map(|_| ", durable").unwrap_or("")
+    );
+
+    match durable_dir {
+        Some(dir) => {
+            config.emit_persistence = true;
+            let dir = std::path::Path::new(&dir).join(format!("site-{site_id}"));
+            let store = miniraid_storage::DurableStore::open(&dir, db_size)
+                .expect("open durable store");
+            let mut engine = SiteEngine::new(SiteId(site_id), config);
+            if store.last_txn() > 0 {
+                engine.preload_db(
+                    store
+                        .mem()
+                        .iter()
+                        .filter(|(_, v)| v.version > 0)
+                        .map(|(item, v)| (miniraid_core::ids::ItemId(item), v)),
+                );
+                engine.preload_faillocks(
+                    store
+                        .faillocks()
+                        .iter()
+                        .map(|(item, word)| (miniraid_core::ids::ItemId(*item), *word)),
+                );
+                if store.session() > 0 {
+                    engine
+                        .preload_session(miniraid_core::ids::SessionNumber(store.session()));
+                }
+                // A restarted process rejoins via Recover.
+                engine.assume_failed();
+            }
+            run_site_durable(
+                engine,
+                transport,
+                mailbox,
+                manager,
+                ClusterTiming::default(),
+                Some(store),
+            );
+        }
+        None => {
+            let engine = SiteEngine::new(SiteId(site_id), config);
+            run_site(engine, transport, mailbox, manager, ClusterTiming::default());
+        }
+    }
+    eprintln!("miniraid-site {site_id} terminated");
+}

@@ -1,0 +1,188 @@
+//! Cluster assembly: spawn one thread per site over a shared transport
+//! and hand back the managing client.
+
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use miniraid_core::config::ProtocolConfig;
+use miniraid_core::engine::SiteEngine;
+use miniraid_core::ids::SiteId;
+use miniraid_core::partial::ReplicationMap;
+use miniraid_net::channel::{ChannelMailbox, ChannelNetwork, ChannelTransport};
+use miniraid_net::tcp::{AddressPlan, TcpEndpoint, TcpMailbox, TcpTransport};
+
+use crate::control::ManagingClient;
+use crate::site::{run_site, ClusterTiming};
+
+/// A running cluster: join handles for every site thread.
+pub struct Cluster {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Cluster {
+    /// Launch `config.n_sites` sites as threads over in-process channels.
+    /// Returns the cluster handle and the managing client (site id
+    /// `n_sites`).
+    pub fn launch(
+        config: ProtocolConfig,
+        timing: ClusterTiming,
+    ) -> (Cluster, ManagingClient<ChannelTransport, ChannelMailbox>) {
+        Self::launch_with_map(config, timing, None)
+    }
+
+    /// Launch with an explicit replication map (partial replication).
+    pub fn launch_with_map(
+        config: ProtocolConfig,
+        timing: ClusterTiming,
+        map: Option<ReplicationMap>,
+    ) -> (Cluster, ManagingClient<ChannelTransport, ChannelMailbox>) {
+        let n = config.n_sites;
+        let manager_id = SiteId(n);
+        let mut endpoints = ChannelNetwork::new(n as usize + 1);
+        let (mgr_transport, mgr_mailbox) = endpoints.pop().expect("manager endpoint");
+
+        let mut handles = Vec::with_capacity(n as usize);
+        // After popping the manager's endpoint, the rest are sites 0..n.
+        for (i, (transport, mailbox)) in endpoints.into_iter().enumerate() {
+            let engine = match &map {
+                Some(m) => {
+                    SiteEngine::with_replication(SiteId(i as u8), config.clone(), m.clone())
+                }
+                None => SiteEngine::new(SiteId(i as u8), config.clone()),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("miniraid-site-{i}"))
+                .spawn(move || run_site(engine, transport, mailbox, manager_id, timing))
+                .expect("spawn site thread");
+            handles.push(handle);
+        }
+        let client = ManagingClient::new(mgr_transport, mgr_mailbox, n);
+        (Cluster { handles }, client)
+    }
+
+    /// Launch with WAL-backed durable storage under `dir/site-<i>/`.
+    ///
+    /// Each site recovers its committed database image from disk before
+    /// joining; a site restarted this way comes up *down* (a process
+    /// restart is a site failure in the paper's model) and must be
+    /// brought back with `recover`, which runs the type-1 control
+    /// transaction and refreshes whatever its preloaded copy missed.
+    /// `emit_persistence` is forced on.
+    pub fn launch_durable(
+        mut config: ProtocolConfig,
+        timing: ClusterTiming,
+        dir: &std::path::Path,
+    ) -> std::io::Result<(Cluster, ManagingClient<ChannelTransport, ChannelMailbox>)> {
+        config.emit_persistence = true;
+        let n = config.n_sites;
+        let manager_id = SiteId(n);
+        let mut endpoints = ChannelNetwork::new(n as usize + 1);
+        let (mgr_transport, mgr_mailbox) = endpoints.pop().expect("manager endpoint");
+
+        // Open every store first to find the bootstrap authority of a
+        // full-cluster restart: the site with the highest committed
+        // transaction comes up operational, the rest rejoin through
+        // type-1 control transactions (and copier refreshes).
+        let mut stores = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let site_dir = dir.join(format!("site-{i}"));
+            let store = miniraid_storage::DurableStore::open(&site_dir, config.db_size)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            stores.push(store);
+        }
+        let any_state = stores.iter().any(|s| s.last_txn() > 0);
+        let bootstrap: Option<usize> = any_state.then(|| {
+            (0..stores.len())
+                .max_by_key(|i| stores[*i].last_txn())
+                .expect("at least one site")
+        });
+
+        let mut handles = Vec::with_capacity(n as usize);
+        for ((i, (transport, mailbox)), store) in
+            endpoints.into_iter().enumerate().zip(stores)
+        {
+            let mut engine = SiteEngine::new(SiteId(i as u8), config.clone());
+            if store.last_txn() > 0 {
+                let recovered: Vec<(miniraid_core::ids::ItemId, miniraid_storage::ItemValue)> =
+                    store
+                        .mem()
+                        .iter()
+                        .filter(|(_, v)| v.version > 0)
+                        .map(|(item, v)| (miniraid_core::ids::ItemId(item), v))
+                        .collect();
+                engine.preload_db(recovered);
+            }
+            engine.preload_faillocks(
+                store
+                    .faillocks()
+                    .iter()
+                    .map(|(item, word)| (miniraid_core::ids::ItemId(*item), *word)),
+            );
+            if store.session() > 0 {
+                engine.preload_session(miniraid_core::ids::SessionNumber(store.session()));
+            }
+            if any_state && bootstrap != Some(i) {
+                // Restarted, non-authoritative: rejoin via Recover.
+                engine.assume_failed();
+            }
+            let handle = std::thread::Builder::new()
+                .name(format!("miniraid-site-{i}"))
+                .spawn(move || {
+                    crate::site::run_site_durable(
+                        engine,
+                        transport,
+                        mailbox,
+                        manager_id,
+                        timing,
+                        Some(store),
+                    )
+                })
+                .expect("spawn site thread");
+            handles.push(handle);
+        }
+        let client = ManagingClient::new(mgr_transport, mgr_mailbox, n);
+        Ok((Cluster { handles }, client))
+    }
+
+    /// Launch over real TCP sockets on localhost. Site `i` listens on
+    /// `base_port + i`; the manager on `base_port + n_sites`.
+    pub fn launch_tcp(
+        config: ProtocolConfig,
+        timing: ClusterTiming,
+        base_port: u16,
+    ) -> std::io::Result<(Cluster, ManagingClient<TcpTransport, TcpMailbox>)> {
+        let n = config.n_sites;
+        let manager_id = SiteId(n);
+        let plan = AddressPlan { base_port };
+        let mut handles = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let (transport, mailbox) = TcpEndpoint::bind(SiteId(i), plan)?;
+            let engine = SiteEngine::new(SiteId(i), config.clone());
+            let handle = std::thread::Builder::new()
+                .name(format!("miniraid-site-{i}"))
+                .spawn(move || run_site(engine, transport, mailbox, manager_id, timing))
+                .expect("spawn site thread");
+            handles.push(handle);
+        }
+        let (mgr_transport, mgr_mailbox) = TcpEndpoint::bind(manager_id, plan)?;
+        let client = ManagingClient::new(mgr_transport, mgr_mailbox, n);
+        Ok((Cluster { handles }, client))
+    }
+
+    /// Wait for every site thread to exit (after `terminate_all`). Call
+    /// `join` with a bounded patience in tests.
+    pub fn join(self, patience: Duration) {
+        let deadline = std::time::Instant::now() + patience;
+        for handle in self.handles {
+            // There is no timed join in std; poll with is_finished.
+            while !handle.is_finished() && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
+            // A site that missed Terminate (because it was "down") is a
+            // detached daemon thread; it parks on its mailbox harmlessly.
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The managing client: the paper's "managing site" for the threaded
+//! deployment. It injects failures and recoveries, submits transactions,
+//! and collects outcome reports over the same transport the sites use.
+
+use std::time::{Duration, Instant};
+
+use miniraid_core::ids::{SessionNumber, SiteId, TxnId};
+use miniraid_core::messages::{Command, Message, TxnReport};
+use miniraid_core::ops::Transaction;
+use miniraid_net::{Mailbox, RecvError, Transport};
+
+/// Errors surfaced while driving the cluster.
+#[derive(Debug)]
+pub enum ControlError {
+    /// No response arrived within the deadline.
+    Timeout(&'static str),
+    /// The network shut down.
+    Disconnected,
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+            ControlError::Disconnected => f.write_str("cluster network disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+/// The managing site's client handle.
+pub struct ManagingClient<T: Transport, M: Mailbox> {
+    transport: T,
+    mailbox: M,
+    n_sites: u8,
+    next_txn: u64,
+    /// Reports that arrived while waiting for something else.
+    stashed: Vec<Message>,
+}
+
+impl<T: Transport, M: Mailbox> ManagingClient<T, M> {
+    /// Wrap the manager endpoint. `n_sites` is the database site count
+    /// (the manager itself uses id `n_sites`).
+    pub fn new(transport: T, mailbox: M, n_sites: u8) -> Self {
+        ManagingClient {
+            transport,
+            mailbox,
+            n_sites,
+            next_txn: 1,
+            stashed: Vec::new(),
+        }
+    }
+
+    /// Number of database sites.
+    pub fn n_sites(&self) -> u8 {
+        self.n_sites
+    }
+
+    /// Allocate the next globally unique transaction id.
+    pub fn next_txn_id(&mut self) -> TxnId {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        id
+    }
+
+    /// A transaction id derived from the wall clock — for one-shot
+    /// managing processes (e.g. `miniraid-ctl`) whose in-memory counter
+    /// does not persist between invocations. Microsecond resolution keeps
+    /// ids unique and monotone across sequential invocations.
+    pub fn next_txn_id_from_clock(&mut self) -> TxnId {
+        let micros = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .as_micros() as u64;
+        TxnId(micros)
+    }
+
+    /// Tell a site to fail (it stops participating in anything).
+    pub fn fail(&mut self, site: SiteId) {
+        let _ = self.transport.send(site, &Message::Mgmt(Command::Fail));
+    }
+
+    /// Tell a site to recover; waits until it reports operational.
+    pub fn recover(&mut self, site: SiteId, deadline: Duration) -> Result<SessionNumber, ControlError> {
+        let _ = self.transport.send(site, &Message::Mgmt(Command::Recover));
+        self.wait_for(deadline, "recovery", |msg| match msg {
+            Message::MgmtRecovered { session } => Some(*session),
+            _ => None,
+        })
+    }
+
+    /// Wait for a site to report complete data recovery (all fail-locks
+    /// cleared).
+    pub fn wait_data_recovered(&mut self, deadline: Duration) -> Result<SessionNumber, ControlError> {
+        self.wait_for(deadline, "data recovery", |msg| match msg {
+            Message::MgmtDataRecovered { session } => Some(*session),
+            _ => None,
+        })
+    }
+
+    /// Submit a transaction to a coordinating site and wait for its
+    /// outcome report.
+    pub fn run_txn(
+        &mut self,
+        site: SiteId,
+        txn: Transaction,
+        deadline: Duration,
+    ) -> Result<TxnReport, ControlError> {
+        let id = txn.id;
+        let _ = self
+            .transport
+            .send(site, &Message::Mgmt(Command::Begin(txn)));
+        self.wait_for(deadline, "transaction report", |msg| match msg {
+            Message::MgmtReport(report) if report.txn == id => Some(report.clone()),
+            _ => None,
+        })
+    }
+
+    /// Terminate every site (clean shutdown).
+    pub fn terminate_all(&mut self) {
+        for i in 0..self.n_sites {
+            let _ = self
+                .transport
+                .send(SiteId(i), &Message::Mgmt(Command::Terminate));
+        }
+    }
+
+    fn wait_for<R>(
+        &mut self,
+        deadline: Duration,
+        what: &'static str,
+        mut select: impl FnMut(&Message) -> Option<R>,
+    ) -> Result<R, ControlError> {
+        // Check stashed messages first.
+        if let Some(pos) = self.stashed.iter().position(|m| select(m).is_some()) {
+            let msg = self.stashed.remove(pos);
+            return Ok(select(&msg).expect("matched above"));
+        }
+        let until = Instant::now() + deadline;
+        loop {
+            let left = until.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(ControlError::Timeout(what));
+            }
+            match self.mailbox.recv_timeout(left) {
+                Ok((_, msg)) => {
+                    if let Some(r) = select(&msg) {
+                        return Ok(r);
+                    }
+                    self.stashed.push(msg);
+                }
+                Err(RecvError::Timeout) => return Err(ControlError::Timeout(what)),
+                Err(RecvError::Disconnected) => return Err(ControlError::Disconnected),
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # miniraid-cluster — the protocol on real threads and sockets
+//!
+//! The non-simulated deployment of the replication engine: each database
+//! site is an OS thread running the same
+//! [`miniraid_core::engine::SiteEngine`] the simulator drives, connected
+//! by a real transport (in-process channels or TCP on localhost), with a
+//! managing client playing the paper's managing site. This is "real
+//! transaction processing on real sites with real message passing".
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod control;
+pub mod site;
+
+pub use cluster::Cluster;
+pub use control::{ControlError, ManagingClient};
+pub use site::ClusterTiming;

@@ -1,0 +1,206 @@
+//! A database site as an OS thread: the sans-IO engine plus a real
+//! transport, a mailbox, and a local timer wheel.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use miniraid_core::engine::{Input, Output, SiteEngine, TimerId};
+use miniraid_core::ids::SiteId;
+use miniraid_core::messages::Message;
+use miniraid_core::session::SiteStatus;
+use miniraid_net::{Mailbox, RecvError, Transport};
+use miniraid_storage::DurableStore;
+
+/// Real-time timer durations for a threaded deployment. Participant
+/// timeouts exceed coordinator timeouts (see the simulator's
+/// `TimingConfig` for the rationale).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterTiming {
+    /// Coordinator waiting for phase-one acks.
+    pub ack_timeout: Duration,
+    /// Coordinator waiting for commit acks.
+    pub commit_ack_timeout: Duration,
+    /// Participant waiting for commit/abort.
+    pub participant_timeout: Duration,
+    /// Coordinator waiting for a copy response.
+    pub copier_timeout: Duration,
+    /// Coordinator waiting for a remote read response.
+    pub read_timeout: Duration,
+    /// Recovering site waiting for `RecoveryInfo`.
+    pub recovery_timeout: Duration,
+    /// Delay between batch copier rounds.
+    pub batch_copier_delay: Duration,
+}
+
+impl Default for ClusterTiming {
+    fn default() -> Self {
+        ClusterTiming {
+            ack_timeout: Duration::from_millis(150),
+            commit_ack_timeout: Duration::from_millis(150),
+            participant_timeout: Duration::from_millis(500),
+            copier_timeout: Duration::from_millis(150),
+            read_timeout: Duration::from_millis(150),
+            recovery_timeout: Duration::from_millis(200),
+            batch_copier_delay: Duration::from_millis(10),
+        }
+    }
+}
+
+impl ClusterTiming {
+    fn duration(&self, id: TimerId) -> Duration {
+        match id {
+            TimerId::AckTimeout(_) => self.ack_timeout,
+            TimerId::CommitAckTimeout(_) => self.commit_ack_timeout,
+            TimerId::ParticipantTimeout(_) => self.participant_timeout,
+            TimerId::CopierTimeout(_) => self.copier_timeout,
+            TimerId::ReadTimeout(_) => self.read_timeout,
+            TimerId::RecoveryInfoTimeout(_) => self.recovery_timeout,
+            TimerId::BatchCopier => self.batch_copier_delay,
+        }
+    }
+}
+
+struct Armed(Instant, u64, TimerId);
+impl PartialEq for Armed {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0 && self.1 == other.1
+    }
+}
+impl Eq for Armed {}
+impl PartialOrd for Armed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Armed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// Run one site until it terminates. Intended to be the body of a
+/// dedicated thread (see `Cluster::launch`).
+pub fn run_site<T: Transport, M: Mailbox>(
+    engine: SiteEngine,
+    transport: T,
+    mailbox: M,
+    manager: SiteId,
+    timing: ClusterTiming,
+) {
+    run_site_durable(engine, transport, mailbox, manager, timing, None)
+}
+
+/// Like [`run_site`], with an optional WAL-backed durable store: every
+/// `Output::Persist` is logged and fsynced before processing continues,
+/// so a restarted process can preload the committed image (see
+/// `Cluster::launch_durable`).
+pub fn run_site_durable<T: Transport, M: Mailbox>(
+    mut engine: SiteEngine,
+    transport: T,
+    mailbox: M,
+    manager: SiteId,
+    timing: ClusterTiming,
+    mut store: Option<DurableStore>,
+) {
+    let mut timers: BinaryHeap<Reverse<Armed>> = BinaryHeap::new();
+    let mut timer_seq = 0u64;
+    let mut out: Vec<Output> = Vec::new();
+
+    loop {
+        // Wait until the next timer deadline (or a polling default).
+        let wait = timers
+            .peek()
+            .map(|Reverse(Armed(due, _, _))| due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+
+        let input = match mailbox.recv_timeout(wait) {
+            Ok((from, msg)) => Some(Input::Deliver { from, msg }),
+            Err(RecvError::Timeout) => None,
+            Err(RecvError::Disconnected) => return,
+        };
+
+        if let Some(input) = input {
+            out.clear();
+            engine.handle(input, &mut out);
+            perform(&mut engine, &transport, manager, &timing, &mut timers, &mut timer_seq, &mut out, store.as_mut());
+        }
+
+        // Fire due timers.
+        let now = Instant::now();
+        while let Some(Reverse(Armed(due, _, _))) = timers.peek() {
+            if *due > now {
+                break;
+            }
+            let Reverse(Armed(_, _, id)) = timers.pop().expect("peeked");
+            out.clear();
+            engine.handle(Input::Timer(id), &mut out);
+            perform(&mut engine, &transport, manager, &timing, &mut timers, &mut timer_seq, &mut out, store.as_mut());
+        }
+
+        if engine.status() == SiteStatus::Terminating {
+            return;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn perform<T: Transport>(
+    engine: &mut SiteEngine,
+    transport: &T,
+    manager: SiteId,
+    timing: &ClusterTiming,
+    timers: &mut BinaryHeap<Reverse<Armed>>,
+    timer_seq: &mut u64,
+    out: &mut Vec<Output>,
+    mut store: Option<&mut DurableStore>,
+) {
+    for output in out.drain(..) {
+        match output {
+            Output::Persist { txn, writes, faillocks } => {
+                if let Some(store) = store.as_deref_mut() {
+                    let raw: Vec<(u32, miniraid_storage::ItemValue)> =
+                        writes.iter().map(|(item, v)| (item.0, *v)).collect();
+                    if !raw.is_empty() {
+                        store
+                            .commit(txn.0, &raw)
+                            .expect("durable store write failed");
+                    }
+                    let words: Vec<(u32, u64)> =
+                        faillocks.iter().map(|(item, w)| (item.0, *w)).collect();
+                    store
+                        .log_faillocks(&words)
+                        .expect("durable fail-lock log failed");
+                }
+            }
+            Output::Send { to, msg } => {
+                let _ = transport.send(to, &msg);
+            }
+            Output::SetTimer(id) => {
+                *timer_seq += 1;
+                timers.push(Reverse(Armed(
+                    Instant::now() + timing.duration(id),
+                    *timer_seq,
+                    id,
+                )));
+            }
+            Output::Report(report) => {
+                let _ = transport.send(manager, &Message::MgmtReport(report));
+            }
+            Output::BecameOperational { session } => {
+                if let Some(store) = store.as_deref_mut() {
+                    store
+                        .log_session(session.0)
+                        .expect("durable session log failed");
+                }
+                let _ = transport.send(manager, &Message::MgmtRecovered { session });
+            }
+            Output::DataRecoveryComplete => {
+                let session = engine.session();
+                let _ = transport.send(manager, &Message::MgmtDataRecovered { session });
+            }
+            Output::RecoveryFailed | Output::Work(_) => {}
+            // Persist handled above.
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! End-to-end tests of the threaded cluster: real threads, real
+//! transports, the full failure/recovery protocol.
+
+use std::time::Duration;
+
+use miniraid_cluster::{Cluster, ClusterTiming};
+use miniraid_core::config::{ProtocolConfig, TwoStepRecovery};
+use miniraid_core::ids::{ItemId, SiteId};
+use miniraid_core::ops::{Operation, Transaction};
+
+const WAIT: Duration = Duration::from_secs(5);
+
+fn config(n_sites: u8) -> ProtocolConfig {
+    ProtocolConfig {
+        db_size: 20,
+        n_sites,
+        ..ProtocolConfig::default()
+    }
+}
+
+#[test]
+fn commit_and_read_across_threaded_sites() {
+    let (cluster, mut client) = Cluster::launch(config(3), ClusterTiming::default());
+    let id = client.next_txn_id();
+    let report = client
+        .run_txn(
+            SiteId(0),
+            Transaction::new(id, vec![Operation::Write(ItemId(4), 99)]),
+            WAIT,
+        )
+        .unwrap();
+    assert!(report.outcome.is_committed());
+
+    // Read it back from a different coordinator.
+    let id = client.next_txn_id();
+    let report = client
+        .run_txn(
+            SiteId(2),
+            Transaction::new(id, vec![Operation::Read(ItemId(4))]),
+            WAIT,
+        )
+        .unwrap();
+    assert!(report.outcome.is_committed());
+    assert_eq!(report.read_results[0].1.data, 99);
+
+    client.terminate_all();
+    cluster.join(WAIT);
+}
+
+#[test]
+fn failure_recovery_and_copier_on_threads() {
+    let mut cfg = config(2);
+    cfg.two_step_recovery = Some(TwoStepRecovery {
+        threshold: 1.0,
+        batch_size: 20,
+    });
+    let (cluster, mut client) = Cluster::launch(cfg, ClusterTiming::default());
+
+    client.fail(SiteId(0));
+    // First write detects the failure (abort), second commits.
+    let id = client.next_txn_id();
+    let r1 = client
+        .run_txn(
+            SiteId(1),
+            Transaction::new(id, vec![Operation::Write(ItemId(1), 7)]),
+            WAIT,
+        )
+        .unwrap();
+    assert!(!r1.outcome.is_committed());
+    let id = client.next_txn_id();
+    let r2 = client
+        .run_txn(
+            SiteId(1),
+            Transaction::new(id, vec![Operation::Write(ItemId(1), 7)]),
+            WAIT,
+        )
+        .unwrap();
+    assert!(r2.outcome.is_committed());
+    assert_eq!(r2.stats.faillocks_set, 1, "site 0 missed the update");
+
+    // Recover site 0: type-1 control transaction, then batch copiers
+    // refresh everything.
+    let session = client.recover(SiteId(0), WAIT).unwrap();
+    assert_eq!(session.0, 2);
+    client.wait_data_recovered(WAIT).unwrap();
+
+    // Site 0 now serves the refreshed item.
+    let id = client.next_txn_id();
+    let r3 = client
+        .run_txn(
+            SiteId(0),
+            Transaction::new(id, vec![Operation::Read(ItemId(1))]),
+            WAIT,
+        )
+        .unwrap();
+    assert!(r3.outcome.is_committed());
+    assert_eq!(r3.read_results[0].1.data, 7);
+    assert_eq!(r3.stats.copier_requests, 0, "already refreshed in batch");
+
+    client.terminate_all();
+    cluster.join(WAIT);
+}
+
+#[test]
+fn on_demand_copier_over_threads() {
+    let (cluster, mut client) = Cluster::launch(config(2), ClusterTiming::default());
+
+    client.fail(SiteId(0));
+    for _ in 0..2 {
+        let id = client.next_txn_id();
+        let _ = client.run_txn(
+            SiteId(1),
+            Transaction::new(id, vec![Operation::Write(ItemId(3), 42)]),
+            WAIT,
+        );
+    }
+    client.recover(SiteId(0), WAIT).unwrap();
+    // No batch mode configured: the stale read triggers a copier.
+    let id = client.next_txn_id();
+    let report = client
+        .run_txn(
+            SiteId(0),
+            Transaction::new(id, vec![Operation::Read(ItemId(3))]),
+            WAIT,
+        )
+        .unwrap();
+    assert!(report.outcome.is_committed());
+    assert_eq!(report.stats.copier_requests, 1);
+    assert_eq!(report.read_results[0].1.data, 42);
+
+    client.terminate_all();
+    cluster.join(WAIT);
+}
+
+#[test]
+fn tcp_cluster_commits() {
+    let base_port = 24000 + (std::process::id() % 1000) as u16;
+    let (cluster, mut client) =
+        Cluster::launch_tcp(config(2), ClusterTiming::default(), base_port).unwrap();
+    let id = client.next_txn_id();
+    let report = client
+        .run_txn(
+            SiteId(1),
+            Transaction::new(
+                id,
+                vec![Operation::Write(ItemId(0), 5), Operation::Read(ItemId(0))],
+            ),
+            WAIT,
+        )
+        .unwrap();
+    assert!(report.outcome.is_committed());
+    client.terminate_all();
+    cluster.join(WAIT);
+}

@@ -1,0 +1,376 @@
+//! Control transactions (paper §1.1 and §3.2).
+//!
+//! Type 1: issued by a recovering site — announces its new session to the
+//! operational sites and obtains a session vector and fail-lock table
+//! from one of them. Type 2: issued by any site that determines another
+//! site has failed — updates the nominal session vectors of the remaining
+//! operational sites. Type 3 (proposed in §3.2, implemented here): a site
+//! holding the last operational up-to-date copy of an item creates a
+//! backup copy on a site holding none.
+
+use crate::ids::{ItemId, SessionNumber, SiteId};
+use crate::messages::Message;
+use crate::session::{SiteRecord, SiteStatus};
+use miniraid_storage::ItemValue;
+
+use super::{Output, RecoveryState, RefreshMode, SiteEngine, TimerId, Work};
+
+impl SiteEngine {
+    // ---- type 1: recovery ------------------------------------------------
+
+    /// Begin a type-1 control transaction (managing site said `Recover`).
+    pub(super) fn begin_recovery(&mut self, out: &mut Vec<Output>) {
+        if self.status() != SiteStatus::Down {
+            return; // already up or already recovering
+        }
+        let me = self.id();
+        let session = self.session().next();
+        self.vector.set_record(
+            me,
+            SiteRecord {
+                session,
+                status: SiteStatus::WaitingToRecover,
+            },
+        );
+        self.metrics.control_type1 += 1;
+
+        // Candidate responders: sites we last believed operational first,
+        // then the rest — our vector may be stale after our down period.
+        let mut candidates: Vec<SiteId> = self.vector.operational_peers(me);
+        for s in 0..self.config.n_sites {
+            let site = SiteId(s);
+            if site != me && !candidates.contains(&site) {
+                candidates.push(site);
+            }
+        }
+
+        if candidates.is_empty() {
+            // Single-site system: trivially operational again.
+            self.vector.set_record(
+                me,
+                SiteRecord {
+                    session,
+                    status: SiteStatus::Up,
+                },
+            );
+            out.push(Output::BecameOperational { session });
+            self.init_data_refresh(out);
+            return;
+        }
+
+        let designated = candidates[0];
+        self.recovery = Some(RecoveryState {
+            candidates: candidates.clone(),
+            attempt: 0,
+            session,
+        });
+        for site in candidates {
+            self.send_unattributed(
+                site,
+                Message::RecoveryAnnounce {
+                    session,
+                    want_state: site == designated,
+                },
+                out,
+            );
+        }
+        out.push(Output::SetTimer(TimerId::RecoveryInfoTimeout(0)));
+    }
+
+    /// An operational site processes a recovery announcement: update the
+    /// vector and, if designated, ship session vector + fail-locks.
+    pub(super) fn on_recovery_announce(
+        &mut self,
+        from: SiteId,
+        session: SessionNumber,
+        want_state: bool,
+        out: &mut Vec<Output>,
+    ) {
+        self.vector.apply_recovery_announcement(from, session);
+        if want_state {
+            // The paper measured this at 50 ms on the operational site:
+            // formatting and sending session vector and fail-locks; the
+            // cost grows with database size.
+            out.push(Output::Work(Work::FormatRecoveryState(self.config.db_size)));
+            let vector: Vec<SiteRecord> = (0..self.config.n_sites)
+                .map(|s| self.vector.record(SiteId(s)))
+                .collect();
+            let faillocks = self.faillocks.snapshot();
+            let (holders, backups) = self.replication.snapshot();
+            self.send_unattributed(
+                from,
+                Message::RecoveryInfo {
+                    vector,
+                    faillocks,
+                    holders,
+                    backups,
+                },
+                out,
+            );
+        }
+        // A newly announced recovery may unblock a stalled batch round.
+        self.maybe_rearm_batch(out);
+    }
+
+    /// The recovering site installs the received state and becomes
+    /// operational.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn on_recovery_info(
+        &mut self,
+        _from: SiteId,
+        vector: Vec<SiteRecord>,
+        faillocks: Vec<u64>,
+        holders: Vec<u64>,
+        backups: Vec<u64>,
+        out: &mut Vec<Output>,
+    ) {
+        let Some(recovery) = self.recovery.take() else {
+            return; // stale (e.g. second responder after a retry)
+        };
+        let me = self.id();
+        out.push(Output::Work(Work::SessionInstall));
+        out.push(Output::Work(Work::FailLockInstall(self.config.db_size)));
+
+        let mut received = crate::session::SessionVector::new(vector.len());
+        for (i, rec) in vector.iter().enumerate() {
+            received.set_record(SiteId(i as u8), *rec);
+        }
+        self.vector.install_from(&received, me);
+        self.vector.set_record(
+            me,
+            SiteRecord {
+                session: recovery.session,
+                status: SiteStatus::Up,
+            },
+        );
+        if self.config.fail_locks_enabled {
+            self.faillocks.install_snapshot(&faillocks);
+        }
+        // The replication map is replicated state too: adopt the
+        // responder's (we missed any type-3 backup creations/retirements
+        // while down).
+        self.replication.install_snapshot(&holders, &backups);
+        out.push(Output::BecameOperational {
+            session: recovery.session,
+        });
+        self.init_data_refresh(out);
+    }
+
+    /// No `RecoveryInfo` arrived: ask the next candidate, or give up.
+    pub(super) fn on_recovery_timeout(&mut self, attempt: u32, out: &mut Vec<Output>) {
+        let Some(recovery) = self.recovery.as_ref() else { return };
+        if recovery.attempt != attempt {
+            return; // stale timer from an earlier attempt
+        }
+        let next = attempt + 1;
+        if (next as usize) < recovery.candidates.len() {
+            let target = recovery.candidates[next as usize];
+            let session = recovery.session;
+            self.recovery.as_mut().expect("recovery active").attempt = next;
+            self.send_unattributed(
+                target,
+                Message::RecoveryAnnounce {
+                    session,
+                    want_state: true,
+                },
+                out,
+            );
+            out.push(Output::SetTimer(TimerId::RecoveryInfoTimeout(next)));
+        } else {
+            // No operational site exists to recover from. Stay down; a
+            // later `Recover` command can retry.
+            let me = self.id();
+            let session = recovery.session;
+            self.recovery = None;
+            self.vector.set_record(
+                me,
+                SiteRecord {
+                    session,
+                    status: SiteStatus::Down,
+                },
+            );
+            out.push(Output::RecoveryFailed);
+        }
+    }
+
+    /// Enter the data-refresh phase after becoming operational: decide
+    /// between on-demand copiers (the paper's implementation) and the
+    /// two-step scheme (§3.2).
+    pub(super) fn init_data_refresh(&mut self, out: &mut Vec<Output>) {
+        let stale = self.own_stale_count();
+        if stale == 0 {
+            self.refresh = RefreshMode::Idle;
+            out.push(Output::DataRecoveryComplete);
+            return;
+        }
+        match self.config.two_step_recovery {
+            Some(two_step) if (stale as f64 / self.config.db_size as f64) <= two_step.threshold => {
+                self.refresh = RefreshMode::Batch { armed: true };
+                out.push(Output::SetTimer(TimerId::BatchCopier));
+            }
+            _ => {
+                self.refresh = RefreshMode::OnDemand;
+            }
+        }
+    }
+
+    // ---- type 2: failure announcement -------------------------------------
+
+    /// This site determined that `failed` sites are down: update the local
+    /// vector and announce to the remaining operational sites.
+    pub(super) fn announce_failures(&mut self, failed: &[SiteId], out: &mut Vec<Output>) {
+        let mut newly_down: Vec<(SiteId, SessionNumber)> = Vec::new();
+        for site in failed {
+            let session = self.vector.session(*site);
+            if self.vector.mark_down(*site) {
+                newly_down.push((*site, session));
+            }
+        }
+        if newly_down.is_empty() {
+            return;
+        }
+        out.push(Output::Work(Work::FailureUpdate(newly_down.len() as u32)));
+        self.metrics.control_type2 += 1;
+        let me = self.id();
+        let peers = self.vector.operational_peers(me);
+        for peer in peers {
+            self.send_unattributed(
+                peer,
+                Message::FailureAnnounce {
+                    failed: newly_down.clone(),
+                },
+                out,
+            );
+        }
+        self.check_endangered_items(out);
+    }
+
+    /// Another site announced failures: adopt (unless our perceived
+    /// session for the site is newer — it must have recovered since).
+    pub(super) fn on_failure_announce(
+        &mut self,
+        failed: Vec<(SiteId, SessionNumber)>,
+        out: &mut Vec<Output>,
+    ) {
+        let me = self.id();
+        let mut changed = 0u32;
+        for (site, session) in failed {
+            if site == me {
+                continue; // we know our own status best
+            }
+            if self.vector.apply_failure_announcement(site, session) {
+                changed += 1;
+            }
+        }
+        if changed > 0 {
+            out.push(Output::Work(Work::FailureUpdate(changed)));
+            self.check_endangered_items(out);
+        }
+    }
+
+    // ---- type 3: backup copies (partial replication) ----------------------
+
+    /// After a failure, look for items whose only operational up-to-date
+    /// copy is ours and create a backup copy elsewhere (paper §3.2).
+    pub(super) fn check_endangered_items(&mut self, out: &mut Vec<Output>) {
+        if !self.config.backup_on_last_copy || !self.is_up() {
+            return;
+        }
+        let me = self.id();
+        let mut actions: Vec<(ItemId, SiteId, ItemValue)> = Vec::new();
+        for raw in 0..self.config.db_size {
+            let item = ItemId(raw);
+            if !self.replication.holds(item, me) || self.faillocks.is_locked(item, me) {
+                continue;
+            }
+            let up_to_date_holders = self
+                .replication
+                .holders_of(item)
+                .filter(|&s| self.vector.is_up(s) && !self.faillocks.is_locked(item, s))
+                .count();
+            if up_to_date_holders != 1 {
+                continue; // not endangered (or we are not the survivor)
+            }
+            // Choose the lowest operational non-holder as the backup site.
+            let backup = (0..self.config.n_sites)
+                .map(SiteId)
+                .find(|&s| self.vector.is_up(s) && !self.replication.holds(item, s));
+            if let Some(backup) = backup {
+                let value = self.db.get(item.0).expect("item in universe");
+                actions.push((item, backup, value));
+            }
+        }
+        for (item, backup, value) in actions {
+            self.metrics.control_type3 += 1;
+            self.replication.add_holder(item, backup, true);
+            self.send_unattributed(backup, Message::CreateBackup { item, value }, out);
+            let me = self.id();
+            let peers: Vec<SiteId> = self
+                .vector
+                .operational_peers(me)
+                .into_iter()
+                .filter(|&s| s != backup)
+                .collect();
+            for peer in peers {
+                self.send_unattributed(peer, Message::BackupCreated { item, site: backup }, out);
+            }
+        }
+    }
+
+    /// We were asked to host a backup copy.
+    pub(super) fn on_create_backup(
+        &mut self,
+        _from: SiteId,
+        item: ItemId,
+        value: ItemValue,
+        out: &mut Vec<Output>,
+    ) {
+        self.db.put_if_fresher(item.0, value).expect("item in universe");
+        self.replication.add_holder(item, self.id(), true);
+        // Our new copy is up to date by construction.
+        let me = self.id();
+        if self.faillocks.clear(item, me) {
+            self.metrics.faillocks_cleared += 1;
+        }
+        out.push(Output::Work(Work::ApplyWrites(1)));
+    }
+
+    /// Retire our backup copies of `items` once enough original holders
+    /// are healthy again (§3.2: "the cost of removing copies ... once
+    /// these additional copies were not needed any more").
+    pub(super) fn maybe_retire_backups(&mut self, items: &[ItemId], out: &mut Vec<Output>) {
+        if !self.config.backup_on_last_copy || !self.is_up() {
+            return;
+        }
+        let me = self.id();
+        for item in items {
+            if !self.replication.is_backup(*item, me) {
+                continue;
+            }
+            let healthy_originals = self
+                .replication
+                .holders_of(*item)
+                .filter(|&s| {
+                    s != me
+                        && !self.replication.is_backup(*item, s)
+                        && self.vector.is_up(s)
+                        && !self.faillocks.is_locked(*item, s)
+                })
+                .count();
+            if healthy_originals >= 2 {
+                self.replication.remove_holder(*item, me);
+                let peers = self.vector.operational_peers(me);
+                for peer in peers {
+                    self.send_unattributed(
+                        peer,
+                        Message::BackupDropped {
+                            item: *item,
+                            site: me,
+                        },
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}

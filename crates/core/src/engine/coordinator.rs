@@ -1,0 +1,425 @@
+//! Coordinating-site logic: Appendix A.1 of the paper.
+//!
+//! The coordinator receives a database transaction from the managing
+//! site, refreshes any fail-locked copies it must read (copier
+//! transactions), executes reads against its own copy ("read one"),
+//! then drives two-phase commit over every operational site
+//! ("write all available").
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::config::ReplicationStrategy;
+use crate::error::AbortReason;
+use crate::ids::{ItemId, SiteId, TxnId};
+use crate::messages::{Message, TxnOutcome, TxnReport, TxnStats};
+use crate::ops::Transaction;
+use miniraid_storage::ItemValue;
+
+use super::{CoordTxn, Output, SiteEngine, TimerId, Work};
+
+/// Phase of the coordinated transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordPhase {
+    /// Refreshing fail-locked copies / fetching remote reads.
+    Refresh,
+    /// Phase one: waiting for update acks.
+    WaitAcks,
+    /// Phase two: waiting for commit acks.
+    WaitCommitAcks,
+}
+
+impl SiteEngine {
+    /// Entry point: the managing site handed us a database transaction.
+    pub(super) fn begin_transaction(&mut self, txn: Transaction, out: &mut Vec<Output>) {
+        if !self.is_up() {
+            out.push(Output::Report(TxnReport {
+                txn: txn.id,
+                coordinator: self.id(),
+                outcome: TxnOutcome::Aborted(AbortReason::SiteNotOperational),
+                stats: TxnStats::default(),
+                read_results: Vec::new(),
+            }));
+            return;
+        }
+        if self.coord.is_some() {
+            // Serial processing (paper assumption 2): queue behind the
+            // active transaction.
+            self.queued.push_back(txn);
+            return;
+        }
+        self.start_transaction(txn, out);
+    }
+
+    fn start_transaction(&mut self, txn: Transaction, out: &mut Vec<Output>) {
+        out.push(Output::Work(Work::TxnSetup));
+        self.metrics.txns_coordinated += 1;
+
+        let id = self.id();
+        let txn_id = txn.id;
+        let writes: Vec<(ItemId, ItemValue)> = txn
+            .write_set()
+            .into_iter()
+            .map(|(item, value)| (item, ItemValue::new(value, txn_id.0)))
+            .collect();
+        let mut stats = TxnStats {
+            reads: txn.read_op_count() as u32,
+            writes: writes.len() as u32,
+            ..TxnStats::default()
+        };
+
+        // Strategy gates (availability ablation X6): plain ROWA blocks
+        // writes unless *every* site is up; majority quorum blocks both
+        // reads and writes without a majority.
+        let majority = self.config.n_sites as usize / 2 + 1;
+        match self.config.strategy {
+            ReplicationStrategy::Rowa => {
+                if !writes.is_empty() && self.vector.up_count() < self.config.n_sites as usize {
+                    self.report_abort_new(txn_id, stats, AbortReason::DataUnavailable, out);
+                    return;
+                }
+            }
+            ReplicationStrategy::MajorityQuorum => {
+                if self.vector.up_count() < majority {
+                    self.report_abort_new(txn_id, stats, AbortReason::DataUnavailable, out);
+                    return;
+                }
+            }
+            ReplicationStrategy::RowaAvailable => {}
+        }
+
+        // Identify copies we must refresh before reading (paper: "if
+        // transaction contains read operation for a fail-locked copy then
+        // run copier transaction"), and reads we hold no copy of at all
+        // (partial replication; ROWAA only).
+        let mut stale_local: Vec<ItemId> = Vec::new();
+        let mut remote: Vec<ItemId> = Vec::new();
+        if self.config.strategy == ReplicationStrategy::RowaAvailable {
+            for item in txn.read_items() {
+                if self.replication.holds(item, id) {
+                    if self.config.fail_locks_enabled && self.faillocks.is_locked(item, id) {
+                        stale_local.push(item);
+                    }
+                } else {
+                    remote.push(item);
+                }
+            }
+        }
+
+        // Group refresh work by source site; abort if any item has no
+        // operational up-to-date copy anywhere (the paper's data
+        // unavailability abort, Experiment 3 scenario 1).
+        let mut copier_groups: HashMap<SiteId, Vec<ItemId>> = HashMap::new();
+        for item in &stale_local {
+            match self.up_to_date_source(*item) {
+                Some(src) => copier_groups.entry(src).or_default().push(*item),
+                None => {
+                    self.report_abort_new(txn_id, stats, AbortReason::DataUnavailable, out);
+                    return;
+                }
+            }
+        }
+        let mut read_groups: HashMap<SiteId, Vec<ItemId>> = HashMap::new();
+        for item in &remote {
+            match self.up_to_date_source(*item) {
+                Some(src) => read_groups.entry(src).or_default().push(*item),
+                None => {
+                    self.report_abort_new(txn_id, stats, AbortReason::DataUnavailable, out);
+                    return;
+                }
+            }
+        }
+
+        stats.copier_requests = copier_groups.len() as u32;
+        self.metrics.copier_requests += copier_groups.len() as u64;
+
+        let mut state = CoordTxn {
+            txn,
+            snapshot: self.vector.session_snapshot(),
+            phase: CoordPhase::Refresh,
+            participants: BTreeSet::new(),
+            waiting: BTreeSet::new(),
+            writes,
+            pending_copiers: HashMap::new(),
+            pending_reads: HashMap::new(),
+            refreshed: Vec::new(),
+            remote_values: HashMap::new(),
+            read_results: Vec::new(),
+            stats,
+            phase2_failure: false,
+            quorum_needed: 0,
+            quorum_got: 0,
+        };
+
+        // Issue copier transactions and remote reads (ROWAA)...
+        let mut sends = Vec::new();
+        for (target, items) in copier_groups {
+            let req = self.fresh_req();
+            state.pending_copiers.insert(req, (target, items.clone()));
+            sends.push((target, Message::CopyRequest { req, items }));
+            out.push(Output::SetTimer(TimerId::CopierTimeout(req)));
+        }
+        for (target, items) in read_groups {
+            let req = self.fresh_req();
+            state.pending_reads.insert(req, (target, items.clone()));
+            sends.push((target, Message::ReadRequest { req, items }));
+            out.push(Output::SetTimer(TimerId::ReadTimeout(req)));
+        }
+
+        // ... or a quorum read round (majority quorum): every read is
+        // answered by a majority of copies; the freshest version wins.
+        let read_items = state.txn.read_items();
+        if self.config.strategy == ReplicationStrategy::MajorityQuorum && !read_items.is_empty() {
+            // Seed with our own copies; peer responses merge over them.
+            for item in &read_items {
+                let own = self.db.get(item.0).expect("item in universe");
+                state.remote_values.insert(*item, own);
+            }
+            state.quorum_needed = majority - 1;
+            if state.quorum_needed > 0 {
+                let peers = self.vector.operational_peers(id);
+                for peer in peers {
+                    let req = self.fresh_req();
+                    state.pending_reads.insert(req, (peer, read_items.clone()));
+                    sends.push((peer, Message::ReadRequest { req, items: read_items.clone() }));
+                    out.push(Output::SetTimer(TimerId::ReadTimeout(req)));
+                }
+            }
+        }
+
+        let refresh_done = state.pending_copiers.is_empty() && state.pending_reads.is_empty();
+        self.coord = Some(state);
+        for (to, msg) in sends {
+            self.send(to, msg, out);
+        }
+        if refresh_done {
+            self.proceed_after_refresh(out);
+        }
+    }
+
+    /// Copier/remote-read phase finished: clear fail-locks at other
+    /// sites, execute reads, then start phase one.
+    pub(super) fn proceed_after_refresh(&mut self, out: &mut Vec<Output>) {
+        let id = self.id();
+        let Some(state) = self.coord.as_mut() else { return };
+        debug_assert_eq!(state.phase, CoordPhase::Refresh);
+
+        // Fail-locks cleared by copier transactions were already
+        // propagated per copy response (the paper's "special
+        // transaction"); in piggyback mode they ride the CopyUpdate
+        // below instead.
+        let refreshed = state.refreshed.clone();
+
+        // Execute reads: own copy for held items ("read one"), fetched
+        // values for remote items.
+        let quorum = self.config.strategy == ReplicationStrategy::MajorityQuorum;
+        let state = self.coord.as_mut().expect("active transaction");
+        let read_items = state.txn.read_items();
+        out.push(Output::Work(Work::ReadOps(read_items.len() as u32)));
+        for item in read_items {
+            let value = if quorum {
+                // Freshest version among the read quorum (own copy was
+                // seeded before the round).
+                *state
+                    .remote_values
+                    .get(&item)
+                    .expect("quorum read merged during refresh")
+            } else if self.replication.holds(item, id) {
+                self.db.get(item.0).expect("read item within universe")
+            } else {
+                *state
+                    .remote_values
+                    .get(&item)
+                    .expect("remote read fetched during refresh")
+            };
+            state.read_results.push((item, value));
+        }
+
+        // Read-only transactions commit locally by default (an empty
+        // write-all round is vacuous).
+        if state.writes.is_empty() && !self.config.two_phase_read_only {
+            self.finish_commit(out);
+            return;
+        }
+
+        // Phase one: copy update to every operational site (paper
+        // Appendix A.1). Fail-locks are fully replicated, so all
+        // operational sites participate even under partial replication.
+        let participants: BTreeSet<SiteId> = self.vector.operational_peers(id).into_iter().collect();
+        if participants.is_empty() {
+            self.finish_commit(out);
+            return;
+        }
+        let state = self.coord.as_mut().expect("active transaction");
+        state.participants = participants.clone();
+        state.waiting = participants.clone();
+        state.phase = CoordPhase::WaitAcks;
+        let txn_id = state.txn.id;
+        let writes = state.writes.clone();
+        let snapshot = state.snapshot.clone();
+        let clears: Vec<(ItemId, SiteId)> = if self.config.piggyback_clears {
+            refreshed.iter().map(|i| (*i, id)).collect()
+        } else {
+            Vec::new()
+        };
+        for peer in participants {
+            self.send(
+                peer,
+                Message::CopyUpdate {
+                    txn: txn_id,
+                    writes: writes.clone(),
+                    snapshot: snapshot.clone(),
+                    clears: clears.clone(),
+                },
+                out,
+            );
+        }
+        out.push(Output::SetTimer(TimerId::AckTimeout(txn_id)));
+    }
+
+    /// Phase-one acknowledgement from a participant.
+    pub(super) fn on_update_ack(
+        &mut self,
+        from: SiteId,
+        txn: TxnId,
+        ok: bool,
+        out: &mut Vec<Output>,
+    ) {
+        let Some(state) = self.coord.as_mut() else { return };
+        if state.txn.id != txn || state.phase != CoordPhase::WaitAcks {
+            return;
+        }
+        if !ok {
+            // Session mismatch (or a not-yet-operational recovering site):
+            // abort everywhere.
+            let participants: Vec<SiteId> = state.participants.iter().copied().collect();
+            for peer in participants {
+                self.send(peer, Message::AbortTxn { txn }, out);
+            }
+            self.report_abort_active(AbortReason::SessionMismatch, out);
+            return;
+        }
+        state.waiting.remove(&from);
+        if state.waiting.is_empty() {
+            // Phase two: commit indication to all participants.
+            state.phase = CoordPhase::WaitCommitAcks;
+            state.waiting = state.participants.clone();
+            let participants: Vec<SiteId> = state.participants.iter().copied().collect();
+            for peer in participants {
+                self.send(peer, Message::Commit { txn }, out);
+            }
+            out.push(Output::SetTimer(TimerId::CommitAckTimeout(txn)));
+        }
+    }
+
+    /// Phase-two acknowledgement from a participant.
+    pub(super) fn on_commit_ack(&mut self, from: SiteId, txn: TxnId, out: &mut Vec<Output>) {
+        let Some(state) = self.coord.as_mut() else { return };
+        if state.txn.id != txn || state.phase != CoordPhase::WaitCommitAcks {
+            return;
+        }
+        state.waiting.remove(&from);
+        if state.waiting.is_empty() {
+            self.finish_commit(out);
+        }
+    }
+
+    /// Some participant never acknowledged phase one: announce its
+    /// failure and abort (paper Appendix A.1, phase-one else branch).
+    pub(super) fn on_ack_timeout(&mut self, txn: TxnId, out: &mut Vec<Output>) {
+        let Some(state) = self.coord.as_ref() else { return };
+        if state.txn.id != txn || state.phase != CoordPhase::WaitAcks || state.waiting.is_empty() {
+            return;
+        }
+        let failed: Vec<SiteId> = state.waiting.iter().copied().collect();
+        let acked: Vec<SiteId> = state
+            .participants
+            .iter()
+            .filter(|p| !state.waiting.contains(p))
+            .copied()
+            .collect();
+        self.announce_failures(&failed, out);
+        for peer in acked {
+            self.send(peer, Message::AbortTxn { txn }, out);
+        }
+        self.report_abort_active(AbortReason::ParticipantFailed, out);
+    }
+
+    /// Some participant never acknowledged commit: announce the failure
+    /// but still commit (paper Appendix A.1: "if commit ack not received
+    /// from all participating sites then run control type 2 transaction
+    /// ... commit database data items").
+    pub(super) fn on_commit_ack_timeout(&mut self, txn: TxnId, out: &mut Vec<Output>) {
+        let Some(state) = self.coord.as_mut() else { return };
+        if state.txn.id != txn
+            || state.phase != CoordPhase::WaitCommitAcks
+            || state.waiting.is_empty()
+        {
+            return;
+        }
+        state.phase2_failure = true;
+        let failed: Vec<SiteId> = state.waiting.iter().copied().collect();
+        self.announce_failures(&failed, out);
+        self.finish_commit(out);
+    }
+
+    /// Commit locally and report the outcome: apply the write set, run
+    /// commit-time fail-lock maintenance, surface statistics.
+    pub(super) fn finish_commit(&mut self, out: &mut Vec<Output>) {
+        let state = self.coord.take().expect("active transaction");
+        let counts = self.apply_commit(&state.writes, &[], out);
+        let mut stats = state.stats;
+        stats.faillocks_set += counts.set;
+        stats.faillocks_cleared += counts.cleared;
+        stats.participant_failed_phase_two = state.phase2_failure;
+        self.metrics.txns_committed += 1;
+        out.push(Output::Report(TxnReport {
+            txn: state.txn.id,
+            coordinator: self.id(),
+            outcome: TxnOutcome::Committed,
+            stats,
+            read_results: state.read_results,
+        }));
+        self.start_next_queued(out);
+    }
+
+    /// Abort the active transaction and report.
+    pub(super) fn report_abort_active(&mut self, reason: AbortReason, out: &mut Vec<Output>) {
+        let state = self.coord.take().expect("active transaction");
+        self.metrics.txns_aborted += 1;
+        out.push(Output::Report(TxnReport {
+            txn: state.txn.id,
+            coordinator: self.id(),
+            outcome: TxnOutcome::Aborted(reason),
+            stats: state.stats,
+            read_results: Vec::new(),
+        }));
+        self.start_next_queued(out);
+    }
+
+    /// Abort before any coordinator state was installed.
+    fn report_abort_new(
+        &mut self,
+        txn: TxnId,
+        stats: TxnStats,
+        reason: AbortReason,
+        out: &mut Vec<Output>,
+    ) {
+        self.metrics.txns_aborted += 1;
+        out.push(Output::Report(TxnReport {
+            txn,
+            coordinator: self.id(),
+            outcome: TxnOutcome::Aborted(reason),
+            stats,
+            read_results: Vec::new(),
+        }));
+        self.start_next_queued(out);
+    }
+
+    fn start_next_queued(&mut self, out: &mut Vec<Output>) {
+        if self.coord.is_none() {
+            if let Some(txn) = self.queued.pop_front() {
+                self.start_transaction(txn, out);
+            }
+        }
+    }
+}

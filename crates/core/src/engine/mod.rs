@@ -1,0 +1,680 @@
+//! The site protocol engine: a pure (sans-IO) state machine.
+//!
+//! A [`SiteEngine`] holds everything one database site owns in the paper's
+//! system — its copy of the database, its nominal session vector, its
+//! replicated fail-lock table — and implements every protocol role: 2PC
+//! coordinator and participant (Appendix A), copier-transaction client and
+//! server, and control transactions of types 1, 2 and 3.
+//!
+//! The engine performs no I/O and reads no clock: drivers feed it
+//! [`Input`]s (delivered messages, timer expiries, management commands)
+//! and execute the [`Output`]s it returns (sends, timer arms, reports).
+//! The deterministic simulator (`miniraid-sim`) and the threaded cluster
+//! (`miniraid-cluster`) drive the *same* engine, so behaviour validated
+//! under simulation is the behaviour deployed on real threads and sockets.
+//!
+//! Timer handling is *stale-safe*: the engine never needs timers
+//! cancelled; a fired timer whose condition no longer holds is ignored.
+
+mod control;
+mod coordinator;
+mod copier;
+mod participant;
+mod recovery;
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::config::ProtocolConfig;
+use crate::faillock::FailLockTable;
+use crate::ids::{ItemId, ReqId, SessionNumber, SiteId, TxnId};
+use crate::messages::{Command, Message, TxnReport, TxnStats};
+use crate::metrics::EngineMetrics;
+use crate::ops::Transaction;
+use crate::partial::ReplicationMap;
+use crate::session::{SessionVector, SiteStatus};
+use miniraid_storage::{ItemValue, MemStore};
+
+pub use self::coordinator::CoordPhase;
+
+/// An event fed into the engine by its driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Input {
+    /// A message delivered from another site.
+    Deliver {
+        /// The sender.
+        from: SiteId,
+        /// The message.
+        msg: Message,
+    },
+    /// A previously armed timer fired.
+    Timer(TimerId),
+    /// A command from the managing site.
+    Control(Command),
+}
+
+/// Timers the engine arms. Durations are the driver's business
+/// (see `TimingConfig` in the drivers); identity is the engine's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TimerId {
+    /// Waiting for phase-one acks of a coordinated transaction.
+    AckTimeout(TxnId),
+    /// Waiting for phase-two commit acks.
+    CommitAckTimeout(TxnId),
+    /// Participant waiting for the coordinator's commit/abort.
+    ParticipantTimeout(TxnId),
+    /// Waiting for a copy response (copier transaction).
+    CopierTimeout(ReqId),
+    /// Waiting for a remote read response (partial replication).
+    ReadTimeout(ReqId),
+    /// Waiting for `RecoveryInfo` during a type-1 control transaction;
+    /// the payload is the attempt number.
+    RecoveryInfoTimeout(u32),
+    /// Next batch-copier round (two-step recovery, step two).
+    BatchCopier,
+}
+
+/// CPU work the engine performed, for the simulator's cost accounting.
+/// The threaded cluster ignores these (its CPU cost is real).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Work {
+    /// Receiving and setting up a new transaction.
+    TxnSetup,
+    /// Executing `n` local read operations.
+    ReadOps(u32),
+    /// Applying `n` writes to the local database copy.
+    ApplyWrites(u32),
+    /// Commit-time fail-lock maintenance over `n` written items.
+    FailLockMaintain(u32),
+    /// Clearing fail-lock bits for `n` items on request.
+    FailLockClear(u32),
+    /// Installing a received fail-lock snapshot of `n` items.
+    FailLockInstall(u32),
+    /// Installing a received session vector.
+    SessionInstall,
+    /// Formatting session vector + fail-locks of `n` items for a
+    /// recovering site (type-1 control transaction, operational side).
+    FormatRecoveryState(u32),
+    /// Serving a copy request covering `n` items.
+    CopierService(u32),
+    /// Buffering `n` tentative writes in phase one.
+    BufferWrites(u32),
+    /// Local commit bookkeeping.
+    CommitLocal,
+    /// Updating the session vector for `n` sites marked down (type-2
+    /// control transaction processing).
+    FailureUpdate(u32),
+}
+
+/// An action the driver must carry out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Output {
+    /// Send `msg` to site `to`.
+    Send {
+        /// Destination.
+        to: SiteId,
+        /// Payload.
+        msg: Message,
+    },
+    /// Arm a timer (durations are configured in the driver).
+    SetTimer(TimerId),
+    /// Account the given CPU work (simulator cost model).
+    Work(Work),
+    /// A coordinated transaction finished.
+    Report(TxnReport),
+    /// This site completed a type-1 control transaction and is
+    /// operational again.
+    BecameOperational {
+        /// The new session.
+        session: SessionNumber,
+    },
+    /// Recovery could not complete (no operational site answered).
+    RecoveryFailed,
+    /// All of this site's fail-locks are cleared: its database copy is
+    /// fully up to date ("completely recovered" in the paper's terms).
+    DataRecoveryComplete,
+    /// Durably persist these applied writes (emitted only when
+    /// [`crate::config::ProtocolConfig::emit_persistence`] is set; the
+    /// driver owns the durable store).
+    Persist {
+        /// The committing transaction (or refresh source).
+        txn: TxnId,
+        /// Writes applied to the local copy.
+        writes: Vec<(ItemId, ItemValue)>,
+        /// Post-maintenance fail-lock bitmap words of affected items
+        /// (fail-locks are protocol state and must survive restarts).
+        faillocks: Vec<(ItemId, u64)>,
+    },
+}
+
+/// In-flight coordinated transaction (one at a time; the paper processes
+/// transactions serially).
+#[derive(Debug)]
+pub(crate) struct CoordTxn {
+    pub txn: Transaction,
+    pub snapshot: Vec<SessionNumber>,
+    pub phase: CoordPhase,
+    /// Participants of the current 2PC round.
+    pub participants: BTreeSet<SiteId>,
+    /// Participants we are still waiting on (acks or commit-acks).
+    pub waiting: BTreeSet<SiteId>,
+    /// Version-stamped effective write set.
+    pub writes: Vec<(ItemId, ItemValue)>,
+    /// In-flight copy requests: req -> (target, items).
+    pub pending_copiers: HashMap<ReqId, (SiteId, Vec<ItemId>)>,
+    /// In-flight remote reads (partial replication): req -> (target, items).
+    pub pending_reads: HashMap<ReqId, (SiteId, Vec<ItemId>)>,
+    /// Items this transaction refreshed via copiers (their fail-locks for
+    /// this site must be cleared everywhere).
+    pub refreshed: Vec<ItemId>,
+    /// Values obtained by remote reads.
+    pub remote_values: HashMap<ItemId, ItemValue>,
+    /// Read results (local + remote), populated at read execution.
+    pub read_results: Vec<(ItemId, ItemValue)>,
+    pub stats: TxnStats,
+    /// A participant failed during phase two (txn still commits).
+    pub phase2_failure: bool,
+    /// Quorum reads: peer responses required beyond our own copy
+    /// (0 outside majority-quorum mode).
+    pub quorum_needed: usize,
+    /// Quorum reads: peer responses received so far.
+    pub quorum_got: usize,
+}
+
+/// Pending participant context: writes buffered in phase one.
+#[derive(Debug)]
+pub(crate) struct PendingTxn {
+    pub coordinator: SiteId,
+    pub writes: Vec<(ItemId, ItemValue)>,
+    pub clears: Vec<(ItemId, SiteId)>,
+}
+
+/// Recovery progress (type-1 control transaction + data refresh phase).
+#[derive(Debug)]
+pub(crate) struct RecoveryState {
+    /// Candidate responders, in ask order.
+    pub candidates: Vec<SiteId>,
+    /// Current attempt (index into `candidates`).
+    pub attempt: u32,
+    /// The session being recovered into.
+    pub session: SessionNumber,
+}
+
+/// Data-refresh progress after becoming operational.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RefreshMode {
+    /// Not recovering (no stale copies).
+    Idle,
+    /// Step one: refresh on demand only (the paper's implementation).
+    OnDemand,
+    /// Step two: batch copier mode (paper §3.2 proposal).
+    Batch {
+        /// A batch round is in flight or armed.
+        armed: bool,
+    },
+}
+
+/// One database site's protocol engine. See the module docs.
+#[derive(Debug)]
+pub struct SiteEngine {
+    id: SiteId,
+    config: ProtocolConfig,
+    vector: SessionVector,
+    db: MemStore,
+    faillocks: FailLockTable,
+    replication: ReplicationMap,
+    metrics: EngineMetrics,
+
+    /// Coordinated transaction in flight.
+    pub(crate) coord: Option<CoordTxn>,
+    /// Transactions queued behind the active one.
+    pub(crate) queued: VecDeque<Transaction>,
+    /// Participant contexts keyed by transaction.
+    pub(crate) pending: HashMap<TxnId, PendingTxn>,
+    /// CT1 progress, while status is WaitingToRecover.
+    pub(crate) recovery: Option<RecoveryState>,
+    /// Data refresh mode after recovery.
+    pub(crate) refresh: RefreshMode,
+    /// In-flight standalone (batch) copiers: req -> (target, items).
+    pub(crate) standalone_copiers: HashMap<ReqId, (SiteId, Vec<ItemId>)>,
+    /// Next request id.
+    pub(crate) next_req: u64,
+}
+
+impl SiteEngine {
+    /// Create an engine for a fully replicated database.
+    pub fn new(id: SiteId, config: ProtocolConfig) -> Self {
+        let map = ReplicationMap::full(config.db_size, config.n_sites);
+        Self::with_replication(id, config, map)
+    }
+
+    /// Create an engine with an explicit replication map (partial
+    /// replication; enables type-3 control transactions when configured).
+    pub fn with_replication(id: SiteId, config: ProtocolConfig, map: ReplicationMap) -> Self {
+        assert!(id.0 < config.n_sites, "site id out of range");
+        assert_eq!(map.n_items(), config.db_size);
+        assert_eq!(map.n_sites(), config.n_sites);
+        SiteEngine {
+            id,
+            vector: SessionVector::new(config.n_sites as usize),
+            db: MemStore::new(config.db_size),
+            faillocks: FailLockTable::new(config.db_size, config.n_sites),
+            replication: map,
+            metrics: EngineMetrics::default(),
+            coord: None,
+            queued: VecDeque::new(),
+            pending: HashMap::new(),
+            recovery: None,
+            refresh: RefreshMode::Idle,
+            standalone_copiers: HashMap::new(),
+            next_req: 1,
+            config,
+        }
+    }
+
+    /// Preload the local database copy from durably recovered state
+    /// (e.g. a WAL-backed store after a process restart). Call before
+    /// processing any input. A restarted process is logically a
+    /// recovering site — pair this with [`SiteEngine::assume_failed`]
+    /// unless the site is the bootstrap authority of a full-cluster
+    /// restart; the session vector and fail-locks are then re-learned
+    /// through a type-1 control transaction, and copier transactions
+    /// refresh whatever the preloaded copy still misses.
+    pub fn preload_db(&mut self, items: impl IntoIterator<Item = (ItemId, ItemValue)>) {
+        for (item, value) in items {
+            self.db
+                .put(item.0, value)
+                .expect("preloaded item within database universe");
+        }
+    }
+
+    /// Preload fail-lock bitmap words recovered from durable storage.
+    pub fn preload_faillocks(&mut self, words: impl IntoIterator<Item = (ItemId, u64)>) {
+        for (item, word) in words {
+            self.faillocks.set_word(item, word);
+        }
+    }
+
+    /// Preload this site's own session number from durable storage (so
+    /// session numbers stay monotone across process restarts).
+    pub fn preload_session(&mut self, session: SessionNumber) {
+        let status = self.status();
+        self.vector
+            .set_record(self.id, crate::session::SiteRecord { session, status });
+    }
+
+    /// Mark this site down before any input is processed (a restarted
+    /// process must rejoin via a `Recover` command and its type-1
+    /// control transaction).
+    pub fn assume_failed(&mut self) {
+        let session = self.session();
+        self.vector.set_record(
+            self.id,
+            crate::session::SiteRecord {
+                session,
+                status: SiteStatus::Down,
+            },
+        );
+    }
+
+    // ---- accessors -----------------------------------------------------
+
+    /// This site's id.
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// This site's nominal session vector.
+    pub fn vector(&self) -> &SessionVector {
+        &self.vector
+    }
+
+    /// This site's database copy.
+    pub fn db(&self) -> &MemStore {
+        &self.db
+    }
+
+    /// This site's (replicated) fail-lock table.
+    pub fn faillocks(&self) -> &FailLockTable {
+        &self.faillocks
+    }
+
+    /// The replication map (all-ones when fully replicated).
+    pub fn replication(&self) -> &ReplicationMap {
+        &self.replication
+    }
+
+    /// Cumulative counters.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// This site's own status.
+    pub fn status(&self) -> SiteStatus {
+        self.vector.status(self.id)
+    }
+
+    /// True if this site is operational.
+    pub fn is_up(&self) -> bool {
+        self.status().is_up()
+    }
+
+    /// This site's current session number.
+    pub fn session(&self) -> SessionNumber {
+        self.vector.session(self.id)
+    }
+
+    /// Number of this site's own copies currently fail-locked (stale).
+    pub fn own_stale_count(&self) -> u32 {
+        self.faillocks.count_locked_for(self.id)
+    }
+
+    // ---- main dispatch --------------------------------------------------
+
+    /// Process one input, appending required actions to `out`.
+    pub fn handle(&mut self, input: Input, out: &mut Vec<Output>) {
+        match input {
+            Input::Control(cmd) => self.handle_command(cmd, out),
+            // Management commands reach a site in any state (the managing
+            // site is how failures and recoveries are injected at all).
+            Input::Deliver {
+                msg: Message::Mgmt(cmd),
+                ..
+            } => self.handle_command(cmd, out),
+            Input::Deliver { from, msg } => {
+                // A down site does not participate in any system action
+                // (paper §1.2); a terminating site neither.
+                match self.status() {
+                    SiteStatus::Down | SiteStatus::Terminating => return,
+                    SiteStatus::WaitingToRecover => {
+                        // Only recovery traffic is processed before the
+                        // type-1 control transaction completes.
+                        self.metrics.msgs_received += 1;
+                        self.handle_while_recovering(from, msg, out);
+                        return;
+                    }
+                    SiteStatus::Up => {}
+                }
+                self.metrics.msgs_received += 1;
+                self.handle_message(from, msg, out);
+            }
+            Input::Timer(id) => {
+                if !matches!(self.status(), SiteStatus::Up | SiteStatus::WaitingToRecover) {
+                    return;
+                }
+                self.handle_timer(id, out);
+            }
+        }
+    }
+
+    /// Convenience wrapper returning a fresh output vector.
+    pub fn handle_owned(&mut self, input: Input) -> Vec<Output> {
+        let mut out = Vec::new();
+        self.handle(input, &mut out);
+        out
+    }
+
+    fn handle_command(&mut self, cmd: Command, out: &mut Vec<Output>) {
+        match cmd {
+            Command::Fail => {
+                // Freeze: drop all protocol state; keep db, vector,
+                // fail-locks as they stood (they survive in "stable
+                // storage" across the failure).
+                self.vector.mark_down(self.id);
+                if let Some(coord) = self.coord.take() {
+                    // The in-flight transaction simply vanishes with us;
+                    // participants time out and announce our failure.
+                    drop(coord);
+                }
+                self.queued.clear();
+                self.pending.clear();
+                self.recovery = None;
+                self.refresh = RefreshMode::Idle;
+                self.standalone_copiers.clear();
+            }
+            Command::Recover => self.begin_recovery(out),
+            Command::Begin(txn) => self.begin_transaction(txn, out),
+            Command::Terminate => {
+                self.vector
+                    .set_record(self.id, crate::session::SiteRecord {
+                        session: self.session(),
+                        status: SiteStatus::Terminating,
+                    });
+                self.coord = None;
+                self.queued.clear();
+                self.pending.clear();
+            }
+        }
+    }
+
+    fn handle_message(&mut self, from: SiteId, msg: Message, out: &mut Vec<Output>) {
+        match msg {
+            // 2PC participant side
+            Message::CopyUpdate {
+                txn,
+                writes,
+                snapshot,
+                clears,
+            } => self.on_copy_update(from, txn, writes, snapshot, clears, out),
+            Message::Commit { txn } => self.on_commit(from, txn, out),
+            Message::AbortTxn { txn } => self.on_abort(txn),
+            // 2PC coordinator side
+            Message::UpdateAck { txn, ok } => self.on_update_ack(from, txn, ok, out),
+            Message::CommitAck { txn } => self.on_commit_ack(from, txn, out),
+            // copier traffic
+            Message::CopyRequest { req, items } => self.serve_copy_request(from, req, items, out),
+            Message::CopyResponse { req, ok, copies } => {
+                self.on_copy_response(from, req, ok, copies, out)
+            }
+            Message::ClearFailLocks { site, items } => self.on_clear_faillocks(site, items, out),
+            // control transactions
+            Message::RecoveryAnnounce { session, want_state } => {
+                self.on_recovery_announce(from, session, want_state, out)
+            }
+            Message::RecoveryInfo { .. } => {
+                // Only meaningful while recovering; stale otherwise.
+            }
+            Message::FailureAnnounce { failed } => self.on_failure_announce(failed, out),
+            // partial replication
+            Message::ReadRequest { req, items } => self.serve_read_request(from, req, items, out),
+            Message::ReadResponse { req, ok, values } => {
+                self.on_read_response(from, req, ok, values, out)
+            }
+            Message::CreateBackup { item, value } => self.on_create_backup(from, item, value, out),
+            Message::BackupCreated { item, site } => {
+                self.replication.add_holder(item, site, true);
+            }
+            Message::BackupDropped { item, site } => {
+                self.replication.remove_holder(item, site);
+            }
+            // `Mgmt` is intercepted in `handle`; reports are driver business
+            Message::Mgmt(_)
+            | Message::MgmtReport(_)
+            | Message::MgmtRecovered { .. }
+            | Message::MgmtDataRecovered { .. } => {}
+        }
+    }
+
+    /// Traffic accepted while a type-1 control transaction is in flight.
+    fn handle_while_recovering(&mut self, from: SiteId, msg: Message, out: &mut Vec<Output>) {
+        match msg {
+            Message::RecoveryInfo {
+                vector,
+                faillocks,
+                holders,
+                backups,
+            } => self.on_recovery_info(from, vector, faillocks, holders, backups, out),
+            Message::CopyUpdate { txn, .. } => {
+                // Not ready: reject so the coordinator aborts rather than
+                // committing without us (we are already marked Up in its
+                // vector once it processed our announcement).
+                self.send(from, Message::UpdateAck { txn, ok: false }, out);
+            }
+            Message::FailureAnnounce { failed } => {
+                for (site, session) in failed {
+                    if site != self.id {
+                        self.vector.apply_failure_announcement(site, session);
+                    }
+                }
+            }
+            Message::RecoveryAnnounce { session, want_state } => {
+                // Another site recovering concurrently: note its session,
+                // but we cannot serve state while not operational.
+                let _ = want_state;
+                if from != self.id {
+                    self.vector.apply_recovery_announcement(from, session);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_timer(&mut self, id: TimerId, out: &mut Vec<Output>) {
+        match id {
+            TimerId::AckTimeout(txn) => self.on_ack_timeout(txn, out),
+            TimerId::CommitAckTimeout(txn) => self.on_commit_ack_timeout(txn, out),
+            TimerId::ParticipantTimeout(txn) => self.on_participant_timeout(txn, out),
+            TimerId::CopierTimeout(req) => self.on_copier_timeout(req, out),
+            TimerId::ReadTimeout(req) => self.on_read_timeout(req, out),
+            TimerId::RecoveryInfoTimeout(attempt) => self.on_recovery_timeout(attempt, out),
+            TimerId::BatchCopier => self.on_batch_copier(out),
+        }
+    }
+
+    // ---- shared helpers --------------------------------------------------
+
+    pub(crate) fn send(&mut self, to: SiteId, msg: Message, out: &mut Vec<Output>) {
+        self.metrics.msgs_sent += 1;
+        if let Some(coord) = self.coord.as_mut() {
+            coord.stats.messages_sent += 1;
+        }
+        out.push(Output::Send { to, msg });
+    }
+
+    /// Send without attributing the message to the active transaction.
+    pub(crate) fn send_unattributed(&mut self, to: SiteId, msg: Message, out: &mut Vec<Output>) {
+        self.metrics.msgs_sent += 1;
+        out.push(Output::Send { to, msg });
+    }
+
+    pub(crate) fn fresh_req(&mut self) -> ReqId {
+        let id = ReqId(self.next_req);
+        self.next_req += 1;
+        id
+    }
+
+    /// Apply a committed write set locally: database writes plus
+    /// commit-time fail-lock maintenance (paper §1.2).
+    pub(crate) fn apply_commit(
+        &mut self,
+        writes: &[(ItemId, ItemValue)],
+        clears: &[(ItemId, SiteId)],
+        out: &mut Vec<Output>,
+    ) -> crate::faillock::MaintainCounts {
+        let mut applied = 0u32;
+        let mut persisted = Vec::new();
+        for (item, value) in writes {
+            if self.replication.holds(*item, self.id) {
+                self.db
+                    .put(item.0, *value)
+                    .expect("write set item within database universe");
+                if self.config.emit_persistence {
+                    persisted.push((*item, *value));
+                }
+                applied += 1;
+            }
+        }
+        out.push(Output::Work(Work::ApplyWrites(applied)));
+
+        let mut counts = crate::faillock::MaintainCounts::default();
+        let mut lock_words = Vec::new();
+        if self.faillocks_active() {
+            for (item, _) in writes {
+                let mask = self.replication.holder_mask(*item);
+                let c = self
+                    .faillocks
+                    .maintain_on_commit_masked(*item, &self.vector, mask);
+                counts.set += c.set;
+                counts.cleared += c.cleared;
+            }
+            for (item, site) in clears {
+                if self.faillocks.clear(*item, *site) {
+                    counts.cleared += 1;
+                }
+            }
+            if self.config.emit_persistence {
+                for (item, _) in writes {
+                    lock_words.push((*item, self.faillocks.word(*item)));
+                }
+                for (item, _) in clears {
+                    if !lock_words.iter().any(|(i, _)| i == item) {
+                        lock_words.push((*item, self.faillocks.word(*item)));
+                    }
+                }
+            }
+            out.push(Output::Work(Work::FailLockMaintain(writes.len() as u32)));
+            self.metrics.faillocks_set += counts.set as u64;
+            self.metrics.faillocks_cleared += counts.cleared as u64;
+            // A commit reaching every healthy holder may make our backup
+            // copy of an item redundant (type-3 retirement, §3.2).
+            let written: Vec<ItemId> = writes.iter().map(|(item, _)| *item).collect();
+            self.maybe_retire_backups(&written, out);
+        }
+        if !persisted.is_empty() || !lock_words.is_empty() {
+            // Writes of one commit share their version (the txn id); a
+            // refresh batch may mix versions — take the max for the log.
+            let txn = TxnId(persisted.iter().map(|(_, v)| v.version).max().unwrap_or(0));
+            out.push(Output::Persist {
+                txn,
+                writes: persisted,
+                faillocks: lock_words,
+            });
+        }
+        out.push(Output::Work(Work::CommitLocal));
+        self.after_own_locks_changed(out);
+        counts
+    }
+
+    /// Fail-lock bookkeeping is live only under the paper's ROWAA
+    /// strategy (plain ROWA never creates stale copies; majority quorum
+    /// masks them with version comparison).
+    pub(crate) fn faillocks_active(&self) -> bool {
+        self.config.fail_locks_enabled
+            && self.config.strategy == crate::config::ReplicationStrategy::RowaAvailable
+    }
+
+    /// Pick the lowest-id operational site (other than us) holding an
+    /// up-to-date copy of `item`.
+    pub(crate) fn up_to_date_source(&self, item: ItemId) -> Option<SiteId> {
+        self.replication
+            .holders_of(item)
+            .find(|&s| s != self.id && self.vector.is_up(s) && !self.faillocks.is_locked(item, s))
+    }
+
+    /// React to changes in our own fail-lock bits: completion of data
+    /// recovery, or transition to batch copier mode (two-step recovery).
+    pub(crate) fn after_own_locks_changed(&mut self, out: &mut Vec<Output>) {
+        if self.refresh == RefreshMode::Idle {
+            return;
+        }
+        let stale = self.own_stale_count();
+        if stale == 0 {
+            self.refresh = RefreshMode::Idle;
+            out.push(Output::DataRecoveryComplete);
+            return;
+        }
+        if let Some(two_step) = self.config.two_step_recovery {
+            let frac = stale as f64 / self.config.db_size as f64;
+            if frac <= two_step.threshold {
+                if let RefreshMode::OnDemand = self.refresh {
+                    self.refresh = RefreshMode::Batch { armed: true };
+                    out.push(Output::SetTimer(TimerId::BatchCopier));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Participating-site logic: Appendix A.2 of the paper.
+
+use crate::ids::{ItemId, SessionNumber, SiteId, TxnId};
+use crate::messages::Message;
+use miniraid_storage::ItemValue;
+
+use super::{Output, PendingTxn, SiteEngine, TimerId, Work};
+
+impl SiteEngine {
+    /// Phase one: the coordinator ships the transaction's write set.
+    pub(super) fn on_copy_update(
+        &mut self,
+        from: SiteId,
+        txn: TxnId,
+        writes: Vec<(ItemId, ItemValue)>,
+        snapshot: Vec<SessionNumber>,
+        clears: Vec<(ItemId, SiteId)>,
+        out: &mut Vec<Output>,
+    ) {
+        // The session-number consistency check (paper §1.1): if the
+        // coordinator's view of us, or our view of the coordinator, is
+        // from a different session, the system status changed during the
+        // transaction — reject, forcing an abort.
+        let me = self.id();
+        let consistent = snapshot.len() == self.vector.len()
+            && snapshot[me.index()] == self.vector.session(me)
+            && snapshot[from.index()] == self.vector.session(from);
+        if !consistent {
+            self.send(from, Message::UpdateAck { txn, ok: false }, out);
+            return;
+        }
+        out.push(Output::Work(Work::BufferWrites(writes.len() as u32)));
+        self.metrics.txns_participated += 1;
+        self.pending.insert(
+            txn,
+            PendingTxn {
+                coordinator: from,
+                writes,
+                clears,
+            },
+        );
+        self.send(from, Message::UpdateAck { txn, ok: true }, out);
+        out.push(Output::SetTimer(TimerId::ParticipantTimeout(txn)));
+    }
+
+    /// Phase two: commit indication — apply buffered writes, run
+    /// fail-lock maintenance, acknowledge.
+    pub(super) fn on_commit(&mut self, from: SiteId, txn: TxnId, out: &mut Vec<Output>) {
+        let Some(pending) = self.pending.remove(&txn) else {
+            return; // duplicate or post-abort commit; ignore
+        };
+        self.apply_commit(&pending.writes, &pending.clears, out);
+        let _ = from;
+        self.send(pending.coordinator, Message::CommitAck { txn }, out);
+    }
+
+    /// Abort indication — discard the buffered updates.
+    pub(super) fn on_abort(&mut self, txn: TxnId) {
+        self.pending.remove(&txn);
+    }
+
+    /// Neither commit nor abort arrived: the coordinating site has failed
+    /// (paper Appendix A.2 final branch) — discard and announce.
+    pub(super) fn on_participant_timeout(&mut self, txn: TxnId, out: &mut Vec<Output>) {
+        let Some(pending) = self.pending.remove(&txn) else {
+            return; // resolved in time; stale timer
+        };
+        let coordinator = pending.coordinator;
+        self.announce_failures(&[coordinator], out);
+    }
+}

@@ -1,0 +1,89 @@
+//! Batch copier mode — step two of the two-step recovery the paper
+//! proposes in §3.2.
+//!
+//! "In the second step the recovering site begins to issue copier
+//! transactions in a 'batch' mode. Copier transactions are generated even
+//! though no transactions have arrived on the recovering site with a read
+//! request for any of the remaining out-of-date copies."
+
+use std::collections::HashMap;
+
+use crate::ids::{ItemId, SiteId};
+use crate::messages::Message;
+
+use super::{Output, RefreshMode, SiteEngine, TimerId};
+
+impl SiteEngine {
+    /// A batch-copier round fires: proactively refresh up to
+    /// `batch_size` stale items.
+    pub(super) fn on_batch_copier(&mut self, out: &mut Vec<Output>) {
+        let RefreshMode::Batch { .. } = self.refresh else {
+            return; // stale timer
+        };
+        self.refresh = RefreshMode::Batch { armed: false };
+        if !self.standalone_copiers.is_empty() {
+            return; // a round is already in flight
+        }
+
+        let me = self.id();
+        let batch_size = self
+            .config
+            .two_step_recovery
+            .map(|t| t.batch_size)
+            .unwrap_or(0) as usize;
+        let stale = self.faillocks.items_locked_for(me);
+
+        // Group sourceable items by their refresh source.
+        let mut groups: HashMap<SiteId, Vec<ItemId>> = HashMap::new();
+        let mut taken = 0usize;
+        for item in stale {
+            if taken >= batch_size {
+                break;
+            }
+            if let Some(src) = self.up_to_date_source(item) {
+                groups.entry(src).or_default().push(item);
+                taken += 1;
+            }
+        }
+
+        if groups.is_empty() {
+            // Stalled: nothing refreshable right now (e.g. every source
+            // is down). Do not re-arm; `maybe_rearm_batch` fires when the
+            // vector changes.
+            return;
+        }
+        for (target, items) in groups {
+            let req = self.fresh_req();
+            self.standalone_copiers.insert(req, (target, items.clone()));
+            self.metrics.copier_requests += 1;
+            self.send_unattributed(target, Message::CopyRequest { req, items }, out);
+            out.push(Output::SetTimer(TimerId::CopierTimeout(req)));
+        }
+    }
+
+    /// A standalone copier finished (successfully or not): schedule the
+    /// next round if stale items remain.
+    pub(super) fn continue_batch_recovery(&mut self, out: &mut Vec<Output>) {
+        if !self.standalone_copiers.is_empty() {
+            return; // wait for the rest of this round
+        }
+        match self.refresh {
+            RefreshMode::Batch { armed: false } if self.own_stale_count() > 0 => {
+                self.refresh = RefreshMode::Batch { armed: true };
+                out.push(Output::SetTimer(TimerId::BatchCopier));
+            }
+            _ => {}
+        }
+    }
+
+    /// The session vector changed (a site recovered): a stalled batch
+    /// round may be able to make progress again.
+    pub(super) fn maybe_rearm_batch(&mut self, out: &mut Vec<Output>) {
+        if let RefreshMode::Batch { armed: false } = self.refresh {
+            if self.standalone_copiers.is_empty() && self.own_stale_count() > 0 {
+                self.refresh = RefreshMode::Batch { armed: true };
+                out.push(Output::SetTimer(TimerId::BatchCopier));
+            }
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Fail-locks (paper §1.1, §1.2).
+//!
+//! A fail-lock on copy *(x, k)* records that item *x* was updated while
+//! site *k* was unavailable, so site *k*'s copy is out of date. Fail-locks
+//! are fully replicated: every operational site maintains the complete
+//! table on behalf of all sites. The paper implements the table as one
+//! bitmap per data item with one bit per site — so do we (`u64` per item,
+//! supporting up to 64 sites, which "allowed the fail-lock operations to
+//! be performed very quickly").
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ItemId, SiteId};
+use crate::session::SessionVector;
+
+/// The replicated fail-lock table of one site.
+///
+/// ```
+/// use miniraid_core::faillock::FailLockTable;
+/// use miniraid_core::session::SessionVector;
+/// use miniraid_core::{ItemId, SiteId};
+///
+/// let mut table = FailLockTable::new(50, 4);
+/// let mut vector = SessionVector::new(4);
+/// vector.mark_down(SiteId(3));
+///
+/// // A commit of item 7 while site 3 is down marks its copy stale.
+/// table.maintain_on_commit(ItemId(7), &vector);
+/// assert!(table.is_locked(ItemId(7), SiteId(3)));
+/// assert_eq!(table.count_locked_for(SiteId(3)), 1);
+///
+/// // A copier refresh (or a later commit with site 3 up) clears it.
+/// table.clear(ItemId(7), SiteId(3));
+/// assert_eq!(table.total_set(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailLockTable {
+    /// `bits[item] & (1 << site)` set ⇔ fail-lock set for `site` on `item`.
+    bits: Vec<u64>,
+    n_sites: u8,
+}
+
+/// Counts returned by commit-time fail-lock maintenance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintainCounts {
+    /// Fail-lock bits newly set (for down sites).
+    pub set: u32,
+    /// Fail-lock bits actually cleared (for up sites).
+    pub cleared: u32,
+}
+
+impl FailLockTable {
+    /// An all-clear table for `n_items` items and `n_sites` sites.
+    ///
+    /// # Panics
+    /// Panics if `n_sites > 64` (the bitmap width).
+    pub fn new(n_items: u32, n_sites: u8) -> Self {
+        assert!(n_sites as usize <= 64, "fail-lock bitmaps support ≤64 sites");
+        FailLockTable {
+            bits: vec![0; n_items as usize],
+            n_sites,
+        }
+    }
+
+    /// Number of items covered.
+    pub fn n_items(&self) -> u32 {
+        self.bits.len() as u32
+    }
+
+    /// Number of sites covered.
+    pub fn n_sites(&self) -> u8 {
+        self.n_sites
+    }
+
+    /// Set the fail-lock for `site` on `item`. Returns true if the bit
+    /// was not already set.
+    pub fn set(&mut self, item: ItemId, site: SiteId) -> bool {
+        let mask = 1u64 << site.0;
+        let slot = &mut self.bits[item.index()];
+        let was = *slot & mask != 0;
+        *slot |= mask;
+        !was
+    }
+
+    /// Clear the fail-lock for `site` on `item`. Returns true if the bit
+    /// was set.
+    pub fn clear(&mut self, item: ItemId, site: SiteId) -> bool {
+        let mask = 1u64 << site.0;
+        let slot = &mut self.bits[item.index()];
+        let was = *slot & mask != 0;
+        *slot &= !mask;
+        was
+    }
+
+    /// Is the fail-lock for `site` set on `item` (i.e. is site's copy of
+    /// the item out of date)?
+    pub fn is_locked(&self, item: ItemId, site: SiteId) -> bool {
+        self.bits[item.index()] & (1u64 << site.0) != 0
+    }
+
+    /// Any fail-lock set on `item`?
+    pub fn any_locked(&self, item: ItemId) -> bool {
+        self.bits[item.index()] != 0
+    }
+
+    /// Raw bitmap word of one item (bit per site) — persisted by durable
+    /// deployments.
+    pub fn word(&self, item: ItemId) -> u64 {
+        self.bits[item.index()]
+    }
+
+    /// Install one raw bitmap word (durable restart preload).
+    pub fn set_word(&mut self, item: ItemId, word: u64) {
+        self.bits[item.index()] = word;
+    }
+
+    /// Sites whose copy of `item` is out of date.
+    pub fn locked_sites(&self, item: ItemId) -> impl Iterator<Item = SiteId> + '_ {
+        let word = self.bits[item.index()];
+        (0..self.n_sites).filter(move |s| word & (1u64 << s) != 0).map(SiteId)
+    }
+
+    /// Items whose copy at `site` is out of date, in id order.
+    pub fn items_locked_for(&self, site: SiteId) -> Vec<ItemId> {
+        let mask = 1u64 << site.0;
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w & mask != 0)
+            .map(|(i, _)| ItemId(i as u32))
+            .collect()
+    }
+
+    /// Number of items fail-locked for `site` — the y-axis of the paper's
+    /// Figures 1–3 ("number of fail-locks set").
+    pub fn count_locked_for(&self, site: SiteId) -> u32 {
+        let mask = 1u64 << site.0;
+        self.bits.iter().filter(|w| **w & mask != 0).count() as u32
+    }
+
+    /// Total fail-lock bits set across all items and sites.
+    pub fn total_set(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Commit-time maintenance for one written item (paper §1.2):
+    /// examining the nominal session vector, set the bit of every down
+    /// site and clear the bit of every up site. (The paper notes the
+    /// unconditional re-clear for operational sites was *more* efficient
+    /// than a conditional implementation; with bitmaps it is two masks.)
+    pub fn maintain_on_commit(&mut self, item: ItemId, vector: &SessionVector) -> MaintainCounts {
+        let all_mask = if self.n_sites == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.n_sites) - 1
+        };
+        self.maintain_on_commit_masked(item, vector, all_mask)
+    }
+
+    /// Like [`FailLockTable::maintain_on_commit`], restricted to the sites
+    /// in `holder_mask` — for partially replicated databases, where a
+    /// fail-lock is meaningful only for sites that hold a copy.
+    pub fn maintain_on_commit_masked(
+        &mut self,
+        item: ItemId,
+        vector: &SessionVector,
+        holder_mask: u64,
+    ) -> MaintainCounts {
+        let mut up_mask = 0u64;
+        for s in 0..self.n_sites {
+            if vector.is_up(SiteId(s)) {
+                up_mask |= 1u64 << s;
+            }
+        }
+        let down_mask = holder_mask & !up_mask;
+        let clear_mask = holder_mask & up_mask;
+        let slot = &mut self.bits[item.index()];
+        let before = *slot;
+        let after = (before | down_mask) & !clear_mask;
+        *slot = after;
+        MaintainCounts {
+            set: (after & !before).count_ones(),
+            cleared: (before & !after).count_ones(),
+        }
+    }
+
+    /// Raw bitmap snapshot — shipped to a recovering site during a type-1
+    /// control transaction (fail-locks are fully replicated).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.bits.clone()
+    }
+
+    /// Install a snapshot received during recovery, replacing local state.
+    ///
+    /// Correctness relies on the system invariant that at least one site
+    /// was operational at every instant: the operational sites' tables are
+    /// then authoritative and identical at quiescent points.
+    pub fn install_snapshot(&mut self, snapshot: &[u64]) {
+        assert_eq!(snapshot.len(), self.bits.len(), "snapshot size mismatch");
+        self.bits.copy_from_slice(snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_query_roundtrip() {
+        let mut t = FailLockTable::new(10, 4);
+        assert!(!t.is_locked(ItemId(3), SiteId(2)));
+        assert!(t.set(ItemId(3), SiteId(2)));
+        assert!(!t.set(ItemId(3), SiteId(2)), "second set is a no-op");
+        assert!(t.is_locked(ItemId(3), SiteId(2)));
+        assert!(t.any_locked(ItemId(3)));
+        assert!(t.clear(ItemId(3), SiteId(2)));
+        assert!(!t.clear(ItemId(3), SiteId(2)), "second clear is a no-op");
+        assert!(!t.any_locked(ItemId(3)));
+    }
+
+    #[test]
+    fn counting_and_listing() {
+        let mut t = FailLockTable::new(8, 4);
+        t.set(ItemId(0), SiteId(1));
+        t.set(ItemId(5), SiteId(1));
+        t.set(ItemId(5), SiteId(3));
+        assert_eq!(t.count_locked_for(SiteId(1)), 2);
+        assert_eq!(t.count_locked_for(SiteId(3)), 1);
+        assert_eq!(t.count_locked_for(SiteId(0)), 0);
+        assert_eq!(t.items_locked_for(SiteId(1)), vec![ItemId(0), ItemId(5)]);
+        assert_eq!(
+            t.locked_sites(ItemId(5)).collect::<Vec<_>>(),
+            vec![SiteId(1), SiteId(3)]
+        );
+        assert_eq!(t.total_set(), 3);
+    }
+
+    #[test]
+    fn maintain_sets_down_and_clears_up() {
+        let mut t = FailLockTable::new(4, 4);
+        let mut v = SessionVector::new(4);
+        v.mark_down(SiteId(0));
+        v.mark_down(SiteId(3));
+        // Pre-set a stale bit for an up site: must be cleared.
+        t.set(ItemId(2), SiteId(1));
+        let counts = t.maintain_on_commit(ItemId(2), &v);
+        assert_eq!(counts.set, 2); // sites 0 and 3
+        assert_eq!(counts.cleared, 1); // site 1
+        assert!(t.is_locked(ItemId(2), SiteId(0)));
+        assert!(t.is_locked(ItemId(2), SiteId(3)));
+        assert!(!t.is_locked(ItemId(2), SiteId(1)));
+        assert!(!t.is_locked(ItemId(2), SiteId(2)));
+    }
+
+    #[test]
+    fn maintain_with_all_up_is_idempotent_clear() {
+        let mut t = FailLockTable::new(2, 3);
+        let v = SessionVector::new(3);
+        let counts = t.maintain_on_commit(ItemId(0), &v);
+        assert_eq!(counts, MaintainCounts { set: 0, cleared: 0 });
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut a = FailLockTable::new(6, 2);
+        a.set(ItemId(1), SiteId(0));
+        a.set(ItemId(4), SiteId(1));
+        let mut b = FailLockTable::new(6, 2);
+        b.set(ItemId(0), SiteId(0)); // will be overwritten
+        b.install_snapshot(&a.snapshot());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "≤64 sites")]
+    fn more_than_64_sites_panics() {
+        let _ = FailLockTable::new(1, 65);
+    }
+
+    #[test]
+    fn sixty_four_sites_supported() {
+        let mut t = FailLockTable::new(1, 64);
+        let mut v = SessionVector::new(64);
+        for s in 0..63 {
+            v.mark_down(SiteId(s));
+        }
+        let counts = t.maintain_on_commit(ItemId(0), &v);
+        assert_eq!(counts.set, 63);
+        assert_eq!(t.count_locked_for(SiteId(63)), 0);
+        assert!(t.is_locked(ItemId(0), SiteId(62)));
+    }
+}

@@ -1,0 +1,362 @@
+//! Wire protocol between sites.
+//!
+//! Every intersite interaction of the paper appears here: the two-phase
+//! commit traffic (Appendix A), copier transactions and the "special"
+//! clear-fail-lock transactions (§1.2), control transactions of types 1
+//! and 2 (§1.1), and the proposed type 3 for partially replicated
+//! databases (§3.2). `Mgmt`/`MgmtReport` carry managing-site traffic when
+//! sites run as real processes/threads rather than inside the simulator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AbortReason;
+use crate::ids::{ItemId, ReqId, SessionNumber, SiteId, TxnId};
+use crate::session::{SiteRecord, SiteStatus};
+use miniraid_storage::ItemValue;
+
+/// Commands the managing site issues to a database site (paper §1.2: the
+/// managing site "was used to cause sites to fail and recover and to
+/// initiate a database transaction to a site").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Command {
+    /// Stop participating in any further system action.
+    Fail,
+    /// Begin recovery (type-1 control transaction).
+    Recover,
+    /// Coordinate this database transaction.
+    Begin(crate::ops::Transaction),
+    /// Shut down permanently.
+    Terminate,
+}
+
+/// Final outcome of a database transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnOutcome {
+    /// Committed at every available copy.
+    Committed,
+    /// Aborted for the given reason.
+    Aborted(AbortReason),
+}
+
+impl TxnOutcome {
+    /// True if committed.
+    pub fn is_committed(self) -> bool {
+        matches!(self, TxnOutcome::Committed)
+    }
+}
+
+/// Per-transaction statistics reported with the outcome (what the paper's
+/// managing site recorded for each transaction: fail-locks set/cleared,
+/// copier transactions requested).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnStats {
+    /// Read operations executed.
+    pub reads: u32,
+    /// Write operations in the effective write set.
+    pub writes: u32,
+    /// Copy requests (copier transactions) issued.
+    pub copier_requests: u32,
+    /// Fail-lock bits set during commit maintenance (at the coordinator).
+    pub faillocks_set: u32,
+    /// Fail-lock bits cleared (maintenance + copier refresh, coordinator).
+    pub faillocks_cleared: u32,
+    /// Messages the coordinator sent on behalf of this transaction.
+    pub messages_sent: u32,
+    /// True if a participant failed in phase two (the transaction still
+    /// commits per Appendix A.1, after announcing the failure).
+    pub participant_failed_phase_two: bool,
+}
+
+/// Outcome report delivered to whoever submitted the transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnReport {
+    /// The transaction.
+    pub txn: TxnId,
+    /// The coordinating site.
+    pub coordinator: SiteId,
+    /// Commit or abort.
+    pub outcome: TxnOutcome,
+    /// Counters.
+    pub stats: TxnStats,
+    /// Values observed by the transaction's reads (committed transactions
+    /// only; used by consistency verification and by applications).
+    pub read_results: Vec<(ItemId, ItemValue)>,
+}
+
+/// Messages exchanged between sites (and, for `Mgmt`/`MgmtReport`,
+/// between the managing site and database sites over a real transport).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    // ---- Two-phase commit (Appendix A) -------------------------------
+    /// Phase one: the coordinator ships the write set to a participant.
+    /// `snapshot` is the coordinator's perceived session numbers, letting
+    /// the participant detect status changes mid-transaction. `clears`
+    /// piggybacks fail-lock clearing information when
+    /// [`crate::config::ProtocolConfig::piggyback_clears`] is on.
+    CopyUpdate {
+        /// Transaction being committed.
+        txn: TxnId,
+        /// Effective write set with version-stamped values.
+        writes: Vec<(ItemId, ItemValue)>,
+        /// Coordinator's session-number snapshot.
+        snapshot: Vec<SessionNumber>,
+        /// Piggybacked fail-lock clears: `(item, refreshed_site)`.
+        clears: Vec<(ItemId, SiteId)>,
+    },
+    /// Participant acknowledgement of `CopyUpdate`. `ok = false` rejects
+    /// (session mismatch or not operational) and aborts the transaction.
+    UpdateAck {
+        /// Transaction.
+        txn: TxnId,
+        /// Accepted?
+        ok: bool,
+    },
+    /// Phase two: commit indication.
+    Commit {
+        /// Transaction.
+        txn: TxnId,
+    },
+    /// Participant acknowledgement of commit.
+    CommitAck {
+        /// Transaction.
+        txn: TxnId,
+    },
+    /// Abort indication: discard buffered updates.
+    AbortTxn {
+        /// Transaction.
+        txn: TxnId,
+    },
+
+    // ---- Copier transactions (§1.2) -----------------------------------
+    /// Request up-to-date copies of `items` from a site believed to hold
+    /// them.
+    CopyRequest {
+        /// Correlation id.
+        req: ReqId,
+        /// Items to refresh.
+        items: Vec<ItemId>,
+    },
+    /// Response to `CopyRequest`. `ok = false` means the responder could
+    /// not serve an up-to-date copy of every requested item.
+    CopyResponse {
+        /// Correlation id.
+        req: ReqId,
+        /// Served successfully?
+        ok: bool,
+        /// The copies (empty when `ok = false`).
+        copies: Vec<(ItemId, ItemValue)>,
+    },
+    /// The "special transaction" informing other sites of fail-lock bits
+    /// cleared by copier transactions: `site`'s copies of `items` are now
+    /// up to date.
+    ClearFailLocks {
+        /// The refreshed site.
+        site: SiteId,
+        /// The refreshed items.
+        items: Vec<ItemId>,
+    },
+
+    // ---- Control transactions (§1.1) ----------------------------------
+    /// Type 1, announce phase: the sender is preparing to become
+    /// operational in session `session`. If `want_state` is set, the
+    /// receiver replies with `RecoveryInfo`.
+    RecoveryAnnounce {
+        /// The recovering site's new session number.
+        session: SessionNumber,
+        /// Should the receiver ship its session vector and fail-locks?
+        want_state: bool,
+    },
+    /// Type 1, state transfer: session vector, fail-locks, and the
+    /// replication map from an operational site (the recovering site
+    /// missed any type-3 backup creations/retirements while down).
+    RecoveryInfo {
+        /// The responder's nominal session vector records, in site order.
+        vector: Vec<SiteRecord>,
+        /// The responder's fail-lock bitmaps, one word per item.
+        faillocks: Vec<u64>,
+        /// The responder's replication map: holder bits per item.
+        holders: Vec<u64>,
+        /// ... and which of those holdings are type-3 backups.
+        backups: Vec<u64>,
+    },
+    /// Type 2: the sender determined that the listed sites, last seen in
+    /// the given sessions, have failed.
+    FailureAnnounce {
+        /// `(failed_site, session in which it was seen up)`.
+        failed: Vec<(SiteId, SessionNumber)>,
+    },
+
+    // ---- Partial replication & control transaction type 3 (§3.2) ------
+    /// Read request for items the coordinator holds no copy of
+    /// (partially replicated databases only).
+    ReadRequest {
+        /// Correlation id.
+        req: ReqId,
+        /// Items to read.
+        items: Vec<ItemId>,
+    },
+    /// Response to `ReadRequest`.
+    ReadResponse {
+        /// Correlation id.
+        req: ReqId,
+        /// Served successfully?
+        ok: bool,
+        /// The values read.
+        values: Vec<(ItemId, ItemValue)>,
+    },
+    /// Type 3: the sender holds the last operational up-to-date copy of
+    /// `item` and asks the receiver to become a backup holder.
+    CreateBackup {
+        /// The endangered item.
+        item: ItemId,
+        /// Its current value.
+        value: ItemValue,
+    },
+    /// Broadcast: `site` is now a holder of `item` (replication map
+    /// update after a successful `CreateBackup`).
+    BackupCreated {
+        /// The item.
+        item: ItemId,
+        /// The new holder.
+        site: SiteId,
+    },
+    /// Broadcast: `site` is no longer a holder of `item` (the extra copy
+    /// created by a type-3 control transaction is being retired).
+    BackupDropped {
+        /// The item.
+        item: ItemId,
+        /// The retiring holder.
+        site: SiteId,
+    },
+
+    // ---- Managing-site traffic over real transports --------------------
+    /// A command from the managing site.
+    Mgmt(Command),
+    /// A transaction outcome reported back to the managing site.
+    MgmtReport(TxnReport),
+    /// Notification to the managing site that the sender completed a
+    /// type-1 control transaction and is operational again.
+    MgmtRecovered {
+        /// The recovered site's session.
+        session: SessionNumber,
+    },
+    /// Notification to the managing site that the sender finished data
+    /// recovery (all of its fail-locks cleared — "completely recovered").
+    MgmtDataRecovered {
+        /// The recovered site's session.
+        session: SessionNumber,
+    },
+}
+
+impl Message {
+    /// Short human-readable tag for logs and traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::CopyUpdate { .. } => "CopyUpdate",
+            Message::UpdateAck { .. } => "UpdateAck",
+            Message::Commit { .. } => "Commit",
+            Message::CommitAck { .. } => "CommitAck",
+            Message::AbortTxn { .. } => "AbortTxn",
+            Message::CopyRequest { .. } => "CopyRequest",
+            Message::CopyResponse { .. } => "CopyResponse",
+            Message::ClearFailLocks { .. } => "ClearFailLocks",
+            Message::RecoveryAnnounce { .. } => "RecoveryAnnounce",
+            Message::RecoveryInfo { .. } => "RecoveryInfo",
+            Message::FailureAnnounce { .. } => "FailureAnnounce",
+            Message::ReadRequest { .. } => "ReadRequest",
+            Message::ReadResponse { .. } => "ReadResponse",
+            Message::CreateBackup { .. } => "CreateBackup",
+            Message::BackupCreated { .. } => "BackupCreated",
+            Message::BackupDropped { .. } => "BackupDropped",
+            Message::Mgmt(_) => "Mgmt",
+            Message::MgmtReport(_) => "MgmtReport",
+            Message::MgmtRecovered { .. } => "MgmtRecovered",
+            Message::MgmtDataRecovered { .. } => "MgmtDataRecovered",
+        }
+    }
+}
+
+// Re-export SiteStatus here for codec convenience.
+pub use crate::session::SiteStatus as WireSiteStatus;
+
+#[allow(unused_imports)]
+use crate::session::SiteStatus as _SiteStatusUsed; // doc linkage
+
+impl std::fmt::Display for Message {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.kind())
+    }
+}
+
+/// Helper: is this a management-plane message?
+pub fn is_management(msg: &Message) -> bool {
+    matches!(
+        msg,
+        Message::Mgmt(_)
+            | Message::MgmtReport(_)
+            | Message::MgmtRecovered { .. }
+            | Message::MgmtDataRecovered { .. }
+    )
+}
+
+/// Helper: status used when encoding site records.
+pub fn status_code(status: SiteStatus) -> u8 {
+    match status {
+        SiteStatus::Up => 0,
+        SiteStatus::Down => 1,
+        SiteStatus::WaitingToRecover => 2,
+        SiteStatus::Terminating => 3,
+    }
+}
+
+/// Inverse of [`status_code`].
+pub fn status_from_code(code: u8) -> Option<SiteStatus> {
+    Some(match code {
+        0 => SiteStatus::Up,
+        1 => SiteStatus::Down,
+        2 => SiteStatus::WaitingToRecover,
+        3 => SiteStatus::Terminating,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_for_core_messages() {
+        let msgs = [
+            Message::Commit { txn: TxnId(1) },
+            Message::CommitAck { txn: TxnId(1) },
+            Message::AbortTxn { txn: TxnId(1) },
+        ];
+        let kinds: std::collections::HashSet<_> = msgs.iter().map(|m| m.kind()).collect();
+        assert_eq!(kinds.len(), msgs.len());
+    }
+
+    #[test]
+    fn status_codes_roundtrip() {
+        for s in [
+            SiteStatus::Up,
+            SiteStatus::Down,
+            SiteStatus::WaitingToRecover,
+            SiteStatus::Terminating,
+        ] {
+            assert_eq!(status_from_code(status_code(s)), Some(s));
+        }
+        assert_eq!(status_from_code(9), None);
+    }
+
+    #[test]
+    fn management_predicate() {
+        assert!(is_management(&Message::Mgmt(Command::Fail)));
+        assert!(!is_management(&Message::Commit { txn: TxnId(0) }));
+    }
+
+    #[test]
+    fn outcome_predicate() {
+        assert!(TxnOutcome::Committed.is_committed());
+        assert!(!TxnOutcome::Aborted(AbortReason::DataUnavailable).is_committed());
+    }
+}

@@ -1,0 +1,49 @@
+//! Per-site protocol counters, queryable by the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative counters maintained by a [`crate::engine::SiteEngine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineMetrics {
+    /// Messages sent (all kinds).
+    pub msgs_sent: u64,
+    /// Messages received and processed.
+    pub msgs_received: u64,
+    /// Transactions this site coordinated.
+    pub txns_coordinated: u64,
+    /// ... of which committed.
+    pub txns_committed: u64,
+    /// ... of which aborted.
+    pub txns_aborted: u64,
+    /// Transactions this site participated in (phase one entered).
+    pub txns_participated: u64,
+    /// Fail-lock bits set by this site's maintenance.
+    pub faillocks_set: u64,
+    /// Fail-lock bits cleared by this site (maintenance, copier refresh,
+    /// or clear-fail-lock messages).
+    pub faillocks_cleared: u64,
+    /// Copier transactions (copy requests) issued by this site.
+    pub copier_requests: u64,
+    /// Copy requests served for other sites.
+    pub copy_requests_served: u64,
+    /// Standalone clear-fail-lock transactions sent (not piggybacked).
+    pub clear_messages_sent: u64,
+    /// Type-1 control transactions initiated (recoveries attempted).
+    pub control_type1: u64,
+    /// Type-2 control transactions initiated (failures announced).
+    pub control_type2: u64,
+    /// Type-3 control transactions initiated (backup copies created).
+    pub control_type3: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let m = EngineMetrics::default();
+        assert_eq!(m.msgs_sent, 0);
+        assert_eq!(m.control_type1, 0);
+    }
+}

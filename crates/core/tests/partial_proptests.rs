@@ -1,0 +1,140 @@
+//! Property tests for partial replication (paper §3.2): random failure
+//! schedules over round-robin replication maps, with and without type-3
+//! control transactions.
+
+mod harness;
+
+use harness::Pump;
+use miniraid_core::config::ProtocolConfig;
+use miniraid_core::ops::{Operation, Transaction};
+use miniraid_core::partial::ReplicationMap;
+use miniraid_core::{ItemId, SiteId, TxnId};
+use proptest::prelude::*;
+
+const N_SITES: u8 = 3;
+const DB: u32 = 9;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Fail(u8),
+    Recover(u8),
+    Write { site: u8, item: u32, value: u64 },
+    Read { site: u8, item: u32 },
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        1 => (0..N_SITES).prop_map(Step::Fail),
+        1 => (0..N_SITES).prop_map(Step::Recover),
+        4 => (0..N_SITES, 0..DB, 1u64..1000)
+            .prop_map(|(site, item, value)| Step::Write { site, item, value }),
+        4 => (0..N_SITES, 0..DB).prop_map(|(site, item)| Step::Read { site, item }),
+    ]
+}
+
+fn config(ct3: bool) -> ProtocolConfig {
+    ProtocolConfig {
+        db_size: DB,
+        n_sites: N_SITES,
+        backup_on_last_copy: ct3,
+        ..ProtocolConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Partial replication safety: every committed read returns the last
+    /// committed value, and no site ever serves an item it holds no copy
+    /// of from its own table. Holds with and without type-3 backups.
+    #[test]
+    fn partial_replication_reads_are_correct(
+        ct3 in any::<bool>(),
+        steps in proptest::collection::vec(arb_step(), 1..50)
+    ) {
+        let map = ReplicationMap::round_robin(DB, N_SITES, 2);
+        let mut pump = Pump::with_replication(config(ct3), map);
+        let mut spec: std::collections::HashMap<u32, (u64, u64)> =
+            std::collections::HashMap::new();
+        let mut next_txn = 1u64;
+        for step in steps {
+            match step {
+                Step::Fail(site) => {
+                    let up = (0..N_SITES)
+                        .filter(|s| pump.engine(SiteId(*s)).is_up())
+                        .count();
+                    if up > 1 && pump.engine(SiteId(site)).is_up() {
+                        pump.fail(SiteId(site));
+                    }
+                }
+                Step::Recover(site) => {
+                    if !pump.engine(SiteId(site)).is_up() {
+                        pump.recover(SiteId(site));
+                    }
+                }
+                Step::Write { site, item, value } => {
+                    if !pump.engine(SiteId(site)).is_up() {
+                        continue;
+                    }
+                    let id = TxnId(next_txn);
+                    next_txn += 1;
+                    let report = pump.run_txn(
+                        SiteId(site),
+                        Transaction::new(id, vec![Operation::Write(ItemId(item), value)]),
+                    );
+                    if report.outcome.is_committed() {
+                        spec.insert(item, (value, id.0));
+                    }
+                }
+                Step::Read { site, item } => {
+                    if !pump.engine(SiteId(site)).is_up() {
+                        continue;
+                    }
+                    let id = TxnId(next_txn);
+                    next_txn += 1;
+                    let report = pump.run_txn(
+                        SiteId(site),
+                        Transaction::new(id, vec![Operation::Read(ItemId(item))]),
+                    );
+                    if report.outcome.is_committed() {
+                        let expect = spec.get(&item).copied().unwrap_or((0, 0));
+                        let observed = report.read_results[0].1;
+                        prop_assert_eq!(
+                            (observed.data, observed.version),
+                            expect,
+                            "read of x{} at site {} is stale or phantom", item, site
+                        );
+                    }
+                }
+            }
+        }
+        // Structural sanity: every held copy a site believes fresh really
+        // is at least as new as any other fresh operational copy.
+        for raw in 0..DB {
+            let item = ItemId(raw);
+            let fresh_max = (0..N_SITES)
+                .filter(|s| {
+                    let e = pump.engine(SiteId(*s));
+                    e.is_up()
+                        && e.replication().holds(item, SiteId(*s))
+                        && !e.faillocks().is_locked(item, SiteId(*s))
+                })
+                .map(|s| pump.engine(SiteId(s)).db().get(raw).unwrap().version)
+                .max();
+            if let Some(max) = fresh_max {
+                for s in 0..N_SITES {
+                    let e = pump.engine(SiteId(s));
+                    if e.is_up()
+                        && e.replication().holds(item, SiteId(s))
+                        && !e.faillocks().is_locked(item, SiteId(s))
+                    {
+                        prop_assert_eq!(
+                            e.db().get(raw).unwrap().version, max,
+                            "fresh copies of x{} disagree at site {}", raw, s
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

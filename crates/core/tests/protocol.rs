@@ -1,0 +1,419 @@
+//! Protocol-level scenario tests: several engines wired through a
+//! synchronous pump, exercising every path of the paper's Appendix A and
+//! the control transactions.
+
+mod harness;
+
+use harness::Pump;
+use miniraid_core::config::{ProtocolConfig, TwoStepRecovery};
+use miniraid_core::error::AbortReason;
+use miniraid_core::messages::{Command, TxnOutcome};
+use miniraid_core::ops::{Operation, Transaction};
+use miniraid_core::partial::ReplicationMap;
+use miniraid_core::session::SiteStatus;
+use miniraid_core::{ItemId, SiteId, TxnId};
+
+fn cfg(n_sites: u8) -> ProtocolConfig {
+    ProtocolConfig {
+        db_size: 10,
+        n_sites,
+        ..ProtocolConfig::default()
+    }
+}
+
+fn write(item: u32, value: u64) -> Operation {
+    Operation::Write(ItemId(item), value)
+}
+
+fn read(item: u32) -> Operation {
+    Operation::Read(ItemId(item))
+}
+
+#[test]
+fn four_site_commit_replicates_everywhere() {
+    let mut pump = Pump::new(cfg(4));
+    let report = pump.run_txn(
+        SiteId(1),
+        Transaction::new(TxnId(1), vec![write(3, 99), read(3), write(7, 50)]),
+    );
+    assert_eq!(report.outcome, TxnOutcome::Committed);
+    for i in 0..4 {
+        assert_eq!(pump.engine(SiteId(i)).db().get(3).unwrap().data, 99);
+        assert_eq!(pump.engine(SiteId(i)).db().get(7).unwrap().data, 50);
+    }
+    // Reads observe the pre-transaction state (writes apply at commit).
+    assert_eq!(report.read_results.len(), 1);
+    assert_eq!(report.read_results[0].0, ItemId(3));
+    pump.assert_up_sites_converged();
+    pump.assert_faillock_exactness();
+}
+
+#[test]
+fn read_only_transaction_commits_locally_without_messages() {
+    let mut pump = Pump::new(cfg(4));
+    let before = pump.delivered;
+    let report = pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![read(2), read(5)]));
+    assert_eq!(report.outcome, TxnOutcome::Committed);
+    assert_eq!(pump.delivered, before, "no messages for a read-only txn");
+    assert_eq!(report.read_results.len(), 2);
+}
+
+#[test]
+fn read_only_transaction_uses_two_phase_when_configured() {
+    let mut config = cfg(3);
+    config.two_phase_read_only = true;
+    let mut pump = Pump::new(config);
+    let before = pump.delivered;
+    let report = pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![read(2)]));
+    assert_eq!(report.outcome, TxnOutcome::Committed);
+    assert!(pump.delivered > before, "2PC traffic expected");
+}
+
+#[test]
+fn first_txn_after_undetected_failure_aborts_and_announces() {
+    let mut pump = Pump::new(cfg(4));
+    pump.fail(SiteId(2));
+    // Site 0 still believes site 2 is up: phase one times out, the txn
+    // aborts, and a type-2 control transaction marks site 2 down
+    // everywhere.
+    let report = pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![write(0, 1)]));
+    assert_eq!(
+        report.outcome,
+        TxnOutcome::Aborted(AbortReason::ParticipantFailed)
+    );
+    for i in [0u8, 1, 3] {
+        assert!(
+            !pump.engine(SiteId(i)).vector().is_up(SiteId(2)),
+            "site {i} should have learned of the failure"
+        );
+    }
+    assert_eq!(pump.engine(SiteId(0)).metrics().control_type2, 1);
+
+    // The next transaction succeeds among the remaining sites and sets
+    // fail-locks for the down site.
+    let report = pump.run_txn(SiteId(0), Transaction::new(TxnId(2), vec![write(4, 9)]));
+    assert_eq!(report.outcome, TxnOutcome::Committed);
+    assert_eq!(report.stats.faillocks_set, 1);
+    for i in [0u8, 1, 3] {
+        assert!(pump
+            .engine(SiteId(i))
+            .faillocks()
+            .is_locked(ItemId(4), SiteId(2)));
+    }
+    pump.assert_faillock_exactness();
+}
+
+#[test]
+fn aborted_transaction_leaves_no_writes_anywhere() {
+    let mut pump = Pump::new(cfg(3));
+    pump.fail(SiteId(2));
+    let report = pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![write(5, 123)]));
+    assert!(!report.outcome.is_committed());
+    for i in 0..3 {
+        assert_eq!(pump.engine(SiteId(i)).db().get(5).unwrap().data, 0);
+    }
+}
+
+#[test]
+fn recovery_type1_installs_state_and_serves_fresh_items() {
+    let mut pump = Pump::new(cfg(2));
+    pump.fail(SiteId(0));
+    // Detect the failure, then update items 1 and 2 on site 1.
+    pump.run_txn(SiteId(1), Transaction::new(TxnId(1), vec![write(1, 11)]));
+    pump.run_txn(SiteId(1), Transaction::new(TxnId(2), vec![write(1, 11)]));
+    pump.run_txn(SiteId(1), Transaction::new(TxnId(3), vec![write(2, 22)]));
+    pump.recover(SiteId(0));
+    assert_eq!(pump.observed.became_operational, vec![SiteId(0)]);
+    assert!(pump.engine(SiteId(0)).is_up());
+    // The recovering site learned which of its copies are stale.
+    let fl = pump.engine(SiteId(0)).faillocks();
+    assert!(fl.is_locked(ItemId(1), SiteId(0)));
+    assert!(fl.is_locked(ItemId(2), SiteId(0)));
+    assert!(!fl.is_locked(ItemId(3), SiteId(0)));
+    // Up-to-date items are served immediately; a read of item 3 commits
+    // without any copier.
+    let report = pump.run_txn(SiteId(0), Transaction::new(TxnId(4), vec![read(3)]));
+    assert!(report.outcome.is_committed());
+    assert_eq!(report.stats.copier_requests, 0);
+}
+
+#[test]
+fn copier_transaction_refreshes_stale_read_and_clears_everywhere() {
+    let mut pump = Pump::new(cfg(2));
+    pump.fail(SiteId(0));
+    pump.run_txn(SiteId(1), Transaction::new(TxnId(1), vec![write(1, 77)])); // detection abort
+    pump.run_txn(SiteId(1), Transaction::new(TxnId(2), vec![write(1, 77)]));
+    pump.recover(SiteId(0));
+    // Site 0 reads item 1, which is fail-locked for it: a copier
+    // transaction refreshes it first.
+    let report = pump.run_txn(SiteId(0), Transaction::new(TxnId(3), vec![read(1)]));
+    assert!(report.outcome.is_committed());
+    assert_eq!(report.stats.copier_requests, 1);
+    assert_eq!(report.read_results[0].1.data, 77);
+    assert_eq!(pump.engine(SiteId(0)).db().get(1).unwrap().data, 77);
+    // Fail-locks cleared at both sites (the "special transaction").
+    for i in 0..2 {
+        assert!(!pump
+            .engine(SiteId(i))
+            .faillocks()
+            .is_locked(ItemId(1), SiteId(0)));
+    }
+    // Site 0 is now fully recovered.
+    assert_eq!(pump.observed.data_recovered, vec![SiteId(0)]);
+    pump.assert_up_sites_converged();
+    pump.assert_faillock_exactness();
+}
+
+#[test]
+fn writes_refresh_stale_copies_without_copiers() {
+    let mut pump = Pump::new(cfg(2));
+    pump.fail(SiteId(0));
+    pump.run_txn(SiteId(1), Transaction::new(TxnId(1), vec![write(1, 5)]));
+    pump.run_txn(SiteId(1), Transaction::new(TxnId(2), vec![write(1, 5)]));
+    pump.recover(SiteId(0));
+    // A write to the stale item from the other site refreshes it: the
+    // fail-lock is cleared by commit maintenance, no copier needed.
+    let report = pump.run_txn(SiteId(1), Transaction::new(TxnId(3), vec![write(1, 6)]));
+    assert!(report.outcome.is_committed());
+    assert_eq!(report.stats.copier_requests, 0);
+    assert!(!pump
+        .engine(SiteId(0))
+        .faillocks()
+        .is_locked(ItemId(1), SiteId(0)));
+    assert_eq!(pump.engine(SiteId(0)).db().get(1).unwrap().data, 6);
+    assert_eq!(pump.observed.data_recovered, vec![SiteId(0)]);
+}
+
+#[test]
+fn data_unavailable_abort_when_only_source_is_down() {
+    // The paper's Experiment 3 scenario 1: overlapping failures make
+    // some items totally unavailable, forcing aborts.
+    let mut pump = Pump::new(cfg(2));
+    pump.fail(SiteId(0));
+    pump.run_txn(SiteId(1), Transaction::new(TxnId(1), vec![write(1, 5)])); // detect
+    pump.run_txn(SiteId(1), Transaction::new(TxnId(2), vec![write(1, 5)]));
+    pump.recover(SiteId(0));
+    pump.fail(SiteId(1));
+    // Site 0's copy of item 1 is stale and the only up-to-date copy just
+    // failed: reading item 1 must abort.
+    let r1 = pump.run_txn(SiteId(0), Transaction::new(TxnId(3), vec![read(1)]));
+    // The first attempt may abort for ParticipantFailed/CopierTargetFailed
+    // (site 1's failure is undetected when the copier is routed to it).
+    assert!(!r1.outcome.is_committed());
+    let r2 = pump.run_txn(SiteId(0), Transaction::new(TxnId(4), vec![read(1)]));
+    assert_eq!(r2.outcome, TxnOutcome::Aborted(AbortReason::DataUnavailable));
+    // But up-to-date items remain available (ROWAA availability).
+    let r3 = pump.run_txn(SiteId(0), Transaction::new(TxnId(5), vec![read(3), write(4, 1)]));
+    assert!(r3.outcome.is_committed());
+}
+
+#[test]
+fn recovery_fails_with_no_operational_peer() {
+    let mut pump = Pump::new(cfg(2));
+    pump.fail(SiteId(0));
+    pump.fail(SiteId(1));
+    pump.recover(SiteId(0));
+    assert_eq!(pump.observed.recovery_failed, vec![SiteId(0)]);
+    assert_eq!(pump.engine(SiteId(0)).status(), SiteStatus::Down);
+    // Once a peer is back... (site 1 cannot recover either — no peer up;
+    // this system is stuck by design without both being restarted, so
+    // verify the failure is stable rather than a hang).
+    pump.recover(SiteId(1));
+    assert_eq!(
+        pump.observed.recovery_failed,
+        vec![SiteId(0), SiteId(1)]
+    );
+}
+
+#[test]
+fn session_numbers_increment_per_recovery() {
+    let mut pump = Pump::new(cfg(2));
+    assert_eq!(pump.engine(SiteId(0)).session().0, 1);
+    pump.fail(SiteId(0));
+    pump.run_txn(SiteId(1), Transaction::new(TxnId(1), vec![write(0, 1)])); // detect
+    pump.recover(SiteId(0));
+    assert_eq!(pump.engine(SiteId(0)).session().0, 2);
+    assert_eq!(
+        pump.engine(SiteId(1)).vector().session(SiteId(0)).0,
+        2,
+        "peer learned the new session"
+    );
+    pump.fail(SiteId(0));
+    pump.run_txn(SiteId(1), Transaction::new(TxnId(2), vec![write(0, 2)]));
+    pump.recover(SiteId(0));
+    assert_eq!(pump.engine(SiteId(0)).session().0, 3);
+}
+
+#[test]
+fn two_step_recovery_batch_mode_drains_faillocks_proactively() {
+    let mut config = cfg(2);
+    config.two_step_recovery = Some(TwoStepRecovery {
+        threshold: 1.0, // always batch
+        batch_size: 3,
+    });
+    let mut pump = Pump::new(config);
+    pump.fail(SiteId(0));
+    // Dirty several items.
+    pump.run_txn(SiteId(1), Transaction::new(TxnId(1), vec![write(0, 1)])); // detect
+    for (txn_id, item) in (2..).zip(0..6) {
+        pump.run_txn(
+            SiteId(1),
+            Transaction::new(TxnId(txn_id), vec![write(item, 100 + item as u64)]),
+        );
+    }
+    pump.recover(SiteId(0));
+    // Batch copiers refresh everything without any database transaction
+    // arriving at the recovering site.
+    assert_eq!(pump.observed.data_recovered, vec![SiteId(0)]);
+    assert_eq!(pump.engine(SiteId(0)).own_stale_count(), 0);
+    for item in 0..6 {
+        assert_eq!(
+            pump.engine(SiteId(0)).db().get(item).unwrap().data,
+            100 + item as u64
+        );
+    }
+    assert!(pump.engine(SiteId(0)).metrics().copier_requests >= 2);
+    pump.assert_up_sites_converged();
+    pump.assert_faillock_exactness();
+}
+
+#[test]
+#[allow(clippy::explicit_counter_loop)]
+fn on_demand_step_one_until_threshold_then_batch() {
+    let mut config = cfg(10.try_into().unwrap());
+    config.db_size = 10;
+    config.n_sites = 2;
+    config.two_step_recovery = Some(TwoStepRecovery {
+        threshold: 0.3,
+        batch_size: 2,
+    });
+    let mut pump = Pump::new(config);
+    pump.fail(SiteId(0));
+    pump.run_txn(SiteId(1), Transaction::new(TxnId(1), vec![write(0, 1)])); // detect
+    let mut txn_id = 2;
+    for item in 0..5 {
+        pump.run_txn(
+            SiteId(1),
+            Transaction::new(TxnId(txn_id), vec![write(item, 50 + item as u64)]),
+        );
+        txn_id += 1;
+    }
+    pump.recover(SiteId(0));
+    // 5 of 10 items stale (50 % > 30 % threshold): batch mode must NOT
+    // engage yet.
+    assert!(pump.observed.data_recovered.is_empty());
+    assert_eq!(pump.engine(SiteId(0)).own_stale_count(), 5);
+    // Refresh items one by one via reads until the fraction drops to the
+    // threshold; then batch mode finishes the rest.
+    let report = pump.run_txn(SiteId(0), Transaction::new(TxnId(txn_id), vec![read(0), read(1)]));
+    assert!(report.outcome.is_committed());
+    // 3 of 10 stale now (30 % ≤ threshold): batch mode kicks in and
+    // drains the remainder.
+    assert_eq!(pump.observed.data_recovered, vec![SiteId(0)]);
+    assert_eq!(pump.engine(SiteId(0)).own_stale_count(), 0);
+}
+
+#[test]
+fn queued_transactions_run_in_order() {
+    let mut pump = Pump::new(cfg(3));
+    // Inject two Begin commands without settling in between: engine
+    // queues the second behind the first.
+    let t1 = Transaction::new(TxnId(1), vec![write(0, 1)]);
+    let t2 = Transaction::new(TxnId(2), vec![write(0, 2)]);
+    let out1 = pump.engines[0].handle_owned(miniraid_core::engine::Input::Control(
+        Command::Begin(t1),
+    ));
+    let out2 = pump.engines[0].handle_owned(miniraid_core::engine::Input::Control(
+        Command::Begin(t2),
+    ));
+    assert!(out2.is_empty(), "second txn queued silently");
+    for o in out1 {
+        if let miniraid_core::engine::Output::Send { .. } = o {}
+    }
+    // Re-inject outputs through the pump by settling a no-op command.
+    // (Simplest: drive the queue via a fresh command on another site.)
+    // Instead, rebuild: drive both via the pump API.
+    let mut pump = Pump::new(cfg(3));
+    pump.command(SiteId(0), Command::Begin(Transaction::new(TxnId(1), vec![write(0, 1)])));
+    pump.command(SiteId(0), Command::Begin(Transaction::new(TxnId(2), vec![write(0, 2)])));
+    assert_eq!(pump.observed.reports.len(), 2);
+    assert_eq!(pump.observed.reports[0].txn, TxnId(1));
+    assert_eq!(pump.observed.reports[1].txn, TxnId(2));
+    // Final value is from the later transaction.
+    assert_eq!(pump.engine(SiteId(1)).db().get(0).unwrap(),
+               miniraid_core::ItemValue::new(2, 2));
+}
+
+#[test]
+fn stale_failure_announcement_does_not_mark_recovered_site_down() {
+    let mut pump = Pump::new(cfg(3));
+    pump.fail(SiteId(2));
+    pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![write(0, 1)])); // detect, CT2
+    pump.recover(SiteId(2));
+    assert!(pump.engine(SiteId(0)).vector().is_up(SiteId(2)));
+    // Deliver a stale failure announcement (session 1) directly.
+    let out = pump.engines[0].handle_owned(miniraid_core::engine::Input::Deliver {
+        from: SiteId(1),
+        msg: miniraid_core::Message::FailureAnnounce {
+            failed: vec![(SiteId(2), miniraid_core::SessionNumber(1))],
+        },
+    });
+    drop(out);
+    assert!(
+        pump.engine(SiteId(0)).vector().is_up(SiteId(2)),
+        "stale announcement ignored thanks to session numbers"
+    );
+}
+
+#[test]
+fn partial_replication_remote_read_and_ct3_backup() {
+    // 3 sites, each item held by 2 of them.
+    let mut config = cfg(3);
+    config.db_size = 6;
+    config.backup_on_last_copy = true;
+    let map = ReplicationMap::round_robin(6, 3, 2);
+    let mut pump = Pump::with_replication(config, map);
+
+    // Item 0 is held by sites 0 and 1. Site 2 reads it remotely.
+    let report = pump.run_txn(SiteId(2), Transaction::new(TxnId(1), vec![read(0)]));
+    assert!(report.outcome.is_committed());
+
+    // Write to item 0 from site 0, then fail site 1: site 0 now holds
+    // the last operational up-to-date copy of item 0 — a type-3 control
+    // transaction must create a backup on site 2.
+    pump.run_txn(SiteId(0), Transaction::new(TxnId(2), vec![write(0, 42)]));
+    pump.fail(SiteId(1));
+    pump.run_txn(SiteId(0), Transaction::new(TxnId(3), vec![write(5, 1)])); // detection abort txn
+    pump.settle();
+    assert!(pump.engine(SiteId(0)).metrics().control_type3 >= 1);
+    assert!(pump
+        .engine(SiteId(2))
+        .replication()
+        .holds(ItemId(0), SiteId(2)));
+    assert_eq!(pump.engine(SiteId(2)).db().get(0).unwrap().data, 42);
+
+    // Even if site 0 now fails, item 0 stays available via the backup.
+    pump.fail(SiteId(0));
+    let r = pump.run_txn(SiteId(2), Transaction::new(TxnId(4), vec![read(0)]));
+    // First txn may abort on detection; retry must serve the read.
+    let r = if r.outcome.is_committed() {
+        r
+    } else {
+        pump.run_txn(SiteId(2), Transaction::new(TxnId(5), vec![read(0)]))
+    };
+    assert!(r.outcome.is_committed());
+    assert_eq!(r.read_results[0].1.data, 42);
+}
+
+#[test]
+fn metrics_track_protocol_activity() {
+    let mut pump = Pump::new(cfg(2));
+    pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![write(0, 1)]));
+    let m0 = pump.engine(SiteId(0)).metrics();
+    assert_eq!(m0.txns_coordinated, 1);
+    assert_eq!(m0.txns_committed, 1);
+    assert!(m0.msgs_sent >= 2); // CopyUpdate + Commit
+    let m1 = pump.engine(SiteId(1)).metrics();
+    assert_eq!(m1.txns_participated, 1);
+    assert!(m1.msgs_sent >= 2); // UpdateAck + CommitAck
+}

@@ -1,0 +1,179 @@
+//! Baseline copy-control strategies: plain ROWA and majority quorum,
+//! compared against the paper's ROWAA (availability ablation X6).
+
+mod harness;
+
+use harness::Pump;
+use miniraid_core::config::{ProtocolConfig, ReplicationStrategy};
+use miniraid_core::error::AbortReason;
+use miniraid_core::messages::TxnOutcome;
+use miniraid_core::ops::{Operation, Transaction};
+use miniraid_core::{ItemId, SiteId, TxnId};
+
+fn cfg(n_sites: u8, strategy: ReplicationStrategy) -> ProtocolConfig {
+    ProtocolConfig {
+        db_size: 10,
+        n_sites,
+        strategy,
+        ..ProtocolConfig::default()
+    }
+}
+
+fn write(item: u32, value: u64) -> Operation {
+    Operation::Write(ItemId(item), value)
+}
+
+fn read(item: u32) -> Operation {
+    Operation::Read(ItemId(item))
+}
+
+// ---------------------------------------------------------------- ROWA
+
+#[test]
+fn rowa_commits_while_all_sites_up() {
+    let mut pump = Pump::new(cfg(3, ReplicationStrategy::Rowa));
+    let report = pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![write(1, 5)]));
+    assert!(report.outcome.is_committed());
+    for s in 0..3u8 {
+        assert_eq!(pump.engine(SiteId(s)).db().get(1).unwrap().data, 5);
+    }
+}
+
+#[test]
+fn rowa_blocks_writes_when_any_site_is_down() {
+    let mut pump = Pump::new(cfg(3, ReplicationStrategy::Rowa));
+    pump.fail(SiteId(2));
+    // Detection: the first write aborts and marks site 2 down.
+    let r1 = pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![write(0, 1)]));
+    assert!(!r1.outcome.is_committed());
+    // Unlike ROWAA, writes now abort *forever* until site 2 returns —
+    // the availability gap the paper's protocol exists to close.
+    let r2 = pump.run_txn(SiteId(0), Transaction::new(TxnId(2), vec![write(0, 1)]));
+    assert_eq!(r2.outcome, TxnOutcome::Aborted(AbortReason::DataUnavailable));
+    // Reads (read-one) still work.
+    let r3 = pump.run_txn(SiteId(0), Transaction::new(TxnId(3), vec![read(0)]));
+    assert!(r3.outcome.is_committed());
+    // After recovery, writes work again — and no fail-locks were ever
+    // needed (nothing committed while the site was down).
+    pump.recover(SiteId(2));
+    let r4 = pump.run_txn(SiteId(0), Transaction::new(TxnId(4), vec![write(0, 9)]));
+    assert!(r4.outcome.is_committed());
+    assert_eq!(pump.engine(SiteId(2)).db().get(0).unwrap().data, 9);
+    assert_eq!(pump.engine(SiteId(2)).faillocks().total_set(), 0);
+}
+
+// ------------------------------------------------------------- quorum
+
+#[test]
+fn quorum_commits_with_majority_up() {
+    let mut pump = Pump::new(cfg(3, ReplicationStrategy::MajorityQuorum));
+    pump.fail(SiteId(2));
+    let r1 = pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![write(1, 7)]));
+    assert!(!r1.outcome.is_committed(), "detection abort");
+    let r2 = pump.run_txn(SiteId(0), Transaction::new(TxnId(2), vec![write(1, 7)]));
+    assert!(r2.outcome.is_committed(), "2 of 3 sites form a majority");
+    assert_eq!(pump.engine(SiteId(1)).db().get(1).unwrap().data, 7);
+}
+
+#[test]
+fn quorum_blocks_without_majority() {
+    let mut pump = Pump::new(cfg(3, ReplicationStrategy::MajorityQuorum));
+    pump.fail(SiteId(1));
+    pump.fail(SiteId(2));
+    // Detect both failures.
+    let _ = pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![write(0, 1)]));
+    let r = pump.run_txn(SiteId(0), Transaction::new(TxnId(2), vec![write(0, 1)]));
+    assert_eq!(r.outcome, TxnOutcome::Aborted(AbortReason::DataUnavailable));
+    // Even reads block: a read quorum is unreachable.
+    let r = pump.run_txn(SiteId(0), Transaction::new(TxnId(3), vec![read(0)]));
+    assert_eq!(r.outcome, TxnOutcome::Aborted(AbortReason::DataUnavailable));
+}
+
+#[test]
+fn quorum_reads_mask_stale_copies_without_copiers() {
+    let mut pump = Pump::new(cfg(3, ReplicationStrategy::MajorityQuorum));
+    pump.fail(SiteId(2));
+    let _ = pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![write(4, 44)])); // detect
+    let r = pump.run_txn(SiteId(0), Transaction::new(TxnId(2), vec![write(4, 44)]));
+    assert!(r.outcome.is_committed());
+    // Site 2 returns with a stale copy of item 4 and NO fail-lock
+    // information (quorum mode does not maintain fail-locks)...
+    pump.recover(SiteId(2));
+    assert_eq!(pump.engine(SiteId(2)).db().get(4).unwrap().version, 0);
+    // ... yet a quorum read coordinated at the stale site returns the
+    // fresh value: its read quorum includes a fresh copy, and the
+    // freshest version wins.
+    let r = pump.run_txn(SiteId(2), Transaction::new(TxnId(3), vec![read(4)]));
+    assert!(r.outcome.is_committed());
+    assert_eq!(r.report_read(0).data, 44);
+    assert_eq!(r.stats.copier_requests, 0, "no copier machinery involved");
+}
+
+#[test]
+fn quorum_read_includes_own_fresh_copy() {
+    let mut pump = Pump::new(cfg(3, ReplicationStrategy::MajorityQuorum));
+    let r = pump.run_txn(SiteId(1), Transaction::new(TxnId(1), vec![write(2, 5)]));
+    assert!(r.outcome.is_committed());
+    let r = pump.run_txn(SiteId(1), Transaction::new(TxnId(2), vec![read(2)]));
+    assert!(r.outcome.is_committed());
+    assert_eq!(r.report_read(0).data, 5);
+}
+
+#[test]
+fn quorum_never_maintains_faillocks() {
+    let mut pump = Pump::new(cfg(3, ReplicationStrategy::MajorityQuorum));
+    pump.fail(SiteId(2));
+    let _ = pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![write(0, 1)]));
+    let r = pump.run_txn(SiteId(0), Transaction::new(TxnId(2), vec![write(0, 1)]));
+    assert!(r.outcome.is_committed());
+    for s in 0..3u8 {
+        assert_eq!(pump.engine(SiteId(s)).faillocks().total_set(), 0);
+    }
+}
+
+// helper on TxnReport for brevity
+trait ReadAt {
+    fn report_read(&self, idx: usize) -> miniraid_core::ItemValue;
+}
+impl ReadAt for miniraid_core::TxnReport {
+    fn report_read(&self, idx: usize) -> miniraid_core::ItemValue {
+        self.read_results[idx].1
+    }
+}
+
+#[test]
+fn quorum_straggler_response_after_quorum_is_ignored() {
+    use miniraid_core::engine::Input;
+    use miniraid_core::messages::Message;
+    // 5 sites: majority 3, so 2 peer responses are needed; the 3rd and
+    // 4th arrive after the quorum was reached and must be no-ops.
+    let mut pump = Pump::new(cfg(5, ReplicationStrategy::MajorityQuorum));
+    pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![write(3, 9)]));
+    let report = pump.run_txn(SiteId(0), Transaction::new(TxnId(2), vec![read(3)]));
+    assert!(report.outcome.is_committed());
+    assert_eq!(report.read_results[0].1.data, 9);
+    // A forged straggler response with a bogus fresher version must not
+    // corrupt anything (the request id is long gone).
+    let out = pump.engines[0].handle_owned(Input::Deliver {
+        from: SiteId(4),
+        msg: Message::ReadResponse {
+            req: miniraid_core::ids::ReqId(12345),
+            ok: true,
+            values: vec![(ItemId(3), miniraid_core::ItemValue::new(666, 999))],
+        },
+    });
+    assert!(out.is_empty());
+    assert_eq!(pump.engine(SiteId(0)).db().get(3).unwrap().data, 9);
+}
+
+#[test]
+fn quorum_read_timeout_tolerated_while_quorum_reachable() {
+    // 5 sites, one silently dead: the quorum read to it times out, but
+    // 3 of 5 (self + 2 peers) still form a read quorum — commit.
+    let mut pump = Pump::new(cfg(5, ReplicationStrategy::MajorityQuorum));
+    pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![write(2, 7)]));
+    pump.fail(SiteId(4)); // silent
+    let report = pump.run_txn(SiteId(0), Transaction::new(TxnId(2), vec![read(2)]));
+    assert!(report.outcome.is_committed(), "{:?}", report.outcome);
+    assert_eq!(report.read_results[0].1.data, 7);
+}

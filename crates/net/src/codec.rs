@@ -1,0 +1,680 @@
+//! Binary wire codec for [`Message`].
+//!
+//! Hand-rolled little-endian encoding framed by the transports. Every
+//! variant round-trips exactly; decoding arbitrary bytes never panics
+//! (verified by property tests).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use miniraid_core::error::AbortReason;
+use miniraid_core::ids::{ItemId, ReqId, SessionNumber, SiteId, TxnId};
+use miniraid_core::messages::{
+    status_code, status_from_code, Command, Message, TxnOutcome, TxnReport, TxnStats,
+};
+use miniraid_core::ops::{Operation, Transaction};
+use miniraid_core::session::SiteRecord;
+use miniraid_storage::ItemValue;
+
+use crate::NetError;
+
+const TAG_COPY_UPDATE: u8 = 1;
+const TAG_UPDATE_ACK: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_COMMIT_ACK: u8 = 4;
+const TAG_ABORT_TXN: u8 = 5;
+const TAG_COPY_REQUEST: u8 = 6;
+const TAG_COPY_RESPONSE: u8 = 7;
+const TAG_CLEAR_FAILLOCKS: u8 = 8;
+const TAG_RECOVERY_ANNOUNCE: u8 = 9;
+const TAG_RECOVERY_INFO: u8 = 10;
+const TAG_FAILURE_ANNOUNCE: u8 = 11;
+const TAG_READ_REQUEST: u8 = 12;
+const TAG_READ_RESPONSE: u8 = 13;
+const TAG_CREATE_BACKUP: u8 = 14;
+const TAG_BACKUP_CREATED: u8 = 15;
+const TAG_BACKUP_DROPPED: u8 = 16;
+const TAG_MGMT: u8 = 17;
+const TAG_MGMT_REPORT: u8 = 18;
+const TAG_MGMT_RECOVERED: u8 = 19;
+const TAG_MGMT_DATA_RECOVERED: u8 = 20;
+
+fn err(reason: &'static str) -> NetError {
+    NetError::Codec(reason)
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), NetError> {
+    if buf.remaining() < n {
+        Err(err("short buffer"))
+    } else {
+        Ok(())
+    }
+}
+
+fn put_len(buf: &mut BytesMut, len: usize) {
+    buf.put_u32_le(len as u32);
+}
+
+fn get_len(buf: &mut impl Buf, cap: usize) -> Result<usize, NetError> {
+    need(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    if len > cap {
+        return Err(err("length exceeds sanity cap"));
+    }
+    Ok(len)
+}
+
+fn put_value(buf: &mut BytesMut, v: &ItemValue) {
+    buf.put_u64_le(v.data);
+    buf.put_u64_le(v.version);
+}
+
+fn get_value(buf: &mut impl Buf) -> Result<ItemValue, NetError> {
+    need(buf, 16)?;
+    let data = buf.get_u64_le();
+    let version = buf.get_u64_le();
+    Ok(ItemValue::new(data, version))
+}
+
+fn put_item_values(buf: &mut BytesMut, pairs: &[(ItemId, ItemValue)]) {
+    put_len(buf, pairs.len());
+    for (item, value) in pairs {
+        buf.put_u32_le(item.0);
+        put_value(buf, value);
+    }
+}
+
+fn get_item_values(buf: &mut impl Buf) -> Result<Vec<(ItemId, ItemValue)>, NetError> {
+    let len = get_len(buf, 1 << 20)?;
+    let mut out = Vec::with_capacity(len.min(1024));
+    for _ in 0..len {
+        need(buf, 4)?;
+        let item = ItemId(buf.get_u32_le());
+        out.push((item, get_value(buf)?));
+    }
+    Ok(out)
+}
+
+fn put_items(buf: &mut BytesMut, items: &[ItemId]) {
+    put_len(buf, items.len());
+    for item in items {
+        buf.put_u32_le(item.0);
+    }
+}
+
+fn get_items(buf: &mut impl Buf) -> Result<Vec<ItemId>, NetError> {
+    let len = get_len(buf, 1 << 20)?;
+    let mut out = Vec::with_capacity(len.min(1024));
+    for _ in 0..len {
+        need(buf, 4)?;
+        out.push(ItemId(buf.get_u32_le()));
+    }
+    Ok(out)
+}
+
+fn put_operation(buf: &mut BytesMut, op: &Operation) {
+    match op {
+        Operation::Read(item) => {
+            buf.put_u8(0);
+            buf.put_u32_le(item.0);
+        }
+        Operation::Write(item, value) => {
+            buf.put_u8(1);
+            buf.put_u32_le(item.0);
+            buf.put_u64_le(*value);
+        }
+    }
+}
+
+fn get_operation(buf: &mut impl Buf) -> Result<Operation, NetError> {
+    need(buf, 5)?;
+    match buf.get_u8() {
+        0 => Ok(Operation::Read(ItemId(buf.get_u32_le()))),
+        1 => {
+            let item = ItemId(buf.get_u32_le());
+            need(buf, 8)?;
+            Ok(Operation::Write(item, buf.get_u64_le()))
+        }
+        _ => Err(err("unknown operation tag")),
+    }
+}
+
+fn put_transaction(buf: &mut BytesMut, txn: &Transaction) {
+    buf.put_u64_le(txn.id.0);
+    put_len(buf, txn.ops.len());
+    for op in &txn.ops {
+        put_operation(buf, op);
+    }
+}
+
+fn get_transaction(buf: &mut impl Buf) -> Result<Transaction, NetError> {
+    need(buf, 8)?;
+    let id = TxnId(buf.get_u64_le());
+    let len = get_len(buf, 1 << 16)?;
+    let mut ops = Vec::with_capacity(len.min(256));
+    for _ in 0..len {
+        ops.push(get_operation(buf)?);
+    }
+    Ok(Transaction::new(id, ops))
+}
+
+fn put_command(buf: &mut BytesMut, cmd: &Command) {
+    match cmd {
+        Command::Fail => buf.put_u8(0),
+        Command::Recover => buf.put_u8(1),
+        Command::Begin(txn) => {
+            buf.put_u8(2);
+            put_transaction(buf, txn);
+        }
+        Command::Terminate => buf.put_u8(3),
+    }
+}
+
+fn get_command(buf: &mut impl Buf) -> Result<Command, NetError> {
+    need(buf, 1)?;
+    Ok(match buf.get_u8() {
+        0 => Command::Fail,
+        1 => Command::Recover,
+        2 => Command::Begin(get_transaction(buf)?),
+        3 => Command::Terminate,
+        _ => return Err(err("unknown command tag")),
+    })
+}
+
+fn abort_code(reason: AbortReason) -> u8 {
+    match reason {
+        AbortReason::DataUnavailable => 0,
+        AbortReason::CopierTargetFailed => 1,
+        AbortReason::ParticipantFailed => 2,
+        AbortReason::SessionMismatch => 3,
+        AbortReason::SiteNotOperational => 4,
+    }
+}
+
+fn abort_from_code(code: u8) -> Result<AbortReason, NetError> {
+    Ok(match code {
+        0 => AbortReason::DataUnavailable,
+        1 => AbortReason::CopierTargetFailed,
+        2 => AbortReason::ParticipantFailed,
+        3 => AbortReason::SessionMismatch,
+        4 => AbortReason::SiteNotOperational,
+        _ => return Err(err("unknown abort reason")),
+    })
+}
+
+fn put_report(buf: &mut BytesMut, report: &TxnReport) {
+    buf.put_u64_le(report.txn.0);
+    buf.put_u8(report.coordinator.0);
+    match report.outcome {
+        TxnOutcome::Committed => buf.put_u8(0xFF),
+        TxnOutcome::Aborted(reason) => buf.put_u8(abort_code(reason)),
+    }
+    let s = &report.stats;
+    buf.put_u32_le(s.reads);
+    buf.put_u32_le(s.writes);
+    buf.put_u32_le(s.copier_requests);
+    buf.put_u32_le(s.faillocks_set);
+    buf.put_u32_le(s.faillocks_cleared);
+    buf.put_u32_le(s.messages_sent);
+    buf.put_u8(s.participant_failed_phase_two as u8);
+    put_item_values(buf, &report.read_results);
+}
+
+fn get_report(buf: &mut impl Buf) -> Result<TxnReport, NetError> {
+    need(buf, 8 + 1 + 1)?;
+    let txn = TxnId(buf.get_u64_le());
+    let coordinator = SiteId(buf.get_u8());
+    let outcome = match buf.get_u8() {
+        0xFF => TxnOutcome::Committed,
+        code => TxnOutcome::Aborted(abort_from_code(code)?),
+    };
+    need(buf, 6 * 4 + 1)?;
+    let stats = TxnStats {
+        reads: buf.get_u32_le(),
+        writes: buf.get_u32_le(),
+        copier_requests: buf.get_u32_le(),
+        faillocks_set: buf.get_u32_le(),
+        faillocks_cleared: buf.get_u32_le(),
+        messages_sent: buf.get_u32_le(),
+        participant_failed_phase_two: buf.get_u8() != 0,
+    };
+    let read_results = get_item_values(buf)?;
+    Ok(TxnReport {
+        txn,
+        coordinator,
+        outcome,
+        stats,
+        read_results,
+    })
+}
+
+/// Encode a message to bytes (payload only; transports add framing).
+pub fn encode(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match msg {
+        Message::CopyUpdate {
+            txn,
+            writes,
+            snapshot,
+            clears,
+        } => {
+            buf.put_u8(TAG_COPY_UPDATE);
+            buf.put_u64_le(txn.0);
+            put_item_values(&mut buf, writes);
+            put_len(&mut buf, snapshot.len());
+            for s in snapshot {
+                buf.put_u64_le(s.0);
+            }
+            put_len(&mut buf, clears.len());
+            for (item, site) in clears {
+                buf.put_u32_le(item.0);
+                buf.put_u8(site.0);
+            }
+        }
+        Message::UpdateAck { txn, ok } => {
+            buf.put_u8(TAG_UPDATE_ACK);
+            buf.put_u64_le(txn.0);
+            buf.put_u8(*ok as u8);
+        }
+        Message::Commit { txn } => {
+            buf.put_u8(TAG_COMMIT);
+            buf.put_u64_le(txn.0);
+        }
+        Message::CommitAck { txn } => {
+            buf.put_u8(TAG_COMMIT_ACK);
+            buf.put_u64_le(txn.0);
+        }
+        Message::AbortTxn { txn } => {
+            buf.put_u8(TAG_ABORT_TXN);
+            buf.put_u64_le(txn.0);
+        }
+        Message::CopyRequest { req, items } => {
+            buf.put_u8(TAG_COPY_REQUEST);
+            buf.put_u64_le(req.0);
+            put_items(&mut buf, items);
+        }
+        Message::CopyResponse { req, ok, copies } => {
+            buf.put_u8(TAG_COPY_RESPONSE);
+            buf.put_u64_le(req.0);
+            buf.put_u8(*ok as u8);
+            put_item_values(&mut buf, copies);
+        }
+        Message::ClearFailLocks { site, items } => {
+            buf.put_u8(TAG_CLEAR_FAILLOCKS);
+            buf.put_u8(site.0);
+            put_items(&mut buf, items);
+        }
+        Message::RecoveryAnnounce {
+            session,
+            want_state,
+        } => {
+            buf.put_u8(TAG_RECOVERY_ANNOUNCE);
+            buf.put_u64_le(session.0);
+            buf.put_u8(*want_state as u8);
+        }
+        Message::RecoveryInfo {
+            vector,
+            faillocks,
+            holders,
+            backups,
+        } => {
+            buf.put_u8(TAG_RECOVERY_INFO);
+            put_len(&mut buf, vector.len());
+            for rec in vector {
+                buf.put_u64_le(rec.session.0);
+                buf.put_u8(status_code(rec.status));
+            }
+            for words in [faillocks, holders, backups] {
+                put_len(&mut buf, words.len());
+                for word in words {
+                    buf.put_u64_le(*word);
+                }
+            }
+        }
+        Message::FailureAnnounce { failed } => {
+            buf.put_u8(TAG_FAILURE_ANNOUNCE);
+            put_len(&mut buf, failed.len());
+            for (site, session) in failed {
+                buf.put_u8(site.0);
+                buf.put_u64_le(session.0);
+            }
+        }
+        Message::ReadRequest { req, items } => {
+            buf.put_u8(TAG_READ_REQUEST);
+            buf.put_u64_le(req.0);
+            put_items(&mut buf, items);
+        }
+        Message::ReadResponse { req, ok, values } => {
+            buf.put_u8(TAG_READ_RESPONSE);
+            buf.put_u64_le(req.0);
+            buf.put_u8(*ok as u8);
+            put_item_values(&mut buf, values);
+        }
+        Message::CreateBackup { item, value } => {
+            buf.put_u8(TAG_CREATE_BACKUP);
+            buf.put_u32_le(item.0);
+            put_value(&mut buf, value);
+        }
+        Message::BackupCreated { item, site } => {
+            buf.put_u8(TAG_BACKUP_CREATED);
+            buf.put_u32_le(item.0);
+            buf.put_u8(site.0);
+        }
+        Message::BackupDropped { item, site } => {
+            buf.put_u8(TAG_BACKUP_DROPPED);
+            buf.put_u32_le(item.0);
+            buf.put_u8(site.0);
+        }
+        Message::Mgmt(cmd) => {
+            buf.put_u8(TAG_MGMT);
+            put_command(&mut buf, cmd);
+        }
+        Message::MgmtReport(report) => {
+            buf.put_u8(TAG_MGMT_REPORT);
+            put_report(&mut buf, report);
+        }
+        Message::MgmtRecovered { session } => {
+            buf.put_u8(TAG_MGMT_RECOVERED);
+            buf.put_u64_le(session.0);
+        }
+        Message::MgmtDataRecovered { session } => {
+            buf.put_u8(TAG_MGMT_DATA_RECOVERED);
+            buf.put_u64_le(session.0);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a message payload.
+pub fn decode(mut buf: &[u8]) -> Result<Message, NetError> {
+    need(&buf, 1)?;
+    let tag = buf.get_u8();
+    let msg = match tag {
+        TAG_COPY_UPDATE => {
+            need(&buf, 8)?;
+            let txn = TxnId(buf.get_u64_le());
+            let writes = get_item_values(&mut buf)?;
+            let n = get_len(&mut buf, 256)?;
+            let mut snapshot = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(&buf, 8)?;
+                snapshot.push(SessionNumber(buf.get_u64_le()));
+            }
+            let n = get_len(&mut buf, 1 << 20)?;
+            let mut clears = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                need(&buf, 5)?;
+                let item = ItemId(buf.get_u32_le());
+                clears.push((item, SiteId(buf.get_u8())));
+            }
+            Message::CopyUpdate {
+                txn,
+                writes,
+                snapshot,
+                clears,
+            }
+        }
+        TAG_UPDATE_ACK => {
+            need(&buf, 9)?;
+            Message::UpdateAck {
+                txn: TxnId(buf.get_u64_le()),
+                ok: buf.get_u8() != 0,
+            }
+        }
+        TAG_COMMIT => {
+            need(&buf, 8)?;
+            Message::Commit {
+                txn: TxnId(buf.get_u64_le()),
+            }
+        }
+        TAG_COMMIT_ACK => {
+            need(&buf, 8)?;
+            Message::CommitAck {
+                txn: TxnId(buf.get_u64_le()),
+            }
+        }
+        TAG_ABORT_TXN => {
+            need(&buf, 8)?;
+            Message::AbortTxn {
+                txn: TxnId(buf.get_u64_le()),
+            }
+        }
+        TAG_COPY_REQUEST => {
+            need(&buf, 8)?;
+            let req = ReqId(buf.get_u64_le());
+            Message::CopyRequest {
+                req,
+                items: get_items(&mut buf)?,
+            }
+        }
+        TAG_COPY_RESPONSE => {
+            need(&buf, 9)?;
+            let req = ReqId(buf.get_u64_le());
+            let ok = buf.get_u8() != 0;
+            Message::CopyResponse {
+                req,
+                ok,
+                copies: get_item_values(&mut buf)?,
+            }
+        }
+        TAG_CLEAR_FAILLOCKS => {
+            need(&buf, 1)?;
+            let site = SiteId(buf.get_u8());
+            Message::ClearFailLocks {
+                site,
+                items: get_items(&mut buf)?,
+            }
+        }
+        TAG_RECOVERY_ANNOUNCE => {
+            need(&buf, 9)?;
+            Message::RecoveryAnnounce {
+                session: SessionNumber(buf.get_u64_le()),
+                want_state: buf.get_u8() != 0,
+            }
+        }
+        TAG_RECOVERY_INFO => {
+            let n = get_len(&mut buf, 256)?;
+            let mut vector = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(&buf, 9)?;
+                let session = SessionNumber(buf.get_u64_le());
+                let status =
+                    status_from_code(buf.get_u8()).ok_or(err("unknown site status"))?;
+                vector.push(SiteRecord { session, status });
+            }
+            let mut word_vecs = Vec::with_capacity(3);
+            for _ in 0..3 {
+                let n = get_len(&mut buf, 1 << 24)?;
+                let mut words = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    need(&buf, 8)?;
+                    words.push(buf.get_u64_le());
+                }
+                word_vecs.push(words);
+            }
+            let backups = word_vecs.pop().expect("three word vectors");
+            let holders = word_vecs.pop().expect("three word vectors");
+            let faillocks = word_vecs.pop().expect("three word vectors");
+            Message::RecoveryInfo {
+                vector,
+                faillocks,
+                holders,
+                backups,
+            }
+        }
+        TAG_FAILURE_ANNOUNCE => {
+            let n = get_len(&mut buf, 256)?;
+            let mut failed = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(&buf, 9)?;
+                let site = SiteId(buf.get_u8());
+                failed.push((site, SessionNumber(buf.get_u64_le())));
+            }
+            Message::FailureAnnounce { failed }
+        }
+        TAG_READ_REQUEST => {
+            need(&buf, 8)?;
+            let req = ReqId(buf.get_u64_le());
+            Message::ReadRequest {
+                req,
+                items: get_items(&mut buf)?,
+            }
+        }
+        TAG_READ_RESPONSE => {
+            need(&buf, 9)?;
+            let req = ReqId(buf.get_u64_le());
+            let ok = buf.get_u8() != 0;
+            Message::ReadResponse {
+                req,
+                ok,
+                values: get_item_values(&mut buf)?,
+            }
+        }
+        TAG_CREATE_BACKUP => {
+            need(&buf, 4)?;
+            let item = ItemId(buf.get_u32_le());
+            Message::CreateBackup {
+                item,
+                value: get_value(&mut buf)?,
+            }
+        }
+        TAG_BACKUP_CREATED => {
+            need(&buf, 5)?;
+            Message::BackupCreated {
+                item: ItemId(buf.get_u32_le()),
+                site: SiteId(buf.get_u8()),
+            }
+        }
+        TAG_BACKUP_DROPPED => {
+            need(&buf, 5)?;
+            Message::BackupDropped {
+                item: ItemId(buf.get_u32_le()),
+                site: SiteId(buf.get_u8()),
+            }
+        }
+        TAG_MGMT => Message::Mgmt(get_command(&mut buf)?),
+        TAG_MGMT_REPORT => Message::MgmtReport(get_report(&mut buf)?),
+        TAG_MGMT_RECOVERED => {
+            need(&buf, 8)?;
+            Message::MgmtRecovered {
+                session: SessionNumber(buf.get_u64_le()),
+            }
+        }
+        TAG_MGMT_DATA_RECOVERED => {
+            need(&buf, 8)?;
+            Message::MgmtDataRecovered {
+                session: SessionNumber(buf.get_u64_le()),
+            }
+        }
+        _ => return Err(err("unknown message tag")),
+    };
+    if buf.has_remaining() {
+        return Err(err("trailing bytes"));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let enc = encode(&msg);
+        let dec = decode(&enc).expect("decode");
+        assert_eq!(dec, msg);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let value = ItemValue::new(7, 3);
+        let record = SiteRecord {
+            session: SessionNumber(4),
+            status: miniraid_core::session::SiteStatus::WaitingToRecover,
+        };
+        let report = TxnReport {
+            txn: TxnId(5),
+            coordinator: SiteId(2),
+            outcome: TxnOutcome::Aborted(AbortReason::SessionMismatch),
+            stats: TxnStats {
+                reads: 1,
+                writes: 2,
+                copier_requests: 3,
+                faillocks_set: 4,
+                faillocks_cleared: 5,
+                messages_sent: 6,
+                participant_failed_phase_two: true,
+            },
+            read_results: vec![(ItemId(1), value)],
+        };
+        let msgs = vec![
+            Message::CopyUpdate {
+                txn: TxnId(1),
+                writes: vec![(ItemId(2), value)],
+                snapshot: vec![SessionNumber(1), SessionNumber(9)],
+                clears: vec![(ItemId(3), SiteId(1))],
+            },
+            Message::UpdateAck { txn: TxnId(1), ok: false },
+            Message::Commit { txn: TxnId(1) },
+            Message::CommitAck { txn: TxnId(1) },
+            Message::AbortTxn { txn: TxnId(1) },
+            Message::CopyRequest { req: ReqId(8), items: vec![ItemId(0), ItemId(5)] },
+            Message::CopyResponse { req: ReqId(8), ok: true, copies: vec![(ItemId(0), value)] },
+            Message::ClearFailLocks { site: SiteId(3), items: vec![ItemId(7)] },
+            Message::RecoveryAnnounce { session: SessionNumber(2), want_state: true },
+            Message::RecoveryInfo {
+                vector: vec![record; 3],
+                faillocks: vec![0, 5, u64::MAX],
+                holders: vec![7, 7, 7],
+                backups: vec![0, 1, 4],
+            },
+            Message::FailureAnnounce { failed: vec![(SiteId(1), SessionNumber(3))] },
+            Message::ReadRequest { req: ReqId(9), items: vec![ItemId(2)] },
+            Message::ReadResponse { req: ReqId(9), ok: false, values: vec![] },
+            Message::CreateBackup { item: ItemId(4), value },
+            Message::BackupCreated { item: ItemId(4), site: SiteId(0) },
+            Message::BackupDropped { item: ItemId(4), site: SiteId(0) },
+            Message::Mgmt(Command::Fail),
+            Message::Mgmt(Command::Recover),
+            Message::Mgmt(Command::Terminate),
+            Message::Mgmt(Command::Begin(Transaction::new(
+                TxnId(12),
+                vec![Operation::Read(ItemId(1)), Operation::Write(ItemId(2), 42)],
+            ))),
+            Message::MgmtReport(report),
+            Message::MgmtRecovered { session: SessionNumber(7) },
+        ];
+        for msg in msgs {
+            roundtrip(msg);
+        }
+    }
+
+    #[test]
+    fn committed_report_roundtrips() {
+        roundtrip(Message::MgmtReport(TxnReport {
+            txn: TxnId(1),
+            coordinator: SiteId(0),
+            outcome: TxnOutcome::Committed,
+            stats: TxnStats::default(),
+            read_results: vec![],
+        }));
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicking() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[200]).is_err());
+        assert!(decode(&[TAG_COMMIT, 1, 2]).is_err());
+        // Trailing bytes rejected.
+        let mut enc = encode(&Message::Commit { txn: TxnId(1) }).to_vec();
+        enc.push(0);
+        assert!(decode(&enc).is_err());
+    }
+
+    #[test]
+    fn absurd_lengths_are_rejected() {
+        // CopyRequest claiming 2^31 items.
+        let mut raw = vec![TAG_COPY_REQUEST];
+        raw.extend_from_slice(&8u64.to_le_bytes());
+        raw.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(decode(&raw).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Latency injection: wraps any [`Transport`] and delays each send by a
+//! fixed interval, emulating the paper's measured 9 ms per intersite
+//! communication on real (threaded) deployments.
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use miniraid_core::ids::SiteId;
+use miniraid_core::messages::Message;
+
+use crate::transport::Transport;
+use crate::NetError;
+
+struct Delayed {
+    due: Instant,
+    seq: u64,
+    to: SiteId,
+    msg: Message,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest-due message is
+        // popped first, with the sequence number breaking ties FIFO.
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct Queue {
+    heap: BinaryHeap<Delayed>,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    cv: Condvar,
+}
+
+/// A transport decorator adding a fixed send latency. A background pump
+/// thread releases messages when due; ordering between messages with the
+/// same latency is preserved (FIFO by enqueue sequence).
+pub struct DelayTransport {
+    shared: Arc<Shared>,
+    latency: Duration,
+    local: SiteId,
+}
+
+impl DelayTransport {
+    /// Wrap `inner`, delaying every message by `latency`.
+    pub fn new<T: Transport + 'static>(inner: T, latency: Duration) -> Self {
+        let local = inner.local_id();
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue::default()),
+            cv: Condvar::new(),
+        });
+        let pump = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("miniraid-delay-{}", local.0))
+            .spawn(move || loop {
+                let next: Delayed = {
+                    let mut q = pump.queue.lock();
+                    loop {
+                        if q.shutdown && q.heap.is_empty() {
+                            return;
+                        }
+                        match q.heap.peek() {
+                            Some(top) if top.due <= Instant::now() => {
+                                break q.heap.pop().expect("peeked");
+                            }
+                            Some(top) => {
+                                let due = top.due;
+                                pump.cv.wait_until(&mut q, due);
+                            }
+                            None => {
+                                pump.cv.wait(&mut q);
+                            }
+                        }
+                    }
+                };
+                let _ = inner.send(next.to, &next.msg);
+            })
+            .expect("spawn delay pump");
+        DelayTransport {
+            shared,
+            latency,
+            local,
+        }
+    }
+}
+
+impl Transport for DelayTransport {
+    fn send(&self, to: SiteId, msg: &Message) -> Result<(), NetError> {
+        let mut q = self.shared.queue.lock();
+        let seq = q.next_seq;
+        q.next_seq += 1;
+        q.heap.push(Delayed {
+            due: Instant::now() + self.latency,
+            seq,
+            to,
+            msg: msg.clone(),
+        });
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+
+    fn local_id(&self) -> SiteId {
+        self.local
+    }
+}
+
+impl Drop for DelayTransport {
+    fn drop(&mut self) {
+        self.shared.queue.lock().shutdown = true;
+        self.shared.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelNetwork;
+    use crate::transport::Mailbox;
+    use miniraid_core::ids::TxnId;
+
+    #[test]
+    fn messages_are_delayed_but_ordered() {
+        let mut endpoints = ChannelNetwork::new(2);
+        let (_t1, m1) = endpoints.pop().unwrap();
+        let (t0, _m0) = endpoints.pop().unwrap();
+        let delayed = DelayTransport::new(t0, Duration::from_millis(30));
+        let start = Instant::now();
+        for i in 0..5u64 {
+            delayed.send(SiteId(1), &Message::Commit { txn: TxnId(i) }).unwrap();
+        }
+        for i in 0..5u64 {
+            let (_, msg) = m1.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(msg, Message::Commit { txn: TxnId(i) });
+        }
+        assert!(
+            start.elapsed() >= Duration::from_millis(30),
+            "latency was applied"
+        );
+    }
+
+    #[test]
+    fn drop_stops_pump_after_draining() {
+        let mut endpoints = ChannelNetwork::new(2);
+        let (_t1, m1) = endpoints.pop().unwrap();
+        let (t0, _m0) = endpoints.pop().unwrap();
+        {
+            let delayed = DelayTransport::new(t0, Duration::from_millis(10));
+            delayed.send(SiteId(1), &Message::Commit { txn: TxnId(7) }).unwrap();
+        } // dropped immediately
+        // The queued message is still delivered before shutdown.
+        let (_, msg) = m1.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(msg, Message::Commit { txn: TxnId(7) });
+    }
+}

@@ -1,0 +1,52 @@
+//! Transport abstractions.
+//!
+//! The paper assumes "a reliable message passing facility: no messages
+//! were lost; messages arrived and were processed in the order that they
+//! were sent; and no errors in transmission altered the messages."
+//! Both provided transports give per-sender FIFO, no-loss, no-corruption
+//! delivery: [`crate::channel::ChannelNetwork`] in process, and
+//! [`crate::tcp::TcpEndpoint`] across processes.
+
+use std::time::Duration;
+
+use miniraid_core::ids::SiteId;
+use miniraid_core::messages::Message;
+
+use crate::NetError;
+
+/// The sending half owned by one site.
+pub trait Transport: Send {
+    /// Send `msg` to `to`. Returns an error only for local failures
+    /// (unknown destination, closed network) — a crashed remote is
+    /// indistinguishable from a slow one, as in any real network.
+    fn send(&self, to: SiteId, msg: &Message) -> Result<(), NetError>;
+
+    /// This endpoint's own site id.
+    fn local_id(&self) -> SiteId;
+}
+
+/// The receiving half owned by one site.
+pub trait Mailbox: Send {
+    /// Block up to `timeout` for the next message.
+    fn recv_timeout(&self, timeout: Duration) -> Result<(SiteId, Message), RecvError>;
+}
+
+/// Receive failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// Nothing arrived within the timeout.
+    Timeout,
+    /// The network was shut down; no further messages will arrive.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout => f.write_str("receive timed out"),
+            RecvError::Disconnected => f.write_str("network disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}

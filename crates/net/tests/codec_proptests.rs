@@ -1,0 +1,177 @@
+//! Property tests for the wire codec: every message round-trips; decoding
+//! arbitrary bytes never panics.
+
+use miniraid_core::error::AbortReason;
+use miniraid_core::ids::{ItemId, ReqId, SessionNumber, SiteId, TxnId};
+use miniraid_core::messages::{Command, Message, TxnOutcome, TxnReport, TxnStats};
+use miniraid_core::ops::{Operation, Transaction};
+use miniraid_core::session::{SiteRecord, SiteStatus};
+use miniraid_net::codec::{decode, encode};
+use miniraid_storage::ItemValue;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = ItemValue> {
+    (any::<u64>(), any::<u64>()).prop_map(|(d, v)| ItemValue::new(d, v))
+}
+
+fn arb_item_values() -> impl Strategy<Value = Vec<(ItemId, ItemValue)>> {
+    proptest::collection::vec((any::<u32>().prop_map(ItemId), arb_value()), 0..8)
+}
+
+fn arb_items() -> impl Strategy<Value = Vec<ItemId>> {
+    proptest::collection::vec(any::<u32>().prop_map(ItemId), 0..8)
+}
+
+fn arb_status() -> impl Strategy<Value = SiteStatus> {
+    prop_oneof![
+        Just(SiteStatus::Up),
+        Just(SiteStatus::Down),
+        Just(SiteStatus::WaitingToRecover),
+        Just(SiteStatus::Terminating),
+    ]
+}
+
+fn arb_operation() -> impl Strategy<Value = Operation> {
+    prop_oneof![
+        any::<u32>().prop_map(|i| Operation::Read(ItemId(i))),
+        (any::<u32>(), any::<u64>()).prop_map(|(i, v)| Operation::Write(ItemId(i), v)),
+    ]
+}
+
+fn arb_reason() -> impl Strategy<Value = AbortReason> {
+    prop_oneof![
+        Just(AbortReason::DataUnavailable),
+        Just(AbortReason::CopierTargetFailed),
+        Just(AbortReason::ParticipantFailed),
+        Just(AbortReason::SessionMismatch),
+        Just(AbortReason::SiteNotOperational),
+    ]
+}
+
+fn arb_report() -> impl Strategy<Value = TxnReport> {
+    (
+        any::<u64>(),
+        any::<u8>(),
+        prop_oneof![
+            Just(TxnOutcome::Committed),
+            arb_reason().prop_map(TxnOutcome::Aborted)
+        ],
+        any::<[u32; 6]>(),
+        any::<bool>(),
+        arb_item_values(),
+    )
+        .prop_map(|(txn, coord, outcome, s, p2, reads)| TxnReport {
+            txn: TxnId(txn),
+            coordinator: SiteId(coord),
+            outcome,
+            stats: TxnStats {
+                reads: s[0],
+                writes: s[1],
+                copier_requests: s[2],
+                faillocks_set: s[3],
+                faillocks_cleared: s[4],
+                messages_sent: s[5],
+                participant_failed_phase_two: p2,
+            },
+            read_results: reads,
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            arb_item_values(),
+            proptest::collection::vec(any::<u64>().prop_map(SessionNumber), 0..8),
+            proptest::collection::vec((any::<u32>().prop_map(ItemId), any::<u8>().prop_map(SiteId)), 0..8),
+        )
+            .prop_map(|(txn, writes, snapshot, clears)| Message::CopyUpdate {
+                txn: TxnId(txn),
+                writes,
+                snapshot,
+                clears,
+            }),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(t, ok)| Message::UpdateAck { txn: TxnId(t), ok }),
+        any::<u64>().prop_map(|t| Message::Commit { txn: TxnId(t) }),
+        any::<u64>().prop_map(|t| Message::CommitAck { txn: TxnId(t) }),
+        any::<u64>().prop_map(|t| Message::AbortTxn { txn: TxnId(t) }),
+        (any::<u64>(), arb_items())
+            .prop_map(|(r, items)| Message::CopyRequest { req: ReqId(r), items }),
+        (any::<u64>(), any::<bool>(), arb_item_values())
+            .prop_map(|(r, ok, copies)| Message::CopyResponse { req: ReqId(r), ok, copies }),
+        (any::<u8>(), arb_items())
+            .prop_map(|(s, items)| Message::ClearFailLocks { site: SiteId(s), items }),
+        (any::<u64>(), any::<bool>()).prop_map(|(s, w)| Message::RecoveryAnnounce {
+            session: SessionNumber(s),
+            want_state: w,
+        }),
+        (
+            proptest::collection::vec(
+                (any::<u64>(), arb_status())
+                    .prop_map(|(s, st)| SiteRecord { session: SessionNumber(s), status: st }),
+                0..8
+            ),
+            proptest::collection::vec(any::<u64>(), 0..16),
+            proptest::collection::vec(any::<u64>(), 0..16),
+            proptest::collection::vec(any::<u64>(), 0..16),
+        )
+            .prop_map(|(vector, faillocks, holders, backups)| Message::RecoveryInfo {
+                vector,
+                faillocks,
+                holders,
+                backups,
+            }),
+        proptest::collection::vec(
+            (any::<u8>().prop_map(SiteId), any::<u64>().prop_map(SessionNumber)),
+            0..8
+        )
+        .prop_map(|failed| Message::FailureAnnounce { failed }),
+        (any::<u64>(), arb_items())
+            .prop_map(|(r, items)| Message::ReadRequest { req: ReqId(r), items }),
+        (any::<u64>(), any::<bool>(), arb_item_values())
+            .prop_map(|(r, ok, values)| Message::ReadResponse { req: ReqId(r), ok, values }),
+        (any::<u32>(), arb_value())
+            .prop_map(|(i, v)| Message::CreateBackup { item: ItemId(i), value: v }),
+        (any::<u32>(), any::<u8>())
+            .prop_map(|(i, s)| Message::BackupCreated { item: ItemId(i), site: SiteId(s) }),
+        (any::<u32>(), any::<u8>())
+            .prop_map(|(i, s)| Message::BackupDropped { item: ItemId(i), site: SiteId(s) }),
+        prop_oneof![
+            Just(Command::Fail),
+            Just(Command::Recover),
+            Just(Command::Terminate),
+            (any::<u64>(), proptest::collection::vec(arb_operation(), 0..12))
+                .prop_map(|(id, ops)| Command::Begin(Transaction::new(TxnId(id), ops))),
+        ]
+        .prop_map(Message::Mgmt),
+        arb_report().prop_map(Message::MgmtReport),
+        any::<u64>().prop_map(|s| Message::MgmtRecovered { session: SessionNumber(s) }),
+        any::<u64>().prop_map(|s| Message::MgmtDataRecovered { session: SessionNumber(s) }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_message_roundtrips(msg in arb_message()) {
+        let encoded = encode(&msg);
+        let decoded = decode(&encoded).expect("well-formed message decodes");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn decode_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode(&raw);
+    }
+
+    #[test]
+    fn truncated_encodings_error_cleanly(msg in arb_message(), cut in 0usize..64) {
+        let encoded = encode(&msg);
+        if cut < encoded.len() {
+            let truncated = &encoded[..encoded.len() - cut - 1];
+            // Must not panic; may error or (rarely) decode a prefix-valid
+            // message, which the trailing-bytes check prevents.
+            let _ = decode(truncated);
+        }
+    }
+}

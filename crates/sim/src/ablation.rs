@@ -1,0 +1,370 @@
+//! Ablation studies for the design alternatives the paper proposes but
+//! does not implement (DESIGN.md X1–X5):
+//!
+//! * X1 — two-step recovery (§3.2): threshold-triggered batch copiers.
+//! * X2 — piggybacking fail-lock clears in two-phase commit (§2.2.3).
+//! * X3 — read-fraction sweep (§5's discussion of read-heavy loads).
+//! * X4 — control transaction type 3 on a partially replicated database
+//!   (§3.2).
+//! * X5 — coordinator routing policy during recovery (implicit in the
+//!   paper's Figure 1; see EXPERIMENTS.md).
+
+use miniraid_core::config::{ProtocolConfig, ReplicationStrategy, TwoStepRecovery};
+use miniraid_core::error::AbortReason;
+use miniraid_core::ids::SiteId;
+use miniraid_core::messages::TxnOutcome;
+use miniraid_core::partial::ReplicationMap;
+use miniraid_txn::workload::UniformGen;
+
+use crate::cost::{CostModel, ProcessorModel};
+use crate::managing::{Manager, Routing};
+use crate::world::{SimConfig, Simulation};
+
+/// Result of one recovery-policy run (X1, X3, X5).
+#[derive(Debug, Clone)]
+pub struct RecoveryAblation {
+    /// Transactions processed after recovery until site 0 was clean.
+    pub txns_to_recover: u64,
+    /// Virtual milliseconds from the Recover command to data-clean.
+    pub recovery_ms: f64,
+    /// Copier transactions the recovering site issued.
+    pub copier_requests: u64,
+    /// Aborts during the recovery period.
+    pub aborts: u32,
+}
+
+/// X1/X3/X5 harness: two-site system, site 0 down for 100 transactions,
+/// then recovered; `two_step`, `read_fraction` and `routing` vary.
+pub fn recovery_ablation(
+    seed: u64,
+    two_step: Option<TwoStepRecovery>,
+    read_fraction: f64,
+    routing: Routing,
+) -> RecoveryAblation {
+    let protocol = ProtocolConfig {
+        db_size: 50,
+        n_sites: 2,
+        two_step_recovery: two_step,
+        ..ProtocolConfig::default()
+    };
+    let mut config = SimConfig::paper(protocol);
+    config.cost = CostModel::paper_1987();
+    config.processor = ProcessorModel::PerSite;
+    let sim = Simulation::new(config);
+    let gen = UniformGen::with_read_fraction(seed, 50, 5, read_fraction);
+    let mut manager = Manager::new(sim, gen);
+
+    manager.sim.fail_site(SiteId(0), true);
+    manager.run_many(&Routing::Fixed(SiteId(1)), 100);
+    let recovery_begins = manager.sim.now();
+    assert!(manager.sim.recover_site(SiteId(0)));
+
+    let aborts_before = manager
+        .series
+        .iter()
+        .filter(|p| !p.committed)
+        .count() as u32;
+    let txns_to_recover = manager.run_until(&routing, 3000, |sim| sim.faillock_counts()[0] == 0);
+    // Recovery may complete via batch copiers during/before the loop;
+    // find the data-recovery-complete notable for site 0.
+    let clean_at = manager
+        .sim
+        .notables
+        .iter()
+        .rev()
+        .find(|(_, site, n)| *site == SiteId(0) && *n == crate::world::Notable::DataRecoveryComplete)
+        .map(|(t, _, _)| *t)
+        .unwrap_or(manager.sim.now());
+    let aborts = manager
+        .series
+        .iter()
+        .filter(|p| !p.committed)
+        .count() as u32
+        - aborts_before;
+
+    RecoveryAblation {
+        txns_to_recover,
+        recovery_ms: clean_at.since(recovery_begins) as f64 / 1000.0,
+        copier_requests: manager.sim.engine(SiteId(0)).metrics().copier_requests,
+        aborts,
+    }
+}
+
+/// Result of the piggyback ablation (X2).
+#[derive(Debug, Clone)]
+pub struct PiggybackAblation {
+    /// Mean coordinator time of transactions that generated one copier.
+    pub copier_txn_ms: f64,
+    /// Standalone clear-fail-lock messages sent by the recovering site.
+    pub clear_messages: u64,
+}
+
+/// X2 harness: the Experiment-1 copier scenario with and without
+/// embedding fail-lock clears in the two-phase commit messages.
+pub fn piggyback_ablation(seed: u64, piggyback: bool) -> PiggybackAblation {
+    let protocol = ProtocolConfig {
+        db_size: 50,
+        n_sites: 4,
+        piggyback_clears: piggyback,
+        ..ProtocolConfig::default()
+    };
+    let mut times = Vec::new();
+    let mut clears = 0u64;
+    for round in 0..10u64 {
+        let sim = Simulation::new(SimConfig::paper(protocol.clone()));
+        let mut manager = Manager::new(sim, UniformGen::new(seed + round, 50, 10));
+        manager.sim.fail_site(SiteId(3), true);
+        manager.run_many(&Routing::RoundRobinUp, 25);
+        manager.sim.recover_site(SiteId(3));
+        let records = manager.run_many(&Routing::Fixed(SiteId(3)), 60);
+        for r in &records {
+            if r.report.outcome.is_committed()
+                && !r.participants.is_empty()
+                && r.report.stats.copier_requests == 1
+            {
+                times.push(r.coordinator_ms());
+            }
+        }
+        clears += manager.sim.engine(SiteId(3)).metrics().clear_messages_sent;
+    }
+    PiggybackAblation {
+        copier_txn_ms: crate::stats::mean(&times),
+        clear_messages: clears,
+    }
+}
+
+/// Result of the type-3 control transaction ablation (X4).
+#[derive(Debug, Clone)]
+pub struct BackupAblation {
+    /// Type-3 control transactions issued.
+    pub backups_created: u64,
+    /// Reads aborted for data unavailability after the second failure.
+    pub unavailable_aborts: u32,
+    /// Reads issued in the probe phase.
+    pub probe_reads: u32,
+}
+
+/// X4 harness: 3 sites, every item on 2 of them; after one holder of
+/// each endangered item fails, a second failure strikes. With type-3
+/// control transactions, backup copies keep the data available.
+pub fn backup_ablation(seed: u64, enable_ct3: bool) -> BackupAblation {
+    let protocol = ProtocolConfig {
+        db_size: 30,
+        n_sites: 3,
+        backup_on_last_copy: enable_ct3,
+        ..ProtocolConfig::default()
+    };
+    let map = ReplicationMap::round_robin(30, 3, 2);
+    let mut config = SimConfig::paper(protocol);
+    config.cost = CostModel::zero_cpu();
+    config.processor = ProcessorModel::PerSite;
+    let sim = Simulation::with_replication(config, map);
+    let mut manager = Manager::new(sim, UniformGen::new(seed, 30, 4));
+
+    // Warm up with writes so every copy has been touched.
+    manager.run_many(&Routing::RoundRobinUp, 40);
+    // First failure: items held by {1, x} now have one operational copy.
+    manager.sim.fail_site(SiteId(1), true);
+    manager.run_many(&Routing::RoundRobinUp, 10);
+    // Second failure: without CT3 backups, items held by exactly
+    // {1, 2} are now completely unavailable.
+    manager.sim.fail_site(SiteId(2), true);
+
+    // Probe: read every item from site 0.
+    let mut unavailable = 0u32;
+    let mut probes = 0u32;
+    for item in 0..30u32 {
+        let id = miniraid_core::TxnId(100_000 + item as u64);
+        let txn = miniraid_core::Transaction::new(
+            id,
+            vec![miniraid_core::Operation::Read(miniraid_core::ItemId(item))],
+        );
+        let record = manager.sim.run_txn(SiteId(0), txn);
+        probes += 1;
+        if record.report.outcome == TxnOutcome::Aborted(AbortReason::DataUnavailable) {
+            unavailable += 1;
+        }
+    }
+    let backups_created = (0..3)
+        .map(|i| manager.sim.engine(SiteId(i)).metrics().control_type3)
+        .sum();
+    BackupAblation {
+        backups_created,
+        unavailable_aborts: unavailable,
+        probe_reads: probes,
+    }
+}
+
+/// Result of the strategy-availability ablation (X6).
+#[derive(Debug, Clone)]
+pub struct AvailabilityAblation {
+    /// Committed transactions per phase: all up / one down / two down /
+    /// recovered.
+    pub committed: [u32; 4],
+    /// Transactions issued per phase.
+    pub issued: [u32; 4],
+    /// Mean messages per committed transaction (protocol overhead).
+    pub msgs_per_commit: f64,
+}
+
+/// X6 harness: the same workload and failure schedule under each
+/// copy-control strategy — the paper's ROWAA against the plain-ROWA and
+/// majority-quorum baselines. Four sites; one site fails, then a second;
+/// then both recover.
+pub fn availability_ablation(seed: u64, strategy: ReplicationStrategy) -> AvailabilityAblation {
+    let protocol = ProtocolConfig {
+        db_size: 50,
+        n_sites: 4,
+        strategy,
+        two_step_recovery: Some(TwoStepRecovery {
+            threshold: 1.0,
+            batch_size: 50,
+        }),
+        ..ProtocolConfig::default()
+    };
+    let mut config = SimConfig::paper(protocol);
+    config.cost = CostModel::zero_cpu();
+    config.processor = ProcessorModel::PerSite;
+    let sim = Simulation::new(config);
+    let mut manager = Manager::new(sim, UniformGen::new(seed, 50, 5));
+
+    const PER_PHASE: u64 = 40;
+    let mut committed = [0u32; 4];
+    let mut issued = [0u32; 4];
+    let mut phase_run = |manager: &mut Manager<UniformGen>, phase: usize| {
+        let records = manager.run_many(&Routing::Fixed(SiteId(0)), PER_PHASE);
+        issued[phase] = records.len() as u32;
+        committed[phase] = records
+            .iter()
+            .filter(|r| r.report.outcome.is_committed())
+            .count() as u32;
+    };
+
+    phase_run(&mut manager, 0);
+    manager.sim.fail_site(SiteId(3), true);
+    phase_run(&mut manager, 1);
+    manager.sim.fail_site(SiteId(2), true);
+    phase_run(&mut manager, 2);
+    manager.sim.recover_site(SiteId(2));
+    manager.sim.recover_site(SiteId(3));
+    phase_run(&mut manager, 3);
+
+    let total_committed: u32 = committed.iter().sum();
+    let total_msgs: u64 = (0..4)
+        .map(|i| manager.sim.engine(SiteId(i)).metrics().msgs_sent)
+        .sum();
+    AvailabilityAblation {
+        committed,
+        issued,
+        msgs_per_commit: if total_committed > 0 {
+            total_msgs as f64 / total_committed as f64
+        } else {
+            f64::NAN
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_step_batch_recovers_faster_than_on_demand() {
+        let on_demand = recovery_ablation(7, None, 0.5, Routing::RoundRobinUp);
+        let batch = recovery_ablation(
+            7,
+            Some(TwoStepRecovery {
+                threshold: 1.0,
+                batch_size: 10,
+            }),
+            0.5,
+            Routing::RoundRobinUp,
+        );
+        assert!(
+            batch.recovery_ms < on_demand.recovery_ms / 2.0,
+            "batch {} vs on-demand {}",
+            batch.recovery_ms,
+            on_demand.recovery_ms
+        );
+        // Batch mode needs almost no transaction traffic to finish.
+        assert!(
+            batch.txns_to_recover <= 5,
+            "batch needed {} txns",
+            batch.txns_to_recover
+        );
+        assert!(batch.copier_requests > 0);
+    }
+
+    #[test]
+    fn piggyback_eliminates_clear_messages_and_reduces_time() {
+        let plain = piggyback_ablation(3, false);
+        let piggy = piggyback_ablation(3, true);
+        assert!(plain.clear_messages > 0);
+        assert_eq!(piggy.clear_messages, 0);
+        assert!(
+            piggy.copier_txn_ms < plain.copier_txn_ms,
+            "piggyback {} vs plain {}",
+            piggy.copier_txn_ms,
+            plain.copier_txn_ms
+        );
+    }
+
+    #[test]
+    fn ct3_backups_preserve_availability() {
+        let without = backup_ablation(11, false);
+        let with = backup_ablation(11, true);
+        assert_eq!(without.backups_created, 0);
+        assert!(without.unavailable_aborts > 0, "some items must be lost");
+        assert!(with.backups_created > 0);
+        assert!(
+            with.unavailable_aborts < without.unavailable_aborts,
+            "CT3 must improve availability: {} vs {}",
+            with.unavailable_aborts,
+            without.unavailable_aborts
+        );
+    }
+
+    #[test]
+    fn availability_ordering_rowaa_beats_quorum_beats_rowa() {
+        let rowaa = availability_ablation(3, ReplicationStrategy::RowaAvailable);
+        let rowa = availability_ablation(3, ReplicationStrategy::Rowa);
+        let quorum = availability_ablation(3, ReplicationStrategy::MajorityQuorum);
+
+        // All strategies work fine with every site up.
+        assert_eq!(rowaa.committed[0], 40);
+        assert_eq!(rowa.committed[0], 40);
+        assert_eq!(quorum.committed[0], 40);
+
+        // One site down: ROWAA and quorum keep committing; ROWA blocks
+        // every write (only read-only transactions survive).
+        assert!(rowaa.committed[1] >= 39);
+        assert!(quorum.committed[1] >= 39);
+        assert!(
+            rowa.committed[1] < 20,
+            "ROWA committed {} with a site down",
+            rowa.committed[1]
+        );
+
+        // Two of four down: quorum loses its majority and blocks
+        // everything; ROWAA still commits.
+        assert!(rowaa.committed[2] >= 39);
+        assert_eq!(quorum.committed[2], 0);
+
+        // After recovery everyone is back to full availability.
+        assert!(rowaa.committed[3] >= 39);
+        assert!(rowa.committed[3] >= 39);
+        assert!(quorum.committed[3] >= 39);
+    }
+
+    #[test]
+    fn read_heavy_recovery_uses_more_copiers() {
+        let balanced = recovery_ablation(5, None, 0.5, Routing::RoundRobinUp);
+        let read_heavy = recovery_ablation(5, None, 0.9, Routing::RoundRobinUp);
+        assert!(
+            read_heavy.copier_requests > balanced.copier_requests,
+            "read-heavy {} vs balanced {}",
+            read_heavy.copier_requests,
+            balanced.copier_requests
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # miniraid-sim — the mini-RAID experimental testbed
+//!
+//! A deterministic discrete-event simulator reproducing the paper's
+//! stripped-down RAID system: database sites as serial processes (on one
+//! shared processor, as in the paper, or one per site), a reliable
+//! ordered message fabric with a 9 ms per-communication cost, a managing
+//! site that injects failures/recoveries and generates transactions, and
+//! instrumentation for exactly the quantities the paper measures.
+//!
+//! The protocol logic is *not* reimplemented here — the simulator drives
+//! the same [`miniraid_core::engine::SiteEngine`] state machine that the
+//! threaded cluster (`miniraid-cluster`) runs on real threads and
+//! sockets.
+//!
+//! Entry points:
+//! * [`world::Simulation`] — the simulator itself.
+//! * [`managing::Manager`] — workload-driving managing site.
+//! * [`scenario`] — the paper's Experiments 1–3 as runnable functions.
+//! * [`report`] — CSV output and ASCII figure rendering.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod cost;
+pub mod managing;
+pub mod report;
+pub mod scenario;
+pub mod stats;
+pub mod time;
+pub mod world;
+
+pub use cost::{CostModel, ProcessorModel, TimingConfig};
+pub use managing::{Manager, Routing, SeriesPoint};
+pub use time::VTime;
+pub use world::{SimConfig, Simulation, TxnRecord};

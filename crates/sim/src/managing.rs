@@ -1,0 +1,204 @@
+//! The managing site (paper §1.2): interactive control of system
+//! actions — failing and recovering sites and initiating database
+//! transactions — plus workload generation and per-transaction series
+//! collection.
+
+use miniraid_core::ids::{SiteId, TxnId};
+use miniraid_core::ops::Transaction;
+use miniraid_txn::workload::WorkloadGen;
+
+use crate::world::{Simulation, TxnRecord};
+
+/// How the managing site picks the coordinating site for each
+/// transaction. The paper leaves this implicit; the figures constrain it
+/// (see EXPERIMENTS.md), so it is an explicit, reportable policy here.
+#[derive(Debug, Clone)]
+pub enum Routing {
+    /// Every transaction to one site.
+    Fixed(SiteId),
+    /// Round-robin over the currently operational sites.
+    RoundRobinUp,
+    /// To `base`, except every `nth` transaction goes to `alt` (used to
+    /// reproduce Figure 1's write-dominated recovery with its two copier
+    /// transactions).
+    MostlyWithOccasional {
+        /// The usual coordinator.
+        base: SiteId,
+        /// Every `nth` transaction is redirected.
+        nth: u64,
+        /// The occasional coordinator.
+        alt: SiteId,
+    },
+}
+
+/// One point of a figure series: state after a transaction completed.
+#[derive(Debug, Clone)]
+pub struct SeriesPoint {
+    /// 1-based transaction number (the paper numbers from 1).
+    pub txn_index: u64,
+    /// Fail-locked copies per site ("number of fail-locks set").
+    pub faillocks: Vec<u32>,
+    /// Whether this transaction committed.
+    pub committed: bool,
+    /// Copier transactions this transaction requested.
+    pub copier_requests: u32,
+    /// The coordinating site.
+    pub coordinator: SiteId,
+}
+
+/// The managing site: owns the simulator, a workload generator, and the
+/// series being collected.
+pub struct Manager<G: WorkloadGen> {
+    /// The simulated cluster.
+    pub sim: Simulation,
+    gen: G,
+    next_id: u64,
+    rr_cursor: usize,
+    /// Per-transaction series (grows by one per issued transaction).
+    pub series: Vec<SeriesPoint>,
+}
+
+impl<G: WorkloadGen> Manager<G> {
+    /// Create over a simulator and workload generator.
+    pub fn new(sim: Simulation, gen: G) -> Self {
+        Manager {
+            sim,
+            gen,
+            next_id: 1,
+            rr_cursor: 0,
+            series: Vec::new(),
+        }
+    }
+
+    /// Transactions issued so far.
+    pub fn issued(&self) -> u64 {
+        self.next_id - 1
+    }
+
+    /// Pick the coordinator for transaction number `index` (1-based).
+    fn route(&mut self, routing: &Routing, index: u64) -> SiteId {
+        match routing {
+            Routing::Fixed(site) => *site,
+            Routing::RoundRobinUp => {
+                let up: Vec<SiteId> = (0..self.sim.config().protocol.n_sites)
+                    .map(SiteId)
+                    .filter(|s| self.sim.engine(*s).is_up())
+                    .collect();
+                assert!(!up.is_empty(), "no operational site to route to");
+                let site = up[self.rr_cursor % up.len()];
+                self.rr_cursor += 1;
+                site
+            }
+            Routing::MostlyWithOccasional { base, nth, alt } => {
+                if index.is_multiple_of(*nth) {
+                    *alt
+                } else {
+                    *base
+                }
+            }
+        }
+    }
+
+    /// Generate and run one transaction under `routing`; returns its
+    /// record and appends a series point.
+    pub fn run_one(&mut self, routing: &Routing) -> TxnRecord {
+        let id = TxnId(self.next_id);
+        self.next_id += 1;
+        let txn: Transaction = self.gen.next_txn(id);
+        let site = self.route(routing, id.0);
+        let record = self.sim.run_txn(site, txn);
+        self.series.push(SeriesPoint {
+            txn_index: id.0,
+            faillocks: self.sim.faillock_counts(),
+            committed: record.report.outcome.is_committed(),
+            copier_requests: record.report.stats.copier_requests,
+            coordinator: site,
+        });
+        record
+    }
+
+    /// Run `n` transactions under `routing`.
+    pub fn run_many(&mut self, routing: &Routing, n: u64) -> Vec<TxnRecord> {
+        (0..n).map(|_| self.run_one(routing)).collect()
+    }
+
+    /// Run transactions under `routing` until `stop` returns true
+    /// (checked after each transaction) or `cap` transactions have run.
+    /// Returns the number run.
+    pub fn run_until(
+        &mut self,
+        routing: &Routing,
+        cap: u64,
+        mut stop: impl FnMut(&Simulation) -> bool,
+    ) -> u64 {
+        for i in 0..cap {
+            self.run_one(routing);
+            if stop(&self.sim) {
+                return i + 1;
+            }
+        }
+        cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::world::SimConfig;
+    use miniraid_core::ProtocolConfig;
+    use miniraid_txn::workload::UniformGen;
+
+    fn manager() -> Manager<UniformGen> {
+        let protocol = ProtocolConfig {
+            db_size: 50,
+            n_sites: 2,
+            ..ProtocolConfig::default()
+        };
+        let mut config = SimConfig::paper(protocol);
+        config.cost = CostModel::zero_cpu();
+        let sim = Simulation::new(config);
+        Manager::new(sim, UniformGen::new(7, 50, 5))
+    }
+
+    #[test]
+    fn series_grows_per_txn() {
+        let mut m = manager();
+        m.run_many(&Routing::Fixed(SiteId(1)), 10);
+        assert_eq!(m.series.len(), 10);
+        assert_eq!(m.issued(), 10);
+        assert_eq!(m.series[9].txn_index, 10);
+        assert!(m.series.iter().all(|p| p.committed));
+        assert!(m.series.iter().all(|p| p.coordinator == SiteId(1)));
+    }
+
+    #[test]
+    fn round_robin_alternates_up_sites() {
+        let mut m = manager();
+        m.run_many(&Routing::RoundRobinUp, 4);
+        let coords: Vec<SiteId> = m.series.iter().map(|p| p.coordinator).collect();
+        assert_eq!(coords, vec![SiteId(0), SiteId(1), SiteId(0), SiteId(1)]);
+    }
+
+    #[test]
+    fn occasional_routing_redirects_every_nth() {
+        let mut m = manager();
+        let routing = Routing::MostlyWithOccasional {
+            base: SiteId(1),
+            nth: 3,
+            alt: SiteId(0),
+        };
+        m.run_many(&routing, 6);
+        let coords: Vec<u8> = m.series.iter().map(|p| p.coordinator.0).collect();
+        assert_eq!(coords, vec![1, 1, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn run_until_stops_on_predicate() {
+        let mut m = manager();
+        let ran = m.run_until(&Routing::RoundRobinUp, 100, |sim| {
+            sim.engine(SiteId(0)).metrics().txns_committed >= 3
+        });
+        assert!(ran < 100);
+    }
+}

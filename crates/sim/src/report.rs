@@ -1,0 +1,183 @@
+//! Result rendering: CSV emission and ASCII line charts for regenerating
+//! the paper's figures in a terminal.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::managing::SeriesPoint;
+
+/// Write a figure series as CSV: `txn,committed,copiers,site0,site1,...`.
+pub fn write_series_csv(path: &Path, series: &[SeriesPoint]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    let n_sites = series.first().map(|p| p.faillocks.len()).unwrap_or(0);
+    write!(f, "txn,committed,copier_requests,coordinator")?;
+    for k in 0..n_sites {
+        write!(f, ",faillocks_site{k}")?;
+    }
+    writeln!(f)?;
+    for p in series {
+        write!(
+            f,
+            "{},{},{},{}",
+            p.txn_index, p.committed as u8, p.copier_requests, p.coordinator.0
+        )?;
+        for v in &p.faillocks {
+            write!(f, ",{v}")?;
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+/// Render one or more series as an ASCII line chart, in the style of the
+/// paper's figures (y: number of fail-locks set; x: transaction number).
+/// Each series is `(label, points)` where points are `(x, y)`.
+pub fn ascii_chart(title: &str, series: &[(String, Vec<(u64, u32)>)], height: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let x_max = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|(x, _)| *x))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let y_max = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|(_, y)| *y))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let width: usize = 72;
+    let marks = ['o', '+', 'x', '*', '#', '@'];
+
+    // grid[row][col]; row 0 is the top.
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for (x, y) in pts {
+            let col = ((*x as f64 / x_max as f64) * (width - 1) as f64).round() as usize;
+            let row_from_bottom =
+                ((*y as f64 / y_max as f64) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row_from_bottom;
+            let cell = &mut grid[row][col.min(width - 1)];
+            // Overlapping series show the later mark.
+            *cell = mark;
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = if i == 0 {
+            format!("{y_max:>4}")
+        } else if i == height - 1 {
+            format!("{:>4}", 0)
+        } else {
+            "    ".to_string()
+        };
+        out.push_str(&y_label);
+        out.push_str(" |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("     +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("      0{:>width$}\n", x_max, width = width - 1));
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("      {} {}\n", marks[si % marks.len()], label));
+    }
+    out
+}
+
+/// Convenience: turn a [`SeriesPoint`] slice into per-site chart series.
+pub fn site_series(series: &[SeriesPoint]) -> Vec<(String, Vec<(u64, u32)>)> {
+    let n_sites = series.first().map(|p| p.faillocks.len()).unwrap_or(0);
+    (0..n_sites)
+        .map(|k| {
+            (
+                format!("site {k}"),
+                series
+                    .iter()
+                    .map(|p| (p.txn_index, p.faillocks[k]))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Write a simple two-column CSV of `(label, value)` rows.
+pub fn write_table_csv(path: &Path, rows: &[(String, f64)]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "metric,value_ms")?;
+    for (label, value) in rows {
+        writeln!(f, "{label},{value:.2}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miniraid_core::ids::SiteId;
+
+    fn points() -> Vec<SeriesPoint> {
+        (1..=10)
+            .map(|i| SeriesPoint {
+                txn_index: i,
+                faillocks: vec![i as u32, 10 - i as u32],
+                committed: i % 3 != 0,
+                copier_requests: 0,
+                coordinator: SiteId(1),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("miniraid-series-{}.csv", std::process::id()));
+        write_series_csv(&path, &points()).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 11);
+        assert!(lines[0].contains("faillocks_site1"));
+        assert!(lines[1].starts_with("1,1,0,1,1,9"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn chart_renders_marks_and_labels() {
+        let chart = ascii_chart(
+            "Figure 1",
+            &site_series(&points()),
+            12,
+        );
+        assert!(chart.contains("Figure 1"));
+        assert!(chart.contains('o'));
+        assert!(chart.contains('+'));
+        assert!(chart.contains("site 0"));
+        assert!(chart.contains("site 1"));
+        assert!(chart.lines().count() > 12);
+    }
+
+    #[test]
+    fn chart_handles_empty_series() {
+        let chart = ascii_chart("empty", &[], 5);
+        assert!(chart.contains("empty"));
+    }
+
+    #[test]
+    fn table_csv_writes_rows() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("miniraid-table-{}.csv", std::process::id()));
+        write_table_csv(&path, &[("coord_ms".into(), 176.0)]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("coord_ms,176.00"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,170 @@
+//! Protocol conformance: the message sequences observed in the
+//! simulator match the paper's Appendix A exactly, and alternative
+//! processor/timing models behave sanely.
+
+use miniraid_core::ids::{ItemId, SiteId, TxnId};
+use miniraid_core::ops::{Operation, Transaction};
+use miniraid_core::ProtocolConfig;
+use miniraid_sim::{CostModel, ProcessorModel, SimConfig, Simulation};
+
+fn paper_sim(n_sites: u8, processor: ProcessorModel) -> Simulation {
+    let protocol = ProtocolConfig {
+        db_size: 20,
+        n_sites,
+        ..ProtocolConfig::default()
+    };
+    let mut config = SimConfig::paper(protocol);
+    config.processor = processor;
+    Simulation::new(config)
+}
+
+#[test]
+fn two_phase_commit_message_counts_match_appendix_a() {
+    // Appendix A: for W participants, the coordinator sends one
+    // CopyUpdate and one Commit per participant; each participant sends
+    // one UpdateAck and one CommitAck. With 4 sites: 3 + 3 out, 3 + 3 in.
+    let mut sim = paper_sim(4, ProcessorModel::SharedSingle);
+    let rec = sim.run_txn(
+        SiteId(0),
+        Transaction::new(TxnId(1), vec![Operation::Write(ItemId(0), 1)]),
+    );
+    assert!(rec.report.outcome.is_committed());
+    assert_eq!(rec.report.stats.messages_sent, 6, "coordinator sends 2×3");
+    let coord = sim.engine(SiteId(0)).metrics();
+    assert_eq!(coord.msgs_sent, 6);
+    assert_eq!(coord.msgs_received, 6, "coordinator receives 2×3 acks");
+    for s in 1..4u8 {
+        let m = sim.engine(SiteId(s)).metrics();
+        assert_eq!(m.msgs_sent, 2, "participant {s} sends UpdateAck + CommitAck");
+        assert_eq!(m.msgs_received, 2, "participant {s} receives CopyUpdate + Commit");
+    }
+}
+
+#[test]
+fn copier_transaction_adds_request_response_and_clears() {
+    // Appendix A copier branch: CopyRequest + CopyResponse, then the
+    // special clear-fail-locks transaction to every other operational
+    // site (n-1 messages).
+    let mut sim = paper_sim(2, ProcessorModel::SharedSingle);
+    sim.fail_site(SiteId(0), true);
+    sim.run_txn(
+        SiteId(1),
+        Transaction::new(TxnId(1), vec![Operation::Write(ItemId(3), 5)]),
+    );
+    sim.recover_site(SiteId(0));
+    let before = sim.engine(SiteId(0)).metrics().msgs_sent;
+    let rec = sim.run_txn(
+        SiteId(0),
+        Transaction::new(TxnId(2), vec![Operation::Read(ItemId(3))]),
+    );
+    assert!(rec.report.outcome.is_committed());
+    assert_eq!(rec.report.stats.copier_requests, 1);
+    let sent = sim.engine(SiteId(0)).metrics().msgs_sent - before;
+    // Read-only txn with one copier: CopyRequest + ClearFailLocks to the
+    // 1 peer = 2 messages; no 2PC (read-only commits locally).
+    assert_eq!(sent, 2, "CopyRequest + ClearFailLocks");
+    assert_eq!(sim.engine(SiteId(0)).metrics().clear_messages_sent, 1);
+}
+
+#[test]
+fn per_site_processors_are_faster_than_shared_single() {
+    // Under the paper's shared processor, participants' processing
+    // serializes with the coordinator's; with one processor per site the
+    // same transaction finishes sooner in virtual time.
+    let txn = || Transaction::new(TxnId(1), vec![
+        Operation::Read(ItemId(0)),
+        Operation::Write(ItemId(1), 7),
+        Operation::Write(ItemId(2), 7),
+    ]);
+    let mut shared = paper_sim(4, ProcessorModel::SharedSingle);
+    let shared_ms = shared.run_txn(SiteId(0), txn()).coordinator_ms();
+    let mut per_site = paper_sim(4, ProcessorModel::PerSite);
+    let per_site_ms = per_site.run_txn(SiteId(0), txn()).coordinator_ms();
+    assert!(
+        per_site_ms < shared_ms,
+        "per-site {per_site_ms} ms vs shared {shared_ms} ms"
+    );
+}
+
+#[test]
+fn recovery_retries_next_candidate_when_responder_is_dead() {
+    // Site 3 fails *silently* just before site 2 starts recovering: the
+    // recovering site's first designated responder never answers, so it
+    // times out and asks the next candidate.
+    let mut sim = paper_sim(4, ProcessorModel::PerSite);
+    // Fail 2 (announced) then fail 0 silently; recover 2.
+    sim.fail_site(SiteId(2), true);
+    sim.run_txn(
+        SiteId(0),
+        Transaction::new(TxnId(1), vec![Operation::Write(ItemId(1), 1)]),
+    );
+    sim.fail_site(SiteId(0), false); // silent: nobody knows
+    assert!(sim.recover_site(SiteId(2)), "recovery must fall through to a living candidate");
+    assert!(sim.engine(SiteId(2)).is_up());
+    // It learned its stale items despite the first candidate being dead.
+    assert!(sim
+        .engine(SiteId(2))
+        .faillocks()
+        .is_locked(ItemId(1), SiteId(2)));
+}
+
+#[test]
+fn zero_cpu_model_times_are_pure_message_latency() {
+    let protocol = ProtocolConfig {
+        db_size: 8,
+        n_sites: 2,
+        ..ProtocolConfig::default()
+    };
+    let mut config = SimConfig::paper(protocol);
+    config.cost = CostModel::zero_cpu();
+    config.processor = ProcessorModel::PerSite;
+    let mut sim = Simulation::new(config);
+    let rec = sim.run_txn(
+        SiteId(0),
+        Transaction::new(TxnId(1), vec![Operation::Write(ItemId(0), 1)]),
+    );
+    // 2 round trips of 9 ms each: CopyUpdate→ack, Commit→ack = 36 ms.
+    assert!((rec.coordinator_ms() - 36.0).abs() < 0.5, "{}", rec.coordinator_ms());
+}
+
+#[test]
+fn traced_message_sequence_matches_appendix_a() {
+    // One write transaction on a 3-site system, traced: the exact event
+    // order must be Begin; CopyUpdate ×2; UpdateAck ×2; Commit ×2;
+    // CommitAck ×2 — Appendix A to the letter.
+    let mut sim = paper_sim(3, ProcessorModel::SharedSingle);
+    sim.enable_trace(64);
+    let rec = sim.run_txn(
+        SiteId(0),
+        Transaction::new(TxnId(1), vec![Operation::Write(ItemId(5), 1)]),
+    );
+    assert!(rec.report.outcome.is_committed());
+    // Stale timers firing harmlessly at quiescence are not protocol
+    // traffic; filter them out of the conformance check.
+    let kinds: Vec<&str> = sim
+        .trace()
+        .iter()
+        .map(|e| e.kind)
+        .filter(|k| *k != "Timer")
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            "Begin",
+            "CopyUpdate", "CopyUpdate",
+            "UpdateAck", "UpdateAck",
+            "Commit", "Commit",
+            "CommitAck", "CommitAck",
+        ],
+        "trace: {:?}",
+        sim.trace()
+    );
+    // Participants processed in site order under the shared processor.
+    let participants: Vec<u8> = sim
+        .trace()
+        .iter()
+        .filter(|e| e.kind == "CopyUpdate")
+        .map(|e| e.site.0)
+        .collect();
+    assert_eq!(participants, vec![1, 2]);
+}

@@ -1,0 +1,55 @@
+//! Determinism: the simulator is a pure function of (configuration,
+//! seed). Identical runs must produce byte-identical histories — the
+//! property that makes every figure in EXPERIMENTS.md reproducible.
+
+use miniraid_core::ids::SiteId;
+use miniraid_sim::scenario::{experiment2, experiment3_scenario1, experiment3_scenario2};
+use miniraid_sim::Routing;
+
+fn routing() -> Routing {
+    Routing::MostlyWithOccasional {
+        base: SiteId(1),
+        nth: 50,
+        alt: SiteId(0),
+    }
+}
+
+fn series_fingerprint(series: &[miniraid_sim::SeriesPoint]) -> Vec<(u64, Vec<u32>, bool)> {
+    series
+        .iter()
+        .map(|p| (p.txn_index, p.faillocks.clone(), p.committed))
+        .collect()
+}
+
+#[test]
+fn experiment2_is_deterministic_per_seed() {
+    let a = experiment2(1987, routing());
+    let b = experiment2(1987, routing());
+    assert_eq!(series_fingerprint(&a.series), series_fingerprint(&b.series));
+    assert_eq!(a.txns_to_recover, b.txns_to_recover);
+    assert_eq!(a.copier_requests, b.copier_requests);
+}
+
+#[test]
+fn experiment2_differs_across_seeds() {
+    let a = experiment2(1987, routing());
+    let b = experiment2(1988, routing());
+    assert_ne!(
+        series_fingerprint(&a.series),
+        series_fingerprint(&b.series),
+        "different seeds should explore different traces"
+    );
+}
+
+#[test]
+fn experiment3_scenarios_are_deterministic() {
+    let a1 = experiment3_scenario1(7);
+    let b1 = experiment3_scenario1(7);
+    assert_eq!(a1.aborts, b1.aborts);
+    assert_eq!(series_fingerprint(&a1.series), series_fingerprint(&b1.series));
+
+    let a2 = experiment3_scenario2(7);
+    let b2 = experiment3_scenario2(7);
+    assert_eq!(a2.aborts, b2.aborts);
+    assert_eq!(series_fingerprint(&a2.series), series_fingerprint(&b2.series));
+}

@@ -1,0 +1,190 @@
+//! Network partitions and the ROWAA-available protocol.
+//!
+//! The paper's fail-locks cover copies "unavailable due to site failure
+//! or network partitioning", but its experiments (and its correctness
+//! argument, [Bhar86a]) assume *site failures*: at most one group of
+//! sites keeps processing. These tests pin down both sides of that
+//! assumption:
+//!
+//! 1. with writes confined to one side of a partition, the protocol
+//!    behaves exactly like a site failure — fail-locks accrue, and the
+//!    isolated side reintegrates cleanly through a type-1 control
+//!    transaction after a fail/recover cycle;
+//! 2. with writes on *both* sides (split brain), replicas can diverge —
+//!    the documented reason quorum-based protocols exist. The suite
+//!    asserts the divergence is real, so nobody mistakes
+//!    ROWAA-available for partition-tolerant.
+
+use miniraid_core::ids::{ItemId, SiteId, TxnId};
+use miniraid_core::messages::Command;
+use miniraid_core::ops::{Operation, Transaction};
+use miniraid_core::ProtocolConfig;
+use miniraid_sim::{CostModel, ProcessorModel, SimConfig, Simulation};
+
+fn sim(n_sites: u8) -> Simulation {
+    let protocol = ProtocolConfig {
+        db_size: 10,
+        n_sites,
+        ..ProtocolConfig::default()
+    };
+    let mut config = SimConfig::paper(protocol);
+    config.cost = CostModel::zero_cpu();
+    config.processor = ProcessorModel::PerSite;
+    Simulation::new(config)
+}
+
+fn write_txn(id: u64, item: u32, value: u64) -> Transaction {
+    Transaction::new(TxnId(id), vec![Operation::Write(ItemId(item), value)])
+}
+
+#[test]
+fn partition_looks_like_failure_to_each_side() {
+    let mut s = sim(4);
+    // {0,1} | {2,3}
+    s.set_partition(vec![0, 0, 1, 1]);
+
+    // A write on site 0: phase one times out for sites 2 and 3, the
+    // transaction aborts, and a type-2 control transaction marks them
+    // down on the {0,1} side.
+    let rec = s.run_txn(SiteId(0), write_txn(1, 3, 30));
+    assert!(!rec.report.outcome.is_committed());
+    assert!(!s.engine(SiteId(0)).vector().is_up(SiteId(2)));
+    assert!(!s.engine(SiteId(0)).vector().is_up(SiteId(3)));
+    assert!(s.partition_drops > 0);
+
+    // The retry commits within the group and sets fail-locks for the
+    // unreachable sites — partition handled exactly like failure.
+    let rec = s.run_txn(SiteId(0), write_txn(2, 3, 30));
+    assert!(rec.report.outcome.is_committed());
+    assert!(s.engine(SiteId(1)).faillocks().is_locked(ItemId(3), SiteId(2)));
+    assert!(s.engine(SiteId(1)).faillocks().is_locked(ItemId(3), SiteId(3)));
+}
+
+#[test]
+fn quiescent_minority_reintegrates_cleanly_after_heal() {
+    let mut s = sim(3);
+    // Majority {0,1}, minority {2}. The minority stays quiescent (no
+    // writes are routed to it) — the safe usage of ROWAA-available.
+    s.set_partition(vec![0, 0, 1]);
+    let r1 = s.run_txn(SiteId(0), write_txn(1, 5, 50)); // detection abort
+    assert!(!r1.report.outcome.is_committed());
+    let r2 = s.run_txn(SiteId(0), write_txn(2, 5, 50));
+    assert!(r2.report.outcome.is_committed());
+
+    // Heal; the majority still believes site 2 is down, so reintegration
+    // is a fail/recover cycle on the minority (a type-1 control
+    // transaction re-announces it with a fresh session number).
+    s.heal_partition();
+    s.inject(SiteId(2), Command::Fail);
+    s.run_to_quiescence();
+    assert!(s.recover_site(SiteId(2)));
+
+    // Site 2 learned what it missed...
+    assert!(s.engine(SiteId(2)).faillocks().is_locked(ItemId(5), SiteId(2)));
+    // ... and a read refreshes it via a copier transaction.
+    let r3 = s.run_txn(
+        SiteId(2),
+        Transaction::new(TxnId(3), vec![Operation::Read(ItemId(5))]),
+    );
+    assert!(r3.report.outcome.is_committed());
+    assert_eq!(r3.report.read_results[0].1.data, 50);
+    assert!(s.up_sites_converged());
+}
+
+#[test]
+fn split_brain_writes_can_diverge_rowaa_is_not_partition_tolerant() {
+    let mut s = sim(2);
+    s.set_partition(vec![0, 1]);
+
+    // Each side detects the other's "failure" and then commits its own
+    // write to the same item. Both commits succeed — there is no quorum.
+    let _ = s.run_txn(SiteId(0), write_txn(1, 7, 100)); // detection abort
+    let a = s.run_txn(SiteId(0), write_txn(2, 7, 100));
+    let _ = s.run_txn(SiteId(1), write_txn(3, 7, 200)); // detection abort
+    let b = s.run_txn(SiteId(1), write_txn(4, 7, 200));
+    assert!(a.report.outcome.is_committed());
+    assert!(b.report.outcome.is_committed());
+
+    // The replicas now disagree about item 7 — this is the split-brain
+    // anomaly the paper's site-failure model (and [Bhar86a]'s proof
+    // obligations) excludes. ROWAA-available must not be deployed where
+    // both sides of a partition accept writes.
+    let v0 = s.engine(SiteId(0)).db().get(7).unwrap();
+    let v1 = s.engine(SiteId(1)).db().get(7).unwrap();
+    assert_ne!(v0.data, v1.data, "split brain produced divergent copies");
+
+    // Worse: each side believes the *other* side's copy is stale (both
+    // set fail-locks for the peer), so neither refresh direction can be
+    // trusted. Reconciliation needs external arbitration.
+    assert!(s.engine(SiteId(0)).faillocks().is_locked(ItemId(7), SiteId(1)));
+    assert!(s.engine(SiteId(1)).faillocks().is_locked(ItemId(7), SiteId(0)));
+}
+
+#[test]
+fn heal_restores_normal_replication_for_new_sites() {
+    let mut s = sim(3);
+    s.set_partition(vec![0, 0, 1]);
+    let _ = s.run_txn(SiteId(0), write_txn(1, 0, 1)); // detect
+    s.heal_partition();
+    // After heal + reintegration, everything replicates again.
+    s.inject(SiteId(2), Command::Fail);
+    s.run_to_quiescence();
+    assert!(s.recover_site(SiteId(2)));
+    let rec = s.run_txn(SiteId(0), write_txn(2, 1, 11));
+    assert!(rec.report.outcome.is_committed());
+    assert_eq!(s.engine(SiteId(2)).db().get(1).unwrap().data, 11);
+}
+
+#[test]
+fn majority_quorum_is_partition_safe() {
+    use miniraid_core::config::ReplicationStrategy;
+    // Same split-brain schedule as above, but under majority quorum:
+    // a 3-site system partitioned 2|1. The majority side keeps working;
+    // the minority side blocks; replicas cannot diverge.
+    let protocol = ProtocolConfig {
+        db_size: 10,
+        n_sites: 3,
+        strategy: ReplicationStrategy::MajorityQuorum,
+        ..ProtocolConfig::default()
+    };
+    let mut config = SimConfig::paper(protocol);
+    config.cost = CostModel::zero_cpu();
+    config.processor = ProcessorModel::PerSite;
+    let mut s = Simulation::new(config);
+    s.set_partition(vec![0, 0, 1]);
+
+    // Majority side: detection abort, then commits.
+    let _ = s.run_txn(SiteId(0), write_txn(1, 7, 100));
+    let a = s.run_txn(SiteId(0), write_txn(2, 7, 100));
+    assert!(a.report.outcome.is_committed());
+
+    // Minority side: detection aborts, then *stays blocked* — both
+    // writes and reads need an unreachable majority.
+    let _ = s.run_txn(SiteId(2), write_txn(3, 7, 200));
+    let _ = s.run_txn(SiteId(2), write_txn(4, 7, 200));
+    let b = s.run_txn(SiteId(2), write_txn(5, 7, 200));
+    assert!(!b.report.outcome.is_committed());
+    let r = s.run_txn(
+        SiteId(2),
+        Transaction::new(TxnId(6), vec![Operation::Read(ItemId(7))]),
+    );
+    assert!(!r.report.outcome.is_committed());
+
+    // No divergence: item 7 is 100 on the majority side and still the
+    // initial value on the blocked minority — never a conflicting write.
+    assert_eq!(s.engine(SiteId(0)).db().get(7).unwrap().data, 100);
+    assert_eq!(s.engine(SiteId(2)).db().get(7).unwrap().data, 0);
+
+    // Heal and reintegrate the minority; a quorum read there now serves
+    // the majority's value (version arbitration, no copiers needed).
+    s.heal_partition();
+    s.inject(SiteId(2), Command::Fail);
+    s.run_to_quiescence();
+    assert!(s.recover_site(SiteId(2)));
+    let r = s.run_txn(
+        SiteId(2),
+        Transaction::new(TxnId(7), vec![Operation::Read(ItemId(7))]),
+    );
+    assert!(r.report.outcome.is_committed());
+    assert_eq!(r.report.read_results[0].1.data, 100);
+}

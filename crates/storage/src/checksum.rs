@@ -1,0 +1,97 @@
+//! CRC-32 (IEEE 802.3 polynomial) used to frame WAL records and snapshots.
+//!
+//! Implemented locally — the offline dependency allowlist has no CRC crate,
+//! and 40 lines of table-driven CRC is cheaper than an extra dependency.
+
+/// Lazily-built lookup table for the reflected IEEE polynomial 0xEDB88320.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Compute the CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Incremental CRC-32 state, for hashing without concatenating buffers.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Start a fresh computation.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed bytes into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.state = (self.state >> 8) ^ TABLE[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// Finish and return the checksum.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32 ("check" value from the CRC catalogue).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let mut inc = Crc32::new();
+            inc.update(&data[..split]);
+            inc.update(&data[split..]);
+            assert_eq!(inc.finalize(), crc32(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+        assert_ne!(crc32(b"abc"), crc32(b"abcc"));
+    }
+}

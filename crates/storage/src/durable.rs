@@ -1,0 +1,255 @@
+//! [`DurableStore`]: the in-memory table fronted by a WAL and snapshots.
+//!
+//! This is the production-path storage a site would run with; the paper's
+//! experiments use bare [`MemStore`] (I/O factored out), and the protocol
+//! engine is generic over which one it drives.
+
+use std::path::{Path, PathBuf};
+
+use std::collections::HashMap;
+
+use crate::mem::MemStore;
+use crate::snapshot::Snapshot;
+use crate::wal::{committed_writes, protocol_state, Wal, WalRecord};
+use crate::{ItemValue, Result};
+
+/// A crash-recoverable store: `MemStore` + WAL + snapshot checkpointing.
+#[derive(Debug)]
+pub struct DurableStore {
+    mem: MemStore,
+    wal: Wal,
+    wal_path: PathBuf,
+    snap_path: PathBuf,
+    last_txn: u64,
+    /// Recovered fail-lock bitmap words (item -> word), last-write-wins.
+    faillocks: HashMap<u32, u64>,
+    /// Recovered own session number (0 = never logged).
+    session: u64,
+}
+
+impl DurableStore {
+    /// Open a durable store in `dir`, recovering committed state from the
+    /// latest snapshot (if any) plus the committed WAL suffix.
+    pub fn open(dir: &Path, size: u32) -> Result<DurableStore> {
+        std::fs::create_dir_all(dir)?;
+        let wal_path = dir.join("site.wal");
+        let snap_path = dir.join("site.snap");
+
+        let (mut mem, mut last_txn) = match Snapshot::read_from(&snap_path)? {
+            Some(snap) => (snap.store, snap.last_txn),
+            None => (MemStore::new(size), 0),
+        };
+        let records = Wal::read_all(&wal_path)?;
+        for (item, value) in committed_writes(&records) {
+            mem.put(item, value)?;
+            last_txn = last_txn.max(value.version);
+        }
+        // Track commit ids too (a committed txn may have zero writes).
+        for rec in &records {
+            if let WalRecord::Commit { txn } = rec {
+                last_txn = last_txn.max(*txn);
+            }
+        }
+        let (faillocks, session) = protocol_state(&records);
+        let wal = Wal::open(&wal_path)?;
+        Ok(DurableStore {
+            mem,
+            wal,
+            wal_path,
+            snap_path,
+            last_txn,
+            faillocks,
+            session,
+        })
+    }
+
+    /// Recovered fail-lock words (item -> bitmap word).
+    pub fn faillocks(&self) -> &HashMap<u32, u64> {
+        &self.faillocks
+    }
+
+    /// Recovered session number (0 if never logged).
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Durably log the site's session number.
+    pub fn log_session(&mut self, session: u64) -> Result<()> {
+        self.wal.append(&WalRecord::Session { session })?;
+        self.wal.sync()?;
+        self.session = session;
+        Ok(())
+    }
+
+    /// Durably record fail-lock words alongside whatever was last
+    /// committed (call after [`DurableStore::commit`], or standalone for
+    /// clear-fail-lock traffic).
+    pub fn log_faillocks(&mut self, words: &[(u32, u64)]) -> Result<()> {
+        if words.is_empty() {
+            return Ok(());
+        }
+        for (item, word) in words {
+            self.wal.append(&WalRecord::FailLocks {
+                item: *item,
+                word: *word,
+            })?;
+            self.faillocks.insert(*item, *word);
+        }
+        self.wal.sync()?;
+        Ok(())
+    }
+
+    /// Read one item.
+    pub fn get(&self, item: u32) -> Result<ItemValue> {
+        self.mem.get(item)
+    }
+
+    /// Highest committed transaction id recovered or applied so far.
+    pub fn last_txn(&self) -> u64 {
+        self.last_txn
+    }
+
+    /// Access the in-memory table (e.g. for digests).
+    pub fn mem(&self) -> &MemStore {
+        &self.mem
+    }
+
+    /// Durably apply a committed transaction's writes: log, fsync, then
+    /// update the in-memory table.
+    pub fn commit(&mut self, txn: u64, writes: &[(u32, ItemValue)]) -> Result<()> {
+        self.wal.append(&WalRecord::Begin { txn })?;
+        for (item, value) in writes {
+            self.wal.append(&WalRecord::Write {
+                txn,
+                item: *item,
+                value: *value,
+            })?;
+        }
+        self.wal.append(&WalRecord::Commit { txn })?;
+        self.wal.sync()?;
+        for (item, value) in writes {
+            self.mem.put(*item, *value)?;
+        }
+        self.last_txn = self.last_txn.max(txn);
+        Ok(())
+    }
+
+    /// Record an aborted transaction (keeps the log self-describing).
+    pub fn abort(&mut self, txn: u64) -> Result<()> {
+        self.wal.append(&WalRecord::Abort { txn })?;
+        self.wal.sync()?;
+        Ok(())
+    }
+
+    /// Take a snapshot and truncate the WAL to a checkpoint marker.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let snap = Snapshot {
+            store: self.mem.clone(),
+            last_txn: self.last_txn,
+        };
+        snap.write_to(&self.snap_path)?;
+        // Start a fresh WAL containing the checkpoint marker plus the
+        // protocol state (fail-locks, session) the snapshot doesn't hold.
+        std::fs::remove_file(&self.wal_path)?;
+        self.wal = Wal::open(&self.wal_path)?;
+        self.wal.append(&WalRecord::Checkpoint { txn: self.last_txn })?;
+        if self.session > 0 {
+            self.wal.append(&WalRecord::Session { session: self.session })?;
+        }
+        let mut words: Vec<(u32, u64)> = self.faillocks.iter().map(|(i, w)| (*i, *w)).collect();
+        words.sort_unstable();
+        for (item, word) in words {
+            self.wal.append(&WalRecord::FailLocks { item, word })?;
+        }
+        self.wal.sync()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("miniraid-durable-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn commit_survives_reopen() {
+        let dir = tmpdir("reopen");
+        {
+            let mut s = DurableStore::open(&dir, 10).unwrap();
+            s.commit(1, &[(3, ItemValue::new(30, 1))]).unwrap();
+            s.commit(2, &[(4, ItemValue::new(40, 2)), (3, ItemValue::new(31, 2))])
+                .unwrap();
+        }
+        let s = DurableStore::open(&dir, 10).unwrap();
+        assert_eq!(s.get(3).unwrap(), ItemValue::new(31, 2));
+        assert_eq!(s.get(4).unwrap(), ItemValue::new(40, 2));
+        assert_eq!(s.last_txn(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn aborted_txn_leaves_no_trace_in_state() {
+        let dir = tmpdir("abort");
+        {
+            let mut s = DurableStore::open(&dir, 10).unwrap();
+            s.commit(1, &[(0, ItemValue::new(1, 1))]).unwrap();
+            s.abort(2).unwrap();
+        }
+        let s = DurableStore::open(&dir, 10).unwrap();
+        assert_eq!(s.get(0).unwrap(), ItemValue::new(1, 1));
+        assert_eq!(s.last_txn(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_then_reopen_recovers_same_state() {
+        let dir = tmpdir("checkpoint");
+        {
+            let mut s = DurableStore::open(&dir, 6).unwrap();
+            s.commit(1, &[(0, ItemValue::new(10, 1))]).unwrap();
+            s.checkpoint().unwrap();
+            s.commit(2, &[(1, ItemValue::new(20, 2))]).unwrap();
+        }
+        let s = DurableStore::open(&dir, 6).unwrap();
+        assert_eq!(s.get(0).unwrap(), ItemValue::new(10, 1));
+        assert_eq!(s.get(1).unwrap(), ItemValue::new(20, 2));
+        assert_eq!(s.last_txn(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn protocol_state_survives_reopen_and_checkpoint() {
+        let dir = tmpdir("protocol-state");
+        {
+            let mut s = DurableStore::open(&dir, 8).unwrap();
+            s.commit(1, &[(0, ItemValue::new(1, 1))]).unwrap();
+            s.log_faillocks(&[(0, 0b0100), (3, 0b0010)]).unwrap();
+            s.log_session(4).unwrap();
+            s.checkpoint().unwrap();
+            s.log_faillocks(&[(0, 0)]).unwrap(); // cleared later
+        }
+        let s = DurableStore::open(&dir, 8).unwrap();
+        assert_eq!(s.session(), 4);
+        assert_eq!(s.faillocks().get(&0), Some(&0));
+        assert_eq!(s.faillocks().get(&3), Some(&0b0010));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_committed_txn_still_advances_last_txn() {
+        let dir = tmpdir("empty-commit");
+        {
+            let mut s = DurableStore::open(&dir, 4).unwrap();
+            s.commit(7, &[]).unwrap();
+        }
+        let s = DurableStore::open(&dir, 4).unwrap();
+        assert_eq!(s.last_txn(), 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

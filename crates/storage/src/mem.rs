@@ -1,0 +1,179 @@
+//! The in-memory table each site keeps — the paper's storage mode.
+//!
+//! The database is a fixed, dense universe of items (`0..size`), fully
+//! replicated in the paper's configuration. Every copy starts at
+//! [`ItemValue::INITIAL`], matching the paper's "initially both sites were
+//! up with consistent and up-to-date copies".
+
+use crate::{ItemValue, Result, StorageError};
+
+/// A dense in-memory table of versioned items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemStore {
+    items: Vec<ItemValue>,
+}
+
+impl MemStore {
+    /// Create a table of `size` items, all at the initial value.
+    pub fn new(size: u32) -> Self {
+        MemStore {
+            items: vec![ItemValue::INITIAL; size as usize],
+        }
+    }
+
+    /// Number of items in the table's universe.
+    pub fn size(&self) -> u32 {
+        self.items.len() as u32
+    }
+
+    /// Read one item.
+    pub fn get(&self, item: u32) -> Result<ItemValue> {
+        self.items
+            .get(item as usize)
+            .copied()
+            .ok_or(StorageError::OutOfRange {
+                item,
+                size: self.size(),
+            })
+    }
+
+    /// Overwrite one item.
+    pub fn put(&mut self, item: u32, value: ItemValue) -> Result<()> {
+        let size = self.size();
+        match self.items.get_mut(item as usize) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(StorageError::OutOfRange { item, size }),
+        }
+    }
+
+    /// Overwrite one item only if `value` is fresher than the stored copy.
+    ///
+    /// Returns true if the write was applied. Copier transactions use this
+    /// so a stale refresh can never clobber a newer committed value.
+    pub fn put_if_fresher(&mut self, item: u32, value: ItemValue) -> Result<bool> {
+        let current = self.get(item)?;
+        if value.version > current.version {
+            self.put(item, value)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Iterate over `(item, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, ItemValue)> + '_ {
+        self.items.iter().enumerate().map(|(i, v)| (i as u32, *v))
+    }
+
+    /// A digest of the full table, for cheap consistency comparison
+    /// between replicas (used by tests and the experiment harness).
+    pub fn digest(&self) -> u64 {
+        // FNV-1a over the item stream; collision-resistant enough for
+        // replica comparison in tests, and fully deterministic.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in &self.items {
+            for word in [v.data, v.version] {
+                for byte in word.to_le_bytes() {
+                    h ^= byte as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+        }
+        h
+    }
+
+    /// Items where `self` is staler than `other` (lower version).
+    pub fn stale_items_vs(&self, other: &MemStore) -> Vec<u32> {
+        self.items
+            .iter()
+            .zip(other.items.iter())
+            .enumerate()
+            .filter(|(_, (mine, theirs))| mine.version < theirs.version)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_store_is_initial_everywhere() {
+        let s = MemStore::new(50);
+        assert_eq!(s.size(), 50);
+        for i in 0..50 {
+            assert_eq!(s.get(i).unwrap(), ItemValue::INITIAL);
+        }
+    }
+
+    #[test]
+    fn put_then_get_roundtrips() {
+        let mut s = MemStore::new(10);
+        s.put(3, ItemValue::new(42, 7)).unwrap();
+        assert_eq!(s.get(3).unwrap(), ItemValue::new(42, 7));
+        assert_eq!(s.get(4).unwrap(), ItemValue::INITIAL);
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let mut s = MemStore::new(10);
+        assert!(matches!(
+            s.get(10),
+            Err(StorageError::OutOfRange { item: 10, size: 10 })
+        ));
+        assert!(s.put(11, ItemValue::INITIAL).is_err());
+    }
+
+    #[test]
+    fn put_if_fresher_rejects_stale_writes() {
+        let mut s = MemStore::new(4);
+        s.put(0, ItemValue::new(5, 10)).unwrap();
+        assert!(!s.put_if_fresher(0, ItemValue::new(9, 9)).unwrap());
+        assert_eq!(s.get(0).unwrap(), ItemValue::new(5, 10));
+        assert!(s.put_if_fresher(0, ItemValue::new(9, 11)).unwrap());
+        assert_eq!(s.get(0).unwrap(), ItemValue::new(9, 11));
+    }
+
+    #[test]
+    fn put_if_fresher_rejects_equal_version() {
+        let mut s = MemStore::new(1);
+        s.put(0, ItemValue::new(5, 10)).unwrap();
+        assert!(!s.put_if_fresher(0, ItemValue::new(6, 10)).unwrap());
+    }
+
+    #[test]
+    fn digest_distinguishes_contents_and_matches_for_equal_tables() {
+        let mut a = MemStore::new(20);
+        let mut b = MemStore::new(20);
+        assert_eq!(a.digest(), b.digest());
+        a.put(7, ItemValue::new(1, 1)).unwrap();
+        assert_ne!(a.digest(), b.digest());
+        b.put(7, ItemValue::new(1, 1)).unwrap();
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn stale_items_vs_reports_lower_versions_only() {
+        let mut a = MemStore::new(5);
+        let mut b = MemStore::new(5);
+        b.put(1, ItemValue::new(0, 2)).unwrap();
+        b.put(3, ItemValue::new(0, 9)).unwrap();
+        a.put(3, ItemValue::new(0, 9)).unwrap();
+        a.put(4, ItemValue::new(0, 1)).unwrap(); // a fresher than b
+        assert_eq!(a.stale_items_vs(&b), vec![1]);
+        assert_eq!(b.stale_items_vs(&a), vec![4]);
+    }
+
+    #[test]
+    fn iter_covers_all_items_in_order() {
+        let mut s = MemStore::new(3);
+        s.put(2, ItemValue::new(8, 1)).unwrap();
+        let all: Vec<_> = s.iter().collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2], (2, ItemValue::new(8, 1)));
+    }
+}

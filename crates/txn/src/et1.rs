@@ -1,0 +1,180 @@
+//! ET1/DebitCredit-style workload (Anon et al. 1985, the paper's cited
+//! \[Anon85\] and named future benchmark).
+//!
+//! The classic bank schema — branches, tellers, accounts, history — is
+//! mapped onto the dense item universe:
+//!
+//! ```text
+//! [0, branches)                                  branch balances
+//! [branches, branches+tellers)                   teller balances
+//! [.., ..+accounts)                              account balances
+//! [.., ..+history_slots)                         history ring buffer
+//! ```
+//!
+//! Each transaction updates one account, its teller and its branch, and
+//! appends a history record — four read-modify-write pairs, exactly the
+//! DebitCredit profile.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use miniraid_core::ids::{ItemId, TxnId};
+use miniraid_core::ops::{Operation, Transaction};
+
+use crate::workload::WorkloadGen;
+
+/// Scale description of the bank database.
+#[derive(Debug, Clone, Copy)]
+pub struct Et1Scale {
+    /// Number of branches.
+    pub branches: u32,
+    /// Tellers per branch.
+    pub tellers_per_branch: u32,
+    /// Accounts per branch.
+    pub accounts_per_branch: u32,
+    /// History ring-buffer slots.
+    pub history_slots: u32,
+}
+
+impl Et1Scale {
+    /// A laptop-scale default (1 branch : 10 tellers : 100 accounts, as
+    /// in TPC-B's ratios, scaled down).
+    pub fn tiny() -> Self {
+        Et1Scale {
+            branches: 2,
+            tellers_per_branch: 5,
+            accounts_per_branch: 50,
+            history_slots: 32,
+        }
+    }
+
+    /// Total items the schema occupies.
+    pub fn db_size(&self) -> u32 {
+        self.branches
+            + self.branches * self.tellers_per_branch
+            + self.branches * self.accounts_per_branch
+            + self.history_slots
+    }
+}
+
+/// The ET1/DebitCredit generator.
+#[derive(Debug, Clone)]
+pub struct Et1Gen {
+    rng: StdRng,
+    scale: Et1Scale,
+    next_history: u32,
+}
+
+impl Et1Gen {
+    /// Create a generator.
+    pub fn new(seed: u64, scale: Et1Scale) -> Self {
+        Et1Gen {
+            rng: StdRng::seed_from_u64(seed),
+            scale,
+            next_history: 0,
+        }
+    }
+
+    /// The scale in use.
+    pub fn scale(&self) -> Et1Scale {
+        self.scale
+    }
+
+    fn branch_item(&self, branch: u32) -> ItemId {
+        ItemId(branch)
+    }
+
+    fn teller_item(&self, branch: u32, teller: u32) -> ItemId {
+        ItemId(self.scale.branches + branch * self.scale.tellers_per_branch + teller)
+    }
+
+    fn account_item(&self, branch: u32, account: u32) -> ItemId {
+        ItemId(
+            self.scale.branches
+                + self.scale.branches * self.scale.tellers_per_branch
+                + branch * self.scale.accounts_per_branch
+                + account,
+        )
+    }
+
+    fn history_item(&mut self) -> ItemId {
+        let base = self.scale.branches
+            + self.scale.branches * self.scale.tellers_per_branch
+            + self.scale.branches * self.scale.accounts_per_branch;
+        let slot = self.next_history % self.scale.history_slots;
+        self.next_history = self.next_history.wrapping_add(1);
+        ItemId(base + slot)
+    }
+}
+
+impl WorkloadGen for Et1Gen {
+    fn next_txn(&mut self, id: TxnId) -> Transaction {
+        let branch = self.rng.random_range(0..self.scale.branches);
+        let teller = self.rng.random_range(0..self.scale.tellers_per_branch);
+        let account = self.rng.random_range(0..self.scale.accounts_per_branch);
+        let delta = self.rng.random_range(1..=1_000u64);
+        let account_item = self.account_item(branch, account);
+        let teller_item = self.teller_item(branch, teller);
+        let branch_item = self.branch_item(branch);
+        let history_item = self.history_item();
+        // Read-modify-write of account, teller, branch; append history.
+        Transaction::new(
+            id,
+            vec![
+                Operation::Read(account_item),
+                Operation::Write(account_item, delta),
+                Operation::Read(teller_item),
+                Operation::Write(teller_item, delta),
+                Operation::Read(branch_item),
+                Operation::Write(branch_item, delta),
+                Operation::Write(history_item, id.0),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_regions_do_not_overlap() {
+        let scale = Et1Scale::tiny();
+        let mut g = Et1Gen::new(1, scale);
+        let branch_end = scale.branches;
+        let teller_end = branch_end + scale.branches * scale.tellers_per_branch;
+        let account_end = teller_end + scale.branches * scale.accounts_per_branch;
+        for i in 0..200 {
+            let t = g.next_txn(TxnId(i));
+            assert_eq!(t.len(), 7);
+            let items: Vec<u32> = t.ops.iter().map(|o| o.item().0).collect();
+            // account, account, teller, teller, branch, branch, history
+            assert!((teller_end..account_end).contains(&items[0]));
+            assert!((branch_end..teller_end).contains(&items[2]));
+            assert!(items[4] < branch_end);
+            assert!((account_end..scale.db_size()).contains(&items[6]));
+        }
+    }
+
+    #[test]
+    fn history_ring_advances() {
+        let mut g = Et1Gen::new(1, Et1Scale::tiny());
+        let h1 = g.next_txn(TxnId(1)).ops[6].item();
+        let h2 = g.next_txn(TxnId(2)).ops[6].item();
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn every_txn_is_an_update() {
+        let mut g = Et1Gen::new(5, Et1Scale::tiny());
+        for i in 0..50 {
+            assert!(!g.next_txn(TxnId(i)).is_read_only());
+        }
+    }
+
+    #[test]
+    fn db_size_accounts_for_all_regions() {
+        let s = Et1Scale::tiny();
+        assert_eq!(s.db_size(), 2 + 10 + 100 + 32);
+    }
+}

@@ -1,0 +1,183 @@
+//! Conflict-serializability checking for execution histories.
+//!
+//! A history is the interleaved sequence of data operations actually
+//! executed. Two operations conflict when they touch the same item and
+//! at least one writes. A history is conflict-serializable iff its
+//! precedence (conflict) graph is acyclic; any topological order of that
+//! graph is an equivalent serial order. The locking scheduler's runs are
+//! validated against this checker (strict 2PL guarantees acyclicity).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use miniraid_core::ids::{ItemId, TxnId};
+
+/// One executed operation in a history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryOp {
+    /// The executing transaction.
+    pub txn: TxnId,
+    /// The item touched.
+    pub item: ItemId,
+    /// Write (true) or read (false).
+    pub is_write: bool,
+}
+
+/// The precedence graph of a history.
+#[derive(Debug, Default)]
+pub struct PrecedenceGraph {
+    /// Adjacency: `a -> b` means `a` must precede `b` serially.
+    edges: HashMap<TxnId, HashSet<TxnId>>,
+    nodes: HashSet<TxnId>,
+}
+
+impl PrecedenceGraph {
+    /// Build the precedence graph of `history`.
+    pub fn build(history: &[HistoryOp]) -> Self {
+        let mut graph = PrecedenceGraph::default();
+        for op in history {
+            graph.nodes.insert(op.txn);
+        }
+        for (i, a) in history.iter().enumerate() {
+            for b in &history[i + 1..] {
+                if a.txn != b.txn && a.item == b.item && (a.is_write || b.is_write) {
+                    graph
+                        .edges
+                        .entry(a.txn)
+                        .or_default()
+                        .insert(b.txn);
+                }
+            }
+        }
+        graph
+    }
+
+    /// Number of transactions in the history.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the history touched no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// A topological order of the graph (an equivalent serial order), or
+    /// `None` if the graph has a cycle (not conflict-serializable).
+    pub fn serial_order(&self) -> Option<Vec<TxnId>> {
+        let mut in_degree: HashMap<TxnId, usize> =
+            self.nodes.iter().map(|t| (*t, 0)).collect();
+        for targets in self.edges.values() {
+            for t in targets {
+                *in_degree.get_mut(t).expect("known node") += 1;
+            }
+        }
+        // Deterministic order: lowest txn id first among the ready set.
+        let mut ready: Vec<TxnId> = in_degree
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(t, _)| *t)
+            .collect();
+        ready.sort_unstable();
+        let mut queue: VecDeque<TxnId> = ready.into();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(t) = queue.pop_front() {
+            order.push(t);
+            if let Some(targets) = self.edges.get(&t) {
+                let mut newly: Vec<TxnId> = Vec::new();
+                for next in targets {
+                    let d = in_degree.get_mut(next).expect("known node");
+                    *d -= 1;
+                    if *d == 0 {
+                        newly.push(*next);
+                    }
+                }
+                newly.sort_unstable();
+                queue.extend(newly);
+            }
+        }
+        (order.len() == self.nodes.len()).then_some(order)
+    }
+
+    /// True iff the history is conflict-serializable.
+    pub fn is_serializable(&self) -> bool {
+        self.serial_order().is_some()
+    }
+
+    /// Does the graph require `a` before `b`?
+    pub fn requires(&self, a: TxnId, b: TxnId) -> bool {
+        self.edges.get(&a).is_some_and(|t| t.contains(&b))
+    }
+}
+
+/// Convenience: check a history directly.
+pub fn is_conflict_serializable(history: &[HistoryOp]) -> bool {
+    PrecedenceGraph::build(history).is_serializable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(txn: u64, item: u32, is_write: bool) -> HistoryOp {
+        HistoryOp {
+            txn: TxnId(txn),
+            item: ItemId(item),
+            is_write,
+        }
+    }
+
+    #[test]
+    fn serial_history_is_serializable() {
+        let h = [op(1, 0, true), op(1, 1, true), op(2, 0, false), op(2, 1, true)];
+        let g = PrecedenceGraph::build(&h);
+        assert!(g.is_serializable());
+        assert_eq!(g.serial_order().unwrap(), vec![TxnId(1), TxnId(2)]);
+        assert!(g.requires(TxnId(1), TxnId(2)));
+        assert!(!g.requires(TxnId(2), TxnId(1)));
+    }
+
+    #[test]
+    fn classic_nonserializable_interleaving_is_rejected() {
+        // T1 reads x, T2 writes x, T2 writes y, T1 writes y:
+        // T1 -> T2 (on x) and T2 -> T1 (on y) — a cycle.
+        let h = [op(1, 0, false), op(2, 0, true), op(2, 1, true), op(1, 1, true)];
+        assert!(!is_conflict_serializable(&h));
+    }
+
+    #[test]
+    fn read_read_does_not_conflict() {
+        let h = [op(1, 0, false), op(2, 0, false), op(1, 0, false)];
+        let g = PrecedenceGraph::build(&h);
+        assert!(g.is_serializable());
+        assert!(!g.requires(TxnId(1), TxnId(2)));
+        assert!(!g.requires(TxnId(2), TxnId(1)));
+    }
+
+    #[test]
+    fn empty_history() {
+        let g = PrecedenceGraph::build(&[]);
+        assert!(g.is_empty());
+        assert!(g.is_serializable());
+        assert_eq!(g.serial_order().unwrap(), Vec::<TxnId>::new());
+    }
+
+    #[test]
+    fn three_way_cycle_detected() {
+        let h = [
+            op(1, 0, true),
+            op(2, 0, true), // 1 -> 2
+            op(2, 1, true),
+            op(3, 1, true), // 2 -> 3
+            op(3, 2, true),
+            op(1, 2, true), // 3 -> 1: cycle
+        ];
+        assert!(!is_conflict_serializable(&h));
+    }
+
+    #[test]
+    fn disjoint_transactions_allow_any_order() {
+        let h = [op(2, 0, true), op(1, 1, true)];
+        let g = PrecedenceGraph::build(&h);
+        assert_eq!(g.serial_order().unwrap(), vec![TxnId(1), TxnId(2)]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Wisconsin-benchmark-style workload (Bitton, DeWitt, Turbyfill 1983 —
+//! the paper's cited \[Bitt83\] and second named future benchmark).
+//!
+//! The Wisconsin benchmark is a relational query benchmark; for a record
+//! (item) level replicated store we reproduce its access *shapes*:
+//! selection scans with 1 % and 10 % selectivity over a `tenk`-style
+//! relation, and bulk updates over qualifying ranges. Each generated
+//! transaction is one query: a range of reads (selection) or a range of
+//! read-write pairs (update), over a relation laid out densely in the
+//! item universe.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use miniraid_core::ids::{ItemId, TxnId};
+use miniraid_core::ops::{Operation, Transaction};
+
+use crate::workload::WorkloadGen;
+
+/// Query shapes generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WisconsinQuery {
+    /// 1 %-selectivity selection (reads).
+    SelectOnePercent,
+    /// 10 %-selectivity selection (reads).
+    SelectTenPercent,
+    /// 1 %-selectivity update (read-modify-writes).
+    UpdateOnePercent,
+}
+
+/// The Wisconsin-style generator.
+#[derive(Debug, Clone)]
+pub struct WisconsinGen {
+    rng: StdRng,
+    relation_size: u32,
+    /// Mix weights for the three query shapes, out of 100.
+    select1_weight: u32,
+    select10_weight: u32,
+}
+
+impl WisconsinGen {
+    /// Create over a relation of `relation_size` tuples with the default
+    /// mix (50 % 1 %-selects, 30 % 10 %-selects, 20 % updates).
+    pub fn new(seed: u64, relation_size: u32) -> Self {
+        assert!(relation_size >= 100, "relation must have >= 100 tuples");
+        WisconsinGen {
+            rng: StdRng::seed_from_u64(seed),
+            relation_size,
+            select1_weight: 50,
+            select10_weight: 30,
+        }
+    }
+
+    fn pick_query(&mut self) -> WisconsinQuery {
+        let roll = self.rng.random_range(0..100);
+        if roll < self.select1_weight {
+            WisconsinQuery::SelectOnePercent
+        } else if roll < self.select1_weight + self.select10_weight {
+            WisconsinQuery::SelectTenPercent
+        } else {
+            WisconsinQuery::UpdateOnePercent
+        }
+    }
+
+    fn range(&mut self, fraction: f64) -> (u32, u32) {
+        let len = ((self.relation_size as f64 * fraction) as u32).max(1);
+        let start = self.rng.random_range(0..self.relation_size - len + 1);
+        (start, len)
+    }
+}
+
+impl WorkloadGen for WisconsinGen {
+    fn next_txn(&mut self, id: TxnId) -> Transaction {
+        let query = self.pick_query();
+        let mut ops = Vec::new();
+        match query {
+            WisconsinQuery::SelectOnePercent => {
+                let (start, len) = self.range(0.01);
+                for i in start..start + len {
+                    ops.push(Operation::Read(ItemId(i)));
+                }
+            }
+            WisconsinQuery::SelectTenPercent => {
+                let (start, len) = self.range(0.10);
+                for i in start..start + len {
+                    ops.push(Operation::Read(ItemId(i)));
+                }
+            }
+            WisconsinQuery::UpdateOnePercent => {
+                let (start, len) = self.range(0.01);
+                let new_value = self.rng.random_range(1..=u64::MAX);
+                for i in start..start + len {
+                    ops.push(Operation::Read(ItemId(i)));
+                    ops.push(Operation::Write(ItemId(i), new_value));
+                }
+            }
+        }
+        Transaction::new(id, ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_inside_relation() {
+        let mut g = WisconsinGen::new(1, 1000);
+        for i in 0..300 {
+            let t = g.next_txn(TxnId(i));
+            assert!(!t.is_empty());
+            for op in &t.ops {
+                assert!(op.item().0 < 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn selectivities_match_shapes() {
+        let mut g = WisconsinGen::new(2, 1000);
+        let mut saw_select10 = false;
+        let mut saw_update = false;
+        for i in 0..300 {
+            let t = g.next_txn(TxnId(i));
+            if t.is_read_only() {
+                // 1 % => 10 reads, 10 % => 100 reads.
+                assert!(t.len() == 10 || t.len() == 100, "len {}", t.len());
+                saw_select10 |= t.len() == 100;
+            } else {
+                assert_eq!(t.len(), 20, "update = 10 read-write pairs");
+                saw_update = true;
+            }
+        }
+        assert!(saw_select10 && saw_update);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 100")]
+    fn tiny_relation_rejected() {
+        let _ = WisconsinGen::new(1, 10);
+    }
+}

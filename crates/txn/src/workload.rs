@@ -1,0 +1,226 @@
+//! Transaction generators.
+//!
+//! The paper's managing site generated each database transaction as "a
+//! random number of operations (from 1 to the maximum specified for the
+//! system)" with "an equal probability of an operation being a read or a
+//! write and each operation ... for a randomly chosen data item from the
+//! database" (§1.2). [`UniformGen`] reproduces that exactly;
+//! [`ZipfGen`] adds the skewed-access variant the paper's §5 discusses
+//! ("in reality ... all data items are accessed with different
+//! probabilities").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use miniraid_core::ids::{ItemId, TxnId};
+use miniraid_core::ops::{Operation, Transaction};
+
+/// A source of database transactions.
+pub trait WorkloadGen {
+    /// Produce the next transaction, stamped with `id`.
+    fn next_txn(&mut self, id: TxnId) -> Transaction;
+}
+
+/// The paper's uniform generator over the frequently-referenced hot set.
+///
+/// ```
+/// use miniraid_core::ids::TxnId;
+/// use miniraid_txn::workload::{UniformGen, WorkloadGen};
+///
+/// // db = 50 items, max transaction size 5 (the paper's Experiment 2).
+/// let mut gen = UniformGen::new(1987, 50, 5);
+/// let txn = gen.next_txn(TxnId(1));
+/// assert!((1..=5).contains(&txn.len()));
+/// assert!(txn.ops.iter().all(|op| op.item().0 < 50));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniformGen {
+    rng: StdRng,
+    db_size: u32,
+    max_ops: u32,
+    /// Probability that an operation is a read (the paper uses 0.5; §5
+    /// discusses the read-heavy case, exercised by ablation X3).
+    read_fraction: f64,
+}
+
+impl UniformGen {
+    /// The paper's configuration: equal read/write probability.
+    pub fn new(seed: u64, db_size: u32, max_ops: u32) -> Self {
+        Self::with_read_fraction(seed, db_size, max_ops, 0.5)
+    }
+
+    /// Custom read fraction (e.g. 0.8 for a read-heavy mix).
+    pub fn with_read_fraction(seed: u64, db_size: u32, max_ops: u32, read_fraction: f64) -> Self {
+        assert!(db_size > 0 && max_ops > 0);
+        assert!((0.0..=1.0).contains(&read_fraction));
+        UniformGen {
+            rng: StdRng::seed_from_u64(seed),
+            db_size,
+            max_ops,
+            read_fraction,
+        }
+    }
+}
+
+impl WorkloadGen for UniformGen {
+    fn next_txn(&mut self, id: TxnId) -> Transaction {
+        let n_ops = self.rng.random_range(1..=self.max_ops);
+        let ops = (0..n_ops)
+            .map(|_| {
+                let item = ItemId(self.rng.random_range(0..self.db_size));
+                if self.rng.random_bool(self.read_fraction) {
+                    Operation::Read(item)
+                } else {
+                    Operation::Write(item, self.rng.random_range(1..=u64::MAX))
+                }
+            })
+            .collect();
+        Transaction::new(id, ops)
+    }
+}
+
+/// Zipf-skewed item selection (rank-1 most popular), same size and mix
+/// model as [`UniformGen`].
+#[derive(Debug, Clone)]
+pub struct ZipfGen {
+    rng: StdRng,
+    max_ops: u32,
+    read_fraction: f64,
+    /// Cumulative distribution over item ranks.
+    cdf: Vec<f64>,
+}
+
+impl ZipfGen {
+    /// Create with skew parameter `theta` (0 = uniform; 0.99 = heavily
+    /// skewed, the YCSB default).
+    pub fn new(seed: u64, db_size: u32, max_ops: u32, theta: f64, read_fraction: f64) -> Self {
+        assert!(db_size > 0 && max_ops > 0);
+        assert!(theta >= 0.0);
+        let weights: Vec<f64> = (1..=db_size as u64)
+            .map(|rank| 1.0 / (rank as f64).powf(theta))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        ZipfGen {
+            rng: StdRng::seed_from_u64(seed),
+            max_ops,
+            read_fraction,
+            cdf,
+        }
+    }
+
+    fn pick_item(&mut self) -> ItemId {
+        let u: f64 = self.rng.random();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        ItemId(idx.min(self.cdf.len() - 1) as u32)
+    }
+}
+
+impl WorkloadGen for ZipfGen {
+    fn next_txn(&mut self, id: TxnId) -> Transaction {
+        let n_ops = self.rng.random_range(1..=self.max_ops);
+        let ops = (0..n_ops)
+            .map(|_| {
+                let item = self.pick_item();
+                if self.rng.random_bool(self.read_fraction) {
+                    Operation::Read(item)
+                } else {
+                    Operation::Write(item, self.rng.random_range(1..=u64::MAX))
+                }
+            })
+            .collect();
+        Transaction::new(id, ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_size_bounds() {
+        let mut g = UniformGen::new(42, 50, 10);
+        for i in 0..500 {
+            let t = g.next_txn(TxnId(i));
+            assert!((1..=10).contains(&t.len()));
+            for op in &t.ops {
+                assert!(op.item().0 < 50);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_mix_is_roughly_half_reads() {
+        let mut g = UniformGen::new(7, 50, 10);
+        let (mut reads, mut total) = (0usize, 0usize);
+        for i in 0..2000 {
+            let t = g.next_txn(TxnId(i));
+            reads += t.read_op_count();
+            total += t.len();
+        }
+        let frac = reads as f64 / total as f64;
+        assert!((0.45..0.55).contains(&frac), "read fraction {frac}");
+    }
+
+    #[test]
+    fn read_fraction_is_honoured() {
+        let mut g = UniformGen::with_read_fraction(7, 50, 10, 0.9);
+        let (mut reads, mut total) = (0usize, 0usize);
+        for i in 0..2000 {
+            let t = g.next_txn(TxnId(i));
+            reads += t.read_op_count();
+            total += t.len();
+        }
+        let frac = reads as f64 / total as f64;
+        assert!(frac > 0.85, "read fraction {frac}");
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let mut a = UniformGen::new(9, 20, 5);
+        let mut b = UniformGen::new(9, 20, 5);
+        for i in 0..50 {
+            assert_eq!(a.next_txn(TxnId(i)), b.next_txn(TxnId(i)));
+        }
+        let mut c = UniformGen::new(10, 20, 5);
+        let differs = (0..50).any(|i| {
+            UniformGen::new(9, 20, 5).next_txn(TxnId(i)) != c.next_txn(TxnId(i))
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let mut g = ZipfGen::new(3, 100, 4, 0.99, 0.5);
+        let mut counts = vec![0u32; 100];
+        for i in 0..3000 {
+            for op in g.next_txn(TxnId(i)).ops {
+                counts[op.item().index()] += 1;
+            }
+        }
+        let head: u32 = counts[..10].iter().sum();
+        let tail: u32 = counts[90..].iter().sum();
+        assert!(head > tail * 3, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniformish() {
+        let mut g = ZipfGen::new(3, 10, 4, 0.0, 0.5);
+        let mut counts = vec![0u32; 10];
+        for i in 0..5000 {
+            for op in g.next_txn(TxnId(i)).ops {
+                counts[op.item().index()] += 1;
+            }
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "spread too wide for theta=0: {counts:?}");
+    }
+}

@@ -1,0 +1,73 @@
+//! # miniraid — replicated copy control during site failure and recovery
+//!
+//! A complete Rust implementation and experimental reproduction of:
+//!
+//! > B. Bhargava, P. Noll, D. Sabo. *An Experimental Analysis of
+//! > Replicated Copy Control During Site Failure and Recovery.*
+//! > Purdue CSD-TR-692 (1987) / ICDE 1988.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — the protocol: session numbers, nominal session vectors,
+//!   fail-locks, ROWAA reads/writes over two-phase commit, copier
+//!   transactions, and control transactions of types 1–3, all inside the
+//!   sans-IO [`core::engine::SiteEngine`] state machine.
+//! * [`storage`] — in-memory replicated tables (the paper's mode) plus a
+//!   WAL/snapshot durable store.
+//! * [`net`] — the reliable ordered messaging substrate: binary codec,
+//!   in-process channel transport, TCP transport, latency injection.
+//! * [`txn`] — workload generators (the paper's uniform hot-set, Zipf,
+//!   ET1/DebitCredit, Wisconsin-style) and a strict-2PL lock manager.
+//! * [`sim`] — the deterministic mini-RAID testbed: virtual clock,
+//!   calibrated 1987 cost model, managing site, and the paper's three
+//!   experiments as runnable scenarios.
+//! * [`cluster`] — the same engine on real threads over real transports.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use miniraid::cluster::{Cluster, ClusterTiming};
+//! use miniraid::core::config::ProtocolConfig;
+//! use miniraid::core::ids::{ItemId, SiteId};
+//! use miniraid::core::ops::{Operation, Transaction};
+//! use std::time::Duration;
+//!
+//! let config = ProtocolConfig { db_size: 16, n_sites: 3, ..Default::default() };
+//! let (cluster, mut client) = Cluster::launch(config, ClusterTiming::default());
+//!
+//! let id = client.next_txn_id();
+//! let report = client
+//!     .run_txn(
+//!         SiteId(0),
+//!         Transaction::new(id, vec![Operation::Write(ItemId(3), 42)]),
+//!         Duration::from_secs(5),
+//!     )
+//!     .unwrap();
+//! assert!(report.outcome.is_committed());
+//!
+//! client.terminate_all();
+//! cluster.join(Duration::from_secs(5));
+//! ```
+//!
+//! To regenerate the paper's tables and figures:
+//! `cargo run --release -p miniraid-bench --bin repro_all`.
+
+#![warn(missing_docs)]
+
+/// The replication protocol (re-export of `miniraid-core`).
+pub use miniraid_core as core;
+
+/// Storage substrate (re-export of `miniraid-storage`).
+pub use miniraid_storage as storage;
+
+/// Messaging substrate (re-export of `miniraid-net`).
+pub use miniraid_net as net;
+
+/// Workloads and concurrency control (re-export of `miniraid-txn`).
+pub use miniraid_txn as txn;
+
+/// The deterministic testbed (re-export of `miniraid-sim`).
+pub use miniraid_sim as sim;
+
+/// Threaded deployment (re-export of `miniraid-cluster`).
+pub use miniraid_cluster as cluster;

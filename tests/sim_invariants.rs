@@ -1,0 +1,142 @@
+//! Property-based invariants at the simulator level (complementing the
+//! engine-level proptests in `miniraid-core`): random fail/recover/txn
+//! schedules through the full event-driven testbed must preserve
+//! convergence and availability guarantees.
+
+use miniraid::core::config::TwoStepRecovery;
+use miniraid::core::ids::{ItemId, SiteId, TxnId};
+use miniraid::core::ops::{Operation, Transaction};
+use miniraid::core::ProtocolConfig;
+use miniraid::sim::{CostModel, ProcessorModel, SimConfig, Simulation};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Fail(u8),
+    Recover(u8),
+    Txn { site: u8, ops: Vec<(bool, u32, u64)> },
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    let op = (any::<bool>(), 0u32..16, 1u64..1000);
+    prop_oneof![
+        1 => (0u8..3).prop_map(Step::Fail),
+        1 => (0u8..3).prop_map(Step::Recover),
+        5 => ((0u8..3), proptest::collection::vec(op, 1..5))
+            .prop_map(|(site, ops)| Step::Txn { site, ops }),
+    ]
+}
+
+fn build_sim(batch: bool) -> Simulation {
+    let protocol = ProtocolConfig {
+        db_size: 16,
+        n_sites: 3,
+        two_step_recovery: batch.then_some(TwoStepRecovery {
+            threshold: 1.0,
+            batch_size: 16,
+        }),
+        ..ProtocolConfig::default()
+    };
+    let mut config = SimConfig::paper(protocol);
+    config.cost = CostModel::zero_cpu();
+    config.processor = ProcessorModel::PerSite;
+    Simulation::new(config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After any schedule (≥1 site up at all times) plus a final
+    /// recover-everyone phase with batch copiers, all replicas converge.
+    #[test]
+    fn random_schedules_converge_through_the_simulator(
+        steps in proptest::collection::vec(arb_step(), 1..40)
+    ) {
+        let mut sim = build_sim(true);
+        let mut next_txn = 1u64;
+        for step in steps {
+            match step {
+                Step::Fail(site) => {
+                    let up = (0..3).filter(|s| sim.engine(SiteId(*s)).is_up()).count();
+                    if up > 1 && sim.engine(SiteId(site)).is_up() {
+                        sim.fail_site(SiteId(site), true);
+                    }
+                }
+                Step::Recover(site) => {
+                    if !sim.engine(SiteId(site)).is_up() {
+                        sim.recover_site(SiteId(site));
+                    }
+                }
+                Step::Txn { site, ops } => {
+                    if !sim.engine(SiteId(site)).is_up() {
+                        continue;
+                    }
+                    let txn = Transaction::new(
+                        TxnId(next_txn),
+                        ops.iter()
+                            .map(|(w, item, value)| {
+                                let item = ItemId(item % 16);
+                                if *w {
+                                    Operation::Write(item, *value)
+                                } else {
+                                    Operation::Read(item)
+                                }
+                            })
+                            .collect(),
+                    );
+                    next_txn += 1;
+                    sim.run_txn(SiteId(site), txn);
+                }
+            }
+        }
+        // Bring everyone up; batch recovery drains all fail-locks.
+        for s in 0..3u8 {
+            if !sim.engine(SiteId(s)).is_up() {
+                prop_assert!(sim.recover_site(SiteId(s)));
+            }
+        }
+        sim.run_to_quiescence();
+        for s in 0..3u8 {
+            prop_assert_eq!(sim.engine(SiteId(s)).own_stale_count(), 0,
+                "site {} still stale", s);
+        }
+        let d0 = sim.engine(SiteId(0)).db().digest();
+        for s in 1..3u8 {
+            prop_assert_eq!(sim.engine(SiteId(s)).db().digest(), d0,
+                "site {} diverged", s);
+        }
+    }
+
+    /// Virtual time advances monotonically and every injected transaction
+    /// is reported exactly once.
+    #[test]
+    fn every_transaction_is_reported_once(
+        txns in proptest::collection::vec(
+            proptest::collection::vec((any::<bool>(), 0u32..16, 1u64..100), 1..4),
+            1..20
+        )
+    ) {
+        let mut sim = build_sim(false);
+        let mut last_now = sim.now();
+        for (i, ops) in txns.iter().enumerate() {
+            let id = TxnId(i as u64 + 1);
+            let txn = Transaction::new(
+                id,
+                ops.iter().map(|(w, item, value)| {
+                    let item = ItemId(item % 16);
+                    if *w { Operation::Write(item, *value) } else { Operation::Read(item) }
+                }).collect(),
+            );
+            let rec = sim.run_txn(SiteId((i % 3) as u8), txn);
+            prop_assert_eq!(rec.report.txn, id);
+            prop_assert!(sim.now() >= last_now);
+            last_now = sim.now();
+        }
+        prop_assert_eq!(sim.records.len(), txns.len());
+        let mut seen = std::collections::HashSet::new();
+        for r in &sim.records {
+            prop_assert!(seen.insert(r.report.txn), "duplicate report");
+            prop_assert!(r.end >= r.start);
+        }
+    }
+}
