@@ -15,9 +15,7 @@ fn bench_two_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_two_step");
     group.sample_size(10);
     group.bench_function("on_demand_recovery", |b| {
-        b.iter(|| {
-            black_box(recovery_ablation(1987, None, 0.5, Routing::RoundRobinUp).recovery_ms)
-        })
+        b.iter(|| black_box(recovery_ablation(1987, None, 0.5, Routing::RoundRobinUp).recovery_ms))
     });
     group.bench_function("batch_recovery_threshold_1_0", |b| {
         b.iter(|| {

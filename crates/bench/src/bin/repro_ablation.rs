@@ -20,19 +20,31 @@ fn main() {
         ("on-demand only (paper impl)".into(), None),
         (
             "two-step, threshold 0.10".into(),
-            Some(TwoStepRecovery { threshold: 0.10, batch_size: 5 }),
+            Some(TwoStepRecovery {
+                threshold: 0.10,
+                batch_size: 5,
+            }),
         ),
         (
             "two-step, threshold 0.25".into(),
-            Some(TwoStepRecovery { threshold: 0.25, batch_size: 5 }),
+            Some(TwoStepRecovery {
+                threshold: 0.25,
+                batch_size: 5,
+            }),
         ),
         (
             "two-step, threshold 0.50".into(),
-            Some(TwoStepRecovery { threshold: 0.50, batch_size: 5 }),
+            Some(TwoStepRecovery {
+                threshold: 0.50,
+                batch_size: 5,
+            }),
         ),
         (
             "batch immediately (threshold 1.0)".into(),
-            Some(TwoStepRecovery { threshold: 1.0, batch_size: 5 }),
+            Some(TwoStepRecovery {
+                threshold: 1.0,
+                batch_size: 5,
+            }),
         ),
     ];
     for (label, two_step) in policies {
@@ -120,10 +132,14 @@ fn main() {
         println!(
             "{:<18} {:>6}/{:<3} {:>6}/{:<3} {:>6}/{:<3} {:>7}/{:<3} {:>12.1}",
             label,
-            r.committed[0], r.issued[0],
-            r.committed[1], r.issued[1],
-            r.committed[2], r.issued[2],
-            r.committed[3], r.issued[3],
+            r.committed[0],
+            r.issued[0],
+            r.committed[1],
+            r.issued[1],
+            r.committed[2],
+            r.issued[2],
+            r.committed[3],
+            r.issued[3],
             r.msgs_per_commit,
         );
     }

@@ -1,0 +1,220 @@
+//! Throughput benchmark for the pipelined transaction engine.
+//!
+//! Sweeps `ProtocolConfig::max_inflight` over {1, 2, 4, 8} against a
+//! threaded channel cluster with a fixed per-send intersite latency
+//! (scaled down from the paper's measured 9 ms so the sweep stays
+//! fast). Transactions are submitted open-loop, sharded so that each
+//! coordinator's in-flight window is conflict-free: with serial
+//! admission (`max_inflight = 1`, the paper's configuration) a
+//! coordinator pays the full two-phase-commit latency per transaction;
+//! with a deeper pipeline those rounds overlap and the transport
+//! coalesces concurrent messages into batched frames.
+//!
+//! Run: `cargo run --release -p miniraid-bench --bin repro_throughput`
+//!
+//! Writes `BENCH_throughput.json` in the working directory.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use miniraid_cluster::{Cluster, ClusterTiming};
+use miniraid_core::config::ProtocolConfig;
+use miniraid_core::ids::{ItemId, SiteId, TxnId};
+use miniraid_core::ops::{Operation, Transaction};
+
+/// Sites in the cluster (the paper's mini-RAID ran on 4 SUN-3s; one is
+/// the managing site, so 3 database sites).
+const N_SITES: u8 = 3;
+/// Transactions submitted per coordinating site.
+const TXNS_PER_SITE: u64 = 150;
+/// Per-send intersite latency (the paper measured 9 ms; scaled down to
+/// keep the four-point sweep under a minute).
+const LATENCY: Duration = Duration::from_millis(2);
+/// Items per coordinator shard. Larger than the deepest pipeline, so
+/// cycling item choice keeps every in-flight window conflict-free.
+const SHARD: u32 = 32;
+/// Writes per transaction.
+const WRITES_PER_TXN: u32 = 2;
+
+struct SweepPoint {
+    max_inflight: usize,
+    committed: u64,
+    aborted: u64,
+    elapsed: Duration,
+    /// Sorted commit latencies.
+    latencies: Vec<Duration>,
+}
+
+impl SweepPoint {
+    fn txns_per_sec(&self) -> f64 {
+        self.committed as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn abort_rate(&self) -> f64 {
+        let total = self.committed + self.aborted;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / total as f64
+        }
+    }
+
+    fn percentile_ms(&self, p: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = ((self.latencies.len() - 1) as f64 * p).round() as usize;
+        self.latencies[rank].as_secs_f64() * 1e3
+    }
+}
+
+/// The k-th transaction coordinated by `site`: `WRITES_PER_TXN` writes
+/// into the site's own item shard, cycling so no two transactions in
+/// any window of `SHARD` share an item.
+fn workload_txn(site: SiteId, k: u64, id: TxnId) -> Transaction {
+    let base = site.0 as u32 * SHARD * WRITES_PER_TXN;
+    let ops = (0..WRITES_PER_TXN)
+        .map(|w| {
+            let item = base + w * SHARD + (k as u32 % SHARD);
+            Operation::Write(ItemId(item), id.0)
+        })
+        .collect();
+    Transaction::new(id, ops)
+}
+
+fn run_sweep_point(max_inflight: usize) -> SweepPoint {
+    let config = ProtocolConfig {
+        db_size: N_SITES as u32 * SHARD * WRITES_PER_TXN,
+        n_sites: N_SITES,
+        max_inflight,
+        ..ProtocolConfig::default()
+    };
+    let (cluster, mut client) =
+        Cluster::launch_with_latency(config, ClusterTiming::default(), LATENCY);
+
+    let total = TXNS_PER_SITE * N_SITES as u64;
+    let mut submitted_at: HashMap<TxnId, Instant> = HashMap::new();
+    let mut latencies = Vec::with_capacity(total as usize);
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+
+    // Open loop: submit everything up front, round-robin over
+    // coordinators. Each site queues what it cannot admit yet and keeps
+    // `max_inflight` transactions in its pipeline.
+    let start = Instant::now();
+    for k in 0..TXNS_PER_SITE {
+        for s in 0..N_SITES {
+            let site = SiteId(s);
+            let id = client.next_txn_id();
+            submitted_at.insert(id, Instant::now());
+            client.submit_txn(site, workload_txn(site, k, id));
+        }
+    }
+
+    let mut collected = 0u64;
+    let deadline = start + Duration::from_secs(120);
+    while collected < total && Instant::now() < deadline {
+        let reports = client.drain_reports();
+        if reports.is_empty() {
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        }
+        let now = Instant::now();
+        for report in reports {
+            collected += 1;
+            if report.outcome.is_committed() {
+                committed += 1;
+                if let Some(at) = submitted_at.get(&report.txn) {
+                    latencies.push(now.duration_since(*at));
+                }
+            } else {
+                aborted += 1;
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(
+        collected, total,
+        "max_inflight={max_inflight}: only {collected}/{total} reports arrived"
+    );
+
+    client.terminate_all();
+    cluster.join(Duration::from_secs(5));
+
+    latencies.sort();
+    SweepPoint {
+        max_inflight,
+        committed,
+        aborted,
+        elapsed,
+        latencies,
+    }
+}
+
+fn main() {
+    println!(
+        "pipelined-throughput sweep: {N_SITES} sites, {TXNS_PER_SITE} txns/site, \
+         {}ms intersite latency, {WRITES_PER_TXN} writes/txn",
+        LATENCY.as_millis()
+    );
+    println!(
+        "{:>12} {:>10} {:>8} {:>12} {:>10} {:>10}",
+        "max_inflight", "committed", "aborted", "txns/sec", "p50 ms", "p99 ms"
+    );
+
+    let mut points = Vec::new();
+    for max_inflight in [1usize, 2, 4, 8] {
+        let point = run_sweep_point(max_inflight);
+        println!(
+            "{:>12} {:>10} {:>8} {:>12.1} {:>10.1} {:>10.1}",
+            point.max_inflight,
+            point.committed,
+            point.aborted,
+            point.txns_per_sec(),
+            point.percentile_ms(0.50),
+            point.percentile_ms(0.99),
+        );
+        points.push(point);
+    }
+
+    let base = points[0].txns_per_sec();
+    let at4 = points
+        .iter()
+        .find(|p| p.max_inflight == 4)
+        .expect("sweep includes 4")
+        .txns_per_sec();
+    let speedup = at4 / base;
+    println!("speedup at max_inflight=4 over serial: {speedup:.2}x");
+
+    // Hand-rolled JSON: flat structure, no serializer dependency needed.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"repro_throughput\",\n");
+    json.push_str(&format!("  \"n_sites\": {N_SITES},\n"));
+    json.push_str(&format!("  \"txns_per_site\": {TXNS_PER_SITE},\n"));
+    json.push_str(&format!(
+        "  \"intersite_latency_ms\": {},\n",
+        LATENCY.as_millis()
+    ));
+    json.push_str(&format!("  \"writes_per_txn\": {WRITES_PER_TXN},\n"));
+    json.push_str(&format!("  \"speedup_mi4_over_mi1\": {speedup:.3},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"max_inflight\": {}, \"committed\": {}, \"aborted\": {}, \
+             \"txns_per_sec\": {:.1}, \"abort_rate\": {:.4}, \
+             \"p50_latency_ms\": {:.2}, \"p99_latency_ms\": {:.2}}}{}\n",
+            p.max_inflight,
+            p.committed,
+            p.aborted,
+            p.txns_per_sec(),
+            p.abort_rate(),
+            p.percentile_ms(0.50),
+            p.percentile_ms(0.99),
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    println!("wrote BENCH_throughput.json");
+}

@@ -94,7 +94,12 @@ pub fn render_table(title: &str, rows: &[Row]) -> String {
     for row in rows {
         out.push_str(&format!(
             "{:<44} {:>8.1}{:<2} {:>8.1}{:<2} {:>7.2}x\n",
-            row.metric, row.paper, row.unit, row.measured, row.unit, row.ratio()
+            row.metric,
+            row.paper,
+            row.unit,
+            row.measured,
+            row.unit,
+            row.ratio()
         ));
     }
     out

@@ -83,9 +83,9 @@ pub fn parse(line: &str) -> Result<CliCommand, String> {
         "partition" => {
             let spec = words.next().ok_or("partition needs groups, e.g. 0,0,1")?;
             let groups: Result<Vec<u8>, _> = spec.split(',').map(|g| g.parse::<u8>()).collect();
-            Ok(CliCommand::Partition(
-                groups.map_err(|_| "groups must be integers, e.g. 0,0,1".to_string())?,
-            ))
+            Ok(CliCommand::Partition(groups.map_err(|_| {
+                "groups must be integers, e.g. 0,0,1".to_string()
+            })?))
         }
         "heal" => Ok(CliCommand::Heal),
         "status" => Ok(CliCommand::Status),
@@ -115,7 +115,9 @@ fn parse_op(word: &str) -> Result<Operation, String> {
             .map_err(|_| format!("bad value in '{word}'"))?;
         return Ok(Operation::Write(ItemId(item), value));
     }
-    Err(format!("bad operation '{word}' (want r<item> or w<item>=<value>)"))
+    Err(format!(
+        "bad operation '{word}' (want r<item> or w<item>=<value>)"
+    ))
 }
 
 /// The console session: a managing site over the simulator.
@@ -191,12 +193,18 @@ impl Console {
                 }
                 for op in &ops {
                     if op.item().0 >= self.db_size {
-                        return (format!("item {} outside database of {}", op.item(), self.db_size), false);
+                        return (
+                            format!("item {} outside database of {}", op.item(), self.db_size),
+                            false,
+                        );
                     }
                 }
                 let id = TxnId(self.next_manual_txn);
                 self.next_manual_txn += 1;
-                let record = self.manager.sim.run_txn(SiteId(site), Transaction::new(id, ops));
+                let record = self
+                    .manager
+                    .sim
+                    .run_txn(SiteId(site), Transaction::new(id, ops));
                 let _ = writeln!(
                     out,
                     "{}: {:?} in {:.1} ms ({} copier txns, {} fail-locks set, {} cleared)",
@@ -208,7 +216,11 @@ impl Console {
                     record.report.stats.faillocks_cleared,
                 );
                 for (item, value) in &record.report.read_results {
-                    let _ = writeln!(out, "  read {item} -> {} (version {})", value.data, value.version);
+                    let _ = writeln!(
+                        out,
+                        "  read {item} -> {} (version {})",
+                        value.data, value.version
+                    );
                 }
             }
             CliCommand::Run(n, site) => {
@@ -218,7 +230,10 @@ impl Console {
                     None => Routing::RoundRobinUp,
                 };
                 let records = self.manager.run_many(&routing, n);
-                let committed = records.iter().filter(|r| r.report.outcome.is_committed()).count();
+                let committed = records
+                    .iter()
+                    .filter(|r| r.report.outcome.is_committed())
+                    .count();
                 let _ = writeln!(
                     out,
                     "ran {n} generated transactions: {committed} committed, {} aborted",
@@ -260,6 +275,14 @@ impl Console {
                         m.copier_requests,
                         m.control_type1,
                         m.control_type2,
+                    );
+                    let _ = writeln!(
+                        out,
+                        "        pipeline: in-flight high-water {} | lock waits {} | immediate grants {} | batched msgs/frame {:.1}",
+                        m.inflight_high_water,
+                        m.lock_waits,
+                        m.lock_grants_immediate,
+                        m.batched_messages_per_frame(),
                     );
                 }
                 let _ = writeln!(
@@ -362,7 +385,10 @@ mod tests {
 
     #[test]
     fn partition_commands() {
-        assert_eq!(parse("partition 0,0,1"), Ok(CliCommand::Partition(vec![0, 0, 1])));
+        assert_eq!(
+            parse("partition 0,0,1"),
+            Ok(CliCommand::Partition(vec![0, 0, 1]))
+        );
         assert_eq!(parse("heal"), Ok(CliCommand::Heal));
         assert!(parse("partition").is_err());
         assert!(parse("partition a,b").is_err());
@@ -394,8 +420,7 @@ mod tests {
         let mut console = Console::new(2, 20, 5, 7);
         let (out, _) = console.execute(CliCommand::Fail(9));
         assert!(out.contains("no such site"));
-        let (out, _) =
-            console.execute(CliCommand::Txn(0, vec![Operation::Read(ItemId(999))]));
+        let (out, _) = console.execute(CliCommand::Txn(0, vec![Operation::Read(ItemId(999))]));
         assert!(out.contains("outside database"));
     }
 

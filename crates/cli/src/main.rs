@@ -14,9 +14,7 @@ fn main() {
     let db_size: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(50);
     let max_txn: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
 
-    println!(
-        "miniraid managing site — {n_sites} sites, {db_size} items, max txn size {max_txn}"
-    );
+    println!("miniraid managing site — {n_sites} sites, {db_size} items, max txn size {max_txn}");
     println!("{HELP}");
 
     let mut console = Console::new(n_sites, db_size, max_txn, 1987);

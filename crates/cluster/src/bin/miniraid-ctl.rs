@@ -25,8 +25,7 @@ fn main() {
     let command = args.next().expect(usage);
 
     let plan = AddressPlan { base_port };
-    let (transport, mailbox) =
-        TcpEndpoint::bind(SiteId(n_sites), plan).expect("bind manager port");
+    let (transport, mailbox) = TcpEndpoint::bind(SiteId(n_sites), plan).expect("bind manager port");
     let mut client = ManagingClient::new(transport, mailbox, n_sites);
 
     match command.as_str() {
@@ -43,7 +42,10 @@ fn main() {
                 .expect("transaction report");
             println!("{}: {:?}", report.txn, report.outcome);
             for (item, value) in &report.read_results {
-                println!("  read {item} -> {} (version {})", value.data, value.version);
+                println!(
+                    "  read {item} -> {} (version {})",
+                    value.data, value.version
+                );
             }
         }
         "fail" => {
@@ -70,7 +72,10 @@ fn parse_op(word: &str) -> Option<Operation> {
     }
     if let Some(rest) = word.strip_prefix('w') {
         let (item, value) = rest.split_once('=')?;
-        return Some(Operation::Write(ItemId(item.parse().ok()?), value.parse().ok()?));
+        return Some(Operation::Write(
+            ItemId(item.parse().ok()?),
+            value.parse().ok()?,
+        ));
     }
     None
 }

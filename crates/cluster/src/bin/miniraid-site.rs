@@ -32,8 +32,7 @@ fn main() {
         ..ProtocolConfig::default()
     };
     let plan = AddressPlan { base_port };
-    let (transport, mailbox) =
-        TcpEndpoint::bind(SiteId(site_id), plan).expect("bind site port");
+    let (transport, mailbox) = TcpEndpoint::bind(SiteId(site_id), plan).expect("bind site port");
     let manager = SiteId(n_sites);
     eprintln!(
         "miniraid-site {site_id}/{n_sites} listening on {} ({} items{})",
@@ -46,8 +45,8 @@ fn main() {
         Some(dir) => {
             config.emit_persistence = true;
             let dir = std::path::Path::new(&dir).join(format!("site-{site_id}"));
-            let store = miniraid_storage::DurableStore::open(&dir, db_size)
-                .expect("open durable store");
+            let store =
+                miniraid_storage::DurableStore::open(&dir, db_size).expect("open durable store");
             let mut engine = SiteEngine::new(SiteId(site_id), config);
             if store.last_txn() > 0 {
                 engine.preload_db(
@@ -64,8 +63,7 @@ fn main() {
                         .map(|(item, word)| (miniraid_core::ids::ItemId(*item), *word)),
                 );
                 if store.session() > 0 {
-                    engine
-                        .preload_session(miniraid_core::ids::SessionNumber(store.session()));
+                    engine.preload_session(miniraid_core::ids::SessionNumber(store.session()));
                 }
                 // A restarted process rejoins via Recover.
                 engine.assume_failed();
@@ -81,7 +79,13 @@ fn main() {
         }
         None => {
             let engine = SiteEngine::new(SiteId(site_id), config);
-            run_site(engine, transport, mailbox, manager, ClusterTiming::default());
+            run_site(
+                engine,
+                transport,
+                mailbox,
+                manager,
+                ClusterTiming::default(),
+            );
         }
     }
     eprintln!("miniraid-site {site_id} terminated");

@@ -9,6 +9,7 @@ use miniraid_core::engine::SiteEngine;
 use miniraid_core::ids::SiteId;
 use miniraid_core::partial::ReplicationMap;
 use miniraid_net::channel::{ChannelMailbox, ChannelNetwork, ChannelTransport};
+use miniraid_net::delay::DelayTransport;
 use miniraid_net::tcp::{AddressPlan, TcpEndpoint, TcpMailbox, TcpTransport};
 
 use crate::control::ManagingClient;
@@ -45,11 +46,38 @@ impl Cluster {
         // After popping the manager's endpoint, the rest are sites 0..n.
         for (i, (transport, mailbox)) in endpoints.into_iter().enumerate() {
             let engine = match &map {
-                Some(m) => {
-                    SiteEngine::with_replication(SiteId(i as u8), config.clone(), m.clone())
-                }
+                Some(m) => SiteEngine::with_replication(SiteId(i as u8), config.clone(), m.clone()),
                 None => SiteEngine::new(SiteId(i as u8), config.clone()),
             };
+            let handle = std::thread::Builder::new()
+                .name(format!("miniraid-site-{i}"))
+                .spawn(move || run_site(engine, transport, mailbox, manager_id, timing))
+                .expect("spawn site thread");
+            handles.push(handle);
+        }
+        let client = ManagingClient::new(mgr_transport, mgr_mailbox, n);
+        (Cluster { handles }, client)
+    }
+
+    /// Launch over in-process channels with a fixed per-send latency on
+    /// every site's transport (the manager's sends stay immediate), like
+    /// the paper's measured 9 ms intersite communication cost. Used by
+    /// the throughput benchmark, where intersite latency is what makes
+    /// pipelining overlap measurable.
+    pub fn launch_with_latency(
+        config: ProtocolConfig,
+        timing: ClusterTiming,
+        latency: Duration,
+    ) -> (Cluster, ManagingClient<ChannelTransport, ChannelMailbox>) {
+        let n = config.n_sites;
+        let manager_id = SiteId(n);
+        let mut endpoints = ChannelNetwork::new(n as usize + 1);
+        let (mgr_transport, mgr_mailbox) = endpoints.pop().expect("manager endpoint");
+
+        let mut handles = Vec::with_capacity(n as usize);
+        for (i, (transport, mailbox)) in endpoints.into_iter().enumerate() {
+            let engine = SiteEngine::new(SiteId(i as u8), config.clone());
+            let transport = DelayTransport::new(transport, latency);
             let handle = std::thread::Builder::new()
                 .name(format!("miniraid-site-{i}"))
                 .spawn(move || run_site(engine, transport, mailbox, manager_id, timing))
@@ -98,9 +126,7 @@ impl Cluster {
         });
 
         let mut handles = Vec::with_capacity(n as usize);
-        for ((i, (transport, mailbox)), store) in
-            endpoints.into_iter().enumerate().zip(stores)
-        {
+        for ((i, (transport, mailbox)), store) in endpoints.into_iter().enumerate().zip(stores) {
             let mut engine = SiteEngine::new(SiteId(i as u8), config.clone());
             if store.last_txn() > 0 {
                 let recovered: Vec<(miniraid_core::ids::ItemId, miniraid_storage::ItemValue)> =

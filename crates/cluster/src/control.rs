@@ -82,7 +82,11 @@ impl<T: Transport, M: Mailbox> ManagingClient<T, M> {
     }
 
     /// Tell a site to recover; waits until it reports operational.
-    pub fn recover(&mut self, site: SiteId, deadline: Duration) -> Result<SessionNumber, ControlError> {
+    pub fn recover(
+        &mut self,
+        site: SiteId,
+        deadline: Duration,
+    ) -> Result<SessionNumber, ControlError> {
         let _ = self.transport.send(site, &Message::Mgmt(Command::Recover));
         self.wait_for(deadline, "recovery", |msg| match msg {
             Message::MgmtRecovered { session } => Some(*session),
@@ -92,7 +96,10 @@ impl<T: Transport, M: Mailbox> ManagingClient<T, M> {
 
     /// Wait for a site to report complete data recovery (all fail-locks
     /// cleared).
-    pub fn wait_data_recovered(&mut self, deadline: Duration) -> Result<SessionNumber, ControlError> {
+    pub fn wait_data_recovered(
+        &mut self,
+        deadline: Duration,
+    ) -> Result<SessionNumber, ControlError> {
         self.wait_for(deadline, "data recovery", |msg| match msg {
             Message::MgmtDataRecovered { session } => Some(*session),
             _ => None,
@@ -115,6 +122,40 @@ impl<T: Transport, M: Mailbox> ManagingClient<T, M> {
             Message::MgmtReport(report) if report.txn == id => Some(report.clone()),
             _ => None,
         })
+    }
+
+    /// Submit a transaction without waiting for its outcome (open-loop
+    /// driving; pair with [`drain_reports`](Self::drain_reports)). The
+    /// coordinating site queues or admits it subject to its
+    /// `max_inflight` pipeline bound.
+    pub fn submit_txn(&mut self, site: SiteId, txn: Transaction) {
+        let _ = self
+            .transport
+            .send(site, &Message::Mgmt(Command::Begin(txn)));
+    }
+
+    /// Collect every outcome report that has already arrived, without
+    /// blocking: stashed reports first, then whatever the mailbox holds.
+    pub fn drain_reports(&mut self) -> Vec<TxnReport> {
+        let mut reports = Vec::new();
+        let mut i = 0;
+        while i < self.stashed.len() {
+            if matches!(self.stashed[i], Message::MgmtReport(_)) {
+                let Message::MgmtReport(report) = self.stashed.remove(i) else {
+                    unreachable!("matched above");
+                };
+                reports.push(report);
+            } else {
+                i += 1;
+            }
+        }
+        while let Ok((_, msg)) = self.mailbox.try_recv() {
+            match msg {
+                Message::MgmtReport(report) => reports.push(report),
+                other => self.stashed.push(other),
+            }
+        }
+        reports
     }
 
     /// Terminate every site (clean shutdown).

@@ -114,16 +114,37 @@ pub fn run_site_durable<T: Transport, M: Mailbox>(
             .map(|Reverse(Armed(due, _, _))| due.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(50));
 
-        let input = match mailbox.recv_timeout(wait) {
-            Ok((from, msg)) => Some(Input::Deliver { from, msg }),
-            Err(RecvError::Timeout) => None,
+        // Drain the whole mailbox this iteration: block for the first
+        // message, then take whatever else is already queued. All outputs
+        // accumulate so sends to the same peer coalesce into one frame.
+        out.clear();
+        let mut drained = false;
+        match mailbox.recv_timeout(wait) {
+            Ok((from, msg)) => {
+                drained = true;
+                engine.handle(Input::Deliver { from, msg }, &mut out);
+                loop {
+                    match mailbox.try_recv() {
+                        Ok((from, msg)) => engine.handle(Input::Deliver { from, msg }, &mut out),
+                        Err(RecvError::Timeout) => break,
+                        Err(RecvError::Disconnected) => return,
+                    }
+                }
+            }
+            Err(RecvError::Timeout) => {}
             Err(RecvError::Disconnected) => return,
-        };
-
-        if let Some(input) = input {
-            out.clear();
-            engine.handle(input, &mut out);
-            perform(&mut engine, &transport, manager, &timing, &mut timers, &mut timer_seq, &mut out, store.as_mut());
+        }
+        if drained {
+            perform(
+                &mut engine,
+                &transport,
+                manager,
+                &timing,
+                &mut timers,
+                &mut timer_seq,
+                &mut out,
+                store.as_mut(),
+            );
         }
 
         // Fire due timers.
@@ -135,7 +156,16 @@ pub fn run_site_durable<T: Transport, M: Mailbox>(
             let Reverse(Armed(_, _, id)) = timers.pop().expect("peeked");
             out.clear();
             engine.handle(Input::Timer(id), &mut out);
-            perform(&mut engine, &transport, manager, &timing, &mut timers, &mut timer_seq, &mut out, store.as_mut());
+            perform(
+                &mut engine,
+                &transport,
+                manager,
+                &timing,
+                &mut timers,
+                &mut timer_seq,
+                &mut out,
+                store.as_mut(),
+            );
         }
 
         if engine.status() == SiteStatus::Terminating {
@@ -155,9 +185,23 @@ fn perform<T: Transport>(
     out: &mut Vec<Output>,
     mut store: Option<&mut DurableStore>,
 ) {
+    // Sends are grouped per destination and flushed as one frame each at
+    // the end (`Transport::send_batch`), preserving per-peer FIFO order.
+    // Persist outputs are fsynced inline, so durability still precedes
+    // every message that announces it.
+    let mut outbound: Vec<(SiteId, Vec<Message>)> = Vec::new();
+    let mut queue =
+        |to: SiteId, msg: Message| match outbound.iter_mut().find(|(peer, _)| *peer == to) {
+            Some((_, msgs)) => msgs.push(msg),
+            None => outbound.push((to, vec![msg])),
+        };
     for output in out.drain(..) {
         match output {
-            Output::Persist { txn, writes, faillocks } => {
+            Output::Persist {
+                txn,
+                writes,
+                faillocks,
+            } => {
                 if let Some(store) = store.as_deref_mut() {
                     let raw: Vec<(u32, miniraid_storage::ItemValue)> =
                         writes.iter().map(|(item, v)| (item.0, *v)).collect();
@@ -173,9 +217,7 @@ fn perform<T: Transport>(
                         .expect("durable fail-lock log failed");
                 }
             }
-            Output::Send { to, msg } => {
-                let _ = transport.send(to, &msg);
-            }
+            Output::Send { to, msg } => queue(to, msg),
             Output::SetTimer(id) => {
                 *timer_seq += 1;
                 timers.push(Reverse(Armed(
@@ -184,23 +226,26 @@ fn perform<T: Transport>(
                     id,
                 )));
             }
-            Output::Report(report) => {
-                let _ = transport.send(manager, &Message::MgmtReport(report));
-            }
+            Output::Report(report) => queue(manager, Message::MgmtReport(report)),
             Output::BecameOperational { session } => {
                 if let Some(store) = store.as_deref_mut() {
                     store
                         .log_session(session.0)
                         .expect("durable session log failed");
                 }
-                let _ = transport.send(manager, &Message::MgmtRecovered { session });
+                queue(manager, Message::MgmtRecovered { session });
             }
             Output::DataRecoveryComplete => {
                 let session = engine.session();
-                let _ = transport.send(manager, &Message::MgmtDataRecovered { session });
+                queue(manager, Message::MgmtDataRecovered { session });
             }
-            Output::RecoveryFailed | Output::Work(_) => {}
-            // Persist handled above.
+            Output::RecoveryFailed | Output::Work(_) => {} // Persist handled above.
         }
+    }
+    for (to, msgs) in outbound {
+        if msgs.len() > 1 {
+            engine.note_batch_frame(msgs.len());
+        }
+        let _ = transport.send_batch(to, &msgs);
     }
 }

@@ -24,7 +24,10 @@ fn config() -> ProtocolConfig {
 
 fn tmpdir(name: &str) -> std::path::PathBuf {
     let mut dir = std::env::temp_dir();
-    dir.push(format!("miniraid-durable-cluster-{name}-{}", std::process::id()));
+    dir.push(format!(
+        "miniraid-durable-cluster-{name}-{}",
+        std::process::id()
+    ));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -134,7 +137,10 @@ fn restart_after_missing_commits_refreshes_via_recovery() {
             let _ = client.recover(SiteId(s), Duration::from_secs(2));
         }
         // Drain data-recovery notifications so reads go to settled state.
-        while client.wait_data_recovered(Duration::from_millis(600)).is_ok() {}
+        while client
+            .wait_data_recovered(Duration::from_millis(600))
+            .is_ok()
+        {}
         let id = client.next_txn_id();
         let report = client
             .run_txn(

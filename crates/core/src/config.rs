@@ -85,6 +85,13 @@ pub struct ProtocolConfig {
     pub emit_persistence: bool,
     /// The copy-control strategy (default: the paper's ROWAA).
     pub strategy: ReplicationStrategy,
+    /// Maximum coordinated transactions this site runs concurrently.
+    /// `1` (the default) reproduces the paper's serial processing
+    /// (assumption 2) exactly; larger values pipeline independent
+    /// transactions, serializing conflicting ones through a conservative
+    /// strict-2PL lock manager whose read/write sets are predeclared at
+    /// admission.
+    pub max_inflight: usize,
 }
 
 impl ProtocolConfig {
@@ -121,6 +128,7 @@ impl Default for ProtocolConfig {
             backup_on_last_copy: false,
             emit_persistence: false,
             strategy: ReplicationStrategy::RowaAvailable,
+            max_inflight: 1,
         }
     }
 }
@@ -133,8 +141,15 @@ mod tests {
     fn defaults_match_paper_implementation_choices() {
         let c = ProtocolConfig::default();
         assert!(c.fail_locks_enabled);
-        assert!(!c.piggyback_clears, "paper ran standalone clear transactions");
-        assert!(c.two_step_recovery.is_none(), "paper used on-demand copiers only");
+        assert!(
+            !c.piggyback_clears,
+            "paper ran standalone clear transactions"
+        );
+        assert!(
+            c.two_step_recovery.is_none(),
+            "paper used on-demand copiers only"
+        );
+        assert_eq!(c.max_inflight, 1, "paper processed transactions serially");
     }
 
     #[test]

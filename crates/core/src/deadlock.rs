@@ -1,0 +1,122 @@
+//! Wait-for graph with cycle detection, used by the lock manager.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ids::TxnId;
+
+/// Directed wait-for graph: an edge `a -> b` means transaction `a` waits
+/// for a lock held (or queued earlier) by `b`.
+#[derive(Debug, Default)]
+pub struct WaitForGraph {
+    edges: HashMap<TxnId, HashSet<TxnId>>,
+}
+
+impl WaitForGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one wait edge.
+    pub fn add_edge(&mut self, waiter: TxnId, holder: TxnId) {
+        if waiter != holder {
+            self.edges.entry(waiter).or_default().insert(holder);
+        }
+    }
+
+    /// Would making `waiter` wait on all of `holders` close a cycle?
+    /// (I.e. is `waiter` reachable from any holder through existing
+    /// wait edges?)
+    pub fn would_cycle(&self, waiter: TxnId, holders: &[TxnId]) -> bool {
+        let mut stack: Vec<TxnId> = holders.iter().copied().filter(|h| *h != waiter).collect();
+        if holders.contains(&waiter) {
+            // Waiting on yourself is not a deadlock (re-entrant requests
+            // are resolved before this point).
+        }
+        let mut seen = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if t == waiter {
+                return true;
+            }
+            if !seen.insert(t) {
+                continue;
+            }
+            if let Some(next) = self.edges.get(&t) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Remove the outgoing edges of a transaction that stopped waiting
+    /// (its request was granted).
+    pub fn remove_waiter(&mut self, txn: TxnId) {
+        self.edges.remove(&txn);
+    }
+
+    /// Remove a transaction entirely (committed or aborted): its own
+    /// edges and every edge pointing at it.
+    pub fn remove_txn(&mut self, txn: TxnId) {
+        self.edges.remove(&txn);
+        for targets in self.edges.values_mut() {
+            targets.remove(&txn);
+        }
+        self.edges.retain(|_, v| !v.is_empty());
+    }
+
+    /// Number of transactions with outgoing wait edges.
+    pub fn waiter_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_cycle() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(TxnId(1), TxnId(2));
+        assert!(g.would_cycle(TxnId(2), &[TxnId(1)]));
+        assert!(!g.would_cycle(TxnId(3), &[TxnId(1)]));
+    }
+
+    #[test]
+    fn transitive_cycle() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(TxnId(1), TxnId(2));
+        g.add_edge(TxnId(2), TxnId(3));
+        assert!(g.would_cycle(TxnId(3), &[TxnId(1)]));
+        assert!(!g.would_cycle(TxnId(3), &[TxnId(4)]));
+    }
+
+    #[test]
+    fn self_edges_are_ignored() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(TxnId(1), TxnId(1));
+        assert_eq!(g.waiter_count(), 0);
+        assert!(!g.would_cycle(TxnId(1), &[TxnId(1)]));
+    }
+
+    #[test]
+    fn removal_breaks_cycles() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(TxnId(1), TxnId(2));
+        g.add_edge(TxnId(2), TxnId(3));
+        g.remove_txn(TxnId(2));
+        assert!(!g.would_cycle(TxnId(3), &[TxnId(1)]));
+        assert_eq!(g.waiter_count(), 0);
+    }
+
+    #[test]
+    fn remove_waiter_keeps_incoming_edges() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(TxnId(1), TxnId(2));
+        g.add_edge(TxnId(2), TxnId(3));
+        g.remove_waiter(TxnId(2));
+        // 1 -> 2 remains; 2 -> 3 gone.
+        assert!(g.would_cycle(TxnId(2), &[TxnId(1)]));
+        assert!(!g.would_cycle(TxnId(3), &[TxnId(2)]));
+    }
+}

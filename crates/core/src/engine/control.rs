@@ -158,7 +158,9 @@ impl SiteEngine {
 
     /// No `RecoveryInfo` arrived: ask the next candidate, or give up.
     pub(super) fn on_recovery_timeout(&mut self, attempt: u32, out: &mut Vec<Output>) {
-        let Some(recovery) = self.recovery.as_ref() else { return };
+        let Some(recovery) = self.recovery.as_ref() else {
+            return;
+        };
         if recovery.attempt != attempt {
             return; // stale timer from an earlier attempt
         }
@@ -325,7 +327,9 @@ impl SiteEngine {
         value: ItemValue,
         out: &mut Vec<Output>,
     ) {
-        self.db.put_if_fresher(item.0, value).expect("item in universe");
+        self.db
+            .put_if_fresher(item.0, value)
+            .expect("item in universe");
         self.replication.add_holder(item, self.id(), true);
         // Our new copy is up to date by construction.
         let me = self.id();

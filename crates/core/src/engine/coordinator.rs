@@ -5,19 +5,35 @@
 //! transactions), executes reads against its own copy ("read one"),
 //! then drives two-phase commit over every operational site
 //! ("write all available").
+//!
+//! ## Pipelining
+//!
+//! The paper processed transactions strictly serially (assumption 2);
+//! `max_inflight = 1` (the default) reproduces that. With a larger
+//! window, up to `max_inflight` transactions are admitted concurrently.
+//! Admission is *conservative* strict 2PL: a transaction's read and
+//! write sets are predeclared ([`crate::ops::Transaction`] carries the
+//! full operation list), so every lock is requested at admission —
+//! exclusive for written items, shared for read-only items. A
+//! transaction whose locks are all granted starts immediately; one that
+//! must wait parks until the conflicting earlier transactions finish.
+//! Because a transaction only ever waits for transactions admitted
+//! before it (all of whose requests were issued earlier), the wait-for
+//! graph is ordered by admission time and local deadlock is impossible.
 
 use std::collections::{BTreeSet, HashMap};
 
 use crate::config::ReplicationStrategy;
 use crate::error::AbortReason;
 use crate::ids::{ItemId, SiteId, TxnId};
+use crate::locks::{LockMode, LockResult};
 use crate::messages::{Message, TxnOutcome, TxnReport, TxnStats};
 use crate::ops::Transaction;
 use miniraid_storage::ItemValue;
 
 use super::{CoordTxn, Output, SiteEngine, TimerId, Work};
 
-/// Phase of the coordinated transaction.
+/// Phase of a coordinated transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoordPhase {
     /// Refreshing fail-locked copies / fetching remote reads.
@@ -26,6 +42,23 @@ pub enum CoordPhase {
     WaitAcks,
     /// Phase two: waiting for commit acks.
     WaitCommitAcks,
+}
+
+/// The predeclared lock set of a transaction: exclusive on written
+/// items, shared on read-only items.
+fn lock_plan(txn: &Transaction) -> Vec<(ItemId, LockMode)> {
+    let writes = txn.write_set();
+    let mut plan: Vec<(ItemId, LockMode)> = writes
+        .iter()
+        .map(|(item, _)| (*item, LockMode::Exclusive))
+        .collect();
+    for item in txn.read_items() {
+        if !writes.iter().any(|(w, _)| *w == item) {
+            plan.push((item, LockMode::Shared));
+        }
+    }
+    plan.sort_unstable_by_key(|(item, _)| item.0);
+    plan
 }
 
 impl SiteEngine {
@@ -41,13 +74,51 @@ impl SiteEngine {
             }));
             return;
         }
-        if self.coord.is_some() {
-            // Serial processing (paper assumption 2): queue behind the
-            // active transaction.
+        if self.inflight_count() >= self.config.max_inflight.max(1) {
+            // No admission slot: queue behind the in-flight window
+            // (serial processing, paper assumption 2, when the window
+            // is 1).
             self.queued.push_back(txn);
             return;
         }
-        self.start_transaction(txn, out);
+        self.admit_transaction(txn, out);
+    }
+
+    /// Coordinated transactions currently admitted (running or waiting
+    /// for locks).
+    pub(crate) fn inflight_count(&self) -> usize {
+        self.coords.len() + self.lock_waiting.len()
+    }
+
+    /// Acquire the predeclared locks and either start the transaction or
+    /// park it until earlier conflicting transactions release.
+    fn admit_transaction(&mut self, txn: Transaction, out: &mut Vec<Output>) {
+        let inflight = (self.inflight_count() + 1) as u64;
+        self.metrics.inflight_high_water = self.metrics.inflight_high_water.max(inflight);
+
+        let mut all_granted = true;
+        for (item, mode) in lock_plan(&txn) {
+            match self.locks.acquire(txn.id, item, mode) {
+                LockResult::Granted => {}
+                LockResult::Waiting => all_granted = false,
+                LockResult::Deadlock => {
+                    // Unreachable with conservative admission-ordered
+                    // acquisition (waits only ever point at
+                    // earlier-admitted transactions); park defensively —
+                    // the blocking transactions' release wakes us.
+                    debug_assert!(false, "conservative admission cannot deadlock");
+                    all_granted = false;
+                }
+            }
+        }
+        if all_granted {
+            self.metrics.lock_grants_immediate += 1;
+            self.start_transaction(txn, out);
+        } else {
+            self.metrics.lock_waits += 1;
+            self.lock_wait_order.push_back(txn.id);
+            self.lock_waiting.insert(txn.id, txn);
+        }
     }
 
     fn start_transaction(&mut self, txn: Transaction, out: &mut Vec<Output>) {
@@ -155,12 +226,14 @@ impl SiteEngine {
         for (target, items) in copier_groups {
             let req = self.fresh_req();
             state.pending_copiers.insert(req, (target, items.clone()));
+            self.req_owner.insert(req, txn_id);
             sends.push((target, Message::CopyRequest { req, items }));
             out.push(Output::SetTimer(TimerId::CopierTimeout(req)));
         }
         for (target, items) in read_groups {
             let req = self.fresh_req();
             state.pending_reads.insert(req, (target, items.clone()));
+            self.req_owner.insert(req, txn_id);
             sends.push((target, Message::ReadRequest { req, items }));
             out.push(Output::SetTimer(TimerId::ReadTimeout(req)));
         }
@@ -180,27 +253,36 @@ impl SiteEngine {
                 for peer in peers {
                     let req = self.fresh_req();
                     state.pending_reads.insert(req, (peer, read_items.clone()));
-                    sends.push((peer, Message::ReadRequest { req, items: read_items.clone() }));
+                    self.req_owner.insert(req, txn_id);
+                    sends.push((
+                        peer,
+                        Message::ReadRequest {
+                            req,
+                            items: read_items.clone(),
+                        },
+                    ));
                     out.push(Output::SetTimer(TimerId::ReadTimeout(req)));
                 }
             }
         }
 
         let refresh_done = state.pending_copiers.is_empty() && state.pending_reads.is_empty();
-        self.coord = Some(state);
+        self.coords.insert(txn_id, state);
         for (to, msg) in sends {
-            self.send(to, msg, out);
+            self.send_for(txn_id, to, msg, out);
         }
         if refresh_done {
-            self.proceed_after_refresh(out);
+            self.proceed_after_refresh(txn_id, out);
         }
     }
 
     /// Copier/remote-read phase finished: clear fail-locks at other
     /// sites, execute reads, then start phase one.
-    pub(super) fn proceed_after_refresh(&mut self, out: &mut Vec<Output>) {
+    pub(super) fn proceed_after_refresh(&mut self, txn_id: TxnId, out: &mut Vec<Output>) {
         let id = self.id();
-        let Some(state) = self.coord.as_mut() else { return };
+        let Some(state) = self.coords.get_mut(&txn_id) else {
+            return;
+        };
         debug_assert_eq!(state.phase, CoordPhase::Refresh);
 
         // Fail-locks cleared by copier transactions were already
@@ -212,7 +294,7 @@ impl SiteEngine {
         // Execute reads: own copy for held items ("read one"), fetched
         // values for remote items.
         let quorum = self.config.strategy == ReplicationStrategy::MajorityQuorum;
-        let state = self.coord.as_mut().expect("active transaction");
+        let state = self.coords.get_mut(&txn_id).expect("transaction in flight");
         let read_items = state.txn.read_items();
         out.push(Output::Work(Work::ReadOps(read_items.len() as u32)));
         for item in read_items {
@@ -237,23 +319,23 @@ impl SiteEngine {
         // Read-only transactions commit locally by default (an empty
         // write-all round is vacuous).
         if state.writes.is_empty() && !self.config.two_phase_read_only {
-            self.finish_commit(out);
+            self.finish_commit(txn_id, out);
             return;
         }
 
         // Phase one: copy update to every operational site (paper
         // Appendix A.1). Fail-locks are fully replicated, so all
         // operational sites participate even under partial replication.
-        let participants: BTreeSet<SiteId> = self.vector.operational_peers(id).into_iter().collect();
+        let participants: BTreeSet<SiteId> =
+            self.vector.operational_peers(id).into_iter().collect();
         if participants.is_empty() {
-            self.finish_commit(out);
+            self.finish_commit(txn_id, out);
             return;
         }
-        let state = self.coord.as_mut().expect("active transaction");
+        let state = self.coords.get_mut(&txn_id).expect("transaction in flight");
         state.participants = participants.clone();
         state.waiting = participants.clone();
         state.phase = CoordPhase::WaitAcks;
-        let txn_id = state.txn.id;
         let writes = state.writes.clone();
         let snapshot = state.snapshot.clone();
         let clears: Vec<(ItemId, SiteId)> = if self.config.piggyback_clears {
@@ -262,7 +344,8 @@ impl SiteEngine {
             Vec::new()
         };
         for peer in participants {
-            self.send(
+            self.send_for(
+                txn_id,
                 peer,
                 Message::CopyUpdate {
                     txn: txn_id,
@@ -284,8 +367,10 @@ impl SiteEngine {
         ok: bool,
         out: &mut Vec<Output>,
     ) {
-        let Some(state) = self.coord.as_mut() else { return };
-        if state.txn.id != txn || state.phase != CoordPhase::WaitAcks {
+        let Some(state) = self.coords.get_mut(&txn) else {
+            return;
+        };
+        if state.phase != CoordPhase::WaitAcks {
             return;
         }
         if !ok {
@@ -293,9 +378,9 @@ impl SiteEngine {
             // abort everywhere.
             let participants: Vec<SiteId> = state.participants.iter().copied().collect();
             for peer in participants {
-                self.send(peer, Message::AbortTxn { txn }, out);
+                self.send_for(txn, peer, Message::AbortTxn { txn }, out);
             }
-            self.report_abort_active(AbortReason::SessionMismatch, out);
+            self.report_abort_active(txn, AbortReason::SessionMismatch, out);
             return;
         }
         state.waiting.remove(&from);
@@ -305,7 +390,7 @@ impl SiteEngine {
             state.waiting = state.participants.clone();
             let participants: Vec<SiteId> = state.participants.iter().copied().collect();
             for peer in participants {
-                self.send(peer, Message::Commit { txn }, out);
+                self.send_for(txn, peer, Message::Commit { txn }, out);
             }
             out.push(Output::SetTimer(TimerId::CommitAckTimeout(txn)));
         }
@@ -313,21 +398,25 @@ impl SiteEngine {
 
     /// Phase-two acknowledgement from a participant.
     pub(super) fn on_commit_ack(&mut self, from: SiteId, txn: TxnId, out: &mut Vec<Output>) {
-        let Some(state) = self.coord.as_mut() else { return };
-        if state.txn.id != txn || state.phase != CoordPhase::WaitCommitAcks {
+        let Some(state) = self.coords.get_mut(&txn) else {
+            return;
+        };
+        if state.phase != CoordPhase::WaitCommitAcks {
             return;
         }
         state.waiting.remove(&from);
         if state.waiting.is_empty() {
-            self.finish_commit(out);
+            self.finish_commit(txn, out);
         }
     }
 
     /// Some participant never acknowledged phase one: announce its
     /// failure and abort (paper Appendix A.1, phase-one else branch).
     pub(super) fn on_ack_timeout(&mut self, txn: TxnId, out: &mut Vec<Output>) {
-        let Some(state) = self.coord.as_ref() else { return };
-        if state.txn.id != txn || state.phase != CoordPhase::WaitAcks || state.waiting.is_empty() {
+        let Some(state) = self.coords.get(&txn) else {
+            return;
+        };
+        if state.phase != CoordPhase::WaitAcks || state.waiting.is_empty() {
             return;
         }
         let failed: Vec<SiteId> = state.waiting.iter().copied().collect();
@@ -339,9 +428,9 @@ impl SiteEngine {
             .collect();
         self.announce_failures(&failed, out);
         for peer in acked {
-            self.send(peer, Message::AbortTxn { txn }, out);
+            self.send_for(txn, peer, Message::AbortTxn { txn }, out);
         }
-        self.report_abort_active(AbortReason::ParticipantFailed, out);
+        self.report_abort_active(txn, AbortReason::ParticipantFailed, out);
     }
 
     /// Some participant never acknowledged commit: announce the failure
@@ -349,23 +438,22 @@ impl SiteEngine {
     /// from all participating sites then run control type 2 transaction
     /// ... commit database data items").
     pub(super) fn on_commit_ack_timeout(&mut self, txn: TxnId, out: &mut Vec<Output>) {
-        let Some(state) = self.coord.as_mut() else { return };
-        if state.txn.id != txn
-            || state.phase != CoordPhase::WaitCommitAcks
-            || state.waiting.is_empty()
-        {
+        let Some(state) = self.coords.get_mut(&txn) else {
+            return;
+        };
+        if state.phase != CoordPhase::WaitCommitAcks || state.waiting.is_empty() {
             return;
         }
         state.phase2_failure = true;
         let failed: Vec<SiteId> = state.waiting.iter().copied().collect();
         self.announce_failures(&failed, out);
-        self.finish_commit(out);
+        self.finish_commit(txn, out);
     }
 
     /// Commit locally and report the outcome: apply the write set, run
     /// commit-time fail-lock maintenance, surface statistics.
-    pub(super) fn finish_commit(&mut self, out: &mut Vec<Output>) {
-        let state = self.coord.take().expect("active transaction");
+    pub(super) fn finish_commit(&mut self, txn_id: TxnId, out: &mut Vec<Output>) {
+        let state = self.retire(txn_id).expect("transaction in flight");
         let counts = self.apply_commit(&state.writes, &[], out);
         let mut stats = state.stats;
         stats.faillocks_set += counts.set;
@@ -379,12 +467,17 @@ impl SiteEngine {
             stats,
             read_results: state.read_results,
         }));
-        self.start_next_queued(out);
+        self.after_transaction_finished(txn_id, out);
     }
 
-    /// Abort the active transaction and report.
-    pub(super) fn report_abort_active(&mut self, reason: AbortReason, out: &mut Vec<Output>) {
-        let state = self.coord.take().expect("active transaction");
+    /// Abort an in-flight transaction and report.
+    pub(super) fn report_abort_active(
+        &mut self,
+        txn_id: TxnId,
+        reason: AbortReason,
+        out: &mut Vec<Output>,
+    ) {
+        let state = self.retire(txn_id).expect("transaction in flight");
         self.metrics.txns_aborted += 1;
         out.push(Output::Report(TxnReport {
             txn: state.txn.id,
@@ -393,10 +486,10 @@ impl SiteEngine {
             stats: state.stats,
             read_results: Vec::new(),
         }));
-        self.start_next_queued(out);
+        self.after_transaction_finished(txn_id, out);
     }
 
-    /// Abort before any coordinator state was installed.
+    /// Abort during startup, before coordinator state was installed.
     fn report_abort_new(
         &mut self,
         txn: TxnId,
@@ -412,14 +505,67 @@ impl SiteEngine {
             stats,
             read_results: Vec::new(),
         }));
-        self.start_next_queued(out);
+        self.after_transaction_finished(txn, out);
     }
 
-    fn start_next_queued(&mut self, out: &mut Vec<Output>) {
-        if self.coord.is_none() {
-            if let Some(txn) = self.queued.pop_front() {
+    /// Remove a transaction's coordinator state and its request routes.
+    fn retire(&mut self, txn_id: TxnId) -> Option<CoordTxn> {
+        let state = self.coords.remove(&txn_id)?;
+        for req in state
+            .pending_copiers
+            .keys()
+            .chain(state.pending_reads.keys())
+        {
+            self.req_owner.remove(req);
+        }
+        Some(state)
+    }
+
+    /// A transaction left the in-flight window: release its locks, start
+    /// any waiters whose lock sets completed, and refill admission slots
+    /// from the queue.
+    fn after_transaction_finished(&mut self, txn_id: TxnId, out: &mut Vec<Output>) {
+        self.locks.release_all(txn_id);
+        self.start_ready_lock_waiters(out);
+        self.fill_admission_slots(out);
+    }
+
+    /// Start lock waiters (in admission order) whose predeclared locks
+    /// are now all held.
+    fn start_ready_lock_waiters(&mut self, out: &mut Vec<Output>) {
+        let mut i = 0;
+        while i < self.lock_wait_order.len() {
+            let id = self.lock_wait_order[i];
+            let ready = self
+                .lock_waiting
+                .get(&id)
+                .map(|txn| {
+                    lock_plan(txn)
+                        .iter()
+                        .all(|(item, mode)| self.locks.holds(id, *item, *mode))
+                })
+                .unwrap_or(false);
+            if ready {
+                self.lock_wait_order.remove(i);
+                let txn = self.lock_waiting.remove(&id).expect("waiter present");
                 self.start_transaction(txn, out);
+                // An immediate abort inside start_transaction re-enters
+                // this function and may mutate the queue; rescan from the
+                // front. Terminates: each start consumes one waiter.
+                i = 0;
+            } else {
+                i += 1;
             }
+        }
+    }
+
+    /// Admit queued transactions while the in-flight window has room.
+    fn fill_admission_slots(&mut self, out: &mut Vec<Output>) {
+        while self.inflight_count() < self.config.max_inflight.max(1) {
+            let Some(txn) = self.queued.pop_front() else {
+                break;
+            };
+            self.admit_transaction(txn, out);
         }
     }
 }

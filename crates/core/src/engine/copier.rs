@@ -63,20 +63,26 @@ impl SiteEngine {
         copies: Vec<(ItemId, ItemValue)>,
         out: &mut Vec<Output>,
     ) {
-        // Transaction-scoped copier?
-        if let Some(state) = self.coord.as_mut() {
-            if let Some((_target, items)) = state.pending_copiers.remove(&req) {
-                if state.phase != CoordPhase::Refresh {
+        // Transaction-scoped copier? Responses are routed to the owning
+        // transaction (several may refresh concurrently when pipelined).
+        if let Some(owner) = self.req_owner.get(&req).copied() {
+            let removed = self
+                .coords
+                .get_mut(&owner)
+                .and_then(|state| state.pending_copiers.remove(&req).map(|e| (e, state.phase)));
+            if let Some(((_target, items), phase)) = removed {
+                self.req_owner.remove(&req);
+                if phase != CoordPhase::Refresh {
                     return; // stale response
                 }
                 if !ok {
                     // The source lost its up-to-date copy: the paper
                     // aborts the database transaction.
-                    self.report_abort_active(AbortReason::DataUnavailable, out);
+                    self.report_abort_active(owner, AbortReason::DataUnavailable, out);
                     return;
                 }
                 let cleared = self.apply_refresh(&copies, out);
-                let state = self.coord.as_mut().expect("active transaction");
+                let state = self.coords.get_mut(&owner).expect("transaction in flight");
                 state.stats.faillocks_cleared += cleared;
                 state.refreshed.extend(items.iter().copied());
                 // Propagate the clears for THIS refresh immediately (one
@@ -89,7 +95,8 @@ impl SiteEngine {
                     let me = self.id();
                     let peers = self.vector.operational_peers(me);
                     for peer in peers {
-                        self.send(
+                        self.send_for(
+                            owner,
                             peer,
                             Message::ClearFailLocks {
                                 site: me,
@@ -100,14 +107,14 @@ impl SiteEngine {
                         self.metrics.clear_messages_sent += 1;
                     }
                 }
-                let state = self.coord.as_mut().expect("active transaction");
+                let state = self.coords.get_mut(&owner).expect("transaction in flight");
                 if state.pending_copiers.is_empty() && state.pending_reads.is_empty() {
-                    self.proceed_after_refresh(out);
+                    self.proceed_after_refresh(owner, out);
                 } else {
                     self.after_own_locks_changed(out);
                 }
-                return;
             }
+            return;
         }
         // Standalone (batch recovery) copier?
         if let Some((_target, items)) = self.standalone_copiers.remove(&req) {
@@ -177,12 +184,17 @@ impl SiteEngine {
     /// The copier's target never answered: it has failed. Announce and —
     /// for a transaction copier — abort (paper Appendix A.1).
     pub(super) fn on_copier_timeout(&mut self, req: ReqId, out: &mut Vec<Output>) {
-        if let Some(state) = self.coord.as_mut() {
-            if let Some((target, _items)) = state.pending_copiers.remove(&req) {
+        if let Some(owner) = self.req_owner.get(&req).copied() {
+            let removed = self
+                .coords
+                .get_mut(&owner)
+                .and_then(|state| state.pending_copiers.remove(&req));
+            if let Some((target, _items)) = removed {
+                self.req_owner.remove(&req);
                 self.announce_failures(&[target], out);
-                self.report_abort_active(AbortReason::CopierTargetFailed, out);
-                return;
+                self.report_abort_active(owner, AbortReason::CopierTargetFailed, out);
             }
+            return;
         }
         if let Some((target, _items)) = self.standalone_copiers.remove(&req) {
             self.announce_failures(&[target], out);
@@ -271,10 +283,16 @@ impl SiteEngine {
         out: &mut Vec<Output>,
     ) {
         let quorum = self.config().strategy == ReplicationStrategy::MajorityQuorum;
-        let Some(state) = self.coord.as_mut() else { return };
+        let Some(owner) = self.req_owner.get(&req).copied() else {
+            return;
+        };
+        let Some(state) = self.coords.get_mut(&owner) else {
+            return;
+        };
         let Some((_target, _items)) = state.pending_reads.remove(&req) else {
             return;
         };
+        self.req_owner.remove(&req);
         if state.phase != CoordPhase::Refresh {
             return;
         }
@@ -289,22 +307,27 @@ impl SiteEngine {
             state.quorum_got += 1;
             if state.quorum_got >= state.quorum_needed {
                 // Quorum reached; stragglers are ignored (stale-safe).
-                state.pending_reads.clear();
-                if state.pending_copiers.is_empty() {
-                    self.proceed_after_refresh(out);
+                let stragglers: Vec<ReqId> = state.pending_reads.drain().map(|(r, _)| r).collect();
+                let copiers_done = state.pending_copiers.is_empty();
+                for r in stragglers {
+                    self.req_owner.remove(&r);
+                }
+                if copiers_done {
+                    self.proceed_after_refresh(owner, out);
                 }
             }
             return;
         }
         if !ok {
-            self.report_abort_active(AbortReason::DataUnavailable, out);
+            self.report_abort_active(owner, AbortReason::DataUnavailable, out);
             return;
         }
+        let state = self.coords.get_mut(&owner).expect("transaction in flight");
         for (item, value) in values {
             state.remote_values.insert(item, value);
         }
         if state.pending_copiers.is_empty() && state.pending_reads.is_empty() {
-            self.proceed_after_refresh(out);
+            self.proceed_after_refresh(owner, out);
         }
     }
 
@@ -312,21 +335,27 @@ impl SiteEngine {
     /// quorum is still reachable.
     pub(super) fn on_read_timeout(&mut self, req: ReqId, out: &mut Vec<Output>) {
         let quorum = self.config().strategy == ReplicationStrategy::MajorityQuorum;
-        let Some(state) = self.coord.as_mut() else { return };
+        let Some(owner) = self.req_owner.get(&req).copied() else {
+            return;
+        };
+        let Some(state) = self.coords.get_mut(&owner) else {
+            return;
+        };
         let Some((target, _items)) = state.pending_reads.remove(&req) else {
             return;
         };
+        self.req_owner.remove(&req);
         if quorum {
             let got = state.quorum_got;
             let needed = state.quorum_needed;
             let still_possible = got + state.pending_reads.len() >= needed;
             self.announce_failures(&[target], out);
             if !still_possible {
-                self.report_abort_active(AbortReason::DataUnavailable, out);
+                self.report_abort_active(owner, AbortReason::DataUnavailable, out);
             }
             return;
         }
         self.announce_failures(&[target], out);
-        self.report_abort_active(AbortReason::DataUnavailable, out);
+        self.report_abort_active(owner, AbortReason::DataUnavailable, out);
     }
 }

@@ -27,6 +27,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use crate::config::ProtocolConfig;
 use crate::faillock::FailLockTable;
 use crate::ids::{ItemId, ReqId, SessionNumber, SiteId, TxnId};
+use crate::locks::LockManager;
 use crate::messages::{Command, Message, TxnReport, TxnStats};
 use crate::metrics::EngineMetrics;
 use crate::ops::Transaction;
@@ -146,8 +147,11 @@ pub enum Output {
     },
 }
 
-/// In-flight coordinated transaction (one at a time; the paper processes
-/// transactions serially).
+/// One in-flight coordinated transaction. With the default
+/// `max_inflight = 1` exactly one exists at a time (the paper processes
+/// transactions serially, assumption 2); larger values pipeline several,
+/// keyed by transaction id and serialized through the engine's
+/// conservative strict-2PL lock manager.
 #[derive(Debug)]
 pub(crate) struct CoordTxn {
     pub txn: Transaction,
@@ -224,10 +228,22 @@ pub struct SiteEngine {
     replication: ReplicationMap,
     metrics: EngineMetrics,
 
-    /// Coordinated transaction in flight.
-    pub(crate) coord: Option<CoordTxn>,
-    /// Transactions queued behind the active one.
+    /// Coordinated transactions in flight, keyed by id
+    /// (at most `config.max_inflight`, counting lock waiters).
+    pub(crate) coords: HashMap<TxnId, CoordTxn>,
+    /// Admitted transactions whose predeclared locks are not all granted
+    /// yet; they start as soon as earlier conflicting transactions finish.
+    pub(crate) lock_waiting: HashMap<TxnId, Transaction>,
+    /// FIFO admission order of the lock waiters.
+    pub(crate) lock_wait_order: VecDeque<TxnId>,
+    /// Transactions queued for an admission slot.
     pub(crate) queued: VecDeque<Transaction>,
+    /// Owning transaction of every in-flight copier / remote-read
+    /// request, for routing responses in pipelined mode.
+    pub(crate) req_owner: HashMap<ReqId, TxnId>,
+    /// Conservative strict-2PL lock table serializing conflicting
+    /// in-flight transactions at this coordinator.
+    pub(crate) locks: LockManager,
     /// Participant contexts keyed by transaction.
     pub(crate) pending: HashMap<TxnId, PendingTxn>,
     /// CT1 progress, while status is WaitingToRecover.
@@ -260,8 +276,12 @@ impl SiteEngine {
             faillocks: FailLockTable::new(config.db_size, config.n_sites),
             replication: map,
             metrics: EngineMetrics::default(),
-            coord: None,
+            coords: HashMap::new(),
+            lock_waiting: HashMap::new(),
+            lock_wait_order: VecDeque::new(),
             queued: VecDeque::new(),
+            req_owner: HashMap::new(),
+            locks: LockManager::new(),
             pending: HashMap::new(),
             recovery: None,
             refresh: RefreshMode::Idle,
@@ -353,6 +373,13 @@ impl SiteEngine {
         &self.metrics
     }
 
+    /// Record a multi-message transport frame. The engine is sans-IO and
+    /// cannot see coalescing, so the driving loop reports it here.
+    pub fn note_batch_frame(&mut self, messages: usize) {
+        self.metrics.batch_frames_sent += 1;
+        self.metrics.batched_messages_sent += messages as u64;
+    }
+
     /// This site's own status.
     pub fn status(&self) -> SiteStatus {
         self.vector.status(self.id)
@@ -423,14 +450,16 @@ impl SiteEngine {
             Command::Fail => {
                 // Freeze: drop all protocol state; keep db, vector,
                 // fail-locks as they stood (they survive in "stable
-                // storage" across the failure).
+                // storage" across the failure). In-flight coordinated
+                // transactions simply vanish with us; participants time
+                // out and announce our failure.
                 self.vector.mark_down(self.id);
-                if let Some(coord) = self.coord.take() {
-                    // The in-flight transaction simply vanishes with us;
-                    // participants time out and announce our failure.
-                    drop(coord);
-                }
+                self.coords.clear();
+                self.lock_waiting.clear();
+                self.lock_wait_order.clear();
                 self.queued.clear();
+                self.req_owner.clear();
+                self.locks = LockManager::new();
                 self.pending.clear();
                 self.recovery = None;
                 self.refresh = RefreshMode::Idle;
@@ -439,13 +468,19 @@ impl SiteEngine {
             Command::Recover => self.begin_recovery(out),
             Command::Begin(txn) => self.begin_transaction(txn, out),
             Command::Terminate => {
-                self.vector
-                    .set_record(self.id, crate::session::SiteRecord {
+                self.vector.set_record(
+                    self.id,
+                    crate::session::SiteRecord {
                         session: self.session(),
                         status: SiteStatus::Terminating,
-                    });
-                self.coord = None;
+                    },
+                );
+                self.coords.clear();
+                self.lock_waiting.clear();
+                self.lock_wait_order.clear();
                 self.queued.clear();
+                self.req_owner.clear();
+                self.locks = LockManager::new();
                 self.pending.clear();
             }
         }
@@ -472,9 +507,10 @@ impl SiteEngine {
             }
             Message::ClearFailLocks { site, items } => self.on_clear_faillocks(site, items, out),
             // control transactions
-            Message::RecoveryAnnounce { session, want_state } => {
-                self.on_recovery_announce(from, session, want_state, out)
-            }
+            Message::RecoveryAnnounce {
+                session,
+                want_state,
+            } => self.on_recovery_announce(from, session, want_state, out),
             Message::RecoveryInfo { .. } => {
                 // Only meaningful while recovering; stale otherwise.
             }
@@ -521,7 +557,10 @@ impl SiteEngine {
                     }
                 }
             }
-            Message::RecoveryAnnounce { session, want_state } => {
+            Message::RecoveryAnnounce {
+                session,
+                want_state,
+            } => {
                 // Another site recovering concurrently: note its session,
                 // but we cannot serve state while not operational.
                 let _ = want_state;
@@ -549,8 +588,33 @@ impl SiteEngine {
 
     pub(crate) fn send(&mut self, to: SiteId, msg: Message, out: &mut Vec<Output>) {
         self.metrics.msgs_sent += 1;
-        if let Some(coord) = self.coord.as_mut() {
+        // With one transaction in flight (serial mode) every send is
+        // attributed to it, as in the paper's measurements. In pipelined
+        // mode the sender is ambiguous here; owned sends go through
+        // `send_for`.
+        if self.coords.len() == 1 {
+            if let Some(coord) = self.coords.values_mut().next() {
+                coord.stats.messages_sent += 1;
+            }
+        }
+        out.push(Output::Send { to, msg });
+    }
+
+    /// Send a message on behalf of coordinated transaction `owner`.
+    pub(crate) fn send_for(
+        &mut self,
+        owner: TxnId,
+        to: SiteId,
+        msg: Message,
+        out: &mut Vec<Output>,
+    ) {
+        self.metrics.msgs_sent += 1;
+        if let Some(coord) = self.coords.get_mut(&owner) {
             coord.stats.messages_sent += 1;
+        } else if self.coords.len() == 1 {
+            if let Some(coord) = self.coords.values_mut().next() {
+                coord.stats.messages_sent += 1;
+            }
         }
         out.push(Output::Send { to, msg });
     }
@@ -579,10 +643,16 @@ impl SiteEngine {
         let mut persisted = Vec::new();
         for (item, value) in writes {
             if self.replication.holds(*item, self.id) {
-                self.db
-                    .put(item.0, *value)
+                // Version-ordered apply (versions are transaction ids):
+                // identical to an unconditional write under serial
+                // processing, and makes copies converge to the freshest
+                // version when pipelined commits from different
+                // coordinators reach sites in different orders.
+                let fresher = self
+                    .db
+                    .put_if_fresher(item.0, *value)
                     .expect("write set item within database universe");
-                if self.config.emit_persistence {
+                if fresher && self.config.emit_persistence {
                     persisted.push((*item, *value));
                 }
                 applied += 1;

@@ -68,7 +68,10 @@ impl std::fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ProtocolError::TooManySites { requested } => {
-                write!(f, "{requested} sites requested; fail-lock bitmaps support at most 64")
+                write!(
+                    f,
+                    "{requested} sites requested; fail-lock bitmaps support at most 64"
+                )
             }
             ProtocolError::CoordinatorBusy { site, active } => {
                 write!(f, "{site} already coordinates {active}")

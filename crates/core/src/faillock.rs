@@ -55,7 +55,10 @@ impl FailLockTable {
     /// # Panics
     /// Panics if `n_sites > 64` (the bitmap width).
     pub fn new(n_items: u32, n_sites: u8) -> Self {
-        assert!(n_sites as usize <= 64, "fail-lock bitmaps support ≤64 sites");
+        assert!(
+            n_sites as usize <= 64,
+            "fail-lock bitmaps support ≤64 sites"
+        );
         FailLockTable {
             bits: vec![0; n_items as usize],
             n_sites,
@@ -117,7 +120,9 @@ impl FailLockTable {
     /// Sites whose copy of `item` is out of date.
     pub fn locked_sites(&self, item: ItemId) -> impl Iterator<Item = SiteId> + '_ {
         let word = self.bits[item.index()];
-        (0..self.n_sites).filter(move |s| word & (1u64 << s) != 0).map(SiteId)
+        (0..self.n_sites)
+            .filter(move |s| word & (1u64 << s) != 0)
+            .map(SiteId)
     }
 
     /// Items whose copy at `site` is out of date, in id order.

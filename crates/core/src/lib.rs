@@ -59,10 +59,12 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod deadlock;
 pub mod engine;
 pub mod error;
 pub mod faillock;
 pub mod ids;
+pub mod locks;
 pub mod messages;
 pub mod metrics;
 pub mod ops;

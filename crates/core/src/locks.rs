@@ -1,0 +1,251 @@
+//! Strict two-phase locking.
+//!
+//! The paper factored concurrency control out of its measurements
+//! (assumption 2: transactions processed serially) but names it as the
+//! next integration step. This lock manager provides shared/exclusive
+//! item locks with FIFO queuing, lock upgrades, and deadlock handling via
+//! wait-for-graph cycle detection (the requester whose wait would close a
+//! cycle is chosen as the victim).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::deadlock::WaitForGraph;
+use crate::ids::{ItemId, TxnId};
+
+/// Lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) — compatible with other shared locks.
+    Shared,
+    /// Exclusive (write) — compatible with nothing.
+    Exclusive,
+}
+
+/// Outcome of an acquire request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockResult {
+    /// The lock is held; proceed.
+    Granted,
+    /// Enqueued; the transaction must block until granted.
+    Waiting,
+    /// Granting would deadlock; the requester must abort.
+    Deadlock,
+}
+
+#[derive(Debug)]
+struct WaitEntry {
+    txn: TxnId,
+    mode: LockMode,
+}
+
+#[derive(Debug, Default)]
+struct ItemLock {
+    /// Current holders. Multiple ⇒ all shared; single may be either mode.
+    holders: HashMap<TxnId, LockMode>,
+    queue: VecDeque<WaitEntry>,
+}
+
+impl ItemLock {
+    fn compatible(&self, txn: TxnId, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Shared => self
+                .holders
+                .iter()
+                .all(|(t, m)| *t == txn || *m == LockMode::Shared),
+            LockMode::Exclusive => self.holders.keys().all(|t| *t == txn),
+        }
+    }
+}
+
+/// A strict-2PL lock manager over the item universe.
+///
+/// ```
+/// use miniraid_core::ids::{ItemId, TxnId};
+/// use miniraid_core::locks::{LockManager, LockMode, LockResult};
+///
+/// let mut lm = LockManager::new();
+/// assert_eq!(lm.acquire(TxnId(1), ItemId(0), LockMode::Exclusive), LockResult::Granted);
+/// assert_eq!(lm.acquire(TxnId(2), ItemId(0), LockMode::Shared), LockResult::Waiting);
+/// // Commit of T1 wakes the queued request.
+/// assert_eq!(lm.release_all(TxnId(1)), vec![TxnId(2)]);
+/// assert!(lm.holds(TxnId(2), ItemId(0), LockMode::Shared));
+/// ```
+#[derive(Debug, Default)]
+pub struct LockManager {
+    items: HashMap<ItemId, ItemLock>,
+    /// Items each transaction holds or waits on (for release).
+    footprint: HashMap<TxnId, HashSet<ItemId>>,
+    waits: WaitForGraph,
+}
+
+impl LockManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `mode` on `item` for `txn`.
+    pub fn acquire(&mut self, txn: TxnId, item: ItemId, mode: LockMode) -> LockResult {
+        let lock = self.items.entry(item).or_default();
+
+        // Re-entrant / upgrade handling.
+        if let Some(held) = lock.holders.get(&txn).copied() {
+            if held == LockMode::Exclusive || mode == LockMode::Shared {
+                return LockResult::Granted;
+            }
+            // Shared -> Exclusive upgrade.
+            if lock.holders.len() == 1 {
+                lock.holders.insert(txn, LockMode::Exclusive);
+                return LockResult::Granted;
+            }
+        }
+
+        if lock.queue.is_empty() && lock.compatible(txn, mode) {
+            lock.holders.insert(txn, mode);
+            self.footprint.entry(txn).or_default().insert(item);
+            return LockResult::Granted;
+        }
+
+        // Would wait: check for a deadlock first. We wait on every current
+        // holder (except ourselves) and on earlier queued requests.
+        let blockers: Vec<TxnId> = lock
+            .holders
+            .keys()
+            .copied()
+            .filter(|t| *t != txn)
+            .chain(lock.queue.iter().map(|e| e.txn))
+            .collect();
+        if self.waits.would_cycle(txn, &blockers) {
+            return LockResult::Deadlock;
+        }
+        for b in &blockers {
+            self.waits.add_edge(txn, *b);
+        }
+        lock.queue.push_back(WaitEntry { txn, mode });
+        self.footprint.entry(txn).or_default().insert(item);
+        LockResult::Waiting
+    }
+
+    /// Release everything `txn` holds or waits for (commit or abort under
+    /// strict 2PL). Returns the transactions whose queued requests became
+    /// granted and are now runnable.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<TxnId> {
+        let mut woken = Vec::new();
+        let items = self.footprint.remove(&txn).unwrap_or_default();
+        for item in items {
+            let Some(lock) = self.items.get_mut(&item) else {
+                continue;
+            };
+            lock.holders.remove(&txn);
+            lock.queue.retain(|e| e.txn != txn);
+            // Grant from the queue head while compatible.
+            while let Some(head) = lock.queue.front() {
+                if lock.compatible(head.txn, head.mode) {
+                    let entry = lock.queue.pop_front().expect("head exists");
+                    lock.holders.insert(entry.txn, entry.mode);
+                    self.waits.remove_waiter(entry.txn);
+                    woken.push(entry.txn);
+                } else {
+                    break;
+                }
+            }
+            if lock.holders.is_empty() && lock.queue.is_empty() {
+                self.items.remove(&item);
+            }
+        }
+        self.waits.remove_txn(txn);
+        woken.sort_unstable();
+        woken.dedup();
+        woken
+    }
+
+    /// Does `txn` currently hold `item` in at least `mode`?
+    pub fn holds(&self, txn: TxnId, item: ItemId, mode: LockMode) -> bool {
+        self.items
+            .get(&item)
+            .and_then(|l| l.holders.get(&txn))
+            .map(|held| *held == LockMode::Exclusive || mode == LockMode::Shared)
+            .unwrap_or(false)
+    }
+
+    /// Number of items with any lock state (for tests/diagnostics).
+    pub fn locked_items(&self) -> usize {
+        self.items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: LockMode = LockMode::Exclusive;
+    const S: LockMode = LockMode::Shared;
+
+    #[test]
+    fn shared_locks_coexist_exclusive_does_not() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(TxnId(1), ItemId(0), S), LockResult::Granted);
+        assert_eq!(lm.acquire(TxnId(2), ItemId(0), S), LockResult::Granted);
+        assert_eq!(lm.acquire(TxnId(3), ItemId(0), X), LockResult::Waiting);
+        assert!(lm.holds(TxnId(1), ItemId(0), S));
+        assert!(!lm.holds(TxnId(3), ItemId(0), X));
+    }
+
+    #[test]
+    fn release_grants_queued_requests_fifo() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), ItemId(0), X);
+        assert_eq!(lm.acquire(TxnId(2), ItemId(0), X), LockResult::Waiting);
+        assert_eq!(lm.acquire(TxnId(3), ItemId(0), S), LockResult::Waiting);
+        let woken = lm.release_all(TxnId(1));
+        assert_eq!(woken, vec![TxnId(2)], "exclusive head granted alone");
+        assert!(lm.holds(TxnId(2), ItemId(0), X));
+        let woken = lm.release_all(TxnId(2));
+        assert_eq!(woken, vec![TxnId(3)]);
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(TxnId(1), ItemId(0), S), LockResult::Granted);
+        assert_eq!(lm.acquire(TxnId(1), ItemId(0), S), LockResult::Granted);
+        // Sole holder: upgrade succeeds.
+        assert_eq!(lm.acquire(TxnId(1), ItemId(0), X), LockResult::Granted);
+        assert!(lm.holds(TxnId(1), ItemId(0), X));
+        // Exclusive holder re-requesting shared is fine.
+        assert_eq!(lm.acquire(TxnId(1), ItemId(0), S), LockResult::Granted);
+    }
+
+    #[test]
+    fn two_txn_deadlock_is_detected() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), ItemId(0), X);
+        lm.acquire(TxnId(2), ItemId(1), X);
+        assert_eq!(lm.acquire(TxnId(1), ItemId(1), X), LockResult::Waiting);
+        assert_eq!(lm.acquire(TxnId(2), ItemId(0), X), LockResult::Deadlock);
+        // Victim aborts; survivor proceeds.
+        let woken = lm.release_all(TxnId(2));
+        assert_eq!(woken, vec![TxnId(1)]);
+        assert!(lm.holds(TxnId(1), ItemId(1), X));
+    }
+
+    #[test]
+    fn three_txn_cycle_is_detected() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), ItemId(0), X);
+        lm.acquire(TxnId(2), ItemId(1), X);
+        lm.acquire(TxnId(3), ItemId(2), X);
+        assert_eq!(lm.acquire(TxnId(1), ItemId(1), X), LockResult::Waiting);
+        assert_eq!(lm.acquire(TxnId(2), ItemId(2), X), LockResult::Waiting);
+        assert_eq!(lm.acquire(TxnId(3), ItemId(0), X), LockResult::Deadlock);
+    }
+
+    #[test]
+    fn state_is_cleaned_up_after_release() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), ItemId(0), X);
+        lm.acquire(TxnId(1), ItemId(1), S);
+        lm.release_all(TxnId(1));
+        assert_eq!(lm.locked_items(), 0);
+    }
+}

@@ -34,6 +34,31 @@ pub struct EngineMetrics {
     pub control_type2: u64,
     /// Type-3 control transactions initiated (backup copies created).
     pub control_type3: u64,
+    /// Highest number of coordinated transactions simultaneously in
+    /// flight (admitted and not yet finished) on this site.
+    pub inflight_high_water: u64,
+    /// Admitted transactions that had to wait for a predeclared lock
+    /// held by an earlier in-flight transaction.
+    pub lock_waits: u64,
+    /// Transactions admitted with every predeclared lock granted
+    /// immediately (no conflict with the in-flight set).
+    pub lock_grants_immediate: u64,
+    /// Transport frames that carried more than one message (threaded
+    /// deployments only; the driving loop records these).
+    pub batch_frames_sent: u64,
+    /// Messages that travelled inside multi-message frames.
+    pub batched_messages_sent: u64,
+}
+
+impl EngineMetrics {
+    /// Mean messages per multi-message frame, or 0.0 if none were sent.
+    pub fn batched_messages_per_frame(&self) -> f64 {
+        if self.batch_frames_sent == 0 {
+            0.0
+        } else {
+            self.batched_messages_sent as f64 / self.batch_frames_sent as f64
+        }
+    }
 }
 
 #[cfg(test)]

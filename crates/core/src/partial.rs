@@ -94,7 +94,9 @@ impl ReplicationMap {
     /// Holder sites of `item`, in id order.
     pub fn holders_of(&self, item: ItemId) -> impl Iterator<Item = SiteId> + '_ {
         let word = self.holders[item.index()];
-        (0..self.n_sites).filter(move |s| word & (1u64 << s) != 0).map(SiteId)
+        (0..self.n_sites)
+            .filter(move |s| word & (1u64 << s) != 0)
+            .map(SiteId)
     }
 
     /// Raw holder mask of `item` (bit per site).

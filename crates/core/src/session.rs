@@ -219,10 +219,7 @@ mod tests {
         assert!(v.mark_down(SiteId(2)));
         assert!(!v.mark_down(SiteId(2)));
         assert_eq!(v.up_count(), 3);
-        assert_eq!(
-            v.operational_peers(SiteId(0)),
-            vec![SiteId(1), SiteId(3)]
-        );
+        assert_eq!(v.operational_peers(SiteId(0)), vec![SiteId(1), SiteId(3)]);
         assert_eq!(
             v.operational_sites().collect::<Vec<_>>(),
             vec![SiteId(0), SiteId(1), SiteId(3)]

@@ -55,7 +55,10 @@ fn stale_update_ack_is_ignored() {
     // An ack for a long-gone transaction must not disturb anything.
     let out = pump.engines[0].handle_owned(Input::Deliver {
         from: SiteId(1),
-        msg: Message::UpdateAck { txn: TxnId(1), ok: true },
+        msg: Message::UpdateAck {
+            txn: TxnId(1),
+            ok: true,
+        },
     });
     assert!(out.is_empty());
     // And neither must a stale commit-ack.
@@ -129,15 +132,23 @@ fn coordinator_failure_between_phases_discards_participant_state() {
             clears: vec![],
         },
     });
-    assert!(out
-        .iter()
-        .any(|o| matches!(o, Output::Send { msg: Message::UpdateAck { ok: true, .. }, .. })));
+    assert!(out.iter().any(|o| matches!(
+        o,
+        Output::Send {
+            msg: Message::UpdateAck { ok: true, .. },
+            ..
+        }
+    )));
     // The participant timeout fires: coordinator presumed dead.
     let out = pump.engines[1].handle_owned(Input::Timer(TimerId::ParticipantTimeout(TxnId(9))));
     // It must discard the buffered writes and announce the failure.
-    assert!(out
-        .iter()
-        .any(|o| matches!(o, Output::Send { msg: Message::FailureAnnounce { .. }, .. })));
+    assert!(out.iter().any(|o| matches!(
+        o,
+        Output::Send {
+            msg: Message::FailureAnnounce { .. },
+            ..
+        }
+    )));
     assert_eq!(pump.engine(SiteId(1)).db().get(4).unwrap().version, 0);
     assert!(!pump.engine(SiteId(1)).vector().is_up(SiteId(0)));
     // A very late Commit for that transaction is now a no-op.
@@ -190,7 +201,10 @@ fn participant_failure_in_phase_two_still_commits() {
     let mut commit_acks = Vec::new();
     for (to, msg) in commits {
         if to == SiteId(1) {
-            let out = pump.engines[1].handle_owned(Input::Deliver { from: SiteId(0), msg });
+            let out = pump.engines[1].handle_owned(Input::Deliver {
+                from: SiteId(0),
+                msg,
+            });
             for o in out {
                 if let Output::Send { msg, .. } = o {
                     commit_acks.push(msg);
@@ -199,7 +213,10 @@ fn participant_failure_in_phase_two_still_commits() {
         }
     }
     for msg in commit_acks {
-        pump.engines[0].handle_owned(Input::Deliver { from: SiteId(1), msg });
+        pump.engines[0].handle_owned(Input::Deliver {
+            from: SiteId(1),
+            msg,
+        });
     }
     // Commit-ack timeout fires for the missing site 2.
     let out = pump.engines[0].handle_owned(Input::Timer(TimerId::CommitAckTimeout(TxnId(5))));
@@ -216,9 +233,13 @@ fn participant_failure_in_phase_two_still_commits() {
     assert_eq!(pump.engine(SiteId(0)).db().get(3).unwrap().data, 33);
     assert_eq!(pump.engine(SiteId(1)).db().get(3).unwrap().data, 33);
     // And site 2 was announced down.
-    assert!(out
-        .iter()
-        .any(|o| matches!(o, Output::Send { msg: Message::FailureAnnounce { .. }, .. })));
+    assert!(out.iter().any(|o| matches!(
+        o,
+        Output::Send {
+            msg: Message::FailureAnnounce { .. },
+            ..
+        }
+    )));
 }
 
 #[test]
@@ -238,7 +259,10 @@ fn session_mismatch_nack_aborts_the_transaction() {
     assert!(
         out.iter().any(|o| matches!(
             o,
-            Output::Send { msg: Message::UpdateAck { ok: false, .. }, .. }
+            Output::Send {
+                msg: Message::UpdateAck { ok: false, .. },
+                ..
+            }
         )),
         "{out:?}"
     );
@@ -349,10 +373,13 @@ fn recovering_site_rejects_copy_updates_until_operational() {
     let mut pump = Pump::new(cfg(3));
     pump.fail(SiteId(2));
     pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![write(0, 1)])); // detect
-    // Put site 2 into WaitingToRecover without settling (so RecoveryInfo
-    // hasn't arrived).
+                                                                            // Put site 2 into WaitingToRecover without settling (so RecoveryInfo
+                                                                            // hasn't arrived).
     pump.engines[2].handle_owned(Input::Control(Command::Recover));
-    assert_eq!(pump.engine(SiteId(2)).status(), SiteStatus::WaitingToRecover);
+    assert_eq!(
+        pump.engine(SiteId(2)).status(),
+        SiteStatus::WaitingToRecover
+    );
     let out = pump.engines[2].handle_owned(Input::Deliver {
         from: SiteId(0),
         msg: Message::CopyUpdate {
@@ -364,7 +391,10 @@ fn recovering_site_rejects_copy_updates_until_operational() {
     });
     assert!(out.iter().any(|o| matches!(
         o,
-        Output::Send { msg: Message::UpdateAck { ok: false, .. }, .. }
+        Output::Send {
+            msg: Message::UpdateAck { ok: false, .. },
+            ..
+        }
     )));
 }
 
@@ -399,7 +429,10 @@ fn copy_request_for_stale_copy_is_refused() {
     });
     assert!(out.iter().any(|o| matches!(
         o,
-        Output::Send { msg: Message::CopyResponse { ok: false, .. }, .. }
+        Output::Send {
+            msg: Message::CopyResponse { ok: false, .. },
+            ..
+        }
     )));
 }
 
@@ -430,7 +463,10 @@ fn partial_copier_abort_still_propagates_applied_clears() {
     // Site 0 reads items 1 and 2: two copier groups (item 1 sourced from
     // the now-dead site 1, item 2 from site 2). The item-2 refresh
     // applies; the item-1 copier times out and aborts the transaction.
-    let report = pump.run_txn(SiteId(0), Transaction::new(TxnId(5), vec![read(1), read(2)]));
+    let report = pump.run_txn(
+        SiteId(0),
+        Transaction::new(TxnId(5), vec![read(1), read(2)]),
+    );
     assert_eq!(
         report.outcome,
         TxnOutcome::Aborted(AbortReason::CopierTargetFailed)

@@ -69,9 +69,7 @@ impl Pump {
                 Output::Send { to, msg } => self.queue.push_back((to, site, msg)),
                 Output::SetTimer(id) => self.timers.push_back((site, id)),
                 Output::Report(r) => self.observed.reports.push(r),
-                Output::BecameOperational { .. } => {
-                    self.observed.became_operational.push(site)
-                }
+                Output::BecameOperational { .. } => self.observed.became_operational.push(site),
                 Output::DataRecoveryComplete => self.observed.data_recovered.push(site),
                 Output::RecoveryFailed => self.observed.recovery_failed.push(site),
                 Output::Work(_) | Output::Persist { .. } => {}
@@ -171,11 +169,7 @@ impl Pump {
         for raw in 0..self.engines[0].config().db_size {
             let item = miniraid_core::ItemId(raw);
             let holders: Vec<usize> = (0..n)
-                .filter(|i| {
-                    self.engines[*i]
-                        .replication()
-                        .holds(item, SiteId(*i as u8))
-                })
+                .filter(|i| self.engines[*i].replication().holds(item, SiteId(*i as u8)))
                 .collect();
             let freshest = holders
                 .iter()

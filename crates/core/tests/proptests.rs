@@ -14,7 +14,10 @@ use proptest::prelude::*;
 enum Step {
     Fail(u8),
     Recover(u8),
-    Txn { site: u8, ops: Vec<(bool, u32, u64)> }, // (is_write, item, value)
+    Txn {
+        site: u8,
+        ops: Vec<(bool, u32, u64)>,
+    }, // (is_write, item, value)
 }
 
 fn arb_step(n_sites: u8, db_size: u32) -> impl Strategy<Value = Step> {
@@ -81,10 +84,7 @@ fn run_schedule(
                     // One-copy serializability: reads must observe the
                     // spec values as of this commit point.
                     for (item, observed) in &report.read_results {
-                        let expect = spec
-                            .get(&item.0)
-                            .copied()
-                            .unwrap_or((0, 0));
+                        let expect = spec.get(&item.0).copied().unwrap_or((0, 0));
                         // A read of an item this txn also wrote sees the
                         // pre-transaction state; skip those.
                         if txn.write_set().iter().any(|(w, _)| w == item) {

@@ -52,7 +52,10 @@ fn four_site_commit_replicates_everywhere() {
 fn read_only_transaction_commits_locally_without_messages() {
     let mut pump = Pump::new(cfg(4));
     let before = pump.delivered;
-    let report = pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![read(2), read(5)]));
+    let report = pump.run_txn(
+        SiteId(0),
+        Transaction::new(TxnId(1), vec![read(2), read(5)]),
+    );
     assert_eq!(report.outcome, TxnOutcome::Committed);
     assert_eq!(pump.delivered, before, "no messages for a read-only txn");
     assert_eq!(report.read_results.len(), 2);
@@ -201,9 +204,15 @@ fn data_unavailable_abort_when_only_source_is_down() {
     // (site 1's failure is undetected when the copier is routed to it).
     assert!(!r1.outcome.is_committed());
     let r2 = pump.run_txn(SiteId(0), Transaction::new(TxnId(4), vec![read(1)]));
-    assert_eq!(r2.outcome, TxnOutcome::Aborted(AbortReason::DataUnavailable));
+    assert_eq!(
+        r2.outcome,
+        TxnOutcome::Aborted(AbortReason::DataUnavailable)
+    );
     // But up-to-date items remain available (ROWAA availability).
-    let r3 = pump.run_txn(SiteId(0), Transaction::new(TxnId(5), vec![read(3), write(4, 1)]));
+    let r3 = pump.run_txn(
+        SiteId(0),
+        Transaction::new(TxnId(5), vec![read(3), write(4, 1)]),
+    );
     assert!(r3.outcome.is_committed());
 }
 
@@ -219,10 +228,7 @@ fn recovery_fails_with_no_operational_peer() {
     // this system is stuck by design without both being restarted, so
     // verify the failure is stable rather than a hang).
     pump.recover(SiteId(1));
-    assert_eq!(
-        pump.observed.recovery_failed,
-        vec![SiteId(0), SiteId(1)]
-    );
+    assert_eq!(pump.observed.recovery_failed, vec![SiteId(0), SiteId(1)]);
 }
 
 #[test]
@@ -305,7 +311,10 @@ fn on_demand_step_one_until_threshold_then_batch() {
     assert_eq!(pump.engine(SiteId(0)).own_stale_count(), 5);
     // Refresh items one by one via reads until the fraction drops to the
     // threshold; then batch mode finishes the rest.
-    let report = pump.run_txn(SiteId(0), Transaction::new(TxnId(txn_id), vec![read(0), read(1)]));
+    let report = pump.run_txn(
+        SiteId(0),
+        Transaction::new(TxnId(txn_id), vec![read(0), read(1)]),
+    );
     assert!(report.outcome.is_committed());
     // 3 of 10 stale now (30 % ≤ threshold): batch mode kicks in and
     // drains the remainder.
@@ -320,12 +329,10 @@ fn queued_transactions_run_in_order() {
     // queues the second behind the first.
     let t1 = Transaction::new(TxnId(1), vec![write(0, 1)]);
     let t2 = Transaction::new(TxnId(2), vec![write(0, 2)]);
-    let out1 = pump.engines[0].handle_owned(miniraid_core::engine::Input::Control(
-        Command::Begin(t1),
-    ));
-    let out2 = pump.engines[0].handle_owned(miniraid_core::engine::Input::Control(
-        Command::Begin(t2),
-    ));
+    let out1 =
+        pump.engines[0].handle_owned(miniraid_core::engine::Input::Control(Command::Begin(t1)));
+    let out2 =
+        pump.engines[0].handle_owned(miniraid_core::engine::Input::Control(Command::Begin(t2)));
     assert!(out2.is_empty(), "second txn queued silently");
     for o in out1 {
         if let miniraid_core::engine::Output::Send { .. } = o {}
@@ -334,14 +341,22 @@ fn queued_transactions_run_in_order() {
     // (Simplest: drive the queue via a fresh command on another site.)
     // Instead, rebuild: drive both via the pump API.
     let mut pump = Pump::new(cfg(3));
-    pump.command(SiteId(0), Command::Begin(Transaction::new(TxnId(1), vec![write(0, 1)])));
-    pump.command(SiteId(0), Command::Begin(Transaction::new(TxnId(2), vec![write(0, 2)])));
+    pump.command(
+        SiteId(0),
+        Command::Begin(Transaction::new(TxnId(1), vec![write(0, 1)])),
+    );
+    pump.command(
+        SiteId(0),
+        Command::Begin(Transaction::new(TxnId(2), vec![write(0, 2)])),
+    );
     assert_eq!(pump.observed.reports.len(), 2);
     assert_eq!(pump.observed.reports[0].txn, TxnId(1));
     assert_eq!(pump.observed.reports[1].txn, TxnId(2));
     // Final value is from the later transaction.
-    assert_eq!(pump.engine(SiteId(1)).db().get(0).unwrap(),
-               miniraid_core::ItemValue::new(2, 2));
+    assert_eq!(
+        pump.engine(SiteId(1)).db().get(0).unwrap(),
+        miniraid_core::ItemValue::new(2, 2)
+    );
 }
 
 #[test]

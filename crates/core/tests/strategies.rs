@@ -49,7 +49,10 @@ fn rowa_blocks_writes_when_any_site_is_down() {
     // Unlike ROWAA, writes now abort *forever* until site 2 returns —
     // the availability gap the paper's protocol exists to close.
     let r2 = pump.run_txn(SiteId(0), Transaction::new(TxnId(2), vec![write(0, 1)]));
-    assert_eq!(r2.outcome, TxnOutcome::Aborted(AbortReason::DataUnavailable));
+    assert_eq!(
+        r2.outcome,
+        TxnOutcome::Aborted(AbortReason::DataUnavailable)
+    );
     // Reads (read-one) still work.
     let r3 = pump.run_txn(SiteId(0), Transaction::new(TxnId(3), vec![read(0)]));
     assert!(r3.outcome.is_committed());

@@ -37,6 +37,8 @@ const TAG_MGMT: u8 = 17;
 const TAG_MGMT_REPORT: u8 = 18;
 const TAG_MGMT_RECOVERED: u8 = 19;
 const TAG_MGMT_DATA_RECOVERED: u8 = 20;
+/// A batch of messages coalesced into one frame by the transports.
+const TAG_MSG_BATCH: u8 = 21;
 
 fn err(reason: &'static str) -> NetError {
     NetError::Codec(reason)
@@ -250,6 +252,14 @@ fn get_report(buf: &mut impl Buf) -> Result<TxnReport, NetError> {
 /// Encode a message to bytes (payload only; transports add framing).
 pub fn encode(msg: &Message) -> Bytes {
     let mut buf = BytesMut::with_capacity(64);
+    encode_into(&mut buf, msg);
+    buf.freeze()
+}
+
+/// Encode a message into a caller-provided buffer (appended), letting
+/// transports reuse one scratch allocation across sends instead of
+/// allocating per message.
+pub fn encode_into(buf: &mut BytesMut, msg: &Message) {
     match msg {
         Message::CopyUpdate {
             txn,
@@ -259,12 +269,12 @@ pub fn encode(msg: &Message) -> Bytes {
         } => {
             buf.put_u8(TAG_COPY_UPDATE);
             buf.put_u64_le(txn.0);
-            put_item_values(&mut buf, writes);
-            put_len(&mut buf, snapshot.len());
+            put_item_values(buf, writes);
+            put_len(buf, snapshot.len());
             for s in snapshot {
                 buf.put_u64_le(s.0);
             }
-            put_len(&mut buf, clears.len());
+            put_len(buf, clears.len());
             for (item, site) in clears {
                 buf.put_u32_le(item.0);
                 buf.put_u8(site.0);
@@ -290,18 +300,18 @@ pub fn encode(msg: &Message) -> Bytes {
         Message::CopyRequest { req, items } => {
             buf.put_u8(TAG_COPY_REQUEST);
             buf.put_u64_le(req.0);
-            put_items(&mut buf, items);
+            put_items(buf, items);
         }
         Message::CopyResponse { req, ok, copies } => {
             buf.put_u8(TAG_COPY_RESPONSE);
             buf.put_u64_le(req.0);
             buf.put_u8(*ok as u8);
-            put_item_values(&mut buf, copies);
+            put_item_values(buf, copies);
         }
         Message::ClearFailLocks { site, items } => {
             buf.put_u8(TAG_CLEAR_FAILLOCKS);
             buf.put_u8(site.0);
-            put_items(&mut buf, items);
+            put_items(buf, items);
         }
         Message::RecoveryAnnounce {
             session,
@@ -318,13 +328,13 @@ pub fn encode(msg: &Message) -> Bytes {
             backups,
         } => {
             buf.put_u8(TAG_RECOVERY_INFO);
-            put_len(&mut buf, vector.len());
+            put_len(buf, vector.len());
             for rec in vector {
                 buf.put_u64_le(rec.session.0);
                 buf.put_u8(status_code(rec.status));
             }
             for words in [faillocks, holders, backups] {
-                put_len(&mut buf, words.len());
+                put_len(buf, words.len());
                 for word in words {
                     buf.put_u64_le(*word);
                 }
@@ -332,7 +342,7 @@ pub fn encode(msg: &Message) -> Bytes {
         }
         Message::FailureAnnounce { failed } => {
             buf.put_u8(TAG_FAILURE_ANNOUNCE);
-            put_len(&mut buf, failed.len());
+            put_len(buf, failed.len());
             for (site, session) in failed {
                 buf.put_u8(site.0);
                 buf.put_u64_le(session.0);
@@ -341,18 +351,18 @@ pub fn encode(msg: &Message) -> Bytes {
         Message::ReadRequest { req, items } => {
             buf.put_u8(TAG_READ_REQUEST);
             buf.put_u64_le(req.0);
-            put_items(&mut buf, items);
+            put_items(buf, items);
         }
         Message::ReadResponse { req, ok, values } => {
             buf.put_u8(TAG_READ_RESPONSE);
             buf.put_u64_le(req.0);
             buf.put_u8(*ok as u8);
-            put_item_values(&mut buf, values);
+            put_item_values(buf, values);
         }
         Message::CreateBackup { item, value } => {
             buf.put_u8(TAG_CREATE_BACKUP);
             buf.put_u32_le(item.0);
-            put_value(&mut buf, value);
+            put_value(buf, value);
         }
         Message::BackupCreated { item, site } => {
             buf.put_u8(TAG_BACKUP_CREATED);
@@ -366,11 +376,11 @@ pub fn encode(msg: &Message) -> Bytes {
         }
         Message::Mgmt(cmd) => {
             buf.put_u8(TAG_MGMT);
-            put_command(&mut buf, cmd);
+            put_command(buf, cmd);
         }
         Message::MgmtReport(report) => {
             buf.put_u8(TAG_MGMT_REPORT);
-            put_report(&mut buf, report);
+            put_report(buf, report);
         }
         Message::MgmtRecovered { session } => {
             buf.put_u8(TAG_MGMT_RECOVERED);
@@ -381,7 +391,44 @@ pub fn encode(msg: &Message) -> Bytes {
             buf.put_u64_le(session.0);
         }
     }
-    buf.freeze()
+}
+
+/// Encode several messages as one `MsgBatch` frame: tag, count, then
+/// each message as a length-prefixed single-message payload. Transports
+/// use this to coalesce all sends to one peer from one engine step into
+/// a single frame.
+pub fn encode_batch_into(buf: &mut BytesMut, msgs: &[Message]) {
+    buf.put_u8(TAG_MSG_BATCH);
+    put_len(buf, msgs.len());
+    for msg in msgs {
+        let len_at = buf.len();
+        buf.put_u32_le(0); // patched below once the payload length is known
+        let start = buf.len();
+        encode_into(buf, msg);
+        let len = (buf.len() - start) as u32;
+        buf[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
+    }
+}
+
+/// Decode a frame payload that may be either a single message or a
+/// `MsgBatch`, yielding the messages in batch order.
+pub fn decode_many(payload: &[u8]) -> Result<Vec<Message>, NetError> {
+    if payload.first() != Some(&TAG_MSG_BATCH) {
+        return Ok(vec![decode(payload)?]);
+    }
+    let mut buf = &payload[1..];
+    let count = get_len(&mut buf, 1 << 16)?;
+    let mut msgs = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let len = get_len(&mut buf, 1 << 26)?;
+        need(&buf, len)?;
+        msgs.push(decode(&buf[..len])?);
+        buf.advance(len);
+    }
+    if buf.has_remaining() {
+        return Err(err("trailing bytes"));
+    }
+    Ok(msgs)
 }
 
 /// Decode a message payload.
@@ -477,8 +524,7 @@ pub fn decode(mut buf: &[u8]) -> Result<Message, NetError> {
             for _ in 0..n {
                 need(&buf, 9)?;
                 let session = SessionNumber(buf.get_u64_le());
-                let status =
-                    status_from_code(buf.get_u8()).ok_or(err("unknown site status"))?;
+                let status = status_from_code(buf.get_u8()).ok_or(err("unknown site status"))?;
                 vector.push(SiteRecord { session, status });
             }
             let mut word_vecs = Vec::with_capacity(3);
@@ -612,26 +658,60 @@ mod tests {
                 snapshot: vec![SessionNumber(1), SessionNumber(9)],
                 clears: vec![(ItemId(3), SiteId(1))],
             },
-            Message::UpdateAck { txn: TxnId(1), ok: false },
+            Message::UpdateAck {
+                txn: TxnId(1),
+                ok: false,
+            },
             Message::Commit { txn: TxnId(1) },
             Message::CommitAck { txn: TxnId(1) },
             Message::AbortTxn { txn: TxnId(1) },
-            Message::CopyRequest { req: ReqId(8), items: vec![ItemId(0), ItemId(5)] },
-            Message::CopyResponse { req: ReqId(8), ok: true, copies: vec![(ItemId(0), value)] },
-            Message::ClearFailLocks { site: SiteId(3), items: vec![ItemId(7)] },
-            Message::RecoveryAnnounce { session: SessionNumber(2), want_state: true },
+            Message::CopyRequest {
+                req: ReqId(8),
+                items: vec![ItemId(0), ItemId(5)],
+            },
+            Message::CopyResponse {
+                req: ReqId(8),
+                ok: true,
+                copies: vec![(ItemId(0), value)],
+            },
+            Message::ClearFailLocks {
+                site: SiteId(3),
+                items: vec![ItemId(7)],
+            },
+            Message::RecoveryAnnounce {
+                session: SessionNumber(2),
+                want_state: true,
+            },
             Message::RecoveryInfo {
                 vector: vec![record; 3],
                 faillocks: vec![0, 5, u64::MAX],
                 holders: vec![7, 7, 7],
                 backups: vec![0, 1, 4],
             },
-            Message::FailureAnnounce { failed: vec![(SiteId(1), SessionNumber(3))] },
-            Message::ReadRequest { req: ReqId(9), items: vec![ItemId(2)] },
-            Message::ReadResponse { req: ReqId(9), ok: false, values: vec![] },
-            Message::CreateBackup { item: ItemId(4), value },
-            Message::BackupCreated { item: ItemId(4), site: SiteId(0) },
-            Message::BackupDropped { item: ItemId(4), site: SiteId(0) },
+            Message::FailureAnnounce {
+                failed: vec![(SiteId(1), SessionNumber(3))],
+            },
+            Message::ReadRequest {
+                req: ReqId(9),
+                items: vec![ItemId(2)],
+            },
+            Message::ReadResponse {
+                req: ReqId(9),
+                ok: false,
+                values: vec![],
+            },
+            Message::CreateBackup {
+                item: ItemId(4),
+                value,
+            },
+            Message::BackupCreated {
+                item: ItemId(4),
+                site: SiteId(0),
+            },
+            Message::BackupDropped {
+                item: ItemId(4),
+                site: SiteId(0),
+            },
             Message::Mgmt(Command::Fail),
             Message::Mgmt(Command::Recover),
             Message::Mgmt(Command::Terminate),
@@ -640,7 +720,9 @@ mod tests {
                 vec![Operation::Read(ItemId(1)), Operation::Write(ItemId(2), 42)],
             ))),
             Message::MgmtReport(report),
-            Message::MgmtRecovered { session: SessionNumber(7) },
+            Message::MgmtRecovered {
+                session: SessionNumber(7),
+            },
         ];
         for msg in msgs {
             roundtrip(msg);
@@ -663,10 +745,52 @@ mod tests {
         assert!(decode(&[]).is_err());
         assert!(decode(&[200]).is_err());
         assert!(decode(&[TAG_COMMIT, 1, 2]).is_err());
-        // Trailing bytes rejected.
-        let mut enc = encode(&Message::Commit { txn: TxnId(1) }).to_vec();
-        enc.push(0);
+        // Trailing bytes rejected (encode into the buffer directly — no
+        // Bytes -> Vec round-trip needed to append).
+        let mut enc = BytesMut::new();
+        encode_into(&mut enc, &Message::Commit { txn: TxnId(1) });
+        enc.put_u8(0);
         assert!(decode(&enc).is_err());
+    }
+
+    #[test]
+    fn batches_roundtrip() {
+        let msgs = vec![
+            Message::Commit { txn: TxnId(1) },
+            Message::CommitAck { txn: TxnId(1) },
+            Message::ClearFailLocks {
+                site: SiteId(2),
+                items: vec![ItemId(3), ItemId(4)],
+            },
+        ];
+        let mut buf = BytesMut::new();
+        encode_batch_into(&mut buf, &msgs);
+        assert_eq!(decode_many(&buf).expect("batch decodes"), msgs);
+        // An empty batch is valid and yields no messages.
+        let mut empty = BytesMut::new();
+        encode_batch_into(&mut empty, &[]);
+        assert_eq!(decode_many(&empty).expect("empty batch decodes"), vec![]);
+        // A single-message payload flows through decode_many unchanged.
+        let one = encode(&Message::Commit { txn: TxnId(9) });
+        assert_eq!(
+            decode_many(&one).expect("single decodes"),
+            vec![Message::Commit { txn: TxnId(9) }]
+        );
+    }
+
+    #[test]
+    fn corrupt_batches_error_cleanly() {
+        // Batch claiming 5 messages but containing none.
+        let mut raw = vec![TAG_MSG_BATCH];
+        raw.extend_from_slice(&5u32.to_le_bytes());
+        assert!(decode_many(&raw).is_err());
+        // Trailing bytes after the last message are rejected.
+        let mut buf = BytesMut::new();
+        encode_batch_into(&mut buf, &[Message::Commit { txn: TxnId(1) }]);
+        buf.put_u8(7);
+        assert!(decode_many(&buf).is_err());
+        // A batch tag is not a valid single message.
+        assert!(decode(&buf).is_err());
     }
 
     #[test]

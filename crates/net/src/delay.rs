@@ -18,7 +18,8 @@ struct Delayed {
     due: Instant,
     seq: u64,
     to: SiteId,
-    msg: Message,
+    /// One or more messages; a batch stays a batch through the delay.
+    msgs: Vec<Message>,
 }
 
 impl PartialEq for Delayed {
@@ -93,7 +94,7 @@ impl DelayTransport {
                         }
                     }
                 };
-                let _ = inner.send(next.to, &next.msg);
+                let _ = inner.send_batch(next.to, &next.msgs);
             })
             .expect("spawn delay pump");
         DelayTransport {
@@ -104,8 +105,8 @@ impl DelayTransport {
     }
 }
 
-impl Transport for DelayTransport {
-    fn send(&self, to: SiteId, msg: &Message) -> Result<(), NetError> {
+impl DelayTransport {
+    fn enqueue(&self, to: SiteId, msgs: Vec<Message>) {
         let mut q = self.shared.queue.lock();
         let seq = q.next_seq;
         q.next_seq += 1;
@@ -113,9 +114,22 @@ impl Transport for DelayTransport {
             due: Instant::now() + self.latency,
             seq,
             to,
-            msg: msg.clone(),
+            msgs,
         });
         self.shared.cv.notify_one();
+    }
+}
+
+impl Transport for DelayTransport {
+    fn send(&self, to: SiteId, msg: &Message) -> Result<(), NetError> {
+        self.enqueue(to, vec![msg.clone()]);
+        Ok(())
+    }
+
+    fn send_batch(&self, to: SiteId, msgs: &[Message]) -> Result<(), NetError> {
+        if !msgs.is_empty() {
+            self.enqueue(to, msgs.to_vec());
+        }
         Ok(())
     }
 
@@ -146,7 +160,9 @@ mod tests {
         let delayed = DelayTransport::new(t0, Duration::from_millis(30));
         let start = Instant::now();
         for i in 0..5u64 {
-            delayed.send(SiteId(1), &Message::Commit { txn: TxnId(i) }).unwrap();
+            delayed
+                .send(SiteId(1), &Message::Commit { txn: TxnId(i) })
+                .unwrap();
         }
         for i in 0..5u64 {
             let (_, msg) = m1.recv_timeout(Duration::from_secs(2)).unwrap();
@@ -165,9 +181,11 @@ mod tests {
         let (t0, _m0) = endpoints.pop().unwrap();
         {
             let delayed = DelayTransport::new(t0, Duration::from_millis(10));
-            delayed.send(SiteId(1), &Message::Commit { txn: TxnId(7) }).unwrap();
+            delayed
+                .send(SiteId(1), &Message::Commit { txn: TxnId(7) })
+                .unwrap();
         } // dropped immediately
-        // The queued message is still delivered before shutdown.
+          // The queued message is still delivered before shutdown.
         let (_, msg) = m1.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(msg, Message::Commit { txn: TxnId(7) });
     }

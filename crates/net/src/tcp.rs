@@ -13,6 +13,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::{BufMut, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
@@ -53,6 +54,7 @@ impl TcpEndpoint {
                 local: site,
                 plan,
                 conns: Arc::new(Mutex::new(HashMap::new())),
+                scratch: Arc::new(Mutex::new(BytesMut::with_capacity(256))),
             },
             TcpMailbox { rx, _tx: tx },
         ))
@@ -88,10 +90,12 @@ fn read_loop(mut stream: TcpStream, inbox: Sender<(SiteId, Message)>) {
         if stream.read_exact(&mut payload).is_err() {
             return;
         }
-        match codec::decode(&payload) {
-            Ok(msg) => {
-                if inbox.send((from, msg)).is_err() {
-                    return; // mailbox dropped
+        match codec::decode_many(&payload) {
+            Ok(msgs) => {
+                for msg in msgs {
+                    if inbox.send((from, msg)).is_err() {
+                        return; // mailbox dropped
+                    }
                 }
             }
             Err(_) => return, // corrupt frame; drop the connection
@@ -105,6 +109,9 @@ pub struct TcpTransport {
     local: SiteId,
     plan: AddressPlan,
     conns: Arc<Mutex<HashMap<SiteId, TcpStream>>>,
+    /// Reused frame-encode buffer: one `write_all` per frame, no
+    /// per-message allocation.
+    scratch: Arc<Mutex<BytesMut>>,
 }
 
 impl TcpTransport {
@@ -126,34 +133,56 @@ impl TcpTransport {
     }
 }
 
-impl Transport for TcpTransport {
-    fn send(&self, to: SiteId, msg: &Message) -> Result<(), NetError> {
-        let payload = codec::encode(msg);
-        let mut frame = Vec::with_capacity(5 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.push(self.local.0);
-        frame.extend_from_slice(&payload);
-
+impl TcpTransport {
+    /// Write a complete frame, trying the cached connection first.
+    ///
+    /// A dead peer is a detectable-by-timeout site failure, not a sender
+    /// error, so a final failure is reported as Ok (the message is "lost
+    /// with the site", matching the paper's model where a down site
+    /// simply does not respond).
+    fn write_frame(&self, to: SiteId, frame: &[u8]) -> Result<(), NetError> {
         let mut conns = self.conns.lock();
-        // One write attempt over a cached connection, one over a fresh
-        // one: a dead peer is a detectable-by-timeout site failure, not a
-        // sender error, so a final failure is reported as Ok (the message
-        // is "lost with the site", matching the paper's model where a
-        // down site simply does not respond).
         if let Some(stream) = conns.get_mut(&to) {
-            if stream.write_all(&frame).is_ok() {
+            if stream.write_all(frame).is_ok() {
                 return Ok(());
             }
             conns.remove(&to);
         }
         match self.connect(to) {
             Ok(mut stream) => {
-                if stream.write_all(&frame).is_ok() {
+                if stream.write_all(frame).is_ok() {
                     conns.insert(to, stream);
                 }
                 Ok(())
             }
             Err(_) => Ok(()),
+        }
+    }
+
+    /// Frame a payload produced by `fill` into the shared scratch buffer
+    /// and write it: `[u32 payload_len][u8 from][payload]`.
+    fn send_framed(&self, to: SiteId, fill: impl FnOnce(&mut BytesMut)) -> Result<(), NetError> {
+        let mut scratch = self.scratch.lock();
+        scratch.clear();
+        scratch.put_u32_le(0); // patched below
+        scratch.put_u8(self.local.0);
+        fill(&mut scratch);
+        let len = (scratch.len() - 5) as u32;
+        scratch[..4].copy_from_slice(&len.to_le_bytes());
+        self.write_frame(to, &scratch)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, to: SiteId, msg: &Message) -> Result<(), NetError> {
+        self.send_framed(to, |buf| codec::encode_into(buf, msg))
+    }
+
+    fn send_batch(&self, to: SiteId, msgs: &[Message]) -> Result<(), NetError> {
+        match msgs {
+            [] => Ok(()),
+            [msg] => self.send(to, msg),
+            msgs => self.send_framed(to, |buf| codec::encode_batch_into(buf, msgs)),
         }
     }
 
@@ -197,7 +226,8 @@ mod tests {
         let (t0, _m0) = TcpEndpoint::bind(SiteId(0), plan).unwrap();
         let (_t1, m1) = TcpEndpoint::bind(SiteId(1), plan).unwrap();
         for i in 0..50u64 {
-            t0.send(SiteId(1), &Message::Commit { txn: TxnId(i) }).unwrap();
+            t0.send(SiteId(1), &Message::Commit { txn: TxnId(i) })
+                .unwrap();
         }
         for i in 0..50u64 {
             let (from, msg) = m1.recv_timeout(Duration::from_secs(2)).unwrap();
@@ -213,6 +243,8 @@ mod tests {
         };
         let (t0, _m0) = TcpEndpoint::bind(SiteId(0), plan).unwrap();
         // Site 1 never bound: the send is swallowed (site down semantics).
-        assert!(t0.send(SiteId(1), &Message::Commit { txn: TxnId(0) }).is_ok());
+        assert!(t0
+            .send(SiteId(1), &Message::Commit { txn: TxnId(0) })
+            .is_ok());
     }
 }

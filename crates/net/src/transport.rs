@@ -21,6 +21,17 @@ pub trait Transport: Send {
     /// indistinguishable from a slow one, as in any real network.
     fn send(&self, to: SiteId, msg: &Message) -> Result<(), NetError>;
 
+    /// Send several messages to `to` at once. Transports that frame
+    /// their wire traffic override this to coalesce the batch into a
+    /// single `MsgBatch` frame (one syscall / one channel operation per
+    /// peer per engine step); the default just sends them in order.
+    fn send_batch(&self, to: SiteId, msgs: &[Message]) -> Result<(), NetError> {
+        for msg in msgs {
+            self.send(to, msg)?;
+        }
+        Ok(())
+    }
+
     /// This endpoint's own site id.
     fn local_id(&self) -> SiteId;
 }
@@ -29,6 +40,12 @@ pub trait Transport: Send {
 pub trait Mailbox: Send {
     /// Block up to `timeout` for the next message.
     fn recv_timeout(&self, timeout: Duration) -> Result<(SiteId, Message), RecvError>;
+
+    /// Non-blocking receive: the next already-delivered message, if any.
+    /// Site loops use this to drain their whole mailbox per iteration.
+    fn try_recv(&self) -> Result<(SiteId, Message), RecvError> {
+        self.recv_timeout(Duration::from_millis(0))
+    }
 }
 
 /// Receive failure modes.

@@ -1,12 +1,13 @@
 //! Property tests for the wire codec: every message round-trips; decoding
 //! arbitrary bytes never panics.
 
+use bytes::BytesMut;
 use miniraid_core::error::AbortReason;
 use miniraid_core::ids::{ItemId, ReqId, SessionNumber, SiteId, TxnId};
 use miniraid_core::messages::{Command, Message, TxnOutcome, TxnReport, TxnStats};
 use miniraid_core::ops::{Operation, Transaction};
 use miniraid_core::session::{SiteRecord, SiteStatus};
-use miniraid_net::codec::{decode, encode};
+use miniraid_net::codec::{decode, decode_many, encode, encode_batch_into, encode_into};
 use miniraid_storage::ItemValue;
 use proptest::prelude::*;
 
@@ -83,7 +84,10 @@ fn arb_message() -> impl Strategy<Value = Message> {
             any::<u64>(),
             arb_item_values(),
             proptest::collection::vec(any::<u64>().prop_map(SessionNumber), 0..8),
-            proptest::collection::vec((any::<u32>().prop_map(ItemId), any::<u8>().prop_map(SiteId)), 0..8),
+            proptest::collection::vec(
+                (any::<u32>().prop_map(ItemId), any::<u8>().prop_map(SiteId)),
+                0..8
+            ),
         )
             .prop_map(|(txn, writes, snapshot, clears)| Message::CopyUpdate {
                 txn: TxnId(txn),
@@ -91,63 +95,98 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 snapshot,
                 clears,
             }),
-        (any::<u64>(), any::<bool>())
-            .prop_map(|(t, ok)| Message::UpdateAck { txn: TxnId(t), ok }),
+        (any::<u64>(), any::<bool>()).prop_map(|(t, ok)| Message::UpdateAck { txn: TxnId(t), ok }),
         any::<u64>().prop_map(|t| Message::Commit { txn: TxnId(t) }),
         any::<u64>().prop_map(|t| Message::CommitAck { txn: TxnId(t) }),
         any::<u64>().prop_map(|t| Message::AbortTxn { txn: TxnId(t) }),
-        (any::<u64>(), arb_items())
-            .prop_map(|(r, items)| Message::CopyRequest { req: ReqId(r), items }),
-        (any::<u64>(), any::<bool>(), arb_item_values())
-            .prop_map(|(r, ok, copies)| Message::CopyResponse { req: ReqId(r), ok, copies }),
-        (any::<u8>(), arb_items())
-            .prop_map(|(s, items)| Message::ClearFailLocks { site: SiteId(s), items }),
+        (any::<u64>(), arb_items()).prop_map(|(r, items)| Message::CopyRequest {
+            req: ReqId(r),
+            items
+        }),
+        (any::<u64>(), any::<bool>(), arb_item_values()).prop_map(|(r, ok, copies)| {
+            Message::CopyResponse {
+                req: ReqId(r),
+                ok,
+                copies,
+            }
+        }),
+        (any::<u8>(), arb_items()).prop_map(|(s, items)| Message::ClearFailLocks {
+            site: SiteId(s),
+            items
+        }),
         (any::<u64>(), any::<bool>()).prop_map(|(s, w)| Message::RecoveryAnnounce {
             session: SessionNumber(s),
             want_state: w,
         }),
         (
             proptest::collection::vec(
-                (any::<u64>(), arb_status())
-                    .prop_map(|(s, st)| SiteRecord { session: SessionNumber(s), status: st }),
+                (any::<u64>(), arb_status()).prop_map(|(s, st)| SiteRecord {
+                    session: SessionNumber(s),
+                    status: st
+                }),
                 0..8
             ),
             proptest::collection::vec(any::<u64>(), 0..16),
             proptest::collection::vec(any::<u64>(), 0..16),
             proptest::collection::vec(any::<u64>(), 0..16),
         )
-            .prop_map(|(vector, faillocks, holders, backups)| Message::RecoveryInfo {
-                vector,
-                faillocks,
-                holders,
-                backups,
-            }),
+            .prop_map(
+                |(vector, faillocks, holders, backups)| Message::RecoveryInfo {
+                    vector,
+                    faillocks,
+                    holders,
+                    backups,
+                }
+            ),
         proptest::collection::vec(
-            (any::<u8>().prop_map(SiteId), any::<u64>().prop_map(SessionNumber)),
+            (
+                any::<u8>().prop_map(SiteId),
+                any::<u64>().prop_map(SessionNumber)
+            ),
             0..8
         )
         .prop_map(|failed| Message::FailureAnnounce { failed }),
-        (any::<u64>(), arb_items())
-            .prop_map(|(r, items)| Message::ReadRequest { req: ReqId(r), items }),
-        (any::<u64>(), any::<bool>(), arb_item_values())
-            .prop_map(|(r, ok, values)| Message::ReadResponse { req: ReqId(r), ok, values }),
-        (any::<u32>(), arb_value())
-            .prop_map(|(i, v)| Message::CreateBackup { item: ItemId(i), value: v }),
-        (any::<u32>(), any::<u8>())
-            .prop_map(|(i, s)| Message::BackupCreated { item: ItemId(i), site: SiteId(s) }),
-        (any::<u32>(), any::<u8>())
-            .prop_map(|(i, s)| Message::BackupDropped { item: ItemId(i), site: SiteId(s) }),
+        (any::<u64>(), arb_items()).prop_map(|(r, items)| Message::ReadRequest {
+            req: ReqId(r),
+            items
+        }),
+        (any::<u64>(), any::<bool>(), arb_item_values()).prop_map(|(r, ok, values)| {
+            Message::ReadResponse {
+                req: ReqId(r),
+                ok,
+                values,
+            }
+        }),
+        (any::<u32>(), arb_value()).prop_map(|(i, v)| Message::CreateBackup {
+            item: ItemId(i),
+            value: v
+        }),
+        (any::<u32>(), any::<u8>()).prop_map(|(i, s)| Message::BackupCreated {
+            item: ItemId(i),
+            site: SiteId(s)
+        }),
+        (any::<u32>(), any::<u8>()).prop_map(|(i, s)| Message::BackupDropped {
+            item: ItemId(i),
+            site: SiteId(s)
+        }),
         prop_oneof![
             Just(Command::Fail),
             Just(Command::Recover),
             Just(Command::Terminate),
-            (any::<u64>(), proptest::collection::vec(arb_operation(), 0..12))
+            (
+                any::<u64>(),
+                proptest::collection::vec(arb_operation(), 0..12)
+            )
                 .prop_map(|(id, ops)| Command::Begin(Transaction::new(TxnId(id), ops))),
         ]
         .prop_map(Message::Mgmt),
         arb_report().prop_map(Message::MgmtReport),
-        any::<u64>().prop_map(|s| Message::MgmtRecovered { session: SessionNumber(s) }),
-        any::<u64>().prop_map(|s| Message::MgmtDataRecovered { session: SessionNumber(s) }),
+        any::<u64>().prop_map(|s| Message::MgmtRecovered {
+            session: SessionNumber(s)
+        }),
+        any::<u64>().prop_map(|s| Message::MgmtDataRecovered {
+            session: SessionNumber(s)
+        }),
     ]
 }
 
@@ -162,6 +201,27 @@ proptest! {
     #[test]
     fn decode_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
         let _ = decode(&raw);
+    }
+
+    #[test]
+    fn message_sequences_roundtrip_as_batch(msgs in proptest::collection::vec(arb_message(), 0..6)) {
+        let mut buf = BytesMut::new();
+        encode_batch_into(&mut buf, &msgs);
+        let decoded = decode_many(&buf).expect("well-formed batch decodes");
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn single_frames_roundtrip_via_decode_many(msg in arb_message()) {
+        let mut buf = BytesMut::new();
+        encode_into(&mut buf, &msg);
+        let decoded = decode_many(&buf).expect("single-message frame decodes");
+        prop_assert_eq!(decoded, vec![msg]);
+    }
+
+    #[test]
+    fn decode_many_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_many(&raw);
     }
 
     #[test]

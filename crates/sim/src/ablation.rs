@@ -59,11 +59,7 @@ pub fn recovery_ablation(
     let recovery_begins = manager.sim.now();
     assert!(manager.sim.recover_site(SiteId(0)));
 
-    let aborts_before = manager
-        .series
-        .iter()
-        .filter(|p| !p.committed)
-        .count() as u32;
+    let aborts_before = manager.series.iter().filter(|p| !p.committed).count() as u32;
     let txns_to_recover = manager.run_until(&routing, 3000, |sim| sim.faillock_counts()[0] == 0);
     // Recovery may complete via batch copiers during/before the loop;
     // find the data-recovery-complete notable for site 0.
@@ -72,15 +68,12 @@ pub fn recovery_ablation(
         .notables
         .iter()
         .rev()
-        .find(|(_, site, n)| *site == SiteId(0) && *n == crate::world::Notable::DataRecoveryComplete)
+        .find(|(_, site, n)| {
+            *site == SiteId(0) && *n == crate::world::Notable::DataRecoveryComplete
+        })
         .map(|(t, _, _)| *t)
         .unwrap_or(manager.sim.now());
-    let aborts = manager
-        .series
-        .iter()
-        .filter(|p| !p.committed)
-        .count() as u32
-        - aborts_before;
+    let aborts = manager.series.iter().filter(|p| !p.committed).count() as u32 - aborts_before;
 
     RecoveryAblation {
         txns_to_recover,

@@ -152,11 +152,7 @@ mod tests {
 
     #[test]
     fn chart_renders_marks_and_labels() {
-        let chart = ascii_chart(
-            "Figure 1",
-            &site_series(&points()),
-            12,
-        );
+        let chart = ascii_chart("Figure 1", &site_series(&points()), 12);
         assert!(chart.contains("Figure 1"));
         assert!(chart.contains('o'));
         assert!(chart.contains('+'));

@@ -179,8 +179,7 @@ pub fn experiment1(seed: u64) -> Exp1Result {
     let (coord_without, part_without) = measure_faillock_overhead(seed, false);
     let (coord_with, part_with) = measure_faillock_overhead(seed, true);
     let (ct1_recovering, ct1_operational, ct2) = measure_control_transactions(seed);
-    let (copier_txn, no_copier_txn, copy_service, clear_faillocks) =
-        measure_copier_overhead(seed);
+    let (copier_txn, no_copier_txn, copy_service, clear_faillocks) = measure_copier_overhead(seed);
     Exp1Result {
         coord_without_faillocks: coord_without,
         coord_with_faillocks: coord_with,
@@ -427,10 +426,7 @@ pub fn scaling_study(seed: u64, n_sites: u8, db_size: u32) -> ScalingPoint {
         ..ProtocolConfig::default()
     };
     let sim = Simulation::new(SimConfig::paper(protocol));
-    let mut manager = Manager::new(
-        sim,
-        UniformGen::new(seed, db_size, 10),
-    );
+    let mut manager = Manager::new(sim, UniformGen::new(seed, db_size, 10));
     manager.run_many(&Routing::RoundRobinUp, 5);
     let failed = SiteId(n_sites - 1);
     manager.sim.fail_site(failed, true);

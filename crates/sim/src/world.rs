@@ -116,11 +116,7 @@ impl TxnRecord {
         if self.participants.is_empty() {
             return None;
         }
-        let total: u64 = self
-            .participants
-            .iter()
-            .map(|(_, s, e)| e.since(*s))
-            .sum();
+        let total: u64 = self.participants.iter().map(|(_, s, e)| e.since(*s)).sum();
         Some(total as f64 / self.participants.len() as f64 / 1000.0)
     }
 }
@@ -313,9 +309,7 @@ impl Simulation {
     pub fn fail_site(&mut self, site: SiteId, announced: bool) {
         if announced {
             let session = self.engines[site.index()].session();
-            let peers: Vec<SiteId> = self.engines[site.index()]
-                .vector()
-                .operational_peers(site);
+            let peers: Vec<SiteId> = self.engines[site.index()].vector().operational_peers(site);
             for peer in peers {
                 // The dying site performs one last communication per peer.
                 self.push(
@@ -436,7 +430,11 @@ impl Simulation {
                         return true;
                     }
                     let kind = msg.kind();
-                    (to, Input::Deliver { from, msg }, Some((from, sent_at, kind)))
+                    (
+                        to,
+                        Input::Deliver { from, msg },
+                        Some((from, sent_at, kind)),
+                    )
                 }
                 EventKind::Timer { site, id } => (site, Input::Timer(id), None),
                 EventKind::Control { site, cmd } => (site, Input::Control(cmd), None),
@@ -530,10 +528,7 @@ impl Simulation {
                     self.push(at, EventKind::Timer { site, id });
                 }
                 Output::Report(report) => {
-                    let start = self
-                        .txn_starts
-                        .remove(&report.txn)
-                        .unwrap_or(exec_start);
+                    let start = self.txn_starts.remove(&report.txn).unwrap_or(exec_start);
                     let participants = self
                         .open_participants
                         .remove(&report.txn)
@@ -709,7 +704,10 @@ mod tests {
         let ms = end.since(start) as f64 / 1000.0;
         assert!(ms > 50.0 && ms < 500.0, "CT1 took {ms} ms");
         assert!(!s.timings.ct1_operational.is_empty());
-        assert!(s.engine(SiteId(2)).faillocks().is_locked(ItemId(9), SiteId(2)));
+        assert!(s
+            .engine(SiteId(2))
+            .faillocks()
+            .is_locked(ItemId(9), SiteId(2)));
     }
 
     #[test]

@@ -35,8 +35,14 @@ fn two_phase_commit_message_counts_match_appendix_a() {
     assert_eq!(coord.msgs_received, 6, "coordinator receives 2×3 acks");
     for s in 1..4u8 {
         let m = sim.engine(SiteId(s)).metrics();
-        assert_eq!(m.msgs_sent, 2, "participant {s} sends UpdateAck + CommitAck");
-        assert_eq!(m.msgs_received, 2, "participant {s} receives CopyUpdate + Commit");
+        assert_eq!(
+            m.msgs_sent, 2,
+            "participant {s} sends UpdateAck + CommitAck"
+        );
+        assert_eq!(
+            m.msgs_received, 2,
+            "participant {s} receives CopyUpdate + Commit"
+        );
     }
 }
 
@@ -71,11 +77,16 @@ fn per_site_processors_are_faster_than_shared_single() {
     // Under the paper's shared processor, participants' processing
     // serializes with the coordinator's; with one processor per site the
     // same transaction finishes sooner in virtual time.
-    let txn = || Transaction::new(TxnId(1), vec![
-        Operation::Read(ItemId(0)),
-        Operation::Write(ItemId(1), 7),
-        Operation::Write(ItemId(2), 7),
-    ]);
+    let txn = || {
+        Transaction::new(
+            TxnId(1),
+            vec![
+                Operation::Read(ItemId(0)),
+                Operation::Write(ItemId(1), 7),
+                Operation::Write(ItemId(2), 7),
+            ],
+        )
+    };
     let mut shared = paper_sim(4, ProcessorModel::SharedSingle);
     let shared_ms = shared.run_txn(SiteId(0), txn()).coordinator_ms();
     let mut per_site = paper_sim(4, ProcessorModel::PerSite);
@@ -99,7 +110,10 @@ fn recovery_retries_next_candidate_when_responder_is_dead() {
         Transaction::new(TxnId(1), vec![Operation::Write(ItemId(1), 1)]),
     );
     sim.fail_site(SiteId(0), false); // silent: nobody knows
-    assert!(sim.recover_site(SiteId(2)), "recovery must fall through to a living candidate");
+    assert!(
+        sim.recover_site(SiteId(2)),
+        "recovery must fall through to a living candidate"
+    );
     assert!(sim.engine(SiteId(2)).is_up());
     // It learned its stale items despite the first candidate being dead.
     assert!(sim
@@ -124,7 +138,11 @@ fn zero_cpu_model_times_are_pure_message_latency() {
         Transaction::new(TxnId(1), vec![Operation::Write(ItemId(0), 1)]),
     );
     // 2 round trips of 9 ms each: CopyUpdate→ack, Commit→ack = 36 ms.
-    assert!((rec.coordinator_ms() - 36.0).abs() < 0.5, "{}", rec.coordinator_ms());
+    assert!(
+        (rec.coordinator_ms() - 36.0).abs() < 0.5,
+        "{}",
+        rec.coordinator_ms()
+    );
 }
 
 #[test]
@@ -151,10 +169,14 @@ fn traced_message_sequence_matches_appendix_a() {
         kinds,
         vec![
             "Begin",
-            "CopyUpdate", "CopyUpdate",
-            "UpdateAck", "UpdateAck",
-            "Commit", "Commit",
-            "CommitAck", "CommitAck",
+            "CopyUpdate",
+            "CopyUpdate",
+            "UpdateAck",
+            "UpdateAck",
+            "Commit",
+            "Commit",
+            "CommitAck",
+            "CommitAck",
         ],
         "trace: {:?}",
         sim.trace()

@@ -46,10 +46,16 @@ fn experiment3_scenarios_are_deterministic() {
     let a1 = experiment3_scenario1(7);
     let b1 = experiment3_scenario1(7);
     assert_eq!(a1.aborts, b1.aborts);
-    assert_eq!(series_fingerprint(&a1.series), series_fingerprint(&b1.series));
+    assert_eq!(
+        series_fingerprint(&a1.series),
+        series_fingerprint(&b1.series)
+    );
 
     let a2 = experiment3_scenario2(7);
     let b2 = experiment3_scenario2(7);
     assert_eq!(a2.aborts, b2.aborts);
-    assert_eq!(series_fingerprint(&a2.series), series_fingerprint(&b2.series));
+    assert_eq!(
+        series_fingerprint(&a2.series),
+        series_fingerprint(&b2.series)
+    );
 }

@@ -56,8 +56,14 @@ fn partition_looks_like_failure_to_each_side() {
     // unreachable sites — partition handled exactly like failure.
     let rec = s.run_txn(SiteId(0), write_txn(2, 3, 30));
     assert!(rec.report.outcome.is_committed());
-    assert!(s.engine(SiteId(1)).faillocks().is_locked(ItemId(3), SiteId(2)));
-    assert!(s.engine(SiteId(1)).faillocks().is_locked(ItemId(3), SiteId(3)));
+    assert!(s
+        .engine(SiteId(1))
+        .faillocks()
+        .is_locked(ItemId(3), SiteId(2)));
+    assert!(s
+        .engine(SiteId(1))
+        .faillocks()
+        .is_locked(ItemId(3), SiteId(3)));
 }
 
 #[test]
@@ -80,7 +86,10 @@ fn quiescent_minority_reintegrates_cleanly_after_heal() {
     assert!(s.recover_site(SiteId(2)));
 
     // Site 2 learned what it missed...
-    assert!(s.engine(SiteId(2)).faillocks().is_locked(ItemId(5), SiteId(2)));
+    assert!(s
+        .engine(SiteId(2))
+        .faillocks()
+        .is_locked(ItemId(5), SiteId(2)));
     // ... and a read refreshes it via a copier transaction.
     let r3 = s.run_txn(
         SiteId(2),
@@ -116,8 +125,14 @@ fn split_brain_writes_can_diverge_rowaa_is_not_partition_tolerant() {
     // Worse: each side believes the *other* side's copy is stale (both
     // set fail-locks for the peer), so neither refresh direction can be
     // trusted. Reconciliation needs external arbitration.
-    assert!(s.engine(SiteId(0)).faillocks().is_locked(ItemId(7), SiteId(1)));
-    assert!(s.engine(SiteId(1)).faillocks().is_locked(ItemId(7), SiteId(0)));
+    assert!(s
+        .engine(SiteId(0))
+        .faillocks()
+        .is_locked(ItemId(7), SiteId(1)));
+    assert!(s
+        .engine(SiteId(1))
+        .faillocks()
+        .is_locked(ItemId(7), SiteId(0)));
 }
 
 #[test]

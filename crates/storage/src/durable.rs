@@ -152,9 +152,12 @@ impl DurableStore {
         // protocol state (fail-locks, session) the snapshot doesn't hold.
         std::fs::remove_file(&self.wal_path)?;
         self.wal = Wal::open(&self.wal_path)?;
-        self.wal.append(&WalRecord::Checkpoint { txn: self.last_txn })?;
+        self.wal
+            .append(&WalRecord::Checkpoint { txn: self.last_txn })?;
         if self.session > 0 {
-            self.wal.append(&WalRecord::Session { session: self.session })?;
+            self.wal.append(&WalRecord::Session {
+                session: self.session,
+            })?;
         }
         let mut words: Vec<(u32, u64)> = self.faillocks.iter().map(|(i, w)| (*i, *w)).collect();
         words.sort_unstable();

@@ -39,7 +39,10 @@ pub struct ItemValue {
 
 impl ItemValue {
     /// The value every copy holds before any transaction runs.
-    pub const INITIAL: ItemValue = ItemValue { data: 0, version: 0 };
+    pub const INITIAL: ItemValue = ItemValue {
+        data: 0,
+        version: 0,
+    };
 
     /// Construct a value.
     pub const fn new(data: u64, version: u64) -> Self {

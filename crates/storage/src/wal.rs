@@ -21,7 +21,11 @@ pub enum WalRecord {
     /// A transaction has started.
     Begin { txn: u64 },
     /// A tentative write by a transaction (redo information).
-    Write { txn: u64, item: u32, value: ItemValue },
+    Write {
+        txn: u64,
+        item: u32,
+        value: ItemValue,
+    },
     /// The transaction committed; its writes become visible.
     Commit { txn: u64 },
     /// The transaction aborted; its writes are discarded.
@@ -378,13 +382,25 @@ mod tests {
         let v = |d| ItemValue::new(d, d);
         let records = vec![
             WalRecord::Begin { txn: 1 },
-            WalRecord::Write { txn: 1, item: 0, value: v(1) },
+            WalRecord::Write {
+                txn: 1,
+                item: 0,
+                value: v(1),
+            },
             WalRecord::Begin { txn: 2 },
-            WalRecord::Write { txn: 2, item: 1, value: v(2) },
+            WalRecord::Write {
+                txn: 2,
+                item: 1,
+                value: v(2),
+            },
             WalRecord::Commit { txn: 1 },
             WalRecord::Abort { txn: 2 },
             WalRecord::Begin { txn: 3 },
-            WalRecord::Write { txn: 3, item: 2, value: v(3) }, // never commits
+            WalRecord::Write {
+                txn: 3,
+                item: 2,
+                value: v(3),
+            }, // never commits
         ];
         assert_eq!(committed_writes(&records), vec![(0, v(1))]);
     }
@@ -394,11 +410,19 @@ mod tests {
         let v = |d| ItemValue::new(d, d);
         let records = vec![
             WalRecord::Begin { txn: 1 },
-            WalRecord::Write { txn: 1, item: 0, value: v(1) },
+            WalRecord::Write {
+                txn: 1,
+                item: 0,
+                value: v(1),
+            },
             WalRecord::Commit { txn: 1 },
             WalRecord::Checkpoint { txn: 1 },
             WalRecord::Begin { txn: 2 },
-            WalRecord::Write { txn: 2, item: 1, value: v(2) },
+            WalRecord::Write {
+                txn: 2,
+                item: 1,
+                value: v(2),
+            },
             WalRecord::Commit { txn: 2 },
         ];
         assert_eq!(committed_writes(&records), vec![(1, v(2))]);

@@ -11,8 +11,11 @@ fn arb_value() -> impl Strategy<Value = ItemValue> {
 fn arb_record() -> impl Strategy<Value = WalRecord> {
     prop_oneof![
         (1u64..100).prop_map(|txn| WalRecord::Begin { txn }),
-        (1u64..100, 0u32..64, arb_value())
-            .prop_map(|(txn, item, value)| WalRecord::Write { txn, item, value }),
+        (1u64..100, 0u32..64, arb_value()).prop_map(|(txn, item, value)| WalRecord::Write {
+            txn,
+            item,
+            value
+        }),
         (1u64..100).prop_map(|txn| WalRecord::Commit { txn }),
         (1u64..100).prop_map(|txn| WalRecord::Abort { txn }),
         (1u64..100).prop_map(|txn| WalRecord::Checkpoint { txn }),

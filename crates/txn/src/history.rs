@@ -40,11 +40,7 @@ impl PrecedenceGraph {
         for (i, a) in history.iter().enumerate() {
             for b in &history[i + 1..] {
                 if a.txn != b.txn && a.item == b.item && (a.is_write || b.is_write) {
-                    graph
-                        .edges
-                        .entry(a.txn)
-                        .or_default()
-                        .insert(b.txn);
+                    graph.edges.entry(a.txn).or_default().insert(b.txn);
                 }
             }
         }
@@ -64,8 +60,7 @@ impl PrecedenceGraph {
     /// A topological order of the graph (an equivalent serial order), or
     /// `None` if the graph has a cycle (not conflict-serializable).
     pub fn serial_order(&self) -> Option<Vec<TxnId>> {
-        let mut in_degree: HashMap<TxnId, usize> =
-            self.nodes.iter().map(|t| (*t, 0)).collect();
+        let mut in_degree: HashMap<TxnId, usize> = self.nodes.iter().map(|t| (*t, 0)).collect();
         for targets in self.edges.values() {
             for t in targets {
                 *in_degree.get_mut(t).expect("known node") += 1;
@@ -128,7 +123,12 @@ mod tests {
 
     #[test]
     fn serial_history_is_serializable() {
-        let h = [op(1, 0, true), op(1, 1, true), op(2, 0, false), op(2, 1, true)];
+        let h = [
+            op(1, 0, true),
+            op(1, 1, true),
+            op(2, 0, false),
+            op(2, 1, true),
+        ];
         let g = PrecedenceGraph::build(&h);
         assert!(g.is_serializable());
         assert_eq!(g.serial_order().unwrap(), vec![TxnId(1), TxnId(2)]);
@@ -140,7 +140,12 @@ mod tests {
     fn classic_nonserializable_interleaving_is_rejected() {
         // T1 reads x, T2 writes x, T2 writes y, T1 writes y:
         // T1 -> T2 (on x) and T2 -> T1 (on y) — a cycle.
-        let h = [op(1, 0, false), op(2, 0, true), op(2, 1, true), op(1, 1, true)];
+        let h = [
+            op(1, 0, false),
+            op(2, 0, true),
+            op(2, 1, true),
+            op(1, 1, true),
+        ];
         assert!(!is_conflict_serializable(&h));
     }
 

@@ -14,7 +14,8 @@
 //! * [`wisconsin`] — a Wisconsin-benchmark-style generator (Bitton,
 //!   DeWitt, Turbyfill 1983), the paper's other named future benchmark.
 //! * [`locks`] and [`deadlock`] — a strict two-phase-locking manager with
-//!   wait-for-graph deadlock detection.
+//!   wait-for-graph deadlock detection (implemented in `miniraid-core`,
+//!   where the pipelined site engine uses it; re-exported here).
 //! * [`scheduler`] — serial execution (the paper's assumption 2) and a
 //!   2PL-interleaved scheduler for single-site validation of the lock
 //!   manager.
@@ -22,8 +23,8 @@
 #![warn(missing_docs)]
 
 pub mod deadlock;
-pub mod history;
 pub mod et1;
+pub mod history;
 pub mod locks;
 pub mod scheduler;
 pub mod wisconsin;

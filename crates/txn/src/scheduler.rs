@@ -146,9 +146,7 @@ impl LockingScheduler {
                                     .rev()
                                     .find(|(idx, _)| *idx == item.index())
                                     .map(|(_, v)| *v);
-                                running
-                                    .reads
-                                    .push(staged.unwrap_or(db[item.index()]));
+                                running.reads.push(staged.unwrap_or(db[item.index()]));
                             }
                             Operation::Write(item, value) => {
                                 running.staged.push((item.index(), value));
@@ -198,7 +196,10 @@ mod tests {
     fn serial_scheduler_applies_in_order() {
         let txns = vec![
             txn(1, vec![Operation::Write(ItemId(0), 10)]),
-            txn(2, vec![Operation::Read(ItemId(0)), Operation::Write(ItemId(0), 20)]),
+            txn(
+                2,
+                vec![Operation::Read(ItemId(0)), Operation::Write(ItemId(0), 20)],
+            ),
         ];
         let r = SerialScheduler::run(4, &txns);
         assert_eq!(r.db[0], 20);
@@ -232,8 +233,20 @@ mod tests {
     fn deadlock_victims_retry_and_commit() {
         // Classic crossing pattern: T1 locks 0 then 1, T2 locks 1 then 0.
         let txns = vec![
-            txn(1, vec![Operation::Write(ItemId(0), 1), Operation::Write(ItemId(1), 1)]),
-            txn(2, vec![Operation::Write(ItemId(1), 2), Operation::Write(ItemId(0), 2)]),
+            txn(
+                1,
+                vec![
+                    Operation::Write(ItemId(0), 1),
+                    Operation::Write(ItemId(1), 1),
+                ],
+            ),
+            txn(
+                2,
+                vec![
+                    Operation::Write(ItemId(1), 2),
+                    Operation::Write(ItemId(0), 2),
+                ],
+            ),
         ];
         let r = LockingScheduler::run(2, &txns);
         assert_eq!(r.commit_order.len(), 2, "both eventually commit");

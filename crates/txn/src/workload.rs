@@ -190,9 +190,8 @@ mod tests {
             assert_eq!(a.next_txn(TxnId(i)), b.next_txn(TxnId(i)));
         }
         let mut c = UniformGen::new(10, 20, 5);
-        let differs = (0..50).any(|i| {
-            UniformGen::new(9, 20, 5).next_txn(TxnId(i)) != c.next_txn(TxnId(i))
-        });
+        let differs =
+            (0..50).any(|i| UniformGen::new(9, 20, 5).next_txn(TxnId(i)) != c.next_txn(TxnId(i)));
         assert!(differs);
     }
 

@@ -32,18 +32,40 @@ fn exp1_faillock_maintenance_is_a_slight_overhead() {
 #[test]
 fn exp1_absolute_times_track_the_paper() {
     let r = experiment1(1987);
-    let within = |measured: f64, paper: f64, tol: f64| {
-        (measured / paper - 1.0).abs() <= tol
-    };
-    assert!(within(r.coord_without_faillocks, 176.0, 0.15), "{}", r.coord_without_faillocks);
-    assert!(within(r.coord_with_faillocks, 186.0, 0.15), "{}", r.coord_with_faillocks);
-    assert!(within(r.part_without_faillocks, 90.0, 0.15), "{}", r.part_without_faillocks);
-    assert!(within(r.part_with_faillocks, 97.0, 0.15), "{}", r.part_with_faillocks);
+    let within = |measured: f64, paper: f64, tol: f64| (measured / paper - 1.0).abs() <= tol;
+    assert!(
+        within(r.coord_without_faillocks, 176.0, 0.15),
+        "{}",
+        r.coord_without_faillocks
+    );
+    assert!(
+        within(r.coord_with_faillocks, 186.0, 0.15),
+        "{}",
+        r.coord_with_faillocks
+    );
+    assert!(
+        within(r.part_without_faillocks, 90.0, 0.15),
+        "{}",
+        r.part_without_faillocks
+    );
+    assert!(
+        within(r.part_with_faillocks, 97.0, 0.15),
+        "{}",
+        r.part_with_faillocks
+    );
     assert!(within(r.ct1_recovering, 190.0, 0.2), "{}", r.ct1_recovering);
-    assert!(within(r.ct1_operational, 50.0, 0.2), "{}", r.ct1_operational);
+    assert!(
+        within(r.ct1_operational, 50.0, 0.2),
+        "{}",
+        r.ct1_operational
+    );
     assert!(within(r.ct2, 68.0, 0.2), "{}", r.ct2);
     assert!(within(r.copy_service, 25.0, 0.2), "{}", r.copy_service);
-    assert!(within(r.clear_faillocks, 20.0, 0.3), "{}", r.clear_faillocks);
+    assert!(
+        within(r.clear_faillocks, 20.0, 0.3),
+        "{}",
+        r.clear_faillocks
+    );
     assert!(within(r.copier_txn, 270.0, 0.2), "{}", r.copier_txn);
 }
 

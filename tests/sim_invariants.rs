@@ -14,7 +14,10 @@ use proptest::prelude::*;
 enum Step {
     Fail(u8),
     Recover(u8),
-    Txn { site: u8, ops: Vec<(bool, u32, u64)> },
+    Txn {
+        site: u8,
+        ops: Vec<(bool, u32, u64)>,
+    },
 }
 
 fn arb_step() -> impl Strategy<Value = Step> {

@@ -1,0 +1,38 @@
+//! Offline stub of `crossbeam`: just the `channel` module, delegating to
+//! `std::sync::mpsc` (whose implementation has itself been crossbeam-based
+//! since Rust 1.67 — `Sender` is `Send + Sync + Clone` and `Receiver` has
+//! `recv_timeout`, which covers everything this workspace needs).
+
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// An unbounded MPMC-ish channel (MPSC here — this workspace never
+    /// clones receivers).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(42u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 42);
+    }
+
+    #[test]
+    fn timeout_fires_when_empty() {
+        let (_tx, rx) = channel::unbounded::<u8>();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Timeout)
+        ));
+    }
+}

@@ -1,0 +1,211 @@
+//! Offline stub of `rand` 0.9: the `StdRng`/`Rng`/`SeedableRng` subset
+//! this workspace uses, over a SplitMix64 generator. Deterministic for a
+//! given seed (the workspace's experiments rely on seeded reproducibility,
+//! not on matching upstream `StdRng`'s exact stream).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their full domain (`rng.random()`).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn draw(rng: &mut impl RngCore) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Standard for u8 {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types uniformly samplable over a sub-range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_in(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(lo: $t, hi: $t, inclusive: bool, rng: &mut dyn FnMut() -> u64) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "empty range");
+                if span > u64::MAX as u128 {
+                    return (lo as i128 + rng() as i128) as $t;
+                }
+                (lo as i128 + (rng() % span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Ranges samplable by `rng.random_range(..)`. Blanket impls over
+/// [`SampleUniform`] (like upstream) so integer-literal ranges unify with
+/// the caller's expected type.
+pub trait SampleRange<T> {
+    /// Draw a value in the range. Panics on empty ranges.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        T::sample_in(self.start, self.end, false, &mut || rng.next_u64())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_in(lo, hi, true, &mut || rng.next_u64())
+    }
+}
+
+/// High-level sampling methods (auto-implemented for any `RngCore`).
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T`.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// A uniformly random value in `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::draw(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// The standard seeded generator (SplitMix64 here).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// A process-global random value (seeded from the clock once, then
+/// sequenced by an atomic counter — unique across calls, unlike a pure
+/// clock read).
+pub fn random<T: Standard>() -> T {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let base = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut rng = StdRng::seed_from_u64(base ^ n.rotate_left(32));
+    T::draw(&mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(1u64..=u64::MAX);
+            assert!(w >= 1);
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn global_random_values_differ() {
+        let a: u64 = random();
+        let b: u64 = random();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stub of the `serde` facade: trait names for bounds plus the
+//! no-op derive macros. See `vendor/README.md` for scope and caveats.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`. Blanket-implemented so
+/// `T: Serialize` bounds are always satisfied (the no-op derive emits no
+/// impls).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Owned-deserialization marker.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for offline builds.
+//!
+//! Nothing in this repository serializes through serde (all persistence
+//! and report formats are hand-rolled), so deriving nothing is sound.
+//! The `serde` helper attribute is registered so `#[serde(...)]`
+//! annotations, should they appear, do not fail to resolve.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
