@@ -21,6 +21,7 @@ use miniraid_cluster::{Cluster, ClusterTiming};
 use miniraid_core::config::ProtocolConfig;
 use miniraid_core::ids::{ItemId, SiteId, TxnId};
 use miniraid_core::ops::{Operation, Transaction};
+use miniraid_obs::LatencyHistogram;
 
 /// Sites in the cluster (the paper's mini-RAID ran on 4 SUN-3s; one is
 /// the managing site, so 3 database sites).
@@ -43,6 +44,8 @@ struct SweepPoint {
     elapsed: Duration,
     /// Sorted commit latencies.
     latencies: Vec<Duration>,
+    /// Log₂-bucketed commit-latency histogram (microseconds).
+    hist: LatencyHistogram,
 }
 
 impl SweepPoint {
@@ -142,12 +145,17 @@ fn run_sweep_point(max_inflight: usize) -> SweepPoint {
     cluster.join(Duration::from_secs(5));
 
     latencies.sort();
+    let mut hist = LatencyHistogram::new();
+    for latency in &latencies {
+        hist.record(latency.as_micros() as u64);
+    }
     SweepPoint {
         max_inflight,
         committed,
         aborted,
         elapsed,
         latencies,
+        hist,
     }
 }
 
@@ -200,10 +208,22 @@ fn main() {
     json.push_str(&format!("  \"speedup_mi4_over_mi1\": {speedup:.3},\n"));
     json.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
+        // Additive vs. earlier schema: the log₂-bucketed histogram rides
+        // along as "latency_hist_us"; buckets are
+        // [bucket_upper_bound_micros, count] pairs.
+        let (h50, h90, h99, hmax) = p.hist.summary();
+        let buckets: Vec<String> = p
+            .hist
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(bucket, n)| format!("[{bucket}, {n}]"))
+            .collect();
         json.push_str(&format!(
             "    {{\"max_inflight\": {}, \"committed\": {}, \"aborted\": {}, \
              \"txns_per_sec\": {:.1}, \"abort_rate\": {:.4}, \
-             \"p50_latency_ms\": {:.2}, \"p99_latency_ms\": {:.2}}}{}\n",
+             \"p50_latency_ms\": {:.2}, \"p99_latency_ms\": {:.2}, \
+             \"latency_hist_us\": {{\"count\": {}, \"p50\": {}, \"p90\": {}, \
+             \"p99\": {}, \"max\": {}, \"mean\": {:.1}, \"buckets\": [{}]}}}}{}\n",
             p.max_inflight,
             p.committed,
             p.aborted,
@@ -211,6 +231,13 @@ fn main() {
             p.abort_rate(),
             p.percentile_ms(0.50),
             p.percentile_ms(0.99),
+            p.hist.count(),
+            h50,
+            h90,
+            h99,
+            hmax,
+            p.hist.mean(),
+            buckets.join(", "),
             if i + 1 == points.len() { "" } else { "," }
         ));
     }

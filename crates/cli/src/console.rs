@@ -123,6 +123,8 @@ fn parse_op(word: &str) -> Result<Operation, String> {
 /// The console session: a managing site over the simulator.
 pub struct Console {
     manager: Manager<UniformGen>,
+    /// Per-site latency hubs fed by the engines' protocol tracers.
+    hubs: Vec<std::sync::Arc<miniraid_obs::MetricsHub>>,
     next_manual_txn: u64,
     n_sites: u8,
     db_size: u32,
@@ -140,10 +142,12 @@ impl Console {
         let mut config = SimConfig::paper(protocol);
         config.cost = CostModel::paper_1987();
         config.processor = ProcessorModel::PerSite;
-        let sim = Simulation::new(config);
+        let mut sim = Simulation::new(config);
+        let hubs = sim.enable_protocol_obs(|_| None);
         let manager = Manager::new(sim, UniformGen::new(seed, db_size, max_txn));
         Console {
             manager,
+            hubs,
             next_manual_txn: 1_000_000, // keep manual ids clear of generated ones
             n_sites,
             db_size,
@@ -271,11 +275,20 @@ impl Console {
                         counts[s as usize],
                         m.txns_coordinated,
                         m.txns_committed,
-                        m.txns_aborted,
+                        m.txns_aborted(),
                         m.copier_requests,
                         m.control_type1,
                         m.control_type2,
                     );
+                    if m.aborts.total() > 0 {
+                        let breakdown: Vec<String> = m
+                            .aborts
+                            .nonzero()
+                            .into_iter()
+                            .map(|(label, n)| format!("{label} {n}"))
+                            .collect();
+                        let _ = writeln!(out, "        aborts: {}", breakdown.join(", "));
+                    }
                     let _ = writeln!(
                         out,
                         "        pipeline: in-flight high-water {} | lock waits {} | immediate grants {} | batched msgs/frame {:.1}",
@@ -283,6 +296,18 @@ impl Console {
                         m.lock_waits,
                         m.lock_grants_immediate,
                         m.batched_messages_per_frame(),
+                    );
+                    let snap = self.hubs[s as usize].snapshot();
+                    let (commit_p50, _, commit_p99, _) = snap.commit_latency.summary();
+                    let (_, _, wait_p99, _) = snap.lock_wait.summary();
+                    let _ = writeln!(
+                        out,
+                        "        latency: commit p50 {:.1} ms p99 {:.1} ms (n={}) | lock-wait p99 {:.1} ms (n={})",
+                        commit_p50 as f64 / 1000.0,
+                        commit_p99 as f64 / 1000.0,
+                        snap.commit_latency.count(),
+                        wait_p99 as f64 / 1000.0,
+                        snap.lock_wait.count(),
                     );
                 }
                 let _ = writeln!(
@@ -422,6 +447,41 @@ mod tests {
         assert!(out.contains("no such site"));
         let (out, _) = console.execute(CliCommand::Txn(0, vec![Operation::Read(ItemId(999))]));
         assert!(out.contains("outside database"));
+    }
+
+    #[test]
+    fn status_shows_latency_histograms_and_abort_breakdown() {
+        let mut console = Console::new(2, 20, 5, 7);
+        console.execute(CliCommand::Run(8, None));
+        let (out, _) = console.execute(CliCommand::Status);
+        assert!(
+            out.contains("latency: commit p50"),
+            "status must render commit-latency quantiles: {out}"
+        );
+        assert!(
+            out.contains("| lock-wait p99"),
+            "status must render lock-wait p99: {out}"
+        );
+        // Commits happened, so the histogram is populated.
+        let commit_line = out
+            .lines()
+            .find(|l| l.contains("latency: commit p50"))
+            .expect("latency line");
+        assert!(
+            !commit_line.contains("(n=0) |"),
+            "commit histogram must have samples after a workload: {out}"
+        );
+
+        // Force an abort (crash, then write detects the dead participant)
+        // and check the per-reason breakdown line appears.
+        console.execute(CliCommand::Crash(0));
+        let (out, _) = console.execute(CliCommand::Txn(1, vec![Operation::Write(ItemId(0), 1)]));
+        assert!(out.contains("Aborted"), "{out}");
+        let (out, _) = console.execute(CliCommand::Status);
+        assert!(
+            out.contains("aborts: participant-failed 1"),
+            "status must break down aborts by reason: {out}"
+        );
     }
 
     #[test]

@@ -5,8 +5,15 @@
 //! miniraid-ctl <n_sites> <base_port> txn <site> <op>...   # r<item> / w<item>=<value>
 //! miniraid-ctl <n_sites> <base_port> fail <site>
 //! miniraid-ctl <n_sites> <base_port> recover <site>
+//! miniraid-ctl <n_sites> <base_port> metrics <site>       # Prometheus-style text
 //! miniraid-ctl <n_sites> <base_port> terminate
+//! miniraid-ctl trace <file.jsonl>                         # offline trace analysis
 //! ```
+//!
+//! `trace` is offline: it replays a JSONL trace (written by a site run
+//! with `MINIRAID_TRACE=<path>`, or by `trace-smoke`) into a
+//! per-transaction phase breakdown, a critical-path summary, and an
+//! ASCII commit-latency chart. It takes no cluster coordinates.
 
 use std::time::Duration;
 
@@ -18,9 +25,15 @@ use miniraid_net::tcp::{AddressPlan, TcpEndpoint};
 const WAIT: Duration = Duration::from_secs(10);
 
 fn main() {
-    let usage = "usage: miniraid-ctl <n_sites> <base_port> <txn|fail|recover|terminate> ...";
+    let usage = "usage: miniraid-ctl <n_sites> <base_port> <txn|fail|recover|metrics|terminate> ...\n       miniraid-ctl trace <file.jsonl>";
     let mut args = std::env::args().skip(1);
-    let n_sites: u8 = args.next().and_then(|s| s.parse().ok()).expect(usage);
+    let first = args.next().expect(usage);
+    if first == "trace" {
+        let path = args.next().expect(usage);
+        print!("{}", trace_report(&path).unwrap_or_else(|e| panic!("{e}")));
+        return;
+    }
+    let n_sites: u8 = first.parse().expect(usage);
     let base_port: u16 = args.next().and_then(|s| s.parse().ok()).expect(usage);
     let command = args.next().expect(usage);
 
@@ -58,12 +71,37 @@ fn main() {
             let session = client.recover(SiteId(site), WAIT).expect("recovery");
             println!("site {site} operational in session {session}");
         }
+        "metrics" => {
+            let site: u8 = args.next().and_then(|s| s.parse().ok()).expect(usage);
+            let text = client
+                .fetch_metrics(SiteId(site), WAIT)
+                .expect("metrics response");
+            print!("{text}");
+        }
         "terminate" => {
             client.terminate_all();
             println!("sent Terminate to all {n_sites} sites");
         }
         other => panic!("unknown command '{other}'\n{usage}"),
     }
+}
+
+/// Analyze a JSONL trace file: per-transaction phase breakdown,
+/// critical-path summary, and a commit-latency-over-time ASCII chart.
+fn trace_report(path: &str) -> Result<String, String> {
+    let events = miniraid_obs::read_trace(path)?;
+    let analysis = miniraid_obs::analyze(&events);
+    let mut out = miniraid_obs::render_report(&analysis);
+    let (series, window) = miniraid_obs::analyze::latency_over_time(&analysis, 20);
+    if !series.is_empty() {
+        out.push('\n');
+        out.push_str(&miniraid_sim::report::ascii_chart(
+            &format!("commit latency over time ({} ms windows)", window / 1000),
+            &series,
+            12,
+        ));
+    }
+    Ok(out)
 }
 
 fn parse_op(word: &str) -> Option<Operation> {

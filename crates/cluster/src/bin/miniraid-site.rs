@@ -9,8 +9,14 @@
 //! Site `i` listens on `base_port + i`; the managing process
 //! (`miniraid-ctl`) uses id `n_sites` on `base_port + n_sites`. The
 //! process exits when it receives a Terminate command.
+//!
+//! Observability is always on: the site answers `miniraid-ctl metrics`
+//! scrapes with counters and latency histograms. Set
+//! `MINIRAID_TRACE=<dir>` to additionally write a JSONL protocol trace
+//! to `<dir>/site-<id>.jsonl` for offline `miniraid-ctl trace` analysis.
 
-use miniraid_cluster::site::{run_site, run_site_durable, ClusterTiming};
+use miniraid_cluster::obs::SiteObs;
+use miniraid_cluster::site::{run_site_full, ClusterTiming};
 use miniraid_core::config::{ProtocolConfig, TwoStepRecovery};
 use miniraid_core::engine::SiteEngine;
 use miniraid_core::ids::SiteId;
@@ -34,59 +40,59 @@ fn main() {
     let plan = AddressPlan { base_port };
     let (transport, mailbox) = TcpEndpoint::bind(SiteId(site_id), plan).expect("bind site port");
     let manager = SiteId(n_sites);
+    let trace_path = std::env::var_os("MINIRAID_TRACE").map(|dir| {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create trace dir");
+        dir.join(format!("site-{site_id}.jsonl"))
+    });
     eprintln!(
-        "miniraid-site {site_id}/{n_sites} listening on {} ({} items{})",
+        "miniraid-site {site_id}/{n_sites} listening on {} ({} items{}{})",
         plan.addr(SiteId(site_id)),
         db_size,
-        durable_dir.as_deref().map(|_| ", durable").unwrap_or("")
+        durable_dir.as_deref().map(|_| ", durable").unwrap_or(""),
+        trace_path
+            .as_deref()
+            .map(|p| format!(", tracing to {}", p.display()))
+            .unwrap_or_default()
     );
 
-    match durable_dir {
-        Some(dir) => {
-            config.emit_persistence = true;
-            let dir = std::path::Path::new(&dir).join(format!("site-{site_id}"));
-            let store =
-                miniraid_storage::DurableStore::open(&dir, db_size).expect("open durable store");
-            let mut engine = SiteEngine::new(SiteId(site_id), config);
-            if store.last_txn() > 0 {
-                engine.preload_db(
-                    store
-                        .mem()
-                        .iter()
-                        .filter(|(_, v)| v.version > 0)
-                        .map(|(item, v)| (miniraid_core::ids::ItemId(item), v)),
-                );
-                engine.preload_faillocks(
-                    store
-                        .faillocks()
-                        .iter()
-                        .map(|(item, word)| (miniraid_core::ids::ItemId(*item), *word)),
-                );
-                if store.session() > 0 {
-                    engine.preload_session(miniraid_core::ids::SessionNumber(store.session()));
-                }
-                // A restarted process rejoins via Recover.
-                engine.assume_failed();
+    let store = durable_dir.map(|dir| {
+        config.emit_persistence = true;
+        let dir = std::path::Path::new(&dir).join(format!("site-{site_id}"));
+        miniraid_storage::DurableStore::open(&dir, db_size).expect("open durable store")
+    });
+    let mut engine = SiteEngine::new(SiteId(site_id), config);
+    if let Some(store) = &store {
+        if store.last_txn() > 0 {
+            engine.preload_db(
+                store
+                    .mem()
+                    .iter()
+                    .filter(|(_, v)| v.version > 0)
+                    .map(|(item, v)| (miniraid_core::ids::ItemId(item), v)),
+            );
+            engine.preload_faillocks(
+                store
+                    .faillocks()
+                    .iter()
+                    .map(|(item, word)| (miniraid_core::ids::ItemId(*item), *word)),
+            );
+            if store.session() > 0 {
+                engine.preload_session(miniraid_core::ids::SessionNumber(store.session()));
             }
-            run_site_durable(
-                engine,
-                transport,
-                mailbox,
-                manager,
-                ClusterTiming::default(),
-                Some(store),
-            );
-        }
-        None => {
-            let engine = SiteEngine::new(SiteId(site_id), config);
-            run_site(
-                engine,
-                transport,
-                mailbox,
-                manager,
-                ClusterTiming::default(),
-            );
+            // A restarted process rejoins via Recover.
+            engine.assume_failed();
         }
     }
+    let obs = SiteObs::attach(&mut engine, trace_path.as_deref()).expect("open trace file");
+    run_site_full(
+        engine,
+        transport,
+        mailbox,
+        manager,
+        ClusterTiming::default(),
+        store,
+        Some(obs),
+    );
     eprintln!("miniraid-site {site_id} terminated");
 }

@@ -1,0 +1,136 @@
+//! Trace smoke test: run a short 3-site cluster scenario with JSONL
+//! tracing enabled, then validate that every emitted line parses back
+//! under the trace schema and that the analyzer produces a report.
+//!
+//! ```text
+//! trace-smoke [trace_dir]     # default: target/trace-smoke
+//! ```
+//!
+//! Exits non-zero if any trace line fails to parse or no commits were
+//! traced. CI runs this and uploads the trace directory as an artifact.
+
+use std::time::Duration;
+
+use miniraid_cluster::{Cluster, ClusterTiming};
+use miniraid_core::config::ProtocolConfig;
+use miniraid_core::ids::{ItemId, SiteId};
+use miniraid_core::messages::TxnOutcome;
+use miniraid_core::ops::{Operation, Transaction};
+
+const WAIT: Duration = Duration::from_secs(10);
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/trace-smoke".to_string());
+    let dir = std::path::PathBuf::from(dir);
+
+    let config = ProtocolConfig {
+        n_sites: 3,
+        db_size: 20,
+        max_inflight: 4,
+        ..ProtocolConfig::default()
+    };
+    let (cluster, mut client, hubs) =
+        Cluster::launch_observed(config, ClusterTiming::default(), Some(&dir))
+            .expect("launch observed cluster");
+
+    // Phase 1: all sites up.
+    let mut committed = 0u64;
+    for i in 0..20u64 {
+        let txn = Transaction::new(
+            client.next_txn_id(),
+            vec![
+                Operation::Read(ItemId((i % 20) as u32)),
+                Operation::Write(ItemId(((i + 3) % 20) as u32), i),
+            ],
+        );
+        let report = client
+            .run_txn(SiteId((i % 3) as u8), txn, WAIT)
+            .expect("transaction report");
+        if report.outcome == TxnOutcome::Committed {
+            committed += 1;
+        }
+    }
+
+    // Phase 2: fail site 2, keep updating so fail-locks accumulate, then
+    // recover it (type-1 control transaction + copier refresh).
+    client.fail(SiteId(2));
+    for i in 0..10u64 {
+        let txn = Transaction::new(
+            client.next_txn_id(),
+            vec![Operation::Write(ItemId((i % 20) as u32), 1000 + i)],
+        );
+        let report = client
+            .run_txn(SiteId((i % 2) as u8), txn, WAIT)
+            .expect("transaction report");
+        if report.outcome == TxnOutcome::Committed {
+            committed += 1;
+        }
+    }
+    let session = client.recover(SiteId(2), WAIT).expect("recovery");
+    eprintln!("site 2 recovered in session {session}");
+
+    // Phase 3: a few more transactions after recovery.
+    for i in 0..10u64 {
+        let txn = Transaction::new(
+            client.next_txn_id(),
+            vec![
+                Operation::Read(ItemId((i % 20) as u32)),
+                Operation::Write(ItemId((i % 20) as u32), 2000 + i),
+            ],
+        );
+        let report = client
+            .run_txn(SiteId((i % 3) as u8), txn, WAIT)
+            .expect("transaction report");
+        if report.outcome == TxnOutcome::Committed {
+            committed += 1;
+        }
+    }
+
+    client.terminate_all();
+    cluster.join(Duration::from_secs(5));
+    drop(hubs);
+
+    // Validate: every line of every site's trace parses under the schema.
+    let mut total_events = 0u64;
+    let mut all_events = Vec::new();
+    for i in 0..3 {
+        let path = dir.join(format!("site-{i}.jsonl"));
+        let events = miniraid_obs::read_trace(&path)
+            .unwrap_or_else(|e| panic!("trace validation failed: {e}"));
+        eprintln!(
+            "site {i}: {} events parsed from {}",
+            events.len(),
+            path.display()
+        );
+        total_events += events.len() as u64;
+        all_events.extend(events);
+    }
+
+    let analysis = miniraid_obs::analyze(&all_events);
+    print!("{}", miniraid_obs::render_report(&analysis));
+
+    let traced_commits = analysis
+        .event_counts
+        .get("commit")
+        .copied()
+        .unwrap_or_default();
+    assert!(committed > 0, "no transactions committed");
+    assert_eq!(
+        traced_commits, committed,
+        "trace commit count must match reported commits"
+    );
+    assert!(
+        analysis.event_counts.contains_key("faillocks_set"),
+        "failure phase must set fail-locks"
+    );
+    assert!(
+        analysis.event_counts.contains_key("control"),
+        "recovery must run a control transaction"
+    );
+    eprintln!(
+        "trace-smoke OK: {total_events} events, {committed} commits, traces in {}",
+        dir.display()
+    );
+}

@@ -13,12 +13,22 @@ use miniraid_net::delay::DelayTransport;
 use miniraid_net::tcp::{AddressPlan, TcpEndpoint, TcpMailbox, TcpTransport};
 
 use crate::control::ManagingClient;
-use crate::site::{run_site, ClusterTiming};
+use crate::obs::SiteObs;
+use crate::site::{run_site, run_site_full, ClusterTiming};
 
 /// A running cluster: join handles for every site thread.
 pub struct Cluster {
     handles: Vec<JoinHandle<()>>,
 }
+
+/// What [`Cluster::launch_observed`] hands back: the cluster, the
+/// managing client, and one [`miniraid_obs::MetricsHub`] per site for
+/// in-process latency/abort inspection.
+pub type ObservedCluster = (
+    Cluster,
+    ManagingClient<ChannelTransport, ChannelMailbox>,
+    Vec<std::sync::Arc<miniraid_obs::MetricsHub>>,
+);
 
 impl Cluster {
     /// Launch `config.n_sites` sites as threads over in-process channels.
@@ -59,16 +69,67 @@ impl Cluster {
         (Cluster { handles }, client)
     }
 
+    /// Launch with observability attached to every site: each engine gets
+    /// a tracer feeding a per-site [`miniraid_obs::MetricsHub`] (returned
+    /// for in-process inspection), and — when `trace_dir` is given — a
+    /// JSONL trace file `trace_dir/site-<i>.jsonl`. Sites launched this
+    /// way answer metrics scrapes with latency histograms included.
+    pub fn launch_observed(
+        config: ProtocolConfig,
+        timing: ClusterTiming,
+        trace_dir: Option<&std::path::Path>,
+    ) -> std::io::Result<ObservedCluster> {
+        let n = config.n_sites;
+        let manager_id = SiteId(n);
+        let mut endpoints = ChannelNetwork::new(n as usize + 1);
+        let (mgr_transport, mgr_mailbox) = endpoints.pop().expect("manager endpoint");
+
+        if let Some(dir) = trace_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut handles = Vec::with_capacity(n as usize);
+        let mut hubs = Vec::with_capacity(n as usize);
+        for (i, (transport, mailbox)) in endpoints.into_iter().enumerate() {
+            let mut engine = SiteEngine::new(SiteId(i as u8), config.clone());
+            let trace_path = trace_dir.map(|d| d.join(format!("site-{i}.jsonl")));
+            let obs = SiteObs::attach(&mut engine, trace_path.as_deref())?;
+            hubs.push(obs.hub().clone());
+            let handle = std::thread::Builder::new()
+                .name(format!("miniraid-site-{i}"))
+                .spawn(move || {
+                    run_site_full(
+                        engine,
+                        transport,
+                        mailbox,
+                        manager_id,
+                        timing,
+                        None,
+                        Some(obs),
+                    )
+                })
+                .expect("spawn site thread");
+            handles.push(handle);
+        }
+        let client = ManagingClient::new(mgr_transport, mgr_mailbox, n);
+        Ok((Cluster { handles }, client, hubs))
+    }
+
     /// Launch over in-process channels with a fixed per-send latency on
     /// every site's transport (the manager's sends stay immediate), like
     /// the paper's measured 9 ms intersite communication cost. Used by
     /// the throughput benchmark, where intersite latency is what makes
     /// pipelining overlap measurable.
+    ///
+    /// Every engine gets a null-sink tracer: the benchmark measures the
+    /// full event-emission path (clock stamp + dynamic dispatch into a
+    /// sink that discards), so its numbers bound the tracing overhead a
+    /// real deployment pays.
     pub fn launch_with_latency(
         config: ProtocolConfig,
         timing: ClusterTiming,
         latency: Duration,
     ) -> (Cluster, ManagingClient<ChannelTransport, ChannelMailbox>) {
+        use miniraid_core::trace::{SystemClock, Tracer};
         let n = config.n_sites;
         let manager_id = SiteId(n);
         let mut endpoints = ChannelNetwork::new(n as usize + 1);
@@ -76,7 +137,12 @@ impl Cluster {
 
         let mut handles = Vec::with_capacity(n as usize);
         for (i, (transport, mailbox)) in endpoints.into_iter().enumerate() {
-            let engine = SiteEngine::new(SiteId(i as u8), config.clone());
+            let mut engine = SiteEngine::new(SiteId(i as u8), config.clone());
+            engine.set_tracer(Tracer::new(
+                SiteId(i as u8),
+                std::sync::Arc::new(SystemClock::new()),
+                std::sync::Arc::new(miniraid_obs::NullSink),
+            ));
             let transport = DelayTransport::new(transport, latency);
             let handle = std::thread::Builder::new()
                 .name(format!("miniraid-site-{i}"))

@@ -158,6 +158,21 @@ impl<T: Transport, M: Mailbox> ManagingClient<T, M> {
         reports
     }
 
+    /// Fetch the Prometheus-style metrics exposition text from a site.
+    /// Sites answer even while "down" — the observer sits outside the
+    /// failure model, like the paper's measurement harness.
+    pub fn fetch_metrics(
+        &mut self,
+        site: SiteId,
+        deadline: Duration,
+    ) -> Result<String, ControlError> {
+        let _ = self.transport.send(site, &Message::MetricsRequest);
+        self.wait_for(deadline, "metrics response", |msg| match msg {
+            Message::MetricsResponse { text } => Some(text.clone()),
+            _ => None,
+        })
+    }
+
     /// Terminate every site (clean shutdown).
     pub fn terminate_all(&mut self) {
         for i in 0..self.n_sites {

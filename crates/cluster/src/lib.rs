@@ -11,8 +11,10 @@
 
 pub mod cluster;
 pub mod control;
+pub mod obs;
 pub mod site;
 
 pub use cluster::Cluster;
 pub use control::{ControlError, ManagingClient};
+pub use obs::SiteObs;
 pub use site::ClusterTiming;

@@ -12,6 +12,8 @@ use miniraid_core::session::SiteStatus;
 use miniraid_net::{Mailbox, RecvError, Transport};
 use miniraid_storage::DurableStore;
 
+use crate::obs::{render_plain, SiteObs};
+
 /// Real-time timer durations for a threaded deployment. Participant
 /// timeouts exceed coordinator timeouts (see the simulator's
 /// `TimingConfig` for the rationale).
@@ -88,7 +90,7 @@ pub fn run_site<T: Transport, M: Mailbox>(
     manager: SiteId,
     timing: ClusterTiming,
 ) {
-    run_site_durable(engine, transport, mailbox, manager, timing, None)
+    run_site_full(engine, transport, mailbox, manager, timing, None, None)
 }
 
 /// Like [`run_site`], with an optional WAL-backed durable store: every
@@ -96,16 +98,45 @@ pub fn run_site<T: Transport, M: Mailbox>(
 /// so a restarted process can preload the committed image (see
 /// `Cluster::launch_durable`).
 pub fn run_site_durable<T: Transport, M: Mailbox>(
+    engine: SiteEngine,
+    transport: T,
+    mailbox: M,
+    manager: SiteId,
+    timing: ClusterTiming,
+    store: Option<DurableStore>,
+) {
+    run_site_full(engine, transport, mailbox, manager, timing, store, None)
+}
+
+/// Full-featured site loop: optional durable store, optional
+/// observability ([`SiteObs`]). When observability is attached the site
+/// answers [`Message::MetricsRequest`] with a Prometheus-style text
+/// exposition of its counters and latency histograms; without it, with
+/// counters only. Metrics requests are answered even while the site is
+/// "down" — the observer is outside the failure model, like the paper's
+/// measurement harness.
+pub fn run_site_full<T: Transport, M: Mailbox>(
     mut engine: SiteEngine,
     transport: T,
     mailbox: M,
     manager: SiteId,
     timing: ClusterTiming,
     mut store: Option<DurableStore>,
+    obs: Option<SiteObs>,
 ) {
     let mut timers: BinaryHeap<Reverse<Armed>> = BinaryHeap::new();
     let mut timer_seq = 0u64;
     let mut out: Vec<Output> = Vec::new();
+
+    // Serve a metrics scrape without touching the engine state machine:
+    // the reply goes straight out on the transport.
+    let serve_metrics = |engine: &SiteEngine, from: SiteId| {
+        let text = match &obs {
+            Some(obs) => obs.render(engine),
+            None => render_plain(engine),
+        };
+        let _ = transport.send(from, &Message::MetricsResponse { text });
+    };
 
     loop {
         // Wait until the next timer deadline (or a polling default).
@@ -122,9 +153,14 @@ pub fn run_site_durable<T: Transport, M: Mailbox>(
         match mailbox.recv_timeout(wait) {
             Ok((from, msg)) => {
                 drained = true;
-                engine.handle(Input::Deliver { from, msg }, &mut out);
+                if matches!(msg, Message::MetricsRequest) {
+                    serve_metrics(&engine, from);
+                } else {
+                    engine.handle(Input::Deliver { from, msg }, &mut out);
+                }
                 loop {
                     match mailbox.try_recv() {
+                        Ok((from, Message::MetricsRequest)) => serve_metrics(&engine, from),
                         Ok((from, msg)) => engine.handle(Input::Deliver { from, msg }, &mut out),
                         Err(RecvError::Timeout) => break,
                         Err(RecvError::Disconnected) => return,
@@ -169,6 +205,9 @@ pub fn run_site_durable<T: Transport, M: Mailbox>(
         }
 
         if engine.status() == SiteStatus::Terminating {
+            if let Some(obs) = &obs {
+                obs.flush();
+            }
             return;
         }
     }

@@ -11,6 +11,7 @@
 use crate::ids::{ItemId, SessionNumber, SiteId};
 use crate::messages::Message;
 use crate::session::{SiteRecord, SiteStatus};
+use crate::trace::EventKind;
 use miniraid_storage::ItemValue;
 
 use super::{Output, RecoveryState, RefreshMode, SiteEngine, TimerId, Work};
@@ -33,6 +34,7 @@ impl SiteEngine {
             },
         );
         self.metrics.control_type1 += 1;
+        self.tracer.emit(None, EventKind::ControlTxn { ctype: 1 });
 
         // Candidate responders: sites we last believed operational first,
         // then the rest — our vector may be stale after our down period.
@@ -51,6 +53,14 @@ impl SiteEngine {
                 SiteRecord {
                     session,
                     status: SiteStatus::Up,
+                },
+            );
+            self.tracer.emit(
+                None,
+                EventKind::SessionChange {
+                    site: me,
+                    session,
+                    up: true,
                 },
             );
             out.push(Output::BecameOperational { session });
@@ -87,6 +97,14 @@ impl SiteEngine {
         out: &mut Vec<Output>,
     ) {
         self.vector.apply_recovery_announcement(from, session);
+        self.tracer.emit(
+            None,
+            EventKind::SessionChange {
+                site: from,
+                session,
+                up: true,
+            },
+        );
         if want_state {
             // The paper measured this at 50 ms on the operational site:
             // formatting and sending session vector and fail-locks; the
@@ -144,12 +162,44 @@ impl SiteEngine {
             },
         );
         if self.config.fail_locks_enabled {
+            // The installed snapshot replaces our (stale) table wholesale;
+            // account the net bit delta so the cumulative counters keep
+            // satisfying `faillocks_set − faillocks_cleared == bits set`.
+            let before = self.faillocks.total_set() as u64;
             self.faillocks.install_snapshot(&faillocks);
+            let after = self.faillocks.total_set() as u64;
+            if after > before {
+                let delta = after - before;
+                self.metrics.faillocks_set += delta;
+                self.tracer.emit(
+                    None,
+                    EventKind::FailLocksSet {
+                        count: delta.min(u32::MAX as u64) as u32,
+                    },
+                );
+            } else if before > after {
+                let delta = before - after;
+                self.metrics.faillocks_cleared += delta;
+                self.tracer.emit(
+                    None,
+                    EventKind::FailLocksCleared {
+                        count: delta.min(u32::MAX as u64) as u32,
+                    },
+                );
+            }
         }
         // The replication map is replicated state too: adopt the
         // responder's (we missed any type-3 backup creations/retirements
         // while down).
         self.replication.install_snapshot(&holders, &backups);
+        self.tracer.emit(
+            None,
+            EventKind::SessionChange {
+                site: me,
+                session: recovery.session,
+                up: true,
+            },
+        );
         out.push(Output::BecameOperational {
             session: recovery.session,
         });
@@ -233,6 +283,17 @@ impl SiteEngine {
         }
         out.push(Output::Work(Work::FailureUpdate(newly_down.len() as u32)));
         self.metrics.control_type2 += 1;
+        self.tracer.emit(None, EventKind::ControlTxn { ctype: 2 });
+        for (site, session) in &newly_down {
+            self.tracer.emit(
+                None,
+                EventKind::SessionChange {
+                    site: *site,
+                    session: *session,
+                    up: false,
+                },
+            );
+        }
         let me = self.id();
         let peers = self.vector.operational_peers(me);
         for peer in peers {
@@ -262,6 +323,14 @@ impl SiteEngine {
             }
             if self.vector.apply_failure_announcement(site, session) {
                 changed += 1;
+                self.tracer.emit(
+                    None,
+                    EventKind::SessionChange {
+                        site,
+                        session,
+                        up: false,
+                    },
+                );
             }
         }
         if changed > 0 {
@@ -304,6 +373,7 @@ impl SiteEngine {
         }
         for (item, backup, value) in actions {
             self.metrics.control_type3 += 1;
+            self.tracer.emit(None, EventKind::ControlTxn { ctype: 3 });
             self.replication.add_holder(item, backup, true);
             self.send_unattributed(backup, Message::CreateBackup { item, value }, out);
             let me = self.id();
@@ -335,6 +405,8 @@ impl SiteEngine {
         let me = self.id();
         if self.faillocks.clear(item, me) {
             self.metrics.faillocks_cleared += 1;
+            self.tracer
+                .emit(None, EventKind::FailLocksCleared { count: 1 });
         }
         out.push(Output::Work(Work::ApplyWrites(1)));
     }

@@ -29,6 +29,7 @@ use crate::ids::{ItemId, SiteId, TxnId};
 use crate::locks::{LockMode, LockResult};
 use crate::messages::{Message, TxnOutcome, TxnReport, TxnStats};
 use crate::ops::Transaction;
+use crate::trace::EventKind;
 use miniraid_storage::ItemValue;
 
 use super::{CoordTxn, Output, SiteEngine, TimerId, Work};
@@ -95,6 +96,7 @@ impl SiteEngine {
     fn admit_transaction(&mut self, txn: Transaction, out: &mut Vec<Output>) {
         let inflight = (self.inflight_count() + 1) as u64;
         self.metrics.inflight_high_water = self.metrics.inflight_high_water.max(inflight);
+        self.tracer.emit(Some(txn.id), EventKind::TxnAdmit);
 
         let mut all_granted = true;
         for (item, mode) in lock_plan(&txn) {
@@ -116,6 +118,7 @@ impl SiteEngine {
             self.start_transaction(txn, out);
         } else {
             self.metrics.lock_waits += 1;
+            self.tracer.emit(Some(txn.id), EventKind::LockWait);
             self.lock_wait_order.push_back(txn.id);
             self.lock_waiting.insert(txn.id, txn);
         }
@@ -124,6 +127,8 @@ impl SiteEngine {
     fn start_transaction(&mut self, txn: Transaction, out: &mut Vec<Output>) {
         out.push(Output::Work(Work::TxnSetup));
         self.metrics.txns_coordinated += 1;
+        self.tracer.emit(Some(txn.id), EventKind::LockGrant);
+        self.tracer.emit(Some(txn.id), EventKind::TxnStart);
 
         let id = self.id();
         let txn_id = txn.id;
@@ -227,6 +232,8 @@ impl SiteEngine {
             let req = self.fresh_req();
             state.pending_copiers.insert(req, (target, items.clone()));
             self.req_owner.insert(req, txn_id);
+            self.tracer
+                .emit(Some(txn_id), EventKind::CopierRequest { target });
             sends.push((target, Message::CopyRequest { req, items }));
             out.push(Output::SetTimer(TimerId::CopierTimeout(req)));
         }
@@ -332,6 +339,12 @@ impl SiteEngine {
             self.finish_commit(txn_id, out);
             return;
         }
+        self.tracer.emit(
+            Some(txn_id),
+            EventKind::PreparePhase {
+                participants: participants.len().min(u8::MAX as usize) as u8,
+            },
+        );
         let state = self.coords.get_mut(&txn_id).expect("transaction in flight");
         state.participants = participants.clone();
         state.waiting = participants.clone();
@@ -373,6 +386,8 @@ impl SiteEngine {
         if state.phase != CoordPhase::WaitAcks {
             return;
         }
+        self.tracer.emit(Some(txn), EventKind::Vote { from, ok });
+        let state = self.coords.get_mut(&txn).expect("checked above");
         if !ok {
             // Session mismatch (or a not-yet-operational recovering site):
             // abort everywhere.
@@ -389,6 +404,7 @@ impl SiteEngine {
             state.phase = CoordPhase::WaitCommitAcks;
             state.waiting = state.participants.clone();
             let participants: Vec<SiteId> = state.participants.iter().copied().collect();
+            self.tracer.emit(Some(txn), EventKind::Decide);
             for peer in participants {
                 self.send_for(txn, peer, Message::Commit { txn }, out);
             }
@@ -460,6 +476,7 @@ impl SiteEngine {
         stats.faillocks_cleared += counts.cleared;
         stats.participant_failed_phase_two = state.phase2_failure;
         self.metrics.txns_committed += 1;
+        self.tracer.emit(Some(txn_id), EventKind::Commit);
         out.push(Output::Report(TxnReport {
             txn: state.txn.id,
             coordinator: self.id(),
@@ -478,7 +495,8 @@ impl SiteEngine {
         out: &mut Vec<Output>,
     ) {
         let state = self.retire(txn_id).expect("transaction in flight");
-        self.metrics.txns_aborted += 1;
+        self.metrics.aborts.record(reason);
+        self.tracer.emit(Some(txn_id), EventKind::Abort { reason });
         out.push(Output::Report(TxnReport {
             txn: state.txn.id,
             coordinator: self.id(),
@@ -497,7 +515,8 @@ impl SiteEngine {
         reason: AbortReason,
         out: &mut Vec<Output>,
     ) {
-        self.metrics.txns_aborted += 1;
+        self.metrics.aborts.record(reason);
+        self.tracer.emit(Some(txn), EventKind::Abort { reason });
         out.push(Output::Report(TxnReport {
             txn,
             coordinator: self.id(),

@@ -12,6 +12,7 @@ use crate::config::ReplicationStrategy;
 use crate::error::AbortReason;
 use crate::ids::{ItemId, ReqId, SiteId};
 use crate::messages::Message;
+use crate::trace::EventKind;
 use miniraid_storage::ItemValue;
 
 use crate::ids::TxnId;
@@ -50,6 +51,8 @@ impl SiteEngine {
         }
         out.push(Output::Work(Work::CopierService(items.len() as u32)));
         self.metrics.copy_requests_served += 1;
+        self.tracer
+            .emit(None, EventKind::CopierServe { site: from });
         self.send(from, Message::CopyResponse { req, ok, copies }, out);
     }
 
@@ -177,6 +180,10 @@ impl SiteEngine {
         out.push(Output::Work(Work::ApplyWrites(copies.len() as u32)));
         out.push(Output::Work(Work::FailLockClear(cleared)));
         self.metrics.faillocks_cleared += cleared as u64;
+        if cleared > 0 {
+            self.tracer
+                .emit(None, EventKind::FailLocksCleared { count: cleared });
+        }
         self.after_own_locks_changed(out);
         cleared
     }
@@ -221,6 +228,10 @@ impl SiteEngine {
         }
         out.push(Output::Work(Work::FailLockClear(items.len() as u32)));
         self.metrics.faillocks_cleared += cleared as u64;
+        if cleared > 0 {
+            self.tracer
+                .emit(None, EventKind::FailLocksCleared { count: cleared });
+        }
         if cleared > 0 && self.config().emit_persistence {
             let faillocks = items
                 .iter()

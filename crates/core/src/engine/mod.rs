@@ -33,6 +33,7 @@ use crate::metrics::EngineMetrics;
 use crate::ops::Transaction;
 use crate::partial::ReplicationMap;
 use crate::session::{SessionVector, SiteStatus};
+use crate::trace::{EventKind, Tracer};
 use miniraid_storage::{ItemValue, MemStore};
 
 pub use self::coordinator::CoordPhase;
@@ -227,6 +228,8 @@ pub struct SiteEngine {
     faillocks: FailLockTable,
     replication: ReplicationMap,
     metrics: EngineMetrics,
+    /// Protocol event emission handle (disabled by default).
+    pub(crate) tracer: Tracer,
 
     /// Coordinated transactions in flight, keyed by id
     /// (at most `config.max_inflight`, counting lock waiters).
@@ -276,6 +279,7 @@ impl SiteEngine {
             faillocks: FailLockTable::new(config.db_size, config.n_sites),
             replication: map,
             metrics: EngineMetrics::default(),
+            tracer: Tracer::disabled(),
             coords: HashMap::new(),
             lock_waiting: HashMap::new(),
             lock_wait_order: VecDeque::new(),
@@ -373,6 +377,19 @@ impl SiteEngine {
         &self.metrics
     }
 
+    /// Bind a protocol-event tracer (see [`crate::trace`]). The default
+    /// is [`Tracer::disabled`], which costs one branch per would-be
+    /// event.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The bound tracer (disabled unless [`SiteEngine::set_tracer`] was
+    /// called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Record a multi-message transport frame. The engine is sans-IO and
     /// cannot see coalescing, so the driving loop reports it here.
     pub fn note_batch_frame(&mut self, messages: usize) {
@@ -454,6 +471,14 @@ impl SiteEngine {
                 // transactions simply vanish with us; participants time
                 // out and announce our failure.
                 self.vector.mark_down(self.id);
+                self.tracer.emit(
+                    None,
+                    EventKind::SessionChange {
+                        site: self.id,
+                        session: self.session(),
+                        up: false,
+                    },
+                );
                 self.coords.clear();
                 self.lock_waiting.clear();
                 self.lock_wait_order.clear();
@@ -527,11 +552,14 @@ impl SiteEngine {
             Message::BackupDropped { item, site } => {
                 self.replication.remove_holder(item, site);
             }
-            // `Mgmt` is intercepted in `handle`; reports are driver business
+            // `Mgmt` is intercepted in `handle`; reports and metrics
+            // scrapes are driver business
             Message::Mgmt(_)
             | Message::MgmtReport(_)
             | Message::MgmtRecovered { .. }
-            | Message::MgmtDataRecovered { .. } => {}
+            | Message::MgmtDataRecovered { .. }
+            | Message::MetricsRequest
+            | Message::MetricsResponse { .. } => {}
         }
     }
 
@@ -689,6 +717,18 @@ impl SiteEngine {
             out.push(Output::Work(Work::FailLockMaintain(writes.len() as u32)));
             self.metrics.faillocks_set += counts.set as u64;
             self.metrics.faillocks_cleared += counts.cleared as u64;
+            if counts.set > 0 {
+                self.tracer
+                    .emit(None, EventKind::FailLocksSet { count: counts.set });
+            }
+            if counts.cleared > 0 {
+                self.tracer.emit(
+                    None,
+                    EventKind::FailLocksCleared {
+                        count: counts.cleared,
+                    },
+                );
+            }
             // A commit reaching every healthy holder may make our backup
             // copy of an item redundant (type-3 retirement, §3.2).
             let written: Vec<ItemId> = writes.iter().map(|(item, _)| *item).collect();

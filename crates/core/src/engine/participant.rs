@@ -2,6 +2,7 @@
 
 use crate::ids::{ItemId, SessionNumber, SiteId, TxnId};
 use crate::messages::Message;
+use crate::trace::EventKind;
 use miniraid_storage::ItemValue;
 
 use super::{Output, PendingTxn, SiteEngine, TimerId, Work};
@@ -31,6 +32,10 @@ impl SiteEngine {
         }
         out.push(Output::Work(Work::BufferWrites(writes.len() as u32)));
         self.metrics.txns_participated += 1;
+        self.tracer.emit(
+            Some(txn),
+            EventKind::ParticipantPrepared { coordinator: from },
+        );
         self.pending.insert(
             txn,
             PendingTxn {
@@ -49,6 +54,7 @@ impl SiteEngine {
         let Some(pending) = self.pending.remove(&txn) else {
             return; // duplicate or post-abort commit; ignore
         };
+        self.tracer.emit(Some(txn), EventKind::ParticipantCommitted);
         self.apply_commit(&pending.writes, &pending.clears, out);
         let _ = from;
         self.send(pending.coordinator, Message::CommitAck { txn }, out);

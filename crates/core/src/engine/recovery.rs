@@ -10,6 +10,7 @@ use std::collections::HashMap;
 
 use crate::ids::{ItemId, SiteId};
 use crate::messages::Message;
+use crate::trace::EventKind;
 
 use super::{Output, RefreshMode, SiteEngine, TimerId};
 
@@ -56,6 +57,7 @@ impl SiteEngine {
             let req = self.fresh_req();
             self.standalone_copiers.insert(req, (target, items.clone()));
             self.metrics.copier_requests += 1;
+            self.tracer.emit(None, EventKind::CopierRequest { target });
             self.send_unattributed(target, Message::CopyRequest { req, items }, out);
             out.push(Output::SetTimer(TimerId::CopierTimeout(req)));
         }

@@ -70,6 +70,7 @@ pub mod metrics;
 pub mod ops;
 pub mod partial;
 pub mod session;
+pub mod trace;
 
 pub use config::ProtocolConfig;
 pub use engine::SiteEngine;

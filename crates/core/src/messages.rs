@@ -246,6 +246,15 @@ pub enum Message {
         /// The recovered site's session.
         session: SessionNumber,
     },
+    /// Ask a site for its metrics exposition (management plane; answered
+    /// by the driving loop, not the engine).
+    MetricsRequest,
+    /// Prometheus-style text exposition of a site's counters and latency
+    /// histograms.
+    MetricsResponse {
+        /// The rendered exposition text.
+        text: String,
+    },
 }
 
 impl Message {
@@ -272,6 +281,8 @@ impl Message {
             Message::MgmtReport(_) => "MgmtReport",
             Message::MgmtRecovered { .. } => "MgmtRecovered",
             Message::MgmtDataRecovered { .. } => "MgmtDataRecovered",
+            Message::MetricsRequest => "MetricsRequest",
+            Message::MetricsResponse { .. } => "MetricsResponse",
         }
     }
 }
@@ -296,6 +307,8 @@ pub fn is_management(msg: &Message) -> bool {
             | Message::MgmtReport(_)
             | Message::MgmtRecovered { .. }
             | Message::MgmtDataRecovered { .. }
+            | Message::MetricsRequest
+            | Message::MetricsResponse { .. }
     )
 }
 

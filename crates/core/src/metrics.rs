@@ -2,6 +2,74 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::AbortReason;
+
+/// Aborted-transaction counts broken down by [`AbortReason`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbortBreakdown {
+    /// No operational site held an up-to-date copy of a read item.
+    pub data_unavailable: u64,
+    /// A copy request's target failed before responding.
+    pub copier_target_failed: u64,
+    /// A participant failed during phase one of two-phase commit.
+    pub participant_failed: u64,
+    /// A participant rejected the update on a session-vector mismatch.
+    pub session_mismatch: u64,
+    /// The transaction arrived at a non-operational site.
+    pub site_not_operational: u64,
+}
+
+impl AbortBreakdown {
+    /// Count one abort for `reason`.
+    pub fn record(&mut self, reason: AbortReason) {
+        *self.slot(reason) += 1;
+    }
+
+    /// The count for `reason`.
+    pub fn get(&self, reason: AbortReason) -> u64 {
+        match reason {
+            AbortReason::DataUnavailable => self.data_unavailable,
+            AbortReason::CopierTargetFailed => self.copier_target_failed,
+            AbortReason::ParticipantFailed => self.participant_failed,
+            AbortReason::SessionMismatch => self.session_mismatch,
+            AbortReason::SiteNotOperational => self.site_not_operational,
+        }
+    }
+
+    /// Total aborts across all reasons.
+    pub fn total(&self) -> u64 {
+        self.data_unavailable
+            + self.copier_target_failed
+            + self.participant_failed
+            + self.session_mismatch
+            + self.site_not_operational
+    }
+
+    /// `(short label, count)` pairs for non-zero reasons, in enum order.
+    pub fn nonzero(&self) -> Vec<(&'static str, u64)> {
+        [
+            ("data-unavail", self.data_unavailable),
+            ("copier-failed", self.copier_target_failed),
+            ("participant-failed", self.participant_failed),
+            ("session-mismatch", self.session_mismatch),
+            ("site-down", self.site_not_operational),
+        ]
+        .into_iter()
+        .filter(|(_, n)| *n > 0)
+        .collect()
+    }
+
+    fn slot(&mut self, reason: AbortReason) -> &mut u64 {
+        match reason {
+            AbortReason::DataUnavailable => &mut self.data_unavailable,
+            AbortReason::CopierTargetFailed => &mut self.copier_target_failed,
+            AbortReason::ParticipantFailed => &mut self.participant_failed,
+            AbortReason::SessionMismatch => &mut self.session_mismatch,
+            AbortReason::SiteNotOperational => &mut self.site_not_operational,
+        }
+    }
+}
+
 /// Cumulative counters maintained by a [`crate::engine::SiteEngine`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineMetrics {
@@ -13,8 +81,8 @@ pub struct EngineMetrics {
     pub txns_coordinated: u64,
     /// ... of which committed.
     pub txns_committed: u64,
-    /// ... of which aborted.
-    pub txns_aborted: u64,
+    /// ... of which aborted, broken down by reason.
+    pub aborts: AbortBreakdown,
     /// Transactions this site participated in (phase one entered).
     pub txns_participated: u64,
     /// Fail-lock bits set by this site's maintenance.
@@ -51,6 +119,11 @@ pub struct EngineMetrics {
 }
 
 impl EngineMetrics {
+    /// Total transactions aborted (all reasons).
+    pub fn txns_aborted(&self) -> u64 {
+        self.aborts.total()
+    }
+
     /// Mean messages per multi-message frame, or 0.0 if none were sent.
     pub fn batched_messages_per_frame(&self) -> f64 {
         if self.batch_frames_sent == 0 {
@@ -70,5 +143,21 @@ mod tests {
         let m = EngineMetrics::default();
         assert_eq!(m.msgs_sent, 0);
         assert_eq!(m.control_type1, 0);
+        assert_eq!(m.txns_aborted(), 0);
+    }
+
+    #[test]
+    fn abort_breakdown_totals() {
+        let mut b = AbortBreakdown::default();
+        b.record(AbortReason::DataUnavailable);
+        b.record(AbortReason::DataUnavailable);
+        b.record(AbortReason::SessionMismatch);
+        assert_eq!(b.total(), 3);
+        assert_eq!(b.get(AbortReason::DataUnavailable), 2);
+        assert_eq!(b.get(AbortReason::ParticipantFailed), 0);
+        assert_eq!(
+            b.nonzero(),
+            vec![("data-unavail", 2), ("session-mismatch", 1)]
+        );
     }
 }

@@ -1,0 +1,314 @@
+//! Structured protocol tracing: typed events emitted by the engine.
+//!
+//! The paper's contribution is *experimental analysis* — it measures
+//! fail-lock accumulation, copier work, and per-transaction commit
+//! behaviour across failure/recovery schedules. Cumulative counters
+//! ([`crate::metrics::EngineMetrics`]) cannot answer questions like
+//! "which 2PC phase stalls during recovery?", so the engine additionally
+//! emits a stream of typed [`TraceEvent`]s at every protocol milestone.
+//!
+//! The engine stays sans-IO: it holds a [`Tracer`] handle whose clock
+//! and sink are both injected by the driver. The simulator injects a
+//! virtual clock (traces are bit-deterministic across runs); the
+//! threaded cluster injects the system clock. The default tracer is
+//! disabled — a single branch on an `Option` — so untraced deployments
+//! pay essentially nothing.
+//!
+//! Sinks (ring buffers, JSONL writers, histogram hubs) live in the
+//! `miniraid-obs` crate; only the minimal emission contract lives here
+//! so the engine crate has no new dependencies.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::AbortReason;
+use crate::ids::{SessionNumber, SiteId, TxnId};
+
+/// A point in time as seen by the injected [`TraceClock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stamp {
+    /// Strictly increasing per-clock sequence number: a total order over
+    /// the events of one site even when wall time ties.
+    pub logical: u64,
+    /// Wall-clock microseconds. Virtual time under the simulator
+    /// (deterministic); microseconds since the UNIX epoch on a live
+    /// cluster.
+    pub wall_micros: u64,
+}
+
+/// Source of [`Stamp`]s, injected by the driver.
+pub trait TraceClock: Send + Sync {
+    /// Produce the stamp for an event being emitted now.
+    fn stamp(&self) -> Stamp;
+}
+
+/// A [`TraceClock`] whose wall reading is set manually by the driver —
+/// the simulator points it at virtual time before each engine step, so
+/// traces are identical across runs of the same seed.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    wall: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock starting at wall reading zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the wall reading (virtual microseconds) for subsequent stamps.
+    pub fn set_wall(&self, micros: u64) {
+        self.wall.store(micros, Ordering::Relaxed);
+    }
+}
+
+impl TraceClock for ManualClock {
+    fn stamp(&self) -> Stamp {
+        Stamp {
+            logical: self.seq.fetch_add(1, Ordering::Relaxed),
+            wall_micros: self.wall.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A [`TraceClock`] reading the real system clock (microseconds since
+/// the UNIX epoch), for threaded cluster deployments.
+#[derive(Debug, Default)]
+pub struct SystemClock {
+    seq: AtomicU64,
+}
+
+impl SystemClock {
+    /// A fresh system clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceClock for SystemClock {
+    fn stamp(&self) -> Stamp {
+        let wall_micros = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        Stamp {
+            logical: self.seq.fetch_add(1, Ordering::Relaxed),
+            wall_micros,
+        }
+    }
+}
+
+/// What happened. Every variant has a fixed-size payload so
+/// [`TraceEvent`] is `Copy` and fits a lock-free ring slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A transaction entered the in-flight window (predeclared lock
+    /// acquisition begins).
+    TxnAdmit,
+    /// Admission found a predeclared lock held by an earlier in-flight
+    /// transaction; the transaction parks.
+    LockWait,
+    /// Every predeclared lock is held; execution begins.
+    LockGrant,
+    /// Coordinator setup complete (counted in `txns_coordinated`).
+    TxnStart,
+    /// Phase one begun: `CopyUpdate` sent to `participants` sites.
+    PreparePhase {
+        /// Number of participating sites.
+        participants: u8,
+    },
+    /// A phase-one vote (`UpdateAck`) arrived.
+    Vote {
+        /// The voting participant.
+        from: SiteId,
+        /// Its verdict.
+        ok: bool,
+    },
+    /// All votes in: the coordinator decided commit and entered phase
+    /// two.
+    Decide,
+    /// The transaction committed (local apply done, report emitted).
+    Commit,
+    /// The transaction aborted.
+    Abort {
+        /// Why.
+        reason: AbortReason,
+    },
+    /// Participant buffered phase-one writes and voted yes.
+    ParticipantPrepared {
+        /// The coordinating site.
+        coordinator: SiteId,
+    },
+    /// Participant applied the commit.
+    ParticipantCommitted,
+    /// A copier transaction (copy request) was issued to `target`.
+    CopierRequest {
+        /// The site asked for up-to-date copies.
+        target: SiteId,
+    },
+    /// A copy request from `site` was served.
+    CopierServe {
+        /// The recovering requester.
+        site: SiteId,
+    },
+    /// Commit-time maintenance or a snapshot install set fail-lock bits.
+    FailLocksSet {
+        /// Bits newly set.
+        count: u32,
+    },
+    /// Refresh, clear messages, or maintenance cleared fail-lock bits.
+    FailLocksCleared {
+        /// Bits cleared.
+        count: u32,
+    },
+    /// A control transaction was initiated by this site.
+    ControlTxn {
+        /// 1 = recovery announce, 2 = failure announce, 3 = backup copy.
+        ctype: u8,
+    },
+    /// The local session vector changed for `site`.
+    SessionChange {
+        /// The site whose record changed.
+        site: SiteId,
+        /// Its (perceived) session number.
+        session: SessionNumber,
+        /// Whether the site is now considered operational.
+        up: bool,
+    },
+}
+
+impl EventKind {
+    /// Stable short name, used as the `t` field of JSONL traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::TxnAdmit => "txn_admit",
+            EventKind::LockWait => "lock_wait",
+            EventKind::LockGrant => "lock_grant",
+            EventKind::TxnStart => "txn_start",
+            EventKind::PreparePhase { .. } => "prepare",
+            EventKind::Vote { .. } => "vote",
+            EventKind::Decide => "decide",
+            EventKind::Commit => "commit",
+            EventKind::Abort { .. } => "abort",
+            EventKind::ParticipantPrepared { .. } => "part_prepared",
+            EventKind::ParticipantCommitted => "part_committed",
+            EventKind::CopierRequest { .. } => "copier_req",
+            EventKind::CopierServe { .. } => "copier_serve",
+            EventKind::FailLocksSet { .. } => "faillocks_set",
+            EventKind::FailLocksCleared { .. } => "faillocks_cleared",
+            EventKind::ControlTxn { .. } => "control",
+            EventKind::SessionChange { .. } => "session",
+        }
+    }
+}
+
+/// One emitted protocol event: who, when, what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The emitting site.
+    pub site: SiteId,
+    /// The transaction the event belongs to, if any.
+    pub txn: Option<TxnId>,
+    /// When it happened.
+    pub at: Stamp,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Where events go. Implementations must be cheap and non-blocking
+/// enough to call from the engine's hot path.
+pub trait TraceSink: Send + Sync {
+    /// Record one event. Must not panic.
+    fn record(&self, event: TraceEvent);
+}
+
+struct TracerInner {
+    site: SiteId,
+    clock: Arc<dyn TraceClock>,
+    sink: Arc<dyn TraceSink>,
+}
+
+/// The engine's emission handle: either disabled (the default — one
+/// branch per would-be event) or bound to a clock and a sink.
+#[derive(Clone, Default)]
+pub struct Tracer(Option<Arc<TracerInner>>);
+
+impl Tracer {
+    /// The no-op tracer every engine starts with.
+    pub fn disabled() -> Self {
+        Tracer(None)
+    }
+
+    /// A tracer stamping events for `site` with `clock` and delivering
+    /// them to `sink`.
+    pub fn new(site: SiteId, clock: Arc<dyn TraceClock>, sink: Arc<dyn TraceSink>) -> Self {
+        Tracer(Some(Arc::new(TracerInner { site, clock, sink })))
+    }
+
+    /// Is this tracer bound to a sink?
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Emit one event (no-op when disabled).
+    #[inline]
+    pub fn emit(&self, txn: Option<TxnId>, kind: EventKind) {
+        if let Some(inner) = &self.0 {
+            inner.sink.record(TraceEvent {
+                site: inner.site,
+                txn,
+                at: inner.clock.stamp(),
+                kind,
+            });
+        }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(inner) => write!(f, "Tracer(site {})", inner.site.0),
+            None => f.write_str("Tracer(disabled)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct Collect(Mutex<Vec<TraceEvent>>);
+    impl TraceSink for Collect {
+        fn record(&self, event: TraceEvent) {
+            self.0.lock().unwrap().push(event);
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_is_noop() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit(Some(TxnId(1)), EventKind::Commit);
+    }
+
+    #[test]
+    fn manual_clock_orders_events() {
+        let clock = Arc::new(ManualClock::new());
+        let sink = Arc::new(Collect(Mutex::new(Vec::new())));
+        let tracer = Tracer::new(SiteId(2), clock.clone(), sink.clone());
+        clock.set_wall(500);
+        tracer.emit(Some(TxnId(7)), EventKind::TxnAdmit);
+        clock.set_wall(900);
+        tracer.emit(Some(TxnId(7)), EventKind::Commit);
+        let events = sink.0.lock().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].site, SiteId(2));
+        assert_eq!(events[0].at.wall_micros, 500);
+        assert_eq!(events[1].at.wall_micros, 900);
+        assert!(events[0].at.logical < events[1].at.logical);
+        assert_eq!(events[1].kind.name(), "commit");
+    }
+}

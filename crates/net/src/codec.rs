@@ -39,6 +39,8 @@ const TAG_MGMT_RECOVERED: u8 = 19;
 const TAG_MGMT_DATA_RECOVERED: u8 = 20;
 /// A batch of messages coalesced into one frame by the transports.
 const TAG_MSG_BATCH: u8 = 21;
+const TAG_METRICS_REQUEST: u8 = 22;
+const TAG_METRICS_RESPONSE: u8 = 23;
 
 fn err(reason: &'static str) -> NetError {
     NetError::Codec(reason)
@@ -390,6 +392,14 @@ pub fn encode_into(buf: &mut BytesMut, msg: &Message) {
             buf.put_u8(TAG_MGMT_DATA_RECOVERED);
             buf.put_u64_le(session.0);
         }
+        Message::MetricsRequest => {
+            buf.put_u8(TAG_METRICS_REQUEST);
+        }
+        Message::MetricsResponse { text } => {
+            buf.put_u8(TAG_METRICS_RESPONSE);
+            put_len(buf, text.len());
+            buf.put_slice(text.as_bytes());
+        }
     }
 }
 
@@ -611,6 +621,16 @@ pub fn decode(mut buf: &[u8]) -> Result<Message, NetError> {
                 session: SessionNumber(buf.get_u64_le()),
             }
         }
+        TAG_METRICS_REQUEST => Message::MetricsRequest,
+        TAG_METRICS_RESPONSE => {
+            let len = get_len(&mut buf, 1 << 24)?;
+            need(&buf, len)?;
+            let text = std::str::from_utf8(&buf[..len])
+                .map_err(|_| err("metrics text not utf8"))?
+                .to_owned();
+            buf.advance(len);
+            Message::MetricsResponse { text }
+        }
         _ => return Err(err("unknown message tag")),
     };
     if buf.has_remaining() {
@@ -722,6 +742,10 @@ mod tests {
             Message::MgmtReport(report),
             Message::MgmtRecovered {
                 session: SessionNumber(7),
+            },
+            Message::MetricsRequest,
+            Message::MetricsResponse {
+                text: "# TYPE miniraid_txns_committed counter\n".to_owned(),
             },
         ];
         for msg in msgs {

@@ -131,9 +131,35 @@ impl TcpTransport {
         }
         TcpStream::connect_timeout(&addr, Duration::from_millis(200))
     }
+
+    /// One fast connect attempt, for replacing a cached connection whose
+    /// peer went away. No retry loop: the peer was demonstrably up
+    /// before, so refusal means it is down now, and blocking the site
+    /// loop in retries would delay protocol messages to live peers past
+    /// their failure-detection timeouts.
+    fn reconnect(&self, to: SiteId) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&self.plan.addr(to), Duration::from_millis(200))?;
+        stream.set_nodelay(true).ok();
+        Ok(stream)
+    }
 }
 
 impl TcpTransport {
+    /// Whether a cached outbound stream's peer has gone away (sent FIN or
+    /// reset). `WouldBlock` is the live-and-idle case.
+    fn cached_is_dead(stream: &TcpStream) -> bool {
+        let mut probe = [0u8; 1];
+        stream.set_nonblocking(true).ok();
+        let dead = match stream.peek(&mut probe) {
+            Ok(0) => true,
+            Ok(_) => false,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+            Err(_) => true,
+        };
+        stream.set_nonblocking(false).ok();
+        dead
+    }
+
     /// Write a complete frame, trying the cached connection first.
     ///
     /// A dead peer is a detectable-by-timeout site failure, not a sender
@@ -142,13 +168,34 @@ impl TcpTransport {
     /// simply does not respond).
     fn write_frame(&self, to: SiteId, frame: &[u8]) -> Result<(), NetError> {
         let mut conns = self.conns.lock();
+        let mut had_cached = false;
         if let Some(stream) = conns.get_mut(&to) {
-            if stream.write_all(frame).is_ok() {
+            // A cached stream to a peer process that exited still accepts
+            // writes (the kernel buffers the frame past the peer's FIN),
+            // silently losing the message. Outbound streams never carry
+            // inbound data here, so a successful zero-timeout peek means
+            // EOF or reset: drop the stream and reconnect — the peer may
+            // have rebound its port (e.g. consecutive one-shot
+            // `miniraid-ctl` invocations reusing the manager address).
+            if Self::cached_is_dead(stream) {
+                conns.remove(&to);
+                had_cached = true;
+            } else if stream.write_all(frame).is_ok() {
                 return Ok(());
+            } else {
+                conns.remove(&to);
+                had_cached = true;
             }
-            conns.remove(&to);
         }
-        match self.connect(to) {
+        // First-ever connection: retry around startup races. Replacing a
+        // dead cached connection: a single fast attempt, so a crashed
+        // peer costs one refused connect rather than a retry loop.
+        let attempt = if had_cached {
+            self.reconnect(to)
+        } else {
+            self.connect(to)
+        };
+        match attempt {
             Ok(mut stream) => {
                 if stream.write_all(frame).is_ok() {
                     conns.insert(to, stream);
@@ -234,6 +281,35 @@ mod tests {
             assert_eq!(from, SiteId(0));
             assert_eq!(msg, Message::Commit { txn: TxnId(i) });
         }
+    }
+
+    #[test]
+    fn reconnects_after_peer_rebinds() {
+        // One-shot manager processes (miniraid-ctl) bind, exchange a few
+        // messages, and exit; the next invocation rebinds the same port.
+        // The cached outbound stream at the site must not swallow frames
+        // written after the first manager exited.
+        let plan = AddressPlan {
+            base_port: 25500 + (std::process::id() % 2000) as u16,
+        };
+        let (t0, _m0) = TcpEndpoint::bind(SiteId(0), plan).unwrap();
+        {
+            // First "manager": a raw listener standing in for a process
+            // that accepts one connection and then exits (closing both
+            // the listener and the accepted socket, unlike an in-process
+            // TcpEndpoint whose accept thread lives on).
+            let listener = std::net::TcpListener::bind(plan.addr(SiteId(1))).unwrap();
+            t0.send(SiteId(1), &Message::Commit { txn: TxnId(1) })
+                .unwrap();
+            let (_conn, _) = listener.accept().unwrap();
+        } // sockets closed: t0's cached stream is now half-closed
+        std::thread::sleep(Duration::from_millis(50));
+        let (_t1, m1) = TcpEndpoint::bind(SiteId(1), plan).unwrap();
+        t0.send(SiteId(1), &Message::Commit { txn: TxnId(2) })
+            .unwrap();
+        let (from, msg) = m1.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(from, SiteId(0));
+        assert_eq!(msg, Message::Commit { txn: TxnId(2) });
     }
 
     #[test]

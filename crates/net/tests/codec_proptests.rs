@@ -187,6 +187,15 @@ fn arb_message() -> impl Strategy<Value = Message> {
         any::<u64>().prop_map(|s| Message::MgmtDataRecovered {
             session: SessionNumber(s)
         }),
+        Just(Message::MetricsRequest),
+        proptest::collection::vec(any::<u32>(), 0..64).prop_map(|codes| Message::MetricsResponse {
+            // Exercise multi-byte UTF-8 by folding arbitrary u32s onto
+            // valid scalar values.
+            text: codes
+                .into_iter()
+                .filter_map(|c| char::from_u32(c % 0x11_0000))
+                .collect(),
+        }),
     ]
 }
 

@@ -1,0 +1,433 @@
+//! Trace analysis: replay a JSONL event stream into per-transaction
+//! latency breakdowns and a critical-path summary.
+//!
+//! The phase chain follows the coordinator's milestones:
+//!
+//! ```text
+//! admit ──► locked ──► prepared ──► decided ──► done
+//!       lock       refresh+phase1  votes in   phase2+apply
+//! ```
+//!
+//! `admit→locked` is predeclared-lock acquisition, `locked→prepared`
+//! covers copier refresh, read execution and sending `CopyUpdate`,
+//! `prepared→decided` is phase one (all votes collected), and
+//! `decided→done` is phase two through the local commit apply.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use miniraid_core::error::AbortReason;
+use miniraid_core::ids::{SiteId, TxnId};
+use miniraid_core::trace::{EventKind, TraceEvent};
+
+use crate::hist::LatencyHistogram;
+use crate::json::{parse_event, reason_name};
+
+/// How one traced transaction ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnEnd {
+    /// Committed.
+    Committed,
+    /// Aborted with the given reason.
+    Aborted(AbortReason),
+    /// The trace ended before the transaction did.
+    Unfinished,
+}
+
+/// Per-transaction phase milestones (wall microseconds) and durations.
+#[derive(Debug, Clone)]
+pub struct TxnBreakdown {
+    /// The transaction.
+    pub txn: TxnId,
+    /// Its coordinating site.
+    pub coordinator: SiteId,
+    /// Wall stamp of `TxnAdmit`.
+    pub admit_at: u64,
+    /// admit → `LockGrant` (µs), if it got that far.
+    pub lock_us: Option<u64>,
+    /// `LockGrant` → `PreparePhase` (µs): refresh + reads + prepare send.
+    pub exec_us: Option<u64>,
+    /// `PreparePhase` → `Decide` (µs): phase one.
+    pub phase1_us: Option<u64>,
+    /// `Decide` → `Commit` (µs): phase two and local apply.
+    pub phase2_us: Option<u64>,
+    /// admit → terminal event (µs), when the transaction finished.
+    pub total_us: Option<u64>,
+    /// How it ended.
+    pub end: TxnEnd,
+}
+
+/// Aggregate view of one trace.
+#[derive(Debug, Default)]
+pub struct TraceAnalysis {
+    /// Every coordinated transaction seen, in admit order.
+    pub txns: Vec<TxnBreakdown>,
+    /// Events per kind name.
+    pub event_counts: HashMap<&'static str, u64>,
+    /// Total events replayed.
+    pub total_events: u64,
+    /// Committed-transaction latency histogram (µs).
+    pub commit_latency: LatencyHistogram,
+    /// Per-phase histograms (µs): lock, exec, phase one, phase two.
+    pub phase_hists: [LatencyHistogram; 4],
+}
+
+/// Human labels for [`TraceAnalysis::phase_hists`].
+pub const PHASE_NAMES: [&str; 4] = [
+    "admit→locked",
+    "locked→prepared",
+    "prepared→decided",
+    "decided→done",
+];
+
+/// Read and parse a JSONL trace file. Every line must parse; the error
+/// names the first offending line.
+pub fn read_trace(path: impl AsRef<Path>) -> Result<Vec<TraceEvent>, String> {
+    let path = path.as_ref();
+    let file = File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let mut events = Vec::new();
+    for (idx, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("read {}: {e}", path.display()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event =
+            parse_event(&line).map_err(|e| format!("{}:{}: {e}", path.display(), idx + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Replay events (any site order; sorted internally by site's logical
+/// stamp) into per-transaction breakdowns.
+pub fn analyze(events: &[TraceEvent]) -> TraceAnalysis {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.at.wall_micros, e.site.0, e.at.logical));
+
+    struct Open {
+        coordinator: SiteId,
+        admit: u64,
+        grant: Option<u64>,
+        prepare: Option<u64>,
+        decide: Option<u64>,
+        index: usize,
+    }
+    let mut analysis = TraceAnalysis::default();
+    // Coordinator events for the same txn id always come from one site;
+    // key by (site, txn) so participant events never collide.
+    let mut open: HashMap<(SiteId, TxnId), Open> = HashMap::new();
+
+    for event in sorted {
+        analysis.total_events += 1;
+        *analysis.event_counts.entry(event.kind.name()).or_insert(0) += 1;
+        let Some(txn) = event.txn else { continue };
+        let key = (event.site, txn);
+        let wall = event.at.wall_micros;
+        match event.kind {
+            EventKind::TxnAdmit => {
+                let index = analysis.txns.len();
+                analysis.txns.push(TxnBreakdown {
+                    txn,
+                    coordinator: event.site,
+                    admit_at: wall,
+                    lock_us: None,
+                    exec_us: None,
+                    phase1_us: None,
+                    phase2_us: None,
+                    total_us: None,
+                    end: TxnEnd::Unfinished,
+                });
+                open.insert(
+                    key,
+                    Open {
+                        coordinator: event.site,
+                        admit: wall,
+                        grant: None,
+                        prepare: None,
+                        decide: None,
+                        index,
+                    },
+                );
+            }
+            EventKind::LockGrant => {
+                if let Some(o) = open.get_mut(&key) {
+                    o.grant = Some(wall);
+                    let lock = wall.saturating_sub(o.admit);
+                    analysis.txns[o.index].lock_us = Some(lock);
+                    analysis.phase_hists[0].record(lock);
+                }
+            }
+            EventKind::PreparePhase { .. } => {
+                if let Some(o) = open.get_mut(&key) {
+                    o.prepare = Some(wall);
+                    if let Some(g) = o.grant {
+                        let exec = wall.saturating_sub(g);
+                        analysis.txns[o.index].exec_us = Some(exec);
+                        analysis.phase_hists[1].record(exec);
+                    }
+                }
+            }
+            EventKind::Decide => {
+                if let Some(o) = open.get_mut(&key) {
+                    o.decide = Some(wall);
+                    if let Some(p) = o.prepare {
+                        let phase1 = wall.saturating_sub(p);
+                        analysis.txns[o.index].phase1_us = Some(phase1);
+                        analysis.phase_hists[2].record(phase1);
+                    }
+                }
+            }
+            EventKind::Commit => {
+                if let Some(o) = open.remove(&key) {
+                    let b = &mut analysis.txns[o.index];
+                    debug_assert_eq!(b.coordinator, o.coordinator);
+                    let total = wall.saturating_sub(o.admit);
+                    b.total_us = Some(total);
+                    b.end = TxnEnd::Committed;
+                    analysis.commit_latency.record(total);
+                    if let Some(d) = o.decide {
+                        let phase2 = wall.saturating_sub(d);
+                        b.phase2_us = Some(phase2);
+                        analysis.phase_hists[3].record(phase2);
+                    }
+                }
+            }
+            EventKind::Abort { reason } => {
+                if let Some(o) = open.remove(&key) {
+                    let b = &mut analysis.txns[o.index];
+                    b.total_us = Some(wall.saturating_sub(o.admit));
+                    b.end = TxnEnd::Aborted(reason);
+                }
+            }
+            _ => {}
+        }
+    }
+    analysis
+}
+
+/// The phase with the largest total time across committed transactions
+/// — where the protocol actually spends its wall clock.
+pub fn critical_phase(analysis: &TraceAnalysis) -> Option<(&'static str, u64)> {
+    PHASE_NAMES
+        .iter()
+        .zip(analysis.phase_hists.iter())
+        .map(|(name, h)| (*name, h.sum()))
+        .max_by_key(|(_, sum)| *sum)
+        .filter(|(_, sum)| *sum > 0)
+}
+
+/// Named chart series: `(label, [(x, y)])` pairs, the shape
+/// `miniraid_sim::report::ascii_chart` plots.
+pub type ChartSeries = Vec<(String, Vec<(u64, u32)>)>;
+
+/// Commit-latency-over-time chart series: the trace's span is cut into
+/// `slices` equal windows; each window yields `(window_index, p)` points
+/// for the p50 and p99 of commits completing in it (milliseconds).
+/// Returns `(series, window_micros)`.
+pub fn latency_over_time(analysis: &TraceAnalysis, slices: usize) -> (ChartSeries, u64) {
+    let done: Vec<(u64, u64)> = analysis
+        .txns
+        .iter()
+        .filter(|t| t.end == TxnEnd::Committed)
+        .filter_map(|t| t.total_us.map(|total| (t.admit_at + total, total)))
+        .collect();
+    if done.is_empty() || slices == 0 {
+        return (Vec::new(), 0);
+    }
+    let start = done.iter().map(|(at, _)| *at).min().unwrap_or(0);
+    let end = done.iter().map(|(at, _)| *at).max().unwrap_or(0);
+    let window = ((end - start) / slices as u64).max(1);
+    let mut per_window: Vec<LatencyHistogram> = vec![LatencyHistogram::new(); slices];
+    for (at, total) in &done {
+        let idx = (((at - start) / window) as usize).min(slices - 1);
+        per_window[idx].record(*total);
+    }
+    let mut p50 = Vec::new();
+    let mut p99 = Vec::new();
+    for (i, h) in per_window.iter().enumerate() {
+        if h.count() == 0 {
+            continue;
+        }
+        p50.push((
+            i as u64,
+            (h.quantile(0.5) / 1000).min(u32::MAX as u64) as u32,
+        ));
+        p99.push((
+            i as u64,
+            (h.quantile(0.99) / 1000).min(u32::MAX as u64) as u32,
+        ));
+    }
+    (
+        vec![
+            ("commit p50 (ms)".to_string(), p50),
+            ("commit p99 (ms)".to_string(), p99),
+        ],
+        window,
+    )
+}
+
+fn fmt_us(v: Option<u64>) -> String {
+    match v {
+        Some(us) => format!("{:.1}", us as f64 / 1000.0),
+        None => "-".to_string(),
+    }
+}
+
+/// Render the per-transaction table and critical-path summary as text.
+pub fn render_report(analysis: &TraceAnalysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} events, {} coordinated transactions",
+        analysis.total_events,
+        analysis.txns.len()
+    );
+    let _ = writeln!(
+        out,
+        "\n{:>6} {:>5} {:>10} {:>10} {:>10} {:>10} {:>10}  outcome",
+        "txn", "site", "lock ms", "exec ms", "phase1 ms", "phase2 ms", "total ms"
+    );
+    for t in &analysis.txns {
+        let outcome = match t.end {
+            TxnEnd::Committed => "committed".to_string(),
+            TxnEnd::Aborted(reason) => format!("aborted ({})", reason_name(reason)),
+            TxnEnd::Unfinished => "unfinished".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:>6} {:>5} {:>10} {:>10} {:>10} {:>10} {:>10}  {}",
+            t.txn.0,
+            t.coordinator.0,
+            fmt_us(t.lock_us),
+            fmt_us(t.exec_us),
+            fmt_us(t.phase1_us),
+            fmt_us(t.phase2_us),
+            fmt_us(t.total_us),
+            outcome
+        );
+    }
+
+    let _ = writeln!(out, "\nphase summary (committed transactions):");
+    let _ = writeln!(
+        out,
+        "{:>18} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "phase", "n", "p50 ms", "p90 ms", "p99 ms", "max ms"
+    );
+    for (name, h) in PHASE_NAMES.iter().zip(analysis.phase_hists.iter()) {
+        let (p50, p90, p99, max) = h.summary();
+        let _ = writeln!(
+            out,
+            "{:>18} {:>7} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            name,
+            h.count(),
+            p50 as f64 / 1000.0,
+            p90 as f64 / 1000.0,
+            p99 as f64 / 1000.0,
+            max as f64 / 1000.0
+        );
+    }
+    let (p50, p90, p99, max) = analysis.commit_latency.summary();
+    let _ = writeln!(
+        out,
+        "{:>18} {:>7} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+        "total (commit)",
+        analysis.commit_latency.count(),
+        p50 as f64 / 1000.0,
+        p90 as f64 / 1000.0,
+        p99 as f64 / 1000.0,
+        max as f64 / 1000.0
+    );
+    if let Some((phase, sum)) = critical_phase(analysis) {
+        let _ = writeln!(
+            out,
+            "\ncritical path: {} dominates with {:.1} ms total across commits",
+            phase,
+            sum as f64 / 1000.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miniraid_core::trace::Stamp;
+
+    fn ev(site: u8, txn: u64, wall: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            site: SiteId(site),
+            txn: Some(TxnId(txn)),
+            at: Stamp {
+                logical: wall,
+                wall_micros: wall,
+            },
+            kind,
+        }
+    }
+
+    fn committed_txn(site: u8, txn: u64, base: u64) -> Vec<TraceEvent> {
+        vec![
+            ev(site, txn, base, EventKind::TxnAdmit),
+            ev(site, txn, base + 10, EventKind::LockGrant),
+            ev(
+                site,
+                txn,
+                base + 200,
+                EventKind::PreparePhase { participants: 2 },
+            ),
+            ev(site, txn, base + 900, EventKind::Decide),
+            ev(site, txn, base + 1500, EventKind::Commit),
+        ]
+    }
+
+    #[test]
+    fn analyzer_builds_breakdowns() {
+        let mut events = committed_txn(0, 1, 1000);
+        events.extend(committed_txn(1, 2, 2000));
+        events.push(ev(0, 3, 5000, EventKind::TxnAdmit));
+        events.push(ev(
+            0,
+            3,
+            5600,
+            EventKind::Abort {
+                reason: AbortReason::DataUnavailable,
+            },
+        ));
+        let analysis = analyze(&events);
+        assert_eq!(analysis.txns.len(), 3);
+        let t1 = &analysis.txns[0];
+        assert_eq!(t1.end, TxnEnd::Committed);
+        assert_eq!(t1.lock_us, Some(10));
+        assert_eq!(t1.exec_us, Some(190));
+        assert_eq!(t1.phase1_us, Some(700));
+        assert_eq!(t1.phase2_us, Some(600));
+        assert_eq!(t1.total_us, Some(1500));
+        assert_eq!(
+            analysis.txns[2].end,
+            TxnEnd::Aborted(AbortReason::DataUnavailable)
+        );
+        assert_eq!(analysis.commit_latency.count(), 2);
+        let (phase, _) = critical_phase(&analysis).unwrap();
+        assert_eq!(phase, "prepared→decided");
+        let report = render_report(&analysis);
+        assert!(report.contains("committed"));
+        assert!(report.contains("aborted (data_unavailable)"));
+        assert!(report.contains("critical path: prepared→decided"));
+    }
+
+    #[test]
+    fn latency_series_covers_span() {
+        let mut events = Vec::new();
+        for i in 0..20u64 {
+            events.extend(committed_txn(0, i + 1, i * 10_000));
+        }
+        let analysis = analyze(&events);
+        let (series, window) = latency_over_time(&analysis, 10);
+        assert_eq!(series.len(), 2);
+        assert!(window > 0);
+        assert!(!series[0].1.is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! The metrics hub: a [`TraceSink`] that folds the event stream into
+//! latency histograms as it flows past.
+//!
+//! One hub serves one site. It tracks in-flight coordinated
+//! transactions by id and derives, from wall-clock stamps:
+//!
+//! * **commit latency** — `TxnAdmit` → `Commit`;
+//! * **lock-wait time** — `LockWait` → `LockGrant` (only transactions
+//!   that actually waited contribute);
+//! * **phase-one duration** — `PreparePhase` → `Decide` (prepare sent
+//!   until every vote is in);
+//! * **phase-two duration** — `Decide` → `Commit` (commit sent until
+//!   every commit-ack is in and the local apply finished).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use miniraid_core::ids::TxnId;
+use miniraid_core::trace::{EventKind, TraceEvent, TraceSink};
+
+use crate::hist::LatencyHistogram;
+
+/// Open-transaction table cap: a driver clearing in-flight state
+/// without abort events (site failure) must not leak entries forever.
+const MAX_OPEN: usize = 65_536;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct TxnTimes {
+    admit: u64,
+    wait_start: Option<u64>,
+    prepare: Option<u64>,
+    decide: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct HubInner {
+    open: HashMap<TxnId, TxnTimes>,
+    commit_latency: LatencyHistogram,
+    lock_wait: LatencyHistogram,
+    phase_prepare: LatencyHistogram,
+    phase_commit: LatencyHistogram,
+}
+
+/// Cloned-out histogram state of a [`MetricsHub`].
+#[derive(Debug, Default, Clone)]
+pub struct HubSnapshot {
+    /// `TxnAdmit` → `Commit` per committed transaction.
+    pub commit_latency: LatencyHistogram,
+    /// `LockWait` → `LockGrant` per transaction that waited.
+    pub lock_wait: LatencyHistogram,
+    /// 2PC phase one: `PreparePhase` → `Decide`.
+    pub phase_prepare: LatencyHistogram,
+    /// 2PC phase two: `Decide` → `Commit`.
+    pub phase_commit: LatencyHistogram,
+}
+
+impl HubSnapshot {
+    /// Merge another snapshot (e.g. a peer site's) into this one.
+    pub fn merge(&mut self, other: &HubSnapshot) {
+        self.commit_latency.merge(&other.commit_latency);
+        self.lock_wait.merge(&other.lock_wait);
+        self.phase_prepare.merge(&other.phase_prepare);
+        self.phase_commit.merge(&other.phase_commit);
+    }
+}
+
+/// Derives latency histograms from one site's event stream.
+#[derive(Debug, Default)]
+pub struct MetricsHub {
+    inner: Mutex<HubInner>,
+}
+
+impl MetricsHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clone out the current histograms.
+    pub fn snapshot(&self) -> HubSnapshot {
+        let inner = self.inner.lock().expect("metrics hub poisoned");
+        HubSnapshot {
+            commit_latency: inner.commit_latency.clone(),
+            lock_wait: inner.lock_wait.clone(),
+            phase_prepare: inner.phase_prepare.clone(),
+            phase_commit: inner.phase_commit.clone(),
+        }
+    }
+}
+
+impl TraceSink for MetricsHub {
+    fn record(&self, event: TraceEvent) {
+        let Some(txn) = event.txn else {
+            return; // non-transaction events carry no latency edges
+        };
+        let wall = event.at.wall_micros;
+        let mut inner = self.inner.lock().expect("metrics hub poisoned");
+        match event.kind {
+            EventKind::TxnAdmit => {
+                if inner.open.len() >= MAX_OPEN {
+                    inner.open.clear(); // stale entries from vanished txns
+                }
+                inner.open.insert(
+                    txn,
+                    TxnTimes {
+                        admit: wall,
+                        ..TxnTimes::default()
+                    },
+                );
+            }
+            EventKind::LockWait => {
+                if let Some(t) = inner.open.get_mut(&txn) {
+                    t.wait_start = Some(wall);
+                }
+            }
+            EventKind::LockGrant => {
+                let waited = inner
+                    .open
+                    .get_mut(&txn)
+                    .and_then(|t| t.wait_start.take())
+                    .map(|start| wall.saturating_sub(start));
+                if let Some(waited) = waited {
+                    inner.lock_wait.record(waited);
+                }
+            }
+            EventKind::PreparePhase { .. } => {
+                if let Some(t) = inner.open.get_mut(&txn) {
+                    t.prepare = Some(wall);
+                }
+            }
+            EventKind::Decide => {
+                let prepare = inner.open.get_mut(&txn).map(|t| {
+                    t.decide = Some(wall);
+                    t.prepare
+                });
+                if let Some(Some(p)) = prepare {
+                    inner.phase_prepare.record(wall.saturating_sub(p));
+                }
+            }
+            EventKind::Commit => {
+                if let Some(t) = inner.open.remove(&txn) {
+                    inner.commit_latency.record(wall.saturating_sub(t.admit));
+                    if let Some(d) = t.decide {
+                        inner.phase_commit.record(wall.saturating_sub(d));
+                    }
+                }
+            }
+            EventKind::Abort { .. } => {
+                inner.open.remove(&txn);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miniraid_core::ids::SiteId;
+    use miniraid_core::trace::Stamp;
+
+    fn ev(txn: u64, wall: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            site: SiteId(0),
+            txn: Some(TxnId(txn)),
+            at: Stamp {
+                logical: wall,
+                wall_micros: wall,
+            },
+            kind,
+        }
+    }
+
+    #[test]
+    fn hub_derives_latencies() {
+        let hub = MetricsHub::new();
+        hub.record(ev(1, 100, EventKind::TxnAdmit));
+        hub.record(ev(1, 100, EventKind::LockGrant));
+        hub.record(ev(1, 150, EventKind::PreparePhase { participants: 2 }));
+        hub.record(ev(1, 350, EventKind::Decide));
+        hub.record(ev(1, 600, EventKind::Commit));
+
+        hub.record(ev(2, 1000, EventKind::TxnAdmit));
+        hub.record(ev(2, 1000, EventKind::LockWait));
+        hub.record(ev(2, 1400, EventKind::LockGrant));
+        hub.record(ev(
+            2,
+            1500,
+            EventKind::Abort {
+                reason: miniraid_core::error::AbortReason::DataUnavailable,
+            },
+        ));
+
+        let snap = hub.snapshot();
+        assert_eq!(snap.commit_latency.count(), 1);
+        assert_eq!(snap.commit_latency.max(), 500);
+        assert_eq!(snap.phase_prepare.count(), 1);
+        assert_eq!(snap.phase_prepare.max(), 200);
+        assert_eq!(snap.phase_commit.count(), 1);
+        assert_eq!(snap.phase_commit.max(), 250);
+        assert_eq!(snap.lock_wait.count(), 1);
+        assert_eq!(snap.lock_wait.max(), 400);
+    }
+
+    #[test]
+    fn merge_combines_sites() {
+        let a = MetricsHub::new();
+        let b = MetricsHub::new();
+        a.record(ev(1, 0, EventKind::TxnAdmit));
+        a.record(ev(1, 100, EventKind::Commit));
+        b.record(ev(2, 0, EventKind::TxnAdmit));
+        b.record(ev(2, 900, EventKind::Commit));
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.commit_latency.count(), 2);
+        assert_eq!(snap.commit_latency.max(), 900);
+    }
+}

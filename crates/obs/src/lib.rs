@@ -1,0 +1,33 @@
+//! # miniraid-obs — observability for the replicated copy-control engine
+//!
+//! Everything downstream of the engine's typed protocol event stream
+//! ([`miniraid_core::trace`]): sinks, latency histograms, metrics
+//! exposition, and trace analysis. Hand-rolled and offline-friendly —
+//! no external tracing or metrics crates.
+//!
+//! * [`sink`] — pluggable [`miniraid_core::trace::TraceSink`]s: null
+//!   (zero overhead), collecting vector, lock-free ring, tee.
+//! * [`json`] — the JSONL trace format: encoder, schema-validating
+//!   parser, and a buffered file sink.
+//! * [`hist`] — log₂-bucketed latency histograms (p50/p90/p99/max).
+//! * [`hub`] — a sink folding the event stream into commit-latency,
+//!   lock-wait and per-2PC-phase histograms.
+//! * [`expo`] — Prometheus-style text exposition of
+//!   [`miniraid_core::metrics::EngineMetrics`] plus hub histograms.
+//! * [`analyze`] — replay a JSONL trace into per-transaction phase
+//!   breakdowns and a critical-path summary.
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod expo;
+pub mod hist;
+pub mod hub;
+pub mod json;
+pub mod sink;
+
+pub use analyze::{analyze, read_trace, render_report, TraceAnalysis, TxnBreakdown, TxnEnd};
+pub use hist::LatencyHistogram;
+pub use hub::{HubSnapshot, MetricsHub};
+pub use json::{encode_event, parse_event, JsonlSink};
+pub use sink::{CollectSink, NullSink, RingSink, TeeSink};

@@ -1,0 +1,264 @@
+//! Trace sinks: where [`TraceEvent`]s go.
+//!
+//! * [`NullSink`] — discards everything; with the engine's disabled
+//!   tracer this is the zero-overhead default, with an enabled tracer it
+//!   measures pure emission cost.
+//! * [`CollectSink`] — a mutexed vector, for tests and small captures.
+//! * [`RingSink`] — a fixed-capacity lock-free ring for in-process
+//!   queries of "the last N events" without unbounded memory.
+//! * [`TeeSink`] — fan-out to several sinks.
+//! * [`JsonlSink`] lives in [`crate::json`].
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use miniraid_core::ids::SiteId;
+use miniraid_core::trace::{EventKind, Stamp, TraceEvent, TraceSink};
+
+/// Discards every event.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// Collects every event into a mutexed vector (tests, short captures).
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy out everything recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("collect sink poisoned").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("collect sink poisoned").len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for CollectSink {
+    fn record(&self, event: TraceEvent) {
+        self.events
+            .lock()
+            .expect("collect sink poisoned")
+            .push(event);
+    }
+}
+
+/// One seqlock-protected ring slot. `version` is `2 * claim + 1` while
+/// the slot is being written and `2 * claim + 2` once generation
+/// `claim`'s event is fully stored; readers accept a slot only when
+/// they observe the same even version before and after copying.
+struct Slot {
+    version: AtomicU64,
+    data: UnsafeCell<TraceEvent>,
+}
+
+// SAFETY: concurrent access to `data` is mediated by the seqlock
+// protocol on `version` (readers discard torn copies).
+unsafe impl Sync for Slot {}
+
+/// A fixed-capacity lock-free ring of the most recent events.
+///
+/// Writers never block: each `record` claims the next generation with a
+/// `fetch_add` and overwrites the oldest slot. [`RingSink::snapshot`]
+/// returns the newest events (oldest first), skipping any slot being
+/// concurrently rewritten.
+pub struct RingSink {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+impl std::fmt::Debug for RingSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RingSink(cap {}, recorded {})",
+            self.slots.len(),
+            self.head.load(Ordering::Relaxed)
+        )
+    }
+}
+
+const PLACEHOLDER: TraceEvent = TraceEvent {
+    site: SiteId(0),
+    txn: None,
+    at: Stamp {
+        logical: 0,
+        wall_micros: 0,
+    },
+    kind: EventKind::TxnStart,
+};
+
+impl RingSink {
+    /// A ring holding the last `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let slots: Vec<Slot> = (0..capacity)
+            .map(|_| Slot {
+                version: AtomicU64::new(0),
+                data: UnsafeCell::new(PLACEHOLDER),
+            })
+            .collect();
+        RingSink {
+            slots: slots.into_boxed_slice(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// The most recent events, oldest first. Slots being concurrently
+    /// rewritten are skipped, so under active writing the result may
+    /// briefly hold fewer than `capacity` events.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut events = Vec::with_capacity((head - start) as usize);
+        for claim in start..head {
+            let slot = &self.slots[(claim % cap) as usize];
+            let want = 2 * claim + 2;
+            let v1 = slot.version.load(Ordering::Acquire);
+            if v1 != want {
+                continue; // unwritten, torn, or already overwritten
+            }
+            // SAFETY: seqlock read — the copy is only kept if the
+            // version is unchanged afterwards, so a torn read (the
+            // writer advanced mid-copy) is discarded.
+            let event = unsafe { std::ptr::read_volatile(slot.data.get()) };
+            let v2 = slot.version.load(Ordering::Acquire);
+            if v2 == want {
+                events.push(event);
+            }
+        }
+        events
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: TraceEvent) {
+        let claim = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(claim % self.slots.len() as u64) as usize];
+        slot.version.store(2 * claim + 1, Ordering::Release);
+        // SAFETY: the odd version above marks the slot in-progress;
+        // readers observing it discard the slot.
+        unsafe { std::ptr::write_volatile(slot.data.get(), event) };
+        slot.version.store(2 * claim + 2, Ordering::Release);
+    }
+}
+
+/// Fans every event out to several sinks.
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl TeeSink {
+    /// A tee over `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl std::fmt::Debug for TeeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TeeSink({} sinks)", self.sinks.len())
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&self, event: TraceEvent) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miniraid_core::ids::TxnId;
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent {
+            site: SiteId(1),
+            txn: Some(TxnId(n)),
+            at: Stamp {
+                logical: n,
+                wall_micros: n * 10,
+            },
+            kind: EventKind::Commit,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest() {
+        let ring = RingSink::new(4);
+        for n in 0..10 {
+            ring.record(ev(n));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(snap.len(), 4);
+        let txns: Vec<u64> = snap.iter().map(|e| e.txn.unwrap().0).collect();
+        assert_eq!(txns, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_snapshot_of_partial_fill() {
+        let ring = RingSink::new(8);
+        ring.record(ev(1));
+        ring.record(ev(2));
+        assert_eq!(ring.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn ring_is_safe_under_concurrent_writers() {
+        let ring = Arc::new(RingSink::new(32));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let ring = ring.clone();
+            handles.push(std::thread::spawn(move || {
+                for n in 0..1000 {
+                    ring.record(ev(t * 10_000 + n));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ring.recorded(), 4000);
+        // Quiescent: every surviving slot is fully written.
+        assert_eq!(ring.snapshot().len(), 32);
+    }
+
+    #[test]
+    fn tee_duplicates() {
+        let a = Arc::new(CollectSink::new());
+        let b = Arc::new(CollectSink::new());
+        let tee = TeeSink::new(vec![a.clone(), b.clone()]);
+        tee.record(ev(7));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -20,6 +20,7 @@ use miniraid_core::messages::{Command, Message, TxnReport};
 use miniraid_core::ops::Transaction;
 use miniraid_core::partial::ReplicationMap;
 use miniraid_core::session::SiteStatus;
+use miniraid_core::trace::{TraceSink, Tracer};
 
 use crate::cost::{CostModel, ProcessorModel, TimingConfig};
 use crate::time::VTime;
@@ -191,6 +192,10 @@ pub struct Simulation {
     /// Event trace (None = disabled; bounded by `trace_limit`).
     trace: Option<Vec<TraceEvent>>,
     trace_limit: usize,
+    /// Per-site manual clocks slaved to virtual time when protocol
+    /// observability is enabled, so engine-emitted trace events carry
+    /// deterministic sim-time stamps.
+    obs_clocks: Option<Vec<std::sync::Arc<miniraid_core::trace::ManualClock>>>,
 }
 
 impl Simulation {
@@ -231,8 +236,40 @@ impl Simulation {
             partition_drops: 0,
             trace: None,
             trace_limit: 0,
+            obs_clocks: None,
             config,
         }
+    }
+
+    /// Attach a protocol tracer to every engine, feeding a per-site
+    /// latency hub plus an optional extra sink per site (e.g. a
+    /// collecting sink for tests or a JSONL file for offline analysis).
+    /// Event stamps use a manual clock slaved to virtual time, so traces
+    /// are fully deterministic: same seed, same trace, byte for byte.
+    /// Returns the per-site hubs.
+    pub fn enable_protocol_obs(
+        &mut self,
+        mut extra_sink: impl FnMut(SiteId) -> Option<std::sync::Arc<dyn TraceSink>>,
+    ) -> Vec<std::sync::Arc<miniraid_obs::MetricsHub>> {
+        use std::sync::Arc;
+        let mut clocks = Vec::with_capacity(self.engines.len());
+        let mut hubs = Vec::with_capacity(self.engines.len());
+        for engine in &mut self.engines {
+            let clock = Arc::new(miniraid_core::trace::ManualClock::new());
+            let hub = Arc::new(miniraid_obs::MetricsHub::new());
+            let sink: Arc<dyn TraceSink> = match extra_sink(engine.id()) {
+                Some(extra) => Arc::new(miniraid_obs::TeeSink::new(vec![
+                    hub.clone() as Arc<dyn TraceSink>,
+                    extra,
+                ])),
+                None => hub.clone(),
+            };
+            engine.set_tracer(Tracer::new(engine.id(), clock.clone(), sink));
+            clocks.push(clock);
+            hubs.push(hub);
+        }
+        self.obs_clocks = Some(clocks);
+        hubs
     }
 
     /// Record processed events (up to `limit`) for inspection with
@@ -492,6 +529,11 @@ impl Simulation {
 
         let mut out = std::mem::take(&mut self.out_buf);
         out.clear();
+        // Slave the site's trace clock to virtual time so engine-emitted
+        // events are stamped with the instant processing began.
+        if let Some(clocks) = &self.obs_clocks {
+            clocks[site.index()].set_wall(exec_start);
+        }
         self.engines[site.index()].handle(input, &mut out);
 
         for output in out.drain(..) {

@@ -1,0 +1,247 @@
+//! Property tests for the engine's protocol event stream: under random
+//! fail/recover schedules interleaved with pipelined transaction
+//! batches, every site's trace is well-formed — admits close exactly
+//! once, engine counters equal event counts, and the fail-lock event
+//! deltas match the engine's live fail-lock table.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use miniraid_core::config::ProtocolConfig;
+use miniraid_core::ids::{ItemId, SiteId, TxnId};
+use miniraid_core::messages::Command;
+use miniraid_core::ops::{Operation, Transaction};
+use miniraid_core::trace::{EventKind, TraceEvent, TraceSink};
+use miniraid_obs::CollectSink;
+use miniraid_sim::{SimConfig, Simulation};
+use proptest::prelude::*;
+
+const N_SITES: u8 = 3;
+const DB_SIZE: u32 = 12;
+
+/// One step of a schedule. Failures and recoveries only happen at
+/// quiescence (between batches): `Command::Fail` wipes a site's in-flight
+/// coordinator state without abort events, which is the documented
+/// behaviour for a crash — a crashed coordinator's trace simply ends.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Submit a batch of transactions (exercises the admission pipeline)
+    /// and run to quiescence. Entries are `(coordinator, item, write?)`.
+    Batch(Vec<(u8, u32, bool)>),
+    /// Fail the given site (graceful, announced) if it is up and not the
+    /// last one standing.
+    Fail(u8),
+    /// Recover the given site if it is down.
+    Recover(u8),
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => proptest::collection::vec(
+            (0..N_SITES, 0..DB_SIZE, any::<bool>()),
+            1..8
+        )
+        .prop_map(Step::Batch),
+        1 => (0..N_SITES).prop_map(Step::Fail),
+        2 => (0..N_SITES).prop_map(Step::Recover),
+    ]
+}
+
+/// Per-site counts derived from the event stream.
+#[derive(Default)]
+struct Counts {
+    starts: u64,
+    commits: u64,
+    aborts: u64,
+    lock_waits: u64,
+    copier_reqs: u64,
+    copies_served: u64,
+    control: [u64; 3],
+    faillocks_set: u64,
+    faillocks_cleared: u64,
+}
+
+fn tally(events: &[TraceEvent]) -> Counts {
+    let mut c = Counts::default();
+    for e in events {
+        match e.kind {
+            EventKind::TxnStart => c.starts += 1,
+            EventKind::Commit => c.commits += 1,
+            EventKind::Abort { .. } => c.aborts += 1,
+            EventKind::LockWait => c.lock_waits += 1,
+            EventKind::CopierRequest { .. } => c.copier_reqs += 1,
+            EventKind::CopierServe { .. } => c.copies_served += 1,
+            EventKind::ControlTxn { ctype } => c.control[(ctype - 1) as usize] += 1,
+            EventKind::FailLocksSet { count } => c.faillocks_set += count as u64,
+            EventKind::FailLocksCleared { count } => c.faillocks_cleared += count as u64,
+            _ => {}
+        }
+    }
+    c
+}
+
+fn run_schedule(steps: &[Step]) -> (Simulation, Vec<Arc<CollectSink>>) {
+    let protocol = ProtocolConfig {
+        db_size: DB_SIZE,
+        n_sites: N_SITES,
+        max_inflight: 4, // deep pipeline: admits overlap in flight
+        ..ProtocolConfig::default()
+    };
+    let mut sim = Simulation::new(SimConfig::paper(protocol));
+    let mut sinks: Vec<Arc<CollectSink>> = Vec::new();
+    sim.enable_protocol_obs(|_| {
+        let sink = Arc::new(CollectSink::new());
+        sinks.push(sink.clone());
+        Some(sink as Arc<dyn TraceSink>)
+    });
+
+    let mut up = vec![true; N_SITES as usize];
+    let mut next_txn = 1u64;
+    for step in steps {
+        match step {
+            Step::Batch(entries) => {
+                // Inject the whole batch before draining: with
+                // max_inflight=4 several transactions are in flight at
+                // once, exercising lock waits and the admission queue.
+                for (site, item, write) in entries {
+                    let op = if *write {
+                        Operation::Write(ItemId(*item), next_txn)
+                    } else {
+                        Operation::Read(ItemId(*item))
+                    };
+                    let txn = Transaction::new(TxnId(next_txn), vec![op]);
+                    next_txn += 1;
+                    sim.inject(SiteId(*site), Command::Begin(txn));
+                }
+                sim.run_to_quiescence();
+            }
+            Step::Fail(site) => {
+                let i = *site as usize;
+                if up[i] && up.iter().filter(|u| **u).count() > 1 {
+                    sim.fail_site(SiteId(*site), true);
+                    up[i] = false;
+                }
+            }
+            Step::Recover(site) => {
+                let i = *site as usize;
+                if !up[i] && sim.recover_site(SiteId(*site)) {
+                    up[i] = true;
+                }
+            }
+        }
+    }
+    // Bring everyone back so fail-locks drain and the final state is
+    // comparable across schedules.
+    for s in 0..N_SITES {
+        if !up[s as usize] {
+            sim.recover_site(SiteId(s));
+        }
+    }
+    sim.run_to_quiescence();
+    (sim, sinks)
+}
+
+/// Simulated traces are deterministic: the same schedule produces the
+/// same events with the same virtual-time stamps, byte for byte once
+/// encoded — the property that makes a sim trace a reproducible artifact.
+#[test]
+fn sim_traces_are_deterministic() {
+    let steps = vec![
+        Step::Batch(vec![
+            (0, 1, true),
+            (1, 2, true),
+            (2, 3, false),
+            (0, 1, true),
+        ]),
+        Step::Fail(2),
+        Step::Batch(vec![(0, 4, true), (1, 5, true), (0, 4, true)]),
+        Step::Recover(2),
+        Step::Batch(vec![(2, 6, true), (1, 2, false)]),
+    ];
+    let (_, a) = run_schedule(&steps);
+    let (_, b) = run_schedule(&steps);
+    for s in 0..N_SITES as usize {
+        let ja: Vec<String> = a[s]
+            .events()
+            .iter()
+            .map(miniraid_obs::encode_event)
+            .collect();
+        let jb: Vec<String> = b[s]
+            .events()
+            .iter()
+            .map(miniraid_obs::encode_event)
+            .collect();
+        assert!(!ja.is_empty(), "site {s} traced nothing");
+        assert_eq!(ja, jb, "site {s} trace must be byte-identical across runs");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn event_streams_are_well_formed(steps in proptest::collection::vec(arb_step(), 1..12)) {
+        let (sim, sinks) = run_schedule(&steps);
+
+        for s in 0..N_SITES {
+            let engine = sim.engine(SiteId(s));
+            let m = engine.metrics();
+            let events = sinks[s as usize].events();
+
+            // Every event carries this site's id.
+            prop_assert!(events.iter().all(|e| e.site == SiteId(s)));
+
+            // Counters equal event counts, emission mirroring the
+            // metric increments exactly.
+            let c = tally(&events);
+            prop_assert_eq!(c.starts, m.txns_coordinated, "site {} TxnStart", s);
+            prop_assert_eq!(c.commits, m.txns_committed, "site {} Commit", s);
+            prop_assert_eq!(c.aborts, m.aborts.total(), "site {} Abort", s);
+            prop_assert_eq!(c.lock_waits, m.lock_waits, "site {} LockWait", s);
+            prop_assert_eq!(c.copier_reqs, m.copier_requests, "site {} CopierRequest", s);
+            prop_assert_eq!(c.copies_served, m.copy_requests_served, "site {} CopierServe", s);
+            prop_assert_eq!(c.control[0], m.control_type1, "site {} type-1", s);
+            prop_assert_eq!(c.control[1], m.control_type2, "site {} type-2", s);
+            prop_assert_eq!(c.control[2], m.control_type3, "site {} type-3", s);
+            prop_assert_eq!(c.faillocks_set, m.faillocks_set, "site {} faillocks set", s);
+            prop_assert_eq!(c.faillocks_cleared, m.faillocks_cleared, "site {} faillocks cleared", s);
+
+            // The event-stream fail-lock delta matches the engine's live
+            // table (recovery snapshot installs are netted, so this holds
+            // even after a site rejoins with a fresh table).
+            prop_assert_eq!(
+                c.faillocks_set - c.faillocks_cleared,
+                engine.faillocks().total_set() as u64,
+                "site {} fail-lock delta vs table", s
+            );
+
+            // Admission discipline: at quiescence every admitted
+            // transaction closed exactly once, and nothing commits or
+            // aborts without having been admitted. (Failures happen only
+            // at quiescence, so no admit is wiped mid-flight.)
+            let mut open: HashMap<TxnId, u64> = HashMap::new();
+            for e in &events {
+                match e.kind {
+                    EventKind::TxnAdmit => {
+                        let txn = e.txn.expect("admit carries a txn id");
+                        let slot = open.entry(txn).or_insert(0);
+                        prop_assert_eq!(*slot, 0, "double admit of {} at site {}", txn, s);
+                        *slot = 1;
+                    }
+                    EventKind::Commit | EventKind::Abort { .. } => {
+                        let txn = e.txn.expect("close carries a txn id");
+                        let slot = open.get_mut(&txn);
+                        prop_assert!(slot.is_some(), "close of unadmitted {} at site {}", txn, s);
+                        let slot = slot.expect("checked above");
+                        prop_assert_eq!(*slot, 1, "double close of {} at site {}", txn, s);
+                        *slot = 2;
+                    }
+                    _ => {}
+                }
+            }
+            for (txn, state) in &open {
+                prop_assert_eq!(*state, 2, "transaction {} left open at site {}", txn, s);
+            }
+        }
+    }
+}
