@@ -78,6 +78,7 @@ fn bench_codec(c: &mut Criterion) {
             .collect(),
         snapshot: vec![SessionNumber(1); 4],
         clears: vec![],
+        up_mask: 0b1111,
     };
     group.bench_function("encode_copy_update", |b| {
         b.iter(|| black_box(encode(black_box(&copy_update))))

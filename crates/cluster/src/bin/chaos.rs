@@ -1,0 +1,127 @@
+//! Chaos harness CLI: run a seeded randomized schedule of site kills,
+//! recoveries, partitions, and transport faults against a live cluster,
+//! checking invariants continuously. Exits 0 when every invariant held;
+//! exits 1 and writes the JSONL trace on a violation, printing the seed
+//! for deterministic replay.
+//!
+//! ```text
+//! chaos thread [--seed N] [--steps N] [--sites N] [--drop P] [--dup P]
+//!              [--no-reliable] [--trace-out FILE]
+//! chaos proc   [--seed N] [--kills N] [--sites N] [--drop P] [--dup P]
+//!              [--base-port N] [--no-reliable] [--trace-out FILE]
+//! ```
+//!
+//! `thread` drives an in-process channel cluster (site kills are
+//! protocol-level Fail commands; partitions are one-way link blocks).
+//! `proc` drives real `miniraid-site` OS processes over TCP with
+//! WAL-backed stores: kills are SIGKILL mid-transaction, restarts
+//! replay the WAL — the paper's site failure model made literal.
+
+use std::path::PathBuf;
+
+use miniraid_cluster::chaos::{
+    run_process_chaos, run_thread_chaos, ChaosOptions, ChaosOutcome, ProcChaosOptions,
+};
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn finish(outcome: ChaosOutcome, trace_out: Option<PathBuf>, seed: u64) -> ! {
+    let violated = !outcome.passed();
+    // Always write the trace when asked; on violation, write it even
+    // unasked so the schedule is never lost.
+    let trace_path =
+        trace_out.or_else(|| violated.then(|| PathBuf::from(format!("chaos-trace-{seed}.jsonl"))));
+    if let Some(path) = trace_path {
+        let body = outcome.trace.join("\n") + "\n";
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("chaos: failed to write trace {}: {e}", path.display());
+        } else {
+            eprintln!("chaos: trace written to {}", path.display());
+        }
+    }
+    println!(
+        "chaos: seed={seed} committed={} in_doubt={} aborted={} violations={}",
+        outcome.committed_writes,
+        outcome.in_doubt_writes,
+        outcome.aborted,
+        outcome.violations.len()
+    );
+    for v in &outcome.violations {
+        println!("chaos: VIOLATION: {v}");
+    }
+    if violated {
+        println!("chaos: FAILED (replay with --seed {seed})");
+        std::process::exit(1);
+    }
+    println!("chaos: all invariants held");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("thread");
+    let seed: u64 = parse_flag(&args, "--seed").unwrap_or(1);
+    let sites: u8 = parse_flag(&args, "--sites").unwrap_or(4);
+    let drop: f64 = parse_flag(&args, "--drop").unwrap_or(0.10);
+    let dup: f64 = parse_flag(&args, "--dup").unwrap_or(0.05);
+    let with_reliable = !args.iter().any(|a| a == "--no-reliable");
+    let trace_out: Option<PathBuf> = parse_flag(&args, "--trace-out");
+
+    match mode {
+        "thread" => {
+            let opts = ChaosOptions {
+                seed,
+                steps: parse_flag(&args, "--steps").unwrap_or(60),
+                n_sites: sites,
+                db_size: parse_flag(&args, "--db-size").unwrap_or(16),
+                drop,
+                duplicate: dup,
+                with_reliable,
+            };
+            eprintln!("chaos: thread mode, {opts:?}");
+            finish(run_thread_chaos(opts), trace_out, seed);
+        }
+        "proc" => {
+            // `miniraid-site` sits next to this binary in the target dir.
+            let site_bin = std::env::current_exe()
+                .expect("current exe")
+                .with_file_name("miniraid-site");
+            if !site_bin.exists() {
+                eprintln!(
+                    "chaos: {} not found (build with `cargo build --bin miniraid-site`)",
+                    site_bin.display()
+                );
+                std::process::exit(2);
+            }
+            let durable_dir =
+                std::env::temp_dir().join(format!("miniraid-chaos-{}-{seed}", std::process::id()));
+            let opts = ProcChaosOptions {
+                seed,
+                kills: parse_flag(&args, "--kills").unwrap_or(3),
+                writes_per_round: parse_flag(&args, "--writes").unwrap_or(6),
+                n_sites: sites,
+                db_size: parse_flag(&args, "--db-size").unwrap_or(16),
+                base_port: parse_flag(&args, "--base-port")
+                    .unwrap_or_else(|| 27000 + (std::process::id() % 500) as u16 * 8),
+                site_bin,
+                durable_dir: durable_dir.clone(),
+                drop,
+                duplicate: dup,
+                with_reliable,
+            };
+            eprintln!("chaos: proc mode, {opts:?}");
+            let outcome = run_process_chaos(&opts);
+            let _ = std::fs::remove_dir_all(&durable_dir);
+            finish(outcome, trace_out, seed);
+        }
+        other => {
+            eprintln!("chaos: unknown mode {other:?} (use `thread` or `proc`)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -14,13 +14,44 @@
 //! scrapes with counters and latency histograms. Set
 //! `MINIRAID_TRACE=<dir>` to additionally write a JSONL protocol trace
 //! to `<dir>/site-<id>.jsonl` for offline `miniraid-ctl trace` analysis.
+//!
+//! Robustness knobs:
+//! * `MINIRAID_FAULTS=seed:drop:dup[:delay_p:delay_ms]` wraps the TCP
+//!   transport in a seeded fault injector (see `FaultPlan::parse`).
+//! * `MINIRAID_RELIABLE=1` layers the reliable session protocol
+//!   (sequence numbers + retransmission + dedup) over the transport, so
+//!   the site tolerates the injected — or real — frame loss.
 
 use miniraid_cluster::obs::SiteObs;
 use miniraid_cluster::site::{run_site_full, ClusterTiming};
 use miniraid_core::config::{ProtocolConfig, TwoStepRecovery};
 use miniraid_core::engine::SiteEngine;
 use miniraid_core::ids::SiteId;
+use miniraid_net::fault::{FaultPlan, FaultTransport};
+use miniraid_net::reliable::{reliable, ReliableConfig};
 use miniraid_net::tcp::{AddressPlan, TcpEndpoint};
+use miniraid_net::{Mailbox, Transport};
+use miniraid_storage::DurableStore;
+
+#[allow(clippy::too_many_arguments)]
+fn serve<T: Transport + 'static, M: Mailbox>(
+    engine: SiteEngine,
+    transport: T,
+    mailbox: M,
+    manager: SiteId,
+    store: Option<DurableStore>,
+    obs: SiteObs,
+) {
+    run_site_full(
+        engine,
+        transport,
+        mailbox,
+        manager,
+        ClusterTiming::default(),
+        store,
+        Some(obs),
+    );
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -85,14 +116,32 @@ fn main() {
         }
     }
     let obs = SiteObs::attach(&mut engine, trace_path.as_deref()).expect("open trace file");
-    run_site_full(
-        engine,
-        transport,
-        mailbox,
-        manager,
-        ClusterTiming::default(),
-        store,
-        Some(obs),
-    );
+
+    let faults = std::env::var("MINIRAID_FAULTS")
+        .ok()
+        .map(|spec| FaultPlan::parse(&spec).expect("MINIRAID_FAULTS"));
+    let reliable_on = std::env::var("MINIRAID_RELIABLE").is_ok_and(|v| v != "0");
+    if faults.is_some() || reliable_on {
+        eprintln!("miniraid-site {site_id}: faults={faults:?} reliable={reliable_on}");
+    }
+    // The default `ReliableConfig` derives a fresh epoch from the wall
+    // clock, so peers recognise a restarted process and reset their
+    // receive links instead of discarding its "stale" sequence numbers.
+    match (faults, reliable_on) {
+        (None, false) => serve(engine, transport, mailbox, manager, store, obs),
+        (Some(plan), false) => {
+            let (transport, _control) = FaultTransport::new(transport, plan);
+            serve(engine, transport, mailbox, manager, store, obs);
+        }
+        (None, true) => {
+            let (transport, mailbox) = reliable(transport, mailbox, ReliableConfig::default());
+            serve(engine, transport, mailbox, manager, store, obs);
+        }
+        (Some(plan), true) => {
+            let (transport, _control) = FaultTransport::new(transport, plan);
+            let (transport, mailbox) = reliable(transport, mailbox, ReliableConfig::default());
+            serve(engine, transport, mailbox, manager, store, obs);
+        }
+    }
     eprintln!("miniraid-site {site_id} terminated");
 }

@@ -1,0 +1,916 @@
+//! Chaos harness: randomized schedules of site kills, recoveries,
+//! one-way partitions, and transport faults against a *live* cluster,
+//! with continuous invariant checks.
+//!
+//! The schedule is drawn from a seeded RNG, so a violating run is
+//! reproducible from one number. Every action and every observation is
+//! appended to an in-memory JSONL trace; on violation the harness
+//! reports the seed and the trace so the exact schedule can be replayed.
+//!
+//! Invariants checked while the schedule runs and at the end:
+//!
+//! 1. **No committed write is lost.** Once the managing client sees a
+//!    commit report for a write of item `x`, every later committed read
+//!    of `x` returns that value or a *newer* acceptable one (a write
+//!    whose outcome report timed out is "in doubt" and stays acceptable
+//!    — it may have committed inside the cluster).
+//! 2. **All available copies converge.** After partitions heal and every
+//!    site is failed-and-recovered, full-database reads through each
+//!    site return identical `(version, data)` vectors, and each item's
+//!    final value is acceptable to the oracle.
+//! 3. **The observer stays served.** Metrics scrapes succeed throughout,
+//!    even against sites that are down — the paper's measurement harness
+//!    sits outside the failure model.
+//!
+//! Uniform 2PC decisions are implied by (1)+(2) for this closed-loop
+//! driver: a split decision leaves one copy with a write the others
+//! never apply, which the convergence check reports as divergence.
+//!
+//! Partitions are *full isolations* of a single site: every link to and
+//! from the victim is blocked, which is the network analogue of the
+//! paper's fail-stop site failure (the survivors detect it through 2PC
+//! timeouts and set fail-locks — a different code path than a managed
+//! `Fail` command). Arbitrary one-way partitions are deliberately *not*
+//! scheduled: the paper's protocol assumes failure detection is
+//! accurate, and a half-open link lets an excluded site keep serving
+//! stale reads — a model violation, not a protocol bug (see DESIGN.md
+//! §9). The `FaultTransport` still supports one-way blocks for targeted
+//! tests of that very phenomenon.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use miniraid_core::config::ProtocolConfig;
+use miniraid_core::ids::{ItemId, SiteId};
+use miniraid_core::messages::TxnOutcome;
+use miniraid_core::ops::{Operation, Transaction};
+use miniraid_net::fault::{FaultControl, FaultPlan};
+use miniraid_net::{Mailbox, Transport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cluster::Cluster;
+use crate::control::{ControlError, ManagingClient};
+use crate::site::ClusterTiming;
+
+/// Knobs for one chaos run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosOptions {
+    /// Master seed: drives the schedule RNG and the per-site fault RNGs.
+    pub seed: u64,
+    /// Schedule steps (each step is one action: a txn, a kill, a
+    /// recovery, or a partition change).
+    pub steps: u32,
+    /// Database sites.
+    pub n_sites: u8,
+    /// Items per database copy.
+    pub db_size: u32,
+    /// Per-frame drop probability on every site's transport.
+    pub drop: f64,
+    /// Per-frame duplication probability.
+    pub duplicate: f64,
+    /// Layer the reliable session protocol over the faulty links. With
+    /// faults on and this off, the run is the negative control: the
+    /// paper's protocol assumes reliable delivery and is expected to
+    /// violate convergence under loss.
+    pub with_reliable: bool,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            seed: 1,
+            steps: 60,
+            n_sites: 4,
+            db_size: 16,
+            drop: 0.10,
+            duplicate: 0.05,
+            with_reliable: true,
+        }
+    }
+}
+
+/// What one chaos run produced.
+#[derive(Debug, Default)]
+pub struct ChaosOutcome {
+    /// Invariant violations, in discovery order. Empty means the run
+    /// passed.
+    pub violations: Vec<String>,
+    /// JSONL trace of every action and observation.
+    pub trace: Vec<String>,
+    /// Writes the managing client saw commit.
+    pub committed_writes: u32,
+    /// Writes whose outcome report timed out (in doubt).
+    pub in_doubt_writes: u32,
+    /// Transactions the cluster aborted.
+    pub aborted: u32,
+    /// The converged database image `(item, version, data)`, when the
+    /// convergence phase completed.
+    pub final_db: Vec<(u32, u64, u64)>,
+}
+
+impl ChaosOutcome {
+    /// True when every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The oracle's view of one item: the last write known committed, plus
+/// every write whose outcome the managing client never learned. A read
+/// returning anything outside this set — or the initial value after a
+/// known commit — is a violation.
+#[derive(Debug, Default, Clone)]
+struct ItemOracle {
+    last_committed: Option<(u64, u64)>,
+    in_doubt: Vec<(u64, u64)>,
+}
+
+impl ItemOracle {
+    fn acceptable(&self, version: u64, data: u64) -> bool {
+        if version == 0 && data == 0 {
+            return self.last_committed.is_none();
+        }
+        self.last_committed == Some((version, data)) || self.in_doubt.contains(&(version, data))
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "last_committed={:?} in_doubt={:?}",
+            self.last_committed, self.in_doubt
+        )
+    }
+}
+
+const TXN_WAIT: Duration = Duration::from_secs(3);
+const MGMT_WAIT: Duration = Duration::from_secs(5);
+
+struct Harness<T: Transport, M: Mailbox> {
+    client: ManagingClient<T, M>,
+    controls: Vec<FaultControl>,
+    oracle: HashMap<u32, ItemOracle>,
+    /// Sites the harness believes are up (its own actions; the protocol
+    /// may additionally consider a partitioned site down).
+    up: Vec<bool>,
+    /// Sites currently cut off from every peer (network-level failure).
+    isolated: Vec<bool>,
+    /// Coordinator of the most recent write the client saw commit — the
+    /// bootstrap choice if the run ends in total failure (it participated
+    /// in every commit before its own last one, so its fail-lock table
+    /// and session vector are as complete as any site's).
+    last_commit_coordinator: Option<u8>,
+    outcome: ChaosOutcome,
+    opts: ChaosOptions,
+}
+
+impl<T: Transport, M: Mailbox> Harness<T, M> {
+    fn trace(&mut self, line: String) {
+        self.outcome.trace.push(line);
+    }
+
+    fn violation(&mut self, step: u32, what: String) {
+        self.outcome
+            .trace
+            .push(format!("{{\"step\":{step},\"violation\":\"{what}\"}}"));
+        self.outcome.violations.push(format!("step {step}: {what}"));
+    }
+
+    /// Harvest outcome reports that arrived after their submitter gave
+    /// up waiting: a late *abort* removes the write from the in-doubt
+    /// set (the oracle gets stricter); a late commit leaves it
+    /// acceptable.
+    fn harvest_late_reports(&mut self) {
+        for report in self.client.drain_reports() {
+            if matches!(report.outcome, TxnOutcome::Aborted(_)) {
+                for oracle in self.oracle.values_mut() {
+                    oracle.in_doubt.retain(|(v, _)| *v != report.txn.0);
+                }
+            }
+        }
+    }
+
+    fn run_write(&mut self, step: u32, rng: &mut StdRng) {
+        let ups: Vec<u8> = (0..self.opts.n_sites)
+            .filter(|i| self.up[*i as usize])
+            .collect();
+        let Some(&site) = ups.get(rng.random_range(0..ups.len())) else {
+            return;
+        };
+        let item = rng.random_range(0..self.opts.db_size);
+        let id = self.client.next_txn_id();
+        let data = id.0; // unique payload: the txn id itself
+        self.trace(format!(
+            "{{\"step\":{step},\"action\":\"write\",\"site\":{site},\"item\":{item},\"txn\":{}}}",
+            id.0
+        ));
+        let txn = Transaction::new(id, vec![Operation::Write(ItemId(item), data)]);
+        match self.client.run_txn(SiteId(site), txn, TXN_WAIT) {
+            Ok(report) => {
+                let oracle = self.oracle.entry(item).or_default();
+                if report.outcome.is_committed() {
+                    oracle.last_committed = Some((id.0, data));
+                    self.last_commit_coordinator = Some(site);
+                    self.outcome.committed_writes += 1;
+                    self.trace(format!(
+                        "{{\"step\":{step},\"observed\":\"committed\",\"txn\":{}}}",
+                        id.0
+                    ));
+                } else {
+                    self.outcome.aborted += 1;
+                    self.trace(format!(
+                        "{{\"step\":{step},\"observed\":\"aborted\",\"txn\":{}}}",
+                        id.0
+                    ));
+                }
+            }
+            Err(ControlError::Timeout(_)) => {
+                // In doubt: it may yet commit inside the cluster.
+                self.oracle
+                    .entry(item)
+                    .or_default()
+                    .in_doubt
+                    .push((id.0, data));
+                self.outcome.in_doubt_writes += 1;
+                self.trace(format!(
+                    "{{\"step\":{step},\"observed\":\"in_doubt\",\"txn\":{}}}",
+                    id.0
+                ));
+            }
+            Err(ControlError::Disconnected) => {
+                self.violation(step, "manager disconnected".into());
+            }
+        }
+    }
+
+    fn run_read(&mut self, step: u32, rng: &mut StdRng) {
+        let ups: Vec<u8> = (0..self.opts.n_sites)
+            .filter(|i| self.up[*i as usize])
+            .collect();
+        let Some(&site) = ups.get(rng.random_range(0..ups.len())) else {
+            return;
+        };
+        let item = rng.random_range(0..self.opts.db_size);
+        let id = self.client.next_txn_id();
+        self.trace(format!(
+            "{{\"step\":{step},\"action\":\"read\",\"site\":{site},\"item\":{item},\"txn\":{}}}",
+            id.0
+        ));
+        let txn = Transaction::new(id, vec![Operation::Read(ItemId(item))]);
+        match self.client.run_txn(SiteId(site), txn, TXN_WAIT) {
+            Ok(report) if report.outcome.is_committed() => {
+                let (version, data) = report
+                    .read_results
+                    .first()
+                    .map(|(_, v)| (v.version, v.data))
+                    .unwrap_or((0, 0));
+                let oracle = self.oracle.entry(item).or_default().clone();
+                if !oracle.acceptable(version, data) {
+                    self.violation(
+                        step,
+                        format!(
+                            "read of item {item} via site {site} returned \
+                             version={version} data={data}, outside the \
+                             acceptable set ({})",
+                            oracle.describe()
+                        ),
+                    );
+                }
+            }
+            Ok(_) => self.outcome.aborted += 1,
+            Err(ControlError::Timeout(_)) => {
+                self.trace(format!("{{\"step\":{step},\"observed\":\"read_timeout\"}}"));
+            }
+            Err(ControlError::Disconnected) => {
+                self.violation(step, "manager disconnected".into());
+            }
+        }
+    }
+
+    /// Scrape a random site's metrics — works even against down sites.
+    fn scrape(&mut self, step: u32, rng: &mut StdRng) {
+        let site = rng.random_range(0..self.opts.n_sites);
+        if self.client.fetch_metrics(SiteId(site), MGMT_WAIT).is_err() {
+            self.violation(step, format!("metrics scrape of site {site} failed"));
+        }
+    }
+
+    /// Re-derive every site's outbound block set from the `isolated`
+    /// flags: the link i→j is blocked iff either endpoint is isolated.
+    /// Computing the whole matrix (instead of editing blocks
+    /// incrementally) means healing one site can never accidentally
+    /// reopen links that belong to a *different* site's isolation.
+    /// New blocks are installed before old ones are lifted, so no frame
+    /// slips through mid-update.
+    fn apply_blocks(&self) {
+        for (i, control) in self.controls.iter().enumerate() {
+            for peer in 0..self.opts.n_sites {
+                if peer as usize == i {
+                    continue;
+                }
+                if self.isolated[i] || self.isolated[peer as usize] {
+                    control.block_to(SiteId(peer));
+                } else {
+                    control.unblock_to(SiteId(peer));
+                }
+            }
+        }
+    }
+
+    /// Cut a site off from every peer: block its outbound links and
+    /// every peer's link toward it. The survivors will detect the
+    /// "failure" through their 2PC timeouts.
+    fn isolate(&mut self, step: u32, site: u8) {
+        self.isolated[site as usize] = true;
+        self.apply_blocks();
+        self.up[site as usize] = false;
+        self.trace(format!(
+            "{{\"step\":{step},\"action\":\"isolate\",\"site\":{site}}}"
+        ));
+    }
+
+    /// Reconnect an isolated site and re-integrate it: its protocol
+    /// state is arbitrary after the survivors excluded it, so it rejoins
+    /// the way a restarted site does — fail, then recover. The fail is
+    /// issued *before* the links reopen (management traffic bypasses the
+    /// blocks): a still-Up site behind a partition holds a stale
+    /// worldview, and letting it speak first can poison the survivors —
+    /// its leftover 2PC state yields failure announcements carrying
+    /// live session numbers that mark healthy sites down in everyone's
+    /// vectors, and a later recovery may then pick the stale site as its
+    /// state donor. A down engine ignores all non-management traffic, so
+    /// failing first makes the rejoin indistinguishable from a crash.
+    fn heal_isolation(&mut self, step: u32, site: u8) {
+        self.client.fail(SiteId(site));
+        std::thread::sleep(Duration::from_millis(50));
+        self.isolated[site as usize] = false;
+        self.apply_blocks();
+        self.trace(format!(
+            "{{\"step\":{step},\"action\":\"heal\",\"site\":{site}}}"
+        ));
+        match self.client.recover(SiteId(site), MGMT_WAIT) {
+            Ok(_) => self.up[site as usize] = true,
+            Err(ControlError::Timeout(_)) => {
+                // Stays down; a later recover step or the convergence
+                // phase retries.
+                self.trace(format!(
+                    "{{\"step\":{step},\"observed\":\"recover_timeout\",\"site\":{site}}}"
+                ));
+            }
+            Err(ControlError::Disconnected) => {
+                self.violation(step, "manager disconnected".into());
+            }
+        }
+    }
+
+    /// Heal everything, fail-and-recover every site (normalizing any
+    /// divergent up/down perception the failures caused), then read
+    /// the full database through every site and compare.
+    fn converge(&mut self) {
+        let step = self.opts.steps; // trace label for the final phase
+
+        // Fail every still-isolated site *before* reconnecting it (same
+        // rationale as `heal_isolation`: a stale-Up site speaking first
+        // can poison the survivors' session vectors and get picked as a
+        // recovery-state donor). Management commands bypass the blocks.
+        for i in 0..self.opts.n_sites {
+            if self.isolated[i as usize] {
+                self.client.fail(SiteId(i));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+
+        for flag in self.isolated.iter_mut() {
+            *flag = false;
+        }
+        for control in &self.controls {
+            control.unblock_all();
+        }
+        self.trace(format!("{{\"step\":{step},\"action\":\"heal_all\"}}"));
+        // Let in-flight transactions resolve before normalizing.
+        std::thread::sleep(Duration::from_millis(1200));
+        self.harvest_late_reports();
+
+        // First bring every down site back while the surviving up sites
+        // can serve as state donors. (Failing a survivor first could
+        // leave zero operational sites; recovery needs a donor.)
+        let mut stuck: Vec<u8> = Vec::new();
+        for i in 0..self.opts.n_sites {
+            if self.up[i as usize] {
+                continue;
+            }
+            match self.client.recover(SiteId(i), MGMT_WAIT) {
+                Ok(session) => {
+                    self.up[i as usize] = true;
+                    self.trace(format!(
+                        "{{\"step\":{step},\"action\":\"rejoin\",\"site\":{i},\"session\":{}}}",
+                        session.0
+                    ));
+                }
+                Err(ControlError::Timeout(_)) => stuck.push(i),
+                Err(e) => {
+                    self.violation(step, format!("site {i} failed to rejoin: {e}"));
+                    return;
+                }
+            }
+        }
+
+        // A recovery that found no donor means the run ended in *total
+        // failure*: under message loss, crossing failure announcements
+        // can make the last two operational sites each exclude the other
+        // — and the fail-stop step-down then takes both down, invisibly
+        // to the harness's own up/down bookkeeping. The paper's answer
+        // is that the last site to fail recovers first from its own
+        // state. Fail everything (a no-op on already-down engines, and
+        // the normalization pass below re-recovers every site anyway),
+        // bootstrap the coordinator of the last committed write, and
+        // retry the rejoins with it as the donor.
+        if !stuck.is_empty() {
+            for i in 0..self.opts.n_sites {
+                self.client.fail(SiteId(i));
+                self.up[i as usize] = false;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+            let seed_site = self.last_commit_coordinator.unwrap_or(0);
+            match self.client.bootstrap(SiteId(seed_site), MGMT_WAIT) {
+                Ok(session) => {
+                    self.up[seed_site as usize] = true;
+                    self.trace(format!(
+                        "{{\"step\":{step},\"action\":\"bootstrap\",\"site\":{seed_site},\"session\":{}}}",
+                        session.0
+                    ));
+                }
+                Err(e) => {
+                    self.violation(
+                        step,
+                        format!("total-failure bootstrap of site {seed_site} failed: {e}"),
+                    );
+                    return;
+                }
+            }
+            for i in 0..self.opts.n_sites {
+                if self.up[i as usize] {
+                    continue;
+                }
+                match self.client.recover(SiteId(i), MGMT_WAIT) {
+                    Ok(session) => {
+                        self.up[i as usize] = true;
+                        self.trace(format!(
+                            "{{\"step\":{step},\"action\":\"rejoin\",\"site\":{i},\"session\":{}}}",
+                            session.0
+                        ));
+                    }
+                    Err(e) => {
+                        self.violation(step, format!("site {i} failed to rejoin: {e}"));
+                        return;
+                    }
+                }
+            }
+        }
+
+        // Then cycle every site through fail + recover: each one rebuilds
+        // its session vector and fail-lock table from an operational peer,
+        // clearing any divergent up/down perception left by the schedule.
+        for i in 0..self.opts.n_sites {
+            self.client.fail(SiteId(i));
+            std::thread::sleep(Duration::from_millis(50));
+            match self.client.recover(SiteId(i), MGMT_WAIT) {
+                Ok(session) => self.trace(format!(
+                    "{{\"step\":{step},\"action\":\"normalize\",\"site\":{i},\"session\":{}}}",
+                    session.0
+                )),
+                Err(e) => {
+                    self.violation(step, format!("site {i} failed to recover: {e}"));
+                    return;
+                }
+            }
+            self.up[i as usize] = true;
+        }
+        self.harvest_late_reports();
+
+        // Up to two read rounds: the first may race a just-resolved
+        // in-doubt transaction; a repeat must agree.
+        for attempt in 0..2 {
+            match self.read_all_sites(step) {
+                Ok(db) => {
+                    for &(item, version, data) in &db {
+                        let oracle = self.oracle.entry(item).or_default().clone();
+                        if !oracle.acceptable(version, data) {
+                            self.violation(
+                                step,
+                                format!(
+                                    "converged item {item} has version={version} \
+                                     data={data}, outside the acceptable set ({})",
+                                    oracle.describe()
+                                ),
+                            );
+                        }
+                    }
+                    self.outcome.final_db = db;
+                    return;
+                }
+                Err(divergence) if attempt == 0 => {
+                    self.trace(format!(
+                        "{{\"step\":{step},\"observed\":\"divergence_retry\",\"detail\":\"{divergence}\"}}"
+                    ));
+                    std::thread::sleep(Duration::from_millis(1000));
+                }
+                Err(divergence) => {
+                    self.violation(step, format!("copies diverged: {divergence}"));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One full-database read through every site. `Ok` carries the
+    /// agreed image; `Err` describes the first divergence.
+    #[allow(clippy::type_complexity)]
+    fn read_all_sites(&mut self, step: u32) -> Result<Vec<(u32, u64, u64)>, String> {
+        let mut reference: Option<(u8, Vec<(u32, u64, u64)>)> = None;
+        for site in 0..self.opts.n_sites {
+            let ops: Vec<Operation> = (0..self.opts.db_size)
+                .map(|i| Operation::Read(ItemId(i)))
+                .collect();
+            let id = self.client.next_txn_id();
+            let report = self
+                .client
+                .run_txn(SiteId(site), Transaction::new(id, ops), MGMT_WAIT)
+                .map_err(|e| format!("full read via site {site}: {e}"))?;
+            if !report.outcome.is_committed() {
+                return Err(format!(
+                    "full read via site {site} aborted: {:?}",
+                    report.outcome
+                ));
+            }
+            let image: Vec<(u32, u64, u64)> = report
+                .read_results
+                .iter()
+                .map(|(item, v)| (item.0, v.version, v.data))
+                .collect();
+            self.trace(format!(
+                "{{\"step\":{step},\"observed\":\"full_read\",\"site\":{site},\"items\":{}}}",
+                image.len()
+            ));
+            match &reference {
+                None => reference = Some((site, image)),
+                Some((ref_site, ref_image)) => {
+                    if *ref_image != image {
+                        let detail = ref_image
+                            .iter()
+                            .zip(&image)
+                            .find(|(a, b)| a != b)
+                            .map(|(a, b)| {
+                                format!(
+                                    "item {}: site {ref_site} has (v{},d{}), site {site} has (v{},d{})",
+                                    a.0, a.1, a.2, b.1, b.2
+                                )
+                            })
+                            .unwrap_or_else(|| "length mismatch".into());
+                        return Err(detail);
+                    }
+                }
+            }
+        }
+        Ok(reference.map(|(_, image)| image).unwrap_or_default())
+    }
+}
+
+/// Run one randomized chaos schedule against a threaded channel cluster
+/// and return what happened. The caller decides what to do with
+/// violations (tests assert emptiness; the `chaos` binary prints the
+/// trace and exits nonzero).
+pub fn run_thread_chaos(opts: ChaosOptions) -> ChaosOutcome {
+    let config = ProtocolConfig {
+        db_size: opts.db_size,
+        n_sites: opts.n_sites,
+        ..ProtocolConfig::default()
+    };
+    let plan = FaultPlan {
+        drop: opts.drop,
+        duplicate: opts.duplicate,
+        ..FaultPlan::none(opts.seed)
+    };
+    let (cluster, client, controls) =
+        Cluster::launch_faulty(config, ClusterTiming::default(), plan, opts.with_reliable);
+
+    let mut harness = Harness {
+        client,
+        controls,
+        oracle: HashMap::new(),
+        up: vec![true; opts.n_sites as usize],
+        isolated: vec![false; opts.n_sites as usize],
+        last_commit_coordinator: None,
+        outcome: ChaosOutcome::default(),
+        opts,
+    };
+    harness.trace(format!(
+        "{{\"seed\":{},\"steps\":{},\"n_sites\":{},\"drop\":{},\"duplicate\":{},\"reliable\":{}}}",
+        opts.seed, opts.steps, opts.n_sites, opts.drop, opts.duplicate, opts.with_reliable
+    ));
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    for step in 0..opts.steps {
+        if !harness.outcome.violations.is_empty() {
+            break; // stop at first violation; the trace explains it
+        }
+        harness.harvest_late_reports();
+        let up_count = harness.up.iter().filter(|u| **u).count();
+        let roll = rng.random_range(0..100u32);
+        if roll < 8 && up_count > 1 {
+            // Kill a random up site.
+            let victims: Vec<u8> = (0..opts.n_sites)
+                .filter(|i| harness.up[*i as usize])
+                .collect();
+            let site = victims[rng.random_range(0..victims.len())];
+            harness.client.fail(SiteId(site));
+            harness.up[site as usize] = false;
+            harness.trace(format!(
+                "{{\"step\":{step},\"action\":\"kill\",\"site\":{site}}}"
+            ));
+        } else if roll < 18 && up_count < opts.n_sites as usize {
+            // Recover a random down site (isolated sites can't: they are
+            // unreachable from the peers recovery needs).
+            let downs: Vec<u8> = (0..opts.n_sites)
+                .filter(|i| !harness.up[*i as usize] && !harness.isolated[*i as usize])
+                .collect();
+            if downs.is_empty() {
+                continue;
+            }
+            let site = downs[rng.random_range(0..downs.len())];
+            harness.trace(format!(
+                "{{\"step\":{step},\"action\":\"recover\",\"site\":{site}}}"
+            ));
+            match harness.client.recover(SiteId(site), MGMT_WAIT) {
+                Ok(_) => harness.up[site as usize] = true,
+                Err(ControlError::Timeout(_)) => {
+                    // Recovery can stall while its peers are faulted or
+                    // partitioned; the site stays down and a later step
+                    // (or the convergence phase) retries.
+                    harness.trace(format!(
+                        "{{\"step\":{step},\"observed\":\"recover_timeout\",\"site\":{site}}}"
+                    ));
+                }
+                Err(ControlError::Disconnected) => {
+                    harness.violation(step, "manager disconnected".into());
+                }
+            }
+        } else if roll < 24 && up_count > 1 {
+            // Network-isolate a random up site (full cut, both ways).
+            let candidates: Vec<u8> = (0..opts.n_sites)
+                .filter(|i| harness.up[*i as usize] && !harness.isolated[*i as usize])
+                .collect();
+            if !candidates.is_empty() {
+                let site = candidates[rng.random_range(0..candidates.len())];
+                harness.isolate(step, site);
+            }
+        } else if roll < 30 {
+            // Heal a random isolated site and re-integrate it.
+            let isolated: Vec<u8> = (0..opts.n_sites)
+                .filter(|i| harness.isolated[*i as usize])
+                .collect();
+            if !isolated.is_empty() {
+                let site = isolated[rng.random_range(0..isolated.len())];
+                harness.heal_isolation(step, site);
+            }
+        } else if roll < 34 {
+            harness.scrape(step, &mut rng);
+        } else if roll < 75 {
+            harness.run_write(step, &mut rng);
+        } else {
+            harness.run_read(step, &mut rng);
+        }
+    }
+
+    if harness.outcome.violations.is_empty() {
+        harness.converge();
+    }
+
+    let mut outcome = std::mem::take(&mut harness.outcome);
+    harness.client.terminate_all();
+    cluster.join(Duration::from_secs(5));
+    outcome.trace.push(format!(
+        "{{\"summary\":{{\"committed\":{},\"in_doubt\":{},\"aborted\":{},\"violations\":{}}}}}",
+        outcome.committed_writes,
+        outcome.in_doubt_writes,
+        outcome.aborted,
+        outcome.violations.len()
+    ));
+    outcome
+}
+
+/// Knobs for a process-mode chaos run: real `miniraid-site` OS
+/// processes over TCP with WAL-backed durable stores, killed with
+/// SIGKILL mid-transaction and restarted from their logs.
+#[derive(Debug, Clone)]
+pub struct ProcChaosOptions {
+    /// Master seed for the schedule RNG and per-site fault plans.
+    pub seed: u64,
+    /// Kill/restart cycles to run.
+    pub kills: u32,
+    /// Closed-loop writes between kills.
+    pub writes_per_round: u32,
+    /// Database sites (each its own OS process).
+    pub n_sites: u8,
+    /// Items per database copy.
+    pub db_size: u32,
+    /// Site `i` listens on `base_port + i`; the manager on
+    /// `base_port + n_sites`.
+    pub base_port: u16,
+    /// Path to the `miniraid-site` binary.
+    pub site_bin: std::path::PathBuf,
+    /// Directory for the per-site WALs (must outlive the run).
+    pub durable_dir: std::path::PathBuf,
+    /// Per-frame drop probability injected inside each site process.
+    pub drop: f64,
+    /// Per-frame duplication probability.
+    pub duplicate: f64,
+    /// Enable the reliable session layer inside each site process.
+    pub with_reliable: bool,
+}
+
+struct Procs(Vec<Option<std::process::Child>>);
+
+impl Drop for Procs {
+    fn drop(&mut self) {
+        for child in self.0.iter_mut().flatten() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn spawn_site(opts: &ProcChaosOptions, site: u8) -> std::io::Result<std::process::Child> {
+    let mut cmd = std::process::Command::new(&opts.site_bin);
+    cmd.args([
+        site.to_string(),
+        opts.n_sites.to_string(),
+        opts.base_port.to_string(),
+        opts.db_size.to_string(),
+    ])
+    .arg(&opts.durable_dir)
+    .stderr(std::process::Stdio::null());
+    if opts.drop > 0.0 || opts.duplicate > 0.0 {
+        // Same per-site seed derivation as `Cluster::launch_faulty`.
+        let seed = opts
+            .seed
+            .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(site as u64 + 1));
+        cmd.env(
+            "MINIRAID_FAULTS",
+            format!("{seed}:{}:{}", opts.drop, opts.duplicate),
+        );
+    }
+    if opts.with_reliable {
+        cmd.env("MINIRAID_RELIABLE", "1");
+    }
+    cmd.spawn()
+}
+
+/// Run a kill-heavy chaos schedule against real OS processes: each
+/// round does some closed-loop writes, then SIGKILLs a random site
+/// *while a write coordinated by that site is in flight*, restarts it
+/// from its WAL, and re-integrates it through fail/recover. The same
+/// oracle and convergence checks as [`run_thread_chaos`] apply; a
+/// coordinator killed between Prepare and its commit decision must
+/// leave every participant with the same outcome, which the final
+/// convergence pass verifies.
+pub fn run_process_chaos(opts: &ProcChaosOptions) -> ChaosOutcome {
+    use miniraid_net::tcp::{AddressPlan, TcpEndpoint};
+
+    let mut procs = Procs(Vec::new());
+    for i in 0..opts.n_sites {
+        match spawn_site(opts, i) {
+            Ok(child) => procs.0.push(Some(child)),
+            Err(e) => {
+                let mut outcome = ChaosOutcome::default();
+                outcome.violations.push(format!("spawn site {i}: {e}"));
+                return outcome;
+            }
+        }
+    }
+    std::thread::sleep(Duration::from_millis(400)); // let the ports bind
+
+    let plan = AddressPlan {
+        base_port: opts.base_port,
+    };
+    let (transport, mailbox) = match TcpEndpoint::bind(SiteId(opts.n_sites), plan) {
+        Ok(pair) => pair,
+        Err(e) => {
+            let mut outcome = ChaosOutcome::default();
+            outcome.violations.push(format!("bind manager: {e}"));
+            return outcome;
+        }
+    };
+    let client = ManagingClient::new(transport, mailbox, opts.n_sites);
+
+    let mut harness = Harness {
+        client,
+        controls: Vec::new(),
+        oracle: HashMap::new(),
+        up: vec![true; opts.n_sites as usize],
+        isolated: vec![false; opts.n_sites as usize],
+        last_commit_coordinator: None,
+        outcome: ChaosOutcome::default(),
+        opts: ChaosOptions {
+            seed: opts.seed,
+            steps: opts.kills,
+            n_sites: opts.n_sites,
+            db_size: opts.db_size,
+            drop: opts.drop,
+            duplicate: opts.duplicate,
+            with_reliable: opts.with_reliable,
+        },
+    };
+    harness.trace(format!(
+        "{{\"mode\":\"proc\",\"seed\":{},\"kills\":{},\"n_sites\":{},\"drop\":{},\"duplicate\":{},\"reliable\":{}}}",
+        opts.seed, opts.kills, opts.n_sites, opts.drop, opts.duplicate, opts.with_reliable
+    ));
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    for round in 0..opts.kills {
+        if !harness.outcome.violations.is_empty() {
+            break;
+        }
+        for _ in 0..opts.writes_per_round {
+            harness.run_write(round, &mut rng);
+        }
+        harness.harvest_late_reports();
+
+        // SIGKILL a site while it coordinates an in-flight write: the
+        // crash can land between Prepare and the commit decision.
+        let victim = rng.random_range(0..opts.n_sites);
+        let item = rng.random_range(0..opts.db_size);
+        let id = harness.client.next_txn_id();
+        harness.client.submit_txn(
+            SiteId(victim),
+            Transaction::new(id, vec![Operation::Write(ItemId(item), id.0)]),
+        );
+        harness
+            .oracle
+            .entry(item)
+            .or_default()
+            .in_doubt
+            .push((id.0, id.0));
+        harness.outcome.in_doubt_writes += 1;
+        if let Some(child) = procs.0[victim as usize].as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        harness.trace(format!(
+            "{{\"round\":{round},\"action\":\"kill9\",\"site\":{victim},\"inflight_txn\":{}}}",
+            id.0
+        ));
+        harness.up[victim as usize] = false;
+
+        // Give the survivors time to detect the crash (participant
+        // timeouts) and the OS time to free the port, then restart the
+        // victim from its WAL.
+        std::thread::sleep(Duration::from_millis(700));
+        match spawn_site(opts, victim) {
+            Ok(child) => procs.0[victim as usize] = Some(child),
+            Err(e) => {
+                harness.violation(round, format!("respawn site {victim}: {e}"));
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(400));
+        harness.trace(format!(
+            "{{\"round\":{round},\"action\":\"respawn\",\"site\":{victim}}}"
+        ));
+        // A fresh process may come up "up" (empty WAL) or waiting to
+        // recover (non-empty WAL): fail first to normalize, then
+        // recover.
+        harness.client.fail(SiteId(victim));
+        std::thread::sleep(Duration::from_millis(100));
+        match harness.client.recover(SiteId(victim), MGMT_WAIT) {
+            Ok(session) => {
+                harness.up[victim as usize] = true;
+                harness.trace(format!(
+                    "{{\"round\":{round},\"action\":\"recover\",\"site\":{victim},\"session\":{}}}",
+                    session.0
+                ));
+            }
+            Err(e) => {
+                harness.violation(round, format!("site {victim} failed to rejoin: {e}"));
+                break;
+            }
+        }
+        harness.harvest_late_reports();
+    }
+
+    if harness.outcome.violations.is_empty() {
+        harness.converge();
+    }
+
+    let mut outcome = std::mem::take(&mut harness.outcome);
+    harness.client.terminate_all();
+    std::thread::sleep(Duration::from_millis(300));
+    drop(procs);
+    outcome.trace.push(format!(
+        "{{\"summary\":{{\"committed\":{},\"in_doubt\":{},\"aborted\":{},\"violations\":{}}}}}",
+        outcome.committed_writes,
+        outcome.in_doubt_writes,
+        outcome.aborted,
+        outcome.violations.len()
+    ));
+    outcome
+}

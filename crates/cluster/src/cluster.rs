@@ -10,6 +10,8 @@ use miniraid_core::ids::SiteId;
 use miniraid_core::partial::ReplicationMap;
 use miniraid_net::channel::{ChannelMailbox, ChannelNetwork, ChannelTransport};
 use miniraid_net::delay::DelayTransport;
+use miniraid_net::fault::{FaultControl, FaultPlan, FaultTransport};
+use miniraid_net::reliable::{reliable, ReliableConfig};
 use miniraid_net::tcp::{AddressPlan, TcpEndpoint, TcpMailbox, TcpTransport};
 
 use crate::control::ManagingClient;
@@ -152,6 +154,92 @@ impl Cluster {
         }
         let client = ManagingClient::new(mgr_transport, mgr_mailbox, n);
         (Cluster { handles }, client)
+    }
+
+    /// Launch over in-process channels with a seeded fault-injection
+    /// decorator on every site's transport and — when `with_reliable` is
+    /// set — the reliable session layer on top, so lost/duplicated/
+    /// reordered frames are retransmitted and deduplicated before the
+    /// engine sees them. The manager's endpoint stays plain (management
+    /// traffic is the out-of-band measurement harness, and the fault
+    /// decorator exempts it anyway). Each site derives its own RNG seed
+    /// from `plan.seed`, so a whole-cluster run is reproducible from one
+    /// number. Returns one [`FaultControl`] per site for scripting
+    /// one-way partitions.
+    ///
+    /// `with_reliable = false` is the negative control: the engines face
+    /// the raw lossy link, which the paper's protocol does *not* tolerate
+    /// (its §1.2 assumption 1 presumes reliable delivery).
+    pub fn launch_faulty(
+        config: ProtocolConfig,
+        timing: ClusterTiming,
+        plan: FaultPlan,
+        with_reliable: bool,
+    ) -> (
+        Cluster,
+        ManagingClient<ChannelTransport, ChannelMailbox>,
+        Vec<FaultControl>,
+    ) {
+        let n = config.n_sites;
+        let manager_id = SiteId(n);
+        let mut endpoints = ChannelNetwork::new(n as usize + 1);
+        let (mgr_transport, mgr_mailbox) = endpoints.pop().expect("manager endpoint");
+
+        // Chaos debugging aid: when set, every site writes its protocol
+        // events (fail-lock set/clear, copier rounds, session changes) to
+        // `<dir>/site-<i>.jsonl`, so a seeded violation can be replayed
+        // and diagnosed at the engine level.
+        let trace_dir = std::env::var_os("MINIRAID_CHAOS_TRACE_DIR").map(std::path::PathBuf::from);
+        if let Some(dir) = &trace_dir {
+            let _ = std::fs::create_dir_all(dir);
+        }
+
+        let mut handles = Vec::with_capacity(n as usize);
+        let mut controls = Vec::with_capacity(n as usize);
+        for (i, (transport, mailbox)) in endpoints.into_iter().enumerate() {
+            let mut engine = SiteEngine::new(SiteId(i as u8), config.clone());
+            let obs = trace_dir.as_ref().and_then(|dir| {
+                SiteObs::attach(
+                    &mut engine,
+                    Some(dir.join(format!("site-{i}.jsonl")).as_path()),
+                )
+                .ok()
+            });
+            // Distinct per-site streams, all derived from the one seed.
+            let site_plan = FaultPlan {
+                seed: plan
+                    .seed
+                    .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1)),
+                ..plan
+            };
+            let (transport, control) = FaultTransport::new(transport, site_plan);
+            controls.push(control);
+            let handle = if with_reliable {
+                let cfg = ReliableConfig {
+                    // Threads never restart mid-run, so a fixed epoch
+                    // keeps whole-cluster runs deterministic.
+                    epoch: Some(1),
+                    ..ReliableConfig::default()
+                };
+                let (transport, mailbox) = reliable(transport, mailbox, cfg);
+                std::thread::Builder::new()
+                    .name(format!("miniraid-site-{i}"))
+                    .spawn(move || {
+                        run_site_full(engine, transport, mailbox, manager_id, timing, None, obs)
+                    })
+                    .expect("spawn site thread")
+            } else {
+                std::thread::Builder::new()
+                    .name(format!("miniraid-site-{i}"))
+                    .spawn(move || {
+                        run_site_full(engine, transport, mailbox, manager_id, timing, None, obs)
+                    })
+                    .expect("spawn site thread")
+            };
+            handles.push(handle);
+        }
+        let client = ManagingClient::new(mgr_transport, mgr_mailbox, n);
+        (Cluster { handles }, client, controls)
     }
 
     /// Launch with WAL-backed durable storage under `dir/site-<i>/`.

@@ -94,6 +94,24 @@ impl<T: Transport, M: Mailbox> ManagingClient<T, M> {
         })
     }
 
+    /// Tell a site to recover without a donor (total-failure bootstrap);
+    /// waits until it reports operational. Only correct when the caller
+    /// has certified the site was in the last operational set — its local
+    /// state becomes the authoritative seed everyone else recovers from.
+    pub fn bootstrap(
+        &mut self,
+        site: SiteId,
+        deadline: Duration,
+    ) -> Result<SessionNumber, ControlError> {
+        let _ = self
+            .transport
+            .send(site, &Message::Mgmt(Command::Bootstrap));
+        self.wait_for(deadline, "bootstrap", |msg| match msg {
+            Message::MgmtRecovered { session } => Some(*session),
+            _ => None,
+        })
+    }
+
     /// Wait for a site to report complete data recovery (all fail-locks
     /// cleared).
     pub fn wait_data_recovered(

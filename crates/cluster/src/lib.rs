@@ -9,11 +9,15 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod control;
 pub mod obs;
 pub mod site;
 
+pub use chaos::{
+    run_process_chaos, run_thread_chaos, ChaosOptions, ChaosOutcome, ProcChaosOptions,
+};
 pub use cluster::Cluster;
 pub use control::{ControlError, ManagingClient};
 pub use obs::SiteObs;

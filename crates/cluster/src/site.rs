@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use miniraid_core::engine::{Input, Output, SiteEngine, TimerId};
 use miniraid_core::ids::SiteId;
-use miniraid_core::messages::Message;
+use miniraid_core::messages::{Command, Message};
 use miniraid_core::session::SiteStatus;
 use miniraid_net::{Mailbox, RecvError, Transport};
 use miniraid_storage::DurableStore;
@@ -129,8 +129,12 @@ pub fn run_site_full<T: Transport, M: Mailbox>(
     let mut out: Vec<Output> = Vec::new();
 
     // Serve a metrics scrape without touching the engine state machine:
-    // the reply goes straight out on the transport.
-    let serve_metrics = |engine: &SiteEngine, from: SiteId| {
+    // the reply goes straight out on the transport. Transport-layer
+    // counters (retransmits, duplicate drops, reconnect attempts) are
+    // folded into the engine's metrics just before rendering.
+    let serve_metrics = |engine: &mut SiteEngine, from: SiteId| {
+        let stats = transport.stats();
+        engine.note_transport(stats.retransmits, stats.dup_drops, stats.reconnects);
         let text = match &obs {
             Some(obs) => obs.render(engine),
             None => render_plain(engine),
@@ -154,13 +158,13 @@ pub fn run_site_full<T: Transport, M: Mailbox>(
             Ok((from, msg)) => {
                 drained = true;
                 if matches!(msg, Message::MetricsRequest) {
-                    serve_metrics(&engine, from);
+                    serve_metrics(&mut engine, from);
                 } else {
                     engine.handle(Input::Deliver { from, msg }, &mut out);
                 }
                 loop {
                     match mailbox.try_recv() {
-                        Ok((from, Message::MetricsRequest)) => serve_metrics(&engine, from),
+                        Ok((from, Message::MetricsRequest)) => serve_metrics(&mut engine, from),
                         Ok((from, msg)) => engine.handle(Input::Deliver { from, msg }, &mut out),
                         Err(RecvError::Timeout) => break,
                         Err(RecvError::Disconnected) => return,
@@ -179,7 +183,7 @@ pub fn run_site_full<T: Transport, M: Mailbox>(
                 &mut timers,
                 &mut timer_seq,
                 &mut out,
-                store.as_mut(),
+                &mut store,
             );
         }
 
@@ -200,7 +204,7 @@ pub fn run_site_full<T: Transport, M: Mailbox>(
                 &mut timers,
                 &mut timer_seq,
                 &mut out,
-                store.as_mut(),
+                &mut store,
             );
         }
 
@@ -222,38 +226,47 @@ fn perform<T: Transport>(
     timers: &mut BinaryHeap<Reverse<Armed>>,
     timer_seq: &mut u64,
     out: &mut Vec<Output>,
-    mut store: Option<&mut DurableStore>,
+    store: &mut Option<DurableStore>,
 ) {
     // Sends are grouped per destination and flushed as one frame each at
     // the end (`Transport::send_batch`), preserving per-peer FIFO order.
     // Persist outputs are fsynced inline, so durability still precedes
-    // every message that announces it.
+    // every message that announces it. If a durable write fails the site
+    // goes down instead of panicking: the drain's outbound messages are
+    // discarded (nothing announces state that didn't reach stable
+    // storage), the store handle is dropped, and the loop keeps serving
+    // metrics scrapes — the observer sits outside the failure model.
     let mut outbound: Vec<(SiteId, Vec<Message>)> = Vec::new();
     let mut queue =
         |to: SiteId, msg: Message| match outbound.iter_mut().find(|(peer, _)| *peer == to) {
             Some((_, msgs)) => msgs.push(msg),
             None => outbound.push((to, vec![msg])),
         };
+    let mut persist_error: Option<miniraid_storage::StorageError> = None;
     for output in out.drain(..) {
+        if persist_error.is_some() {
+            break;
+        }
         match output {
             Output::Persist {
                 txn,
                 writes,
                 faillocks,
             } => {
-                if let Some(store) = store.as_deref_mut() {
+                if let Some(store) = store.as_mut() {
                     let raw: Vec<(u32, miniraid_storage::ItemValue)> =
                         writes.iter().map(|(item, v)| (item.0, *v)).collect();
                     if !raw.is_empty() {
-                        store
-                            .commit(txn.0, &raw)
-                            .expect("durable store write failed");
+                        if let Err(err) = store.commit(txn.0, &raw) {
+                            persist_error = Some(err);
+                            continue;
+                        }
                     }
                     let words: Vec<(u32, u64)> =
                         faillocks.iter().map(|(item, w)| (item.0, *w)).collect();
-                    store
-                        .log_faillocks(&words)
-                        .expect("durable fail-lock log failed");
+                    if let Err(err) = store.log_faillocks(&words) {
+                        persist_error = Some(err);
+                    }
                 }
             }
             Output::Send { to, msg } => queue(to, msg),
@@ -267,10 +280,11 @@ fn perform<T: Transport>(
             }
             Output::Report(report) => queue(manager, Message::MgmtReport(report)),
             Output::BecameOperational { session } => {
-                if let Some(store) = store.as_deref_mut() {
-                    store
-                        .log_session(session.0)
-                        .expect("durable session log failed");
+                if let Some(store) = store.as_mut() {
+                    if let Err(err) = store.log_session(session.0) {
+                        persist_error = Some(err);
+                        continue;
+                    }
                 }
                 queue(manager, Message::MgmtRecovered { session });
             }
@@ -280,6 +294,19 @@ fn perform<T: Transport>(
             }
             Output::RecoveryFailed | Output::Work(_) => {} // Persist handled above.
         }
+    }
+    if let Some(err) = persist_error {
+        eprintln!(
+            "site {}: durable write failed ({err}); transitioning to down",
+            engine.id().0
+        );
+        *store = None;
+        timers.clear();
+        let _ = engine.handle_owned(Input::Deliver {
+            from: manager,
+            msg: Message::Mgmt(Command::Fail),
+        });
+        return;
     }
     for (to, msgs) in outbound {
         if msgs.len() > 1 {

@@ -41,6 +41,115 @@ fn spawn_sites(n_sites: u8, base_port: u16, db_size: u32) -> Procs {
     Procs(children)
 }
 
+/// Kill -9 the coordinator of an in-flight write — the crash lands
+/// between Prepare and the commit decision reaching the participants —
+/// then restart it from its write-ahead log and recover it. Whatever the
+/// decision was, every site must end up with the SAME value for the item:
+/// either the write committed everywhere (the WAL preserved it and the
+/// participants' in-doubt fail-locks forced a refresh) or it is gone
+/// everywhere. A split outcome is the classic 2PC failure this layer
+/// exists to prevent.
+#[test]
+fn coordinator_crash_mid_2pc_uniform_outcome() {
+    let base_port = 31000 + (std::process::id() % 500) as u16 * 8;
+    let durable = std::env::temp_dir().join(format!("miniraid-2pc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&durable);
+    std::fs::create_dir_all(&durable).expect("create durable dir");
+    let spawn_durable = |i: u8| {
+        Command::new(env!("CARGO_BIN_EXE_miniraid-site"))
+            .args([
+                i.to_string(),
+                "3".to_string(),
+                base_port.to_string(),
+                "20".to_string(),
+                durable.display().to_string(),
+            ])
+            .spawn()
+            .expect("spawn durable site")
+    };
+    let mut procs = Procs((0..3).map(spawn_durable).collect());
+
+    let plan = AddressPlan { base_port };
+    let (transport, mailbox) = TcpEndpoint::bind(SiteId(3), plan).expect("bind manager");
+    let mut client = ManagingClient::new(transport, mailbox, 3);
+
+    // Baseline: item 7 = 10, committed everywhere.
+    let id = client.next_txn_id();
+    let report = client
+        .run_txn(
+            SiteId(0),
+            Transaction::new(id, vec![Operation::Write(ItemId(7), 10)]),
+            WAIT,
+        )
+        .expect("baseline commit");
+    assert!(report.outcome.is_committed());
+
+    // Fire a write at coordinator 0 and SIGKILL it immediately: the crash
+    // races phase one/two of the commit protocol.
+    let inflight = client.next_txn_id();
+    client.submit_txn(
+        SiteId(0),
+        Transaction::new(inflight, vec![Operation::Write(ItemId(7), 999)]),
+    );
+    procs.0[0].kill().expect("kill coordinator");
+    procs.0[0].wait().expect("reap coordinator");
+
+    // Let the survivors' participant timeouts fire (they discard the
+    // in-doubt updates and fail-lock their own copies), then restart the
+    // coordinator from its WAL and re-integrate it.
+    std::thread::sleep(Duration::from_millis(700));
+    procs.0[0] = spawn_durable(0);
+    std::thread::sleep(Duration::from_millis(400));
+    client.fail(SiteId(0));
+    std::thread::sleep(Duration::from_millis(100));
+    let session = client
+        .recover(SiteId(0), WAIT)
+        .expect("coordinator rejoins");
+    assert!(session.0 >= 2);
+
+    // Did the decision escape before the kill?
+    let observed_commit = client
+        .drain_reports()
+        .iter()
+        .any(|r| r.txn == inflight && r.outcome.is_committed());
+
+    // Every site must now report the same value for item 7 — reads at a
+    // site with a fail-locked copy refresh it via a copier first, exactly
+    // the path that repairs an in-doubt participant.
+    let mut values = Vec::new();
+    for site in 0..3u8 {
+        let id = client.next_txn_id();
+        let r = client
+            .run_txn(
+                SiteId(site),
+                Transaction::new(id, vec![Operation::Read(ItemId(7))]),
+                WAIT,
+            )
+            .expect("read after recovery");
+        assert!(r.outcome.is_committed(), "read at site {site} aborted");
+        values.push(r.read_results[0].1.data);
+    }
+    assert!(
+        values.iter().all(|v| *v == values[0]),
+        "split 2PC outcome: per-site values {values:?}"
+    );
+    assert!(
+        values[0] == 10 || values[0] == 999,
+        "unexpected value {}",
+        values[0]
+    );
+    if observed_commit {
+        assert_eq!(values[0], 999, "reported-committed write was lost");
+    }
+
+    client.terminate_all();
+    for child in &mut procs.0 {
+        let _ = child.wait();
+    }
+    procs.0.clear();
+    let _ = std::fs::remove_dir_all(&durable);
+}
+
 #[test]
 fn os_processes_commit_fail_and_recover() {
     let base_port = 26000 + (std::process::id() % 500) as u16 * 8;

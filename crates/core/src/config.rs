@@ -92,6 +92,15 @@ pub struct ProtocolConfig {
     /// strict-2PL lock manager whose read/write sets are predeclared at
     /// admission.
     pub max_inflight: usize,
+    /// During a type-1 control transaction, request state from EVERY
+    /// operational candidate and merge the late responses into the first
+    /// (fail-locks by union, session vector by dominance), instead of
+    /// the paper's single designated donor. One honest responder then
+    /// suffices even if the first responder was itself falsely excluded
+    /// and serving a stale table. On (the default) everywhere except the
+    /// paper-reproduction scenarios, whose measured type-1 cost assumes
+    /// a single responder formats state.
+    pub recovery_cross_check: bool,
 }
 
 impl ProtocolConfig {
@@ -129,6 +138,7 @@ impl Default for ProtocolConfig {
             emit_persistence: false,
             strategy: ReplicationStrategy::RowaAvailable,
             max_inflight: 1,
+            recovery_cross_check: true,
         }
     }
 }

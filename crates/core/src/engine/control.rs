@@ -68,7 +68,17 @@ impl SiteEngine {
             return;
         }
 
+        // With `recovery_cross_check`, ask EVERY candidate for state,
+        // not just a designated donor. Any single responder may itself
+        // be stale — a falsely excluded site does not know it was
+        // excluded and will happily serve a table missing bits the real
+        // operational group holds. The first response completes the
+        // control transaction (latency unchanged); the rest are merged
+        // in as they arrive (`on_late_recovery_info`). Without the flag,
+        // only `candidates[0]` formats state — the paper's protocol and
+        // its measured type-1 cost.
         let designated = candidates[0];
+        let cross_check = self.config.recovery_cross_check;
         self.recovery = Some(RecoveryState {
             candidates: candidates.clone(),
             attempt: 0,
@@ -79,12 +89,54 @@ impl SiteEngine {
                 site,
                 Message::RecoveryAnnounce {
                     session,
-                    want_state: site == designated,
+                    want_state: cross_check || site == designated,
                 },
                 out,
             );
         }
         out.push(Output::SetTimer(TimerId::RecoveryInfoTimeout(0)));
+    }
+
+    /// Recover without a donor (managing site said `Bootstrap`): total
+    /// failure left no operational site to run a type-1 against, and the
+    /// managing site certifies we were in the last operational set — our
+    /// fail-lock table and session vector are as complete as any. Come up
+    /// in a fresh session with every peer marked down; they rejoin via
+    /// ordinary type-1 recovery with us as the donor. Items our table
+    /// shows stale at us stay fail-locked until their fresh holders are
+    /// back, so no stale copy is ever served.
+    pub(super) fn bootstrap_recovery(&mut self, out: &mut Vec<Output>) {
+        if self.is_up() {
+            return;
+        }
+        let me = self.id();
+        let session = self.session().next();
+        self.recovery = None;
+        for s in 0..self.config.n_sites {
+            let site = SiteId(s);
+            if site != me {
+                self.vector.mark_down(site);
+            }
+        }
+        self.vector.set_record(
+            me,
+            SiteRecord {
+                session,
+                status: SiteStatus::Up,
+            },
+        );
+        self.metrics.control_type1 += 1;
+        self.tracer.emit(None, EventKind::ControlTxn { ctype: 1 });
+        self.tracer.emit(
+            None,
+            EventKind::SessionChange {
+                site: me,
+                session,
+                up: true,
+            },
+        );
+        out.push(Output::BecameOperational { session });
+        self.init_data_refresh(out);
     }
 
     /// An operational site processes a recovery announcement: update the
@@ -109,6 +161,8 @@ impl SiteEngine {
             // The paper measured this at 50 ms on the operational site:
             // formatting and sending session vector and fail-locks; the
             // cost grows with database size.
+            self.tracer
+                .emit(None, EventKind::RecoveryServe { site: from });
             out.push(Output::Work(Work::FormatRecoveryState(self.config.db_size)));
             let vector: Vec<SiteRecord> = (0..self.config.n_sites)
                 .map(|s| self.vector.record(SiteId(s)))
@@ -135,7 +189,7 @@ impl SiteEngine {
     #[allow(clippy::too_many_arguments)]
     pub(super) fn on_recovery_info(
         &mut self,
-        _from: SiteId,
+        from: SiteId,
         vector: Vec<SiteRecord>,
         faillocks: Vec<u64>,
         holders: Vec<u64>,
@@ -143,17 +197,37 @@ impl SiteEngine {
         out: &mut Vec<Output>,
     ) {
         let Some(recovery) = self.recovery.take() else {
+            self.tracer.emit(
+                None,
+                EventKind::RecoveryMerge {
+                    from,
+                    merged: false,
+                },
+            );
             return; // stale (e.g. second responder after a retry)
         };
+        self.tracer
+            .emit(None, EventKind::RecoveryMerge { from, merged: true });
+        // The remaining candidates were also asked for state; their
+        // responses cross-check this one when they arrive.
+        self.late_donors = recovery
+            .candidates
+            .iter()
+            .copied()
+            .filter(|&s| s != from)
+            .collect();
         let me = self.id();
         out.push(Output::Work(Work::SessionInstall));
         out.push(Output::Work(Work::FailLockInstall(self.config.db_size)));
 
-        let mut received = crate::session::SessionVector::new(vector.len());
+        // Adopt the donor's vector wholesale (paper §3.2): whatever we
+        // believed before failing — or accumulated while partitioned away —
+        // is obsolete. Only the late cross-check responses merge by
+        // dominance, so a stale first responder cannot silently resurrect
+        // a legitimately excluded site (see `on_late_recovery_info`).
         for (i, rec) in vector.iter().enumerate() {
-            received.set_record(SiteId(i as u8), *rec);
+            self.vector.set_record(SiteId(i as u8), *rec);
         }
-        self.vector.install_from(&received, me);
         self.vector.set_record(
             me,
             SiteRecord {
@@ -165,6 +239,9 @@ impl SiteEngine {
             // The installed snapshot replaces our (stale) table wholesale;
             // account the net bit delta so the cumulative counters keep
             // satisfying `faillocks_set − faillocks_cleared == bits set`.
+            // If this responder was itself stale, the other candidates'
+            // responses union the missing bits back in (see
+            // `on_late_recovery_info`).
             let before = self.faillocks.total_set() as u64;
             self.faillocks.install_snapshot(&faillocks);
             let after = self.faillocks.total_set() as u64;
@@ -204,6 +281,62 @@ impl SiteEngine {
             session: recovery.session,
         });
         self.init_data_refresh(out);
+    }
+
+    /// A `RecoveryInfo` from one of the other candidates asked during the
+    /// type-1 control transaction, arriving after the first response
+    /// already completed it.
+    ///
+    /// The first responder is not guaranteed authoritative: it may have
+    /// been falsely excluded from the operational group without knowing
+    /// it, and its table may be missing fail-lock bits that protect
+    /// committed writes we missed. Merging every answered snapshot makes
+    /// one honest responder sufficient. Fail-locks merge by union (a
+    /// spurious bit costs a redundant refresh; a lost bit loses a
+    /// committed write) and the vector merges by session dominance, so
+    /// in the failure-free case — identical responses — this is a no-op.
+    pub(super) fn on_late_recovery_info(
+        &mut self,
+        from: SiteId,
+        vector: Vec<SiteRecord>,
+        faillocks: Vec<u64>,
+        out: &mut Vec<Output>,
+    ) {
+        let Some(pos) = self.late_donors.iter().position(|&s| s == from) else {
+            self.tracer.emit(
+                None,
+                EventKind::RecoveryMerge {
+                    from,
+                    merged: false,
+                },
+            );
+            return; // not a response to our current recovery round
+        };
+        self.late_donors.swap_remove(pos);
+        self.tracer
+            .emit(None, EventKind::RecoveryMerge { from, merged: true });
+        let me = self.id();
+        let mut received = crate::session::SessionVector::new(vector.len());
+        for (i, rec) in vector.iter().enumerate() {
+            received.set_record(SiteId(i as u8), *rec);
+        }
+        self.vector.install_from(&received, me);
+        if self.config.fail_locks_enabled {
+            let before = self.faillocks.total_set() as u64;
+            self.faillocks.union_snapshot(&faillocks);
+            let after = self.faillocks.total_set() as u64;
+            if after > before {
+                let delta = after - before;
+                self.metrics.faillocks_set += delta;
+                self.tracer.emit(
+                    None,
+                    EventKind::FailLocksSet {
+                        count: delta.min(u32::MAX as u64) as u32,
+                    },
+                );
+                out.push(Output::Work(Work::FailLockInstall(self.config.db_size)));
+            }
+        }
     }
 
     /// No `RecoveryInfo` arrived: ask the next candidate, or give up.
@@ -319,7 +452,20 @@ impl SiteEngine {
         let mut changed = 0u32;
         for (site, session) in failed {
             if site == me {
-                continue; // we know our own status best
+                // The cluster excluded *us* under our current session:
+                // a timeout fired somewhere while we kept running (false
+                // detection under message loss, or a partition). Our
+                // session is dead — no operational site will accept our
+                // transactions, and every write committed without us set
+                // fail-locks against our copies. Honour the fail-stop
+                // model by actually stepping down; a later `Recover`
+                // re-integrates us under a fresh session number. A
+                // notice for an older session is stale — we already
+                // recovered past it — and is ignored.
+                if session == self.session() && self.is_up() {
+                    self.step_down(out);
+                }
+                continue;
             }
             if self.vector.apply_failure_announcement(site, session) {
                 changed += 1;

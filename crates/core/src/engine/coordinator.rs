@@ -211,6 +211,7 @@ impl SiteEngine {
         let mut state = CoordTxn {
             txn,
             snapshot: self.vector.session_snapshot(),
+            up_mask: self.vector.up_mask(),
             phase: CoordPhase::Refresh,
             participants: BTreeSet::new(),
             waiting: BTreeSet::new(),
@@ -345,10 +346,16 @@ impl SiteEngine {
                 participants: participants.len().min(u8::MAX as usize) as u8,
             },
         );
+        let up_mask = self.vector.up_mask();
         let state = self.coords.get_mut(&txn_id).expect("transaction in flight");
         state.participants = participants.clone();
         state.waiting = participants.clone();
         state.phase = CoordPhase::WaitAcks;
+        // Refresh the operational bitmap alongside the participant set: the
+        // mask shipped in the CopyUpdate must describe exactly the view that
+        // chose the participants, so every site's commit-time fail-lock
+        // maintenance is identical.
+        state.up_mask = up_mask;
         let writes = state.writes.clone();
         let snapshot = state.snapshot.clone();
         let clears: Vec<(ItemId, SiteId)> = if self.config.piggyback_clears {
@@ -365,6 +372,7 @@ impl SiteEngine {
                     writes: writes.clone(),
                     snapshot: snapshot.clone(),
                     clears: clears.clone(),
+                    up_mask,
                 },
                 out,
             );
@@ -462,7 +470,38 @@ impl SiteEngine {
         }
         state.phase2_failure = true;
         let failed: Vec<SiteId> = state.waiting.iter().copied().collect();
+        // The CopyUpdate's up_mask still shows the failed sites up, so
+        // commit-time maintenance would *clear* their fail-lock bits on
+        // the very items they just missed. Correct our own mask before
+        // finish_commit runs it (the paper sequences the type-2 control
+        // transaction before the commit for this reason), and send the
+        // corrective set to the participants that already committed with
+        // the optimistic mask.
+        let mut failed_mask = 0u64;
+        for site in &failed {
+            failed_mask |= 1u64 << site.0;
+        }
+        state.up_mask &= !failed_mask;
+        let items: Vec<ItemId> = state.writes.iter().map(|(i, _)| *i).collect();
+        let acked: Vec<SiteId> = state
+            .participants
+            .iter()
+            .filter(|p| !state.waiting.contains(p))
+            .copied()
+            .collect();
         self.announce_failures(&failed, out);
+        for peer in &acked {
+            for site in &failed {
+                self.send_unattributed(
+                    *peer,
+                    Message::SetFailLocks {
+                        site: *site,
+                        items: items.clone(),
+                    },
+                    out,
+                );
+            }
+        }
         self.finish_commit(txn, out);
     }
 
@@ -470,7 +509,7 @@ impl SiteEngine {
     /// commit-time fail-lock maintenance, surface statistics.
     pub(super) fn finish_commit(&mut self, txn_id: TxnId, out: &mut Vec<Output>) {
         let state = self.retire(txn_id).expect("transaction in flight");
-        let counts = self.apply_commit(&state.writes, &[], out);
+        let counts = self.apply_commit(&state.writes, &[], state.up_mask, out);
         let mut stats = state.stats;
         stats.faillocks_set += counts.set;
         stats.faillocks_cleared += counts.cleared;

@@ -35,6 +35,21 @@ impl SiteEngine {
         out: &mut Vec<Output>,
     ) {
         let me = self.id();
+        // A requester our vector marks Down was excluded without knowing
+        // it; refuse (its fail-lock view is stale) and tell it directly.
+        if !self.vector.is_up(from) {
+            self.notify_excluded_sender(from, out);
+            self.send(
+                from,
+                Message::CopyResponse {
+                    req,
+                    ok: false,
+                    copies: Vec::new(),
+                },
+                out,
+            );
+            return;
+        }
         let mut copies = Vec::with_capacity(items.len());
         let mut ok = true;
         for item in &items {
@@ -249,6 +264,45 @@ impl SiteEngine {
         self.maybe_retire_backups(&items, out);
     }
 
+    /// Set fail-lock bits on behalf of `site`, which a coordinator
+    /// determined missed a commit after phase one (its CommitAck never
+    /// arrived): our own commit-time maintenance ran with an `up_mask`
+    /// still showing `site` operational and *cleared* these bits — undo
+    /// that so the replicated table records the stale copies.
+    pub(super) fn on_set_faillocks(
+        &mut self,
+        site: SiteId,
+        items: Vec<ItemId>,
+        out: &mut Vec<Output>,
+    ) {
+        if !self.config.fail_locks_enabled {
+            return;
+        }
+        let mut set = 0u32;
+        for item in &items {
+            if self.replication.holds(*item, site) && self.faillocks.set(*item, site) {
+                set += 1;
+            }
+        }
+        out.push(Output::Work(Work::FailureUpdate(items.len() as u32)));
+        self.metrics.faillocks_set += set as u64;
+        if set > 0 {
+            self.tracer
+                .emit(None, EventKind::FailLocksSet { count: set });
+        }
+        if set > 0 && self.config().emit_persistence {
+            let faillocks = items
+                .iter()
+                .map(|item| (*item, self.faillocks().word(*item)))
+                .collect();
+            out.push(Output::Persist {
+                txn: TxnId(0),
+                writes: Vec::new(),
+                faillocks,
+            });
+        }
+    }
+
     // ---- remote reads (partial replication) ---------------------------
 
     /// Serve a read request for items the requester holds no copy of.
@@ -260,6 +314,21 @@ impl SiteEngine {
         out: &mut Vec<Output>,
     ) {
         let me = self.id();
+        // Same exclusion notice as `serve_copy_request`: a reader our
+        // vector marks Down would hand stale values to its clients.
+        if !self.vector.is_up(from) {
+            self.notify_excluded_sender(from, out);
+            self.send(
+                from,
+                Message::ReadResponse {
+                    req,
+                    ok: false,
+                    values: Vec::new(),
+                },
+                out,
+            );
+            return;
+        }
         let quorum = self.config().strategy == ReplicationStrategy::MajorityQuorum;
         let mut values = Vec::with_capacity(items.len());
         let mut ok = true;

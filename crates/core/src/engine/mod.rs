@@ -38,6 +38,11 @@ use miniraid_storage::{ItemValue, MemStore};
 
 pub use self::coordinator::CoordPhase;
 
+/// How many committed participant decisions are remembered for
+/// re-acking redelivered `Commit` messages. Retransmission windows are
+/// short (a few round trips), so a small bound suffices.
+const RECENT_PART_CAP: usize = 128;
+
 /// An event fed into the engine by its driver.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Input {
@@ -157,6 +162,10 @@ pub enum Output {
 pub(crate) struct CoordTxn {
     pub txn: Transaction,
     pub snapshot: Vec<SessionNumber>,
+    /// Operational-site bitmap backing the participant choice, shipped
+    /// in `CopyUpdate` so commit-time fail-lock maintenance is identical
+    /// at every participant (see `Message::CopyUpdate::up_mask`).
+    pub up_mask: u64,
     pub phase: CoordPhase,
     /// Participants of the current 2PC round.
     pub participants: BTreeSet<SiteId>,
@@ -191,6 +200,8 @@ pub(crate) struct PendingTxn {
     pub coordinator: SiteId,
     pub writes: Vec<(ItemId, ItemValue)>,
     pub clears: Vec<(ItemId, SiteId)>,
+    /// Coordinator's operational-site bitmap from the `CopyUpdate`.
+    pub up_mask: u64,
 }
 
 /// Recovery progress (type-1 control transaction + data refresh phase).
@@ -249,8 +260,17 @@ pub struct SiteEngine {
     pub(crate) locks: LockManager,
     /// Participant contexts keyed by transaction.
     pub(crate) pending: HashMap<TxnId, PendingTxn>,
+    /// Recently committed participant decisions, kept so a redelivered
+    /// `Commit` is re-acked instead of silently dropped (the coordinator
+    /// may be retransmitting because our first `CommitAck` was lost).
+    /// Bounded FIFO; see [`RECENT_PART_CAP`].
+    pub(crate) recent_part: VecDeque<(TxnId, SiteId)>,
     /// CT1 progress, while status is WaitingToRecover.
     pub(crate) recovery: Option<RecoveryState>,
+    /// Candidates asked for state during the last type-1 round whose
+    /// `RecoveryInfo` has not arrived yet; late responses are merged in
+    /// to cross-check the first responder (see `on_late_recovery_info`).
+    pub(crate) late_donors: Vec<SiteId>,
     /// Data refresh mode after recovery.
     pub(crate) refresh: RefreshMode,
     /// In-flight standalone (batch) copiers: req -> (target, items).
@@ -287,7 +307,9 @@ impl SiteEngine {
             req_owner: HashMap::new(),
             locks: LockManager::new(),
             pending: HashMap::new(),
+            recent_part: VecDeque::new(),
             recovery: None,
+            late_donors: Vec::new(),
             refresh: RefreshMode::Idle,
             standalone_copiers: HashMap::new(),
             next_req: 1,
@@ -397,6 +419,25 @@ impl SiteEngine {
         self.metrics.batched_messages_sent += messages as u64;
     }
 
+    /// Fold cumulative transport-layer counters (retransmissions,
+    /// duplicate drops, reconnect attempts) into the engine metrics so
+    /// they appear in the site's exposition. Values are absolute; the
+    /// driving loop calls this before rendering metrics.
+    pub fn note_transport(&mut self, retransmits: u64, dup_drops: u64, reconnects: u64) {
+        self.metrics.transport_retransmits = retransmits;
+        self.metrics.transport_dup_drops = dup_drops;
+        self.metrics.transport_reconnects = reconnects;
+    }
+
+    /// Remember a committed participant decision for duplicate-`Commit`
+    /// re-acking, evicting the oldest entry beyond the bound.
+    pub(crate) fn note_recent_participant(&mut self, txn: TxnId, coordinator: SiteId) {
+        if self.recent_part.len() >= RECENT_PART_CAP {
+            self.recent_part.pop_front();
+        }
+        self.recent_part.push_back((txn, coordinator));
+    }
+
     /// This site's own status.
     pub fn status(&self) -> SiteStatus {
         self.vector.status(self.id)
@@ -462,35 +503,114 @@ impl SiteEngine {
         out
     }
 
+    /// Freeze: drop all protocol state; keep db, vector, fail-locks as
+    /// they stood (they survive in "stable storage" across the failure).
+    /// In-flight coordinated transactions simply vanish with us;
+    /// participants time out and announce our failure. Invoked by the
+    /// managing site's `Fail` command, and by the engine itself when it
+    /// learns the operational sites excluded it under its current
+    /// session (a false failure detection — see `on_failure_announce`).
+    pub(crate) fn step_down(&mut self, out: &mut Vec<Output>) {
+        self.vector.mark_down(self.id);
+        self.tracer.emit(
+            None,
+            EventKind::SessionChange {
+                site: self.id,
+                session: self.session(),
+                up: false,
+            },
+        );
+        // In-flight coordinated transactions still before the commit
+        // decision abort with a report — their clients must not wait
+        // forever for an answer this site can no longer produce. A
+        // transaction already past the decision stays unreported (in
+        // doubt): its outcome is fixed, and claiming "aborted" could
+        // contradict a commit the participants already applied.
+        let undecided: Vec<TxnId> = self
+            .coords
+            .iter()
+            .filter(|(_, s)| s.phase != CoordPhase::WaitCommitAcks)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in undecided {
+            let stats = self.coords.remove(&id).expect("listed above").stats;
+            self.report_stepdown_abort(id, stats, out);
+        }
+        // Transactions that never started (waiting on locks or the
+        // serial admission queue) abort the same way.
+        let waiting: Vec<TxnId> = self.lock_wait_order.iter().copied().collect();
+        for id in waiting {
+            if self.lock_waiting.remove(&id).is_some() {
+                self.report_stepdown_abort(id, TxnStats::default(), out);
+            }
+        }
+        let queued: Vec<TxnId> = self.queued.iter().map(|t| t.id).collect();
+        for id in queued {
+            self.report_stepdown_abort(id, TxnStats::default(), out);
+        }
+        // Prepared participant entries are about to be discarded, and a
+        // down site processes no timers, so the participant-timeout
+        // in-doubt handling will never run for them. Their commit
+        // decisions may still land elsewhere: mark our copies of their
+        // write sets suspect first (and tell the peers), exactly as the
+        // timeout path would. If the transaction aborted, the refresh
+        // this forces is merely redundant.
+        if self.config.fail_locks_enabled && !self.pending.is_empty() {
+            let me = self.id;
+            let mut items: Vec<ItemId> = self
+                .pending
+                .values()
+                .flat_map(|p| p.writes.iter().map(|(item, _)| *item))
+                .filter(|item| self.replication.holds(*item, me))
+                .collect();
+            items.sort_unstable_by_key(|i| i.0);
+            items.dedup();
+            if !items.is_empty() {
+                self.on_set_faillocks(me, items.clone(), out);
+                for peer in self.vector.operational_peers(me) {
+                    self.send_unattributed(
+                        peer,
+                        Message::SetFailLocks {
+                            site: me,
+                            items: items.clone(),
+                        },
+                        out,
+                    );
+                }
+            }
+        }
+        self.coords.clear();
+        self.lock_waiting.clear();
+        self.lock_wait_order.clear();
+        self.queued.clear();
+        self.req_owner.clear();
+        self.locks = LockManager::new();
+        self.pending.clear();
+        self.recent_part.clear();
+        self.recovery = None;
+        self.late_donors.clear();
+        self.refresh = RefreshMode::Idle;
+        self.standalone_copiers.clear();
+    }
+
+    fn report_stepdown_abort(&mut self, id: TxnId, stats: TxnStats, out: &mut Vec<Output>) {
+        let reason = crate::error::AbortReason::SiteNotOperational;
+        self.metrics.aborts.record(reason);
+        self.tracer.emit(Some(id), EventKind::Abort { reason });
+        out.push(Output::Report(TxnReport {
+            txn: id,
+            coordinator: self.id,
+            outcome: crate::messages::TxnOutcome::Aborted(reason),
+            stats,
+            read_results: Vec::new(),
+        }));
+    }
+
     fn handle_command(&mut self, cmd: Command, out: &mut Vec<Output>) {
         match cmd {
-            Command::Fail => {
-                // Freeze: drop all protocol state; keep db, vector,
-                // fail-locks as they stood (they survive in "stable
-                // storage" across the failure). In-flight coordinated
-                // transactions simply vanish with us; participants time
-                // out and announce our failure.
-                self.vector.mark_down(self.id);
-                self.tracer.emit(
-                    None,
-                    EventKind::SessionChange {
-                        site: self.id,
-                        session: self.session(),
-                        up: false,
-                    },
-                );
-                self.coords.clear();
-                self.lock_waiting.clear();
-                self.lock_wait_order.clear();
-                self.queued.clear();
-                self.req_owner.clear();
-                self.locks = LockManager::new();
-                self.pending.clear();
-                self.recovery = None;
-                self.refresh = RefreshMode::Idle;
-                self.standalone_copiers.clear();
-            }
+            Command::Fail => self.step_down(out),
             Command::Recover => self.begin_recovery(out),
+            Command::Bootstrap => self.bootstrap_recovery(out),
             Command::Begin(txn) => self.begin_transaction(txn, out),
             Command::Terminate => {
                 self.vector.set_record(
@@ -507,6 +627,7 @@ impl SiteEngine {
                 self.req_owner.clear();
                 self.locks = LockManager::new();
                 self.pending.clear();
+                self.recent_part.clear();
             }
         }
     }
@@ -519,7 +640,8 @@ impl SiteEngine {
                 writes,
                 snapshot,
                 clears,
-            } => self.on_copy_update(from, txn, writes, snapshot, clears, out),
+                up_mask,
+            } => self.on_copy_update(from, txn, writes, snapshot, clears, up_mask, out),
             Message::Commit { txn } => self.on_commit(from, txn, out),
             Message::AbortTxn { txn } => self.on_abort(txn),
             // 2PC coordinator side
@@ -531,13 +653,18 @@ impl SiteEngine {
                 self.on_copy_response(from, req, ok, copies, out)
             }
             Message::ClearFailLocks { site, items } => self.on_clear_faillocks(site, items, out),
+            Message::SetFailLocks { site, items } => self.on_set_faillocks(site, items, out),
             // control transactions
             Message::RecoveryAnnounce {
                 session,
                 want_state,
             } => self.on_recovery_announce(from, session, want_state, out),
-            Message::RecoveryInfo { .. } => {
-                // Only meaningful while recovering; stale otherwise.
+            Message::RecoveryInfo {
+                vector, faillocks, ..
+            } => {
+                // The type-1 round already completed on the first
+                // response; merge the other asked candidates' answers.
+                self.on_late_recovery_info(from, vector, faillocks, out);
             }
             Message::FailureAnnounce { failed } => self.on_failure_announce(failed, out),
             // partial replication
@@ -560,6 +687,12 @@ impl SiteEngine {
             | Message::MgmtDataRecovered { .. }
             | Message::MetricsRequest
             | Message::MetricsResponse { .. } => {}
+            // Session-layer frames are transport business: the reliable
+            // mailbox unwraps `Seq` and consumes `SeqAck` before delivery.
+            // Reaching the engine means no reliable layer is installed —
+            // deliver the payload as-is rather than losing it.
+            Message::Seq { inner, .. } => self.handle_message(from, *inner, out),
+            Message::SeqAck { .. } => {}
         }
     }
 
@@ -659,12 +792,33 @@ impl SiteEngine {
         id
     }
 
+    /// Protocol traffic arrived from a site our vector marks Down. Under
+    /// fail-stop that cannot happen; in practice it means the sender was
+    /// excluded by a timeout it never learned about (message loss or a
+    /// partition made the cluster give up on it while it kept running).
+    /// Tell it directly: a failure announcement naming the sender under
+    /// the session we have on record. If that session is still the
+    /// sender's current one it steps down and re-integrates through a
+    /// type-1 recovery; if the sender has since recovered to a newer
+    /// session it ignores the stale notice.
+    pub(crate) fn notify_excluded_sender(&mut self, from: SiteId, out: &mut Vec<Output>) {
+        let session = self.vector.session(from);
+        self.send_unattributed(
+            from,
+            Message::FailureAnnounce {
+                failed: vec![(from, session)],
+            },
+            out,
+        );
+    }
+
     /// Apply a committed write set locally: database writes plus
     /// commit-time fail-lock maintenance (paper §1.2).
     pub(crate) fn apply_commit(
         &mut self,
         writes: &[(ItemId, ItemValue)],
         clears: &[(ItemId, SiteId)],
+        up_mask: u64,
         out: &mut Vec<Output>,
     ) -> crate::faillock::MaintainCounts {
         let mut applied = 0u32;
@@ -693,9 +847,11 @@ impl SiteEngine {
         if self.faillocks_active() {
             for (item, _) in writes {
                 let mask = self.replication.holder_mask(*item);
-                let c = self
-                    .faillocks
-                    .maintain_on_commit_masked(*item, &self.vector, mask);
+                // Use the coordinator's operational bitmap, not our own
+                // vector: the fail-lock table is replicated state, and every
+                // participant of this commit must apply the identical update
+                // even if membership views diverge mid-transaction.
+                let c = self.faillocks.maintain_on_commit_bits(*item, up_mask, mask);
                 counts.set += c.set;
                 counts.cleared += c.cleared;
             }

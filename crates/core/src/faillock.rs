@@ -177,6 +177,21 @@ impl FailLockTable {
                 up_mask |= 1u64 << s;
             }
         }
+        self.maintain_on_commit_bits(item, up_mask, holder_mask)
+    }
+
+    /// Commit-time maintenance from a precomputed operational-site
+    /// bitmap — the coordinator's, shipped in the `CopyUpdate`. All
+    /// participants of a commit must apply the identical table update
+    /// (the fail-lock table is replicated state), so the mask comes
+    /// from the one site that chose the participant set, not from each
+    /// participant's possibly-divergent local vector.
+    pub fn maintain_on_commit_bits(
+        &mut self,
+        item: ItemId,
+        up_mask: u64,
+        holder_mask: u64,
+    ) -> MaintainCounts {
         let down_mask = holder_mask & !up_mask;
         let clear_mask = holder_mask & up_mask;
         let slot = &mut self.bits[item.index()];
@@ -203,6 +218,24 @@ impl FailLockTable {
     pub fn install_snapshot(&mut self, snapshot: &[u64]) {
         assert_eq!(snapshot.len(), self.bits.len(), "snapshot size mismatch");
         self.bits.copy_from_slice(snapshot);
+    }
+
+    /// Merge a snapshot received during recovery into the local table by
+    /// set union.
+    ///
+    /// A recovering site cannot verify that its chosen responder holds
+    /// the operational group's authoritative table — the responder may
+    /// itself have been falsely excluded and not know it, and its table
+    /// may be missing bits the local write-ahead log preserved. The two
+    /// error directions are not symmetric: a spurious bit only forces a
+    /// redundant copier refresh of a copy that was already fresh, while
+    /// a dropped bit lets a stale copy masquerade as current and lose a
+    /// committed write. Union is therefore the safe merge.
+    pub fn union_snapshot(&mut self, snapshot: &[u64]) {
+        assert_eq!(snapshot.len(), self.bits.len(), "snapshot size mismatch");
+        for (slot, word) in self.bits.iter_mut().zip(snapshot) {
+            *slot |= word;
+        }
     }
 }
 
@@ -274,6 +307,18 @@ mod tests {
         b.set(ItemId(0), SiteId(0)); // will be overwritten
         b.install_snapshot(&a.snapshot());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn union_keeps_local_bits_and_adds_remote_ones() {
+        let mut mine = FailLockTable::new(6, 2);
+        mine.set(ItemId(1), SiteId(0)); // e.g. restored from the WAL
+        let mut theirs = FailLockTable::new(6, 2);
+        theirs.set(ItemId(4), SiteId(1));
+        mine.union_snapshot(&theirs.snapshot());
+        assert!(mine.is_locked(ItemId(1), SiteId(0)), "local bit destroyed");
+        assert!(mine.is_locked(ItemId(4), SiteId(1)), "remote bit missed");
+        assert_eq!(mine.total_set(), 2);
     }
 
     #[test]

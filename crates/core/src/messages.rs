@@ -23,6 +23,12 @@ pub enum Command {
     Fail,
     /// Begin recovery (type-1 control transaction).
     Recover,
+    /// Recover without a donor: total-failure bootstrap. The managing
+    /// site certifies this site was in the last operational set, so its
+    /// local state is authoritative; it comes up in a fresh session with
+    /// every peer marked down, and they rejoin through ordinary type-1
+    /// recovery with it as the donor.
+    Bootstrap,
     /// Coordinate this database transaction.
     Begin(crate::ops::Transaction),
     /// Shut down permanently.
@@ -102,6 +108,14 @@ pub enum Message {
         snapshot: Vec<SessionNumber>,
         /// Piggybacked fail-lock clears: `(item, refreshed_site)`.
         clears: Vec<(ItemId, SiteId)>,
+        /// Bitmap of the sites the *coordinator* considered operational
+        /// (bit `s` = site `s` up). Commit-time fail-lock maintenance
+        /// runs against this mask rather than each participant's own
+        /// vector: the fail-lock table is replicated state, and it stays
+        /// replicated only if every participant applies the *identical*
+        /// update — local vectors can diverge transiently (a failure
+        /// announcement in flight reaches sites at different times).
+        up_mask: u64,
     },
     /// Participant acknowledgement of `CopyUpdate`. `ok = false` rejects
     /// (session mismatch or not operational) and aborts the transaction.
@@ -153,6 +167,19 @@ pub enum Message {
         /// The refreshed site.
         site: SiteId,
         /// The refreshed items.
+        items: Vec<ItemId>,
+    },
+    /// Corrective fail-lock set after a phase-two failure: the sender
+    /// committed a transaction whose `CopyUpdate` carried an `up_mask`
+    /// still showing `site` operational, but `site` never acknowledged
+    /// the commit — its copies of `items` must be marked stale at every
+    /// participant that already ran the (clearing) commit-time
+    /// maintenance. Paper Appendix A.1 sequences the type-2 control
+    /// transaction *before* the commit for exactly this reason.
+    SetFailLocks {
+        /// The site that missed the commit.
+        site: SiteId,
+        /// The items it missed.
         items: Vec<ItemId>,
     },
 
@@ -255,6 +282,33 @@ pub enum Message {
         /// The rendered exposition text.
         text: String,
     },
+
+    // ---- Reliable session layer (transport decorator) ------------------
+    /// A protocol message wrapped with a per-link sequence number by the
+    /// reliable session layer. `epoch` distinguishes sequence spaces
+    /// across sender restarts. The engine never sees this variant: the
+    /// reliable mailbox unwraps it (dedup + reorder) before delivery.
+    Seq {
+        /// The sender's session-layer epoch (restart counter).
+        epoch: u64,
+        /// Per-(sender, receiver) monotonic sequence number, from 1.
+        seq: u64,
+        /// The sequenced payload (never itself `Seq`/`SeqAck`).
+        inner: Box<Message>,
+    },
+    /// Cumulative acknowledgement: the receiver has delivered every
+    /// sequenced message of `epoch` up to and including `cumulative`.
+    /// Acks are themselves unsequenced (loss-tolerant by redundancy).
+    SeqAck {
+        /// The acked sender epoch.
+        epoch: u64,
+        /// Highest contiguously delivered sequence number.
+        cumulative: u64,
+        /// The *receiver's* own session-layer epoch. A sender that sees
+        /// this change knows the peer restarted (lost its receive state)
+        /// and must renumber its unacked frames from 1.
+        receiver: u64,
+    },
 }
 
 impl Message {
@@ -269,6 +323,7 @@ impl Message {
             Message::CopyRequest { .. } => "CopyRequest",
             Message::CopyResponse { .. } => "CopyResponse",
             Message::ClearFailLocks { .. } => "ClearFailLocks",
+            Message::SetFailLocks { .. } => "SetFailLocks",
             Message::RecoveryAnnounce { .. } => "RecoveryAnnounce",
             Message::RecoveryInfo { .. } => "RecoveryInfo",
             Message::FailureAnnounce { .. } => "FailureAnnounce",
@@ -283,6 +338,8 @@ impl Message {
             Message::MgmtDataRecovered { .. } => "MgmtDataRecovered",
             Message::MetricsRequest => "MetricsRequest",
             Message::MetricsResponse { .. } => "MetricsResponse",
+            Message::Seq { .. } => "Seq",
+            Message::SeqAck { .. } => "SeqAck",
         }
     }
 }

@@ -116,6 +116,14 @@ pub struct EngineMetrics {
     pub batch_frames_sent: u64,
     /// Messages that travelled inside multi-message frames.
     pub batched_messages_sent: u64,
+    /// Session-layer retransmissions performed by this site's transport
+    /// (folded in by the driving loop via `note_transport`).
+    pub transport_retransmits: u64,
+    /// Duplicate or stale sequenced frames dropped by the reliable
+    /// mailbox before delivery.
+    pub transport_dup_drops: u64,
+    /// TCP reconnect attempts made after a peer connection died.
+    pub transport_reconnects: u64,
 }
 
 impl EngineMetrics {

@@ -178,15 +178,28 @@ impl SessionVector {
     }
 
     /// Merge a vector received during recovery: adopt the received record
-    /// for every site whose received session is at least as new as ours,
-    /// except `me`, whose record the recovering site owns.
+    /// for every site whose received session is newer than ours, except
+    /// `me`, whose record the recovering site owns.
+    ///
+    /// At an *equal* session the received record wins only if it moves
+    /// the site away from `Up`: within one session the only legal
+    /// transition is up → down, so "down under session s" is strictly
+    /// newer knowledge than "up under session s". The reverse adoption
+    /// would let a stale responder — e.g. one that was falsely excluded
+    /// and does not know it — resurrect an excluded site in the
+    /// recovering site's vector.
     pub fn install_from(&mut self, received: &SessionVector, me: SiteId) {
         for i in 0..self.records.len() {
             if i == me.index() {
                 continue;
             }
-            if received.records[i].session >= self.records[i].session {
-                self.records[i] = received.records[i];
+            let (ours, theirs) = (self.records[i], received.records[i]);
+            let newer = theirs.session > ours.session
+                || (theirs.session == ours.session
+                    && ours.status == SiteStatus::Up
+                    && theirs.status != SiteStatus::Up);
+            if newer {
+                self.records[i] = theirs;
             }
         }
     }
@@ -195,6 +208,19 @@ impl SessionVector {
     /// participants can detect status changes mid-execution.
     pub fn session_snapshot(&self) -> Vec<SessionNumber> {
         self.records.iter().map(|r| r.session).collect()
+    }
+
+    /// Bitmap of operational sites (bit `s` = site `s` up), carried by
+    /// `CopyUpdate` so all participants of a commit run the identical
+    /// fail-lock maintenance regardless of their own vectors' state.
+    pub fn up_mask(&self) -> u64 {
+        let mut mask = 0u64;
+        for (i, r) in self.records.iter().enumerate() {
+            if r.status == SiteStatus::Up {
+                mask |= 1u64 << i;
+            }
+        }
+        mask
     }
 }
 
@@ -274,6 +300,26 @@ mod tests {
         // Site 1 adopted (newer session).
         assert_eq!(mine.session(SiteId(1)), SessionNumber(4));
         assert!(mine.is_up(SiteId(1)));
+    }
+
+    #[test]
+    fn install_from_same_session_down_dominates_up() {
+        // We know site 1 was excluded under session 1; a responder that
+        // still believes it is up (it may BE that falsely excluded site)
+        // must not resurrect it.
+        let mut mine = SessionVector::new(3);
+        mine.mark_down(SiteId(1));
+        let theirs = SessionVector::new(3); // all up under session 1
+        mine.install_from(&theirs, SiteId(0));
+        assert!(!mine.is_up(SiteId(1)), "stale responder resurrected site 1");
+
+        // The reverse direction is real knowledge: the responder saw a
+        // failure under the session we still believe is up.
+        let mut mine = SessionVector::new(3);
+        let mut theirs = SessionVector::new(3);
+        theirs.mark_down(SiteId(2));
+        mine.install_from(&theirs, SiteId(0));
+        assert!(!mine.is_up(SiteId(2)), "same-session failure not adopted");
     }
 
     #[test]

@@ -168,6 +168,21 @@ pub enum EventKind {
         /// 1 = recovery announce, 2 = failure announce, 3 = backup copy.
         ctype: u8,
     },
+    /// This site formatted and sent recovery state (session vector +
+    /// fail-lock table) to a recovering site's type-1 announce.
+    RecoveryServe {
+        /// The recovering site asking for state.
+        site: SiteId,
+    },
+    /// The recovering site processed a `RecoveryInfo` response.
+    RecoveryMerge {
+        /// The responding donor.
+        from: SiteId,
+        /// True for the first response (installed wholesale) or a
+        /// cross-check response merged in; false for a response that was
+        /// ignored (unknown donor or no recovery in flight).
+        merged: bool,
+    },
     /// The local session vector changed for `site`.
     SessionChange {
         /// The site whose record changed.
@@ -199,6 +214,8 @@ impl EventKind {
             EventKind::FailLocksSet { .. } => "faillocks_set",
             EventKind::FailLocksCleared { .. } => "faillocks_cleared",
             EventKind::ControlTxn { .. } => "control",
+            EventKind::RecoveryServe { .. } => "recovery_serve",
+            EventKind::RecoveryMerge { .. } => "recovery_merge",
             EventKind::SessionChange { .. } => "session",
         }
     }

@@ -36,14 +36,26 @@ fn duplicate_commit_message_is_ignored() {
     let report = pump.run_txn(SiteId(0), Transaction::new(TxnId(1), vec![write(2, 5)]));
     assert!(report.outcome.is_committed());
     let before = pump.engine(SiteId(1)).db().get(2).unwrap();
-    // Redeliver a Commit for the already-finished transaction.
+    // Redeliver a Commit for the already-finished transaction: the
+    // participant re-acks idempotently (the coordinator retransmitting
+    // means our CommitAck was lost) but must not re-apply the writes.
     let out = pump.engines[1].handle_owned(Input::Deliver {
         from: SiteId(0),
         msg: Message::Commit { txn: TxnId(1) },
     });
+    let sends: Vec<_> = out
+        .iter()
+        .filter_map(|o| match o {
+            Output::Send { to, msg } => Some((*to, msg)),
+            _ => None,
+        })
+        .collect();
     assert!(
-        out.iter().all(|o| !matches!(o, Output::Send { .. })),
-        "no response to a duplicate commit"
+        matches!(
+            sends.as_slice(),
+            [(SiteId(0), Message::CommitAck { txn: TxnId(1) })]
+        ),
+        "duplicate commit re-acks (and does nothing else): {sends:?}"
     );
     assert_eq!(pump.engine(SiteId(1)).db().get(2).unwrap(), before);
 }
@@ -130,6 +142,7 @@ fn coordinator_failure_between_phases_discards_participant_state() {
             writes: vec![(ItemId(4), miniraid_core::ItemValue::new(44, 9))],
             snapshot: vec![SessionNumber(1); 3],
             clears: vec![],
+            up_mask: 0b111,
         },
     });
     assert!(out.iter().any(|o| matches!(
@@ -254,6 +267,7 @@ fn session_mismatch_nack_aborts_the_transaction() {
             writes: vec![(ItemId(0), miniraid_core::ItemValue::new(1, 3))],
             snapshot: vec![SessionNumber(1), SessionNumber(99)],
             clears: vec![],
+            up_mask: 0b11,
         },
     });
     assert!(
@@ -387,6 +401,7 @@ fn recovering_site_rejects_copy_updates_until_operational() {
             writes: vec![(ItemId(3), miniraid_core::ItemValue::new(9, 9))],
             snapshot: vec![SessionNumber(1), SessionNumber(1), SessionNumber(2)],
             clears: vec![],
+            up_mask: 0b111,
         },
     });
     assert!(out.iter().any(|o| matches!(

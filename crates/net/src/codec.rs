@@ -41,6 +41,12 @@ const TAG_MGMT_DATA_RECOVERED: u8 = 20;
 const TAG_MSG_BATCH: u8 = 21;
 const TAG_METRICS_REQUEST: u8 = 22;
 const TAG_METRICS_RESPONSE: u8 = 23;
+/// A message wrapped with a session-layer sequence number.
+const TAG_SEQ: u8 = 24;
+/// Cumulative session-layer acknowledgement.
+const TAG_SEQ_ACK: u8 = 25;
+/// Corrective fail-lock set after a phase-two participant failure.
+const TAG_SET_FAILLOCKS: u8 = 26;
 
 fn err(reason: &'static str) -> NetError {
     NetError::Codec(reason)
@@ -170,6 +176,7 @@ fn put_command(buf: &mut BytesMut, cmd: &Command) {
             put_transaction(buf, txn);
         }
         Command::Terminate => buf.put_u8(3),
+        Command::Bootstrap => buf.put_u8(4),
     }
 }
 
@@ -180,6 +187,7 @@ fn get_command(buf: &mut impl Buf) -> Result<Command, NetError> {
         1 => Command::Recover,
         2 => Command::Begin(get_transaction(buf)?),
         3 => Command::Terminate,
+        4 => Command::Bootstrap,
         _ => return Err(err("unknown command tag")),
     })
 }
@@ -268,6 +276,7 @@ pub fn encode_into(buf: &mut BytesMut, msg: &Message) {
             writes,
             snapshot,
             clears,
+            up_mask,
         } => {
             buf.put_u8(TAG_COPY_UPDATE);
             buf.put_u64_le(txn.0);
@@ -281,6 +290,7 @@ pub fn encode_into(buf: &mut BytesMut, msg: &Message) {
                 buf.put_u32_le(item.0);
                 buf.put_u8(site.0);
             }
+            buf.put_u64_le(*up_mask);
         }
         Message::UpdateAck { txn, ok } => {
             buf.put_u8(TAG_UPDATE_ACK);
@@ -312,6 +322,11 @@ pub fn encode_into(buf: &mut BytesMut, msg: &Message) {
         }
         Message::ClearFailLocks { site, items } => {
             buf.put_u8(TAG_CLEAR_FAILLOCKS);
+            buf.put_u8(site.0);
+            put_items(buf, items);
+        }
+        Message::SetFailLocks { site, items } => {
+            buf.put_u8(TAG_SET_FAILLOCKS);
             buf.put_u8(site.0);
             put_items(buf, items);
         }
@@ -400,6 +415,22 @@ pub fn encode_into(buf: &mut BytesMut, msg: &Message) {
             put_len(buf, text.len());
             buf.put_slice(text.as_bytes());
         }
+        Message::Seq { epoch, seq, inner } => {
+            buf.put_u8(TAG_SEQ);
+            buf.put_u64_le(*epoch);
+            buf.put_u64_le(*seq);
+            encode_into(buf, inner);
+        }
+        Message::SeqAck {
+            epoch,
+            cumulative,
+            receiver,
+        } => {
+            buf.put_u8(TAG_SEQ_ACK);
+            buf.put_u64_le(*epoch);
+            buf.put_u64_le(*cumulative);
+            buf.put_u64_le(*receiver);
+        }
     }
 }
 
@@ -463,11 +494,14 @@ pub fn decode(mut buf: &[u8]) -> Result<Message, NetError> {
                 let item = ItemId(buf.get_u32_le());
                 clears.push((item, SiteId(buf.get_u8())));
             }
+            need(&buf, 8)?;
+            let up_mask = buf.get_u64_le();
             Message::CopyUpdate {
                 txn,
                 writes,
                 snapshot,
                 clears,
+                up_mask,
             }
         }
         TAG_UPDATE_ACK => {
@@ -517,6 +551,14 @@ pub fn decode(mut buf: &[u8]) -> Result<Message, NetError> {
             need(&buf, 1)?;
             let site = SiteId(buf.get_u8());
             Message::ClearFailLocks {
+                site,
+                items: get_items(&mut buf)?,
+            }
+        }
+        TAG_SET_FAILLOCKS => {
+            need(&buf, 1)?;
+            let site = SiteId(buf.get_u8());
+            Message::SetFailLocks {
                 site,
                 items: get_items(&mut buf)?,
             }
@@ -621,6 +663,35 @@ pub fn decode(mut buf: &[u8]) -> Result<Message, NetError> {
                 session: SessionNumber(buf.get_u64_le()),
             }
         }
+        TAG_SEQ => {
+            need(&buf, 17)?;
+            let epoch = buf.get_u64_le();
+            let seq = buf.get_u64_le();
+            // A sequenced frame wraps exactly one protocol message; the
+            // session layer never nests, so reject Seq-in-Seq (and batch
+            // tags) rather than recursing on attacker-controlled depth.
+            match buf[0] {
+                TAG_SEQ | TAG_SEQ_ACK | TAG_MSG_BATCH => {
+                    return Err(err("nested session-layer frame"))
+                }
+                _ => {}
+            }
+            let inner = decode(buf)?;
+            buf.advance(buf.remaining());
+            Message::Seq {
+                epoch,
+                seq,
+                inner: Box::new(inner),
+            }
+        }
+        TAG_SEQ_ACK => {
+            need(&buf, 24)?;
+            Message::SeqAck {
+                epoch: buf.get_u64_le(),
+                cumulative: buf.get_u64_le(),
+                receiver: buf.get_u64_le(),
+            }
+        }
         TAG_METRICS_REQUEST => Message::MetricsRequest,
         TAG_METRICS_RESPONSE => {
             let len = get_len(&mut buf, 1 << 24)?;
@@ -677,6 +748,7 @@ mod tests {
                 writes: vec![(ItemId(2), value)],
                 snapshot: vec![SessionNumber(1), SessionNumber(9)],
                 clears: vec![(ItemId(3), SiteId(1))],
+                up_mask: 0b101,
             },
             Message::UpdateAck {
                 txn: TxnId(1),

@@ -11,20 +11,29 @@
 //!   process — exactly the paper's mini-RAID deployment shape),
 //! * a [`tcp`] transport over `std::net` for multi-process deployments,
 //! * a [`delay`] decorator injecting a fixed per-message latency (the
-//!   paper measured 9 ms per intersite communication).
+//!   paper measured 9 ms per intersite communication),
+//! * a [`fault`] decorator injecting seeded drop/duplicate/delay/
+//!   partition faults for robustness testing,
+//! * a [`reliable`] session layer (sequence numbers, cumulative acks,
+//!   retransmission, dedup/reorder buffering) that *earns* the paper's
+//!   reliability assumption over a lossy substrate.
 
 #![warn(missing_docs)]
 
 pub mod channel;
 pub mod codec;
 pub mod delay;
+pub mod fault;
+pub mod reliable;
 pub mod tcp;
 pub mod transport;
 
 pub use channel::{ChannelMailbox, ChannelNetwork, ChannelTransport};
 pub use delay::DelayTransport;
+pub use fault::{FaultControl, FaultCounts, FaultPlan, FaultTransport};
+pub use reliable::{reliable, ReliableConfig, ReliableMailbox, ReliableTransport};
 pub use tcp::{AddressPlan, TcpEndpoint, TcpMailbox, TcpTransport};
-pub use transport::{Mailbox, RecvError, Transport};
+pub use transport::{Mailbox, RecvError, Transport, TransportStats};
 
 use miniraid_core::ids::SiteId;
 

@@ -11,17 +11,25 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::{BufMut, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use miniraid_core::ids::SiteId;
 use miniraid_core::messages::Message;
 
-use crate::transport::{Mailbox, RecvError, Transport};
+use crate::transport::{Mailbox, RecvError, Transport, TransportStats};
 use crate::{codec, NetError};
+
+/// First reconnect backoff interval after a connection dies.
+const RECONNECT_BASE: Duration = Duration::from_millis(20);
+/// Backoff ceiling: a persistently dead peer is probed at most this
+/// often per send path.
+const RECONNECT_MAX: Duration = Duration::from_millis(1000);
 
 /// Address plan: site `i` listens on `base_port + i`.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +63,11 @@ impl TcpEndpoint {
                 plan,
                 conns: Arc::new(Mutex::new(HashMap::new())),
                 scratch: Arc::new(Mutex::new(BytesMut::with_capacity(256))),
+                reconn: Arc::new(Mutex::new(ReconnectState {
+                    backoff: HashMap::new(),
+                    rng: StdRng::seed_from_u64(site.0 as u64 + 1),
+                    attempts: 0,
+                })),
             },
             TcpMailbox { rx, _tx: tx },
         ))
@@ -103,6 +116,25 @@ fn read_loop(mut stream: TcpStream, inbox: Sender<(SiteId, Message)>) {
     }
 }
 
+/// Reconnect gating per peer: after a connection dies, probe attempts
+/// back off exponentially (with jitter) up to [`RECONNECT_MAX`], so a
+/// flapping or dead peer costs the site loop at most one refused connect
+/// per backoff window instead of one per send.
+struct ReconnectState {
+    backoff: HashMap<SiteId, PeerBackoff>,
+    rng: StdRng,
+    /// Reconnect attempts actually made (exposed via `Transport::stats`).
+    attempts: u64,
+}
+
+struct PeerBackoff {
+    /// No attempt before this instant; sends meanwhile are dropped
+    /// immediately (site-down semantics, no syscall).
+    until: Instant,
+    /// Current backoff interval (doubles per failure, jittered).
+    delay: Duration,
+}
+
 /// Sending half of a TCP endpoint. Cloneable; connections are shared.
 #[derive(Clone)]
 pub struct TcpTransport {
@@ -112,6 +144,7 @@ pub struct TcpTransport {
     /// Reused frame-encode buffer: one `write_all` per frame, no
     /// per-message allocation.
     scratch: Arc<Mutex<BytesMut>>,
+    reconn: Arc<Mutex<ReconnectState>>,
 }
 
 impl TcpTransport {
@@ -136,11 +169,46 @@ impl TcpTransport {
     /// peer went away. No retry loop: the peer was demonstrably up
     /// before, so refusal means it is down now, and blocking the site
     /// loop in retries would delay protocol messages to live peers past
-    /// their failure-detection timeouts.
+    /// their failure-detection timeouts. Repeat attempts are governed by
+    /// the jittered exponential backoff in [`ReconnectState`].
     fn reconnect(&self, to: SiteId) -> std::io::Result<TcpStream> {
         let stream = TcpStream::connect_timeout(&self.plan.addr(to), Duration::from_millis(200))?;
         stream.set_nodelay(true).ok();
         Ok(stream)
+    }
+
+    /// True if the backoff window for `to` is still open (skip the
+    /// attempt and drop the frame).
+    fn in_backoff(&self, to: SiteId) -> bool {
+        let reconn = self.reconn.lock();
+        reconn
+            .backoff
+            .get(&to)
+            .is_some_and(|b| Instant::now() < b.until)
+    }
+
+    /// Record a reconnect attempt's outcome, widening or clearing the
+    /// peer's backoff window.
+    fn note_reconnect(&self, to: SiteId, ok: bool) {
+        let mut reconn = self.reconn.lock();
+        reconn.attempts += 1;
+        if ok {
+            reconn.backoff.remove(&to);
+            return;
+        }
+        let doubled = reconn
+            .backoff
+            .get(&to)
+            .map_or(RECONNECT_BASE, |b| (b.delay * 2).min(RECONNECT_MAX));
+        let jitter = 1.0 + reconn.rng.random::<f64>() * 0.25;
+        let delay = doubled.mul_f64(jitter);
+        reconn.backoff.insert(
+            to,
+            PeerBackoff {
+                until: Instant::now() + delay,
+                delay: doubled,
+            },
+        );
     }
 }
 
@@ -188,21 +256,36 @@ impl TcpTransport {
             }
         }
         // First-ever connection: retry around startup races. Replacing a
-        // dead cached connection: a single fast attempt, so a crashed
-        // peer costs one refused connect rather than a retry loop.
-        let attempt = if had_cached {
-            self.reconnect(to)
-        } else {
-            self.connect(to)
-        };
-        match attempt {
-            Ok(mut stream) => {
-                if stream.write_all(frame).is_ok() {
-                    conns.insert(to, stream);
-                }
-                Ok(())
+        // dead cached connection (or re-probing a peer already in
+        // backoff): a single fast attempt gated by the per-peer backoff
+        // window, so a crashed peer costs one refused connect per window
+        // rather than one per send.
+        let reconnecting = had_cached || self.reconn.lock().backoff.contains_key(&to);
+        if reconnecting {
+            if self.in_backoff(to) {
+                return Ok(()); // frame dropped: peer treated as down
             }
-            Err(_) => Ok(()),
+            let attempt = self.reconnect(to);
+            self.note_reconnect(to, attempt.is_ok());
+            match attempt {
+                Ok(mut stream) => {
+                    if stream.write_all(frame).is_ok() {
+                        conns.insert(to, stream);
+                    }
+                    Ok(())
+                }
+                Err(_) => Ok(()),
+            }
+        } else {
+            match self.connect(to) {
+                Ok(mut stream) => {
+                    if stream.write_all(frame).is_ok() {
+                        conns.insert(to, stream);
+                    }
+                    Ok(())
+                }
+                Err(_) => Ok(()),
+            }
         }
     }
 
@@ -235,6 +318,13 @@ impl Transport for TcpTransport {
 
     fn local_id(&self) -> SiteId {
         self.local
+    }
+
+    fn stats(&self) -> TransportStats {
+        TransportStats {
+            reconnects: self.reconn.lock().attempts,
+            ..TransportStats::default()
+        }
     }
 }
 
@@ -310,6 +400,42 @@ mod tests {
         let (from, msg) = m1.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(from, SiteId(0));
         assert_eq!(msg, Message::Commit { txn: TxnId(2) });
+    }
+
+    #[test]
+    fn reconnect_attempts_back_off_and_are_counted() {
+        let plan = AddressPlan {
+            base_port: 24500 + (std::process::id() % 2000) as u16,
+        };
+        let (t0, _m0) = TcpEndpoint::bind(SiteId(0), plan).unwrap();
+        {
+            // A peer that accepts one connection and then goes away.
+            let listener = std::net::TcpListener::bind(plan.addr(SiteId(1))).unwrap();
+            t0.send(SiteId(1), &Message::Commit { txn: TxnId(1) })
+                .unwrap();
+            let (_conn, _) = listener.accept().unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        // A burst of sends to the now-dead peer: the first probe fails
+        // and opens a backoff window; the rest are dropped without a
+        // connect syscall, so the burst completes far faster than one
+        // refused connect per send would allow.
+        let start = std::time::Instant::now();
+        for i in 0..200u64 {
+            t0.send(SiteId(1), &Message::Commit { txn: TxnId(i) })
+                .unwrap();
+        }
+        let elapsed = start.elapsed();
+        let attempts = t0.stats().reconnects;
+        assert!(attempts >= 1, "at least one probe was made");
+        assert!(
+            attempts < 50,
+            "backoff capped probing: {attempts} attempts for 200 sends"
+        );
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "burst not serialized behind refused connects ({elapsed:?})"
+        );
     }
 
     #[test]

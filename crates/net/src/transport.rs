@@ -34,6 +34,37 @@ pub trait Transport: Send {
 
     /// This endpoint's own site id.
     fn local_id(&self) -> SiteId;
+
+    /// Cumulative robustness counters for this transport stack.
+    /// Decorators add their own contribution to the wrapped transport's;
+    /// plain transports report zeros.
+    fn stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
+}
+
+/// Cumulative counters exposed by a transport stack (see
+/// [`Transport::stats`]). Decorators sum their own counts with the
+/// wrapped transport's, so the top of the stack reports the whole story.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Sequenced frames retransmitted by the reliable session layer.
+    pub retransmits: u64,
+    /// Duplicate or stale sequenced frames dropped before delivery.
+    pub dup_drops: u64,
+    /// TCP reconnect attempts after a peer connection died.
+    pub reconnects: u64,
+}
+
+impl TransportStats {
+    /// Component-wise sum (decorator's own counts + inner transport's).
+    pub fn merge(self, other: TransportStats) -> TransportStats {
+        TransportStats {
+            retransmits: self.retransmits + other.retransmits,
+            dup_drops: self.dup_drops + other.dup_drops,
+            reconnects: self.reconnects + other.reconnects,
+        }
+    }
 }
 
 /// The receiving half owned by one site.

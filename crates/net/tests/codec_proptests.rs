@@ -88,13 +88,17 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 (any::<u32>().prop_map(ItemId), any::<u8>().prop_map(SiteId)),
                 0..8
             ),
+            any::<u64>(),
         )
-            .prop_map(|(txn, writes, snapshot, clears)| Message::CopyUpdate {
-                txn: TxnId(txn),
-                writes,
-                snapshot,
-                clears,
-            }),
+            .prop_map(
+                |(txn, writes, snapshot, clears, up_mask)| Message::CopyUpdate {
+                    txn: TxnId(txn),
+                    writes,
+                    snapshot,
+                    clears,
+                    up_mask,
+                }
+            ),
         (any::<u64>(), any::<bool>()).prop_map(|(t, ok)| Message::UpdateAck { txn: TxnId(t), ok }),
         any::<u64>().prop_map(|t| Message::Commit { txn: TxnId(t) }),
         any::<u64>().prop_map(|t| Message::CommitAck { txn: TxnId(t) }),
@@ -111,6 +115,10 @@ fn arb_message() -> impl Strategy<Value = Message> {
             }
         }),
         (any::<u8>(), arb_items()).prop_map(|(s, items)| Message::ClearFailLocks {
+            site: SiteId(s),
+            items
+        }),
+        (any::<u8>(), arb_items()).prop_map(|(s, items)| Message::SetFailLocks {
             site: SiteId(s),
             items
         }),
@@ -173,6 +181,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
             Just(Command::Fail),
             Just(Command::Recover),
             Just(Command::Terminate),
+            Just(Command::Bootstrap),
             (
                 any::<u64>(),
                 proptest::collection::vec(arb_operation(), 0..12)
@@ -199,9 +208,33 @@ fn arb_message() -> impl Strategy<Value = Message> {
     ]
 }
 
+/// Session-layer frames: a `Seq` wrapping any plain message (the layer
+/// never nests, and the codec rejects Seq-in-Seq), plus the cumulative
+/// ack with all three fields — epoch, cumulative, and the receiver's own
+/// epoch that signals a restart to the sender.
+fn arb_wire_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        arb_message(),
+        (any::<u64>(), any::<u64>(), arb_message()).prop_map(|(epoch, seq, inner)| {
+            Message::Seq {
+                epoch,
+                seq,
+                inner: Box::new(inner),
+            }
+        }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(epoch, cumulative, receiver)| {
+            Message::SeqAck {
+                epoch,
+                cumulative,
+                receiver,
+            }
+        }),
+    ]
+}
+
 proptest! {
     #[test]
-    fn every_message_roundtrips(msg in arb_message()) {
+    fn every_message_roundtrips(msg in arb_wire_message()) {
         let encoded = encode(&msg);
         let decoded = decode(&encoded).expect("well-formed message decodes");
         prop_assert_eq!(decoded, msg);
@@ -213,7 +246,7 @@ proptest! {
     }
 
     #[test]
-    fn message_sequences_roundtrip_as_batch(msgs in proptest::collection::vec(arb_message(), 0..6)) {
+    fn message_sequences_roundtrip_as_batch(msgs in proptest::collection::vec(arb_wire_message(), 0..6)) {
         let mut buf = BytesMut::new();
         encode_batch_into(&mut buf, &msgs);
         let decoded = decode_many(&buf).expect("well-formed batch decodes");
@@ -221,7 +254,7 @@ proptest! {
     }
 
     #[test]
-    fn single_frames_roundtrip_via_decode_many(msg in arb_message()) {
+    fn single_frames_roundtrip_via_decode_many(msg in arb_wire_message()) {
         let mut buf = BytesMut::new();
         encode_into(&mut buf, &msg);
         let decoded = decode_many(&buf).expect("single-message frame decodes");
@@ -234,7 +267,7 @@ proptest! {
     }
 
     #[test]
-    fn truncated_encodings_error_cleanly(msg in arb_message(), cut in 0usize..64) {
+    fn truncated_encodings_error_cleanly(msg in arb_wire_message(), cut in 0usize..64) {
         let encoded = encode(&msg);
         if cut < encoded.len() {
             let truncated = &encoded[..encoded.len() - cut - 1];

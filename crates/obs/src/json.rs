@@ -88,6 +88,12 @@ pub fn encode_event(event: &TraceEvent) -> String {
         EventKind::ControlTxn { ctype } => {
             let _ = write!(s, ",\"ctype\":{ctype}");
         }
+        EventKind::RecoveryServe { site } => {
+            let _ = write!(s, ",\"requester\":{}", site.0);
+        }
+        EventKind::RecoveryMerge { from, merged } => {
+            let _ = write!(s, ",\"from\":{},\"merged\":{}", from.0, merged);
+        }
         EventKind::SessionChange { site, session, up } => {
             let _ = write!(
                 s,
@@ -280,6 +286,13 @@ pub fn parse_event(line: &str) -> Result<TraceEvent, String> {
         },
         "control" => EventKind::ControlTxn {
             ctype: get_num("ctype").ok_or("control missing \"ctype\"")? as u8,
+        },
+        "recovery_serve" => EventKind::RecoveryServe {
+            site: SiteId(get_num("requester").ok_or("recovery_serve missing \"requester\"")? as u8),
+        },
+        "recovery_merge" => EventKind::RecoveryMerge {
+            from: SiteId(get_num("from").ok_or("recovery_merge missing \"from\"")? as u8),
+            merged: get_bool("merged").ok_or("recovery_merge missing \"merged\"")?,
         },
         "session" => EventKind::SessionChange {
             site: SiteId(get_num("peer").ok_or("session missing \"peer\"")? as u8),

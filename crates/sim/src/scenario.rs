@@ -67,6 +67,9 @@ fn measure_faillock_overhead(seed: u64, enabled: bool) -> (f64, f64) {
         db_size: 50,
         n_sites: 4,
         fail_locks_enabled: enabled,
+        // The paper's type-1 protocol: a single designated donor
+        // formats recovery state (its measured cost model).
+        recovery_cross_check: false,
         ..ProtocolConfig::default()
     };
     let sim = Simulation::new(SimConfig::paper(protocol));
@@ -92,6 +95,9 @@ fn measure_control_transactions(seed: u64) -> (f64, f64, f64) {
     let protocol = ProtocolConfig {
         db_size: 50,
         n_sites: 4,
+        // The paper's type-1 protocol: a single designated donor
+        // formats recovery state (its measured cost model).
+        recovery_cross_check: false,
         ..ProtocolConfig::default()
     };
     let mut ct1_rec = Vec::new();
@@ -124,6 +130,9 @@ fn measure_copier_overhead(seed: u64) -> (f64, f64, f64, f64) {
     let protocol = ProtocolConfig {
         db_size: 50,
         n_sites: 4,
+        // The paper's type-1 protocol: a single designated donor
+        // formats recovery state (its measured cost model).
+        recovery_cross_check: false,
         ..ProtocolConfig::default()
     };
     let mut copier_times = Vec::new();
@@ -231,6 +240,9 @@ pub fn experiment2(seed: u64, routing_after_recovery: Routing) -> Exp2Result {
     let protocol = ProtocolConfig {
         db_size: 50,
         n_sites: 2,
+        // The paper's type-1 protocol: a single designated donor
+        // formats recovery state (its measured cost model).
+        recovery_cross_check: false,
         ..ProtocolConfig::default()
     };
     let mut config = SimConfig::paper(protocol);
@@ -314,6 +326,9 @@ pub fn experiment3_scenario1(seed: u64) -> Exp3Result {
     let protocol = ProtocolConfig {
         db_size: 50,
         n_sites: 2,
+        // The paper's type-1 protocol: a single designated donor
+        // formats recovery state (its measured cost model).
+        recovery_cross_check: false,
         ..ProtocolConfig::default()
     };
     let mut config = SimConfig::paper(protocol);
@@ -358,6 +373,9 @@ pub fn experiment3_scenario2(seed: u64) -> Exp3Result {
     let protocol = ProtocolConfig {
         db_size: 50,
         n_sites: 4,
+        // The paper's type-1 protocol: a single designated donor
+        // formats recovery state (its measured cost model).
+        recovery_cross_check: false,
         ..ProtocolConfig::default()
     };
     let mut config = SimConfig::paper(protocol);
@@ -423,6 +441,9 @@ pub fn scaling_study(seed: u64, n_sites: u8, db_size: u32) -> ScalingPoint {
     let protocol = ProtocolConfig {
         db_size,
         n_sites,
+        // The paper's type-1 protocol: a single designated donor
+        // formats recovery state (its measured cost model).
+        recovery_cross_check: false,
         ..ProtocolConfig::default()
     };
     let sim = Simulation::new(SimConfig::paper(protocol));

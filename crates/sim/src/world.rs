@@ -163,6 +163,16 @@ pub enum Notable {
     DataRecoveryComplete,
 }
 
+/// Seeded message-fault plan for the virtual network: the event-driven
+/// analogue of `miniraid-net`'s `FaultTransport`. Faults are drawn from
+/// one RNG in delivery-scheduling order, so a run is a pure function of
+/// the seed — a violating schedule replays exactly.
+struct SimFaults {
+    rng: rand::rngs::StdRng,
+    drop: f64,
+    duplicate: f64,
+}
+
 /// The simulator. See module docs.
 pub struct Simulation {
     config: SimConfig,
@@ -189,6 +199,12 @@ pub struct Simulation {
     partition: Option<Vec<u8>>,
     /// Messages dropped at a partition boundary.
     pub partition_drops: u64,
+    /// Seeded message faults on the virtual network (`None` = perfect).
+    faults: Option<SimFaults>,
+    /// Messages the fault plan silently dropped.
+    pub fault_drops: u64,
+    /// Messages the fault plan delivered twice.
+    pub fault_dups: u64,
     /// Event trace (None = disabled; bounded by `trace_limit`).
     trace: Option<Vec<TraceEvent>>,
     trace_limit: usize,
@@ -234,6 +250,9 @@ impl Simulation {
             notables: Vec::new(),
             partition: None,
             partition_drops: 0,
+            faults: None,
+            fault_drops: 0,
+            fault_dups: 0,
             trace: None,
             trace_limit: 0,
             obs_clocks: None,
@@ -330,6 +349,19 @@ impl Simulation {
     /// cross-group messages were already lost.)
     pub fn heal_partition(&mut self) {
         self.partition = None;
+    }
+
+    /// Inject seeded drop/duplication faults on every site-to-site
+    /// message (management commands travel out of band and are exempt).
+    /// A duplicate is redelivered one message latency later, so it also
+    /// exercises the engines' out-of-order redelivery guards.
+    pub fn set_faults(&mut self, seed: u64, drop: f64, duplicate: f64) {
+        use rand::SeedableRng;
+        self.faults = Some(SimFaults {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            drop,
+            duplicate,
+        });
     }
 
     fn partitioned(&self, a: SiteId, b: SiteId) -> bool {
@@ -487,6 +519,7 @@ impl Simulation {
                     Input::Timer(_) => ("Timer", None),
                     Input::Control(Command::Fail) => ("Fail", None),
                     Input::Control(Command::Recover) => ("Recover", None),
+                    Input::Control(Command::Bootstrap) => ("Bootstrap", None),
                     Input::Control(Command::Begin(_)) => ("Begin", None),
                     Input::Control(Command::Terminate) => ("Terminate", None),
                 };
@@ -555,15 +588,35 @@ impl Simulation {
                             cursor + self.config.cost.msg_latency
                         }
                     };
-                    self.push(
-                        arrival,
-                        EventKind::Deliver {
-                            to,
-                            from: site,
-                            msg,
-                            sent_at,
-                        },
-                    );
+                    // Seeded network faults (management traffic exempt,
+                    // as on the live cluster's fault decorator).
+                    let mut copies = 1u32;
+                    if let Some(faults) = &mut self.faults {
+                        if !matches!(msg, Message::Mgmt(_)) {
+                            use rand::Rng;
+                            if faults.rng.random::<f64>() < faults.drop {
+                                copies = 0;
+                                self.fault_drops += 1;
+                            } else if faults.rng.random::<f64>() < faults.duplicate {
+                                copies = 2;
+                                self.fault_dups += 1;
+                            }
+                        }
+                    }
+                    for extra in 0..copies {
+                        // The duplicate trails by one message latency, so
+                        // it lands out of order relative to later sends.
+                        let at = arrival + u64::from(extra) * self.config.cost.msg_latency;
+                        self.push(
+                            at,
+                            EventKind::Deliver {
+                                to,
+                                from: site,
+                                msg: msg.clone(),
+                                sent_at,
+                            },
+                        );
+                    }
                 }
                 Output::SetTimer(id) => {
                     let at = cursor + self.config.timing.duration(id);
