@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! chaos thread [--seed N] [--steps N] [--sites N] [--drop P] [--dup P]
+//!              [--shards N] [--sites-per-group N] [--cross-pct N]
 //!              [--no-reliable] [--trace-out FILE]
 //! chaos proc   [--seed N] [--kills N] [--sites N] [--drop P] [--dup P]
 //!              [--base-port N] [--no-reliable] [--trace-out FILE]
@@ -13,6 +14,9 @@
 //!
 //! `thread` drives an in-process channel cluster (site kills are
 //! protocol-level Fail commands; partitions are one-way link blocks).
+//! With `--shards N` (N ≥ 2) it drives a *sharded* cluster instead: N
+//! replication groups with single- and cross-shard traffic, and the
+//! oracle additionally checks cross-shard atomicity.
 //! `proc` drives real `miniraid-site` OS processes over TCP with
 //! WAL-backed stores: kills are SIGKILL mid-transaction, restarts
 //! replay the WAL — the paper's site failure model made literal.
@@ -20,7 +24,8 @@
 use std::path::PathBuf;
 
 use miniraid_cluster::chaos::{
-    run_process_chaos, run_thread_chaos, ChaosOptions, ChaosOutcome, ProcChaosOptions,
+    run_process_chaos, run_sharded_chaos, run_thread_chaos, ChaosOptions, ChaosOutcome,
+    ProcChaosOptions, ShardChaosOptions,
 };
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
@@ -74,6 +79,22 @@ fn main() {
 
     match mode {
         "thread" => {
+            let shards: u8 = parse_flag(&args, "--shards").unwrap_or(1);
+            if shards > 1 {
+                let opts = ShardChaosOptions {
+                    seed,
+                    steps: parse_flag(&args, "--steps").unwrap_or(60),
+                    n_groups: shards,
+                    sites_per_group: parse_flag(&args, "--sites-per-group").unwrap_or(2),
+                    group_db_size: parse_flag(&args, "--db-size").unwrap_or(8),
+                    cross_pct: parse_flag(&args, "--cross-pct").unwrap_or(30),
+                    drop,
+                    duplicate: dup,
+                    with_reliable,
+                };
+                eprintln!("chaos: sharded thread mode, {opts:?}");
+                finish(run_sharded_chaos(opts), trace_out, seed);
+            }
             let opts = ChaosOptions {
                 seed,
                 steps: parse_flag(&args, "--steps").unwrap_or(60),

@@ -38,9 +38,10 @@
 //! tests of that very phenomenon.
 
 use std::collections::HashMap;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use miniraid_core::config::ProtocolConfig;
+use miniraid_core::error::AbortReason;
 use miniraid_core::ids::{ItemId, SiteId};
 use miniraid_core::messages::TxnOutcome;
 use miniraid_core::ops::{Operation, Transaction};
@@ -49,8 +50,11 @@ use miniraid_net::{Mailbox, Transport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use miniraid_shard::ShardSpec;
+
 use crate::cluster::Cluster;
 use crate::control::{ControlError, ManagingClient};
+use crate::shard_client::ShardedClient;
 use crate::site::ClusterTiming;
 
 /// Knobs for one chaos run.
@@ -693,6 +697,655 @@ pub fn run_thread_chaos(opts: ChaosOptions) -> ChaosOutcome {
         outcome.committed_writes,
         outcome.in_doubt_writes,
         outcome.aborted,
+        outcome.violations.len()
+    ));
+    outcome
+}
+
+/// Knobs for a sharded chaos run: several independent replication
+/// groups under one [`ShardedClient`], with single- and cross-shard
+/// traffic, site kills and recoveries, and faulty links.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardChaosOptions {
+    /// Master seed: drives the schedule RNG and the per-site fault RNGs.
+    pub seed: u64,
+    /// Schedule steps.
+    pub steps: u32,
+    /// Replication groups.
+    pub n_groups: u8,
+    /// Database sites per group.
+    pub sites_per_group: u8,
+    /// Items per group (each group's sites replicate this slice).
+    pub group_db_size: u32,
+    /// Percent of data writes that span two groups (cross-shard 2PC).
+    pub cross_pct: u32,
+    /// Per-frame drop probability on every site's transport.
+    pub drop: f64,
+    /// Per-frame duplication probability.
+    pub duplicate: f64,
+    /// Layer the reliable session protocol over the faulty links.
+    pub with_reliable: bool,
+}
+
+impl Default for ShardChaosOptions {
+    fn default() -> Self {
+        ShardChaosOptions {
+            seed: 1,
+            steps: 60,
+            n_groups: 2,
+            sites_per_group: 2,
+            group_db_size: 8,
+            cross_pct: 30,
+            drop: 0.10,
+            duplicate: 0.05,
+            with_reliable: true,
+        }
+    }
+}
+
+struct ShardHarness<T: Transport, M: Mailbox> {
+    client: ShardedClient<T, M>,
+    spec: ShardSpec,
+    /// Oracle keyed by *global* item id.
+    oracle: HashMap<u32, ItemOracle>,
+    /// Per-physical-site up/down belief (the harness's own actions).
+    up: Vec<bool>,
+    /// Write sets of transactions whose final outcome the harness has
+    /// not yet recorded: `txn id → (cross_shard, [(item, data)])`.
+    /// Entries persist across a report timeout so a late resolution
+    /// (harvested from the client) still updates the oracle.
+    pending_writes: HashMap<u64, (bool, Vec<(u32, u64)>)>,
+    /// Cross-shard transaction ids the top-level coordinator decided to
+    /// abort: their version stamp must appear on *no* item afterwards
+    /// (atomicity — no branch may have committed).
+    aborted_cross: Vec<u64>,
+    outcome: ChaosOutcome,
+    opts: ShardChaosOptions,
+}
+
+impl<T: Transport, M: Mailbox> ShardHarness<T, M> {
+    fn trace(&mut self, line: String) {
+        self.outcome.trace.push(line);
+    }
+
+    fn violation(&mut self, step: u32, what: String) {
+        self.outcome
+            .trace
+            .push(format!("{{\"step\":{step},\"violation\":\"{what}\"}}"));
+        self.outcome.violations.push(format!("step {step}: {what}"));
+    }
+
+    /// Record a transaction's final outcome against the oracle. Safe to
+    /// call for ids the harness never tracked (reads, duplicates): those
+    /// are ignored. A commit promotes `last_committed` only when the
+    /// transaction id is *newer* than what's recorded — cross-shard
+    /// transactions can resolve late, after a younger single-shard write
+    /// to the same item already committed, and version ordering
+    /// (`put_if_fresher`) makes the younger write the survivor.
+    fn record_outcome(&mut self, step: u32, txn: u64, committed: bool) {
+        let Some((cross, writes)) = self.pending_writes.remove(&txn) else {
+            return;
+        };
+        if committed {
+            for &(item, data) in &writes {
+                let oracle = self.oracle.entry(item).or_default();
+                let newer = match oracle.last_committed {
+                    Some((v, _)) => txn > v,
+                    None => true,
+                };
+                if newer {
+                    oracle.last_committed = Some((txn, data));
+                }
+                oracle.in_doubt.retain(|(v, _)| *v != txn);
+            }
+            self.outcome.committed_writes += 1;
+            self.trace(format!(
+                "{{\"step\":{step},\"observed\":\"committed\",\"txn\":{txn},\"cross\":{cross}}}"
+            ));
+        } else {
+            for &(item, _) in &writes {
+                self.oracle
+                    .entry(item)
+                    .or_default()
+                    .in_doubt
+                    .retain(|(v, _)| *v != txn);
+            }
+            if cross {
+                self.aborted_cross.push(txn);
+            }
+            self.outcome.aborted += 1;
+            self.trace(format!(
+                "{{\"step\":{step},\"observed\":\"aborted\",\"txn\":{txn},\"cross\":{cross}}}"
+            ));
+        }
+    }
+
+    /// Harvest outcomes that arrived after their submitter gave up
+    /// waiting (late re-driven commits, late global aborts).
+    fn harvest(&mut self, step: u32) {
+        for report in self.client.drain_finished() {
+            self.record_outcome(step, report.txn.0, report.committed());
+        }
+    }
+
+    fn run_write(&mut self, step: u32, rng: &mut StdRng) {
+        let id = self.client.next_txn_id();
+        let data = id.0;
+        let cross = self.spec.n_groups >= 2 && rng.random_range(0..100u32) < self.opts.cross_pct;
+        let ops: Vec<Operation> = if cross {
+            // Two distinct groups, one item in each.
+            let g1 = rng.random_range(0..self.spec.n_groups);
+            let g2 = (g1 + 1 + rng.random_range(0..self.spec.n_groups - 1)) % self.spec.n_groups;
+            let mut items = [
+                self.spec
+                    .globalize(g1, ItemId(rng.random_range(0..self.opts.group_db_size))),
+                self.spec
+                    .globalize(g2, ItemId(rng.random_range(0..self.opts.group_db_size))),
+            ];
+            items.sort();
+            items.iter().map(|&i| Operation::Write(i, data)).collect()
+        } else {
+            let item = rng.random_range(0..self.spec.global_db_size());
+            vec![Operation::Write(ItemId(item), data)]
+        };
+        let writes: Vec<(u32, u64)> = ops
+            .iter()
+            .map(|op| match op {
+                Operation::Write(item, d) => (item.0, *d),
+                Operation::Read(_) => unreachable!("write-only ops"),
+            })
+            .collect();
+        self.trace(format!(
+            "{{\"step\":{step},\"action\":\"write\",\"txn\":{},\"cross\":{cross},\"items\":{:?}}}",
+            id.0,
+            writes.iter().map(|(i, _)| *i).collect::<Vec<_>>()
+        ));
+        self.pending_writes.insert(id.0, (cross, writes.clone()));
+        match self.client.run_txn(Transaction::new(id, ops), TXN_WAIT) {
+            Ok(report) => self.record_outcome(step, id.0, report.committed()),
+            Err(ControlError::Timeout(_)) => {
+                // In doubt: the write set stays in `pending_writes`, so
+                // a late resolution harvested from the client resolves
+                // the doubt either way.
+                for (item, data) in writes {
+                    self.oracle
+                        .entry(item)
+                        .or_default()
+                        .in_doubt
+                        .push((id.0, data));
+                }
+                self.outcome.in_doubt_writes += 1;
+                self.trace(format!(
+                    "{{\"step\":{step},\"observed\":\"in_doubt\",\"txn\":{}}}",
+                    id.0
+                ));
+            }
+            Err(ControlError::Disconnected) => {
+                self.violation(step, "manager disconnected".into());
+            }
+        }
+    }
+
+    fn run_read(&mut self, step: u32, rng: &mut StdRng) {
+        let item = rng.random_range(0..self.spec.global_db_size());
+        let id = self.client.next_txn_id();
+        self.trace(format!(
+            "{{\"step\":{step},\"action\":\"read\",\"item\":{item},\"txn\":{}}}",
+            id.0
+        ));
+        let txn = Transaction::new(id, vec![Operation::Read(ItemId(item))]);
+        match self.client.run_txn(txn, TXN_WAIT) {
+            Ok(report) if report.committed() => {
+                let (version, data) = report
+                    .read_results
+                    .first()
+                    .map(|(_, v)| (v.version, v.data))
+                    .unwrap_or((0, 0));
+                let oracle = self.oracle.entry(item).or_default().clone();
+                if !oracle.acceptable(version, data) {
+                    self.violation(
+                        step,
+                        format!(
+                            "read of item {item} returned version={version} \
+                             data={data}, outside the acceptable set ({})",
+                            oracle.describe()
+                        ),
+                    );
+                }
+            }
+            Ok(_) => self.outcome.aborted += 1,
+            Err(ControlError::Timeout(_)) => {
+                self.trace(format!("{{\"step\":{step},\"observed\":\"read_timeout\"}}"));
+            }
+            Err(ControlError::Disconnected) => {
+                self.violation(step, "manager disconnected".into());
+            }
+        }
+    }
+
+    fn scrape(&mut self, step: u32, rng: &mut StdRng) {
+        let site = rng.random_range(0..self.spec.n_physical_sites());
+        if self.client.fetch_metrics(SiteId(site), MGMT_WAIT).is_err() {
+            self.violation(step, format!("metrics scrape of site {site} failed"));
+        }
+    }
+
+    /// Sites whose group would keep at least one up member if they were
+    /// killed — the sharded schedule never takes a whole group down on
+    /// purpose (recovery needs an in-group donor), though crossing
+    /// failure announcements under loss can still do it invisibly; the
+    /// convergence phase's bootstrap fallback handles that.
+    fn killable(&self) -> Vec<u8> {
+        (0..self.spec.n_physical_sites())
+            .filter(|&s| {
+                if !self.up[s as usize] {
+                    return false;
+                }
+                let (group, _) = self.spec.local_site(SiteId(s));
+                self.spec
+                    .group_members(group)
+                    .iter()
+                    .filter(|m| self.up[m.index()])
+                    .count()
+                    >= 2
+            })
+            .collect()
+    }
+
+    /// Probe whether a site's engine is actually operational: a down
+    /// engine aborts any submitted transaction with
+    /// `SiteNotOperational`. Crossing failure announcements under loss
+    /// can step a site down *invisibly* (the harness still believes it
+    /// up), and recovery donor selection must not count such a site.
+    /// A probe timeout (e.g. blocked behind a parked branch's lock) is
+    /// treated as operational.
+    fn probe_up(&mut self, site: SiteId) -> bool {
+        let (group, _) = self.spec.local_site(site);
+        let id = self.client.next_txn_id();
+        let probe = Transaction::new(
+            id,
+            vec![Operation::Read(self.spec.globalize(group, ItemId(0)))],
+        );
+        match self
+            .client
+            .run_txn_at(site, probe, Duration::from_millis(1500))
+        {
+            Ok(report) => !matches!(
+                report.outcome,
+                TxnOutcome::Aborted(AbortReason::SiteNotOperational)
+            ),
+            Err(_) => true,
+        }
+    }
+
+    /// Total-group-failure recovery, the paper's "the last site to fail
+    /// recovers first from its own state": fail every member, bootstrap
+    /// the member that reported the group's most recent commit (it was
+    /// provably operational at that commit, so its copy is as complete
+    /// as any member's), then recover the rest from it. Returns false
+    /// (after recording a violation) when the group cannot be revived.
+    fn group_reset(&mut self, step: u32, group: u8) -> bool {
+        let members = self.spec.group_members(group);
+        let seed_site = self
+            .client
+            .last_commit_coordinator(group)
+            .unwrap_or(members[0]);
+        for m in &members {
+            self.client.fail(*m);
+            self.up[m.index()] = false;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        match self.client.bootstrap(seed_site, MGMT_WAIT) {
+            Ok(session) => {
+                self.up[seed_site.index()] = true;
+                self.trace(format!(
+                    "{{\"step\":{step},\"action\":\"bootstrap\",\"group\":{group},\"site\":{},\"session\":{}}}",
+                    seed_site.0, session.0
+                ));
+            }
+            Err(e) => {
+                self.violation(
+                    step,
+                    format!("group {group} bootstrap of site {seed_site} failed: {e}"),
+                );
+                return false;
+            }
+        }
+        for m in &members {
+            if self.up[m.index()] {
+                continue;
+            }
+            match self.client.recover(*m, MGMT_WAIT) {
+                Ok(_) => self.up[m.index()] = true,
+                Err(e) => {
+                    self.violation(step, format!("site {m} failed to rejoin: {e}"));
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Recover every down site, pump cross-shard work dry, normalize
+    /// every site, then read each group's slice through each of its
+    /// members and compare — per-group convergence plus cross-shard
+    /// atomicity (no aborted cross-shard id on any item).
+    fn converge(&mut self) {
+        let step = self.opts.steps;
+        self.trace(format!("{{\"step\":{step},\"action\":\"converge\"}}"));
+
+        // Find out which sites are *actually* operational (invisible
+        // step-downs included), then bring every down site back while
+        // its group's true survivors can donate state. A group with no
+        // operational member left gets the total-failure reset.
+        for i in 0..self.spec.n_physical_sites() {
+            if self.up[i as usize] && !self.probe_up(SiteId(i)) {
+                self.up[i as usize] = false;
+                self.trace(format!(
+                    "{{\"step\":{step},\"observed\":\"invisible_down\",\"site\":{i}}}"
+                ));
+            }
+        }
+        for group in 0..self.spec.n_groups {
+            let mut need_reset = false;
+            for m in self.spec.group_members(group) {
+                if self.up[m.index()] {
+                    continue;
+                }
+                match self.client.recover(m, MGMT_WAIT) {
+                    Ok(session) => {
+                        self.up[m.index()] = true;
+                        self.trace(format!(
+                            "{{\"step\":{step},\"action\":\"rejoin\",\"site\":{},\"session\":{}}}",
+                            m.0, session.0
+                        ));
+                    }
+                    Err(ControlError::Timeout(_)) => {
+                        need_reset = true;
+                        break;
+                    }
+                    Err(e) => {
+                        self.violation(step, format!("site {m} failed to rejoin: {e}"));
+                        return;
+                    }
+                }
+            }
+            if need_reset && !self.group_reset(step, group) {
+                return;
+            }
+        }
+
+        // Drain the cross-shard pipeline: every committed-but-
+        // unconfirmed branch must confirm through the re-drive loop. A
+        // pipeline that never drains is a blocked cross-shard commit —
+        // exactly the violation the re-drive protocol exists to prevent.
+        let drain_deadline = Instant::now() + Duration::from_secs(10);
+        while self.client.pending_cross() > 0 {
+            if Instant::now() >= drain_deadline {
+                let n = self.client.pending_cross();
+                self.violation(
+                    step,
+                    format!("{n} cross-shard transaction(s) stuck unresolved after heal"),
+                );
+                return;
+            }
+            let _ = self.client.pump_for(Duration::from_millis(100));
+            self.harvest(step);
+        }
+        self.harvest(step);
+
+        // Cycle every site through fail + recover to clear divergent
+        // up/down perception, exactly as the unsharded converge does. A
+        // timeout here means the site's donors went down invisibly
+        // after the rejoin pass — reset the whole group.
+        for i in 0..self.spec.n_physical_sites() {
+            self.client.fail(SiteId(i));
+            std::thread::sleep(Duration::from_millis(50));
+            match self.client.recover(SiteId(i), MGMT_WAIT) {
+                Ok(session) => {
+                    self.up[i as usize] = true;
+                    self.trace(format!(
+                        "{{\"step\":{step},\"action\":\"normalize\",\"site\":{i},\"session\":{}}}",
+                        session.0
+                    ));
+                }
+                Err(ControlError::Timeout(_)) => {
+                    let (group, _) = self.spec.local_site(SiteId(i));
+                    self.up[i as usize] = false;
+                    if !self.group_reset(step, group) {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    self.violation(step, format!("site {i} failed to recover: {e}"));
+                    return;
+                }
+            }
+        }
+        self.harvest(step);
+
+        // Up to two read rounds per group (the first may race a
+        // just-resolved in-doubt transaction; a repeat must agree).
+        let mut final_db: Vec<(u32, u64, u64)> = Vec::new();
+        for group in 0..self.spec.n_groups {
+            let image = match self.read_group_all(step, group) {
+                Ok(image) => image,
+                Err(divergence) => {
+                    self.trace(format!(
+                        "{{\"step\":{step},\"observed\":\"divergence_retry\",\"group\":{group},\"detail\":\"{divergence}\"}}"
+                    ));
+                    std::thread::sleep(Duration::from_millis(1000));
+                    match self.read_group_all(step, group) {
+                        Ok(image) => image,
+                        Err(divergence) => {
+                            self.violation(
+                                step,
+                                format!("group {group} copies diverged: {divergence}"),
+                            );
+                            return;
+                        }
+                    }
+                }
+            };
+            final_db.extend(image);
+        }
+        final_db.sort_by_key(|&(item, _, _)| item);
+
+        let aborted_cross = self.aborted_cross.clone();
+        for &(item, version, data) in &final_db {
+            let oracle = self.oracle.entry(item).or_default().clone();
+            if !oracle.acceptable(version, data) {
+                self.violation(
+                    step,
+                    format!(
+                        "converged item {item} has version={version} data={data}, \
+                         outside the acceptable set ({})",
+                        oracle.describe()
+                    ),
+                );
+            }
+            if aborted_cross.contains(&version) {
+                self.violation(
+                    step,
+                    format!(
+                        "atomicity: item {item} carries version {version} of a \
+                         globally aborted cross-shard transaction"
+                    ),
+                );
+            }
+        }
+        self.outcome.final_db = final_db;
+    }
+
+    /// Read one group's full slice through every member and compare.
+    /// `Ok` carries the agreed image (global item names); `Err`
+    /// describes the first divergence.
+    #[allow(clippy::type_complexity)]
+    fn read_group_all(&mut self, step: u32, group: u8) -> Result<Vec<(u32, u64, u64)>, String> {
+        let ops: Vec<Operation> = (0..self.opts.group_db_size)
+            .map(|i| Operation::Read(self.spec.globalize(group, ItemId(i))))
+            .collect();
+        let mut reference: Option<(SiteId, Vec<(u32, u64, u64)>)> = None;
+        for member in self.spec.group_members(group) {
+            let id = self.client.next_txn_id();
+            let report = self
+                .client
+                .run_txn_at(member, Transaction::new(id, ops.clone()), MGMT_WAIT)
+                .map_err(|e| format!("full read via site {member}: {e}"))?;
+            if !report.committed() {
+                return Err(format!(
+                    "full read via site {member} aborted: {:?}",
+                    report.outcome
+                ));
+            }
+            let image: Vec<(u32, u64, u64)> = report
+                .read_results
+                .iter()
+                .map(|(item, v)| (item.0, v.version, v.data))
+                .collect();
+            self.trace(format!(
+                "{{\"step\":{step},\"observed\":\"full_read\",\"group\":{group},\"site\":{},\"items\":{}}}",
+                member.0,
+                image.len()
+            ));
+            match &reference {
+                None => reference = Some((member, image)),
+                Some((ref_site, ref_image)) => {
+                    if *ref_image != image {
+                        let detail = ref_image
+                            .iter()
+                            .zip(&image)
+                            .find(|(a, b)| a != b)
+                            .map(|(a, b)| {
+                                format!(
+                                    "item {}: site {ref_site} has (v{},d{}), site {} has (v{},d{})",
+                                    a.0, a.1, a.2, member.0, b.1, b.2
+                                )
+                            })
+                            .unwrap_or_else(|| "length mismatch".into());
+                        return Err(detail);
+                    }
+                }
+            }
+        }
+        Ok(reference.map(|(_, image)| image).unwrap_or_default())
+    }
+}
+
+/// Run one randomized chaos schedule against a *sharded* threaded
+/// cluster: several independent replication groups, single- and
+/// cross-shard transactions, kills and recoveries (never taking a whole
+/// group down on purpose), lossy links. On top of the unsharded
+/// invariants — applied per group — the oracle checks cross-shard
+/// atomicity: a globally aborted transaction's version stamp must
+/// appear on no item, and a committed one must eventually confirm on
+/// every branch (a stuck cross-shard pipeline after healing is a
+/// violation).
+pub fn run_sharded_chaos(opts: ShardChaosOptions) -> ChaosOutcome {
+    let spec = ShardSpec::new(opts.n_groups, opts.sites_per_group, opts.group_db_size);
+    let plan = FaultPlan {
+        drop: opts.drop,
+        duplicate: opts.duplicate,
+        ..FaultPlan::none(opts.seed)
+    };
+    let (cluster, client, _controls) = Cluster::launch_sharded_faulty(
+        spec,
+        ProtocolConfig::default(),
+        ClusterTiming::default(),
+        plan,
+        opts.with_reliable,
+    );
+
+    let mut harness = ShardHarness {
+        client,
+        spec,
+        oracle: HashMap::new(),
+        up: vec![true; spec.n_physical_sites() as usize],
+        pending_writes: HashMap::new(),
+        aborted_cross: Vec::new(),
+        outcome: ChaosOutcome::default(),
+        opts,
+    };
+    harness.trace(format!(
+        "{{\"mode\":\"sharded\",\"seed\":{},\"steps\":{},\"groups\":{},\"sites_per_group\":{},\"cross_pct\":{},\"drop\":{},\"duplicate\":{},\"reliable\":{}}}",
+        opts.seed,
+        opts.steps,
+        opts.n_groups,
+        opts.sites_per_group,
+        opts.cross_pct,
+        opts.drop,
+        opts.duplicate,
+        opts.with_reliable
+    ));
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    for step in 0..opts.steps {
+        if !harness.outcome.violations.is_empty() {
+            break;
+        }
+        harness.harvest(step);
+        let roll = rng.random_range(0..100u32);
+        if roll < 8 {
+            let victims = harness.killable();
+            if victims.is_empty() {
+                continue;
+            }
+            let site = victims[rng.random_range(0..victims.len())];
+            harness.client.fail(SiteId(site));
+            harness.up[site as usize] = false;
+            harness.trace(format!(
+                "{{\"step\":{step},\"action\":\"kill\",\"site\":{site}}}"
+            ));
+        } else if roll < 18 {
+            let downs: Vec<u8> = (0..spec.n_physical_sites())
+                .filter(|i| !harness.up[*i as usize])
+                .collect();
+            if downs.is_empty() {
+                continue;
+            }
+            let site = downs[rng.random_range(0..downs.len())];
+            harness.trace(format!(
+                "{{\"step\":{step},\"action\":\"recover\",\"site\":{site}}}"
+            ));
+            match harness.client.recover(SiteId(site), MGMT_WAIT) {
+                Ok(_) => harness.up[site as usize] = true,
+                Err(ControlError::Timeout(_)) => {
+                    harness.trace(format!(
+                        "{{\"step\":{step},\"observed\":\"recover_timeout\",\"site\":{site}}}"
+                    ));
+                }
+                Err(ControlError::Disconnected) => {
+                    harness.violation(step, "manager disconnected".into());
+                }
+            }
+        } else if roll < 22 {
+            harness.scrape(step, &mut rng);
+        } else if roll < 75 {
+            harness.run_write(step, &mut rng);
+        } else {
+            harness.run_read(step, &mut rng);
+        }
+    }
+
+    if harness.outcome.violations.is_empty() {
+        harness.converge();
+    }
+
+    let xm = harness.client.xmetrics();
+    let cross_hist = harness.client.cross_commit_latency.clone();
+    let mut outcome = std::mem::take(&mut harness.outcome);
+    harness.client.terminate_all();
+    cluster.join(Duration::from_secs(5));
+    outcome.trace.push(format!(
+        "{{\"summary\":{{\"committed\":{},\"in_doubt\":{},\"aborted\":{},\"cross_begun\":{},\"cross_committed\":{},\"cross_aborted\":{},\"cross_redrives\":{},\"cross_commit_p50_us\":{},\"violations\":{}}}}}",
+        outcome.committed_writes,
+        outcome.in_doubt_writes,
+        outcome.aborted,
+        xm.begun,
+        xm.committed,
+        xm.aborted,
+        xm.redrives,
+        cross_hist.quantile(0.5),
         outcome.violations.len()
     ));
     outcome

@@ -14,8 +14,12 @@ use miniraid_net::fault::{FaultControl, FaultPlan, FaultTransport};
 use miniraid_net::reliable::{reliable, ReliableConfig};
 use miniraid_net::tcp::{AddressPlan, TcpEndpoint, TcpMailbox, TcpTransport};
 
+use miniraid_shard::ShardSpec;
+
 use crate::control::ManagingClient;
 use crate::obs::SiteObs;
+use crate::shard_client::ShardedClient;
+use crate::shard_site::{ShardMailbox, ShardTransport};
 use crate::site::{run_site, run_site_full, ClusterTiming};
 
 /// A running cluster: join handles for every site thread.
@@ -239,6 +243,159 @@ impl Cluster {
             handles.push(handle);
         }
         let client = ManagingClient::new(mgr_transport, mgr_mailbox, n);
+        (Cluster { handles }, client, controls)
+    }
+
+    /// Launch a sharded topology over in-process channels: physical
+    /// sites `0..spec.n_physical_sites()`, each running one engine for
+    /// its replication group (`config` narrowed per group — see
+    /// [`ShardSpec::group_config`]), with the sharded managing client
+    /// at the physical manager id. Groups are fully independent
+    /// clusters: session vectors, fail-locks and control transactions
+    /// never cross a group boundary.
+    pub fn launch_sharded(
+        spec: ShardSpec,
+        config: ProtocolConfig,
+        timing: ClusterTiming,
+    ) -> (Cluster, ShardedClient<ChannelTransport, ChannelMailbox>) {
+        let n = spec.n_physical_sites();
+        let mut endpoints = ChannelNetwork::new(n as usize + 1);
+        let (mgr_transport, mgr_mailbox) = endpoints.pop().expect("manager endpoint");
+
+        let group_config = spec.group_config(&config);
+        let mut handles = Vec::with_capacity(n as usize);
+        for (i, (transport, mailbox)) in endpoints.into_iter().enumerate() {
+            let (group, local) = spec.local_site(SiteId(i as u8));
+            let engine = SiteEngine::new(local, group_config.clone());
+            let transport = ShardTransport::new(transport, spec, group);
+            let mailbox = ShardMailbox::new(mailbox, spec, group);
+            let manager = spec.local_manager_alias();
+            let handle = std::thread::Builder::new()
+                .name(format!("miniraid-shard-{group}-{}", local.0))
+                .spawn(move || run_site(engine, transport, mailbox, manager, timing))
+                .expect("spawn site thread");
+            handles.push(handle);
+        }
+        let client = ShardedClient::new(mgr_transport, mgr_mailbox, spec);
+        (Cluster { handles }, client)
+    }
+
+    /// Launch a sharded topology with a fixed per-send intersite latency
+    /// on every site's transport (below the shard translation, so delays
+    /// apply to the physical hops). The manager's endpoint stays plain —
+    /// like [`Cluster::launch_with_latency`], the client is the
+    /// out-of-band measurement harness. Used by the shard-scaling
+    /// benchmark, where intersite latency is what makes group-level
+    /// parallelism measurable.
+    pub fn launch_sharded_with_latency(
+        spec: ShardSpec,
+        config: ProtocolConfig,
+        timing: ClusterTiming,
+        latency: Duration,
+    ) -> (Cluster, ShardedClient<ChannelTransport, ChannelMailbox>) {
+        let n = spec.n_physical_sites();
+        let mut endpoints = ChannelNetwork::new(n as usize + 1);
+        let (mgr_transport, mgr_mailbox) = endpoints.pop().expect("manager endpoint");
+
+        let group_config = spec.group_config(&config);
+        let mut handles = Vec::with_capacity(n as usize);
+        for (i, (transport, mailbox)) in endpoints.into_iter().enumerate() {
+            let (group, local) = spec.local_site(SiteId(i as u8));
+            let engine = SiteEngine::new(local, group_config.clone());
+            let transport =
+                ShardTransport::new(DelayTransport::new(transport, latency), spec, group);
+            let mailbox = ShardMailbox::new(mailbox, spec, group);
+            let manager = spec.local_manager_alias();
+            let handle = std::thread::Builder::new()
+                .name(format!("miniraid-shard-{group}-{}", local.0))
+                .spawn(move || run_site(engine, transport, mailbox, manager, timing))
+                .expect("spawn site thread");
+            handles.push(handle);
+        }
+        let client = ShardedClient::new(mgr_transport, mgr_mailbox, spec);
+        (Cluster { handles }, client)
+    }
+
+    /// Launch a sharded topology with seeded fault injection on every
+    /// site's transport and — when `with_reliable` is set — the
+    /// reliable session layer between the faults and the shard
+    /// translation (the legal frame nesting is `Seq { ShardEnv {..} }`).
+    /// The manager's endpoint stays plain, as in [`launch_faulty`].
+    /// Returns one [`FaultControl`] per physical site, indexed by
+    /// physical id, for scripting partitions.
+    ///
+    /// [`launch_faulty`]: Cluster::launch_faulty
+    pub fn launch_sharded_faulty(
+        spec: ShardSpec,
+        config: ProtocolConfig,
+        timing: ClusterTiming,
+        plan: FaultPlan,
+        with_reliable: bool,
+    ) -> (
+        Cluster,
+        ShardedClient<ChannelTransport, ChannelMailbox>,
+        Vec<FaultControl>,
+    ) {
+        let n = spec.n_physical_sites();
+        let mut endpoints = ChannelNetwork::new(n as usize + 1);
+        let (mgr_transport, mgr_mailbox) = endpoints.pop().expect("manager endpoint");
+
+        let trace_dir = std::env::var_os("MINIRAID_CHAOS_TRACE_DIR").map(std::path::PathBuf::from);
+        if let Some(dir) = &trace_dir {
+            let _ = std::fs::create_dir_all(dir);
+        }
+
+        let group_config = spec.group_config(&config);
+        let mut handles = Vec::with_capacity(n as usize);
+        let mut controls = Vec::with_capacity(n as usize);
+        for (i, (transport, mailbox)) in endpoints.into_iter().enumerate() {
+            let (group, local) = spec.local_site(SiteId(i as u8));
+            let mut engine = SiteEngine::new(local, group_config.clone());
+            let obs = trace_dir.as_ref().and_then(|dir| {
+                SiteObs::attach(
+                    &mut engine,
+                    Some(dir.join(format!("site-{i}.jsonl")).as_path()),
+                )
+                .ok()
+            });
+            // Same per-site seed derivation as `launch_faulty`, keyed by
+            // physical id so a whole sharded run replays from one seed.
+            let site_plan = FaultPlan {
+                seed: plan
+                    .seed
+                    .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1)),
+                ..plan
+            };
+            let (transport, control) = FaultTransport::new(transport, site_plan);
+            controls.push(control);
+            let manager = spec.local_manager_alias();
+            let handle = if with_reliable {
+                let cfg = ReliableConfig {
+                    epoch: Some(1),
+                    ..ReliableConfig::default()
+                };
+                let (transport, mailbox) = reliable(transport, mailbox, cfg);
+                let transport = ShardTransport::new(transport, spec, group);
+                let mailbox = ShardMailbox::new(mailbox, spec, group);
+                std::thread::Builder::new()
+                    .name(format!("miniraid-shard-{group}-{}", local.0))
+                    .spawn(move || {
+                        run_site_full(engine, transport, mailbox, manager, timing, None, obs)
+                    })
+                    .expect("spawn site thread")
+            } else {
+                let transport = ShardTransport::new(transport, spec, group);
+                let mailbox = ShardMailbox::new(mailbox, spec, group);
+                std::thread::Builder::new()
+                    .name(format!("miniraid-shard-{group}-{}", local.0))
+                    .spawn(move || {
+                        run_site_full(engine, transport, mailbox, manager, timing, None, obs)
+                    })
+                    .expect("spawn site thread")
+            };
+            handles.push(handle);
+        }
+        let client = ShardedClient::new(mgr_transport, mgr_mailbox, spec);
         (Cluster { handles }, client, controls)
     }
 

@@ -13,12 +13,17 @@ pub mod chaos;
 pub mod cluster;
 pub mod control;
 pub mod obs;
+pub mod shard_client;
+pub mod shard_site;
 pub mod site;
 
 pub use chaos::{
-    run_process_chaos, run_thread_chaos, ChaosOptions, ChaosOutcome, ProcChaosOptions,
+    run_process_chaos, run_sharded_chaos, run_thread_chaos, ChaosOptions, ChaosOutcome,
+    ProcChaosOptions, ShardChaosOptions,
 };
 pub use cluster::Cluster;
 pub use control::{ControlError, ManagingClient};
 pub use obs::SiteObs;
+pub use shard_client::{ShardedClient, ShardedReport};
+pub use shard_site::{ShardMailbox, ShardTransport};
 pub use site::ClusterTiming;

@@ -1,0 +1,657 @@
+//! The managing client for a sharded cluster: routes transactions to
+//! replication groups and plays the top-level coordinator for
+//! cross-shard atomic commit.
+//!
+//! Single-group transactions take the fast path: the client localizes
+//! the item names and forwards the transaction to one of the group's
+//! sites exactly as the unsharded [`ManagingClient`] would — the
+//! group's engine runs the paper's protocol unmodified. Multi-group
+//! transactions are split into branches and driven through the
+//! [`XCoordinator`]: prepare (each branch runs phase one and parks at
+//! its local commit point), vote, decide, and — when a branch
+//! coordinator dies after the commit decision — a re-drive loop that
+//! repeats the decision and re-submits the branch's write residue
+//! round-robin across the group's surviving sites until some
+//! coordinator confirms the commit. Re-drives are idempotent: writes
+//! carry the transaction id as their version stamp and sites install
+//! only fresher versions, and engines drop duplicate submissions of an
+//! in-flight id.
+//!
+//! Like the paper's managing site, the client sits outside the failure
+//! model, so the top-level 2PC has no "coordinator failed after
+//! prepare" blocking case; the blocking cases that remain are all
+//! *inside* groups, where the paper's own failure machinery (2PC
+//! timeouts, failure announcements, fail-locks) already resolves them.
+//!
+//! [`ManagingClient`]: crate::control::ManagingClient
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use miniraid_core::error::AbortReason;
+use miniraid_core::ids::{ItemId, SessionNumber, SiteId, TxnId};
+use miniraid_core::messages::{Command, Message, TxnOutcome};
+use miniraid_core::ops::Transaction;
+use miniraid_net::{Mailbox, RecvError, Transport};
+use miniraid_obs::LatencyHistogram;
+use miniraid_shard::{classify, Route, ShardSpec, XAction, XCoordinator, XPhase};
+use miniraid_storage::ItemValue;
+
+use crate::control::ControlError;
+
+/// How long the cross-shard coordinator waits for branch votes before
+/// counting the stragglers as no. Must be shorter than the engines'
+/// participant timeout (500 ms by default), so a parked branch's
+/// participants never declare its coordinator failed while the global
+/// decision is still pending under healthy links.
+const VOTE_TIMEOUT: Duration = Duration::from_millis(400);
+
+/// Interval between re-drive rounds for committed-but-unconfirmed
+/// branches. Longer than a healthy commit round-trip, so re-drives only
+/// fire when something actually failed.
+const REDRIVE_INTERVAL: Duration = Duration::from_millis(700);
+
+/// The final outcome of a routed transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedReport {
+    /// The (global) transaction.
+    pub txn: TxnId,
+    /// Whether it spanned more than one group.
+    pub cross_shard: bool,
+    /// Commit or abort. Cross-shard aborts carry
+    /// [`AbortReason::GlobalAbort`].
+    pub outcome: TxnOutcome,
+    /// Read results with *global* item names, in item order.
+    pub read_results: Vec<(ItemId, ItemValue)>,
+}
+
+impl ShardedReport {
+    /// True if committed.
+    pub fn committed(&self) -> bool {
+        self.outcome.is_committed()
+    }
+}
+
+/// Control-plane replies stashed while waiting for something else.
+enum CtlEvent {
+    Recovered {
+        site: SiteId,
+        session: SessionNumber,
+    },
+    Metrics {
+        site: SiteId,
+        text: String,
+    },
+}
+
+/// Book-keeping for one in-flight cross-shard transaction.
+struct CrossState {
+    started: Instant,
+    vote_deadline: Instant,
+    next_redrive: Instant,
+    /// Physical coordinator each branch was prepared at.
+    branch_coord: HashMap<u8, SiteId>,
+    /// Next group-local site index to receive a re-drive submission.
+    cursor: HashMap<u8, u8>,
+}
+
+/// Book-keeping for one in-flight single-group transaction.
+struct SingleState {
+    group: u8,
+    started: Instant,
+}
+
+/// The managing client of a sharded cluster.
+pub struct ShardedClient<T: Transport, M: Mailbox> {
+    transport: T,
+    mailbox: M,
+    spec: ShardSpec,
+    next_txn: u64,
+    xcoord: XCoordinator,
+    singles: HashMap<TxnId, SingleState>,
+    cross: HashMap<TxnId, CrossState>,
+    finished: HashMap<TxnId, ShardedReport>,
+    events: Vec<CtlEvent>,
+    /// Per-group round-robin cursor for picking coordinators.
+    rr: Vec<u8>,
+    /// Per-group physical sender of the most recent *committed* outcome
+    /// report — the paper's "last site to fail" candidate: it was
+    /// provably operational at the group's last commit, so its copy is
+    /// as complete as any member's. Used by total-group-failure
+    /// recovery to pick the bootstrap site.
+    last_commit_coord: Vec<Option<SiteId>>,
+    /// The client's own belief about which physical sites are up
+    /// (driven by its `fail`/`recover` calls; used only to bias
+    /// coordinator choice, never for correctness).
+    up: Vec<bool>,
+    /// Client-observed commit latency of cross-shard transactions
+    /// (prepare sent → all branches confirmed), in microseconds.
+    pub cross_commit_latency: LatencyHistogram,
+    /// Client-observed commit latency of single-group transactions.
+    pub single_commit_latency: LatencyHistogram,
+    /// Single-group commit latency split per group, indexed by group.
+    pub per_group_commit_latency: Vec<LatencyHistogram>,
+}
+
+impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
+    /// Wrap the manager's physical endpoint.
+    pub fn new(transport: T, mailbox: M, spec: ShardSpec) -> Self {
+        let n = spec.n_physical_sites() as usize;
+        ShardedClient {
+            transport,
+            mailbox,
+            spec,
+            next_txn: 1,
+            xcoord: XCoordinator::new(spec),
+            singles: HashMap::new(),
+            cross: HashMap::new(),
+            finished: HashMap::new(),
+            events: Vec::new(),
+            rr: vec![0; spec.n_groups as usize],
+            last_commit_coord: vec![None; spec.n_groups as usize],
+            up: vec![true; n],
+            cross_commit_latency: LatencyHistogram::new(),
+            single_commit_latency: LatencyHistogram::new(),
+            per_group_commit_latency: vec![LatencyHistogram::new(); spec.n_groups as usize],
+        }
+    }
+
+    /// The topology this client drives.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// Allocate the next globally unique transaction id.
+    pub fn next_txn_id(&mut self) -> TxnId {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        id
+    }
+
+    /// Cross-shard transactions still unresolved.
+    pub fn pending_cross(&self) -> usize {
+        self.xcoord.pending()
+    }
+
+    /// The cross-shard coordinator's own counters.
+    pub fn xmetrics(&self) -> miniraid_shard::XMetrics {
+        self.xcoord.metrics
+    }
+
+    /// The physical site that reported the group's most recent commit
+    /// (it was operational at that commit, so its copy is as complete
+    /// as any member's), or `None` if the group never committed.
+    pub fn last_commit_coordinator(&self, group: u8) -> Option<SiteId> {
+        self.last_commit_coord[group as usize]
+    }
+
+    /// Route and submit a transaction with global item names, without
+    /// waiting for its outcome (open-loop driving; pair with
+    /// [`drain_finished`](Self::drain_finished) or
+    /// [`wait_report`](Self::wait_report)).
+    pub fn submit(&mut self, txn: Transaction) {
+        let now = Instant::now();
+        match classify(&self.spec, &txn) {
+            Route::Single { group, txn } => {
+                let coordinator = self.pick_coordinator(group);
+                self.singles.insert(
+                    txn.id,
+                    SingleState {
+                        group,
+                        started: now,
+                    },
+                );
+                self.send(coordinator, group, Message::Mgmt(Command::Begin(txn)));
+            }
+            Route::Multi { branches } => {
+                self.cross.insert(
+                    txn.id,
+                    CrossState {
+                        started: now,
+                        vote_deadline: now + VOTE_TIMEOUT,
+                        next_redrive: now + REDRIVE_INTERVAL,
+                        branch_coord: HashMap::new(),
+                        cursor: HashMap::new(),
+                    },
+                );
+                let actions = self.xcoord.begin(branches);
+                self.perform(actions, now);
+            }
+        }
+    }
+
+    /// Submit and wait for the final (global) outcome.
+    pub fn run_txn(
+        &mut self,
+        txn: Transaction,
+        deadline: Duration,
+    ) -> Result<ShardedReport, ControlError> {
+        let id = txn.id;
+        self.submit(txn);
+        self.wait_report(id, deadline)
+    }
+
+    /// Run a transaction at a *specific* physical site, bypassing the
+    /// round-robin coordinator choice. The transaction (global item
+    /// names) must be confined to that site's group — used by
+    /// convergence checks that compare every member's copy. Panics on a
+    /// transaction touching any other group.
+    pub fn run_txn_at(
+        &mut self,
+        site: SiteId,
+        txn: Transaction,
+        deadline: Duration,
+    ) -> Result<ShardedReport, ControlError> {
+        let (group, _) = self.spec.local_site(site);
+        match classify(&self.spec, &txn) {
+            Route::Single {
+                group: g,
+                txn: localized,
+            } if g == group => {
+                let id = localized.id;
+                self.singles.insert(
+                    id,
+                    SingleState {
+                        group,
+                        started: Instant::now(),
+                    },
+                );
+                self.send(site, group, Message::Mgmt(Command::Begin(localized)));
+                self.wait_report(id, deadline)
+            }
+            _ => panic!("run_txn_at requires a transaction confined to {site}'s group"),
+        }
+    }
+
+    /// Wait for a previously submitted transaction's final outcome,
+    /// driving votes, decisions and re-drives while waiting.
+    pub fn wait_report(
+        &mut self,
+        txn: TxnId,
+        deadline: Duration,
+    ) -> Result<ShardedReport, ControlError> {
+        let until = Instant::now() + deadline;
+        loop {
+            if let Some(report) = self.finished.remove(&txn) {
+                return Ok(report);
+            }
+            if Instant::now() >= until {
+                return Err(ControlError::Timeout("sharded transaction report"));
+            }
+            self.pump(Duration::from_millis(10))?;
+            self.tick();
+        }
+    }
+
+    /// Collect every transaction that reached a final outcome, without
+    /// blocking (after a non-blocking pump of the inbox).
+    pub fn drain_finished(&mut self) -> Vec<ShardedReport> {
+        let _ = self.pump(Duration::ZERO);
+        self.tick();
+        let mut reports: Vec<ShardedReport> = self.finished.drain().map(|(_, r)| r).collect();
+        reports.sort_by_key(|r| r.txn);
+        reports
+    }
+
+    /// Process inbox traffic and internal deadlines for `duration` —
+    /// used to let in-flight cross-shard transactions resolve (votes,
+    /// decisions, re-drives) without submitting new work.
+    pub fn pump_for(&mut self, duration: Duration) -> Result<(), ControlError> {
+        let until = Instant::now() + duration;
+        while Instant::now() < until {
+            self.pump(Duration::from_millis(10))?;
+            self.tick();
+        }
+        Ok(())
+    }
+
+    /// Tell a physical site to fail.
+    pub fn fail(&mut self, site: SiteId) {
+        let group = self.spec.local_site(site).0;
+        self.send(site, group, Message::Mgmt(Command::Fail));
+        self.up[site.index()] = false;
+    }
+
+    /// Tell a physical site to recover; waits until it reports
+    /// operational (in-flight shard traffic keeps being driven).
+    pub fn recover(
+        &mut self,
+        site: SiteId,
+        deadline: Duration,
+    ) -> Result<SessionNumber, ControlError> {
+        let group = self.spec.local_site(site).0;
+        self.send(site, group, Message::Mgmt(Command::Recover));
+        let until = Instant::now() + deadline;
+        loop {
+            if let Some(pos) = self
+                .events
+                .iter()
+                .position(|e| matches!(e, CtlEvent::Recovered { site: s, .. } if *s == site))
+            {
+                let CtlEvent::Recovered { session, .. } = self.events.remove(pos) else {
+                    unreachable!("matched above");
+                };
+                self.up[site.index()] = true;
+                return Ok(session);
+            }
+            if Instant::now() >= until {
+                return Err(ControlError::Timeout("recovery"));
+            }
+            self.pump(Duration::from_millis(10))?;
+            self.tick();
+        }
+    }
+
+    /// Bootstrap a physical site as the first operational member of its
+    /// group after a total group failure (the paper's "last site to
+    /// fail recovers first from its own state").
+    pub fn bootstrap(
+        &mut self,
+        site: SiteId,
+        deadline: Duration,
+    ) -> Result<SessionNumber, ControlError> {
+        let group = self.spec.local_site(site).0;
+        self.send(site, group, Message::Mgmt(Command::Bootstrap));
+        let until = Instant::now() + deadline;
+        loop {
+            if let Some(pos) = self
+                .events
+                .iter()
+                .position(|e| matches!(e, CtlEvent::Recovered { site: s, .. } if *s == site))
+            {
+                let CtlEvent::Recovered { session, .. } = self.events.remove(pos) else {
+                    unreachable!("matched above");
+                };
+                self.up[site.index()] = true;
+                return Ok(session);
+            }
+            if Instant::now() >= until {
+                return Err(ControlError::Timeout("bootstrap"));
+            }
+            self.pump(Duration::from_millis(10))?;
+            self.tick();
+        }
+    }
+
+    /// Fetch a physical site's metrics exposition text.
+    pub fn fetch_metrics(
+        &mut self,
+        site: SiteId,
+        deadline: Duration,
+    ) -> Result<String, ControlError> {
+        let group = self.spec.local_site(site).0;
+        self.send(site, group, Message::MetricsRequest);
+        let until = Instant::now() + deadline;
+        loop {
+            if let Some(pos) = self
+                .events
+                .iter()
+                .position(|e| matches!(e, CtlEvent::Metrics { site: s, .. } if *s == site))
+            {
+                let CtlEvent::Metrics { text, .. } = self.events.remove(pos) else {
+                    unreachable!("matched above");
+                };
+                return Ok(text);
+            }
+            if Instant::now() >= until {
+                return Err(ControlError::Timeout("metrics response"));
+            }
+            self.pump(Duration::from_millis(10))?;
+            self.tick();
+        }
+    }
+
+    /// Assemble the client-observed histogram state as a
+    /// [`miniraid_obs::ShardedSnapshot`]: per-group single-shard commit
+    /// latency in each shard's slot, plus the top-level cross-shard
+    /// commit histogram.
+    pub fn sharded_snapshot(&self) -> miniraid_obs::ShardedSnapshot {
+        let mut snap = miniraid_obs::ShardedSnapshot::new(self.spec.n_groups as usize);
+        for (shard, hist) in self.per_group_commit_latency.iter().enumerate() {
+            snap.per_shard[shard].commit_latency.merge(hist);
+        }
+        snap.cross_commit.merge(&self.cross_commit_latency);
+        snap
+    }
+
+    /// Terminate every site (clean shutdown).
+    pub fn terminate_all(&mut self) {
+        for i in 0..self.spec.n_physical_sites() {
+            let site = SiteId(i);
+            let group = self.spec.local_site(site).0;
+            self.send(site, group, Message::Mgmt(Command::Terminate));
+        }
+    }
+
+    // ---- internals ---------------------------------------------------
+
+    fn send(&self, to: SiteId, group: u8, msg: Message) {
+        let _ = self.transport.send(
+            to,
+            &Message::ShardEnv {
+                shard: group,
+                inner: Box::new(msg),
+            },
+        );
+    }
+
+    /// Round-robin over a group's members, preferring sites the client
+    /// believes are up. Falls back to the cursor site when the whole
+    /// group looks down (the engine's own SiteNotOperational abort then
+    /// reports the truth).
+    fn pick_coordinator(&mut self, group: u8) -> SiteId {
+        let spg = self.spec.sites_per_group;
+        let start = self.rr[group as usize];
+        self.rr[group as usize] = (start + 1) % spg;
+        for k in 0..spg {
+            let local = (start + k) % spg;
+            let phys = self.spec.physical_site(group, SiteId(local));
+            if self.up[phys.index()] {
+                return phys;
+            }
+        }
+        self.spec.physical_site(group, SiteId(start))
+    }
+
+    /// Drain the inbox: block up to `slice` for the first message, then
+    /// take whatever else already arrived.
+    fn pump(&mut self, slice: Duration) -> Result<(), ControlError> {
+        match self.mailbox.recv_timeout(slice) {
+            Ok((from, msg)) => self.process(from, msg),
+            Err(RecvError::Timeout) => return Ok(()),
+            Err(RecvError::Disconnected) => return Err(ControlError::Disconnected),
+        }
+        loop {
+            match self.mailbox.try_recv() {
+                Ok((from, msg)) => self.process(from, msg),
+                Err(RecvError::Timeout) => return Ok(()),
+                Err(RecvError::Disconnected) => return Err(ControlError::Disconnected),
+            }
+        }
+    }
+
+    fn process(&mut self, from: SiteId, msg: Message) {
+        let (group, msg) = match msg {
+            Message::ShardEnv { shard, inner } => (shard, *inner),
+            other if from.index() < self.spec.n_physical_sites() as usize => {
+                (self.spec.local_site(from).0, other)
+            }
+            _ => return,
+        };
+        let now = Instant::now();
+        match msg {
+            Message::MgmtReport(report) => {
+                if report.outcome.is_committed()
+                    && from.index() < self.spec.n_physical_sites() as usize
+                {
+                    self.last_commit_coord[group as usize] = Some(from);
+                }
+                if let Some(single) = self.singles.remove(&report.txn) {
+                    if report.outcome.is_committed() {
+                        let micros = now.duration_since(single.started).as_micros() as u64;
+                        self.single_commit_latency.record(micros);
+                        self.per_group_commit_latency[single.group as usize].record(micros);
+                    }
+                    let mut read_results: Vec<(ItemId, ItemValue)> = report
+                        .read_results
+                        .iter()
+                        .map(|(i, v)| (self.spec.globalize(single.group, *i), *v))
+                        .collect();
+                    read_results.sort_by_key(|(i, _)| *i);
+                    self.finished.insert(
+                        report.txn,
+                        ShardedReport {
+                            txn: report.txn,
+                            cross_shard: false,
+                            outcome: report.outcome,
+                            read_results,
+                        },
+                    );
+                } else if self.xcoord.phase(report.txn).is_some() {
+                    let actions = self.xcoord.on_branch_report(
+                        group,
+                        report.txn,
+                        report.outcome.is_committed(),
+                        &report.read_results,
+                    );
+                    self.perform(actions, now);
+                }
+                // Reports for unknown ids are late duplicates from
+                // re-drives of already-finished transactions: drop.
+            }
+            Message::ShardVote { txn, ok } => {
+                let actions = self.xcoord.on_vote(group, txn, ok);
+                self.perform(actions, now);
+            }
+            Message::MgmtRecovered { session } => {
+                self.events.push(CtlEvent::Recovered {
+                    site: from,
+                    session,
+                });
+            }
+            Message::MetricsResponse { text } => {
+                self.events.push(CtlEvent::Metrics { site: from, text });
+            }
+            // Data-recovery announcements and anything else the control
+            // plane doesn't wait on.
+            _ => {}
+        }
+    }
+
+    fn perform(&mut self, actions: Vec<XAction>, now: Instant) {
+        for action in actions {
+            match action {
+                XAction::Prepare { group, branch } => {
+                    let coordinator = self.pick_coordinator(group);
+                    if let Some(state) = self.cross.get_mut(&branch.id) {
+                        state.branch_coord.insert(group, coordinator);
+                        // Re-drives start at the site after the original
+                        // coordinator.
+                        let local = self.spec.local_site(coordinator).1;
+                        state
+                            .cursor
+                            .insert(group, (local.0 + 1) % self.spec.sites_per_group);
+                    }
+                    self.send(coordinator, group, Message::ShardPrepare { txn: branch });
+                }
+                XAction::Decide { group, txn, commit } => {
+                    let target = self
+                        .cross
+                        .get(&txn)
+                        .and_then(|s| s.branch_coord.get(&group))
+                        .copied()
+                        .unwrap_or_else(|| self.spec.physical_site(group, SiteId(0)));
+                    self.send(target, group, Message::ShardDecide { txn, commit });
+                }
+                XAction::Finished {
+                    txn,
+                    committed,
+                    read_results,
+                } => {
+                    if let Some(state) = self.cross.remove(&txn) {
+                        if committed {
+                            self.cross_commit_latency
+                                .record(now.duration_since(state.started).as_micros() as u64);
+                        }
+                    }
+                    let outcome = if committed {
+                        TxnOutcome::Committed
+                    } else {
+                        TxnOutcome::Aborted(AbortReason::GlobalAbort)
+                    };
+                    self.finished.insert(
+                        txn,
+                        ShardedReport {
+                            txn,
+                            cross_shard: true,
+                            outcome,
+                            read_results,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fire internal deadlines: vote timeouts (missing votes become
+    /// no), and re-drive rounds for committed-but-unconfirmed branches.
+    fn tick(&mut self) {
+        let now = Instant::now();
+        let ids: Vec<TxnId> = self.cross.keys().copied().collect();
+        for txn in ids {
+            match self.xcoord.phase(txn) {
+                Some(XPhase::Voting) => {
+                    let due = self.cross.get(&txn).is_some_and(|s| now >= s.vote_deadline);
+                    if due {
+                        let actions = self.xcoord.force_decision(txn);
+                        self.perform(actions, now);
+                    }
+                }
+                Some(XPhase::Committing) => {
+                    let due = match self.cross.get_mut(&txn) {
+                        Some(state) if now >= state.next_redrive => {
+                            state.next_redrive = now + REDRIVE_INTERVAL;
+                            true
+                        }
+                        _ => false,
+                    };
+                    if due {
+                        self.redrive(txn);
+                    }
+                }
+                None => {
+                    // Finished between collecting ids and now.
+                }
+            }
+        }
+    }
+
+    /// One re-drive round for every unconfirmed branch of a committed
+    /// transaction: repeat the commit decision to *every* group member
+    /// (the parked coordinator, wherever it is, resumes and commits),
+    /// and re-submit the branch's write residue to the next site in the
+    /// group's rotation (repairing the case where the original
+    /// coordinator died and its parked state is gone). Per-sender FIFO
+    /// makes the decision arrive before the re-submission at that site,
+    /// and both are idempotent.
+    fn redrive(&mut self, txn: TxnId) {
+        let targets = self.xcoord.redrive_targets(txn);
+        for (group, residue) in targets {
+            for member in self.spec.group_members(group) {
+                self.send(member, group, Message::ShardDecide { txn, commit: true });
+            }
+            let spg = self.spec.sites_per_group;
+            let local = match self.cross.get_mut(&txn) {
+                Some(state) => {
+                    let cur = state.cursor.entry(group).or_insert(0);
+                    let local = *cur;
+                    *cur = (*cur + 1) % spg;
+                    local
+                }
+                None => 0,
+            };
+            let target = self.spec.physical_site(group, SiteId(local));
+            self.send(target, group, Message::Mgmt(Command::Begin(residue)));
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Identity translation for sharded deployments.
+//!
+//! Every physical site of a sharded cluster belongs to exactly one
+//! replication group and runs the unmodified [`SiteEngine`] configured
+//! for that group alone: the engine believes it lives in a small
+//! cluster of `sites_per_group` sites with group-local ids
+//! `0..sites_per_group` and a managing site at `sites_per_group`. The
+//! two wrappers here sit between the engine's site loop and the real
+//! (physical) network and translate both directions:
+//!
+//! * [`ShardTransport`] maps group-local destinations to physical site
+//!   ids and wraps every outgoing message in a shard-tagged envelope
+//!   ([`Message::ShardEnv`]), so the wire traffic of a sharded cluster
+//!   is self-describing.
+//! * [`ShardMailbox`] unwraps incoming envelopes, drops frames tagged
+//!   for a different group (misrouting protection), and maps physical
+//!   sender ids back to group-local ones.
+//!
+//! Layering order matters: the shard wrappers go *above* the reliable
+//! session layer (`Seq { ShardEnv { .. } }` is the legal nesting — the
+//! codec rejects the converse), so one physical link carries one
+//! sequence space no matter which layer produced the frame.
+//!
+//! [`SiteEngine`]: miniraid_core::engine::SiteEngine
+
+use std::time::{Duration, Instant};
+
+use miniraid_core::ids::SiteId;
+use miniraid_core::messages::Message;
+use miniraid_net::{Mailbox, NetError, RecvError, Transport, TransportStats};
+use miniraid_shard::ShardSpec;
+
+/// Sending half for one site of one replication group: translates
+/// group-local destinations to physical ids and shard-tags every frame.
+pub struct ShardTransport<T> {
+    inner: T,
+    spec: ShardSpec,
+    group: u8,
+}
+
+impl<T: Transport> ShardTransport<T> {
+    /// Wrap `inner` (whose destinations are physical site ids) for the
+    /// site loop of a member of `group`.
+    pub fn new(inner: T, spec: ShardSpec, group: u8) -> Self {
+        ShardTransport { inner, spec, group }
+    }
+
+    fn physical(&self, to: SiteId) -> SiteId {
+        if to == self.spec.local_manager_alias() {
+            self.spec.physical_manager()
+        } else {
+            self.spec.physical_site(self.group, to)
+        }
+    }
+
+    fn wrap(&self, msg: &Message) -> Message {
+        Message::ShardEnv {
+            shard: self.group,
+            inner: Box::new(msg.clone()),
+        }
+    }
+}
+
+impl<T: Transport> Transport for ShardTransport<T> {
+    fn send(&self, to: SiteId, msg: &Message) -> Result<(), NetError> {
+        self.inner.send(self.physical(to), &self.wrap(msg))
+    }
+
+    fn send_batch(&self, to: SiteId, msgs: &[Message]) -> Result<(), NetError> {
+        let wrapped: Vec<Message> = msgs.iter().map(|m| self.wrap(m)).collect();
+        self.inner.send_batch(self.physical(to), &wrapped)
+    }
+
+    fn local_id(&self) -> SiteId {
+        self.spec.local_site(self.inner.local_id()).1
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+}
+
+/// Receiving half for one site of one replication group: unwraps shard
+/// envelopes and translates physical senders to group-local ids.
+pub struct ShardMailbox<M> {
+    inner: M,
+    spec: ShardSpec,
+    group: u8,
+}
+
+impl<M: Mailbox> ShardMailbox<M> {
+    /// Wrap `inner` (which yields physical sender ids) for a member of
+    /// `group`.
+    pub fn new(inner: M, spec: ShardSpec, group: u8) -> Self {
+        ShardMailbox { inner, spec, group }
+    }
+
+    /// Translate one delivery, or `None` to drop it (wrong group).
+    fn translate(&self, from: SiteId, msg: Message) -> Option<(SiteId, Message)> {
+        let local_from = if from == self.spec.physical_manager() {
+            self.spec.local_manager_alias()
+        } else {
+            let (g, local) = self.spec.local_site(from);
+            if g != self.group {
+                return None;
+            }
+            local
+        };
+        let msg = match msg {
+            Message::ShardEnv { shard, inner } => {
+                if shard != self.group {
+                    return None;
+                }
+                *inner
+            }
+            other => other,
+        };
+        Some((local_from, msg))
+    }
+}
+
+impl<M: Mailbox> Mailbox for ShardMailbox<M> {
+    fn recv_timeout(&self, timeout: Duration) -> Result<(SiteId, Message), RecvError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            let (from, msg) = self.inner.recv_timeout(left)?;
+            if let Some(delivery) = self.translate(from, msg) {
+                return Ok(delivery);
+            }
+            // Dropped a misrouted frame; keep waiting out the budget.
+            if Instant::now() >= deadline {
+                return Err(RecvError::Timeout);
+            }
+        }
+    }
+
+    fn try_recv(&self) -> Result<(SiteId, Message), RecvError> {
+        loop {
+            let (from, msg) = self.inner.try_recv()?;
+            if let Some(delivery) = self.translate(from, msg) {
+                return Ok(delivery);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miniraid_core::ids::TxnId;
+    use miniraid_net::channel::ChannelNetwork;
+
+    fn spec() -> ShardSpec {
+        ShardSpec::new(2, 2, 4) // physical sites 0..4, manager 4
+    }
+
+    #[test]
+    fn transport_translates_and_tags() {
+        let mut endpoints = ChannelNetwork::new(5);
+        let (mgr_t, mgr_m) = endpoints.pop().expect("manager");
+        let eps: Vec<_> = endpoints.into_iter().collect();
+        let mut eps = eps.into_iter();
+        let (t0, _m0) = eps.next().expect("site 0");
+        let _keep: Vec<_> = eps.collect(); // keep receivers alive
+
+        // Group 0's local site 0 sends to its local peer 1 and to the
+        // local manager alias (SiteId(2)).
+        let st = ShardTransport::new(t0, spec(), 0);
+        assert_eq!(st.local_id(), SiteId(0));
+        st.send(SiteId(1), &Message::CommitAck { txn: TxnId(3) })
+            .expect("send to peer");
+        st.send(
+            SiteId(2),
+            &Message::ShardVote {
+                txn: TxnId(3),
+                ok: true,
+            },
+        )
+        .expect("send to manager alias");
+
+        // The manager's (physical) mailbox got the vote, shard-tagged.
+        let (from, msg) = mgr_m.try_recv().expect("vote frame");
+        assert_eq!(from, SiteId(0));
+        match msg {
+            Message::ShardEnv { shard, inner } => {
+                assert_eq!(shard, 0);
+                assert_eq!(
+                    *inner,
+                    Message::ShardVote {
+                        txn: TxnId(3),
+                        ok: true
+                    }
+                );
+            }
+            other => panic!("expected envelope, got {other:?}"),
+        }
+        drop(mgr_t);
+    }
+
+    #[test]
+    fn mailbox_unwraps_and_filters_by_group() {
+        let mut endpoints = ChannelNetwork::new(5);
+        let (mgr_t, _mgr_m) = endpoints.pop().expect("manager");
+        let eps: Vec<_> = endpoints.into_iter().collect();
+        let mut eps = eps.into_iter();
+        let (_t0, m0) = eps.next().expect("site 0");
+        let _keep: Vec<_> = eps.collect();
+
+        let sm = ShardMailbox::new(m0, spec(), 0);
+
+        // Manager sends a correctly-tagged frame and a mis-tagged one.
+        mgr_t
+            .send(
+                SiteId(0),
+                &Message::ShardEnv {
+                    shard: 1,
+                    inner: Box::new(Message::MetricsRequest),
+                },
+            )
+            .expect("mis-tagged");
+        mgr_t
+            .send(
+                SiteId(0),
+                &Message::ShardEnv {
+                    shard: 0,
+                    inner: Box::new(Message::MetricsRequest),
+                },
+            )
+            .expect("tagged");
+
+        // The mis-tagged frame is dropped; the good one arrives with the
+        // sender mapped to the group-local manager alias (SiteId(2)).
+        let (from, msg) = sm
+            .recv_timeout(Duration::from_millis(500))
+            .expect("delivery");
+        assert_eq!(from, SiteId(2));
+        assert_eq!(msg, Message::MetricsRequest);
+        assert!(sm.try_recv().is_err());
+    }
+}

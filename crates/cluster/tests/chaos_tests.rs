@@ -223,3 +223,28 @@ fn lossy_run_without_reliable_layer_fails() {
         "expected the raw lossy run to violate the scenario, but it ran clean"
     );
 }
+
+/// Smoke test for the sharded chaos mode (`chaos thread --shards 2`):
+/// a seeded randomized schedule against two replication groups under
+/// lossy links, with single- and cross-shard traffic, must hold every
+/// invariant — per-group convergence, no lost committed write, and
+/// cross-shard atomicity (no globally aborted transaction's version on
+/// any item).
+#[test]
+fn sharded_chaos_run_holds_invariants() {
+    let outcome = miniraid_cluster::run_sharded_chaos(miniraid_cluster::ShardChaosOptions {
+        seed: 5,
+        steps: 40,
+        ..Default::default()
+    });
+    assert!(
+        outcome.passed(),
+        "sharded chaos violations: {:?}\ntrace tail: {:?}",
+        outcome.violations,
+        outcome.trace.iter().rev().take(20).collect::<Vec<_>>()
+    );
+    assert!(
+        outcome.committed_writes > 0,
+        "schedule committed nothing — not a meaningful run"
+    );
+}

@@ -1,0 +1,435 @@
+//! End-to-end tests of sharded replication groups: single-shard fast
+//! path, cross-shard atomic commit, failure independence between
+//! groups, and branch-coordinator failure repair via re-drive.
+
+use std::time::Duration;
+
+use miniraid_cluster::{Cluster, ClusterTiming};
+use miniraid_core::config::ProtocolConfig;
+use miniraid_core::ids::{ItemId, SiteId};
+use miniraid_core::ops::{Operation, Transaction};
+use miniraid_shard::ShardSpec;
+
+const WAIT: Duration = Duration::from_secs(5);
+
+fn base_config() -> ProtocolConfig {
+    // db_size/n_sites are narrowed per group by the launcher.
+    ProtocolConfig::default()
+}
+
+/// 2 groups x 2 sites, 8 items per group. Items: even -> group 0
+/// (sites 0,1), odd -> group 1 (sites 2,3).
+fn spec() -> ShardSpec {
+    ShardSpec::new(2, 2, 8)
+}
+
+#[test]
+fn single_shard_transactions_commit_and_read_back() {
+    let (cluster, mut client) =
+        Cluster::launch_sharded(spec(), base_config(), ClusterTiming::default());
+
+    // One write per group (item 4 -> group 0, item 5 -> group 1).
+    for item in [4u32, 5] {
+        let id = client.next_txn_id();
+        let report = client
+            .run_txn(
+                Transaction::new(id, vec![Operation::Write(ItemId(item), 1000 + item as u64)]),
+                WAIT,
+            )
+            .unwrap();
+        assert!(report.committed(), "write of item {item}: {report:?}");
+        assert!(!report.cross_shard);
+    }
+
+    // Read both back — again single-shard, global item names.
+    for item in [4u32, 5] {
+        let id = client.next_txn_id();
+        let report = client
+            .run_txn(
+                Transaction::new(id, vec![Operation::Read(ItemId(item))]),
+                WAIT,
+            )
+            .unwrap();
+        assert!(report.committed());
+        assert_eq!(report.read_results.len(), 1);
+        assert_eq!(report.read_results[0].0, ItemId(item));
+        assert_eq!(report.read_results[0].1.data, 1000 + item as u64);
+    }
+
+    client.terminate_all();
+    cluster.join(WAIT);
+}
+
+#[test]
+fn cross_shard_transaction_commits_atomically() {
+    let (cluster, mut client) =
+        Cluster::launch_sharded(spec(), base_config(), ClusterTiming::default());
+
+    // Writes in both groups plus a read, in one transaction.
+    let id = client.next_txn_id();
+    let report = client
+        .run_txn(
+            Transaction::new(
+                id,
+                vec![
+                    Operation::Write(ItemId(2), 21), // group 0
+                    Operation::Write(ItemId(3), 31), // group 1
+                    Operation::Read(ItemId(2)),
+                ],
+            ),
+            WAIT,
+        )
+        .unwrap();
+    assert!(report.committed(), "cross-shard commit: {report:?}");
+    assert!(report.cross_shard);
+
+    // Both groups applied their branch; read back through fresh
+    // single-shard transactions. The version stamp is the writer's id.
+    let writer = id;
+    for (item, want) in [(2u32, 21u64), (3, 31)] {
+        let id = client.next_txn_id();
+        let report = client
+            .run_txn(
+                Transaction::new(id, vec![Operation::Read(ItemId(item))]),
+                WAIT,
+            )
+            .unwrap();
+        assert!(report.committed());
+        assert_eq!(report.read_results[0].1.data, want, "item {item}");
+        assert_eq!(report.read_results[0].1.version, writer.0);
+    }
+
+    assert_eq!(client.xmetrics().committed, 1);
+    assert_eq!(client.xmetrics().aborted, 0);
+    assert!(client.cross_commit_latency.count() == 1);
+
+    client.terminate_all();
+    cluster.join(WAIT);
+}
+
+#[test]
+fn cross_shard_read_results_use_global_names() {
+    let (cluster, mut client) =
+        Cluster::launch_sharded(spec(), base_config(), ClusterTiming::default());
+
+    // Seed both groups, then read both items in one cross-shard txn.
+    for (item, data) in [(6u32, 66u64), (7, 77)] {
+        let id = client.next_txn_id();
+        let report = client
+            .run_txn(
+                Transaction::new(id, vec![Operation::Write(ItemId(item), data)]),
+                WAIT,
+            )
+            .unwrap();
+        assert!(report.committed());
+    }
+    let id = client.next_txn_id();
+    let report = client
+        .run_txn(
+            Transaction::new(
+                id,
+                vec![Operation::Read(ItemId(6)), Operation::Read(ItemId(7))],
+            ),
+            WAIT,
+        )
+        .unwrap();
+    assert!(report.committed(), "{report:?}");
+    assert!(report.cross_shard);
+    let values: Vec<(u32, u64)> = report
+        .read_results
+        .iter()
+        .map(|(i, v)| (i.0, v.data))
+        .collect();
+    assert_eq!(values, vec![(6, 66), (7, 77)]);
+
+    client.terminate_all();
+    cluster.join(WAIT);
+}
+
+#[test]
+fn group_failure_does_not_stall_other_group() {
+    let (cluster, mut client) =
+        Cluster::launch_sharded(spec(), base_config(), ClusterTiming::default());
+
+    // Kill one site of group 0. Group 1 traffic must keep committing
+    // without any recovery-related delay or abort.
+    client.fail(SiteId(0));
+    for round in 0..5u64 {
+        let id = client.next_txn_id();
+        let report = client
+            .run_txn(
+                Transaction::new(id, vec![Operation::Write(ItemId(1), round)]), // group 1
+                WAIT,
+            )
+            .unwrap();
+        assert!(
+            report.committed(),
+            "group 1 write during group 0 failure: {report:?}"
+        );
+    }
+
+    // Group 0's survivor detects the failure on first contact (abort),
+    // then commits with fail-locks — the paper's intra-group behavior.
+    let mut committed = false;
+    for _ in 0..3 {
+        let id = client.next_txn_id();
+        let report = client
+            .run_txn(
+                Transaction::new(id, vec![Operation::Write(ItemId(0), 5)]),
+                WAIT,
+            )
+            .unwrap();
+        if report.committed() {
+            committed = true;
+            break;
+        }
+    }
+    assert!(committed, "group 0 should commit after failure detection");
+
+    // Recover the failed site; group 1 is untouched throughout.
+    client.recover(SiteId(0), WAIT).unwrap();
+    let id = client.next_txn_id();
+    let report = client
+        .run_txn(Transaction::new(id, vec![Operation::Read(ItemId(1))]), WAIT)
+        .unwrap();
+    assert!(report.committed());
+    assert_eq!(report.read_results[0].1.data, 4);
+
+    client.terminate_all();
+    cluster.join(WAIT);
+}
+
+#[test]
+fn no_vote_aborts_all_branches() {
+    let (cluster, mut client) =
+        Cluster::launch_sharded(spec(), base_config(), ClusterTiming::default());
+
+    // Kill BOTH sites of group 1: its branch cannot prepare, so the
+    // vote deadline forces a global abort; group 0's branch must be
+    // rolled back (its write never becomes visible).
+    client.fail(SiteId(2));
+    client.fail(SiteId(3));
+    std::thread::sleep(Duration::from_millis(100));
+
+    let id = client.next_txn_id();
+    let report = client
+        .run_txn(
+            Transaction::new(
+                id,
+                vec![
+                    Operation::Write(ItemId(0), 999), // group 0
+                    Operation::Write(ItemId(1), 999), // group 1 (dead)
+                ],
+            ),
+            WAIT,
+        )
+        .unwrap();
+    assert!(!report.committed(), "must abort: {report:?}");
+    assert!(report.cross_shard);
+    assert_eq!(client.xmetrics().aborted, 1);
+
+    // Group 0 never exposed the aborted write.
+    let id = client.next_txn_id();
+    let report = client
+        .run_txn(Transaction::new(id, vec![Operation::Read(ItemId(0))]), WAIT)
+        .unwrap();
+    assert!(report.committed());
+    assert_eq!(report.read_results[0].1.data, 0, "aborted write leaked");
+    assert_eq!(report.read_results[0].1.version, 0);
+
+    client.terminate_all();
+    cluster.join(WAIT);
+}
+
+#[test]
+fn branch_coordinator_failure_after_decision_is_redriven() {
+    let (cluster, mut client) =
+        Cluster::launch_sharded(spec(), base_config(), ClusterTiming::default());
+
+    // Commit a cross-shard transaction, then kill the site that
+    // coordinated group 0's branch *immediately* after submitting the
+    // next one. Depending on timing the branch is parked or decided
+    // when the kill lands; either way the transaction must reach a
+    // consistent global outcome and, if committed, both groups must
+    // show the writes (the re-drive loop repairs a lost branch).
+    let warm = client.next_txn_id();
+    let report = client
+        .run_txn(
+            Transaction::new(
+                warm,
+                vec![
+                    Operation::Write(ItemId(0), 1),
+                    Operation::Write(ItemId(1), 1),
+                ],
+            ),
+            WAIT,
+        )
+        .unwrap();
+    assert!(report.committed());
+
+    let id = client.next_txn_id();
+    client.submit(Transaction::new(
+        id,
+        vec![
+            Operation::Write(ItemId(0), 42), // group 0
+            Operation::Write(ItemId(1), 43), // group 1
+        ],
+    ));
+    // Kill a group-0 site while the 2PC is in flight. The managed Fail
+    // is management traffic, so it can land between prepare and decide.
+    client.fail(SiteId(0));
+
+    let report = client.wait_report(id, Duration::from_secs(10)).unwrap();
+
+    if report.committed() {
+        // Both branches must be visible, whichever path (parked resume
+        // or re-drive) applied them. Survivor of group 0 is site 1.
+        let rid = client.next_txn_id();
+        let check = client
+            .run_txn(
+                Transaction::new(
+                    rid,
+                    vec![Operation::Read(ItemId(0)), Operation::Read(ItemId(1))],
+                ),
+                WAIT,
+            )
+            .unwrap();
+        assert!(check.committed(), "{check:?}");
+        let values: Vec<(u32, u64, u64)> = check
+            .read_results
+            .iter()
+            .map(|(i, v)| (i.0, v.version, v.data))
+            .collect();
+        assert_eq!(
+            values,
+            vec![(0, id.0, 42), (1, id.0, 43)],
+            "committed cross-shard writes must be atomic"
+        );
+    } else {
+        // Aborted globally: neither branch's write may be visible.
+        let rid = client.next_txn_id();
+        let check = client
+            .run_txn(
+                Transaction::new(
+                    rid,
+                    vec![Operation::Read(ItemId(0)), Operation::Read(ItemId(1))],
+                ),
+                WAIT,
+            )
+            .unwrap();
+        assert!(check.committed());
+        for (item, v) in &check.read_results {
+            assert_ne!(
+                v.version, id.0,
+                "aborted branch write leaked at item {item}"
+            );
+        }
+    }
+
+    client.recover(SiteId(0), WAIT).unwrap();
+    client.terminate_all();
+    cluster.join(WAIT);
+}
+
+#[test]
+fn sharded_metrics_scrapes_work_per_site() {
+    let (cluster, mut client) =
+        Cluster::launch_sharded(spec(), base_config(), ClusterTiming::default());
+
+    let id = client.next_txn_id();
+    client
+        .run_txn(
+            Transaction::new(
+                id,
+                vec![
+                    Operation::Write(ItemId(0), 7),
+                    Operation::Write(ItemId(1), 8),
+                ],
+            ),
+            WAIT,
+        )
+        .unwrap();
+
+    for i in 0..spec().n_physical_sites() {
+        let text = client.fetch_metrics(SiteId(i), WAIT).unwrap();
+        assert!(
+            text.contains("miniraid_msgs_sent"),
+            "site {i} exposition missing counters"
+        );
+    }
+
+    client.terminate_all();
+    cluster.join(WAIT);
+}
+
+#[test]
+fn duplicate_submissions_of_inflight_id_are_dropped() {
+    // The engine-side idempotence guard the re-drive loop relies on:
+    // submitting the same id twice must coordinate it exactly once.
+    let (cluster, mut client) =
+        Cluster::launch_sharded(spec(), base_config(), ClusterTiming::default());
+
+    let id = client.next_txn_id();
+    let txn = Transaction::new(id, vec![Operation::Write(ItemId(0), 11)]);
+    client.submit(txn.clone());
+    let report = client.wait_report(id, WAIT).unwrap();
+    assert!(report.committed());
+
+    // Same id again, different payload: the engines' version ordering
+    // (install only fresher) makes the re-run a no-op on the data even
+    // though the first coordination already finished.
+    let again = Transaction::new(id, vec![Operation::Write(ItemId(0), 12)]);
+    client.submit(again);
+    let _ = client.wait_report(id, Duration::from_secs(2));
+
+    let rid = client.next_txn_id();
+    let check = client
+        .run_txn(
+            Transaction::new(rid, vec![Operation::Read(ItemId(0))]),
+            WAIT,
+        )
+        .unwrap();
+    assert_eq!(
+        check.read_results[0].1.data, 11,
+        "stale re-run must not win"
+    );
+
+    client.terminate_all();
+    cluster.join(WAIT);
+}
+
+#[test]
+fn four_group_topology_commits_across_all_groups() {
+    let spec = ShardSpec::new(4, 2, 4);
+    let (cluster, mut client) =
+        Cluster::launch_sharded(spec, base_config(), ClusterTiming::default());
+
+    // One transaction touching all four groups (items 0,1,2,3).
+    let id = client.next_txn_id();
+    let report = client
+        .run_txn(
+            Transaction::new(
+                id,
+                (0..4u32)
+                    .map(|i| Operation::Write(ItemId(i), 100 + i as u64))
+                    .collect(),
+            ),
+            WAIT,
+        )
+        .unwrap();
+    assert!(report.committed(), "{report:?}");
+
+    let rid = client.next_txn_id();
+    let check = client
+        .run_txn(
+            Transaction::new(rid, (0..4u32).map(|i| Operation::Read(ItemId(i))).collect()),
+            WAIT,
+        )
+        .unwrap();
+    assert!(check.committed());
+    let values: Vec<u64> = check.read_results.iter().map(|(_, v)| v.data).collect();
+    assert_eq!(values, vec![100, 101, 102, 103]);
+
+    client.terminate_all();
+    cluster.join(WAIT);
+}

@@ -41,6 +41,12 @@ pub enum CoordPhase {
     Refresh,
     /// Phase one: waiting for update acks.
     WaitAcks,
+    /// Cross-shard branch, locally prepared: every participant buffered
+    /// the write set and we voted yes — parked until the top-level shard
+    /// coordinator's `ShardDecide`. The local commit point has *not*
+    /// been passed, so a step-down in this phase aborts (with a no vote)
+    /// exactly like `WaitAcks`.
+    WaitGlobalDecision,
     /// Phase two: waiting for commit acks.
     WaitCommitAcks,
 }
@@ -65,7 +71,19 @@ fn lock_plan(txn: &Transaction) -> Vec<(ItemId, LockMode)> {
 impl SiteEngine {
     /// Entry point: the managing site handed us a database transaction.
     pub(super) fn begin_transaction(&mut self, txn: Transaction, out: &mut Vec<Output>) {
+        // Duplicate submissions under an in-flight id are dropped
+        // silently: cross-shard re-drives re-submit a branch's write
+        // residue with the original id until some coordinator confirms,
+        // and a re-drive that lands where the branch is still active
+        // must not start a second coordination of it.
+        if self.coords.contains_key(&txn.id)
+            || self.lock_waiting.contains_key(&txn.id)
+            || self.queued.iter().any(|t| t.id == txn.id)
+        {
+            return;
+        }
         if !self.is_up() {
+            self.vote_no_if_held(txn.id, out);
             out.push(Output::Report(TxnReport {
                 txn: txn.id,
                 coordinator: self.id(),
@@ -325,8 +343,13 @@ impl SiteEngine {
         }
 
         // Read-only transactions commit locally by default (an empty
-        // write-all round is vacuous).
+        // write-all round is vacuous). A cross-shard branch parks
+        // instead: even with nothing left to do locally, its fate is the
+        // global decision's.
         if state.writes.is_empty() && !self.config.two_phase_read_only {
+            if self.park_if_held(txn_id, out) {
+                return;
+            }
             self.finish_commit(txn_id, out);
             return;
         }
@@ -337,6 +360,9 @@ impl SiteEngine {
         let participants: BTreeSet<SiteId> =
             self.vector.operational_peers(id).into_iter().collect();
         if participants.is_empty() {
+            if self.park_if_held(txn_id, out) {
+                return;
+            }
             self.finish_commit(txn_id, out);
             return;
         }
@@ -408,7 +434,13 @@ impl SiteEngine {
         }
         state.waiting.remove(&from);
         if state.waiting.is_empty() {
+            // Cross-shard branch: locally prepared — park and vote yes
+            // instead of committing; `ShardDecide` resumes phase two.
+            if self.park_if_held(txn, out) {
+                return;
+            }
             // Phase two: commit indication to all participants.
+            let state = self.coords.get_mut(&txn).expect("checked above");
             state.phase = CoordPhase::WaitCommitAcks;
             state.waiting = state.participants.clone();
             let participants: Vec<SiteId> = state.participants.iter().copied().collect();
@@ -533,6 +565,7 @@ impl SiteEngine {
         reason: AbortReason,
         out: &mut Vec<Output>,
     ) {
+        self.vote_no_if_held(txn_id, out);
         let state = self.retire(txn_id).expect("transaction in flight");
         self.metrics.aborts.record(reason);
         self.tracer.emit(Some(txn_id), EventKind::Abort { reason });
@@ -554,6 +587,7 @@ impl SiteEngine {
         reason: AbortReason,
         out: &mut Vec<Output>,
     ) {
+        self.vote_no_if_held(txn, out);
         self.metrics.aborts.record(reason);
         self.tracer.emit(Some(txn), EventKind::Abort { reason });
         out.push(Output::Report(TxnReport {
@@ -625,5 +659,131 @@ impl SiteEngine {
             };
             self.admit_transaction(txn, out);
         }
+    }
+
+    // ---- Cross-shard branch coordination (crates/shard) -----------------
+    //
+    // A multi-shard transaction is split by the shard router into one
+    // branch per replication group. Each branch runs the ordinary ROWAA
+    // protocol here up to the local commit point, then *parks* in
+    // `CoordPhase::WaitGlobalDecision` and votes to the top-level
+    // coordinator instead of committing. `ShardDecide` resumes phase two
+    // (commit) or aborts the branch. The top-level coordinator plays the
+    // paper's managing-site role — outside the site failure model — so
+    // no timer guards the parked state: the router's own vote timeout
+    // plus the participants' `ParticipantTimeout` bound every wait.
+
+    /// `ShardPrepare`: run `txn` as a held cross-shard branch. The vote
+    /// goes back to `from` (the router's local alias).
+    pub(super) fn on_shard_prepare(
+        &mut self,
+        from: SiteId,
+        txn: Transaction,
+        out: &mut Vec<Output>,
+    ) {
+        let id = txn.id;
+        if self.held.contains_key(&id)
+            || self.coords.contains_key(&id)
+            || self.lock_waiting.contains_key(&id)
+            || self.queued.iter().any(|t| t.id == id)
+        {
+            return; // duplicate prepare
+        }
+        self.held.insert(id, from);
+        self.begin_transaction(txn, out);
+    }
+
+    /// `ShardDecide`: the top-level coordinator resolved the branch.
+    pub(super) fn on_shard_decide(&mut self, txn: TxnId, commit: bool, out: &mut Vec<Output>) {
+        if commit {
+            let parked = self
+                .coords
+                .get(&txn)
+                .is_some_and(|s| s.phase == CoordPhase::WaitGlobalDecision);
+            if !parked {
+                // We never voted yes under this incarnation (stepped down
+                // after voting, or the prepare never ran): the router's
+                // re-drive path resubmits the branch as an ordinary
+                // transaction instead.
+                self.held.remove(&txn);
+                return;
+            }
+            self.held.remove(&txn);
+            let state = self.coords.get_mut(&txn).expect("parked above");
+            if state.participants.is_empty() {
+                self.finish_commit(txn, out);
+                return;
+            }
+            state.phase = CoordPhase::WaitCommitAcks;
+            state.waiting = state.participants.clone();
+            let peers: Vec<SiteId> = state.participants.iter().copied().collect();
+            self.tracer.emit(Some(txn), EventKind::Decide);
+            for peer in peers {
+                self.send_for(txn, peer, Message::Commit { txn }, out);
+            }
+            out.push(Output::SetTimer(TimerId::CommitAckTimeout(txn)));
+            return;
+        }
+        // Global abort. The branch may be parked, still in refresh or
+        // phase one (the router aborts on its vote timeout without
+        // waiting for stragglers), or not yet admitted — all of which are
+        // before the local commit point, so aborting is always safe.
+        self.held.remove(&txn);
+        if let Some(state) = self.coords.get(&txn) {
+            if state.phase == CoordPhase::WaitCommitAcks {
+                return; // decision already applied; never undo a commit
+            }
+            let peers: Vec<SiteId> = state.participants.iter().copied().collect();
+            for peer in peers {
+                self.send_for(txn, peer, Message::AbortTxn { txn }, out);
+            }
+            self.report_abort_active(txn, AbortReason::GlobalAbort, out);
+            return;
+        }
+        if self.lock_waiting.remove(&txn).is_some() {
+            self.lock_wait_order.retain(|t| *t != txn);
+            self.abort_unstarted(txn, out);
+            return;
+        }
+        if let Some(pos) = self.queued.iter().position(|t| t.id == txn) {
+            self.queued.remove(pos);
+            self.abort_unstarted(txn, out);
+        }
+    }
+
+    /// Park a held branch at its local commit point and vote yes.
+    fn park_if_held(&mut self, txn: TxnId, out: &mut Vec<Output>) -> bool {
+        let Some(&home) = self.held.get(&txn) else {
+            return false;
+        };
+        let state = self.coords.get_mut(&txn).expect("transaction in flight");
+        state.phase = CoordPhase::WaitGlobalDecision;
+        state.waiting.clear();
+        self.send_unattributed(home, Message::ShardVote { txn, ok: true }, out);
+        true
+    }
+
+    /// If `txn` is a held branch, tell the top-level coordinator it
+    /// failed locally (any local abort path lands here).
+    pub(super) fn vote_no_if_held(&mut self, txn: TxnId, out: &mut Vec<Output>) {
+        if let Some(home) = self.held.remove(&txn) {
+            self.send_unattributed(home, Message::ShardVote { txn, ok: false }, out);
+        }
+    }
+
+    /// Abort a branch that was aborted globally before it even started
+    /// (it sat in the lock-wait set or the admission queue).
+    fn abort_unstarted(&mut self, txn: TxnId, out: &mut Vec<Output>) {
+        let reason = AbortReason::GlobalAbort;
+        self.metrics.aborts.record(reason);
+        self.tracer.emit(Some(txn), EventKind::Abort { reason });
+        out.push(Output::Report(TxnReport {
+            txn,
+            coordinator: self.id(),
+            outcome: TxnOutcome::Aborted(reason),
+            stats: TxnStats::default(),
+            read_results: Vec::new(),
+        }));
+        self.after_transaction_finished(txn, out);
     }
 }

@@ -258,6 +258,11 @@ pub struct SiteEngine {
     /// Conservative strict-2PL lock table serializing conflicting
     /// in-flight transactions at this coordinator.
     pub(crate) locks: LockManager,
+    /// Cross-shard branches this engine coordinates on behalf of a
+    /// top-level shard coordinator: txn → where the `ShardVote` goes.
+    /// Entries live from `ShardPrepare` until the vote is sent (no) or
+    /// the `ShardDecide` resolves the parked branch (yes).
+    pub(crate) held: HashMap<TxnId, SiteId>,
     /// Participant contexts keyed by transaction.
     pub(crate) pending: HashMap<TxnId, PendingTxn>,
     /// Recently committed participant decisions, kept so a redelivered
@@ -306,6 +311,7 @@ impl SiteEngine {
             queued: VecDeque::new(),
             req_owner: HashMap::new(),
             locks: LockManager::new(),
+            held: HashMap::new(),
             pending: HashMap::new(),
             recent_part: VecDeque::new(),
             recovery: None,
@@ -585,6 +591,7 @@ impl SiteEngine {
         self.queued.clear();
         self.req_owner.clear();
         self.locks = LockManager::new();
+        self.held.clear();
         self.pending.clear();
         self.recent_part.clear();
         self.recovery = None;
@@ -594,6 +601,7 @@ impl SiteEngine {
     }
 
     fn report_stepdown_abort(&mut self, id: TxnId, stats: TxnStats, out: &mut Vec<Output>) {
+        self.vote_no_if_held(id, out);
         let reason = crate::error::AbortReason::SiteNotOperational;
         self.metrics.aborts.record(reason);
         self.tracer.emit(Some(id), EventKind::Abort { reason });
@@ -626,6 +634,7 @@ impl SiteEngine {
                 self.queued.clear();
                 self.req_owner.clear();
                 self.locks = LockManager::new();
+                self.held.clear();
                 self.pending.clear();
                 self.recent_part.clear();
             }
@@ -679,6 +688,13 @@ impl SiteEngine {
             Message::BackupDropped { item, site } => {
                 self.replication.remove_holder(item, site);
             }
+            // cross-shard two-phase commit (crates/shard)
+            Message::ShardPrepare { txn } => self.on_shard_prepare(from, txn, out),
+            Message::ShardDecide { txn, commit } => self.on_shard_decide(txn, commit, out),
+            // Votes are consumed by the top-level shard coordinator (the
+            // router), never by an engine; a shard envelope is unwrapped
+            // by the sharded site host before delivery.
+            Message::ShardVote { .. } | Message::ShardEnv { .. } => {}
             // `Mgmt` is intercepted in `handle`; reports and metrics
             // scrapes are driver business
             Message::Mgmt(_)

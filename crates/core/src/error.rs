@@ -24,6 +24,10 @@ pub enum AbortReason {
     SessionMismatch,
     /// The transaction arrived at a site that is not operational.
     SiteNotOperational,
+    /// A cross-shard coordinator decided global abort: some other branch
+    /// of the multi-shard transaction voted no or timed out, so this
+    /// branch — locally prepared and ready to commit — must discard.
+    GlobalAbort,
 }
 
 impl std::fmt::Display for AbortReason {
@@ -34,6 +38,7 @@ impl std::fmt::Display for AbortReason {
             AbortReason::ParticipantFailed => "participant failed in phase one",
             AbortReason::SessionMismatch => "session vector mismatch",
             AbortReason::SiteNotOperational => "coordinating site not operational",
+            AbortReason::GlobalAbort => "aborted by cross-shard coordinator",
         };
         f.write_str(s)
     }
@@ -97,6 +102,7 @@ mod tests {
             AbortReason::ParticipantFailed,
             AbortReason::SessionMismatch,
             AbortReason::SiteNotOperational,
+            AbortReason::GlobalAbort,
         ] {
             assert!(!r.to_string().is_empty());
         }

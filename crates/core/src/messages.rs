@@ -283,6 +283,43 @@ pub enum Message {
         text: String,
     },
 
+    // ---- Sharded replication groups (crates/shard) ----------------------
+    /// Routing envelope for sharded deployments: a physical site hosting
+    /// one engine per replication group unwraps this and hands `inner` to
+    /// the engine of group `shard`. Never nested inside another
+    /// `ShardEnv`; the reliable layer may wrap it in `Seq`, not vice
+    /// versa.
+    ShardEnv {
+        /// The replication group the payload belongs to.
+        shard: u8,
+        /// The group-local message.
+        inner: Box<Message>,
+    },
+    /// Cross-shard two-phase commit, phase one: the top-level coordinator
+    /// (the sharded router) asks a group's branch coordinator to run the
+    /// group-local part of a multi-shard transaction up to the point of
+    /// commit and hold it there, replying with `ShardVote`.
+    ShardPrepare {
+        /// The group-local branch transaction (items already localized).
+        txn: crate::ops::Transaction,
+    },
+    /// Branch coordinator's vote: the branch is prepared (`ok`) and
+    /// parked awaiting `ShardDecide`, or it aborted locally (`!ok`).
+    ShardVote {
+        /// The branch transaction.
+        txn: TxnId,
+        /// Prepared successfully?
+        ok: bool,
+    },
+    /// Cross-shard two-phase commit, phase two: commit or abort the
+    /// parked branch.
+    ShardDecide {
+        /// The branch transaction.
+        txn: TxnId,
+        /// Commit (`true`) or global abort (`false`).
+        commit: bool,
+    },
+
     // ---- Reliable session layer (transport decorator) ------------------
     /// A protocol message wrapped with a per-link sequence number by the
     /// reliable session layer. `epoch` distinguishes sequence spaces
@@ -338,6 +375,10 @@ impl Message {
             Message::MgmtDataRecovered { .. } => "MgmtDataRecovered",
             Message::MetricsRequest => "MetricsRequest",
             Message::MetricsResponse { .. } => "MetricsResponse",
+            Message::ShardEnv { .. } => "ShardEnv",
+            Message::ShardPrepare { .. } => "ShardPrepare",
+            Message::ShardVote { .. } => "ShardVote",
+            Message::ShardDecide { .. } => "ShardDecide",
             Message::Seq { .. } => "Seq",
             Message::SeqAck { .. } => "SeqAck",
         }
@@ -357,16 +398,27 @@ impl std::fmt::Display for Message {
 }
 
 /// Helper: is this a management-plane message?
+///
+/// The cross-shard 2PC trio (`ShardPrepare`/`ShardVote`/`ShardDecide`)
+/// counts as management traffic: like the paper's managing site, the
+/// top-level shard coordinator sits outside the site failure model, and
+/// its exchange with branch coordinators must not be sequenced into a
+/// per-link session that dies with the site. A `ShardEnv` is whatever
+/// its payload is.
 pub fn is_management(msg: &Message) -> bool {
-    matches!(
-        msg,
+    match msg {
         Message::Mgmt(_)
-            | Message::MgmtReport(_)
-            | Message::MgmtRecovered { .. }
-            | Message::MgmtDataRecovered { .. }
-            | Message::MetricsRequest
-            | Message::MetricsResponse { .. }
-    )
+        | Message::MgmtReport(_)
+        | Message::MgmtRecovered { .. }
+        | Message::MgmtDataRecovered { .. }
+        | Message::MetricsRequest
+        | Message::MetricsResponse { .. }
+        | Message::ShardPrepare { .. }
+        | Message::ShardVote { .. }
+        | Message::ShardDecide { .. } => true,
+        Message::ShardEnv { inner, .. } => is_management(inner),
+        _ => false,
+    }
 }
 
 /// Helper: status used when encoding site records.
@@ -422,6 +474,27 @@ mod tests {
     fn management_predicate() {
         assert!(is_management(&Message::Mgmt(Command::Fail)));
         assert!(!is_management(&Message::Commit { txn: TxnId(0) }));
+    }
+
+    #[test]
+    fn shard_management_predicate() {
+        assert!(is_management(&Message::ShardVote {
+            txn: TxnId(1),
+            ok: true,
+        }));
+        assert!(is_management(&Message::ShardDecide {
+            txn: TxnId(1),
+            commit: false,
+        }));
+        // ShardEnv takes its plane from the payload.
+        assert!(is_management(&Message::ShardEnv {
+            shard: 0,
+            inner: Box::new(Message::Mgmt(Command::Fail)),
+        }));
+        assert!(!is_management(&Message::ShardEnv {
+            shard: 0,
+            inner: Box::new(Message::Commit { txn: TxnId(0) }),
+        }));
     }
 
     #[test]

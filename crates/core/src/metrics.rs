@@ -17,6 +17,8 @@ pub struct AbortBreakdown {
     pub session_mismatch: u64,
     /// The transaction arrived at a non-operational site.
     pub site_not_operational: u64,
+    /// A cross-shard coordinator decided global abort for this branch.
+    pub global_abort: u64,
 }
 
 impl AbortBreakdown {
@@ -33,6 +35,7 @@ impl AbortBreakdown {
             AbortReason::ParticipantFailed => self.participant_failed,
             AbortReason::SessionMismatch => self.session_mismatch,
             AbortReason::SiteNotOperational => self.site_not_operational,
+            AbortReason::GlobalAbort => self.global_abort,
         }
     }
 
@@ -43,6 +46,7 @@ impl AbortBreakdown {
             + self.participant_failed
             + self.session_mismatch
             + self.site_not_operational
+            + self.global_abort
     }
 
     /// `(short label, count)` pairs for non-zero reasons, in enum order.
@@ -53,6 +57,7 @@ impl AbortBreakdown {
             ("participant-failed", self.participant_failed),
             ("session-mismatch", self.session_mismatch),
             ("site-down", self.site_not_operational),
+            ("global-abort", self.global_abort),
         ]
         .into_iter()
         .filter(|(_, n)| *n > 0)
@@ -66,6 +71,7 @@ impl AbortBreakdown {
             AbortReason::ParticipantFailed => &mut self.participant_failed,
             AbortReason::SessionMismatch => &mut self.session_mismatch,
             AbortReason::SiteNotOperational => &mut self.site_not_operational,
+            AbortReason::GlobalAbort => &mut self.global_abort,
         }
     }
 }

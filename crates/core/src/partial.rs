@@ -223,4 +223,73 @@ mod tests {
         let m = ReplicationMap::round_robin(3, 2, 5);
         assert!(m.is_fully_replicated());
     }
+
+    #[test]
+    fn retirement_distinguishes_originals_from_backups() {
+        // Item 0 starts with originals at sites 0 and 1; a type-3
+        // control transaction adds a backup at site 3.
+        let mut m = ReplicationMap::round_robin(2, 4, 2);
+        assert!(m.add_holder(ItemId(0), SiteId(3), true));
+        assert_eq!(m.degree(ItemId(0)), 3, "backups count toward degree");
+
+        // The retirement decision counts healthy *original* holders —
+        // the backup bit is what separates them.
+        let originals: Vec<SiteId> = m
+            .holders_of(ItemId(0))
+            .filter(|&s| !m.is_backup(ItemId(0), s))
+            .collect();
+        assert_eq!(originals, vec![SiteId(0), SiteId(1)]);
+
+        // Retiring the backup removes the copy and its flag, leaving
+        // the originals untouched.
+        assert!(m.remove_holder(ItemId(0), SiteId(3)));
+        assert_eq!(m.degree(ItemId(0)), 2);
+        assert!(!m.is_backup(ItemId(0), SiteId(3)));
+        assert_eq!(
+            m.holders_of(ItemId(0)).collect::<Vec<_>>(),
+            vec![SiteId(0), SiteId(1)]
+        );
+    }
+
+    #[test]
+    fn retiring_one_backup_leaves_others() {
+        let mut m = ReplicationMap::round_robin(1, 4, 1);
+        m.add_holder(ItemId(0), SiteId(2), true);
+        m.add_holder(ItemId(0), SiteId(3), true);
+        assert!(m.remove_holder(ItemId(0), SiteId(3)));
+        assert!(m.is_backup(ItemId(0), SiteId(2)), "site 2's backup stays");
+        assert!(m.holds(ItemId(0), SiteId(2)));
+        assert!(!m.holds(ItemId(0), SiteId(3)));
+    }
+
+    #[test]
+    fn snapshot_preserves_backup_flags_for_recovery() {
+        // A recovering site installs the operational sites' map; the
+        // backup bits must survive the trip, or it could never retire
+        // copies created while it was down.
+        let mut m = ReplicationMap::round_robin(3, 4, 2);
+        m.add_holder(ItemId(1), SiteId(3), true);
+        let (holders, backups) = m.snapshot();
+
+        let mut recovered = ReplicationMap::empty(3, 4);
+        recovered.install_snapshot(&holders, &backups);
+        assert_eq!(recovered, m);
+        assert!(recovered.is_backup(ItemId(1), SiteId(3)));
+        assert!(!recovered.is_backup(ItemId(1), SiteId(1)));
+
+        // Retirement on the recovered map behaves identically.
+        assert!(recovered.remove_holder(ItemId(1), SiteId(3)));
+        assert!(!recovered.is_backup(ItemId(1), SiteId(3)));
+    }
+
+    #[test]
+    fn readding_retired_backup_restarts_clean() {
+        // Retire a backup, then have a later type-3 round re-create it:
+        // the add must report "new" again and re-set the flag.
+        let mut m = ReplicationMap::round_robin(1, 3, 1);
+        m.add_holder(ItemId(0), SiteId(2), true);
+        assert!(m.remove_holder(ItemId(0), SiteId(2)));
+        assert!(m.add_holder(ItemId(0), SiteId(2), true), "re-add is new");
+        assert!(m.is_backup(ItemId(0), SiteId(2)));
+    }
 }

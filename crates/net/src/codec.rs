@@ -47,6 +47,14 @@ const TAG_SEQ: u8 = 24;
 const TAG_SEQ_ACK: u8 = 25;
 /// Corrective fail-lock set after a phase-two participant failure.
 const TAG_SET_FAILLOCKS: u8 = 26;
+/// Shard routing envelope (sharded deployments): group id + payload.
+const TAG_SHARD_ENV: u8 = 27;
+/// Cross-shard 2PC phase one: prepare-and-hold a branch transaction.
+const TAG_SHARD_PREPARE: u8 = 28;
+/// Branch coordinator's vote to the top-level shard coordinator.
+const TAG_SHARD_VOTE: u8 = 29;
+/// Cross-shard 2PC phase two: commit or abort the held branch.
+const TAG_SHARD_DECIDE: u8 = 30;
 
 fn err(reason: &'static str) -> NetError {
     NetError::Codec(reason)
@@ -199,6 +207,7 @@ fn abort_code(reason: AbortReason) -> u8 {
         AbortReason::ParticipantFailed => 2,
         AbortReason::SessionMismatch => 3,
         AbortReason::SiteNotOperational => 4,
+        AbortReason::GlobalAbort => 5,
     }
 }
 
@@ -209,6 +218,7 @@ fn abort_from_code(code: u8) -> Result<AbortReason, NetError> {
         2 => AbortReason::ParticipantFailed,
         3 => AbortReason::SessionMismatch,
         4 => AbortReason::SiteNotOperational,
+        5 => AbortReason::GlobalAbort,
         _ => return Err(err("unknown abort reason")),
     })
 }
@@ -414,6 +424,25 @@ pub fn encode_into(buf: &mut BytesMut, msg: &Message) {
             buf.put_u8(TAG_METRICS_RESPONSE);
             put_len(buf, text.len());
             buf.put_slice(text.as_bytes());
+        }
+        Message::ShardEnv { shard, inner } => {
+            buf.put_u8(TAG_SHARD_ENV);
+            buf.put_u8(*shard);
+            encode_into(buf, inner);
+        }
+        Message::ShardPrepare { txn } => {
+            buf.put_u8(TAG_SHARD_PREPARE);
+            put_transaction(buf, txn);
+        }
+        Message::ShardVote { txn, ok } => {
+            buf.put_u8(TAG_SHARD_VOTE);
+            buf.put_u64_le(txn.0);
+            buf.put_u8(*ok as u8);
+        }
+        Message::ShardDecide { txn, commit } => {
+            buf.put_u8(TAG_SHARD_DECIDE);
+            buf.put_u64_le(txn.0);
+            buf.put_u8(*commit as u8);
         }
         Message::Seq { epoch, seq, inner } => {
             buf.put_u8(TAG_SEQ);
@@ -663,6 +692,43 @@ pub fn decode(mut buf: &[u8]) -> Result<Message, NetError> {
                 session: SessionNumber(buf.get_u64_le()),
             }
         }
+        TAG_SHARD_ENV => {
+            need(&buf, 2)?;
+            let shard = buf.get_u8();
+            // An envelope wraps exactly one group-local message. Nested
+            // envelopes never occur (one hop, host to host), and the
+            // session layer wraps envelopes — not the other way round —
+            // so reject rather than recurse.
+            match buf[0] {
+                TAG_SHARD_ENV | TAG_SEQ | TAG_SEQ_ACK | TAG_MSG_BATCH => {
+                    return Err(err("nested shard envelope"))
+                }
+                _ => {}
+            }
+            let inner = decode(buf)?;
+            buf.advance(buf.remaining());
+            Message::ShardEnv {
+                shard,
+                inner: Box::new(inner),
+            }
+        }
+        TAG_SHARD_PREPARE => Message::ShardPrepare {
+            txn: get_transaction(&mut buf)?,
+        },
+        TAG_SHARD_VOTE => {
+            need(&buf, 9)?;
+            Message::ShardVote {
+                txn: TxnId(buf.get_u64_le()),
+                ok: buf.get_u8() != 0,
+            }
+        }
+        TAG_SHARD_DECIDE => {
+            need(&buf, 9)?;
+            Message::ShardDecide {
+                txn: TxnId(buf.get_u64_le()),
+                commit: buf.get_u8() != 0,
+            }
+        }
         TAG_SEQ => {
             need(&buf, 17)?;
             let epoch = buf.get_u64_le();
@@ -819,6 +885,24 @@ mod tests {
             Message::MetricsResponse {
                 text: "# TYPE miniraid_txns_committed counter\n".to_owned(),
             },
+            Message::ShardEnv {
+                shard: 3,
+                inner: Box::new(Message::Commit { txn: TxnId(11) }),
+            },
+            Message::ShardPrepare {
+                txn: Transaction::new(
+                    TxnId(13),
+                    vec![Operation::Write(ItemId(0), 9), Operation::Read(ItemId(1))],
+                ),
+            },
+            Message::ShardVote {
+                txn: TxnId(13),
+                ok: true,
+            },
+            Message::ShardDecide {
+                txn: TxnId(13),
+                commit: false,
+            },
         ];
         for msg in msgs {
             roundtrip(msg);
@@ -887,6 +971,45 @@ mod tests {
         assert!(decode_many(&buf).is_err());
         // A batch tag is not a valid single message.
         assert!(decode(&buf).is_err());
+    }
+
+    #[test]
+    fn shard_envelope_nesting_rules() {
+        // Legal: the session layer wraps an envelope.
+        roundtrip(Message::Seq {
+            epoch: 1,
+            seq: 2,
+            inner: Box::new(Message::ShardEnv {
+                shard: 1,
+                inner: Box::new(Message::CommitAck { txn: TxnId(4) }),
+            }),
+        });
+        // Illegal: envelope-in-envelope, Seq-in-envelope, batch-in-envelope.
+        for inner in [
+            Message::ShardEnv {
+                shard: 0,
+                inner: Box::new(Message::Commit { txn: TxnId(1) }),
+            },
+            Message::SeqAck {
+                epoch: 1,
+                cumulative: 2,
+                receiver: 3,
+            },
+        ] {
+            let mut raw = BytesMut::new();
+            raw.put_u8(TAG_SHARD_ENV);
+            raw.put_u8(0);
+            encode_into(&mut raw, &inner);
+            assert!(decode(&raw).is_err(), "nested {} accepted", inner.kind());
+        }
+        let mut raw = BytesMut::new();
+        raw.put_u8(TAG_SHARD_ENV);
+        raw.put_u8(0);
+        encode_batch_into(&mut raw, &[Message::Commit { txn: TxnId(1) }]);
+        assert!(decode(&raw).is_err());
+        // A truncated envelope errors cleanly.
+        assert!(decode(&[TAG_SHARD_ENV]).is_err());
+        assert!(decode(&[TAG_SHARD_ENV, 2]).is_err());
     }
 
     #[test]

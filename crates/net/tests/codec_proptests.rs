@@ -232,6 +232,47 @@ fn arb_wire_message() -> impl Strategy<Value = Message> {
     ]
 }
 
+/// Payloads legal inside a shard envelope: any plain protocol message
+/// or one of the cross-shard 2PC frames (TAG 28–30). Never another
+/// envelope or session frame — the codec rejects that nesting.
+fn arb_shard_payload() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        arb_message(),
+        (
+            any::<u64>(),
+            proptest::collection::vec(arb_operation(), 0..12)
+        )
+            .prop_map(|(id, ops)| Message::ShardPrepare {
+                txn: Transaction::new(TxnId(id), ops)
+            }),
+        (any::<u64>(), any::<bool>()).prop_map(|(t, ok)| Message::ShardVote { txn: TxnId(t), ok }),
+        (any::<u64>(), any::<bool>()).prop_map(|(t, commit)| Message::ShardDecide {
+            txn: TxnId(t),
+            commit
+        }),
+    ]
+}
+
+/// A shard-tagged frame as the sharded transports emit it: the TAG 27
+/// envelope around a legal payload, optionally wrapped by the session
+/// layer (the legal nesting is `Seq { ShardEnv { .. } }`).
+fn arb_shard_frame() -> impl Strategy<Value = Message> {
+    let env = || {
+        (any::<u8>(), arb_shard_payload()).prop_map(|(shard, inner)| Message::ShardEnv {
+            shard,
+            inner: Box::new(inner),
+        })
+    };
+    prop_oneof![
+        env(),
+        (any::<u64>(), any::<u64>(), env()).prop_map(|(epoch, seq, inner)| Message::Seq {
+            epoch,
+            seq,
+            inner: Box::new(inner),
+        }),
+    ]
+}
+
 proptest! {
     #[test]
     fn every_message_roundtrips(msg in arb_wire_message()) {
@@ -264,6 +305,58 @@ proptest! {
     #[test]
     fn decode_many_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
         let _ = decode_many(&raw);
+    }
+
+    #[test]
+    fn shard_frames_roundtrip(msg in arb_shard_frame()) {
+        let encoded = encode(&msg);
+        let decoded = decode(&encoded).expect("well-formed shard frame decodes");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn shard_frames_interleave_in_batches(
+        shard_frames in proptest::collection::vec(arb_shard_frame(), 1..4),
+        plain_frames in proptest::collection::vec(arb_wire_message(), 1..4),
+    ) {
+        // A coalesced TAG-21 batch may mix shard-tagged traffic with
+        // pre-existing frames (metrics requests/responses and every
+        // other plain message); interleaving must round-trip in order.
+        let mut msgs = Vec::new();
+        let mut shards = shard_frames.into_iter();
+        let mut plains = plain_frames.into_iter();
+        loop {
+            match (shards.next(), plains.next()) {
+                (None, None) => break,
+                (s, p) => {
+                    msgs.extend(s);
+                    msgs.extend(p);
+                }
+            }
+        }
+        let mut buf = BytesMut::new();
+        encode_batch_into(&mut buf, &msgs);
+        let decoded = decode_many(&buf).expect("interleaved batch decodes");
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn nested_shard_envelopes_are_rejected(
+        outer in any::<u8>(),
+        shard in any::<u8>(),
+        inner in arb_shard_payload(),
+    ) {
+        // Envelope-in-envelope never appears on a legal wire; the
+        // decoder must refuse it rather than recurse.
+        let msg = Message::ShardEnv {
+            shard: outer,
+            inner: Box::new(Message::ShardEnv {
+                shard,
+                inner: Box::new(inner),
+            }),
+        };
+        let encoded = encode(&msg);
+        prop_assert!(decode(&encoded).is_err());
     }
 
     #[test]

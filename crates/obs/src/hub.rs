@@ -64,6 +64,46 @@ impl HubSnapshot {
     }
 }
 
+/// Histogram state of a sharded deployment: one [`HubSnapshot`] per
+/// replication group — each merged from that group's sites, so every
+/// latency edge stays attributed to the shard that produced it — plus
+/// the top-level cross-shard commit histogram, which belongs to no
+/// single group (it spans the prepare of the first branch to the
+/// confirmation of the last).
+#[derive(Debug, Default, Clone)]
+pub struct ShardedSnapshot {
+    /// Merged per-shard snapshots, indexed by shard id.
+    pub per_shard: Vec<HubSnapshot>,
+    /// Client-observed cross-shard commit latency (first prepare sent →
+    /// every branch confirmed), in microseconds.
+    pub cross_commit: LatencyHistogram,
+}
+
+impl ShardedSnapshot {
+    /// An empty aggregation over `n_shards` groups.
+    pub fn new(n_shards: usize) -> Self {
+        ShardedSnapshot {
+            per_shard: vec![HubSnapshot::default(); n_shards],
+            cross_commit: LatencyHistogram::new(),
+        }
+    }
+
+    /// Fold one site's snapshot into its shard's slot.
+    pub fn merge_site(&mut self, shard: usize, snapshot: &HubSnapshot) {
+        self.per_shard[shard].merge(snapshot);
+    }
+
+    /// Merge another sharded aggregation (same shard count) into this
+    /// one.
+    pub fn merge(&mut self, other: &ShardedSnapshot) {
+        assert_eq!(self.per_shard.len(), other.per_shard.len());
+        for (mine, theirs) in self.per_shard.iter_mut().zip(&other.per_shard) {
+            mine.merge(theirs);
+        }
+        self.cross_commit.merge(&other.cross_commit);
+    }
+}
+
 /// Derives latency histograms from one site's event stream.
 #[derive(Debug, Default)]
 pub struct MetricsHub {

@@ -31,6 +31,7 @@ pub fn reason_name(reason: AbortReason) -> &'static str {
         AbortReason::ParticipantFailed => "participant_failed",
         AbortReason::SessionMismatch => "session_mismatch",
         AbortReason::SiteNotOperational => "site_not_operational",
+        AbortReason::GlobalAbort => "global_abort",
     }
 }
 
@@ -41,6 +42,7 @@ fn reason_from_name(name: &str) -> Option<AbortReason> {
         "participant_failed" => AbortReason::ParticipantFailed,
         "session_mismatch" => AbortReason::SessionMismatch,
         "site_not_operational" => AbortReason::SiteNotOperational,
+        "global_abort" => AbortReason::GlobalAbort,
         _ => return None,
     })
 }

@@ -1,0 +1,31 @@
+//! Sharded replication groups for miniraid.
+//!
+//! The paper's protocol replicates every item at every site, so one
+//! cluster's throughput is bounded by its slowest member and a single
+//! site failure perturbs all traffic. This crate scales the protocol
+//! out by partitioning the keyspace into independent *replication
+//! groups* — each a self-contained cluster running the unmodified
+//! ROWAA engine over its own slice — and adds a top-level two-phase
+//! commit for the transactions that span groups:
+//!
+//! - [`spec`]: deterministic modulo partitioning of items onto groups
+//!   and of group-local site ids onto physical sites.
+//! - [`router`]: classifies a transaction as single-group (fast path,
+//!   forwarded to that group's engine untouched) or multi-group (split
+//!   into per-group branches).
+//! - [`xcoord`]: the cross-shard coordinator — collects branch votes,
+//!   announces the global decision, and repairs committed branches
+//!   whose group coordinator failed mid-protocol.
+//!
+//! Failure independence is structural: groups share no session
+//! vectors, fail-locks or control transactions, so a site failure in
+//! one group triggers recovery machinery only there. See DESIGN.md
+//! §10 for the full argument.
+
+pub mod router;
+pub mod spec;
+pub mod xcoord;
+
+pub use router::{classify, write_only_branch, Route};
+pub use spec::ShardSpec;
+pub use xcoord::{XAction, XCoordinator, XMetrics, XPhase};

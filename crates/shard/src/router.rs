@@ -1,0 +1,202 @@
+//! Transaction routing: classify a global transaction by the groups it
+//! touches and rewrite its operations into group-local item names.
+//!
+//! Single-group transactions take the fast path — they are handed to
+//! that group's ROWAA engine untouched (apart from item renaming) and
+//! commit with the paper's ordinary two-phase protocol. Transactions
+//! spanning several groups are split into one branch per group and
+//! driven through the cross-shard coordinator ([`crate::xcoord`]).
+
+use miniraid_core::ids::TxnId;
+use miniraid_core::ops::{Operation, Transaction};
+
+use crate::spec::ShardSpec;
+
+/// Where a transaction goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// All operations fall in one group: forward the localized
+    /// transaction straight to that group's cluster.
+    Single {
+        /// The only group touched.
+        group: u8,
+        /// The transaction with items renamed to group-local ids.
+        txn: Transaction,
+    },
+    /// Operations span several groups: commit atomically via the
+    /// cross-shard coordinator.
+    Multi {
+        /// One localized branch per touched group, in group order.
+        /// Every branch carries the *global* transaction id, so
+        /// re-driven branches are idempotent under version ordering.
+        branches: Vec<(u8, Transaction)>,
+    },
+}
+
+impl Route {
+    /// Number of groups the transaction touches.
+    pub fn n_groups(&self) -> usize {
+        match self {
+            Route::Single { .. } => 1,
+            Route::Multi { branches } => branches.len(),
+        }
+    }
+}
+
+/// Split `txn` by group, preserving the per-group operation order, and
+/// classify it. Panics if the transaction is empty or names an item
+/// outside the spec's keyspace (caller bugs, not runtime conditions).
+pub fn classify(spec: &ShardSpec, txn: &Transaction) -> Route {
+    assert!(!txn.is_empty(), "cannot route an empty transaction");
+    let mut branches: Vec<(u8, Vec<Operation>)> = Vec::new();
+    for op in &txn.ops {
+        let item = op.item();
+        assert!(
+            item.0 < spec.global_db_size(),
+            "item {item} outside the {}-item keyspace",
+            spec.global_db_size()
+        );
+        let group = spec.group_of_item(item);
+        let local = spec.localize(item);
+        let localized = match op {
+            Operation::Read(_) => Operation::Read(local),
+            Operation::Write(_, v) => Operation::Write(local, *v),
+        };
+        match branches.iter_mut().find(|(g, _)| *g == group) {
+            Some((_, ops)) => ops.push(localized),
+            None => branches.push((group, vec![localized])),
+        }
+    }
+    branches.sort_by_key(|(g, _)| *g);
+    if branches.len() == 1 {
+        let (group, ops) = branches.pop().expect("one branch");
+        Route::Single {
+            group,
+            txn: Transaction::new(txn.id, ops),
+        }
+    } else {
+        Route::Multi {
+            branches: branches
+                .into_iter()
+                .map(|(g, ops)| (g, Transaction::new(txn.id, ops)))
+                .collect(),
+        }
+    }
+}
+
+/// The write-only residue of a branch, used when re-driving a globally
+/// committed branch whose original coordinator failed: reads have
+/// already been answered, only the writes must still be applied (they
+/// are idempotent — values carry the branch's transaction id as their
+/// version stamp, and sites only install fresher versions).
+pub fn write_only_branch(branch: &Transaction) -> Transaction {
+    Transaction::new(
+        branch.id,
+        branch
+            .ops
+            .iter()
+            .filter(|op| op.is_write())
+            .copied()
+            .collect(),
+    )
+}
+
+/// Convenience: does this id label a still-routable transaction?
+/// (Used by hosts to sanity-check re-drive submissions.)
+pub fn is_same_txn(branch: &Transaction, txn: TxnId) -> bool {
+    branch.id == txn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miniraid_core::ids::ItemId;
+
+    fn spec() -> ShardSpec {
+        ShardSpec::new(2, 2, 5) // items 0..10; even -> group 0, odd -> group 1
+    }
+
+    #[test]
+    fn single_group_fast_path_localizes_items() {
+        let txn = Transaction::new(
+            TxnId(9),
+            vec![Operation::Read(ItemId(4)), Operation::Write(ItemId(6), 1)],
+        );
+        match classify(&spec(), &txn) {
+            Route::Single { group, txn } => {
+                assert_eq!(group, 0);
+                assert_eq!(txn.id, TxnId(9));
+                assert_eq!(
+                    txn.ops,
+                    vec![Operation::Read(ItemId(2)), Operation::Write(ItemId(3), 1)]
+                );
+            }
+            other => panic!("expected single-group route, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_group_split_preserves_order_and_id() {
+        let txn = Transaction::new(
+            TxnId(11),
+            vec![
+                Operation::Write(ItemId(1), 7), // group 1, local 0
+                Operation::Read(ItemId(0)),     // group 0, local 0
+                Operation::Write(ItemId(3), 8), // group 1, local 1
+            ],
+        );
+        match classify(&spec(), &txn) {
+            Route::Multi { branches } => {
+                assert_eq!(branches.len(), 2);
+                let (g0, b0) = &branches[0];
+                let (g1, b1) = &branches[1];
+                assert_eq!((*g0, *g1), (0, 1));
+                assert_eq!(b0.id, TxnId(11));
+                assert_eq!(b1.id, TxnId(11));
+                assert_eq!(b0.ops, vec![Operation::Read(ItemId(0))]);
+                assert_eq!(
+                    b1.ops,
+                    vec![
+                        Operation::Write(ItemId(0), 7),
+                        Operation::Write(ItemId(1), 8)
+                    ]
+                );
+            }
+            other => panic!("expected multi-group route, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn route_group_counts() {
+        let single = Transaction::new(TxnId(1), vec![Operation::Read(ItemId(2))]);
+        let multi = Transaction::new(
+            TxnId(2),
+            vec![Operation::Read(ItemId(0)), Operation::Read(ItemId(1))],
+        );
+        assert_eq!(classify(&spec(), &single).n_groups(), 1);
+        assert_eq!(classify(&spec(), &multi).n_groups(), 2);
+    }
+
+    #[test]
+    fn write_only_residue_drops_reads() {
+        let branch = Transaction::new(
+            TxnId(3),
+            vec![
+                Operation::Read(ItemId(0)),
+                Operation::Write(ItemId(1), 5),
+                Operation::Read(ItemId(2)),
+            ],
+        );
+        let residue = write_only_branch(&branch);
+        assert_eq!(residue.id, TxnId(3));
+        assert_eq!(residue.ops, vec![Operation::Write(ItemId(1), 5)]);
+        assert!(is_same_txn(&residue, TxnId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_items() {
+        let txn = Transaction::new(TxnId(4), vec![Operation::Read(ItemId(10))]);
+        classify(&spec(), &txn);
+    }
+}

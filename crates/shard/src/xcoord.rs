@@ -1,0 +1,571 @@
+//! Cross-shard atomic commit: a top-level two-phase coordinator that
+//! treats each group's ordinary transaction coordinator as a
+//! participant.
+//!
+//! The protocol nests the paper's two-phase commit one level: every
+//! branch runs the full intra-group protocol (phase one to all
+//! available copies, session-vector checks, fail-lock maintenance) but
+//! parks at its local commit point instead of committing, votes, and
+//! waits for the global decision. The cross-shard coordinator lives at
+//! the managing site — like the paper's managing site it sits outside
+//! the failure model, so the classic "coordinator failed after
+//! prepare" blocking case of 2PC does not arise at the top level.
+//! Branch coordinators *are* inside the failure model; a branch that
+//! dies after voting yes is repaired by re-driving its write-only
+//! residue (see [`XCoordinator::redrive_targets`]), which is safe
+//! because writes are versioned by transaction id and sites install
+//! only fresher versions.
+//!
+//! The state machine is sans-IO in the same style as the site engine:
+//! every entry point returns [`XAction`]s for the host to perform, and
+//! deadlines arrive from outside via [`XCoordinator::force_decision`].
+
+use std::collections::HashMap;
+
+use miniraid_core::ids::{ItemId, TxnId};
+use miniraid_core::ops::Transaction;
+use miniraid_storage::ItemValue;
+
+use crate::router::write_only_branch;
+use crate::spec::ShardSpec;
+
+/// Where a cross-shard transaction stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XPhase {
+    /// Branches prepared, waiting for every group's vote.
+    Voting,
+    /// Commit decided; waiting for every branch's commit report.
+    Committing,
+}
+
+/// Something the host must do on the cross-shard coordinator's behalf.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XAction {
+    /// Ship a branch to its group for prepare-and-park.
+    Prepare {
+        /// Target group.
+        group: u8,
+        /// The localized branch (carries the global transaction id).
+        branch: Transaction,
+    },
+    /// Announce the global decision to a group.
+    Decide {
+        /// Target group.
+        group: u8,
+        /// The transaction.
+        txn: TxnId,
+        /// `true` to resume the parked branch past its commit point,
+        /// `false` to abort it and free its locks.
+        commit: bool,
+    },
+    /// The transaction reached a final global outcome.
+    Finished {
+        /// The transaction.
+        txn: TxnId,
+        /// `true` if globally committed.
+        committed: bool,
+        /// Read results merged across branches, renamed back to global
+        /// item ids and sorted (committed transactions only).
+        read_results: Vec<(ItemId, ItemValue)>,
+    },
+}
+
+#[derive(Debug)]
+struct XTxn {
+    phase: XPhase,
+    branches: Vec<(u8, Transaction)>,
+    votes: HashMap<u8, bool>,
+    confirmed: Vec<u8>,
+    read_results: Vec<(ItemId, ItemValue)>,
+}
+
+impl XTxn {
+    fn groups(&self) -> impl Iterator<Item = u8> + '_ {
+        self.branches.iter().map(|(g, _)| *g)
+    }
+}
+
+/// Counters the cross-shard coordinator maintains about itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XMetrics {
+    /// Cross-shard transactions begun.
+    pub begun: u64,
+    /// ... of which globally committed (all branches confirmed).
+    pub committed: u64,
+    /// ... of which globally aborted (a no-vote or a vote deadline).
+    pub aborted: u64,
+    /// Write-only branch re-submissions issued while repairing
+    /// committed transactions whose branch coordinator failed.
+    pub redrives: u64,
+}
+
+/// The top-level two-phase coordinator for multi-group transactions.
+#[derive(Debug)]
+pub struct XCoordinator {
+    spec: ShardSpec,
+    txns: HashMap<TxnId, XTxn>,
+    /// Self-metrics, readable by the host at any time.
+    pub metrics: XMetrics,
+}
+
+impl XCoordinator {
+    /// A coordinator for the given topology with no transactions.
+    pub fn new(spec: ShardSpec) -> Self {
+        XCoordinator {
+            spec,
+            txns: HashMap::new(),
+            metrics: XMetrics::default(),
+        }
+    }
+
+    /// Cross-shard transactions still in flight.
+    pub fn pending(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// The phase of an in-flight transaction, if any.
+    pub fn phase(&self, txn: TxnId) -> Option<XPhase> {
+        self.txns.get(&txn).map(|t| t.phase)
+    }
+
+    /// Start a multi-group transaction from its routed branches (at
+    /// least two, all carrying the same id). Returns the prepares to
+    /// send. The host must arm a vote deadline and call
+    /// [`force_decision`](Self::force_decision) when it expires.
+    pub fn begin(&mut self, branches: Vec<(u8, Transaction)>) -> Vec<XAction> {
+        assert!(
+            branches.len() >= 2,
+            "cross-shard commit needs >= 2 branches"
+        );
+        let id = branches[0].1.id;
+        assert!(
+            branches.iter().all(|(_, b)| b.id == id),
+            "branches must share the global transaction id"
+        );
+        assert!(
+            !self.txns.contains_key(&id),
+            "transaction {id} already in flight"
+        );
+        self.metrics.begun += 1;
+        let actions = branches
+            .iter()
+            .map(|(g, b)| XAction::Prepare {
+                group: *g,
+                branch: b.clone(),
+            })
+            .collect();
+        self.txns.insert(
+            id,
+            XTxn {
+                phase: XPhase::Voting,
+                branches,
+                votes: HashMap::new(),
+                confirmed: Vec::new(),
+                read_results: Vec::new(),
+            },
+        );
+        actions
+    }
+
+    /// A group's vote arrived. Unanimous yes → decide commit; any no →
+    /// decide abort. Votes for unknown or already-decided transactions
+    /// are ignored (a branch coordinator that steps down after the
+    /// decision votes no redundantly — the re-drive loop repairs it).
+    pub fn on_vote(&mut self, group: u8, txn: TxnId, ok: bool) -> Vec<XAction> {
+        let Some(state) = self.txns.get_mut(&txn) else {
+            return Vec::new();
+        };
+        if state.phase != XPhase::Voting || !state.groups().any(|g| g == group) {
+            return Vec::new();
+        }
+        if !ok {
+            return self.decide_abort(txn);
+        }
+        state.votes.insert(group, true);
+        if state.votes.len() == state.branches.len() {
+            return self.decide_commit(txn);
+        }
+        Vec::new()
+    }
+
+    /// The vote deadline expired: any branch that has not voted is
+    /// counted as a no (its group may be partitioned or mid-recovery),
+    /// and the transaction aborts globally. No-op once decided.
+    pub fn force_decision(&mut self, txn: TxnId) -> Vec<XAction> {
+        match self.txns.get(&txn) {
+            Some(state) if state.phase == XPhase::Voting => self.decide_abort(txn),
+            _ => Vec::new(),
+        }
+    }
+
+    /// A branch's transaction report reached the managing site.
+    /// During `Committing`, a commit report confirms the branch and
+    /// contributes its (group-local) read results; once every branch
+    /// is confirmed the transaction finishes. Abort reports during
+    /// `Committing` are expected when a branch coordinator steps down
+    /// after the decision — they do not change the outcome, the
+    /// re-drive loop re-applies the branch instead. During `Voting` an
+    /// abort report means the branch never reached its commit point
+    /// (lock conflict, site failure, data unavailable) and counts as a
+    /// no-vote.
+    pub fn on_branch_report(
+        &mut self,
+        group: u8,
+        txn: TxnId,
+        committed: bool,
+        read_results: &[(ItemId, ItemValue)],
+    ) -> Vec<XAction> {
+        let Some(state) = self.txns.get_mut(&txn) else {
+            return Vec::new();
+        };
+        if !state.groups().any(|g| g == group) {
+            return Vec::new();
+        }
+        match state.phase {
+            XPhase::Voting => {
+                if committed {
+                    // A branch can only commit after the global
+                    // decision; a commit report while voting means our
+                    // vote was lost in flight. Count it as yes and, if
+                    // that completes the tally, remember the branch is
+                    // already done.
+                    state.votes.insert(group, true);
+                    state.confirmed.push(group);
+                    let spec = self.spec;
+                    state.read_results.extend(
+                        read_results
+                            .iter()
+                            .map(|(i, v)| (spec.globalize(group, *i), *v)),
+                    );
+                    if state.votes.len() == state.branches.len() {
+                        return self.decide_commit(txn);
+                    }
+                    Vec::new()
+                } else {
+                    self.decide_abort(txn)
+                }
+            }
+            XPhase::Committing => {
+                if !committed || state.confirmed.contains(&group) {
+                    return Vec::new();
+                }
+                state.confirmed.push(group);
+                let spec = self.spec;
+                state.read_results.extend(
+                    read_results
+                        .iter()
+                        .map(|(i, v)| (spec.globalize(group, *i), *v)),
+                );
+                if state.confirmed.len() == state.branches.len() {
+                    let mut state = self.txns.remove(&txn).expect("in flight");
+                    self.metrics.committed += 1;
+                    state.read_results.sort_by_key(|(i, _)| *i);
+                    return vec![XAction::Finished {
+                        txn,
+                        committed: true,
+                        read_results: state.read_results,
+                    }];
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Branches of a committed-but-unconfirmed transaction, as
+    /// write-only residues, for re-submission to a surviving site of
+    /// each group (paired with a repeated commit decision — see the
+    /// cluster host's re-drive loop). Empty unless `txn` is in
+    /// `Committing`. Each call counts the returned branches as
+    /// re-drives.
+    pub fn redrive_targets(&mut self, txn: TxnId) -> Vec<(u8, Transaction)> {
+        let Some(state) = self.txns.get(&txn) else {
+            return Vec::new();
+        };
+        if state.phase != XPhase::Committing {
+            return Vec::new();
+        }
+        let targets: Vec<(u8, Transaction)> = state
+            .branches
+            .iter()
+            .filter(|(g, _)| !state.confirmed.contains(g))
+            .map(|(g, b)| (*g, write_only_branch(b)))
+            .collect();
+        self.metrics.redrives += targets.len() as u64;
+        targets
+    }
+
+    fn decide_commit(&mut self, txn: TxnId) -> Vec<XAction> {
+        let state = self.txns.get_mut(&txn).expect("caller checked");
+        state.phase = XPhase::Committing;
+        let groups: Vec<u8> = state.groups().collect();
+        let confirmed = state.confirmed.clone();
+        let mut actions: Vec<XAction> = groups
+            .iter()
+            .filter(|g| !confirmed.contains(g))
+            .map(|g| XAction::Decide {
+                group: *g,
+                txn,
+                commit: true,
+            })
+            .collect();
+        // Degenerate but possible: every branch already reported
+        // commit (all our decides were lost and recovered out of
+        // band). Finish immediately.
+        if confirmed.len() == groups.len() {
+            let mut state = self.txns.remove(&txn).expect("in flight");
+            self.metrics.committed += 1;
+            state.read_results.sort_by_key(|(i, _)| *i);
+            actions.push(XAction::Finished {
+                txn,
+                committed: true,
+                read_results: state.read_results,
+            });
+        }
+        actions
+    }
+
+    fn decide_abort(&mut self, txn: TxnId) -> Vec<XAction> {
+        let state = self.txns.remove(&txn).expect("caller checked");
+        self.metrics.aborted += 1;
+        let mut actions: Vec<XAction> = state
+            .groups()
+            .map(|group| XAction::Decide {
+                group,
+                txn,
+                commit: false,
+            })
+            .collect();
+        actions.push(XAction::Finished {
+            txn,
+            committed: false,
+            read_results: Vec::new(),
+        });
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miniraid_core::ids::ItemId;
+    use miniraid_core::ops::Operation;
+
+    fn spec() -> ShardSpec {
+        ShardSpec::new(2, 2, 5)
+    }
+
+    fn branches(id: u64) -> Vec<(u8, Transaction)> {
+        vec![
+            (
+                0,
+                Transaction::new(
+                    TxnId(id),
+                    vec![Operation::Read(ItemId(0)), Operation::Write(ItemId(1), 7)],
+                ),
+            ),
+            (
+                1,
+                Transaction::new(TxnId(id), vec![Operation::Write(ItemId(2), 8)]),
+            ),
+        ]
+    }
+
+    #[test]
+    fn unanimous_yes_commits_after_all_reports() {
+        let mut xc = XCoordinator::new(spec());
+        let prepares = xc.begin(branches(10));
+        assert_eq!(prepares.len(), 2);
+        assert!(matches!(prepares[0], XAction::Prepare { group: 0, .. }));
+        assert_eq!(xc.phase(TxnId(10)), Some(XPhase::Voting));
+
+        assert!(xc.on_vote(0, TxnId(10), true).is_empty());
+        let decides = xc.on_vote(1, TxnId(10), true);
+        assert_eq!(
+            decides,
+            vec![
+                XAction::Decide {
+                    group: 0,
+                    txn: TxnId(10),
+                    commit: true
+                },
+                XAction::Decide {
+                    group: 1,
+                    txn: TxnId(10),
+                    commit: true
+                },
+            ]
+        );
+        assert_eq!(xc.phase(TxnId(10)), Some(XPhase::Committing));
+
+        let reads = [(ItemId(0), ItemValue::new(3, 4))];
+        assert!(xc.on_branch_report(0, TxnId(10), true, &reads).is_empty());
+        let done = xc.on_branch_report(1, TxnId(10), true, &[]);
+        match &done[..] {
+            [XAction::Finished {
+                txn,
+                committed: true,
+                read_results,
+            }] => {
+                assert_eq!(*txn, TxnId(10));
+                // Group 0's local item 0 is global item 0.
+                assert_eq!(read_results, &vec![(ItemId(0), ItemValue::new(3, 4))]);
+            }
+            other => panic!("expected Finished, got {other:?}"),
+        }
+        assert_eq!(xc.pending(), 0);
+        assert_eq!(xc.metrics.committed, 1);
+        assert_eq!(xc.metrics.aborted, 0);
+    }
+
+    #[test]
+    fn any_no_vote_aborts_everywhere() {
+        let mut xc = XCoordinator::new(spec());
+        xc.begin(branches(11));
+        xc.on_vote(0, TxnId(11), true);
+        let actions = xc.on_vote(1, TxnId(11), false);
+        assert_eq!(
+            actions,
+            vec![
+                XAction::Decide {
+                    group: 0,
+                    txn: TxnId(11),
+                    commit: false
+                },
+                XAction::Decide {
+                    group: 1,
+                    txn: TxnId(11),
+                    commit: false
+                },
+                XAction::Finished {
+                    txn: TxnId(11),
+                    committed: false,
+                    read_results: vec![]
+                },
+            ]
+        );
+        assert_eq!(xc.pending(), 0);
+        assert_eq!(xc.metrics.aborted, 1);
+    }
+
+    #[test]
+    fn vote_deadline_counts_missing_votes_as_no() {
+        let mut xc = XCoordinator::new(spec());
+        xc.begin(branches(12));
+        xc.on_vote(0, TxnId(12), true);
+        let actions = xc.force_decision(TxnId(12));
+        assert!(matches!(
+            actions.last(),
+            Some(XAction::Finished {
+                committed: false,
+                ..
+            })
+        ));
+        // Once decided, the deadline (and stray votes) are no-ops.
+        assert!(xc.force_decision(TxnId(12)).is_empty());
+        assert!(xc.on_vote(1, TxnId(12), true).is_empty());
+    }
+
+    #[test]
+    fn abort_report_during_voting_is_a_no_vote() {
+        let mut xc = XCoordinator::new(spec());
+        xc.begin(branches(13));
+        let actions = xc.on_branch_report(0, TxnId(13), false, &[]);
+        assert!(matches!(
+            actions.last(),
+            Some(XAction::Finished {
+                committed: false,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn commit_survives_branch_failure_via_redrive() {
+        let mut xc = XCoordinator::new(spec());
+        xc.begin(branches(14));
+        xc.on_vote(0, TxnId(14), true);
+        xc.on_vote(1, TxnId(14), true);
+        // Branch 1's coordinator dies post-decision: its stepdown abort
+        // report must not change the outcome.
+        assert!(xc.on_branch_report(1, TxnId(14), false, &[]).is_empty());
+        assert_eq!(xc.phase(TxnId(14)), Some(XPhase::Committing));
+
+        xc.on_branch_report(0, TxnId(14), true, &[]);
+        let targets = xc.redrive_targets(TxnId(14));
+        assert_eq!(targets.len(), 1);
+        let (group, residue) = &targets[0];
+        assert_eq!(*group, 1);
+        assert_eq!(residue.id, TxnId(14));
+        assert_eq!(residue.ops, vec![Operation::Write(ItemId(2), 8)]);
+        assert_eq!(xc.metrics.redrives, 1);
+
+        // The re-driven branch eventually commits; the txn finishes.
+        let done = xc.on_branch_report(1, TxnId(14), true, &[]);
+        assert!(matches!(
+            &done[..],
+            [XAction::Finished {
+                committed: true,
+                ..
+            }]
+        ));
+        assert_eq!(xc.metrics.committed, 1);
+        // Confirmed transactions need no further re-driving.
+        assert!(xc.redrive_targets(TxnId(14)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_commit_reports_confirm_once() {
+        let mut xc = XCoordinator::new(spec());
+        xc.begin(branches(15));
+        xc.on_vote(0, TxnId(15), true);
+        xc.on_vote(1, TxnId(15), true);
+        let reads = [(ItemId(1), ItemValue::new(9, 2))];
+        assert!(xc.on_branch_report(0, TxnId(15), true, &reads).is_empty());
+        assert!(xc.on_branch_report(0, TxnId(15), true, &reads).is_empty());
+        let done = xc.on_branch_report(1, TxnId(15), true, &[]);
+        match &done[..] {
+            [XAction::Finished { read_results, .. }] => {
+                // Group 0 local item 1 -> global item 2, merged once.
+                assert_eq!(read_results, &vec![(ItemId(2), ItemValue::new(9, 2))]);
+            }
+            other => panic!("expected Finished, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn commit_report_during_voting_counts_as_yes() {
+        let mut xc = XCoordinator::new(spec());
+        xc.begin(branches(16));
+        // Vote lost, branch 0 already committed (decide recovered out
+        // of band) — report alone must count as its yes.
+        assert!(xc.on_branch_report(0, TxnId(16), true, &[]).is_empty());
+        let actions = xc.on_vote(1, TxnId(16), true);
+        // Only the unconfirmed branch needs a decide.
+        assert_eq!(
+            actions,
+            vec![XAction::Decide {
+                group: 1,
+                txn: TxnId(16),
+                commit: true
+            }]
+        );
+        let done = xc.on_branch_report(1, TxnId(16), true, &[]);
+        assert!(matches!(
+            &done[..],
+            [XAction::Finished {
+                committed: true,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn votes_from_strangers_are_ignored() {
+        let mut xc = XCoordinator::new(spec());
+        xc.begin(branches(17));
+        assert!(xc.on_vote(7, TxnId(17), false).is_empty());
+        assert!(xc.on_vote(0, TxnId(99), true).is_empty());
+        assert!(xc.on_branch_report(7, TxnId(17), true, &[]).is_empty());
+        assert_eq!(xc.pending(), 1);
+    }
+}

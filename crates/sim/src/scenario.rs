@@ -413,6 +413,110 @@ pub fn experiment3_scenario2(seed: u64) -> Exp3Result {
     }
 }
 
+// ------------------------------------------------- sharded independence
+
+/// Result of the sharded failure-independence scenario.
+#[derive(Debug, Clone)]
+pub struct ShardIndependenceResult {
+    /// Replication groups simulated.
+    pub n_groups: u8,
+    /// Transactions aborted in the group that suffered the failure.
+    pub group0_aborts: u32,
+    /// Peak fail-lock count in the failed group.
+    pub group0_peak_faillocks: u32,
+    /// True if every non-failed group's per-transaction series
+    /// (outcomes, fail-lock counts, copier requests) is *identical* to
+    /// its failure-free control run.
+    pub others_identical: bool,
+    /// True if every group ended with zero fail-locks.
+    pub fully_recovered: bool,
+}
+
+fn series_signature(series: &[SeriesPoint]) -> Vec<(u64, bool, Vec<u32>, u32)> {
+    series
+        .iter()
+        .map(|p| {
+            (
+                p.txn_index,
+                p.committed,
+                p.faillocks.clone(),
+                p.copier_requests,
+            )
+        })
+        .collect()
+}
+
+/// Sharded failure independence: each replication group is a
+/// shared-nothing world (disjoint sites, disjoint item slice, its own
+/// session vectors and fail-locks), so a site failure in one group
+/// must leave every other group's execution *bit-identical* to a run
+/// in which the failure never happened. Runs `n_groups` two-site
+/// group-worlds with per-group workloads; group 0 suffers a
+/// fail/recover cycle, the rest run undisturbed; each undisturbed
+/// group's per-transaction series is compared against its own
+/// failure-free control run.
+pub fn sharded_failure_independence(seed: u64, n_groups: u8) -> ShardIndependenceResult {
+    assert!(n_groups >= 2, "independence needs at least two groups");
+    let protocol = ProtocolConfig {
+        db_size: 50,
+        n_sites: 2,
+        recovery_cross_check: false,
+        ..ProtocolConfig::default()
+    };
+    let make_config = || {
+        let mut config = SimConfig::paper(protocol.clone());
+        config.cost = crate::cost::CostModel::zero_cpu();
+        config.processor = ProcessorModel::PerSite;
+        config
+    };
+
+    let mut group0_aborts = 0;
+    let mut group0_peak = 0;
+    let mut others_identical = true;
+    let mut fully_recovered = true;
+
+    for group in 0..n_groups {
+        let group_seed = seed.wrapping_add(group as u64);
+        let sim = Simulation::new(make_config());
+        let mut manager = Manager::new(sim, UniformGen::new(group_seed, 50, 5));
+        if group == 0 {
+            // The failed group: site 0 down for txns 1–25, then a
+            // recovery tail until its fail-locks clear.
+            manager.sim.fail_site(SiteId(0), true);
+            manager.run_many(&Routing::Fixed(SiteId(1)), 25);
+            assert!(manager.sim.recover_site(SiteId(0)));
+            manager.run_many(&Routing::RoundRobinUp, 75);
+            manager.run_until(&Routing::RoundRobinUp, 400, |sim| {
+                sim.faillock_counts().iter().all(|c| *c == 0)
+            });
+            group0_aborts = aborts_in(&manager.series);
+            group0_peak = peaks_of(&manager.series, 2).into_iter().max().unwrap_or(0);
+        } else {
+            // An undisturbed group, and its failure-free control run
+            // with the identical workload: the series must match
+            // exactly — nothing in the failed group can reach it.
+            manager.run_many(&Routing::RoundRobinUp, 100);
+            let control_sim = Simulation::new(make_config());
+            let mut control = Manager::new(control_sim, UniformGen::new(group_seed, 50, 5));
+            control.run_many(&Routing::RoundRobinUp, 100);
+            if series_signature(&manager.series) != series_signature(&control.series) {
+                others_identical = false;
+            }
+        }
+        if manager.sim.faillock_counts().iter().any(|c| *c != 0) {
+            fully_recovered = false;
+        }
+    }
+
+    ShardIndependenceResult {
+        n_groups,
+        group0_aborts,
+        group0_peak_faillocks: group0_peak,
+        others_identical,
+        fully_recovered,
+    }
+}
+
 // ---------------------------------------------------------- scaling
 
 /// One row of the scaling study: control-transaction costs at a given
@@ -548,6 +652,21 @@ mod tests {
             db_500.ct1_operational_ms
         );
         assert!((db_500.ct2_ms - db_50.ct2_ms).abs() < 2.0);
+    }
+
+    #[test]
+    fn sharded_groups_fail_independently() {
+        let result = sharded_failure_independence(1987, 4);
+        assert!(
+            result.others_identical,
+            "a failure in group 0 perturbed an undisturbed group"
+        );
+        assert!(
+            result.group0_peak_faillocks > 10,
+            "the failed group saw real fail-lock pressure: {}",
+            result.group0_peak_faillocks
+        );
+        assert!(result.fully_recovered);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`sim`] — the deterministic mini-RAID testbed: virtual clock,
 //!   calibrated 1987 cost model, managing site, and the paper's three
 //!   experiments as runnable scenarios.
+//! * [`shard`] — sharded replication groups: keyspace partitioner,
+//!   single- vs multi-shard router, and the top-level cross-shard
+//!   two-phase-commit coordinator.
 //! * [`cluster`] — the same engine on real threads over real transports.
 //!
 //! ## Quick start
@@ -68,6 +71,9 @@ pub use miniraid_txn as txn;
 
 /// The deterministic testbed (re-export of `miniraid-sim`).
 pub use miniraid_sim as sim;
+
+/// Sharded replication groups (re-export of `miniraid-shard`).
+pub use miniraid_shard as shard;
 
 /// Threaded deployment (re-export of `miniraid-cluster`).
 pub use miniraid_cluster as cluster;
