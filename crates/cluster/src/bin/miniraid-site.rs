@@ -95,6 +95,9 @@ fn main() {
     let mut engine = SiteEngine::new(SiteId(site_id), config);
     if let Some(store) = &store {
         if store.last_txn() > 0 {
+            // Instant restart: checkpoint values load eagerly (already
+            // in memory), WAL records replay lazily in the site loop's
+            // background — the process is operational immediately.
             engine.preload_db(
                 store
                     .mem()
@@ -102,6 +105,7 @@ fn main() {
                     .filter(|(_, v)| v.version > 0)
                     .map(|(item, v)| (miniraid_core::ids::ItemId(item), v)),
             );
+            engine.preload_lazy(store.image());
             engine.preload_faillocks(
                 store
                     .faillocks()

@@ -408,10 +408,28 @@ impl Cluster {
     /// transaction and refreshes whatever its preloaded copy missed.
     /// `emit_persistence` is forced on.
     pub fn launch_durable(
-        mut config: ProtocolConfig,
+        config: ProtocolConfig,
         timing: ClusterTiming,
         dir: &std::path::Path,
     ) -> std::io::Result<(Cluster, ManagingClient<ChannelTransport, ChannelMailbox>)> {
+        let (cluster, client, _) = Self::launch_durable_instrumented(config, timing, dir)?;
+        Ok((cluster, client))
+    }
+
+    /// [`Cluster::launch_durable`], additionally returning each site's
+    /// shared WAL counter handle (fsyncs, commit records, bytes) so a
+    /// benchmark harness can compute fsyncs-per-committed-transaction
+    /// without scraping metrics.
+    #[allow(clippy::type_complexity)]
+    pub fn launch_durable_instrumented(
+        mut config: ProtocolConfig,
+        timing: ClusterTiming,
+        dir: &std::path::Path,
+    ) -> std::io::Result<(
+        Cluster,
+        ManagingClient<ChannelTransport, ChannelMailbox>,
+        Vec<std::sync::Arc<miniraid_storage::WalCounters>>,
+    )> {
         config.emit_persistence = true;
         let n = config.n_sites;
         let manager_id = SiteId(n);
@@ -437,17 +455,24 @@ impl Cluster {
         });
 
         let mut handles = Vec::with_capacity(n as usize);
+        let mut counters = Vec::with_capacity(n as usize);
         for ((i, (transport, mailbox)), store) in endpoints.into_iter().enumerate().zip(stores) {
+            counters.push(store.counters());
             let mut engine = SiteEngine::new(SiteId(i as u8), config.clone());
             if store.last_txn() > 0 {
-                let recovered: Vec<(miniraid_core::ids::ItemId, miniraid_storage::ItemValue)> =
+                // Instant restart: the checkpoint image (already in
+                // memory) loads eagerly, but WAL records hand the engine
+                // a lazy restart image — items hydrate on first touch or
+                // via the site loop's background replay, so the site is
+                // operational before the log is re-applied.
+                engine.preload_db(
                     store
                         .mem()
                         .iter()
                         .filter(|(_, v)| v.version > 0)
-                        .map(|(item, v)| (miniraid_core::ids::ItemId(item), v))
-                        .collect();
-                engine.preload_db(recovered);
+                        .map(|(item, v)| (miniraid_core::ids::ItemId(item), v)),
+                );
+                engine.preload_lazy(store.image());
             }
             engine.preload_faillocks(
                 store
@@ -478,7 +503,7 @@ impl Cluster {
             handles.push(handle);
         }
         let client = ManagingClient::new(mgr_transport, mgr_mailbox, n);
-        Ok((Cluster { handles }, client))
+        Ok((Cluster { handles }, client, counters))
     }
 
     /// Launch over real TCP sockets on localhost. Site `i` listens on

@@ -414,6 +414,47 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
         snap
     }
 
+    /// Scrape every physical site's metrics exposition and fold its
+    /// engine counters into per-shard [`miniraid_obs::ShardEngineStats`]
+    /// aggregates (inflight high-water takes the member max, event
+    /// counters sum). `deadline` bounds each individual scrape.
+    pub fn scrape_shard_engine_stats(
+        &mut self,
+        deadline: Duration,
+    ) -> Result<Vec<miniraid_obs::ShardEngineStats>, ControlError> {
+        let mut stats =
+            vec![miniraid_obs::ShardEngineStats::default(); self.spec.n_groups as usize];
+        for i in 0..self.spec.n_physical_sites() {
+            let site = SiteId(i);
+            let (group, _) = self.spec.local_site(site);
+            let text = self.fetch_metrics(site, deadline)?;
+            let s = &mut stats[group as usize];
+            s.inflight_high_water = s
+                .inflight_high_water
+                .max(parse_exposition_counter(&text, "miniraid_inflight_high_water").unwrap_or(0));
+            s.lock_waits += parse_exposition_counter(&text, "miniraid_lock_waits").unwrap_or(0);
+            s.lock_grants_immediate +=
+                parse_exposition_counter(&text, "miniraid_lock_grants_immediate").unwrap_or(0);
+            s.wal_fsyncs += parse_exposition_counter(&text, "miniraid_wal_fsyncs").unwrap_or(0);
+            s.wal_commit_records +=
+                parse_exposition_counter(&text, "miniraid_wal_commit_records").unwrap_or(0);
+        }
+        Ok(stats)
+    }
+
+    /// [`sharded_snapshot`](Self::sharded_snapshot) plus a live scrape
+    /// of every member's engine counters into the snapshot's per-shard
+    /// `engine` slots — ready for `miniraid_obs::expo::render_sharded`.
+    pub fn sharded_snapshot_with_engine(
+        &mut self,
+        deadline: Duration,
+    ) -> Result<miniraid_obs::ShardedSnapshot, ControlError> {
+        let engine = self.scrape_shard_engine_stats(deadline)?;
+        let mut snap = self.sharded_snapshot();
+        snap.engine = engine;
+        Ok(snap)
+    }
+
     /// Terminate every site (clean shutdown).
     pub fn terminate_all(&mut self) {
         for i in 0..self.spec.n_physical_sites() {
@@ -653,5 +694,56 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
             let target = self.spec.physical_site(group, SiteId(local));
             self.send(target, group, Message::Mgmt(Command::Begin(residue)));
         }
+    }
+}
+
+/// Find `name{...} value` (or `name value`) in a Prometheus-style text
+/// exposition and return the value. Label sets are skipped, but a name
+/// that merely shares a prefix (`foo_total` vs `foo`) never matches.
+fn parse_exposition_counter(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = match rest.as_bytes().first() {
+            Some(b'{') => {
+                let close = rest.find('}')?;
+                &rest[close + 1..]
+            }
+            Some(b' ') => rest,
+            _ => return None,
+        };
+        rest.trim().parse::<u64>().ok()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_exposition_counter;
+
+    #[test]
+    fn exposition_counter_parsing() {
+        let text = "\
+# TYPE miniraid_lock_waits counter
+miniraid_lock_waits{site=\"2\"} 7
+# TYPE miniraid_lock_wait_us summary
+miniraid_lock_wait_us{site=\"2\",quantile=\"0.5\"} 120
+miniraid_inflight_high_water{site=\"2\"} 4
+miniraid_cross_shard_commit_latency_us_count 3
+";
+        assert_eq!(
+            parse_exposition_counter(text, "miniraid_lock_waits"),
+            Some(7)
+        );
+        assert_eq!(
+            parse_exposition_counter(text, "miniraid_inflight_high_water"),
+            Some(4)
+        );
+        // Unlabeled form.
+        assert_eq!(
+            parse_exposition_counter(text, "miniraid_cross_shard_commit_latency_us_count"),
+            Some(3)
+        );
+        // Prefix of a longer name must not match.
+        assert_eq!(parse_exposition_counter(text, "miniraid_lock_wait_u"), None);
+        assert_eq!(parse_exposition_counter(text, "miniraid_wal_fsyncs"), None);
     }
 }

@@ -108,6 +108,128 @@ pub fn run_site_durable<T: Transport, M: Mailbox>(
     run_site_full(engine, transport, mailbox, manager, timing, store, None)
 }
 
+/// Items hydrated per event-loop iteration while a restart image is
+/// draining in the background (instant restart).
+const HYDRATE_CHUNK: u32 = 256;
+
+/// Durable-mode state carried by the site loop: the store plus the
+/// group-commit machinery. Outbound messages that would announce a
+/// not-yet-synced record are *held* here until the group fsync covering
+/// it completes — a participant's ACK/vote thus waits on its group's
+/// fsync, never on a private one.
+struct DurableCtx {
+    store: DurableStore,
+    /// Messages held back until the next group fsync, per peer (FIFO
+    /// order within a peer is preserved: once anything is held, all
+    /// later sends queue behind it until the sync).
+    held: Vec<(SiteId, Vec<Message>)>,
+    /// Deadline for syncing a partial batch (armed when the first
+    /// unsynced record starts waiting).
+    linger_until: Option<Instant>,
+    /// Sync as soon as this many commit records await one.
+    batch: u32,
+    /// Maximum wait for a partial batch.
+    linger: Duration,
+    /// Reused conversion buffers (`ItemId`-keyed engine output to
+    /// `u32`-keyed storage input) — the commit hot path allocates
+    /// nothing in steady state.
+    write_scratch: Vec<(u32, miniraid_storage::ItemValue)>,
+    lock_scratch: Vec<(u32, u64)>,
+}
+
+impl DurableCtx {
+    fn new(store: DurableStore, batch: u32, linger: Duration) -> DurableCtx {
+        DurableCtx {
+            store,
+            held: Vec::new(),
+            linger_until: None,
+            batch: batch.max(1),
+            linger,
+            write_scratch: Vec::new(),
+            lock_scratch: Vec::new(),
+        }
+    }
+}
+
+/// Send every queued frame, returning the inner buffers to the pool.
+fn flush_outbound<T: Transport>(
+    engine: &mut SiteEngine,
+    transport: &T,
+    list: &mut Vec<(SiteId, Vec<Message>)>,
+    pool: &mut Vec<Vec<Message>>,
+) {
+    for (to, mut msgs) in list.drain(..) {
+        if msgs.len() > 1 {
+            engine.note_batch_frame(msgs.len());
+        }
+        let _ = transport.send_batch(to, &msgs);
+        msgs.clear();
+        pool.push(msgs);
+    }
+}
+
+/// Discard queued frames (durable failure: nothing may announce state
+/// that didn't reach stable storage).
+fn discard_outbound(list: &mut Vec<(SiteId, Vec<Message>)>, pool: &mut Vec<Vec<Message>>) {
+    for (_, mut msgs) in list.drain(..) {
+        msgs.clear();
+        pool.push(msgs);
+    }
+}
+
+/// A durable write or sync failed: the site goes down instead of
+/// panicking. Held and pending outbound messages are discarded, the
+/// store handle is dropped, and the loop keeps serving metrics scrapes
+/// — the observer sits outside the failure model.
+fn fail_durable(
+    engine: &mut SiteEngine,
+    durable: &mut Option<DurableCtx>,
+    timers: &mut BinaryHeap<Reverse<Armed>>,
+    manager: SiteId,
+    outbound: &mut Vec<(SiteId, Vec<Message>)>,
+    pool: &mut Vec<Vec<Message>>,
+    err: miniraid_storage::StorageError,
+) {
+    eprintln!(
+        "site {}: durable write failed ({err}); transitioning to down",
+        engine.id().0
+    );
+    if let Some(d) = durable.as_mut() {
+        discard_outbound(&mut d.held, pool);
+    }
+    discard_outbound(outbound, pool);
+    *durable = None;
+    timers.clear();
+    let _ = engine.handle_owned(Input::Deliver {
+        from: manager,
+        msg: Message::Mgmt(Command::Fail),
+    });
+}
+
+/// Serve a metrics scrape without touching the engine state machine:
+/// the reply goes straight out on the transport. Transport-layer and
+/// WAL counters are folded into the engine's metrics just before
+/// rendering.
+fn serve_metrics<T: Transport>(
+    engine: &mut SiteEngine,
+    transport: &T,
+    obs: &Option<SiteObs>,
+    durable: &Option<DurableCtx>,
+    from: SiteId,
+) {
+    let stats = transport.stats();
+    engine.note_transport(stats.retransmits, stats.dup_drops, stats.reconnects);
+    if let Some(d) = durable {
+        let c = d.store.counters();
+        engine.note_wal(c.fsyncs(), c.commits(), c.records());
+    }
+    let text = match obs {
+        Some(obs) => obs.render(engine),
+        None => render_plain(engine),
+    };
+    let _ = transport.send(from, &Message::MetricsResponse { text });
+}
+
 /// Full-featured site loop: optional durable store, optional
 /// observability ([`SiteObs`]). When observability is attached the site
 /// answers [`Message::MetricsRequest`] with a Prometheus-style text
@@ -121,50 +243,75 @@ pub fn run_site_full<T: Transport, M: Mailbox>(
     mailbox: M,
     manager: SiteId,
     timing: ClusterTiming,
-    mut store: Option<DurableStore>,
+    store: Option<DurableStore>,
     obs: Option<SiteObs>,
 ) {
     let mut timers: BinaryHeap<Reverse<Armed>> = BinaryHeap::new();
     let mut timer_seq = 0u64;
     let mut out: Vec<Output> = Vec::new();
-
-    // Serve a metrics scrape without touching the engine state machine:
-    // the reply goes straight out on the transport. Transport-layer
-    // counters (retransmits, duplicate drops, reconnect attempts) are
-    // folded into the engine's metrics just before rendering.
-    let serve_metrics = |engine: &mut SiteEngine, from: SiteId| {
-        let stats = transport.stats();
-        engine.note_transport(stats.retransmits, stats.dup_drops, stats.reconnects);
-        let text = match &obs {
-            Some(obs) => obs.render(engine),
-            None => render_plain(engine),
-        };
-        let _ = transport.send(from, &Message::MetricsResponse { text });
-    };
+    // Per-peer outbound frames under construction, and the buffer pool
+    // they recycle through (no per-drain allocation in steady state).
+    let mut outbound: Vec<(SiteId, Vec<Message>)> = Vec::new();
+    let mut pool: Vec<Vec<Message>> = Vec::new();
+    let mut durable = store.map(|s| {
+        let cfg = engine.config();
+        DurableCtx::new(
+            s,
+            cfg.group_commit_batch,
+            Duration::from_micros(cfg.group_commit_linger_us),
+        )
+    });
 
     loop {
-        // Wait until the next timer deadline (or a polling default).
-        let wait = timers
+        // Background replay after an instant restart: hydrate a chunk of
+        // the engine's (and store's) restart image per iteration, and
+        // keep iterations short until replay completes.
+        let hydrating = {
+            let mut pending = 0u32;
+            if engine.hydration_remaining() > 0 {
+                pending += engine.hydrate_step(HYDRATE_CHUNK);
+            }
+            if let Some(d) = durable.as_mut() {
+                if d.store.pending_items() > 0 {
+                    pending += d.store.hydrate_step(HYDRATE_CHUNK).unwrap_or(0);
+                }
+            }
+            pending > 0
+        };
+
+        // Wait until the next timer deadline (or a polling default),
+        // capped by the group-commit linger and by background replay.
+        let mut wait = timers
             .peek()
             .map(|Reverse(Armed(due, _, _))| due.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(50));
+        if let Some(until) = durable.as_ref().and_then(|d| d.linger_until) {
+            wait = wait.min(until.saturating_duration_since(Instant::now()));
+        }
+        if hydrating {
+            wait = wait.min(Duration::from_millis(1));
+        }
 
         // Drain the whole mailbox this iteration: block for the first
         // message, then take whatever else is already queued. All outputs
-        // accumulate so sends to the same peer coalesce into one frame.
+        // accumulate so sends to the same peer coalesce into one frame —
+        // and commit records from every transaction in the drain share
+        // one group fsync.
         out.clear();
         let mut drained = false;
         match mailbox.recv_timeout(wait) {
             Ok((from, msg)) => {
                 drained = true;
                 if matches!(msg, Message::MetricsRequest) {
-                    serve_metrics(&mut engine, from);
+                    serve_metrics(&mut engine, &transport, &obs, &durable, from);
                 } else {
                     engine.handle(Input::Deliver { from, msg }, &mut out);
                 }
                 loop {
                     match mailbox.try_recv() {
-                        Ok((from, Message::MetricsRequest)) => serve_metrics(&mut engine, from),
+                        Ok((from, Message::MetricsRequest)) => {
+                            serve_metrics(&mut engine, &transport, &obs, &durable, from)
+                        }
                         Ok((from, msg)) => engine.handle(Input::Deliver { from, msg }, &mut out),
                         Err(RecvError::Timeout) => break,
                         Err(RecvError::Disconnected) => return,
@@ -183,7 +330,9 @@ pub fn run_site_full<T: Transport, M: Mailbox>(
                 &mut timers,
                 &mut timer_seq,
                 &mut out,
-                &mut store,
+                &mut durable,
+                &mut outbound,
+                &mut pool,
             );
         }
 
@@ -204,11 +353,42 @@ pub fn run_site_full<T: Transport, M: Mailbox>(
                 &mut timers,
                 &mut timer_seq,
                 &mut out,
-                &mut store,
+                &mut durable,
+                &mut outbound,
+                &mut pool,
             );
         }
 
+        // Linger expired: fsync the partial group and release what it
+        // was holding back.
+        if let Some(d) = durable.as_mut() {
+            if d.linger_until.is_some_and(|until| Instant::now() >= until) {
+                match d.store.sync() {
+                    Ok(()) => {
+                        d.linger_until = None;
+                        flush_outbound(&mut engine, &transport, &mut d.held, &mut pool);
+                    }
+                    Err(err) => fail_durable(
+                        &mut engine,
+                        &mut durable,
+                        &mut timers,
+                        manager,
+                        &mut outbound,
+                        &mut pool,
+                        err,
+                    ),
+                }
+            }
+        }
+
         if engine.status() == SiteStatus::Terminating {
+            // Clean shutdown: make the tail durable, then release
+            // anything still held.
+            if let Some(d) = durable.as_mut() {
+                if d.store.sync().is_ok() {
+                    flush_outbound(&mut engine, &transport, &mut d.held, &mut pool);
+                }
+            }
             if let Some(obs) = &obs {
                 obs.flush();
             }
@@ -226,46 +406,63 @@ fn perform<T: Transport>(
     timers: &mut BinaryHeap<Reverse<Armed>>,
     timer_seq: &mut u64,
     out: &mut Vec<Output>,
-    store: &mut Option<DurableStore>,
+    durable: &mut Option<DurableCtx>,
+    outbound: &mut Vec<(SiteId, Vec<Message>)>,
+    pool: &mut Vec<Vec<Message>>,
 ) {
-    // Sends are grouped per destination and flushed as one frame each at
-    // the end (`Transport::send_batch`), preserving per-peer FIFO order.
-    // Persist outputs are fsynced inline, so durability still precedes
-    // every message that announces it. If a durable write fails the site
-    // goes down instead of panicking: the drain's outbound messages are
-    // discarded (nothing announces state that didn't reach stable
-    // storage), the store handle is dropped, and the loop keeps serving
-    // metrics scrapes — the observer sits outside the failure model.
-    let mut outbound: Vec<(SiteId, Vec<Message>)> = Vec::new();
-    let mut queue =
-        |to: SiteId, msg: Message| match outbound.iter_mut().find(|(peer, _)| *peer == to) {
-            Some((_, msgs)) => msgs.push(msg),
-            None => outbound.push((to, vec![msg])),
-        };
+    // Sends are grouped per destination and flushed as one frame each
+    // (`Transport::send_batch`), preserving per-peer FIFO order. Persist
+    // outputs only *append* REDO records; the fsync is deferred to the
+    // group-commit decision below, and every message queued in this
+    // drain is held until the fsync that covers those records — so
+    // durability still precedes every message that announces it.
     let mut persist_error: Option<miniraid_storage::StorageError> = None;
     for output in out.drain(..) {
         if persist_error.is_some() {
             break;
         }
+        let mut queue =
+            |to: SiteId, msg: Message| match outbound.iter_mut().find(|(peer, _)| *peer == to) {
+                Some((_, msgs)) => msgs.push(msg),
+                None => {
+                    let mut msgs = pool.pop().unwrap_or_default();
+                    msgs.push(msg);
+                    outbound.push((to, msgs));
+                }
+            };
         match output {
             Output::Persist {
                 txn,
                 writes,
                 faillocks,
             } => {
-                if let Some(store) = store.as_mut() {
-                    let raw: Vec<(u32, miniraid_storage::ItemValue)> =
-                        writes.iter().map(|(item, v)| (item.0, *v)).collect();
-                    if !raw.is_empty() {
-                        if let Err(err) = store.commit(txn.0, &raw) {
-                            persist_error = Some(err);
-                            continue;
-                        }
-                    }
-                    let words: Vec<(u32, u64)> =
-                        faillocks.iter().map(|(item, w)| (item.0, *w)).collect();
-                    if let Err(err) = store.log_faillocks(&words) {
+                if let Some(d) = durable.as_mut() {
+                    d.write_scratch.clear();
+                    d.write_scratch
+                        .extend(writes.iter().map(|(item, v)| (item.0, *v)));
+                    d.lock_scratch.clear();
+                    d.lock_scratch
+                        .extend(faillocks.iter().map(|(item, w)| (item.0, *w)));
+                    // One self-contained REDO record carries the write
+                    // set and its fail-lock words; lock-only traffic
+                    // (e.g. clears) rides a standalone record. Neither
+                    // forces an fsync of its own.
+                    let res = if d.write_scratch.is_empty() {
+                        d.store.log_faillocks(&d.lock_scratch)
+                    } else {
+                        d.store
+                            .commit_with_locks(txn.0, &d.write_scratch, &d.lock_scratch)
+                    };
+                    if let Err(err) = res {
                         persist_error = Some(err);
+                    } else if d.store.pending_commits() >= d.batch {
+                        // The group is full: fsync right away (with
+                        // `batch = 1` this is the one-fsync-per-commit
+                        // baseline discipline). Held messages are
+                        // released by the end-of-drain policy below.
+                        if let Err(err) = d.store.sync() {
+                            persist_error = Some(err);
+                        }
                     }
                 }
             }
@@ -280,8 +477,10 @@ fn perform<T: Transport>(
             }
             Output::Report(report) => queue(manager, Message::MgmtReport(report)),
             Output::BecameOperational { session } => {
-                if let Some(store) = store.as_mut() {
-                    if let Err(err) = store.log_session(session.0) {
+                if let Some(d) = durable.as_mut() {
+                    // Buffered append: the MgmtRecovered announcement
+                    // below is held until the group fsync covers it.
+                    if let Err(err) = d.store.log_session(session.0) {
                         persist_error = Some(err);
                         continue;
                     }
@@ -296,22 +495,47 @@ fn perform<T: Transport>(
         }
     }
     if let Some(err) = persist_error {
-        eprintln!(
-            "site {}: durable write failed ({err}); transitioning to down",
-            engine.id().0
-        );
-        *store = None;
-        timers.clear();
-        let _ = engine.handle_owned(Input::Deliver {
-            from: manager,
-            msg: Message::Mgmt(Command::Fail),
-        });
+        fail_durable(engine, durable, timers, manager, outbound, pool, err);
         return;
     }
-    for (to, msgs) in outbound {
-        if msgs.len() > 1 {
-            engine.note_batch_frame(msgs.len());
+
+    // Group-commit decision. While records await their fsync, *every*
+    // queued message is held (per-peer FIFO must not let a later message
+    // overtake a held one); the group syncs when it reaches `batch`
+    // commit records, and the linger deadline bounds how long a partial
+    // group may wait.
+    match durable.as_mut() {
+        Some(d) if d.store.has_unsynced() => {
+            if d.store.pending_commits() >= d.batch || d.linger.is_zero() {
+                match d.store.sync() {
+                    Ok(()) => {
+                        d.linger_until = None;
+                        flush_outbound(engine, transport, &mut d.held, pool);
+                        flush_outbound(engine, transport, outbound, pool);
+                    }
+                    Err(err) => fail_durable(engine, durable, timers, manager, outbound, pool, err),
+                }
+            } else {
+                for (to, mut msgs) in outbound.drain(..) {
+                    match d.held.iter_mut().find(|(peer, _)| *peer == to) {
+                        Some((_, held)) => {
+                            held.append(&mut msgs);
+                            pool.push(msgs);
+                        }
+                        None => d.held.push((to, msgs)),
+                    }
+                }
+                if d.linger_until.is_none() {
+                    d.linger_until = Some(Instant::now() + d.linger);
+                }
+            }
         }
-        let _ = transport.send_batch(to, &msgs);
+        _ => {
+            if let Some(d) = durable.as_mut() {
+                // Nothing unsynced: anything still held is covered.
+                flush_outbound(engine, transport, &mut d.held, pool);
+            }
+            flush_outbound(engine, transport, outbound, pool);
+        }
     }
 }

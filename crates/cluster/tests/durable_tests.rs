@@ -97,6 +97,81 @@ fn committed_writes_survive_a_full_cluster_restart() {
 }
 
 #[test]
+fn instant_restart_serves_reads_during_background_replay() {
+    let dir = tmpdir("instant-restart");
+    let config = ProtocolConfig {
+        db_size: 600,
+        ..config()
+    };
+
+    // Incarnation 1: commit 600 items in 100 multi-write transactions,
+    // so the REDO log holds far more items than one background
+    // hydration chunk replays per loop iteration.
+    {
+        let (cluster, mut client) =
+            Cluster::launch_durable(config.clone(), ClusterTiming::default(), &dir).unwrap();
+        for k in 0..100u32 {
+            let id = client.next_txn_id();
+            let writes: Vec<Operation> = (0..6)
+                .map(|j| {
+                    let item = k * 6 + j;
+                    Operation::Write(ItemId(item), 1000 + item as u64)
+                })
+                .collect();
+            let report = client
+                .run_txn(SiteId((k % 3) as u8), Transaction::new(id, writes), WAIT)
+                .unwrap();
+            assert!(report.outcome.is_committed());
+        }
+        client.terminate_all();
+        cluster.join(WAIT);
+    }
+
+    // Incarnation 2: the bootstrap site is operational immediately,
+    // while its WAL image is still replaying in the background. Reads
+    // issued right away — in reverse commit order, so the first probes
+    // target items the background sweep reaches last — must already see
+    // the committed values (on-demand chain replay).
+    {
+        let (cluster, mut client) =
+            Cluster::launch_durable(config, ClusterTiming::default(), &dir).unwrap();
+        let bootstrap = (0..3u8)
+            .find(|s| {
+                let id = client.next_txn_id();
+                client
+                    .run_txn(
+                        SiteId(*s),
+                        Transaction::new(id, vec![Operation::Read(ItemId(599))]),
+                        WAIT,
+                    )
+                    .is_ok_and(|r| {
+                        r.outcome.is_committed() && r.read_results[0].1.data == 1000 + 599
+                    })
+            })
+            .expect("one site bootstraps operational and serves reads instantly");
+        for item in (0..599u32).rev().step_by(7) {
+            let id = client.next_txn_id();
+            let report = client
+                .run_txn(
+                    SiteId(bootstrap),
+                    Transaction::new(id, vec![Operation::Read(ItemId(item))]),
+                    WAIT,
+                )
+                .unwrap();
+            assert!(report.outcome.is_committed());
+            assert_eq!(
+                report.read_results[0].1.data,
+                1000 + item as u64,
+                "item {item} read during background replay"
+            );
+        }
+        client.terminate_all();
+        cluster.join(WAIT);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn restart_after_missing_commits_refreshes_via_recovery() {
     let dir = tmpdir("stale-restart");
 

@@ -101,6 +101,25 @@ pub struct ProtocolConfig {
     /// paper-reproduction scenarios, whose measured type-1 cost assumes
     /// a single responder formats state.
     pub recovery_cross_check: bool,
+    /// Group-commit batch size: the durable site loop fsyncs its REDO
+    /// log as soon as this many commit records await one (`1` reproduces
+    /// one-fsync-per-commit). Only meaningful with `emit_persistence`;
+    /// commits from all pipelined in-flight transactions share the sync.
+    #[serde(default = "default_group_commit_batch")]
+    pub group_commit_batch: u32,
+    /// Group-commit linger: maximum microseconds a commit record may
+    /// wait for companions before the site loop fsyncs a partial batch.
+    /// `0` syncs at the end of every event-loop drain.
+    #[serde(default = "default_group_commit_linger_us")]
+    pub group_commit_linger_us: u64,
+}
+
+fn default_group_commit_batch() -> u32 {
+    8
+}
+
+fn default_group_commit_linger_us() -> u64 {
+    150
 }
 
 impl ProtocolConfig {
@@ -139,6 +158,8 @@ impl Default for ProtocolConfig {
             strategy: ReplicationStrategy::RowaAvailable,
             max_inflight: 1,
             recovery_cross_check: true,
+            group_commit_batch: default_group_commit_batch(),
+            group_commit_linger_us: default_group_commit_linger_us(),
         }
     }
 }

@@ -513,6 +513,7 @@ impl SiteEngine {
                 .map(SiteId)
                 .find(|&s| self.vector.is_up(s) && !self.replication.holds(item, s));
             if let Some(backup) = backup {
+                self.hydrate(item);
                 let value = self.db.get(item.0).expect("item in universe");
                 actions.push((item, backup, value));
             }
@@ -543,6 +544,7 @@ impl SiteEngine {
         value: ItemValue,
         out: &mut Vec<Output>,
     ) {
+        self.hydrate(item);
         self.db
             .put_if_fresher(item.0, value)
             .expect("item in universe");

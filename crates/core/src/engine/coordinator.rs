@@ -51,21 +51,22 @@ pub enum CoordPhase {
     WaitCommitAcks,
 }
 
-/// The predeclared lock set of a transaction: exclusive on written
-/// items, shared on read-only items.
-fn lock_plan(txn: &Transaction) -> Vec<(ItemId, LockMode)> {
-    let writes = txn.write_set();
-    let mut plan: Vec<(ItemId, LockMode)> = writes
-        .iter()
-        .map(|(item, _)| (*item, LockMode::Exclusive))
-        .collect();
-    for item in txn.read_items() {
-        if !writes.iter().any(|(w, _)| *w == item) {
-            plan.push((item, LockMode::Shared));
+/// Compute the predeclared lock set of a transaction into a reused
+/// buffer: exclusive on written items, shared on read-only items. The
+/// engine keeps one scratch buffer so admission (and every waiter
+/// readiness check) allocates nothing in steady state.
+fn lock_plan_into(txn: &Transaction, plan: &mut Vec<(ItemId, LockMode)>) {
+    plan.clear();
+    for op in &txn.ops {
+        match op {
+            crate::ops::Operation::Write(item, _) => plan.push((*item, LockMode::Exclusive)),
+            op => plan.push((op.item(), LockMode::Shared)),
         }
     }
-    plan.sort_unstable_by_key(|(item, _)| item.0);
-    plan
+    // Item order, exclusive first within an item; dedup keeps the first
+    // entry, so a read of a written item folds into the exclusive lock.
+    plan.sort_unstable_by_key(|(item, mode)| (item.0, matches!(mode, LockMode::Shared) as u8));
+    plan.dedup_by_key(|(item, _)| *item);
 }
 
 impl SiteEngine {
@@ -117,7 +118,9 @@ impl SiteEngine {
         self.tracer.emit(Some(txn.id), EventKind::TxnAdmit);
 
         let mut all_granted = true;
-        for (item, mode) in lock_plan(&txn) {
+        let mut plan = std::mem::take(&mut self.lock_plan_scratch);
+        lock_plan_into(&txn, &mut plan);
+        for (item, mode) in plan.drain(..) {
             match self.locks.acquire(txn.id, item, mode) {
                 LockResult::Granted => {}
                 LockResult::Waiting => all_granted = false,
@@ -131,6 +134,7 @@ impl SiteEngine {
                 }
             }
         }
+        self.lock_plan_scratch = plan;
         if all_granted {
             self.metrics.lock_grants_immediate += 1;
             self.start_transaction(txn, out);
@@ -270,6 +274,7 @@ impl SiteEngine {
         if self.config.strategy == ReplicationStrategy::MajorityQuorum && !read_items.is_empty() {
             // Seed with our own copies; peer responses merge over them.
             for item in &read_items {
+                self.hydrate(*item);
                 let own = self.db.get(item.0).expect("item in universe");
                 state.remote_values.insert(*item, own);
             }
@@ -318,7 +323,20 @@ impl SiteEngine {
         let refreshed = state.refreshed.clone();
 
         // Execute reads: own copy for held items ("read one"), fetched
-        // values for remote items.
+        // values for remote items. Hydrate restart-image items before
+        // borrowing the transaction state (instant restart; no-op
+        // otherwise).
+        if self.hydration_remaining() > 0 {
+            let items = self
+                .coords
+                .get(&txn_id)
+                .expect("transaction in flight")
+                .txn
+                .read_items();
+            for item in items {
+                self.hydrate(item);
+            }
+        }
         let quorum = self.config.strategy == ReplicationStrategy::MajorityQuorum;
         let state = self.coords.get_mut(&txn_id).expect("transaction in flight");
         let read_items = state.txn.read_items();
@@ -628,15 +646,16 @@ impl SiteEngine {
         let mut i = 0;
         while i < self.lock_wait_order.len() {
             let id = self.lock_wait_order[i];
-            let ready = self
-                .lock_waiting
-                .get(&id)
-                .map(|txn| {
-                    lock_plan(txn)
-                        .iter()
+            let mut plan = std::mem::take(&mut self.lock_plan_scratch);
+            let ready = match self.lock_waiting.get(&id) {
+                Some(txn) => {
+                    lock_plan_into(txn, &mut plan);
+                    plan.iter()
                         .all(|(item, mode)| self.locks.holds(id, *item, *mode))
-                })
-                .unwrap_or(false);
+                }
+                None => false,
+            };
+            self.lock_plan_scratch = plan;
             if ready {
                 self.lock_wait_order.remove(i);
                 let txn = self.lock_waiting.remove(&id).expect("waiter present");

@@ -55,6 +55,7 @@ impl SiteEngine {
         for item in &items {
             // We can serve only copies we hold and that are up to date.
             if self.replication.holds(*item, me) && !self.faillocks.is_locked(*item, me) {
+                self.hydrate(*item);
                 copies.push((*item, self.db.get(item.0).expect("item in universe")));
             } else {
                 ok = false;
@@ -169,6 +170,7 @@ impl SiteEngine {
         let mut cleared = 0u32;
         let mut persisted = Vec::new();
         for (item, value) in copies {
+            self.hydrate(*item);
             let applied = self
                 .db
                 .put_if_fresher(item.0, *value)
@@ -333,6 +335,7 @@ impl SiteEngine {
         let mut values = Vec::with_capacity(items.len());
         let mut ok = true;
         for item in &items {
+            self.hydrate(*item);
             if quorum {
                 // Quorum reads want every copy's version; the merger at
                 // the coordinator discards stale ones.

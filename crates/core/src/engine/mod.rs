@@ -282,6 +282,13 @@ pub struct SiteEngine {
     pub(crate) standalone_copiers: HashMap<ReqId, (SiteId, Vec<ItemId>)>,
     /// Next request id.
     pub(crate) next_req: u64,
+    /// Not-yet-replayed committed image after an instant restart (see
+    /// [`SiteEngine::preload_lazy`]). `None` once replay completes, so
+    /// the steady-state cost is one branch per database access.
+    lazy: Option<miniraid_storage::LazyImage>,
+    /// Reused buffer for predeclared lock plans (admission and waiter
+    /// readiness checks allocate nothing in steady state).
+    pub(crate) lock_plan_scratch: Vec<(ItemId, crate::locks::LockMode)>,
 }
 
 impl SiteEngine {
@@ -319,6 +326,8 @@ impl SiteEngine {
             refresh: RefreshMode::Idle,
             standalone_copiers: HashMap::new(),
             next_req: 1,
+            lazy: None,
+            lock_plan_scratch: Vec::new(),
             config,
         }
     }
@@ -336,6 +345,55 @@ impl SiteEngine {
             self.db
                 .put(item.0, value)
                 .expect("preloaded item within database universe");
+        }
+    }
+
+    /// Preload the local database copy *lazily* from a REDO-log image
+    /// (instant restart): the engine becomes operational immediately and
+    /// replays items on first access, while the driver pumps
+    /// [`SiteEngine::hydrate_step`] in the background. The alternative,
+    /// [`SiteEngine::preload_db`], applies everything up front.
+    pub fn preload_lazy(&mut self, image: miniraid_storage::LazyImage) {
+        self.lazy = (image.remaining() > 0).then_some(image);
+    }
+
+    /// Items still awaiting background replay (0 = fully hydrated).
+    pub fn hydration_remaining(&self) -> u32 {
+        self.lazy.as_ref().map(|l| l.remaining()).unwrap_or(0)
+    }
+
+    /// Background replay: hydrate up to `max` items from the restart
+    /// image, returning how many remain afterwards.
+    pub fn hydrate_step(&mut self, max: u32) -> u32 {
+        let Some(lazy) = self.lazy.as_mut() else {
+            return 0;
+        };
+        for _ in 0..max {
+            match lazy.take_next() {
+                Some((item, value)) => {
+                    let _ = self.db.put_if_fresher(item, value);
+                }
+                None => break,
+            }
+        }
+        let remaining = lazy.remaining();
+        if remaining == 0 {
+            self.lazy = None;
+        }
+        remaining
+    }
+
+    /// On-demand chain replay of one item, called before every database
+    /// access. A no-op (single branch) once the restart image is drained.
+    #[inline]
+    pub(crate) fn hydrate(&mut self, item: ItemId) {
+        if let Some(lazy) = self.lazy.as_mut() {
+            if let Some(value) = lazy.take(item.0) {
+                let _ = self.db.put_if_fresher(item.0, value);
+            }
+            if lazy.remaining() == 0 {
+                self.lazy = None;
+            }
         }
     }
 
@@ -433,6 +491,16 @@ impl SiteEngine {
         self.metrics.transport_retransmits = retransmits;
         self.metrics.transport_dup_drops = dup_drops;
         self.metrics.transport_reconnects = reconnects;
+    }
+
+    /// Fold cumulative REDO-WAL counters (group-commit fsyncs, commit
+    /// records, records of any kind) into the engine metrics so they
+    /// appear in the site's exposition. Values are absolute; the driving
+    /// loop calls this before rendering metrics.
+    pub fn note_wal(&mut self, fsyncs: u64, commit_records: u64, records: u64) {
+        self.metrics.wal_fsyncs = fsyncs;
+        self.metrics.wal_commit_records = commit_records;
+        self.metrics.wal_records = records;
     }
 
     /// Remember a committed participant decision for duplicate-`Commit`
@@ -841,6 +909,7 @@ impl SiteEngine {
         let mut persisted = Vec::new();
         for (item, value) in writes {
             if self.replication.holds(*item, self.id) {
+                self.hydrate(*item);
                 // Version-ordered apply (versions are transaction ids):
                 // identical to an unconditional write under serial
                 // processing, and makes copies converge to the freshest

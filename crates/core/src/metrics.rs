@@ -130,6 +130,13 @@ pub struct EngineMetrics {
     pub transport_dup_drops: u64,
     /// TCP reconnect attempts made after a peer connection died.
     pub transport_reconnects: u64,
+    /// Group-commit fsyncs issued by this site's REDO WAL (durable
+    /// deployments only; folded in by the driving loop via `note_wal`).
+    pub wal_fsyncs: u64,
+    /// Commit records appended to the REDO WAL.
+    pub wal_commit_records: u64,
+    /// REDO WAL records of any kind appended.
+    pub wal_records: u64,
 }
 
 impl EngineMetrics {

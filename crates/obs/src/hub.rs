@@ -64,16 +64,61 @@ impl HubSnapshot {
     }
 }
 
+/// Engine-counter aggregates for one replication group, folded from
+/// its member sites' [`miniraid_core::metrics::EngineMetrics`] (or
+/// scraped from their text expositions). Concurrency counters take the
+/// member maximum — the group's high-water mark is the busiest member's
+/// — while event counters sum across members.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardEngineStats {
+    /// Highest concurrent in-flight coordinated transactions on any
+    /// member (max across sites).
+    pub inflight_high_water: u64,
+    /// Admitted transactions that waited for a predeclared lock
+    /// (summed across members).
+    pub lock_waits: u64,
+    /// Admissions with every predeclared lock granted immediately
+    /// (summed across members).
+    pub lock_grants_immediate: u64,
+    /// Group-commit fsyncs issued by members' REDO WALs (summed;
+    /// durable deployments only).
+    pub wal_fsyncs: u64,
+    /// Commit records appended to members' REDO WALs (summed).
+    pub wal_commit_records: u64,
+}
+
+impl ShardEngineStats {
+    /// Fold one member site's counters into this group aggregate.
+    pub fn fold_site(&mut self, m: &miniraid_core::metrics::EngineMetrics) {
+        self.inflight_high_water = self.inflight_high_water.max(m.inflight_high_water);
+        self.lock_waits += m.lock_waits;
+        self.lock_grants_immediate += m.lock_grants_immediate;
+        self.wal_fsyncs += m.wal_fsyncs;
+        self.wal_commit_records += m.wal_commit_records;
+    }
+
+    /// Merge another aggregate of the same group into this one.
+    pub fn merge(&mut self, other: &ShardEngineStats) {
+        self.inflight_high_water = self.inflight_high_water.max(other.inflight_high_water);
+        self.lock_waits += other.lock_waits;
+        self.lock_grants_immediate += other.lock_grants_immediate;
+        self.wal_fsyncs += other.wal_fsyncs;
+        self.wal_commit_records += other.wal_commit_records;
+    }
+}
+
 /// Histogram state of a sharded deployment: one [`HubSnapshot`] per
 /// replication group — each merged from that group's sites, so every
 /// latency edge stays attributed to the shard that produced it — plus
-/// the top-level cross-shard commit histogram, which belongs to no
-/// single group (it spans the prepare of the first branch to the
-/// confirmation of the last).
+/// per-group engine-counter aggregates and the top-level cross-shard
+/// commit histogram, which belongs to no single group (it spans the
+/// prepare of the first branch to the confirmation of the last).
 #[derive(Debug, Default, Clone)]
 pub struct ShardedSnapshot {
     /// Merged per-shard snapshots, indexed by shard id.
     pub per_shard: Vec<HubSnapshot>,
+    /// Per-shard engine-counter aggregates, indexed by shard id.
+    pub engine: Vec<ShardEngineStats>,
     /// Client-observed cross-shard commit latency (first prepare sent →
     /// every branch confirmed), in microseconds.
     pub cross_commit: LatencyHistogram,
@@ -84,6 +129,7 @@ impl ShardedSnapshot {
     pub fn new(n_shards: usize) -> Self {
         ShardedSnapshot {
             per_shard: vec![HubSnapshot::default(); n_shards],
+            engine: vec![ShardEngineStats::default(); n_shards],
             cross_commit: LatencyHistogram::new(),
         }
     }
@@ -93,11 +139,23 @@ impl ShardedSnapshot {
         self.per_shard[shard].merge(snapshot);
     }
 
+    /// Fold one member site's engine counters into its shard's slot.
+    pub fn merge_site_engine(
+        &mut self,
+        shard: usize,
+        metrics: &miniraid_core::metrics::EngineMetrics,
+    ) {
+        self.engine[shard].fold_site(metrics);
+    }
+
     /// Merge another sharded aggregation (same shard count) into this
     /// one.
     pub fn merge(&mut self, other: &ShardedSnapshot) {
         assert_eq!(self.per_shard.len(), other.per_shard.len());
         for (mine, theirs) in self.per_shard.iter_mut().zip(&other.per_shard) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.engine.iter_mut().zip(&other.engine) {
             mine.merge(theirs);
         }
         self.cross_commit.merge(&other.cross_commit);

@@ -49,8 +49,16 @@ fn reason_from_name(name: &str) -> Option<AbortReason> {
 
 /// Encode one event as a single JSON line (no trailing newline).
 pub fn encode_event(event: &TraceEvent) -> String {
-    use std::fmt::Write as _;
     let mut s = String::with_capacity(96);
+    encode_event_into(event, &mut s);
+    s
+}
+
+/// Encode one event into a caller-supplied buffer (appended, no
+/// trailing newline) — the hot-path variant: a reused buffer makes
+/// trace emission allocation-free in steady state.
+pub fn encode_event_into(event: &TraceEvent, s: &mut String) {
+    use std::fmt::Write as _;
     let _ = write!(
         s,
         "{{\"t\":\"{}\",\"site\":{}",
@@ -112,7 +120,6 @@ pub fn encode_event(event: &TraceEvent) -> String {
         | EventKind::ParticipantCommitted => {}
     }
     s.push('}');
-    s
 }
 
 /// A parsed flat-JSON value.
@@ -312,8 +319,17 @@ pub fn parse_event(line: &str) -> Result<TraceEvent, String> {
 }
 
 /// A [`TraceSink`] appending one JSON line per event to a file.
+///
+/// The line buffer lives behind the same mutex as the writer and is
+/// reused across events, so recording allocates nothing in steady
+/// state.
 pub struct JsonlSink {
-    writer: Mutex<BufWriter<File>>,
+    inner: Mutex<JsonlInner>,
+}
+
+struct JsonlInner {
+    writer: BufWriter<File>,
+    scratch: String,
 }
 
 impl std::fmt::Debug for JsonlSink {
@@ -327,29 +343,38 @@ impl JsonlSink {
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let file = File::create(path)?;
         Ok(JsonlSink {
-            writer: Mutex::new(BufWriter::new(file)),
+            inner: Mutex::new(JsonlInner {
+                writer: BufWriter::new(file),
+                scratch: String::with_capacity(96),
+            }),
         })
     }
 
     /// Flush buffered lines to the file.
     pub fn flush(&self) -> std::io::Result<()> {
-        self.writer.lock().expect("jsonl sink poisoned").flush()
+        self.inner
+            .lock()
+            .expect("jsonl sink poisoned")
+            .writer
+            .flush()
     }
 }
 
 impl TraceSink for JsonlSink {
     fn record(&self, event: TraceEvent) {
-        let line = encode_event(&event);
-        let mut writer = self.writer.lock().expect("jsonl sink poisoned");
-        let _ = writer.write_all(line.as_bytes());
-        let _ = writer.write_all(b"\n");
+        let mut guard = self.inner.lock().expect("jsonl sink poisoned");
+        let inner = &mut *guard;
+        inner.scratch.clear();
+        encode_event_into(&event, &mut inner.scratch);
+        inner.scratch.push('\n');
+        let _ = inner.writer.write_all(inner.scratch.as_bytes());
     }
 }
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
-        if let Ok(mut writer) = self.writer.lock() {
-            let _ = writer.flush();
+        if let Ok(mut inner) = self.inner.lock() {
+            let _ = inner.writer.flush();
         }
     }
 }

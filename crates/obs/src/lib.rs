@@ -28,6 +28,6 @@ pub mod sink;
 
 pub use analyze::{analyze, read_trace, render_report, TraceAnalysis, TxnBreakdown, TxnEnd};
 pub use hist::LatencyHistogram;
-pub use hub::{HubSnapshot, MetricsHub, ShardedSnapshot};
-pub use json::{encode_event, parse_event, JsonlSink};
+pub use hub::{HubSnapshot, MetricsHub, ShardEngineStats, ShardedSnapshot};
+pub use json::{encode_event, encode_event_into, parse_event, JsonlSink};
 pub use sink::{CollectSink, NullSink, RingSink, TeeSink};

@@ -1,23 +1,40 @@
-//! [`DurableStore`]: the in-memory table fronted by a WAL and snapshots.
+//! [`DurableStore`]: the in-memory table fronted by a REDO-only WAL and
+//! snapshots.
 //!
 //! This is the production-path storage a site would run with; the paper's
 //! experiments use bare [`MemStore`] (I/O factored out), and the protocol
 //! engine is generic over which one it drives.
+//!
+//! Durability is **group-committed**: [`DurableStore::commit`] only
+//! appends a self-contained REDO record; nothing reaches the disk until
+//! [`DurableStore::sync`] (one fsync for every record appended since the
+//! last sync) or drop. The driving site loop batches appends from all
+//! in-flight transactions and holds back any message that would announce
+//! a commit until the group fsync covering it completes, so the external
+//! durability contract is unchanged — only the fsync count drops.
+//!
+//! Restart is **instant**: [`DurableStore::open`] scans the log for frame
+//! integrity and per-item chain heads but does not apply values. Reads
+//! hydrate on demand from the [`LazyImage`]; [`DurableStore::hydrate_step`]
+//! replays the rest in the background.
 
 use std::path::{Path, PathBuf};
 
 use std::collections::HashMap;
 
 use crate::mem::MemStore;
+use crate::redo::{GroupCommitWal, LazyImage, WalCounters};
 use crate::snapshot::Snapshot;
-use crate::wal::{committed_writes, protocol_state, Wal, WalRecord};
 use crate::{ItemValue, Result};
 
-/// A crash-recoverable store: `MemStore` + WAL + snapshot checkpointing.
+/// A crash-recoverable store: `MemStore` + group-commit REDO WAL +
+/// snapshot checkpointing.
 #[derive(Debug)]
 pub struct DurableStore {
     mem: MemStore,
-    wal: Wal,
+    /// Logged values not yet applied to `mem` (instant restart).
+    image: LazyImage,
+    wal: GroupCommitWal,
     wal_path: PathBuf,
     snap_path: PathBuf,
     last_txn: u64,
@@ -28,38 +45,30 @@ pub struct DurableStore {
 }
 
 impl DurableStore {
-    /// Open a durable store in `dir`, recovering committed state from the
-    /// latest snapshot (if any) plus the committed WAL suffix.
+    /// Open a durable store in `dir`. Returns immediately after scanning
+    /// the log (frame validation + chain heads) — committed values are
+    /// *reachable* but not yet applied; they hydrate on first read or via
+    /// [`DurableStore::hydrate_step`].
     pub fn open(dir: &Path, size: u32) -> Result<DurableStore> {
         std::fs::create_dir_all(dir)?;
-        let wal_path = dir.join("site.wal");
+        let wal_path = dir.join("site.redo");
         let snap_path = dir.join("site.snap");
 
-        let (mut mem, mut last_txn) = match Snapshot::read_from(&snap_path)? {
+        let (mem, snap_txn) = match Snapshot::read_from(&snap_path)? {
             Some(snap) => (snap.store, snap.last_txn),
             None => (MemStore::new(size), 0),
         };
-        let records = Wal::read_all(&wal_path)?;
-        for (item, value) in committed_writes(&records) {
-            mem.put(item, value)?;
-            last_txn = last_txn.max(value.version);
-        }
-        // Track commit ids too (a committed txn may have zero writes).
-        for rec in &records {
-            if let WalRecord::Commit { txn } = rec {
-                last_txn = last_txn.max(*txn);
-            }
-        }
-        let (faillocks, session) = protocol_state(&records);
-        let wal = Wal::open(&wal_path)?;
+        let (wal, state) = GroupCommitWal::open(&wal_path, size)?;
+        let image = LazyImage::new(&state);
         Ok(DurableStore {
             mem,
+            image,
             wal,
             wal_path,
             snap_path,
-            last_txn,
-            faillocks,
-            session,
+            last_txn: snap_txn.max(state.last_txn),
+            faillocks: state.faillocks,
+            session: state.session,
         })
     }
 
@@ -73,34 +82,47 @@ impl DurableStore {
         self.session
     }
 
-    /// Durably log the site's session number.
+    /// Writer-side counters (fsyncs, commit records, bytes), shared.
+    pub fn counters(&self) -> std::sync::Arc<WalCounters> {
+        self.wal.counters()
+    }
+
+    /// A handle to the not-yet-replayed committed image, for a protocol
+    /// engine that wants to hydrate its own table lazily (instant
+    /// restart). The clone tracks its hydration progress independently.
+    pub fn image(&self) -> LazyImage {
+        self.image.clone()
+    }
+
+    /// Log the site's session number. Buffered: rides the next group
+    /// sync (the site loop holds the recovery announcement until then).
     pub fn log_session(&mut self, session: u64) -> Result<()> {
-        self.wal.append(&WalRecord::Session { session })?;
-        self.wal.sync()?;
+        self.wal.append_session(session)?;
         self.session = session;
         Ok(())
     }
 
-    /// Durably record fail-lock words alongside whatever was last
-    /// committed (call after [`DurableStore::commit`], or standalone for
-    /// clear-fail-lock traffic).
+    /// Record fail-lock words alongside whatever was last committed
+    /// (standalone clear-fail-lock traffic; commit-attached words travel
+    /// inside [`DurableStore::commit`]). Buffered into the group batch —
+    /// fail-lock durability needs no fsync of its own.
     pub fn log_faillocks(&mut self, words: &[(u32, u64)]) -> Result<()> {
         if words.is_empty() {
             return Ok(());
         }
+        self.wal.append_faillocks(words)?;
         for (item, word) in words {
-            self.wal.append(&WalRecord::FailLocks {
-                item: *item,
-                word: *word,
-            })?;
             self.faillocks.insert(*item, *word);
         }
-        self.wal.sync()?;
         Ok(())
     }
 
-    /// Read one item.
-    pub fn get(&self, item: u32) -> Result<ItemValue> {
+    /// Read one item, hydrating it from the log image if this is the
+    /// first access since restart (on-demand chain replay).
+    pub fn get(&mut self, item: u32) -> Result<ItemValue> {
+        if let Some(v) = self.image.take(item) {
+            self.mem.put(item, v)?;
+        }
         self.mem.get(item)
     }
 
@@ -109,63 +131,127 @@ impl DurableStore {
         self.last_txn
     }
 
-    /// Access the in-memory table (e.g. for digests).
+    /// Access the in-memory table (e.g. for digests). Excludes items not
+    /// yet replayed after a restart — call [`DurableStore::hydrate_all`]
+    /// first when the full image is needed.
     pub fn mem(&self) -> &MemStore {
         &self.mem
     }
 
-    /// Durably apply a committed transaction's writes: log, fsync, then
-    /// update the in-memory table.
-    pub fn commit(&mut self, txn: u64, writes: &[(u32, ItemValue)]) -> Result<()> {
-        self.wal.append(&WalRecord::Begin { txn })?;
-        for (item, value) in writes {
-            self.wal.append(&WalRecord::Write {
-                txn,
-                item: *item,
-                value: *value,
-            })?;
+    /// Items still awaiting background replay.
+    pub fn pending_items(&self) -> u32 {
+        self.image.remaining()
+    }
+
+    /// Background replay: hydrate up to `max` items, returning how many
+    /// remain afterwards.
+    pub fn hydrate_step(&mut self, max: u32) -> Result<u32> {
+        for _ in 0..max {
+            match self.image.take_next() {
+                Some((item, v)) => self.mem.put(item, v)?,
+                None => break,
+            }
         }
-        self.wal.append(&WalRecord::Commit { txn })?;
-        self.wal.sync()?;
+        Ok(self.image.remaining())
+    }
+
+    /// Replay everything still pending.
+    pub fn hydrate_all(&mut self) -> Result<()> {
+        while let Some((item, v)) = self.image.take_next() {
+            self.mem.put(item, v)?;
+        }
+        Ok(())
+    }
+
+    /// Apply a committed transaction: append one self-contained REDO
+    /// record (write set + fail-lock words) and update the table.
+    /// **Not durable** until the next [`DurableStore::sync`] — the group
+    /// commit the caller schedules.
+    pub fn commit_with_locks(
+        &mut self,
+        txn: u64,
+        writes: &[(u32, ItemValue)],
+        faillocks: &[(u32, u64)],
+    ) -> Result<()> {
+        self.wal.append_commit(txn, writes, faillocks)?;
         for (item, value) in writes {
+            // The fresh write supersedes whatever the restart image held
+            // (version-ordered apply happens upstream in the engine).
+            self.image.supersede(*item);
             self.mem.put(*item, *value)?;
+        }
+        for (item, word) in faillocks {
+            self.faillocks.insert(*item, *word);
         }
         self.last_txn = self.last_txn.max(txn);
         Ok(())
     }
 
-    /// Record an aborted transaction (keeps the log self-describing).
-    pub fn abort(&mut self, txn: u64) -> Result<()> {
-        self.wal.append(&WalRecord::Abort { txn })?;
-        self.wal.sync()?;
+    /// [`DurableStore::commit_with_locks`] without fail-lock words.
+    pub fn commit(&mut self, txn: u64, writes: &[(u32, ItemValue)]) -> Result<()> {
+        self.commit_with_locks(txn, writes, &[])
+    }
+
+    /// Group commit: one fsync covering every record appended since the
+    /// last sync. A no-op if nothing is pending.
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.sync()
+    }
+
+    /// True if appended records await their group fsync.
+    pub fn has_unsynced(&self) -> bool {
+        self.wal.has_unsynced()
+    }
+
+    /// Commit records appended since the last sync (group size so far).
+    pub fn pending_commits(&self) -> u32 {
+        self.wal.pending_commits()
+    }
+
+    /// Record an aborted transaction. REDO-only logging writes nothing:
+    /// uncommitted work never reaches the log, so an abort needs neither
+    /// a record nor durability. Kept for API compatibility.
+    pub fn abort(&mut self, _txn: u64) -> Result<()> {
         Ok(())
     }
 
-    /// Take a snapshot and truncate the WAL to a checkpoint marker.
+    /// Take a snapshot and start a fresh log with a checkpoint marker.
+    /// Hydrates any not-yet-replayed items first so the snapshot is the
+    /// full committed image.
     pub fn checkpoint(&mut self) -> Result<()> {
+        self.hydrate_all()?;
+        self.wal.sync()?;
         let snap = Snapshot {
             store: self.mem.clone(),
             last_txn: self.last_txn,
         };
         snap.write_to(&self.snap_path)?;
-        // Start a fresh WAL containing the checkpoint marker plus the
+        // Start a fresh log containing the checkpoint marker plus the
         // protocol state (fail-locks, session) the snapshot doesn't hold.
         std::fs::remove_file(&self.wal_path)?;
-        self.wal = Wal::open(&self.wal_path)?;
-        self.wal
-            .append(&WalRecord::Checkpoint { txn: self.last_txn })?;
+        let counters = self.wal.counters();
+        let (wal, _) =
+            GroupCommitWal::open_with_counters(&self.wal_path, self.mem.size(), counters)?;
+        self.wal = wal;
+        self.wal.append_checkpoint(self.last_txn)?;
         if self.session > 0 {
-            self.wal.append(&WalRecord::Session {
-                session: self.session,
-            })?;
+            self.wal.append_session(self.session)?;
         }
         let mut words: Vec<(u32, u64)> = self.faillocks.iter().map(|(i, w)| (*i, *w)).collect();
         words.sort_unstable();
-        for (item, word) in words {
-            self.wal.append(&WalRecord::FailLocks { item, word })?;
-        }
+        self.wal.append_faillocks(&words)?;
         self.wal.sync()?;
         Ok(())
+    }
+}
+
+impl Drop for DurableStore {
+    /// Clean shutdown is durable: flush + fsync whatever the last group
+    /// didn't cover. (A crash instead loses only records whose effects
+    /// were never announced — the site loop holds outbound messages
+    /// until their group's fsync completes.)
+    fn drop(&mut self) {
+        let _ = self.wal.sync();
     }
 }
 
@@ -189,10 +275,27 @@ mod tests {
             s.commit(2, &[(4, ItemValue::new(40, 2)), (3, ItemValue::new(31, 2))])
                 .unwrap();
         }
-        let s = DurableStore::open(&dir, 10).unwrap();
+        let mut s = DurableStore::open(&dir, 10).unwrap();
         assert_eq!(s.get(3).unwrap(), ItemValue::new(31, 2));
         assert_eq!(s.get(4).unwrap(), ItemValue::new(40, 2));
         assert_eq!(s.last_txn(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commits_share_one_fsync_per_group() {
+        let dir = tmpdir("group");
+        let mut s = DurableStore::open(&dir, 10).unwrap();
+        let counters = s.counters();
+        for txn in 1..=8u64 {
+            s.commit(txn, &[(0, ItemValue::new(txn, txn))]).unwrap();
+        }
+        assert_eq!(s.pending_commits(), 8);
+        s.sync().unwrap();
+        s.sync().unwrap();
+        assert_eq!(counters.fsyncs(), 1);
+        assert_eq!(counters.commits(), 8);
+        drop(s);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -204,7 +307,7 @@ mod tests {
             s.commit(1, &[(0, ItemValue::new(1, 1))]).unwrap();
             s.abort(2).unwrap();
         }
-        let s = DurableStore::open(&dir, 10).unwrap();
+        let mut s = DurableStore::open(&dir, 10).unwrap();
         assert_eq!(s.get(0).unwrap(), ItemValue::new(1, 1));
         assert_eq!(s.last_txn(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -219,7 +322,7 @@ mod tests {
             s.checkpoint().unwrap();
             s.commit(2, &[(1, ItemValue::new(20, 2))]).unwrap();
         }
-        let s = DurableStore::open(&dir, 6).unwrap();
+        let mut s = DurableStore::open(&dir, 6).unwrap();
         assert_eq!(s.get(0).unwrap(), ItemValue::new(10, 1));
         assert_eq!(s.get(1).unwrap(), ItemValue::new(20, 2));
         assert_eq!(s.last_txn(), 2);
@@ -253,6 +356,50 @@ mod tests {
         }
         let s = DurableStore::open(&dir, 4).unwrap();
         assert_eq!(s.last_txn(), 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restart_hydrates_lazily_and_background_replay_converges() {
+        let dir = tmpdir("lazy");
+        {
+            let mut s = DurableStore::open(&dir, 8).unwrap();
+            for txn in 1..=6u64 {
+                let item = (txn % 3) as u32;
+                s.commit(txn, &[(item, ItemValue::new(txn * 10, txn))])
+                    .unwrap();
+            }
+        }
+        let mut s = DurableStore::open(&dir, 8).unwrap();
+        // Instant restart: values are pending, not applied.
+        assert_eq!(s.pending_items(), 3);
+        assert_eq!(s.mem().get(0).unwrap(), ItemValue::INITIAL);
+        // On-demand read hydrates just that item.
+        assert_eq!(s.get(0).unwrap(), ItemValue::new(60, 6));
+        assert_eq!(s.pending_items(), 2);
+        // Background replay finishes the rest.
+        assert_eq!(s.hydrate_step(1).unwrap(), 1);
+        assert_eq!(s.hydrate_step(10).unwrap(), 0);
+        assert_eq!(s.mem().get(1).unwrap(), ItemValue::new(40, 4));
+        assert_eq!(s.mem().get(2).unwrap(), ItemValue::new(50, 5));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_after_instant_restart_supersedes_pending_image() {
+        let dir = tmpdir("supersede");
+        {
+            let mut s = DurableStore::open(&dir, 4).unwrap();
+            s.commit(1, &[(0, ItemValue::new(10, 1))]).unwrap();
+        }
+        let mut s = DurableStore::open(&dir, 4).unwrap();
+        assert_eq!(s.pending_items(), 1);
+        s.commit(2, &[(0, ItemValue::new(20, 2))]).unwrap();
+        assert_eq!(s.pending_items(), 0);
+        assert_eq!(s.get(0).unwrap(), ItemValue::new(20, 2));
+        drop(s);
+        let mut s = DurableStore::open(&dir, 4).unwrap();
+        assert_eq!(s.get(0).unwrap(), ItemValue::new(20, 2));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -15,11 +15,13 @@
 pub mod checksum;
 pub mod durable;
 pub mod mem;
+pub mod redo;
 pub mod snapshot;
 pub mod wal;
 
 pub use durable::DurableStore;
 pub use mem::MemStore;
+pub use redo::{GroupCommitWal, LazyImage, WalCounters};
 pub use wal::{Wal, WalRecord};
 
 use serde::{Deserialize, Serialize};

@@ -110,7 +110,10 @@ fn committed_state_can_be_made_durable_and_recovered() {
         let writes: Vec<(u32, ItemValue)> = engine_db.iter().collect();
         store.commit(9999, &writes).unwrap();
     } // crash
-    let store = DurableStore::open(&dir, 20).unwrap();
+    let mut store = DurableStore::open(&dir, 20).unwrap();
+    // Restart is instant: the image hydrates lazily, so force full
+    // replay before digesting the in-memory store.
+    store.hydrate_all().unwrap();
     assert_eq!(
         store.mem().digest(),
         manager.sim.engine(SiteId(0)).db().digest(),
