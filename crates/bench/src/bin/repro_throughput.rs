@@ -10,9 +10,20 @@
 //! with a deeper pipeline those rounds overlap and the transport
 //! coalesces concurrent messages into batched frames.
 //!
+//! After the pipeline sweep, a second sweep drives the cluster
+//! **open-loop at fixed target rates** through
+//! [`miniraid_obs::OpenLoopRecorder`]: the submission schedule is fixed
+//! in advance, and every completion is measured both against its actual
+//! submission (service time — what a closed-loop driver would report)
+//! and against its intended slot (response time — what a punctual
+//! client would have experienced, queue wait included). Above the
+//! sustainable rate the two diverge sharply; reporting only the former
+//! is the *coordinated omission* mistake. See DESIGN.md §12.
+//!
 //! Run: `cargo run --release -p miniraid-bench --bin repro_throughput`
 //!
-//! Writes `BENCH_throughput.json` in the working directory.
+//! Writes `BENCH_throughput.json` and `BENCH_openloop.json` in the
+//! working directory.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -21,7 +32,7 @@ use miniraid_cluster::{Cluster, ClusterTiming};
 use miniraid_core::config::ProtocolConfig;
 use miniraid_core::ids::{ItemId, SiteId, TxnId};
 use miniraid_core::ops::{Operation, Transaction};
-use miniraid_obs::LatencyHistogram;
+use miniraid_obs::{LatencyHistogram, OpenLoopRecorder};
 
 /// Sites in the cluster (the paper's mini-RAID ran on 4 SUN-3s; one is
 /// the managing site, so 3 database sites).
@@ -159,6 +170,167 @@ fn run_sweep_point(max_inflight: usize) -> SweepPoint {
     }
 }
 
+/// One fixed-rate open-loop measurement.
+struct OpenLoopPoint {
+    target_tps: f64,
+    issued: u64,
+    committed: u64,
+    aborted: u64,
+    elapsed: Duration,
+    /// Completion − actual submission (the closed-loop illusion).
+    service: LatencyHistogram,
+    /// Completion − intended slot (coordinated-omission-corrected).
+    response: LatencyHistogram,
+}
+
+impl OpenLoopPoint {
+    fn achieved_tps(&self) -> f64 {
+        self.committed as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// The driver's connection-pool bound: like any real client, it holds
+/// at most this many transactions outstanding (the cluster's aggregate
+/// pipeline depth). Under overload the *schedule* keeps its fixed
+/// arrival times while the pool forces actual submissions to drift
+/// later and later — exactly the stall a closed-loop driver silently
+/// omits from its latency record.
+const MAX_OUTSTANDING: usize = 12;
+
+/// Drive the cluster at a fixed arrival rate: one transaction every
+/// `1e6 / target_tps` microseconds on a schedule fixed before the run,
+/// regardless of how far behind the pipeline falls. Pipeline depth is
+/// the sweep's best point (`max_inflight = 4`).
+fn run_open_loop_point(target_tps: f64, total: u64) -> OpenLoopPoint {
+    let config = ProtocolConfig {
+        db_size: N_SITES as u32 * SHARD * WRITES_PER_TXN,
+        n_sites: N_SITES,
+        max_inflight: 4,
+        ..ProtocolConfig::default()
+    };
+    let (cluster, mut client) =
+        Cluster::launch_with_latency(config, ClusterTiming::default(), LATENCY);
+
+    let interval_us = (1e6 / target_tps).round().max(1.0) as u64;
+    let mut rec = OpenLoopRecorder::new(0, interval_us);
+    // Txn id → (intended slot, actual submission), both µs since epoch.
+    let mut meta: HashMap<TxnId, (u64, u64)> = HashMap::new();
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let mut per_site_k = vec![0u64; N_SITES as usize];
+
+    let epoch = Instant::now();
+    let now_us = |epoch: &Instant| epoch.elapsed().as_micros() as u64;
+
+    let mut collected = 0u64;
+    while rec.issued() < total {
+        let intended = rec.next_intended();
+        // Wait for the schedule slot AND a free pool slot, draining
+        // completions meanwhile. Past the sustainable rate the pool is
+        // what stalls: the intended slot is long gone by the time a
+        // transaction can actually be submitted, and only the
+        // response-time histogram remembers that.
+        loop {
+            for report in client.drain_reports() {
+                collected += 1;
+                let done = now_us(&epoch);
+                if let Some((slot, sent)) = meta.remove(&report.txn) {
+                    if report.outcome.is_committed() {
+                        committed += 1;
+                        rec.record(slot, sent, done);
+                    } else {
+                        aborted += 1;
+                    }
+                }
+            }
+            if now_us(&epoch) >= intended && meta.len() < MAX_OUTSTANDING {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        let site = SiteId((rec.issued() as u8 - 1) % N_SITES);
+        let k = &mut per_site_k[site.index()];
+        let id = client.next_txn_id();
+        meta.insert(id, (intended, now_us(&epoch)));
+        client.submit_txn(site, workload_txn(site, *k, id));
+        *k += 1;
+    }
+    // Drain the tail.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while collected < total && Instant::now() < deadline {
+        let reports = client.drain_reports();
+        if reports.is_empty() {
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        }
+        let done = now_us(&epoch);
+        for report in reports {
+            collected += 1;
+            if let Some((slot, sent)) = meta.remove(&report.txn) {
+                if report.outcome.is_committed() {
+                    committed += 1;
+                    rec.record(slot, sent, done);
+                } else {
+                    aborted += 1;
+                }
+            }
+        }
+    }
+    let elapsed = epoch.elapsed();
+    assert_eq!(
+        collected, total,
+        "open loop at {target_tps:.0} tps: only {collected}/{total} reports arrived"
+    );
+
+    client.terminate_all();
+    cluster.join(Duration::from_secs(5));
+
+    OpenLoopPoint {
+        target_tps,
+        issued: total,
+        committed,
+        aborted,
+        elapsed,
+        service: rec.service().clone(),
+        response: rec.response().clone(),
+    }
+}
+
+fn openloop_json(points: &[OpenLoopPoint], sustainable_tps: f64) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"repro_openloop\",\n");
+    json.push_str(&format!("  \"n_sites\": {N_SITES},\n"));
+    json.push_str(&format!(
+        "  \"intersite_latency_ms\": {},\n",
+        LATENCY.as_millis()
+    ));
+    json.push_str(&format!("  \"writes_per_txn\": {WRITES_PER_TXN},\n"));
+    json.push_str("  \"max_inflight\": 4,\n");
+    json.push_str(&format!(
+        "  \"sustainable_tps_closed_loop\": {sustainable_tps:.1},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let (s50, s90, s99, smax) = p.service.summary();
+        let (r50, r90, r99, rmax) = p.response.summary();
+        json.push_str(&format!(
+            "    {{\"target_tps\": {:.1}, \"achieved_tps\": {:.1}, \
+             \"issued\": {}, \"committed\": {}, \"aborted\": {}, \
+             \"service_us\": {{\"p50\": {s50}, \"p90\": {s90}, \"p99\": {s99}, \"max\": {smax}}}, \
+             \"response_us\": {{\"p50\": {r50}, \"p90\": {r90}, \"p99\": {r99}, \"max\": {rmax}}}}}{}\n",
+            p.target_tps,
+            p.achieved_tps(),
+            p.issued,
+            p.committed,
+            p.aborted,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
 fn main() {
     println!(
         "pipelined-throughput sweep: {N_SITES} sites, {TXNS_PER_SITE} txns/site, \
@@ -244,4 +416,53 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
     println!("wrote BENCH_throughput.json");
+
+    // ---- open-loop (coordinated-omission-free) sweep -------------------
+    // Rates are anchored to the *measured* closed-loop throughput at
+    // max_inflight = 4: well under, near, and deliberately above it.
+    // The overloaded point is where coordinated omission would lie.
+    let sustainable = at4;
+    println!("\nopen-loop sweep (max_inflight=4, sustainable ≈ {sustainable:.0} tps closed-loop)");
+    println!(
+        "{:>10} {:>10} {:>9} {:>12} {:>12} {:>13} {:>13}",
+        "target", "achieved", "committed", "svc p50 µs", "svc p99 µs", "resp p50 µs", "resp p99 µs"
+    );
+    let mut ol_points = Vec::new();
+    for factor in [0.5, 0.9, 1.4] {
+        let target = (sustainable * factor).max(10.0);
+        let point = run_open_loop_point(target, 240);
+        println!(
+            "{:>10.0} {:>10.0} {:>9} {:>12} {:>12} {:>13} {:>13}",
+            point.target_tps,
+            point.achieved_tps(),
+            point.committed,
+            point.service.quantile(0.5),
+            point.service.quantile(0.99),
+            point.response.quantile(0.5),
+            point.response.quantile(0.99),
+        );
+        ol_points.push(point);
+    }
+    let overload = ol_points.last().expect("sweep ran");
+    assert!(
+        overload.response.quantile(0.99) > overload.service.quantile(0.99),
+        "above the sustainable rate, coordinated-omission-corrected p99 \
+         ({}) must exceed the service-time p99 ({})",
+        overload.response.quantile(0.99),
+        overload.service.quantile(0.99),
+    );
+    println!(
+        "above sustainable rate: response p99 = {}µs vs service p99 = {}µs \
+         ({}x — the gap closed-loop reporting hides)",
+        overload.response.quantile(0.99),
+        overload.service.quantile(0.99),
+        overload.response.quantile(0.99) / overload.service.quantile(0.99).max(1),
+    );
+
+    std::fs::write(
+        "BENCH_openloop.json",
+        openloop_json(&ol_points, sustainable),
+    )
+    .expect("write BENCH_openloop.json");
+    println!("wrote BENCH_openloop.json");
 }

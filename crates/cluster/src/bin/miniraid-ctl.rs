@@ -6,14 +6,24 @@
 //! miniraid-ctl <n_sites> <base_port> fail <site>
 //! miniraid-ctl <n_sites> <base_port> recover <site>
 //! miniraid-ctl <n_sites> <base_port> metrics <site>       # Prometheus-style text
+//! miniraid-ctl <n_sites> <base_port> watch [interval_ms] [rounds] [--jsonl]
 //! miniraid-ctl <n_sites> <base_port> terminate
 //! miniraid-ctl trace <file.jsonl>                         # offline trace analysis
 //! ```
 //!
 //! `trace` is offline: it replays a JSONL trace (written by a site run
 //! with `MINIRAID_TRACE=<path>`, or by `trace-smoke`) into a
-//! per-transaction phase breakdown, a critical-path summary, and an
-//! ASCII commit-latency chart. It takes no cluster coordinates.
+//! per-transaction phase breakdown, a critical-path summary, an ASCII
+//! commit-latency chart and — when the trace carries causal trace ids —
+//! one reassembled span tree per traced (possibly cross-shard)
+//! transaction. It takes no cluster coordinates.
+//!
+//! `watch` scrapes every site's metrics exposition each interval and
+//! renders a refreshing health table (liveness + session epoch, commit
+//! p50/p99, lock-wait p99, per-interval abort deltas by reason,
+//! fsyncs per committed transaction, reliable-layer retransmits). With
+//! `--jsonl` it appends one machine-readable line per site per round to
+//! stdout instead; `rounds = 0` watches forever.
 
 use std::time::Duration;
 
@@ -25,7 +35,7 @@ use miniraid_net::tcp::{AddressPlan, TcpEndpoint};
 const WAIT: Duration = Duration::from_secs(10);
 
 fn main() {
-    let usage = "usage: miniraid-ctl <n_sites> <base_port> <txn|fail|recover|metrics|terminate> ...\n       miniraid-ctl trace <file.jsonl>";
+    let usage = "usage: miniraid-ctl <n_sites> <base_port> <txn|fail|recover|metrics|watch|terminate> ...\n       miniraid-ctl trace <file.jsonl>";
     let mut args = std::env::args().skip(1);
     let first = args.next().expect(usage);
     if first == "trace" {
@@ -78,11 +88,67 @@ fn main() {
                 .expect("metrics response");
             print!("{text}");
         }
+        "watch" => {
+            let rest: Vec<String> = args.collect();
+            let jsonl = rest.iter().any(|a| a == "--jsonl");
+            let mut nums = rest.iter().filter_map(|a| a.parse::<u64>().ok());
+            let interval = Duration::from_millis(nums.next().unwrap_or(1000));
+            let rounds = nums.next().unwrap_or(0);
+            watch(&mut client, interval, rounds, jsonl);
+        }
         "terminate" => {
             client.terminate_all();
             println!("sent Terminate to all {n_sites} sites");
         }
         other => panic!("unknown command '{other}'\n{usage}"),
+    }
+}
+
+/// Scrape every site each `interval` and render the health view.
+/// `rounds = 0` runs until interrupted. A site whose scrape times out
+/// is rendered as an empty (down, all-zero) row rather than aborting
+/// the watch — an unreachable site is exactly what the view is for.
+fn watch<T, M>(client: &mut ManagingClient<T, M>, interval: Duration, rounds: u64, jsonl: bool)
+where
+    T: miniraid_net::Transport,
+    M: miniraid_net::Mailbox,
+{
+    let timers = miniraid_core::config::ProtocolConfig::default();
+    let header = format!(
+        "miniraid watch — {} sites, every {}ms — cross-shard timers: vote {}ms, re-drive {}ms",
+        client.n_sites(),
+        interval.as_millis(),
+        timers.shard_vote_timeout_ms,
+        timers.shard_redrive_interval_ms,
+    );
+    let mut prev: Vec<miniraid_obs::SiteSample> = Vec::new();
+    let mut round = 0u64;
+    loop {
+        let mut samples = Vec::new();
+        for site in 0..client.n_sites() {
+            let sample = match client.fetch_metrics(SiteId(site), Duration::from_secs(2)) {
+                Ok(text) => miniraid_obs::parse_site_sample(site, &text),
+                Err(_) => miniraid_obs::SiteSample {
+                    site,
+                    ..Default::default()
+                },
+            };
+            samples.push(sample);
+        }
+        if jsonl {
+            for s in &samples {
+                let before = prev.iter().find(|p| p.site == s.site);
+                println!("{}", miniraid_obs::render_watch_jsonl(round, s, before));
+            }
+        } else {
+            println!("{}", miniraid_obs::render_watch(&header, &samples, &prev));
+        }
+        prev = samples;
+        round += 1;
+        if rounds != 0 && round >= rounds {
+            break;
+        }
+        std::thread::sleep(interval);
     }
 }
 
@@ -100,6 +166,11 @@ fn trace_report(path: &str) -> Result<String, String> {
             &series,
             12,
         ));
+    }
+    let spans = miniraid_obs::assemble_spans(&events);
+    if !spans.is_empty() {
+        out.push('\n');
+        out.push_str(&miniraid_obs::render_spans(&spans));
     }
     Ok(out)
 }

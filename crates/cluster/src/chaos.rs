@@ -45,6 +45,7 @@ use miniraid_core::error::AbortReason;
 use miniraid_core::ids::{ItemId, SiteId};
 use miniraid_core::messages::TxnOutcome;
 use miniraid_core::ops::{Operation, Transaction};
+use miniraid_core::trace::{ChaosAction, EventKind};
 use miniraid_net::fault::{FaultControl, FaultPlan};
 use miniraid_net::{Mailbox, Transport};
 use rand::rngs::StdRng;
@@ -768,6 +769,16 @@ impl<T: Transport, M: Mailbox> ShardHarness<T, M> {
         self.outcome.trace.push(line);
     }
 
+    /// Emit a schedule action as a [`EventKind::Chaos`] annotation into
+    /// the client's trace stream (no-op when tracing is off), so a
+    /// captured JSONL file interleaves kills and recoveries with the
+    /// transaction spans they disturbed.
+    fn annotate(&self, action: ChaosAction, target: SiteId) {
+        self.client
+            .tracer()
+            .emit_traced(None, 0, EventKind::Chaos { action, target });
+    }
+
     fn violation(&mut self, step: u32, what: String) {
         self.outcome
             .trace
@@ -991,10 +1002,12 @@ impl<T: Transport, M: Mailbox> ShardHarness<T, M> {
             .last_commit_coordinator(group)
             .unwrap_or(members[0]);
         for m in &members {
+            self.annotate(ChaosAction::Kill, *m);
             self.client.fail(*m);
             self.up[m.index()] = false;
         }
         std::thread::sleep(Duration::from_millis(50));
+        self.annotate(ChaosAction::Bootstrap, seed_site);
         match self.client.bootstrap(seed_site, MGMT_WAIT) {
             Ok(session) => {
                 self.up[seed_site.index()] = true;
@@ -1015,6 +1028,7 @@ impl<T: Transport, M: Mailbox> ShardHarness<T, M> {
             if self.up[m.index()] {
                 continue;
             }
+            self.annotate(ChaosAction::Recover, *m);
             match self.client.recover(*m, MGMT_WAIT) {
                 Ok(_) => self.up[m.index()] = true,
                 Err(e) => {
@@ -1052,6 +1066,7 @@ impl<T: Transport, M: Mailbox> ShardHarness<T, M> {
                 if self.up[m.index()] {
                     continue;
                 }
+                self.annotate(ChaosAction::Recover, m);
                 match self.client.recover(m, MGMT_WAIT) {
                     Ok(session) => {
                         self.up[m.index()] = true;
@@ -1099,8 +1114,10 @@ impl<T: Transport, M: Mailbox> ShardHarness<T, M> {
         // timeout here means the site's donors went down invisibly
         // after the rejoin pass — reset the whole group.
         for i in 0..self.spec.n_physical_sites() {
+            self.annotate(ChaosAction::Kill, SiteId(i));
             self.client.fail(SiteId(i));
             std::thread::sleep(Duration::from_millis(50));
+            self.annotate(ChaosAction::Recover, SiteId(i));
             match self.client.recover(SiteId(i), MGMT_WAIT) {
                 Ok(session) => {
                     self.up[i as usize] = true;
@@ -1248,9 +1265,16 @@ pub fn run_sharded_chaos(opts: ShardChaosOptions) -> ChaosOutcome {
         duplicate: opts.duplicate,
         ..FaultPlan::none(opts.seed)
     };
+    // A traced sharded run (`MINIRAID_CHAOS_TRACE_DIR`) is the
+    // observability scenario: back the sites with the WAL so traced
+    // transactions carry their covering group fsync in the span tree.
+    let config = ProtocolConfig {
+        emit_persistence: std::env::var_os("MINIRAID_CHAOS_TRACE_DIR").is_some(),
+        ..ProtocolConfig::default()
+    };
     let (cluster, client, _controls) = Cluster::launch_sharded_faulty(
         spec,
-        ProtocolConfig::default(),
+        config,
         ClusterTiming::default(),
         plan,
         opts.with_reliable,
@@ -1291,6 +1315,7 @@ pub fn run_sharded_chaos(opts: ShardChaosOptions) -> ChaosOutcome {
                 continue;
             }
             let site = victims[rng.random_range(0..victims.len())];
+            harness.annotate(ChaosAction::Kill, SiteId(site));
             harness.client.fail(SiteId(site));
             harness.up[site as usize] = false;
             harness.trace(format!(
@@ -1304,6 +1329,7 @@ pub fn run_sharded_chaos(opts: ShardChaosOptions) -> ChaosOutcome {
                 continue;
             }
             let site = downs[rng.random_range(0..downs.len())];
+            harness.annotate(ChaosAction::Recover, SiteId(site));
             harness.trace(format!(
                 "{{\"step\":{step},\"action\":\"recover\",\"site\":{site}}}"
             ));

@@ -276,7 +276,7 @@ impl Cluster {
                 .expect("spawn site thread");
             handles.push(handle);
         }
-        let client = ShardedClient::new(mgr_transport, mgr_mailbox, spec);
+        let client = ShardedClient::with_config(mgr_transport, mgr_mailbox, spec, &config);
         (Cluster { handles }, client)
     }
 
@@ -312,7 +312,7 @@ impl Cluster {
                 .expect("spawn site thread");
             handles.push(handle);
         }
-        let client = ShardedClient::new(mgr_transport, mgr_mailbox, spec);
+        let client = ShardedClient::with_config(mgr_transport, mgr_mailbox, spec, &config);
         (Cluster { handles }, client)
     }
 
@@ -344,6 +344,18 @@ impl Cluster {
         if let Some(dir) = &trace_dir {
             let _ = std::fs::create_dir_all(dir);
         }
+        // With `emit_persistence` set, each site gets a WAL-backed
+        // durable store (under `MINIRAID_SHARD_DURABLE_DIR`, or a
+        // process-scoped temp directory), so sharded runs exercise the
+        // group-commit fsync path and traced transactions carry
+        // `wal_fsync` events in their span trees.
+        let durable_dir: Option<std::path::PathBuf> = config.emit_persistence.then(|| {
+            std::env::var_os("MINIRAID_SHARD_DURABLE_DIR")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| {
+                    std::env::temp_dir().join(format!("miniraid-shard-wal-{}", std::process::id()))
+                })
+        });
 
         let group_config = spec.group_config(&config);
         let mut handles = Vec::with_capacity(n as usize);
@@ -351,6 +363,13 @@ impl Cluster {
         for (i, (transport, mailbox)) in endpoints.into_iter().enumerate() {
             let (group, local) = spec.local_site(SiteId(i as u8));
             let mut engine = SiteEngine::new(local, group_config.clone());
+            let store = durable_dir.as_ref().map(|dir| {
+                miniraid_storage::DurableStore::open(
+                    &dir.join(format!("site-{i}")),
+                    group_config.db_size,
+                )
+                .expect("open sharded durable store")
+            });
             let obs = trace_dir.as_ref().and_then(|dir| {
                 SiteObs::attach(
                     &mut engine,
@@ -380,7 +399,7 @@ impl Cluster {
                 std::thread::Builder::new()
                     .name(format!("miniraid-shard-{group}-{}", local.0))
                     .spawn(move || {
-                        run_site_full(engine, transport, mailbox, manager, timing, None, obs)
+                        run_site_full(engine, transport, mailbox, manager, timing, store, obs)
                     })
                     .expect("spawn site thread")
             } else {
@@ -389,13 +408,27 @@ impl Cluster {
                 std::thread::Builder::new()
                     .name(format!("miniraid-shard-{group}-{}", local.0))
                     .spawn(move || {
-                        run_site_full(engine, transport, mailbox, manager, timing, None, obs)
+                        run_site_full(engine, transport, mailbox, manager, timing, store, obs)
                     })
                     .expect("spawn site thread")
             };
             handles.push(handle);
         }
-        let client = ShardedClient::new(mgr_transport, mgr_mailbox, spec);
+        let mut client = ShardedClient::with_config(mgr_transport, mgr_mailbox, spec, &config);
+        // With chaos tracing on, the client gets its own trace stream
+        // (`client.jsonl`): it allocates per-transaction trace ids, and
+        // its cross-shard coordination milestones land beside the sites'
+        // per-engine streams so `miniraid-ctl trace` can reassemble one
+        // span tree per transaction across the whole topology.
+        if let Some(dir) = &trace_dir {
+            if let Ok(sink) = miniraid_obs::json::JsonlSink::create(dir.join("client.jsonl")) {
+                client.set_tracer(miniraid_core::trace::Tracer::new(
+                    SiteId(n),
+                    std::sync::Arc::new(miniraid_core::trace::SystemClock::new()),
+                    std::sync::Arc::new(sink),
+                ));
+            }
+        }
         (Cluster { handles }, client, controls)
     }
 

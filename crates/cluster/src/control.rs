@@ -2,11 +2,13 @@
 //! deployment. It injects failures and recoveries, submits transactions,
 //! and collects outcome reports over the same transport the sites use.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use miniraid_core::ids::{SessionNumber, SiteId, TxnId};
 use miniraid_core::messages::{Command, Message, TxnReport};
 use miniraid_core::ops::Transaction;
+use miniraid_core::trace::{TraceId, TraceIdGen};
 use miniraid_net::{Mailbox, RecvError, Transport};
 
 /// Errors surfaced while driving the cluster.
@@ -37,6 +39,14 @@ pub struct ManagingClient<T: Transport, M: Mailbox> {
     next_txn: u64,
     /// Reports that arrived while waiting for something else.
     stashed: Vec<Message>,
+    /// When true, every submitted transaction gets a globally unique
+    /// [`TraceId`] and its `Begin` is wrapped in [`Message::Traced`],
+    /// so the coordinating engine binds the transaction to the causal
+    /// trace before its first event.
+    tracing: bool,
+    trace_gen: TraceIdGen,
+    /// Trace id of every in-flight submitted transaction.
+    traces: HashMap<TxnId, TraceId>,
 }
 
 impl<T: Transport, M: Mailbox> ManagingClient<T, M> {
@@ -49,6 +59,44 @@ impl<T: Transport, M: Mailbox> ManagingClient<T, M> {
             n_sites,
             next_txn: 1,
             stashed: Vec::new(),
+            tracing: false,
+            trace_gen: TraceIdGen::new(n_sites as u64),
+            traces: HashMap::new(),
+        }
+    }
+
+    /// Enable causal trace propagation: every subsequently submitted
+    /// transaction is assigned a [`TraceId`] (origin = the manager's
+    /// site id) and carried to its coordinator in a
+    /// [`Message::Traced`] envelope.
+    pub fn enable_tracing(&mut self) {
+        self.tracing = true;
+    }
+
+    /// The trace id assigned to an in-flight transaction (0 when
+    /// tracing is off or the transaction already finished).
+    pub fn trace_of(&self, txn: TxnId) -> TraceId {
+        self.traces.get(&txn).copied().unwrap_or(0)
+    }
+
+    /// Wrap `msg` in [`Message::Traced`] when its transaction was
+    /// assigned a trace id.
+    fn trace_wrap(&self, txn: TxnId, msg: Message) -> Message {
+        match self.traces.get(&txn) {
+            Some(&trace) => Message::Traced {
+                trace,
+                inner: Box::new(msg),
+            },
+            None => msg,
+        }
+    }
+
+    /// Strip the trace envelope from an inbound frame (trace-id
+    /// book-keeping for reports happens here too).
+    fn trace_unwrap(&mut self, msg: Message) -> Message {
+        match msg {
+            Message::Traced { inner, .. } => *inner,
+            other => other,
         }
     }
 
@@ -133,13 +181,13 @@ impl<T: Transport, M: Mailbox> ManagingClient<T, M> {
         deadline: Duration,
     ) -> Result<TxnReport, ControlError> {
         let id = txn.id;
-        let _ = self
-            .transport
-            .send(site, &Message::Mgmt(Command::Begin(txn)));
-        self.wait_for(deadline, "transaction report", |msg| match msg {
+        self.submit_txn(site, txn);
+        let report = self.wait_for(deadline, "transaction report", |msg| match msg {
             Message::MgmtReport(report) if report.txn == id => Some(report.clone()),
             _ => None,
-        })
+        });
+        self.traces.remove(&id);
+        report
     }
 
     /// Submit a transaction without waiting for its outcome (open-loop
@@ -147,9 +195,13 @@ impl<T: Transport, M: Mailbox> ManagingClient<T, M> {
     /// coordinating site queues or admits it subject to its
     /// `max_inflight` pipeline bound.
     pub fn submit_txn(&mut self, site: SiteId, txn: Transaction) {
-        let _ = self
-            .transport
-            .send(site, &Message::Mgmt(Command::Begin(txn)));
+        let id = txn.id;
+        if self.tracing {
+            let trace = self.trace_gen.next_id();
+            self.traces.insert(id, trace);
+        }
+        let msg = self.trace_wrap(id, Message::Mgmt(Command::Begin(txn)));
+        let _ = self.transport.send(site, &msg);
     }
 
     /// Collect every outcome report that has already arrived, without
@@ -168,8 +220,11 @@ impl<T: Transport, M: Mailbox> ManagingClient<T, M> {
             }
         }
         while let Ok((_, msg)) = self.mailbox.try_recv() {
-            match msg {
-                Message::MgmtReport(report) => reports.push(report),
+            match self.trace_unwrap(msg) {
+                Message::MgmtReport(report) => {
+                    self.traces.remove(&report.txn);
+                    reports.push(report);
+                }
                 other => self.stashed.push(other),
             }
         }
@@ -219,6 +274,7 @@ impl<T: Transport, M: Mailbox> ManagingClient<T, M> {
             }
             match self.mailbox.recv_timeout(left) {
                 Ok((_, msg)) => {
+                    let msg = self.trace_unwrap(msg);
                     if let Some(r) = select(&msg) {
                         return Ok(r);
                     }

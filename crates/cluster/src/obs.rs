@@ -46,9 +46,17 @@ impl SiteObs {
         &self.hub
     }
 
-    /// Render the Prometheus-style exposition text for this site.
+    /// Render the Prometheus-style exposition text for this site,
+    /// status gauges (`miniraid_site_up`, `miniraid_site_session`)
+    /// first so a live health view can tell a down site from a live one.
     pub fn render(&self, engine: &SiteEngine) -> String {
-        expo::render(engine.id(), engine.metrics(), Some(&self.hub.snapshot()))
+        expo::render_with_status(
+            engine.id(),
+            engine.is_up(),
+            engine.session().0,
+            engine.metrics(),
+            Some(&self.hub.snapshot()),
+        )
     }
 
     /// Flush the JSONL trace file, if any.
@@ -62,5 +70,11 @@ impl SiteObs {
 /// Exposition text for a site with no tracer attached: engine counters
 /// only, no latency histograms.
 pub fn render_plain(engine: &SiteEngine) -> String {
-    expo::render(engine.id(), engine.metrics(), None)
+    expo::render_with_status(
+        engine.id(),
+        engine.is_up(),
+        engine.session().0,
+        engine.metrics(),
+        None,
+    )
 }

@@ -28,28 +28,18 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+use miniraid_core::config::ProtocolConfig;
 use miniraid_core::error::AbortReason;
 use miniraid_core::ids::{ItemId, SessionNumber, SiteId, TxnId};
 use miniraid_core::messages::{Command, Message, TxnOutcome};
 use miniraid_core::ops::Transaction;
+use miniraid_core::trace::{EventKind, TraceId, TraceIdGen, Tracer};
 use miniraid_net::{Mailbox, RecvError, Transport};
 use miniraid_obs::LatencyHistogram;
 use miniraid_shard::{classify, Route, ShardSpec, XAction, XCoordinator, XPhase};
 use miniraid_storage::ItemValue;
 
 use crate::control::ControlError;
-
-/// How long the cross-shard coordinator waits for branch votes before
-/// counting the stragglers as no. Must be shorter than the engines'
-/// participant timeout (500 ms by default), so a parked branch's
-/// participants never declare its coordinator failed while the global
-/// decision is still pending under healthy links.
-const VOTE_TIMEOUT: Duration = Duration::from_millis(400);
-
-/// Interval between re-drive rounds for committed-but-unconfirmed
-/// branches. Longer than a healthy commit round-trip, so re-drives only
-/// fire when something actually failed.
-const REDRIVE_INTERVAL: Duration = Duration::from_millis(700);
 
 /// The final outcome of a routed transaction.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +83,9 @@ struct CrossState {
     branch_coord: HashMap<u8, SiteId>,
     /// Next group-local site index to receive a re-drive submission.
     cursor: HashMap<u8, u8>,
+    /// The global decision was already announced to the trace stream
+    /// (re-drives repeat the decision message, not the `x_decide` event).
+    decided: bool,
 }
 
 /// Book-keeping for one in-flight single-group transaction.
@@ -131,11 +124,36 @@ pub struct ShardedClient<T: Transport, M: Mailbox> {
     pub single_commit_latency: LatencyHistogram,
     /// Single-group commit latency split per group, indexed by group.
     pub per_group_commit_latency: Vec<LatencyHistogram>,
+    /// How long the top-level 2PC waits for branch votes before
+    /// counting stragglers as no
+    /// ([`ProtocolConfig::shard_vote_timeout_ms`]).
+    vote_timeout: Duration,
+    /// Interval between re-drive rounds
+    /// ([`ProtocolConfig::shard_redrive_interval_ms`]).
+    redrive_interval: Duration,
+    /// The client's own protocol-event tracer (disabled by default).
+    /// When enabled, every submitted transaction gets a globally unique
+    /// [`TraceId`], outbound frames are wrapped in
+    /// [`Message::Traced`], and the cross-shard coordination milestones
+    /// (`x_begin` → `x_prepare` → `x_vote` → `x_decide`) are emitted
+    /// into the client's own trace stream.
+    tracer: Tracer,
+    trace_gen: TraceIdGen,
+    /// Trace id of every in-flight submitted transaction.
+    traces: HashMap<TxnId, TraceId>,
 }
 
 impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
-    /// Wrap the manager's physical endpoint.
+    /// Wrap the manager's physical endpoint, with the default
+    /// cross-shard timers (see [`ShardedClient::with_config`]).
     pub fn new(transport: T, mailbox: M, spec: ShardSpec) -> Self {
+        Self::with_config(transport, mailbox, spec, &ProtocolConfig::default())
+    }
+
+    /// Wrap the manager's physical endpoint, taking the cross-shard
+    /// 2PC timers (`shard_vote_timeout_ms`, `shard_redrive_interval_ms`)
+    /// from `config`.
+    pub fn with_config(transport: T, mailbox: M, spec: ShardSpec, config: &ProtocolConfig) -> Self {
         let n = spec.n_physical_sites() as usize;
         ShardedClient {
             transport,
@@ -153,7 +171,39 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
             cross_commit_latency: LatencyHistogram::new(),
             single_commit_latency: LatencyHistogram::new(),
             per_group_commit_latency: vec![LatencyHistogram::new(); spec.n_groups as usize],
+            vote_timeout: Duration::from_millis(config.shard_vote_timeout_ms),
+            redrive_interval: Duration::from_millis(config.shard_redrive_interval_ms),
+            tracer: Tracer::disabled(),
+            trace_gen: TraceIdGen::new(spec.n_physical_sites() as u64),
+            traces: HashMap::new(),
         }
+    }
+
+    /// Install the client's tracer: subsequent submissions allocate
+    /// trace ids, wrap their outbound frames, and emit the cross-shard
+    /// coordination milestones. The trace-id origin is the physical
+    /// manager id, so client-allocated ids never collide with another
+    /// origin's.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The configured top-level vote timeout.
+    pub fn vote_timeout(&self) -> Duration {
+        self.vote_timeout
+    }
+
+    /// The configured re-drive interval.
+    pub fn redrive_interval(&self) -> Duration {
+        self.redrive_interval
+    }
+
+    /// The client's tracer (disabled unless
+    /// [`ShardedClient::set_tracer`] was called) — chaos harnesses emit
+    /// schedule annotations through it so failures are visible in the
+    /// trace streams they perturb.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The topology this client drives.
@@ -191,6 +241,10 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
     /// [`wait_report`](Self::wait_report)).
     pub fn submit(&mut self, txn: Transaction) {
         let now = Instant::now();
+        if self.tracer.is_enabled() {
+            let trace = self.trace_gen.next_id();
+            self.traces.insert(txn.id, trace);
+        }
         match classify(&self.spec, &txn) {
             Route::Single { group, txn } => {
                 let coordinator = self.pick_coordinator(group);
@@ -204,14 +258,21 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
                 self.send(coordinator, group, Message::Mgmt(Command::Begin(txn)));
             }
             Route::Multi { branches } => {
+                self.emit(
+                    txn.id,
+                    EventKind::XBegin {
+                        branches: branches.len().min(u8::MAX as usize) as u8,
+                    },
+                );
                 self.cross.insert(
                     txn.id,
                     CrossState {
                         started: now,
-                        vote_deadline: now + VOTE_TIMEOUT,
-                        next_redrive: now + REDRIVE_INTERVAL,
+                        vote_deadline: now + self.vote_timeout,
+                        next_redrive: now + self.redrive_interval,
                         branch_coord: HashMap::new(),
                         cursor: HashMap::new(),
+                        decided: false,
                     },
                 );
                 let actions = self.xcoord.begin(branches);
@@ -466,12 +527,39 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
 
     // ---- internals ---------------------------------------------------
 
+    /// Emit a client-side coordination milestone for `txn`, stamped with
+    /// its trace id (no-op when the tracer is disabled).
+    fn emit(&self, txn: TxnId, kind: EventKind) {
+        if self.tracer.is_enabled() {
+            let trace = self.traces.get(&txn).copied().unwrap_or(0);
+            self.tracer.emit_traced(Some(txn), trace, kind);
+        }
+    }
+
+    /// Wrap `msg` for `group` and send it to physical site `to`. A
+    /// message belonging to a traced transaction is additionally
+    /// wrapped in [`Message::Traced`] (inside the shard envelope — the
+    /// legal nesting is `ShardEnv { Traced { .. } }`), so the receiving
+    /// site binds the transaction to its causal trace.
     fn send(&self, to: SiteId, group: u8, msg: Message) {
+        let trace = msg
+            .txn_id()
+            .and_then(|t| self.traces.get(&t))
+            .copied()
+            .unwrap_or(0);
+        let inner = if trace != 0 {
+            Box::new(Message::Traced {
+                trace,
+                inner: Box::new(msg),
+            })
+        } else {
+            Box::new(msg)
+        };
         let _ = self.transport.send(
             to,
             &Message::ShardEnv {
                 shard: group,
-                inner: Box::new(msg),
+                inner,
             },
         );
     }
@@ -519,6 +607,12 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
             }
             _ => return,
         };
+        // Sites wrap frames of traced transactions; the envelope is
+        // transparent to the control plane.
+        let msg = match msg {
+            Message::Traced { inner, .. } => *inner,
+            other => other,
+        };
         let now = Instant::now();
         match msg {
             Message::MgmtReport(report) => {
@@ -528,6 +622,7 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
                     self.last_commit_coord[group as usize] = Some(from);
                 }
                 if let Some(single) = self.singles.remove(&report.txn) {
+                    self.traces.remove(&report.txn);
                     if report.outcome.is_committed() {
                         let micros = now.duration_since(single.started).as_micros() as u64;
                         self.single_commit_latency.record(micros);
@@ -561,6 +656,7 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
                 // re-drives of already-finished transactions: drop.
             }
             Message::ShardVote { txn, ok } => {
+                self.emit(txn, EventKind::XVote { shard: group, ok });
                 let actions = self.xcoord.on_vote(group, txn, ok);
                 self.perform(actions, now);
             }
@@ -584,6 +680,7 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
             match action {
                 XAction::Prepare { group, branch } => {
                     let coordinator = self.pick_coordinator(group);
+                    self.emit(branch.id, EventKind::XPrepare { shard: group });
                     if let Some(state) = self.cross.get_mut(&branch.id) {
                         state.branch_coord.insert(group, coordinator);
                         // Re-drives start at the site after the original
@@ -596,6 +693,16 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
                     self.send(coordinator, group, Message::ShardPrepare { txn: branch });
                 }
                 XAction::Decide { group, txn, commit } => {
+                    let first = match self.cross.get_mut(&txn) {
+                        Some(state) if !state.decided => {
+                            state.decided = true;
+                            true
+                        }
+                        _ => false,
+                    };
+                    if first {
+                        self.emit(txn, EventKind::XDecide { commit });
+                    }
                     let target = self
                         .cross
                         .get(&txn)
@@ -609,6 +716,7 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
                     committed,
                     read_results,
                 } => {
+                    self.traces.remove(&txn);
                     if let Some(state) = self.cross.remove(&txn) {
                         if committed {
                             self.cross_commit_latency
@@ -651,7 +759,7 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
                 Some(XPhase::Committing) => {
                     let due = match self.cross.get_mut(&txn) {
                         Some(state) if now >= state.next_redrive => {
-                            state.next_redrive = now + REDRIVE_INTERVAL;
+                            state.next_redrive = now + self.redrive_interval;
                             true
                         }
                         _ => false,

@@ -6,9 +6,10 @@ use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
 use miniraid_core::engine::{Input, Output, SiteEngine, TimerId};
-use miniraid_core::ids::SiteId;
+use miniraid_core::ids::{SiteId, TxnId};
 use miniraid_core::messages::{Command, Message};
 use miniraid_core::session::SiteStatus;
+use miniraid_core::trace::EventKind;
 use miniraid_net::{Mailbox, RecvError, Transport};
 use miniraid_storage::DurableStore;
 
@@ -135,6 +136,10 @@ struct DurableCtx {
     /// nothing in steady state.
     write_scratch: Vec<(u32, miniraid_storage::ItemValue)>,
     lock_scratch: Vec<(u32, u64)>,
+    /// Transactions whose commit records await the covering group
+    /// fsync, in append order — each gets a `wal_fsync` trace event
+    /// when the sync retires it.
+    pending_txns: Vec<TxnId>,
 }
 
 impl DurableCtx {
@@ -147,7 +152,41 @@ impl DurableCtx {
             linger,
             write_scratch: Vec::new(),
             lock_scratch: Vec::new(),
+            pending_txns: Vec::new(),
         }
+    }
+}
+
+/// Fsync the REDO log; on success emit one `wal_fsync` trace event per
+/// commit record the sync durably retired (the tracer's registry stamps
+/// each with its transaction's causal trace, so a covering group fsync
+/// shows up inside the cross-shard span tree it unblocked).
+fn sync_durable(
+    engine: &SiteEngine,
+    d: &mut DurableCtx,
+) -> Result<(), miniraid_storage::StorageError> {
+    let res = d.store.sync();
+    if res.is_ok() {
+        let retired = d.pending_txns.len() as u32;
+        for txn in d.pending_txns.drain(..) {
+            engine
+                .tracer()
+                .emit(Some(txn), EventKind::WalFsync { retired });
+        }
+    }
+    res
+}
+
+/// Wrap an outbound message in [`Message::Traced`] when its transaction
+/// is bound to a causal trace (one relaxed atomic load when no traces
+/// are live, so untraced deployments pay essentially nothing).
+fn wrap_traced(engine: &SiteEngine, msg: Message) -> Message {
+    match msg.txn_id().map(|t| engine.tracer().trace_of(t)) {
+        Some(trace) if trace != 0 => Message::Traced {
+            trace,
+            inner: Box::new(msg),
+        },
+        _ => msg,
     }
 }
 
@@ -363,7 +402,7 @@ pub fn run_site_full<T: Transport, M: Mailbox>(
         // was holding back.
         if let Some(d) = durable.as_mut() {
             if d.linger_until.is_some_and(|until| Instant::now() >= until) {
-                match d.store.sync() {
+                match sync_durable(&engine, d) {
                     Ok(()) => {
                         d.linger_until = None;
                         flush_outbound(&mut engine, &transport, &mut d.held, &mut pool);
@@ -385,7 +424,7 @@ pub fn run_site_full<T: Transport, M: Mailbox>(
             // Clean shutdown: make the tail durable, then release
             // anything still held.
             if let Some(d) = durable.as_mut() {
-                if d.store.sync().is_ok() {
+                if sync_durable(&engine, d).is_ok() {
                     flush_outbound(&mut engine, &transport, &mut d.held, &mut pool);
                 }
             }
@@ -450,6 +489,7 @@ fn perform<T: Transport>(
                     let res = if d.write_scratch.is_empty() {
                         d.store.log_faillocks(&d.lock_scratch)
                     } else {
+                        d.pending_txns.push(txn);
                         d.store
                             .commit_with_locks(txn.0, &d.write_scratch, &d.lock_scratch)
                     };
@@ -460,13 +500,13 @@ fn perform<T: Transport>(
                         // `batch = 1` this is the one-fsync-per-commit
                         // baseline discipline). Held messages are
                         // released by the end-of-drain policy below.
-                        if let Err(err) = d.store.sync() {
+                        if let Err(err) = sync_durable(engine, d) {
                             persist_error = Some(err);
                         }
                     }
                 }
             }
-            Output::Send { to, msg } => queue(to, msg),
+            Output::Send { to, msg } => queue(to, wrap_traced(engine, msg)),
             Output::SetTimer(id) => {
                 *timer_seq += 1;
                 timers.push(Reverse(Armed(
@@ -475,7 +515,9 @@ fn perform<T: Transport>(
                     id,
                 )));
             }
-            Output::Report(report) => queue(manager, Message::MgmtReport(report)),
+            Output::Report(report) => {
+                queue(manager, wrap_traced(engine, Message::MgmtReport(report)))
+            }
             Output::BecameOperational { session } => {
                 if let Some(d) = durable.as_mut() {
                     // Buffered append: the MgmtRecovered announcement
@@ -507,7 +549,7 @@ fn perform<T: Transport>(
     match durable.as_mut() {
         Some(d) if d.store.has_unsynced() => {
             if d.store.pending_commits() >= d.batch || d.linger.is_zero() {
-                match d.store.sync() {
+                match sync_durable(engine, d) {
                     Ok(()) => {
                         d.linger_until = None;
                         flush_outbound(engine, transport, &mut d.held, pool);

@@ -112,6 +112,20 @@ pub struct ProtocolConfig {
     /// `0` syncs at the end of every event-loop drain.
     #[serde(default = "default_group_commit_linger_us")]
     pub group_commit_linger_us: u64,
+    /// Cross-shard 2PC: how long the top-level coordinator (the sharded
+    /// client) waits for branch votes before counting stragglers as no,
+    /// in milliseconds. Must stay below the engines' participant
+    /// timeout, so a parked branch's participants never declare its
+    /// coordinator failed while the global decision is still pending
+    /// under healthy links.
+    #[serde(default = "default_shard_vote_timeout_ms")]
+    pub shard_vote_timeout_ms: u64,
+    /// Cross-shard 2PC: interval between re-drive rounds for
+    /// committed-but-unconfirmed branches, in milliseconds. Longer than
+    /// a healthy commit round-trip, so re-drives only fire when
+    /// something actually failed.
+    #[serde(default = "default_shard_redrive_interval_ms")]
+    pub shard_redrive_interval_ms: u64,
 }
 
 fn default_group_commit_batch() -> u32 {
@@ -120,6 +134,14 @@ fn default_group_commit_batch() -> u32 {
 
 fn default_group_commit_linger_us() -> u64 {
     150
+}
+
+fn default_shard_vote_timeout_ms() -> u64 {
+    400
+}
+
+fn default_shard_redrive_interval_ms() -> u64 {
+    700
 }
 
 impl ProtocolConfig {
@@ -160,6 +182,8 @@ impl Default for ProtocolConfig {
             recovery_cross_check: true,
             group_commit_batch: default_group_commit_batch(),
             group_commit_linger_us: default_group_commit_linger_us(),
+            shard_vote_timeout_ms: default_shard_vote_timeout_ms(),
+            shard_redrive_interval_ms: default_shard_redrive_interval_ms(),
         }
     }
 }
@@ -181,6 +205,18 @@ mod tests {
             "paper used on-demand copiers only"
         );
         assert_eq!(c.max_inflight, 1, "paper processed transactions serially");
+    }
+
+    #[test]
+    fn shard_timer_defaults_respect_participant_timeout() {
+        let c = ProtocolConfig::default();
+        assert_eq!(c.shard_vote_timeout_ms, 400);
+        assert_eq!(c.shard_redrive_interval_ms, 700);
+        assert!(
+            c.shard_vote_timeout_ms < 500,
+            "vote timeout must undercut the 500 ms participant timeout"
+        );
+        assert!(c.shard_redrive_interval_ms > c.shard_vote_timeout_ms);
     }
 
     #[test]

@@ -538,6 +538,19 @@ impl SiteEngine {
     pub fn handle(&mut self, input: Input, out: &mut Vec<Output>) {
         match input {
             Input::Control(cmd) => self.handle_command(cmd, out),
+            // A traced frame is transparent to the protocol: bind the
+            // payload's transaction to its causal trace, then handle the
+            // payload as if it arrived bare (including the Mgmt
+            // intercept below). Codec nesting rules make this one level.
+            Input::Deliver {
+                from,
+                msg: Message::Traced { trace, inner },
+            } => {
+                if let Some(txn) = inner.txn_id() {
+                    self.tracer.register_trace(txn, trace);
+                }
+                self.handle(Input::Deliver { from, msg: *inner }, out);
+            }
             // Management commands reach a site in any state (the managing
             // site is how failures and recoveries are injected at all).
             Input::Deliver {
@@ -777,6 +790,14 @@ impl SiteEngine {
             // deliver the payload as-is rather than losing it.
             Message::Seq { inner, .. } => self.handle_message(from, *inner, out),
             Message::SeqAck { .. } => {}
+            // Normally unwrapped in `handle`; reached only via a `Seq`
+            // payload — same treatment: register and unwrap.
+            Message::Traced { trace, inner } => {
+                if let Some(txn) = inner.txn_id() {
+                    self.tracer.register_trace(txn, trace);
+                }
+                self.handle_message(from, *inner, out);
+            }
         }
     }
 

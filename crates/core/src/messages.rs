@@ -320,6 +320,23 @@ pub enum Message {
         commit: bool,
     },
 
+    // ---- Causal trace propagation (observability plane) -----------------
+    /// A protocol message annotated with the causal [`TraceId`] of the
+    /// client-submitted transaction it belongs to. Purely additive: a
+    /// frame without the wrapper decodes exactly as before (zero cost
+    /// when absent), and the driving site loop unwraps it — registering
+    /// the id with the engine's tracer — before the engine ever sees
+    /// it. Legal nesting mirrors `ShardEnv`: `Seq{ShardEnv{Traced{..}}}`
+    /// from outermost to innermost.
+    ///
+    /// [`TraceId`]: crate::trace::TraceId
+    Traced {
+        /// The causal trace id (never 0 on the wire).
+        trace: u64,
+        /// The annotated message.
+        inner: Box<Message>,
+    },
+
     // ---- Reliable session layer (transport decorator) ------------------
     /// A protocol message wrapped with a per-link sequence number by the
     /// reliable session layer. `epoch` distinguishes sequence spaces
@@ -379,8 +396,32 @@ impl Message {
             Message::ShardPrepare { .. } => "ShardPrepare",
             Message::ShardVote { .. } => "ShardVote",
             Message::ShardDecide { .. } => "ShardDecide",
+            Message::Traced { .. } => "Traced",
             Message::Seq { .. } => "Seq",
             Message::SeqAck { .. } => "SeqAck",
+        }
+    }
+
+    /// The transaction this message belongs to, when it names exactly
+    /// one. Used by the driving layers to attribute outbound messages
+    /// to a causal trace (wrap-on-send) and to register inbound trace
+    /// ids with the engine's tracer. Envelope variants delegate.
+    pub fn txn_id(&self) -> Option<TxnId> {
+        match self {
+            Message::CopyUpdate { txn, .. }
+            | Message::UpdateAck { txn, .. }
+            | Message::Commit { txn }
+            | Message::CommitAck { txn }
+            | Message::AbortTxn { txn }
+            | Message::ShardVote { txn, .. }
+            | Message::ShardDecide { txn, .. } => Some(*txn),
+            Message::ShardPrepare { txn } => Some(txn.id),
+            Message::Mgmt(Command::Begin(txn)) => Some(txn.id),
+            Message::MgmtReport(report) => Some(report.txn),
+            Message::ShardEnv { inner, .. }
+            | Message::Traced { inner, .. }
+            | Message::Seq { inner, .. } => inner.txn_id(),
+            _ => None,
         }
     }
 }
@@ -416,7 +457,7 @@ pub fn is_management(msg: &Message) -> bool {
         | Message::ShardPrepare { .. }
         | Message::ShardVote { .. }
         | Message::ShardDecide { .. } => true,
-        Message::ShardEnv { inner, .. } => is_management(inner),
+        Message::ShardEnv { inner, .. } | Message::Traced { inner, .. } => is_management(inner),
         _ => false,
     }
 }
@@ -495,6 +536,29 @@ mod tests {
             shard: 0,
             inner: Box::new(Message::Commit { txn: TxnId(0) }),
         }));
+    }
+
+    #[test]
+    fn traced_delegates_management_and_txn_id() {
+        let traced = Message::Traced {
+            trace: 9,
+            inner: Box::new(Message::Mgmt(Command::Begin(crate::ops::Transaction::new(
+                TxnId(4),
+                vec![],
+            )))),
+        };
+        assert!(is_management(&traced));
+        assert_eq!(traced.txn_id(), Some(TxnId(4)));
+        let nested = Message::ShardEnv {
+            shard: 1,
+            inner: Box::new(Message::Traced {
+                trace: 9,
+                inner: Box::new(Message::Commit { txn: TxnId(8) }),
+            }),
+        };
+        assert!(!is_management(&nested));
+        assert_eq!(nested.txn_id(), Some(TxnId(8)));
+        assert_eq!(Message::MetricsRequest.txn_id(), None);
     }
 
     #[test]

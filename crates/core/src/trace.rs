@@ -18,12 +18,51 @@
 //! `miniraid-obs` crate; only the minimal emission contract lives here
 //! so the engine crate has no new dependencies.
 
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::error::AbortReason;
 use crate::ids::{SessionNumber, SiteId, TxnId};
+
+/// A globally unique causal trace identifier assigned to a
+/// client-submitted transaction when it enters the system. Zero means
+/// "no trace": untraced deployments never allocate one, and a
+/// [`TraceEvent`] with `trace == 0` serializes without the field, so
+/// tracing-off output is bit-identical to the pre-trace-id format.
+pub type TraceId = u64;
+
+/// Deterministic [`TraceId`] allocator: the high 16 bits identify the
+/// origin (a client or managing process), the low 48 bits count
+/// submissions. Under the simulator the origin is fixed, so trace ids —
+/// like everything else — are a pure function of the schedule.
+#[derive(Debug, Clone)]
+pub struct TraceIdGen {
+    origin: u64,
+    next: u64,
+}
+
+impl TraceIdGen {
+    /// An allocator for `origin` (only the low 16 bits are used).
+    pub fn new(origin: u64) -> Self {
+        TraceIdGen {
+            origin: origin & 0xFFFF,
+            next: 1,
+        }
+    }
+
+    /// Allocate the next trace id (never zero).
+    pub fn next_id(&mut self) -> TraceId {
+        let id = (self.origin << 48) | (self.next & 0xFFFF_FFFF_FFFF);
+        self.next += 1;
+        if id == 0 {
+            self.next_id()
+        } else {
+            id
+        }
+    }
+}
 
 /// A point in time as seen by the injected [`TraceClock`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -192,6 +231,84 @@ pub enum EventKind {
         /// Whether the site is now considered operational.
         up: bool,
     },
+    /// Cross-shard 2PC begun at the top-level coordinator (client side).
+    XBegin {
+        /// Number of branch (per-group) transactions.
+        branches: u8,
+    },
+    /// Cross-shard phase one: `ShardPrepare` sent to a group's branch
+    /// coordinator.
+    XPrepare {
+        /// The replication group being prepared.
+        shard: u8,
+    },
+    /// A branch coordinator's `ShardVote` arrived at the top level.
+    XVote {
+        /// The voting replication group.
+        shard: u8,
+        /// Its verdict.
+        ok: bool,
+    },
+    /// Cross-shard phase two: the global decision.
+    XDecide {
+        /// Commit (`true`) or global abort.
+        commit: bool,
+    },
+    /// The group-commit fsync covering this transaction's commit record
+    /// durably retired it (PR 6's WAL): the point after which the
+    /// commit's outbound messages may leave the site.
+    WalFsync {
+        /// Pending commits retired by the same fsync.
+        retired: u32,
+    },
+    /// A chaos-schedule annotation injected into the trace stream by the
+    /// harness, so failures are visible in the traces they perturb.
+    Chaos {
+        /// What the schedule did.
+        action: ChaosAction,
+        /// The site it did it to.
+        target: SiteId,
+    },
+}
+
+/// What a chaos-schedule entry did to a site (see [`EventKind::Chaos`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// The site was killed (failed without announcement).
+    Kill,
+    /// The site was told to recover.
+    Recover,
+    /// The site's links were isolated (all traffic blocked).
+    Isolate,
+    /// The site's links were healed.
+    Heal,
+    /// The site was bootstrapped after total group failure.
+    Bootstrap,
+}
+
+impl ChaosAction {
+    /// Stable short name, used as the `action` field of JSONL traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosAction::Kill => "kill",
+            ChaosAction::Recover => "recover",
+            ChaosAction::Isolate => "isolate",
+            ChaosAction::Heal => "heal",
+            ChaosAction::Bootstrap => "bootstrap",
+        }
+    }
+
+    /// Inverse of [`ChaosAction::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "kill" => ChaosAction::Kill,
+            "recover" => ChaosAction::Recover,
+            "isolate" => ChaosAction::Isolate,
+            "heal" => ChaosAction::Heal,
+            "bootstrap" => ChaosAction::Bootstrap,
+            _ => return None,
+        })
+    }
 }
 
 impl EventKind {
@@ -217,6 +334,12 @@ impl EventKind {
             EventKind::RecoveryServe { .. } => "recovery_serve",
             EventKind::RecoveryMerge { .. } => "recovery_merge",
             EventKind::SessionChange { .. } => "session",
+            EventKind::XBegin { .. } => "x_begin",
+            EventKind::XPrepare { .. } => "x_prepare",
+            EventKind::XVote { .. } => "x_vote",
+            EventKind::XDecide { .. } => "x_decide",
+            EventKind::WalFsync { .. } => "wal_fsync",
+            EventKind::Chaos { .. } => "chaos",
         }
     }
 }
@@ -228,6 +351,11 @@ pub struct TraceEvent {
     pub site: SiteId,
     /// The transaction the event belongs to, if any.
     pub txn: Option<TxnId>,
+    /// The causal trace the event belongs to (0 = untraced). Stamped
+    /// from the tracer's txn→trace registry, which the driving layer
+    /// populates when a [`crate::messages::Message::Traced`] frame
+    /// arrives.
+    pub trace: TraceId,
     /// When it happened.
     pub at: Stamp,
     /// What happened.
@@ -241,10 +369,41 @@ pub trait TraceSink: Send + Sync {
     fn record(&self, event: TraceEvent);
 }
 
+/// Bounded txn→trace registry: oldest registrations are evicted once
+/// the map holds [`TRACE_REGISTRY_CAP`] entries, so a long-lived site
+/// cannot leak memory through trace ids of transactions whose final
+/// events it never saw. Eviction order is insertion order —
+/// deterministic under the simulator.
+const TRACE_REGISTRY_CAP: usize = 8192;
+
+#[derive(Default)]
+struct TraceRegistry {
+    by_txn: HashMap<TxnId, TraceId>,
+    order: VecDeque<TxnId>,
+}
+
+impl TraceRegistry {
+    fn register(&mut self, txn: TxnId, trace: TraceId) {
+        if self.by_txn.insert(txn, trace).is_none() {
+            self.order.push_back(txn);
+            while self.order.len() > TRACE_REGISTRY_CAP {
+                if let Some(old) = self.order.pop_front() {
+                    self.by_txn.remove(&old);
+                }
+            }
+        }
+    }
+}
+
 struct TracerInner {
     site: SiteId,
     clock: Arc<dyn TraceClock>,
     sink: Arc<dyn TraceSink>,
+    /// Fast-path guard: emission skips the registry lock entirely until
+    /// the first trace id is registered, so deployments that never
+    /// propagate trace ids pay one relaxed atomic load per event.
+    any_traces: AtomicBool,
+    traces: Mutex<TraceRegistry>,
 }
 
 /// The engine's emission handle: either disabled (the default — one
@@ -261,7 +420,13 @@ impl Tracer {
     /// A tracer stamping events for `site` with `clock` and delivering
     /// them to `sink`.
     pub fn new(site: SiteId, clock: Arc<dyn TraceClock>, sink: Arc<dyn TraceSink>) -> Self {
-        Tracer(Some(Arc::new(TracerInner { site, clock, sink })))
+        Tracer(Some(Arc::new(TracerInner {
+            site,
+            clock,
+            sink,
+            any_traces: AtomicBool::new(false),
+            traces: Mutex::new(TraceRegistry::default()),
+        })))
     }
 
     /// Is this tracer bound to a sink?
@@ -269,13 +434,73 @@ impl Tracer {
         self.0.is_some()
     }
 
-    /// Emit one event (no-op when disabled).
+    /// Associate `txn` with causal trace `trace`, so every subsequent
+    /// event emitted for `txn` carries the trace id. Called by the
+    /// driving layer when a traced frame arrives or a traced
+    /// transaction is submitted. No-op when disabled or `trace == 0`.
+    pub fn register_trace(&self, txn: TxnId, trace: TraceId) {
+        if trace == 0 {
+            return;
+        }
+        if let Some(inner) = &self.0 {
+            inner
+                .traces
+                .lock()
+                .expect("trace registry poisoned")
+                .register(txn, trace);
+            inner.any_traces.store(true, Ordering::Release);
+        }
+    }
+
+    /// The trace id registered for `txn` (0 when none, or disabled).
+    pub fn trace_of(&self, txn: TxnId) -> TraceId {
+        match &self.0 {
+            Some(inner) if inner.any_traces.load(Ordering::Acquire) => inner
+                .traces
+                .lock()
+                .expect("trace registry poisoned")
+                .by_txn
+                .get(&txn)
+                .copied()
+                .unwrap_or(0),
+            _ => 0,
+        }
+    }
+
+    /// Emit one event (no-op when disabled). The trace id is looked up
+    /// from the registry by transaction.
     #[inline]
     pub fn emit(&self, txn: Option<TxnId>, kind: EventKind) {
+        if let Some(inner) = &self.0 {
+            let trace = match txn {
+                Some(id) if inner.any_traces.load(Ordering::Acquire) => inner
+                    .traces
+                    .lock()
+                    .expect("trace registry poisoned")
+                    .by_txn
+                    .get(&id)
+                    .copied()
+                    .unwrap_or(0),
+                _ => 0,
+            };
+            inner.sink.record(TraceEvent {
+                site: inner.site,
+                txn,
+                trace,
+                at: inner.clock.stamp(),
+                kind,
+            });
+        }
+    }
+
+    /// Emit one event with an explicit trace id, bypassing the registry
+    /// (the client side knows the id it just allocated).
+    pub fn emit_traced(&self, txn: Option<TxnId>, trace: TraceId, kind: EventKind) {
         if let Some(inner) = &self.0 {
             inner.sink.record(TraceEvent {
                 site: inner.site,
                 txn,
+                trace,
                 at: inner.clock.stamp(),
                 kind,
             });
@@ -327,5 +552,59 @@ mod tests {
         assert_eq!(events[1].at.wall_micros, 900);
         assert!(events[0].at.logical < events[1].at.logical);
         assert_eq!(events[1].kind.name(), "commit");
+        assert_eq!(events[0].trace, 0, "no trace registered");
+    }
+
+    #[test]
+    fn registry_stamps_registered_traces() {
+        let clock = Arc::new(ManualClock::new());
+        let sink = Arc::new(Collect(Mutex::new(Vec::new())));
+        let tracer = Tracer::new(SiteId(0), clock, sink.clone());
+        tracer.register_trace(TxnId(5), 0xAB00_0001);
+        tracer.emit(Some(TxnId(5)), EventKind::TxnAdmit);
+        tracer.emit(Some(TxnId(6)), EventKind::TxnAdmit);
+        tracer.emit(
+            None,
+            EventKind::SessionChange {
+                site: SiteId(1),
+                session: SessionNumber(2),
+                up: false,
+            },
+        );
+        let events = sink.0.lock().unwrap();
+        assert_eq!(events[0].trace, 0xAB00_0001);
+        assert_eq!(events[1].trace, 0, "unregistered txn stays untraced");
+        assert_eq!(events[2].trace, 0);
+        assert_eq!(tracer.trace_of(TxnId(5)), 0xAB00_0001);
+        assert_eq!(tracer.trace_of(TxnId(6)), 0);
+    }
+
+    #[test]
+    fn registry_eviction_is_bounded_and_fifo() {
+        let mut reg = TraceRegistry::default();
+        for i in 0..(TRACE_REGISTRY_CAP as u64 + 10) {
+            reg.register(TxnId(i), i + 1);
+        }
+        assert_eq!(reg.by_txn.len(), TRACE_REGISTRY_CAP);
+        assert!(!reg.by_txn.contains_key(&TxnId(0)), "oldest evicted");
+        assert!(reg
+            .by_txn
+            .contains_key(&TxnId(TRACE_REGISTRY_CAP as u64 + 9)));
+    }
+
+    #[test]
+    fn trace_id_gen_is_deterministic_and_nonzero() {
+        let mut a = TraceIdGen::new(7);
+        let mut b = TraceIdGen::new(7);
+        let ids: Vec<u64> = (0..5).map(|_| a.next_id()).collect();
+        let again: Vec<u64> = (0..5).map(|_| b.next_id()).collect();
+        assert_eq!(ids, again);
+        assert!(ids.iter().all(|&id| id != 0));
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(distinct.len(), ids.len());
+        let mut other = TraceIdGen::new(8);
+        assert_ne!(other.next_id(), ids[0], "origins partition the id space");
+        // Origin 0 (the default managing client) still never yields 0.
+        assert_ne!(TraceIdGen::new(0).next_id(), 0);
     }
 }

@@ -55,6 +55,12 @@ const TAG_SHARD_PREPARE: u8 = 28;
 const TAG_SHARD_VOTE: u8 = 29;
 /// Cross-shard 2PC phase two: commit or abort the held branch.
 const TAG_SHARD_DECIDE: u8 = 30;
+/// Causal-trace annotation envelope: a trace id plus the annotated
+/// message. Optional everywhere — a frame without it decodes exactly
+/// as before, so old-codec peers and trace-off deployments are
+/// bit-compatible. Legal nesting, outermost first:
+/// `Seq{ShardEnv{Traced{..}}}`.
+const TAG_TRACED: u8 = 31;
 
 fn err(reason: &'static str) -> NetError {
     NetError::Codec(reason)
@@ -444,6 +450,11 @@ pub fn encode_into(buf: &mut BytesMut, msg: &Message) {
             buf.put_u64_le(txn.0);
             buf.put_u8(*commit as u8);
         }
+        Message::Traced { trace, inner } => {
+            buf.put_u8(TAG_TRACED);
+            buf.put_u64_le(*trace);
+            encode_into(buf, inner);
+        }
         Message::Seq { epoch, seq, inner } => {
             buf.put_u8(TAG_SEQ);
             buf.put_u64_le(*epoch);
@@ -729,6 +740,29 @@ pub fn decode(mut buf: &[u8]) -> Result<Message, NetError> {
                 commit: buf.get_u8() != 0,
             }
         }
+        TAG_TRACED => {
+            need(&buf, 9)?;
+            let trace = buf.get_u64_le();
+            if trace == 0 {
+                return Err(err("traced frame with zero trace id"));
+            }
+            // The trace annotation decorates exactly one protocol
+            // message: it sits innermost (`Seq{ShardEnv{Traced{..}}}`),
+            // so reject every envelope tag rather than recursing on
+            // attacker-controlled depth.
+            match buf[0] {
+                TAG_TRACED | TAG_SHARD_ENV | TAG_SEQ | TAG_SEQ_ACK | TAG_MSG_BATCH => {
+                    return Err(err("nested traced frame"))
+                }
+                _ => {}
+            }
+            let inner = decode(buf)?;
+            buf.advance(buf.remaining());
+            Message::Traced {
+                trace,
+                inner: Box::new(inner),
+            }
+        }
         TAG_SEQ => {
             need(&buf, 17)?;
             let epoch = buf.get_u64_le();
@@ -1010,6 +1044,108 @@ mod tests {
         // A truncated envelope errors cleanly.
         assert!(decode(&[TAG_SHARD_ENV]).is_err());
         assert!(decode(&[TAG_SHARD_ENV, 2]).is_err());
+    }
+
+    #[test]
+    fn traced_envelope_roundtrips_and_nests_like_shard_env() {
+        // Bare traced frame.
+        roundtrip(Message::Traced {
+            trace: 0xDEAD_BEEF,
+            inner: Box::new(Message::Commit { txn: TxnId(3) }),
+        });
+        // Full legal stack: Seq{ShardEnv{Traced{CopyUpdate-ish}}}.
+        roundtrip(Message::Seq {
+            epoch: 2,
+            seq: 9,
+            inner: Box::new(Message::ShardEnv {
+                shard: 1,
+                inner: Box::new(Message::Traced {
+                    trace: 41,
+                    inner: Box::new(Message::UpdateAck {
+                        txn: TxnId(6),
+                        ok: true,
+                    }),
+                }),
+            }),
+        });
+        // Illegal: any envelope inside Traced.
+        for inner in [
+            Message::Traced {
+                trace: 1,
+                inner: Box::new(Message::Commit { txn: TxnId(1) }),
+            },
+            Message::ShardEnv {
+                shard: 0,
+                inner: Box::new(Message::Commit { txn: TxnId(1) }),
+            },
+            Message::SeqAck {
+                epoch: 1,
+                cumulative: 2,
+                receiver: 3,
+            },
+        ] {
+            let mut raw = BytesMut::new();
+            raw.put_u8(TAG_TRACED);
+            raw.put_u64_le(5);
+            encode_into(&mut raw, &inner);
+            assert!(decode(&raw).is_err(), "nested {} accepted", inner.kind());
+        }
+        // Zero trace ids never appear on the wire.
+        let mut raw = BytesMut::new();
+        raw.put_u8(TAG_TRACED);
+        raw.put_u64_le(0);
+        encode_into(&mut raw, &Message::Commit { txn: TxnId(1) });
+        assert!(decode(&raw).is_err());
+        // Truncations error cleanly.
+        assert!(decode(&[TAG_TRACED]).is_err());
+        assert!(decode(&[TAG_TRACED, 1, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn trace_absent_frames_are_bit_identical_to_old_codec() {
+        // The trace annotation is a *wrapper* tag: an unwrapped message
+        // encodes to exactly the bytes the pre-trace codec produced, so
+        // tracing-off deployments and recorded traffic stay
+        // bit-compatible. Pin a few known encodings.
+        let enc = encode(&Message::Commit { txn: TxnId(0x0102) });
+        assert_eq!(&enc[..], &[3, 0x02, 0x01, 0, 0, 0, 0, 0, 0]);
+        let enc = encode(&Message::ShardVote {
+            txn: TxnId(1),
+            ok: true,
+        });
+        assert_eq!(&enc[..], &[29, 1, 0, 0, 0, 0, 0, 0, 0, 1]);
+        // And the wrapped form is the old bytes prefixed by tag + id.
+        let plain = encode(&Message::Commit { txn: TxnId(7) });
+        let traced = encode(&Message::Traced {
+            trace: 9,
+            inner: Box::new(Message::Commit { txn: TxnId(7) }),
+        });
+        assert_eq!(&traced[9..], &plain[..]);
+        assert_eq!(traced[0], TAG_TRACED);
+    }
+
+    #[test]
+    fn traced_frames_interleave_in_batches() {
+        let msgs = vec![
+            Message::Commit { txn: TxnId(1) },
+            Message::Traced {
+                trace: 77,
+                inner: Box::new(Message::CommitAck { txn: TxnId(1) }),
+            },
+            Message::ShardEnv {
+                shard: 2,
+                inner: Box::new(Message::Traced {
+                    trace: 78,
+                    inner: Box::new(Message::ShardVote {
+                        txn: TxnId(2),
+                        ok: false,
+                    }),
+                }),
+            },
+        ];
+        let mut buf = BytesMut::new();
+        encode_batch_into(&mut buf, &msgs);
+        assert_eq!(decode_many(&buf).expect("batch decodes"), msgs);
     }
 
     #[test]

@@ -273,6 +273,42 @@ fn arb_shard_frame() -> impl Strategy<Value = Message> {
     ]
 }
 
+/// A causal trace annotation (TAG 31) in every legal position: it sits
+/// innermost, optionally under a shard envelope, optionally under the
+/// session layer — the full stack being `Seq { ShardEnv { Traced { .. } } }`.
+fn arb_traced_frame() -> impl Strategy<Value = Message> {
+    let traced = || {
+        (any::<u64>().prop_map(|t| t.max(1)), arb_message()).prop_map(|(trace, inner)| {
+            Message::Traced {
+                trace,
+                inner: Box::new(inner),
+            }
+        })
+    };
+    prop_oneof![
+        traced(),
+        (any::<u8>(), traced()).prop_map(|(shard, inner)| Message::ShardEnv {
+            shard,
+            inner: Box::new(inner),
+        }),
+        (any::<u64>(), any::<u64>(), traced()).prop_map(|(epoch, seq, inner)| Message::Seq {
+            epoch,
+            seq,
+            inner: Box::new(inner),
+        }),
+        (any::<u64>(), any::<u64>(), any::<u8>(), traced()).prop_map(
+            |(epoch, seq, shard, inner)| Message::Seq {
+                epoch,
+                seq,
+                inner: Box::new(Message::ShardEnv {
+                    shard,
+                    inner: Box::new(inner),
+                }),
+            }
+        ),
+    ]
+}
+
 proptest! {
     #[test]
     fn every_message_roundtrips(msg in arb_wire_message()) {
@@ -356,6 +392,86 @@ proptest! {
             }),
         };
         let encoded = encode(&msg);
+        prop_assert!(decode(&encoded).is_err());
+    }
+
+    #[test]
+    fn traced_frames_roundtrip(msg in arb_traced_frame()) {
+        let encoded = encode(&msg);
+        let decoded = decode(&encoded).expect("well-formed traced frame decodes");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn traced_envelope_is_a_pure_prefix(trace in any::<u64>().prop_map(|t| t.max(1)), msg in arb_message()) {
+        // Back-compat by construction: the trace annotation is exactly a
+        // 9-byte prefix (tag 31 + little-endian id) over the untraced
+        // encoding, so trace-absent frames are bit-identical to a build
+        // that has never heard of tracing, and stripping the prefix
+        // recovers the plain frame byte for byte.
+        let plain = encode(&msg);
+        let traced = encode(&Message::Traced {
+            trace,
+            inner: Box::new(msg),
+        });
+        prop_assert_eq!(traced.len(), plain.len() + 9);
+        prop_assert_eq!(traced[0], 31u8);
+        prop_assert_eq!(&traced[1..9], &trace.to_le_bytes()[..]);
+        prop_assert_eq!(&traced[9..], &plain[..]);
+    }
+
+    #[test]
+    fn traced_frames_interleave_in_batches(
+        traced_frames in proptest::collection::vec(arb_traced_frame(), 1..4),
+        plain_frames in proptest::collection::vec(arb_wire_message(), 1..4),
+    ) {
+        // Traced traffic only ever appears for the handful of
+        // transactions under observation; a coalesced batch mixes it
+        // with untraced frames and must round-trip in order.
+        let mut msgs = Vec::new();
+        let mut traced = traced_frames.into_iter();
+        let mut plains = plain_frames.into_iter();
+        loop {
+            match (traced.next(), plains.next()) {
+                (None, None) => break,
+                (t, p) => {
+                    msgs.extend(t);
+                    msgs.extend(p);
+                }
+            }
+        }
+        let mut buf = BytesMut::new();
+        encode_batch_into(&mut buf, &msgs);
+        let decoded = decode_many(&buf).expect("interleaved traced batch decodes");
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn nested_traced_frames_are_rejected(
+        outer in any::<u64>().prop_map(|t| t.max(1)),
+        inner in any::<u64>().prop_map(|t| t.max(1)),
+        msg in arb_message(),
+    ) {
+        // One annotation per frame; the decoder refuses to recurse on a
+        // traced frame inside a traced frame.
+        let nested = Message::Traced {
+            trace: outer,
+            inner: Box::new(Message::Traced {
+                trace: inner,
+                inner: Box::new(msg),
+            }),
+        };
+        prop_assert!(decode(&encode(&nested)).is_err());
+    }
+
+    #[test]
+    fn zero_trace_ids_are_rejected(msg in arb_message()) {
+        // Trace id 0 means "untraced" everywhere in the stack; a frame
+        // claiming it on the wire is malformed.
+        let encoded = encode(&Message::Traced {
+            trace: 0,
+            inner: Box::new(msg),
+        });
         prop_assert!(decode(&encoded).is_err());
     }
 

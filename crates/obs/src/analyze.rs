@@ -21,7 +21,7 @@ use std::path::Path;
 
 use miniraid_core::error::AbortReason;
 use miniraid_core::ids::{SiteId, TxnId};
-use miniraid_core::trace::{EventKind, TraceEvent};
+use miniraid_core::trace::{EventKind, TraceEvent, TraceId};
 
 use crate::hist::LatencyHistogram;
 use crate::json::{parse_event, reason_name};
@@ -351,6 +351,257 @@ pub fn render_report(analysis: &TraceAnalysis) -> String {
     out
 }
 
+/// One node in a reassembled trace span tree: a labelled interval with
+/// its milestone events (rendered as `name +Δµs` offsets from the
+/// node's start) and nested child spans.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Human label ("client", "branch txn 7", "site 2", "chaos").
+    pub label: String,
+    /// Earliest wall stamp (µs) of any event in this node's subtree.
+    pub start: u64,
+    /// Latest wall stamp (µs) of any event in this node's subtree.
+    pub end: u64,
+    /// Milestones inside this node, in stamp order, pre-rendered as
+    /// `name[detail] +offset_us`.
+    pub events: Vec<String>,
+    /// Nested spans (branches under the trace, sites under a branch).
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn new(label: String) -> Self {
+        SpanNode {
+            label,
+            start: u64::MAX,
+            end: 0,
+            events: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    fn cover(&mut self, wall: u64) {
+        self.start = self.start.min(wall);
+        self.end = self.end.max(wall);
+    }
+}
+
+/// One causal trace reassembled from a (possibly multi-site,
+/// multi-shard) event stream.
+#[derive(Debug, Clone)]
+pub struct TraceSpanTree {
+    /// The trace id all member events carried.
+    pub trace: TraceId,
+    /// Root span covering the whole trace.
+    pub root: SpanNode,
+    /// Distinct transaction ids that appeared under this trace (the
+    /// top-level cross-shard txn plus every per-group branch txn).
+    pub txns: Vec<TxnId>,
+    /// True when a terminal commit was observed (client `XDecide`
+    /// commit or any participant `Commit`).
+    pub committed: bool,
+}
+
+fn kind_detail(kind: &EventKind) -> String {
+    match kind {
+        EventKind::PreparePhase { participants } => format!("({participants})"),
+        EventKind::Abort { reason } => format!("({})", reason_name(*reason)),
+        EventKind::Vote { from, ok } => format!("(site {}, ok={ok})", from.0),
+        EventKind::SessionChange { site, session, up } => {
+            format!("(site {} s{} up={up})", site.0, session.0)
+        }
+        EventKind::XBegin { branches } => format!("({branches} branches)"),
+        EventKind::XPrepare { shard } => format!("(shard {shard})"),
+        EventKind::XVote { shard, ok } => format!("(shard {shard}, ok={ok})"),
+        EventKind::XDecide { commit } => format!("({})", if *commit { "commit" } else { "abort" }),
+        EventKind::WalFsync { retired } => format!("({retired} retired)"),
+        EventKind::Chaos { action, target } => format!("({} site {})", action.name(), target.0),
+        _ => String::new(),
+    }
+}
+
+fn is_client_kind(kind: &EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::XBegin { .. }
+            | EventKind::XPrepare { .. }
+            | EventKind::XVote { .. }
+            | EventKind::XDecide { .. }
+    )
+}
+
+/// Reassemble every traced event (`trace != 0`) into one span tree per
+/// trace id, ordered by first appearance.
+///
+/// Tree shape: the root covers the whole trace; a `client` child holds
+/// the cross-shard coordinator milestones (`x_begin` → `x_decide`), one
+/// `branch txn N` child per distinct transaction id groups the branch
+/// 2PC with per-site children underneath (participant apply and
+/// covering `wal_fsync` included), and chaos schedule annotations land
+/// in a `chaos` child of the root.
+pub fn assemble_spans(events: &[TraceEvent]) -> Vec<TraceSpanTree> {
+    let mut sorted: Vec<&TraceEvent> = events.iter().filter(|e| e.trace != 0).collect();
+    sorted.sort_by_key(|e| (e.at.wall_micros, e.site.0, e.at.logical));
+
+    let mut order: Vec<TraceId> = Vec::new();
+    let mut by_trace: HashMap<TraceId, Vec<&TraceEvent>> = HashMap::new();
+    for event in sorted {
+        by_trace.entry(event.trace).or_insert_with(|| {
+            order.push(event.trace);
+            Vec::new()
+        });
+        by_trace
+            .get_mut(&event.trace)
+            .expect("just inserted")
+            .push(event);
+    }
+
+    let mut trees = Vec::with_capacity(order.len());
+    for trace in order {
+        let events = &by_trace[&trace];
+        let mut root = SpanNode::new(format!("trace {trace:#x}"));
+        let mut client = SpanNode::new("client".to_string());
+        let mut chaos = SpanNode::new("chaos".to_string());
+        let mut branch_order: Vec<TxnId> = Vec::new();
+        let mut branches: HashMap<TxnId, SpanNode> = HashMap::new();
+        // (branch txn, site) → index into that branch's children.
+        let mut site_slots: HashMap<(TxnId, SiteId), usize> = HashMap::new();
+        let mut committed = false;
+        let mut txns: Vec<TxnId> = Vec::new();
+
+        for event in events {
+            let wall = event.at.wall_micros;
+            root.cover(wall);
+            if let Some(txn) = event.txn {
+                if !txns.contains(&txn) {
+                    txns.push(txn);
+                }
+            }
+            let line = format!(
+                "{}{} +{}µs",
+                event.kind.name(),
+                kind_detail(&event.kind),
+                wall.saturating_sub(root.start)
+            );
+            match &event.kind {
+                EventKind::Chaos { .. } => {
+                    chaos.cover(wall);
+                    chaos.events.push(line);
+                }
+                kind if is_client_kind(kind) => {
+                    if let EventKind::XDecide { commit: true } = kind {
+                        committed = true;
+                    }
+                    client.cover(wall);
+                    client.events.push(line);
+                }
+                kind => {
+                    if matches!(kind, EventKind::Commit) {
+                        committed = true;
+                    }
+                    let Some(txn) = event.txn else { continue };
+                    let branch = branches.entry(txn).or_insert_with(|| {
+                        branch_order.push(txn);
+                        SpanNode::new(format!("branch txn {}", txn.0))
+                    });
+                    branch.cover(wall);
+                    let slot = *site_slots.entry((txn, event.site)).or_insert_with(|| {
+                        branch
+                            .children
+                            .push(SpanNode::new(format!("site {}", event.site.0)));
+                        branch.children.len() - 1
+                    });
+                    let site = &mut branch.children[slot];
+                    site.cover(wall);
+                    site.events.push(line);
+                }
+            }
+        }
+
+        txns.sort_by_key(|t| t.0);
+        if !client.events.is_empty() {
+            root.children.push(client);
+        }
+        for txn in &branch_order {
+            root.children
+                .push(branches.remove(txn).expect("branch recorded"));
+        }
+        if !chaos.events.is_empty() {
+            root.children.push(chaos);
+        }
+        if root.start == u64::MAX {
+            root.start = 0;
+        }
+        trees.push(TraceSpanTree {
+            trace,
+            root,
+            txns,
+            committed,
+        });
+    }
+    trees
+}
+
+fn render_span_node(out: &mut String, node: &SpanNode, prefix: &str, last: bool, is_root: bool) {
+    let span_ms = node.end.saturating_sub(node.start) as f64 / 1000.0;
+    if is_root {
+        let _ = writeln!(out, "{} [{:.1} ms]", node.label, span_ms);
+    } else {
+        let branch = if last { "└─" } else { "├─" };
+        let _ = writeln!(out, "{prefix}{branch} {} [{:.1} ms]", node.label, span_ms);
+    }
+    let child_prefix = if is_root {
+        prefix.to_string()
+    } else if last {
+        format!("{prefix}   ")
+    } else {
+        format!("{prefix}│  ")
+    };
+    for (i, line) in node.events.iter().enumerate() {
+        let leaf_last = node.children.is_empty() && i + 1 == node.events.len();
+        let tick = if leaf_last { "└─" } else { "├─" };
+        let _ = writeln!(out, "{child_prefix}{tick} {line}");
+    }
+    for (i, child) in node.children.iter().enumerate() {
+        render_span_node(
+            out,
+            child,
+            &child_prefix,
+            i + 1 == node.children.len(),
+            false,
+        );
+    }
+}
+
+/// Render reassembled span trees as a unicode tree, one per trace.
+pub fn render_spans(trees: &[TraceSpanTree]) -> String {
+    let mut out = String::new();
+    if trees.is_empty() {
+        out.push_str("no traced transactions (all events carried trace id 0)\n");
+        return out;
+    }
+    for (i, tree) in trees.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let outcome = if tree.committed {
+            "committed"
+        } else {
+            "unresolved"
+        };
+        let txn_list: Vec<String> = tree.txns.iter().map(|t| t.0.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "trace {:#x}  txns [{}]  {}",
+            tree.trace,
+            txn_list.join(", "),
+            outcome
+        );
+        render_span_node(&mut out, &tree.root, "", true, true);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +611,7 @@ mod tests {
         TraceEvent {
             site: SiteId(site),
             txn: Some(TxnId(txn)),
+            trace: 0,
             at: Stamp {
                 logical: wall,
                 wall_micros: wall,
@@ -416,6 +668,118 @@ mod tests {
         assert!(report.contains("committed"));
         assert!(report.contains("aborted (data_unavailable)"));
         assert!(report.contains("critical path: prepared→decided"));
+    }
+
+    fn tev(site: u8, txn: Option<u64>, trace: u64, wall: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            site: SiteId(site),
+            txn: txn.map(TxnId),
+            trace,
+            at: Stamp {
+                logical: wall,
+                wall_micros: wall,
+            },
+            kind,
+        }
+    }
+
+    #[test]
+    fn spans_reassemble_cross_shard_txn() {
+        use miniraid_core::trace::ChaosAction;
+        let t = 0x0007_0000_0000_0001u64;
+        let events = vec![
+            // Client-side cross-shard coordination (site 200 = client).
+            tev(200, Some(9), t, 100, EventKind::XBegin { branches: 2 }),
+            tev(200, Some(9), t, 110, EventKind::XPrepare { shard: 0 }),
+            tev(200, Some(9), t, 111, EventKind::XPrepare { shard: 1 }),
+            // Branch txn 101 on shard 0 (sites 0, 1).
+            tev(0, Some(101), t, 120, EventKind::TxnAdmit),
+            tev(0, Some(101), t, 130, EventKind::LockGrant),
+            tev(
+                1,
+                Some(101),
+                t,
+                160,
+                EventKind::ParticipantPrepared {
+                    coordinator: SiteId(0),
+                },
+            ),
+            tev(0, Some(101), t, 200, EventKind::Commit),
+            tev(0, Some(101), t, 210, EventKind::WalFsync { retired: 1 }),
+            // Branch txn 102 on shard 1 (site 3).
+            tev(3, Some(102), t, 125, EventKind::TxnAdmit),
+            tev(3, Some(102), t, 205, EventKind::Commit),
+            // Chaos annotation inside the same stream.
+            tev(
+                255,
+                None,
+                t,
+                150,
+                EventKind::Chaos {
+                    action: ChaosAction::Kill,
+                    target: SiteId(2),
+                },
+            ),
+            // Client decision.
+            tev(
+                200,
+                Some(9),
+                t,
+                220,
+                EventKind::XVote { shard: 0, ok: true },
+            ),
+            tev(
+                200,
+                Some(9),
+                t,
+                221,
+                EventKind::XVote { shard: 1, ok: true },
+            ),
+            tev(200, Some(9), t, 230, EventKind::XDecide { commit: true }),
+            // Untraced noise must be ignored.
+            tev(0, Some(55), 0, 140, EventKind::TxnAdmit),
+        ];
+        let trees = assemble_spans(&events);
+        assert_eq!(trees.len(), 1);
+        let tree = &trees[0];
+        assert_eq!(tree.trace, t);
+        assert!(tree.committed);
+        assert_eq!(tree.txns, vec![TxnId(9), TxnId(101), TxnId(102)]);
+        assert_eq!(tree.root.start, 100);
+        assert_eq!(tree.root.end, 230);
+        // client + branch 9 (client txn never emits participant events
+        // here, so it has no branch node) — children: client, branch 101,
+        // branch 102, chaos.
+        let labels: Vec<&str> = tree
+            .root
+            .children
+            .iter()
+            .map(|c| c.label.as_str())
+            .collect();
+        assert_eq!(
+            labels,
+            vec!["client", "branch txn 101", "branch txn 102", "chaos"]
+        );
+        let b101 = &tree.root.children[1];
+        assert_eq!(b101.children.len(), 2, "two sites under branch 101");
+        assert_eq!(b101.children[0].label, "site 0");
+        assert!(b101.children[0]
+            .events
+            .iter()
+            .any(|l| l.starts_with("wal_fsync")));
+        let rendered = render_spans(&trees);
+        assert!(rendered.contains("x_begin(2 branches)"));
+        assert!(rendered.contains("chaos(kill site 2)"));
+        assert!(rendered.contains("committed"));
+        assert!(rendered.contains("branch txn 102"));
+    }
+
+    #[test]
+    fn spans_empty_without_trace_ids() {
+        let events = committed_txn(0, 1, 1000);
+        let trees = assemble_spans(&events);
+        assert!(trees.is_empty());
+        assert!(render_spans(&trees).contains("no traced transactions"));
     }
 
     #[test]

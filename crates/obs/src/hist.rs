@@ -129,6 +129,87 @@ impl LatencyHistogram {
     }
 }
 
+/// Coordinated-omission-free recorder for open-loop (fixed-rate) load.
+///
+/// A closed-loop driver only submits the next request after the
+/// previous one finishes, so when the system stalls the driver stops
+/// sampling exactly when latency is worst — *coordinated omission*. An
+/// open-loop driver instead fixes the submission schedule in advance
+/// (one request every `interval_us`), and this recorder measures each
+/// completion against two different origins:
+///
+/// * **service time** — completion minus *actual* submission: what the
+///   system did once the request reached it;
+/// * **response time** — completion minus *intended* submission slot:
+///   what a real client arriving on schedule would have experienced,
+///   including every microsecond the driver itself fell behind.
+///
+/// Above the sustainable rate the two diverge sharply; response-time
+/// p99 is the honest number.
+#[derive(Debug, Clone)]
+pub struct OpenLoopRecorder {
+    start_us: u64,
+    interval_us: u64,
+    issued: u64,
+    service: LatencyHistogram,
+    response: LatencyHistogram,
+}
+
+impl OpenLoopRecorder {
+    /// A recorder whose schedule starts at `start_us` and intends one
+    /// submission every `interval_us` (minimum 1).
+    pub fn new(start_us: u64, interval_us: u64) -> Self {
+        OpenLoopRecorder {
+            start_us,
+            interval_us: interval_us.max(1),
+            issued: 0,
+            service: LatencyHistogram::new(),
+            response: LatencyHistogram::new(),
+        }
+    }
+
+    /// Allocate the next intended submission slot (microseconds). The
+    /// schedule never shifts: if the driver is late, the slot it gets
+    /// is still the one a punctual client would have used.
+    pub fn next_intended(&mut self) -> u64 {
+        let slot = self.start_us + self.issued * self.interval_us;
+        self.issued += 1;
+        slot
+    }
+
+    /// Record one completed operation: `intended_us` is the slot
+    /// [`OpenLoopRecorder::next_intended`] handed out, `submitted_us`
+    /// when the driver actually sent it, `completed_us` when the result
+    /// arrived.
+    pub fn record(&mut self, intended_us: u64, submitted_us: u64, completed_us: u64) {
+        self.service
+            .record(completed_us.saturating_sub(submitted_us));
+        self.response
+            .record(completed_us.saturating_sub(intended_us));
+    }
+
+    /// Submission slots handed out so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// The intended inter-submission gap (microseconds).
+    pub fn interval_us(&self) -> u64 {
+        self.interval_us
+    }
+
+    /// Service-time histogram (completion − actual submission).
+    pub fn service(&self) -> &LatencyHistogram {
+        &self.service
+    }
+
+    /// Response-time histogram (completion − intended slot): the
+    /// coordinated-omission-corrected view.
+    pub fn response(&self) -> &LatencyHistogram {
+        &self.response
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +248,32 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.max(), 1_000_000);
         assert_eq!(a.nonzero_buckets().len(), 2);
+    }
+
+    #[test]
+    fn open_loop_schedule_is_fixed() {
+        let mut r = OpenLoopRecorder::new(1_000, 100);
+        assert_eq!(r.next_intended(), 1_000);
+        assert_eq!(r.next_intended(), 1_100);
+        assert_eq!(r.next_intended(), 1_200);
+        assert_eq!(r.issued(), 3);
+    }
+
+    #[test]
+    fn open_loop_response_includes_queue_wait() {
+        let mut r = OpenLoopRecorder::new(0, 100);
+        // On-schedule op: response == service.
+        let slot = r.next_intended();
+        r.record(slot, slot, slot + 40);
+        assert_eq!(r.service().max(), 40);
+        assert_eq!(r.response().max(), 40);
+        // Driver fell 900µs behind: service time hides it, response
+        // time charges the full wait against the intended slot.
+        let slot = r.next_intended();
+        r.record(slot, slot + 900, slot + 940);
+        assert_eq!(r.service().max(), 40);
+        assert_eq!(r.response().max(), 940);
+        assert!(r.response().quantile(0.99) > r.service().quantile(0.99));
     }
 
     #[test]

@@ -261,6 +261,7 @@ mod tests {
         TraceEvent {
             site: SiteId(0),
             txn: Some(TxnId(txn)),
+            trace: 0,
             at: Stamp {
                 logical: wall,
                 wall_micros: wall,

@@ -9,10 +9,13 @@
 //! ```
 //!
 //! `t` is [`EventKind::name`], `site` the emitting site, `txn` the
-//! transaction id (omitted for events outside a transaction), `lt` the
-//! logical stamp and `wt` wall-clock microseconds. Kind-specific fields
-//! ride alongside (`parts`, `from`, `ok`, `reason`, `coord`, `target`,
-//! `requester`, `count`, `ctype`, `peer`, `session`, `up`).
+//! transaction id (omitted for events outside a transaction), `tid`
+//! the causal trace id (omitted when 0 — untraced events serialize
+//! exactly as before trace propagation existed), `lt` the logical
+//! stamp and `wt` wall-clock microseconds. Kind-specific fields ride
+//! alongside (`parts`, `from`, `ok`, `reason`, `coord`, `target`,
+//! `requester`, `count`, `ctype`, `peer`, `session`, `up`, `branches`,
+//! `shard`, `commit`, `retired`, `action`).
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -68,6 +71,9 @@ pub fn encode_event_into(event: &TraceEvent, s: &mut String) {
     if let Some(txn) = event.txn {
         let _ = write!(s, ",\"txn\":{}", txn.0);
     }
+    if event.trace != 0 {
+        let _ = write!(s, ",\"tid\":{}", event.trace);
+    }
     let _ = write!(
         s,
         ",\"lt\":{},\"wt\":{}",
@@ -109,6 +115,29 @@ pub fn encode_event_into(event: &TraceEvent, s: &mut String) {
                 s,
                 ",\"peer\":{},\"session\":{},\"up\":{}",
                 site.0, session.0, up
+            );
+        }
+        EventKind::XBegin { branches } => {
+            let _ = write!(s, ",\"branches\":{branches}");
+        }
+        EventKind::XPrepare { shard } => {
+            let _ = write!(s, ",\"shard\":{shard}");
+        }
+        EventKind::XVote { shard, ok } => {
+            let _ = write!(s, ",\"shard\":{shard},\"ok\":{ok}");
+        }
+        EventKind::XDecide { commit } => {
+            let _ = write!(s, ",\"commit\":{commit}");
+        }
+        EventKind::WalFsync { retired } => {
+            let _ = write!(s, ",\"retired\":{retired}");
+        }
+        EventKind::Chaos { action, target } => {
+            let _ = write!(
+                s,
+                ",\"action\":\"{}\",\"target\":{}",
+                action.name(),
+                target.0
             );
         }
         EventKind::TxnAdmit
@@ -254,6 +283,7 @@ pub fn parse_event(line: &str) -> Result<TraceEvent, String> {
     let t = get_str("t").ok_or("missing \"t\"")?;
     let site = SiteId(get_num("site").ok_or("missing \"site\"")? as u8);
     let txn = get_num("txn").map(TxnId);
+    let trace = get_num("tid").unwrap_or(0);
     let at = Stamp {
         logical: get_num("lt").ok_or("missing \"lt\"")?,
         wall_micros: get_num("wt").ok_or("missing \"wt\"")?,
@@ -308,11 +338,34 @@ pub fn parse_event(line: &str) -> Result<TraceEvent, String> {
             session: SessionNumber(get_num("session").ok_or("session missing \"session\"")?),
             up: get_bool("up").ok_or("session missing \"up\"")?,
         },
+        "x_begin" => EventKind::XBegin {
+            branches: get_num("branches").ok_or("x_begin missing \"branches\"")? as u8,
+        },
+        "x_prepare" => EventKind::XPrepare {
+            shard: get_num("shard").ok_or("x_prepare missing \"shard\"")? as u8,
+        },
+        "x_vote" => EventKind::XVote {
+            shard: get_num("shard").ok_or("x_vote missing \"shard\"")? as u8,
+            ok: get_bool("ok").ok_or("x_vote missing \"ok\"")?,
+        },
+        "x_decide" => EventKind::XDecide {
+            commit: get_bool("commit").ok_or("x_decide missing \"commit\"")?,
+        },
+        "wal_fsync" => EventKind::WalFsync {
+            retired: get_num("retired").ok_or("wal_fsync missing \"retired\"")? as u32,
+        },
+        "chaos" => EventKind::Chaos {
+            action: get_str("action")
+                .and_then(miniraid_core::trace::ChaosAction::from_name)
+                .ok_or("chaos missing/unknown \"action\"")?,
+            target: SiteId(get_num("target").ok_or("chaos missing \"target\"")? as u8),
+        },
         other => return Err(format!("unknown event kind \"{other}\"")),
     };
     Ok(TraceEvent {
         site,
         txn,
+        trace,
         at,
         kind,
     })
@@ -428,21 +481,74 @@ mod tests {
                 session: SessionNumber(4),
                 up: false,
             },
+            EventKind::XBegin { branches: 2 },
+            EventKind::XPrepare { shard: 1 },
+            EventKind::XVote { shard: 0, ok: true },
+            EventKind::XVote {
+                shard: 1,
+                ok: false,
+            },
+            EventKind::XDecide { commit: true },
+            EventKind::WalFsync { retired: 3 },
+            EventKind::Chaos {
+                action: miniraid_core::trace::ChaosAction::Kill,
+                target: SiteId(2),
+            },
+            EventKind::Chaos {
+                action: miniraid_core::trace::ChaosAction::Isolate,
+                target: SiteId(0),
+            },
         ];
         for kind in kinds {
             roundtrip(TraceEvent {
                 site: SiteId(1),
                 txn: Some(TxnId(42)),
+                trace: 0,
                 at,
                 kind,
             });
             roundtrip(TraceEvent {
                 site: SiteId(0),
                 txn: None,
+                trace: 0,
+                at,
+                kind,
+            });
+            // With a causal trace id attached.
+            roundtrip(TraceEvent {
+                site: SiteId(2),
+                txn: Some(TxnId(7)),
+                trace: 0x0007_0000_0000_0001,
                 at,
                 kind,
             });
         }
+    }
+
+    #[test]
+    fn untraced_events_serialize_without_tid() {
+        let event = TraceEvent {
+            site: SiteId(0),
+            txn: Some(TxnId(1)),
+            trace: 0,
+            at: Stamp {
+                logical: 1,
+                wall_micros: 2,
+            },
+            kind: EventKind::Commit,
+        };
+        let line = encode_event(&event);
+        assert!(!line.contains("tid"), "trace-off line grew a field: {line}");
+        assert_eq!(
+            line,
+            "{\"t\":\"commit\",\"site\":0,\"txn\":1,\"lt\":1,\"wt\":2}"
+        );
+        // And a traced one carries it between txn and lt.
+        let traced = TraceEvent { trace: 9, ..event };
+        assert_eq!(
+            encode_event(&traced),
+            "{\"t\":\"commit\",\"site\":0,\"txn\":1,\"tid\":9,\"lt\":1,\"wt\":2}"
+        );
     }
 
     #[test]
@@ -470,6 +576,7 @@ mod tests {
             sink.record(TraceEvent {
                 site: SiteId(0),
                 txn: Some(TxnId(n)),
+                trace: n,
                 at: Stamp {
                     logical: n,
                     wall_micros: n * 100,

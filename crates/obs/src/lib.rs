@@ -15,7 +15,9 @@
 //! * [`expo`] — Prometheus-style text exposition of
 //!   [`miniraid_core::metrics::EngineMetrics`] plus hub histograms.
 //! * [`analyze`] — replay a JSONL trace into per-transaction phase
-//!   breakdowns and a critical-path summary.
+//!   breakdowns, a critical-path summary, and causal span trees.
+//! * [`watch`] — scrape-parsing and rendering for the live
+//!   `miniraid-ctl watch` health view.
 
 #![warn(missing_docs)]
 
@@ -25,9 +27,14 @@ pub mod hist;
 pub mod hub;
 pub mod json;
 pub mod sink;
+pub mod watch;
 
-pub use analyze::{analyze, read_trace, render_report, TraceAnalysis, TxnBreakdown, TxnEnd};
-pub use hist::LatencyHistogram;
+pub use analyze::{
+    analyze, assemble_spans, read_trace, render_report, render_spans, SpanNode, TraceAnalysis,
+    TraceSpanTree, TxnBreakdown, TxnEnd,
+};
+pub use hist::{LatencyHistogram, OpenLoopRecorder};
 pub use hub::{HubSnapshot, MetricsHub, ShardEngineStats, ShardedSnapshot};
 pub use json::{encode_event, encode_event_into, parse_event, JsonlSink};
 pub use sink::{CollectSink, NullSink, RingSink, TeeSink};
+pub use watch::{parse_site_sample, render_watch, render_watch_jsonl, SiteSample};

@@ -100,6 +100,7 @@ impl std::fmt::Debug for RingSink {
 const PLACEHOLDER: TraceEvent = TraceEvent {
     site: SiteId(0),
     txn: None,
+    trace: 0,
     at: Stamp {
         logical: 0,
         wall_micros: 0,
@@ -203,6 +204,7 @@ mod tests {
         TraceEvent {
             site: SiteId(1),
             txn: Some(TxnId(n)),
+            trace: 0,
             at: Stamp {
                 logical: n,
                 wall_micros: n * 10,

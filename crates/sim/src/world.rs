@@ -421,6 +421,25 @@ impl Simulation {
             .clone()
     }
 
+    /// Submit a transaction bound to a causal trace id, as the managing
+    /// client's `Message::Traced` envelope would on the live wire: the
+    /// coordinator's tracer learns the binding before the `Begin` is
+    /// processed, and delivery propagates it to every participant, so
+    /// all engine-emitted protocol events for this transaction carry
+    /// `trace`. Requires [`Simulation::enable_protocol_obs`] (the
+    /// binding is a no-op on disabled tracers).
+    pub fn run_traced_txn(
+        &mut self,
+        site: SiteId,
+        txn: Transaction,
+        trace: miniraid_core::trace::TraceId,
+    ) -> TxnRecord {
+        self.engines[site.index()]
+            .tracer()
+            .register_trace(txn.id, trace);
+        self.run_txn(site, txn)
+    }
+
     /// Process every pending event (messages and timers).
     pub fn run_to_quiescence(&mut self) {
         while self.step() {}
@@ -497,6 +516,18 @@ impl Simulation {
                     if !is_mgmt && self.partitioned(from, to) {
                         self.partition_drops += 1;
                         return true;
+                    }
+                    // Propagate the causal trace binding the way a
+                    // `Message::Traced` envelope does on the live wire:
+                    // the receiver learns the sender's txn→trace binding
+                    // before processing the payload. No-op (one cheap
+                    // atomic load) when no trace ids are in play, so
+                    // trace-off runs are untouched.
+                    if let Some(txn) = msg.txn_id() {
+                        let trace = self.engines[from.index()].tracer().trace_of(txn);
+                        if trace != 0 {
+                            self.engines[to.index()].tracer().register_trace(txn, trace);
+                        }
                     }
                     let kind = msg.kind();
                     (

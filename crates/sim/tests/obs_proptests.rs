@@ -176,6 +176,82 @@ fn sim_traces_are_deterministic() {
     }
 }
 
+/// With causal trace ids enabled the sim stays byte-for-byte
+/// deterministic under a scripted fail/recover schedule, every site
+/// along a transaction's path stamps the submitter's trace id (delivery
+/// propagates the binding like the wire envelope does), and the encoded
+/// JSONL carries the `tid` field.
+#[test]
+fn traced_sim_runs_are_byte_identical() {
+    use miniraid_core::trace::TraceIdGen;
+
+    fn run() -> (Vec<Vec<String>>, u64) {
+        let protocol = ProtocolConfig {
+            db_size: DB_SIZE,
+            n_sites: N_SITES,
+            ..ProtocolConfig::default()
+        };
+        let mut sim = Simulation::new(SimConfig::paper(protocol));
+        let mut sinks: Vec<Arc<CollectSink>> = Vec::new();
+        sim.enable_protocol_obs(|_| {
+            let sink = Arc::new(CollectSink::new());
+            sinks.push(sink.clone());
+            Some(sink as Arc<dyn TraceSink>)
+        });
+
+        let mut gen = TraceIdGen::new(N_SITES as u64);
+        let t1 = gen.next_id();
+        sim.run_traced_txn(
+            SiteId(0),
+            Transaction::new(TxnId(1), vec![Operation::Write(ItemId(1), 7)]),
+            t1,
+        );
+        sim.fail_site(SiteId(2), true);
+        sim.run_traced_txn(
+            SiteId(1),
+            Transaction::new(TxnId(2), vec![Operation::Write(ItemId(2), 8)]),
+            gen.next_id(),
+        );
+        assert!(sim.recover_site(SiteId(2)));
+        sim.run_traced_txn(
+            SiteId(2),
+            Transaction::new(TxnId(3), vec![Operation::Write(ItemId(1), 9)]),
+            gen.next_id(),
+        );
+        sim.run_to_quiescence();
+
+        let lines: Vec<Vec<String>> = sinks
+            .iter()
+            .map(|s| s.events().iter().map(miniraid_obs::encode_event).collect())
+            .collect();
+        (lines, t1)
+    }
+
+    let (a, t1) = run();
+    let (b, _) = run();
+    assert_eq!(a, b, "traced sim runs must be byte-identical");
+
+    // The submitter's trace id reached the participants: every site
+    // that emitted an event for txn 1 stamped it with t1.
+    let tid_field = format!("\"tid\":{t1}");
+    let stamped_sites = a
+        .iter()
+        .filter(|site_lines| {
+            site_lines
+                .iter()
+                .any(|l| l.contains("\"txn\":1,") && l.contains(&tid_field))
+        })
+        .count();
+    assert!(
+        stamped_sites >= 2,
+        "trace id should propagate beyond the coordinator (saw {stamped_sites} sites)"
+    );
+    assert!(
+        a.iter().flatten().any(|l| l.contains("\"tid\":")),
+        "encoded JSONL must carry the tid field"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
