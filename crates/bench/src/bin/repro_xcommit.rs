@@ -1,0 +1,191 @@
+//! Coordinator-takeover benchmark: sweep the vote-timeout / re-drive
+//! timers under coordinator-kill chaos and measure takeover latency.
+//!
+//! For each timer point, runs the sharded chaos schedule (2 replication
+//! groups, lossy links, mixed single/cross-shard traffic) with the
+//! cross-shard coordinator repeatedly killed at each kill-point
+//! (`after-prepare`, `after-votes`, `mid-decide`). Every run must hold
+//! the full oracle — cross-shard atomicity, per-group convergence, no
+//! transaction left permanently in doubt — while the sweep records how
+//! the timers trade takeover latency (crash → every orphan resolved)
+//! against re-drive traffic.
+//!
+//! The vote timeout is the takeover lever: a successor steps in one
+//! vote-timeout after the crash, so takeover p50 tracks it almost
+//! directly. The re-drive interval bounds how fast the successor's
+//! decides and appends retry through loss.
+//!
+//! Run: `cargo run --release -p miniraid-bench --bin repro_xcommit`
+//! (`MINIRAID_XCOMMIT_STEPS` overrides schedule steps, for CI smoke.)
+//!
+//! Writes `BENCH_xcommit.json` in the working directory.
+
+use miniraid_cluster::{run_sharded_chaos, CoordKillPoint, ShardChaosOptions};
+
+const SEED: u64 = 101;
+
+/// (vote_timeout_ms, redrive_interval_ms) sweep points: aggressive,
+/// default (400/700), and conservative.
+const TIMERS: [(u64, u64); 3] = [(200, 400), (400, 700), (800, 1400)];
+
+struct Point {
+    vote_timeout_ms: u64,
+    redrive_interval_ms: u64,
+    kill_point: &'static str,
+    crashes: u64,
+    takeovers: u64,
+    takeover_p50_us: u64,
+    takeover_p99_us: u64,
+    cross_committed_writes: u32,
+    redrives: u64,
+    violations: usize,
+}
+
+fn main() {
+    let steps: u32 = std::env::var("MINIRAID_XCOMMIT_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    println!(
+        "coordinator-takeover timer sweep: seed {SEED}, {steps} steps, \
+         2 replication groups, 10% drop / 5% duplication"
+    );
+    println!(
+        "{:>8} {:>8} {:>14} {:>8} {:>10} {:>12} {:>12} {:>9} {:>11}",
+        "vote ms",
+        "redr ms",
+        "kill point",
+        "crashes",
+        "takeovers",
+        "p50 ms",
+        "p99 ms",
+        "redrives",
+        "violations"
+    );
+
+    let mut points = Vec::new();
+    let mut failed = false;
+    for (vote_timeout_ms, redrive_interval_ms) in TIMERS {
+        for kp in CoordKillPoint::all() {
+            let outcome = run_sharded_chaos(ShardChaosOptions {
+                seed: SEED,
+                steps,
+                kill_coordinator: Some(kp),
+                shard_vote_timeout_ms: Some(vote_timeout_ms),
+                shard_redrive_interval_ms: Some(redrive_interval_ms),
+                ..ShardChaosOptions::default()
+            });
+            // The re-drive count is only surfaced through the summary
+            // trace line; committed counts come from the outcome.
+            let redrives = outcome
+                .trace
+                .last()
+                .and_then(|s| s.split("\"cross_redrives\":").nth(1))
+                .and_then(|s| s.split(&[',', '}'][..]).next())
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            let p = Point {
+                vote_timeout_ms,
+                redrive_interval_ms,
+                kill_point: kp.name(),
+                crashes: outcome.coordinator_crashes,
+                takeovers: outcome.takeovers,
+                takeover_p50_us: outcome.takeover_p50_us,
+                takeover_p99_us: outcome.takeover_p99_us,
+                cross_committed_writes: outcome.committed_writes,
+                redrives,
+                violations: outcome.violations.len(),
+            };
+            println!(
+                "{:>8} {:>8} {:>14} {:>8} {:>10} {:>12.1} {:>12.1} {:>9} {:>11}",
+                p.vote_timeout_ms,
+                p.redrive_interval_ms,
+                p.kill_point,
+                p.crashes,
+                p.takeovers,
+                p.takeover_p50_us as f64 / 1000.0,
+                p.takeover_p99_us as f64 / 1000.0,
+                p.redrives,
+                p.violations,
+            );
+            if !outcome.passed() {
+                eprintln!(
+                    "VIOLATIONS at vote={vote_timeout_ms} redrive={redrive_interval_ms} \
+                     kill={}: {:?}",
+                    kp.name(),
+                    outcome.violations
+                );
+                failed = true;
+            }
+            if p.crashes == 0 || p.takeovers == 0 {
+                eprintln!(
+                    "sweep point vote={vote_timeout_ms} kill={} never exercised a takeover",
+                    kp.name()
+                );
+                failed = true;
+            }
+            points.push(p);
+        }
+    }
+
+    // Headline: the vote timeout is the takeover lever — median takeover
+    // latency must grow with it (each crash waits one vote timeout
+    // before the successor steps in).
+    let median_for = |vote: u64| {
+        let ps: Vec<u64> = points
+            .iter()
+            .filter(|p| p.vote_timeout_ms == vote)
+            .map(|p| p.takeover_p50_us)
+            .collect();
+        ps.iter().sum::<u64>() / ps.len().max(1) as u64
+    };
+    let (fast, slow) = (median_for(TIMERS[0].0), median_for(TIMERS[2].0));
+    println!(
+        "takeover p50 across kill-points: {:.1} ms at vote={} vs {:.1} ms at vote={}",
+        fast as f64 / 1000.0,
+        TIMERS[0].0,
+        slow as f64 / 1000.0,
+        TIMERS[2].0
+    );
+    if slow <= fast {
+        eprintln!("expected takeover latency to track the vote timeout");
+        failed = true;
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"repro_xcommit\",\n");
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"steps\": {steps},\n"));
+    json.push_str("  \"groups\": 2,\n");
+    json.push_str("  \"drop\": 0.10,\n");
+    json.push_str("  \"duplicate\": 0.05,\n");
+    json.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"vote_timeout_ms\": {}, \"redrive_interval_ms\": {}, \
+             \"kill_point\": \"{}\", \"coordinator_crashes\": {}, \
+             \"takeovers\": {}, \"takeover_p50_us\": {}, \
+             \"takeover_p99_us\": {}, \"committed_writes\": {}, \
+             \"cross_redrives\": {}, \"violations\": {}}}{}\n",
+            p.vote_timeout_ms,
+            p.redrive_interval_ms,
+            p.kill_point,
+            p.crashes,
+            p.takeovers,
+            p.takeover_p50_us,
+            p.takeover_p99_us,
+            p.cross_committed_writes,
+            p.redrives,
+            p.violations,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_xcommit.json", &json).expect("write BENCH_xcommit.json");
+    println!("wrote BENCH_xcommit.json");
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,8 @@
 //! ```text
 //! chaos thread [--seed N] [--steps N] [--sites N] [--drop P] [--dup P]
 //!              [--shards N] [--sites-per-group N] [--cross-pct N]
+//!              [--kill-coordinator] [--kill-point POINT]
+//!              [--vote-timeout-ms N] [--redrive-ms N]
 //!              [--no-reliable] [--trace-out FILE]
 //! chaos proc   [--seed N] [--kills N] [--sites N] [--drop P] [--dup P]
 //!              [--base-port N] [--no-reliable] [--trace-out FILE]
@@ -16,7 +18,12 @@
 //! protocol-level Fail commands; partitions are one-way link blocks).
 //! With `--shards N` (N ≥ 2) it drives a *sharded* cluster instead: N
 //! replication groups with single- and cross-shard traffic, and the
-//! oracle additionally checks cross-shard atomicity.
+//! oracle additionally checks cross-shard atomicity. With
+//! `--kill-coordinator` the cross-shard coordinator itself is
+//! repeatedly killed at `--kill-point` (`after-prepare`, `after-votes`,
+//! or `mid-decide`; default `after-votes`) and a successor must take
+//! over from the replicated decision log — the atomicity oracle still
+//! has to hold.
 //! `proc` drives real `miniraid-site` OS processes over TCP with
 //! WAL-backed stores: kills are SIGKILL mid-transaction, restarts
 //! replay the WAL — the paper's site failure model made literal.
@@ -27,6 +34,7 @@ use miniraid_cluster::chaos::{
     run_process_chaos, run_sharded_chaos, run_thread_chaos, ChaosOptions, ChaosOutcome,
     ProcChaosOptions, ShardChaosOptions,
 };
+use miniraid_cluster::CoordKillPoint;
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     args.iter()
@@ -81,6 +89,23 @@ fn main() {
         "thread" => {
             let shards: u8 = parse_flag(&args, "--shards").unwrap_or(1);
             if shards > 1 {
+                let kill_name: Option<String> = parse_flag(&args, "--kill-point");
+                let kill_coordinator =
+                    if args.iter().any(|a| a == "--kill-coordinator") || kill_name.is_some() {
+                        let name = kill_name.as_deref().unwrap_or("after-votes");
+                        match CoordKillPoint::parse(name) {
+                            Some(kp) => Some(kp),
+                            None => {
+                                eprintln!(
+                                    "chaos: unknown --kill-point {name:?} \
+                                 (use after-prepare, after-votes, or mid-decide)"
+                                );
+                                std::process::exit(2);
+                            }
+                        }
+                    } else {
+                        None
+                    };
                 let opts = ShardChaosOptions {
                     seed,
                     steps: parse_flag(&args, "--steps").unwrap_or(60),
@@ -91,6 +116,9 @@ fn main() {
                     drop,
                     duplicate: dup,
                     with_reliable,
+                    kill_coordinator,
+                    shard_vote_timeout_ms: parse_flag(&args, "--vote-timeout-ms"),
+                    shard_redrive_interval_ms: parse_flag(&args, "--redrive-ms"),
                 };
                 eprintln!("chaos: sharded thread mode, {opts:?}");
                 finish(run_sharded_chaos(opts), trace_out, seed);

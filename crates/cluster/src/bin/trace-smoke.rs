@@ -235,6 +235,10 @@ fn sharded_smoke(dir: std::path::PathBuf) {
 
     client.terminate_all();
     cluster.join(Duration::from_secs(5));
+    // The client's JSONL sink buffers; only dropping the client flushes
+    // its tail. Reading `client.jsonl` before this point silently loses
+    // whatever sits past the last full buffer chunk.
+    drop(client);
     assert!(committed > 0, "no cross-shard transactions committed");
 
     // Sharded engines run under group-local site ids (each group has its

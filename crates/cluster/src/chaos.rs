@@ -55,7 +55,7 @@ use miniraid_shard::ShardSpec;
 
 use crate::cluster::Cluster;
 use crate::control::{ControlError, ManagingClient};
-use crate::shard_client::ShardedClient;
+use crate::shard_client::{CoordKillPoint, ShardedClient};
 use crate::site::ClusterTiming;
 
 /// Knobs for one chaos run.
@@ -112,6 +112,16 @@ pub struct ChaosOutcome {
     /// The converged database image `(item, version, data)`, when the
     /// convergence phase completed.
     pub final_db: Vec<(u32, u64, u64)>,
+    /// Coordinator crashes injected (sharded runs with
+    /// [`ShardChaosOptions::kill_coordinator`]; zero otherwise).
+    pub coordinator_crashes: u64,
+    /// In-doubt transactions adopted from the decision log by a
+    /// successor coordinator.
+    pub takeovers: u64,
+    /// Takeover latency (crash to every orphan resolved), median, µs.
+    pub takeover_p50_us: u64,
+    /// Takeover latency, 99th percentile, µs.
+    pub takeover_p99_us: u64,
 }
 
 impl ChaosOutcome {
@@ -726,6 +736,18 @@ pub struct ShardChaosOptions {
     pub duplicate: f64,
     /// Layer the reliable session protocol over the faulty links.
     pub with_reliable: bool,
+    /// Repeatedly kill the cross-shard coordinator at this kill-point:
+    /// the harness arms the one-shot kill, lets the takeover run, and
+    /// re-arms once the successor has resolved every orphan. `None`
+    /// leaves the coordinator immortal (the pre-decision-log model).
+    pub kill_coordinator: Option<CoordKillPoint>,
+    /// Override [`ProtocolConfig::shard_vote_timeout_ms`] — the
+    /// successor's takeover delay after a coordinator crash. `None`
+    /// keeps the config default (the timer-sweep lever).
+    pub shard_vote_timeout_ms: Option<u64>,
+    /// Override [`ProtocolConfig::shard_redrive_interval_ms`] — the
+    /// decide/append retry cadence. `None` keeps the config default.
+    pub shard_redrive_interval_ms: Option<u64>,
 }
 
 impl Default for ShardChaosOptions {
@@ -740,6 +762,9 @@ impl Default for ShardChaosOptions {
             drop: 0.10,
             duplicate: 0.05,
             with_reliable: true,
+            kill_coordinator: None,
+            shard_vote_timeout_ms: None,
+            shard_redrive_interval_ms: None,
         }
     }
 }
@@ -1268,17 +1293,32 @@ pub fn run_sharded_chaos(opts: ShardChaosOptions) -> ChaosOutcome {
     // A traced sharded run (`MINIRAID_CHAOS_TRACE_DIR`) is the
     // observability scenario: back the sites with the WAL so traced
     // transactions carry their covering group fsync in the span tree.
+    let defaults = ProtocolConfig::default();
     let config = ProtocolConfig {
         emit_persistence: std::env::var_os("MINIRAID_CHAOS_TRACE_DIR").is_some(),
-        ..ProtocolConfig::default()
+        shard_vote_timeout_ms: opts
+            .shard_vote_timeout_ms
+            .unwrap_or(defaults.shard_vote_timeout_ms),
+        shard_redrive_interval_ms: opts
+            .shard_redrive_interval_ms
+            .unwrap_or(defaults.shard_redrive_interval_ms),
+        ..defaults
     };
-    let (cluster, client, _controls) = Cluster::launch_sharded_faulty(
-        spec,
-        config,
-        ClusterTiming::default(),
-        plan,
-        opts.with_reliable,
-    );
+    // Timer constraint of the decision-log design (DESIGN.md §13): a
+    // parked branch's participants legitimately wait through a
+    // coordinator crash + takeover — one vote timeout (the successor's
+    // takeover delay), a quorum-read round (bounded by another vote
+    // timeout under loss), plus one re-drive. A participant timeout
+    // shorter than that budget declares the *parked* branch coordinator
+    // failed mid-takeover and fail-locks its own staged copies, wrongly.
+    let mut timing = ClusterTiming::default();
+    let takeover_budget =
+        Duration::from_millis(2 * config.shard_vote_timeout_ms + config.shard_redrive_interval_ms);
+    if timing.participant_timeout < takeover_budget {
+        timing.participant_timeout = takeover_budget;
+    }
+    let (cluster, client, _controls) =
+        Cluster::launch_sharded_faulty(spec, config, timing, plan, opts.with_reliable);
 
     let mut harness = ShardHarness {
         client,
@@ -1291,7 +1331,7 @@ pub fn run_sharded_chaos(opts: ShardChaosOptions) -> ChaosOutcome {
         opts,
     };
     harness.trace(format!(
-        "{{\"mode\":\"sharded\",\"seed\":{},\"steps\":{},\"groups\":{},\"sites_per_group\":{},\"cross_pct\":{},\"drop\":{},\"duplicate\":{},\"reliable\":{}}}",
+        "{{\"mode\":\"sharded\",\"seed\":{},\"steps\":{},\"groups\":{},\"sites_per_group\":{},\"cross_pct\":{},\"drop\":{},\"duplicate\":{},\"reliable\":{},\"kill_coordinator\":{:?}}}",
         opts.seed,
         opts.steps,
         opts.n_groups,
@@ -1299,15 +1339,39 @@ pub fn run_sharded_chaos(opts: ShardChaosOptions) -> ChaosOutcome {
         opts.cross_pct,
         opts.drop,
         opts.duplicate,
-        opts.with_reliable
+        opts.with_reliable,
+        opts.kill_coordinator.map(|kp| kp.name())
     ));
 
     let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut seen_crashes = 0u64;
     for step in 0..opts.steps {
         if !harness.outcome.violations.is_empty() {
             break;
         }
         harness.harvest(step);
+        // Coordinator-kill schedule: keep the one-shot kill armed while
+        // no takeover is in flight, so the coordinator keeps dying at
+        // the chosen point for as long as the run submits cross-shard
+        // work. (The last armed kill may fire during the convergence
+        // drain — the takeover must still resolve it.)
+        if let Some(kp) = opts.kill_coordinator {
+            let crashes = harness.client.coordinator_crashes();
+            if crashes > seen_crashes {
+                seen_crashes = crashes;
+                harness.trace(format!(
+                    "{{\"step\":{step},\"observed\":\"coordinator_crash\",\"kill_point\":\"{}\",\"count\":{crashes}}}",
+                    kp.name()
+                ));
+            }
+            if harness.client.armed_kill_point().is_none() && !harness.client.takeover_pending() {
+                harness.client.arm_coordinator_kill(kp);
+                harness.trace(format!(
+                    "{{\"step\":{step},\"action\":\"arm_kill_coordinator\",\"kill_point\":\"{}\"}}",
+                    kp.name()
+                ));
+            }
+        }
         let roll = rng.random_range(0..100u32);
         if roll < 8 {
             let victims = harness.killable();
@@ -1358,12 +1422,18 @@ pub fn run_sharded_chaos(opts: ShardChaosOptions) -> ChaosOutcome {
     }
 
     let xm = harness.client.xmetrics();
+    let crashes = harness.client.coordinator_crashes();
     let cross_hist = harness.client.cross_commit_latency.clone();
+    let takeover_hist = harness.client.takeover_latency.clone();
     let mut outcome = std::mem::take(&mut harness.outcome);
+    outcome.coordinator_crashes = crashes;
+    outcome.takeovers = xm.takeovers;
+    outcome.takeover_p50_us = takeover_hist.quantile(0.5);
+    outcome.takeover_p99_us = takeover_hist.quantile(0.99);
     harness.client.terminate_all();
     cluster.join(Duration::from_secs(5));
     outcome.trace.push(format!(
-        "{{\"summary\":{{\"committed\":{},\"in_doubt\":{},\"aborted\":{},\"cross_begun\":{},\"cross_committed\":{},\"cross_aborted\":{},\"cross_redrives\":{},\"cross_commit_p50_us\":{},\"violations\":{}}}}}",
+        "{{\"summary\":{{\"committed\":{},\"in_doubt\":{},\"aborted\":{},\"cross_begun\":{},\"cross_committed\":{},\"cross_aborted\":{},\"cross_redrives\":{},\"cross_commit_p50_us\":{},\"coordinator_crashes\":{crashes},\"takeovers\":{},\"takeover_p50_us\":{},\"violations\":{}}}}}",
         outcome.committed_writes,
         outcome.in_doubt_writes,
         outcome.aborted,
@@ -1372,6 +1442,8 @@ pub fn run_sharded_chaos(opts: ShardChaosOptions) -> ChaosOutcome {
         xm.aborted,
         xm.redrives,
         cross_hist.quantile(0.5),
+        xm.takeovers,
+        takeover_hist.quantile(0.5),
         outcome.violations.len()
     ));
     outcome

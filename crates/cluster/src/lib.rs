@@ -24,6 +24,6 @@ pub use chaos::{
 pub use cluster::Cluster;
 pub use control::{ControlError, ManagingClient};
 pub use obs::SiteObs;
-pub use shard_client::{ShardedClient, ShardedReport};
+pub use shard_client::{CoordKillPoint, ShardedClient, ShardedReport};
 pub use shard_site::{ShardMailbox, ShardTransport};
 pub use site::ClusterTiming;

@@ -17,29 +17,46 @@
 //! only fresher versions, and engines drop duplicate submissions of an
 //! in-flight id.
 //!
-//! Like the paper's managing site, the client sits outside the failure
-//! model, so the top-level 2PC has no "coordinator failed after
-//! prepare" blocking case; the blocking cases that remain are all
-//! *inside* groups, where the paper's own failure machinery (2PC
-//! timeouts, failure announcements, fail-locks) already resolves them.
+//! Unlike the paper's managing site, the cross-shard coordinator is
+//! *inside* the failure model. Before any branch prepare leaves, the
+//! coordinator replicates a *begin* record of the transaction (id,
+//! branches, no outcome) to a quorum of the designated log group's
+//! sites via the `XDecisionLog` protocol, and before any
+//! `ShardDecide(commit)` leaves it replicates a *commit* record
+//! carrying the PREPARED votes and the outcome. If the coordinator
+//! dies between prepare and decide (see [`CoordKillPoint`] for the
+//! chaos kill-points), a successor — fenced by a fresh coordinator
+//! epoch, the same wall-clock scheme the reliable session layer uses
+//! for restarts — reads the log back from a quorum, adopts each
+//! in-doubt transaction ([`XCoordinator::adopt_record`]), and
+//! idempotently re-drives the outcome: a commit record re-drives the
+//! commit, a begin record presumes abort (no decide can have left
+//! without a quorum-replicated commit record, so nothing committed
+//! anywhere). The classic "coordinator failed after prepare" blocking
+//! case of 2PC is therefore bounded by the vote timeout instead of
+//! unbounded. See DESIGN.md §13.
 //!
 //! [`ManagingClient`]: crate::control::ManagingClient
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use miniraid_core::config::ProtocolConfig;
 use miniraid_core::error::AbortReason;
 use miniraid_core::ids::{ItemId, SessionNumber, SiteId, TxnId};
-use miniraid_core::messages::{Command, Message, TxnOutcome};
+use miniraid_core::messages::{Command, Message, TxnOutcome, XDecisionRecord};
 use miniraid_core::ops::Transaction;
 use miniraid_core::trace::{EventKind, TraceId, TraceIdGen, Tracer};
 use miniraid_net::{Mailbox, RecvError, Transport};
 use miniraid_obs::LatencyHistogram;
-use miniraid_shard::{classify, Route, ShardSpec, XAction, XCoordinator, XPhase};
+use miniraid_shard::{classify, Route, ShardSpec, XAction, XCoordinator, XMetrics, XPhase};
 use miniraid_storage::ItemValue;
 
 use crate::control::ControlError;
+
+/// The replication group whose members double as the decision-log
+/// replicas (group 0 by convention — every topology has it).
+const LOG_GROUP: u8 = 0;
 
 /// The final outcome of a routed transaction.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,9 +91,93 @@ enum CtlEvent {
     },
 }
 
+/// Named points in the cross-shard commit where a chaos harness can
+/// schedule the acting coordinator's death (one-shot; see
+/// [`ShardedClient::arm_coordinator_kill`]). Every kill-point lies
+/// *after* the begin record reached a log quorum — earlier deaths are
+/// trivial (no prepare has left, nothing is parked anywhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordKillPoint {
+    /// Die right after the released prepares are sent: branches park,
+    /// votes arrive at a corpse. The successor finds only the begin
+    /// record and presumes abort.
+    AfterPrepare,
+    /// Die right after the commit record's append is sent, before its
+    /// quorum is acknowledged: no `ShardDecide` has left. The
+    /// successor may find the commit record (→ re-drive the commit) or
+    /// only the begin record (→ presumed abort); both are safe because
+    /// no participant has acted on either outcome.
+    AfterVotes,
+    /// Die after announcing the commit decision to the *first* branch
+    /// only. The commit record is on a quorum (decides are released
+    /// only after it), so the successor is guaranteed to re-derive
+    /// commit and re-drive the remaining branches.
+    MidDecide,
+}
+
+impl CoordKillPoint {
+    /// Stable CLI/trace name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CoordKillPoint::AfterPrepare => "after-prepare",
+            CoordKillPoint::AfterVotes => "after-votes",
+            CoordKillPoint::MidDecide => "mid-decide",
+        }
+    }
+
+    /// Parse a CLI name (the inverse of [`CoordKillPoint::name`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "after-prepare" => Some(CoordKillPoint::AfterPrepare),
+            "after-votes" => Some(CoordKillPoint::AfterVotes),
+            "mid-decide" => Some(CoordKillPoint::MidDecide),
+            _ => None,
+        }
+    }
+
+    /// All kill-points, in protocol order (the CI matrix iterates
+    /// this).
+    pub fn all() -> [CoordKillPoint; 3] {
+        [
+            CoordKillPoint::AfterPrepare,
+            CoordKillPoint::AfterVotes,
+            CoordKillPoint::MidDecide,
+        ]
+    }
+}
+
+/// Where a cross-shard transaction stands in the replicate-then-act
+/// cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum XStage {
+    /// Begin record sent to the log group; prepares are held until a
+    /// quorum acknowledges it.
+    BeginPending,
+    /// Begin record on a quorum, prepares released; collecting votes.
+    Prepared,
+    /// Commit decided; commit record sent, decides held until a quorum
+    /// acknowledges it.
+    CommitPending,
+    /// Commit record on a quorum, decides released; confirming.
+    Released,
+}
+
 /// Book-keeping for one in-flight cross-shard transaction.
 struct CrossState {
     started: Instant,
+    stage: XStage,
+    /// The routed branches, kept for building decision records.
+    branches: Vec<(u8, Transaction)>,
+    /// Actions gated behind the current stage's log quorum.
+    held: Vec<XAction>,
+    /// PREPARED votes observed so far (recorded into the commit
+    /// record).
+    votes: Vec<(u8, bool)>,
+    /// Log replicas that acknowledged the current stage's record.
+    acks: HashSet<SiteId>,
+    /// When to re-send the current stage's append (management frames
+    /// are droppable, so appends are retried, not retransmitted).
+    next_append: Instant,
     vote_deadline: Instant,
     next_redrive: Instant,
     /// Physical coordinator each branch was prepared at.
@@ -86,6 +187,49 @@ struct CrossState {
     /// The global decision was already announced to the trace stream
     /// (re-drives repeat the decision message, not the `x_decide` event).
     decided: bool,
+}
+
+/// A successor coordinator's in-flight quorum read of the decision
+/// log.
+struct TakeoverQuery {
+    /// Per-replica replies (the records each returned).
+    replies: HashMap<SiteId, Vec<XDecisionRecord>>,
+    /// When to re-broadcast the query.
+    next_send: Instant,
+}
+
+/// State between a coordinator crash and the completed takeover.
+struct CrashRecovery {
+    /// When the acting coordinator died (takeover latency is measured
+    /// from here).
+    crashed_at: Instant,
+    /// When the successor may start the takeover (models the vote
+    /// timeout the participants grant the incumbent).
+    takeover_at: Instant,
+    /// The quorum read, once started.
+    query: Option<TakeoverQuery>,
+}
+
+/// A coordinator epoch strictly above `after`, derived from the wall
+/// clock exactly like the reliable session layer's restart epochs.
+fn next_epoch(after: u64) -> u64 {
+    let wall = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    wall.max(after + 1)
+}
+
+/// Field-wise sum of two [`XMetrics`] — used to keep the client's
+/// reported counters cumulative across coordinator crashes.
+fn add_metrics(a: XMetrics, b: XMetrics) -> XMetrics {
+    XMetrics {
+        begun: a.begun + b.begun,
+        committed: a.committed + b.committed,
+        aborted: a.aborted + b.aborted,
+        redrives: a.redrives + b.redrives,
+        takeovers: a.takeovers + b.takeovers,
+    }
 }
 
 /// Book-keeping for one in-flight single-group transaction.
@@ -117,6 +261,29 @@ pub struct ShardedClient<T: Transport, M: Mailbox> {
     /// (driven by its `fail`/`recover` calls; used only to bias
     /// coordinator choice, never for correctness).
     up: Vec<bool>,
+    /// The epoch this coordinator incarnation speaks from when
+    /// appending to or querying the decision log. Replicas fence off
+    /// anything older than the highest epoch they have seen.
+    coord_epoch: u64,
+    /// Armed one-shot kill-point (chaos only).
+    kill_point: Option<CoordKillPoint>,
+    /// Coordinator incarnations killed so far (also the generation
+    /// guard that stops action batches that straddle a crash).
+    crashes: u64,
+    /// Crash → takeover state, when a takeover is due or running.
+    crash_state: Option<CrashRecovery>,
+    /// Transactions in flight at the moment of a crash, until the
+    /// takeover resolves them.
+    orphans: HashSet<TxnId>,
+    /// Every cross-shard transaction that reached a final outcome —
+    /// takeovers skip their stale log records.
+    resolved: HashSet<TxnId>,
+    /// Counters accumulated by coordinator incarnations that have been
+    /// killed ([`xmetrics`](Self::xmetrics) stays cumulative).
+    metrics_base: XMetrics,
+    /// Crash → last orphan resolved, in microseconds (one sample per
+    /// takeover).
+    pub takeover_latency: LatencyHistogram,
     /// Client-observed commit latency of cross-shard transactions
     /// (prepare sent → all branches confirmed), in microseconds.
     pub cross_commit_latency: LatencyHistogram,
@@ -168,6 +335,14 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
             rr: vec![0; spec.n_groups as usize],
             last_commit_coord: vec![None; spec.n_groups as usize],
             up: vec![true; n],
+            coord_epoch: next_epoch(0),
+            kill_point: None,
+            crashes: 0,
+            crash_state: None,
+            orphans: HashSet::new(),
+            resolved: HashSet::new(),
+            metrics_base: XMetrics::default(),
+            takeover_latency: LatencyHistogram::new(),
             cross_commit_latency: LatencyHistogram::new(),
             single_commit_latency: LatencyHistogram::new(),
             per_group_commit_latency: vec![LatencyHistogram::new(); spec.n_groups as usize],
@@ -218,14 +393,46 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
         id
     }
 
-    /// Cross-shard transactions still unresolved.
+    /// Cross-shard transactions still unresolved — in flight at the
+    /// acting coordinator, or orphaned by a crash and awaiting
+    /// takeover.
     pub fn pending_cross(&self) -> usize {
-        self.xcoord.pending()
+        self.xcoord.pending() + self.orphans.len()
     }
 
-    /// The cross-shard coordinator's own counters.
+    /// The cross-shard coordinator's own counters, cumulative across
+    /// coordinator crashes.
     pub fn xmetrics(&self) -> miniraid_shard::XMetrics {
-        self.xcoord.metrics
+        add_metrics(self.metrics_base, self.xcoord.metrics)
+    }
+
+    /// Arm a one-shot coordinator kill at `kp`: the next transaction
+    /// that reaches the kill-point takes the acting coordinator down
+    /// with it (every in-flight cross-shard transaction is orphaned,
+    /// exactly as if the coordinator process had been SIGKILLed), and a
+    /// successor takes over after the vote timeout.
+    pub fn arm_coordinator_kill(&mut self, kp: CoordKillPoint) {
+        self.kill_point = Some(kp);
+    }
+
+    /// The armed kill-point, if any (`None` once it fired).
+    pub fn armed_kill_point(&self) -> Option<CoordKillPoint> {
+        self.kill_point
+    }
+
+    /// How many coordinator incarnations have been killed.
+    pub fn coordinator_crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// True between a coordinator crash and the completed takeover.
+    pub fn takeover_pending(&self) -> bool {
+        self.crash_state.is_some()
+    }
+
+    /// The coordinator epoch the current incarnation speaks from.
+    pub fn coord_epoch(&self) -> u64 {
+        self.coord_epoch
     }
 
     /// The physical site that reported the group's most recent commit
@@ -264,10 +471,23 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
                         branches: branches.len().min(u8::MAX as usize) as u8,
                     },
                 );
+                // Replicate-then-act: the prepares the coordinator
+                // wants to send are held until the begin record is on
+                // a log quorum. The vote deadline still starts now, so
+                // a transaction whose record cannot reach a quorum
+                // (log group majority unreachable) aborts instead of
+                // hanging.
+                let held = self.xcoord.begin(branches.clone());
                 self.cross.insert(
                     txn.id,
                     CrossState {
                         started: now,
+                        stage: XStage::BeginPending,
+                        branches: branches.clone(),
+                        held,
+                        votes: Vec::new(),
+                        acks: HashSet::new(),
+                        next_append: now + self.redrive_interval,
                         vote_deadline: now + self.vote_timeout,
                         next_redrive: now + self.redrive_interval,
                         branch_coord: HashMap::new(),
@@ -275,8 +495,12 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
                         decided: false,
                     },
                 );
-                let actions = self.xcoord.begin(branches);
-                self.perform(actions, now);
+                self.append_to_log(XDecisionRecord {
+                    txn: txn.id,
+                    branches,
+                    votes: Vec::new(),
+                    outcome: None,
+                });
             }
         }
     }
@@ -657,9 +881,32 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
             }
             Message::ShardVote { txn, ok } => {
                 self.emit(txn, EventKind::XVote { shard: group, ok });
+                if let Some(state) = self.cross.get_mut(&txn) {
+                    // Remember the vote for the commit record
+                    // (management frames are retried: dedup by group).
+                    if !state.votes.iter().any(|(g, _)| *g == group) {
+                        state.votes.push((group, ok));
+                    }
+                }
                 let actions = self.xcoord.on_vote(group, txn, ok);
                 self.perform(actions, now);
             }
+            Message::XLogAck {
+                txn,
+                epoch,
+                ok,
+                decided,
+            } if ok && epoch == self.coord_epoch => {
+                self.on_log_ack(from, txn, decided, now);
+            }
+            // Acks for a superseded epoch (or fenced rejections): drop.
+            Message::XLogAck { .. } => {}
+            Message::XLogReply { epoch, records } if epoch == self.coord_epoch => {
+                if let Some(CrashRecovery { query: Some(q), .. }) = &mut self.crash_state {
+                    q.replies.insert(from, records);
+                }
+            }
+            Message::XLogReply { .. } => {}
             Message::MgmtRecovered { session } => {
                 self.events.push(CtlEvent::Recovered {
                     site: from,
@@ -676,7 +923,31 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
     }
 
     fn perform(&mut self, actions: Vec<XAction>, now: Instant) {
+        // A kill-point can fire while a batch is being performed; the
+        // rest of the batch belongs to the dead incarnation.
+        let generation = self.crashes;
         for action in actions {
+            if self.crashes != generation {
+                break;
+            }
+            // Commit decides are gated: the first one triggers the
+            // commit record's replication, and the batch is held until
+            // a log quorum acknowledges it.
+            if let XAction::Decide {
+                group,
+                txn,
+                commit: true,
+            } = action
+            {
+                let gated = self
+                    .cross
+                    .get(&txn)
+                    .is_some_and(|s| s.stage != XStage::Released);
+                if gated {
+                    self.hold_commit_decide(txn, group, now);
+                    continue;
+                }
+            }
             match action {
                 XAction::Prepare { group, branch } => {
                     let coordinator = self.pick_coordinator(group);
@@ -717,6 +988,7 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
                     read_results,
                 } => {
                     self.traces.remove(&txn);
+                    self.resolved.insert(txn);
                     if let Some(state) = self.cross.remove(&txn) {
                         if committed {
                             self.cross_commit_latency
@@ -742,10 +1014,373 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
         }
     }
 
-    /// Fire internal deadlines: vote timeouts (missing votes become
-    /// no), and re-drive rounds for committed-but-unconfirmed branches.
+    /// Send a decision-log frame to a log-group replica. XLog frames
+    /// are addressed to the site *loop* (the replica lives beside the
+    /// engine), so they are wrapped in the log group's shard envelope
+    /// but never in `Traced`.
+    fn send_xlog(&self, to: SiteId, msg: Message) {
+        let _ = self.transport.send(
+            to,
+            &Message::ShardEnv {
+                shard: LOG_GROUP,
+                inner: Box::new(msg),
+            },
+        );
+    }
+
+    /// Replicate a decision record: append it to every log-group
+    /// member under the current coordinator epoch.
+    fn append_to_log(&self, record: XDecisionRecord) {
+        for member in self.spec.group_members(LOG_GROUP) {
+            self.send_xlog(
+                member,
+                Message::XLogAppend {
+                    epoch: self.coord_epoch,
+                    record: record.clone(),
+                },
+            );
+        }
+    }
+
+    /// A majority of the log group.
+    fn log_quorum(&self) -> usize {
+        (self.spec.sites_per_group / 2 + 1) as usize
+    }
+
+    /// A log replica acknowledged the current epoch's append for
+    /// `txn`. `decided` tells begin-acks from commit-acks apart (late
+    /// duplicates of the begin append must not count toward the commit
+    /// quorum).
+    fn on_log_ack(&mut self, from: SiteId, txn: TxnId, decided: bool, now: Instant) {
+        let quorum = self.log_quorum();
+        let Some(state) = self.cross.get_mut(&txn) else {
+            return;
+        };
+        let wanted = match state.stage {
+            XStage::BeginPending => !decided,
+            XStage::CommitPending => decided,
+            _ => return,
+        };
+        if !wanted {
+            return;
+        }
+        state.acks.insert(from);
+        if state.acks.len() >= quorum {
+            match state.stage {
+                XStage::BeginPending => self.release_begin(txn, now),
+                XStage::CommitPending => self.release_commit(txn, now),
+                _ => unreachable!("stage checked above"),
+            }
+        }
+    }
+
+    /// The first commit decide of a batch arrived while the commit
+    /// record is not yet on a quorum: hold it (and every later one)
+    /// and trigger the commit record's replication.
+    fn hold_commit_decide(&mut self, txn: TxnId, group: u8, now: Instant) {
+        let Some(state) = self.cross.get_mut(&txn) else {
+            return;
+        };
+        state.held.push(XAction::Decide {
+            group,
+            txn,
+            commit: true,
+        });
+        if state.stage != XStage::CommitPending {
+            state.stage = XStage::CommitPending;
+            state.acks.clear();
+            state.next_append = now + self.redrive_interval;
+            let record = XDecisionRecord {
+                txn,
+                branches: state.branches.clone(),
+                votes: state.votes.clone(),
+                outcome: Some(true),
+            };
+            self.append_to_log(record);
+            if self.kill_point == Some(CoordKillPoint::AfterVotes) {
+                self.crash_coordinator(now);
+            }
+        }
+    }
+
+    /// The begin record reached a quorum: release the held prepares
+    /// and start the vote clock.
+    fn release_begin(&mut self, txn: TxnId, now: Instant) {
+        let Some(state) = self.cross.get_mut(&txn) else {
+            return;
+        };
+        let replicas = state.acks.len().min(u8::MAX as usize) as u8;
+        state.stage = XStage::Prepared;
+        state.acks.clear();
+        state.vote_deadline = now + self.vote_timeout;
+        let held = std::mem::take(&mut state.held);
+        self.emit(
+            txn,
+            EventKind::XLogReplicate {
+                replicas,
+                decided: false,
+            },
+        );
+        self.perform(held, now);
+        if self.kill_point == Some(CoordKillPoint::AfterPrepare) {
+            self.crash_coordinator(now);
+        }
+    }
+
+    /// The commit record reached a quorum: release the held decides.
+    /// The mid-decide kill-point lets exactly one of them out first.
+    fn release_commit(&mut self, txn: TxnId, now: Instant) {
+        let Some(state) = self.cross.get_mut(&txn) else {
+            return;
+        };
+        let replicas = state.acks.len().min(u8::MAX as usize) as u8;
+        state.stage = XStage::Released;
+        state.acks.clear();
+        let held = std::mem::take(&mut state.held);
+        self.emit(
+            txn,
+            EventKind::XLogReplicate {
+                replicas,
+                decided: true,
+            },
+        );
+        if self.kill_point == Some(CoordKillPoint::MidDecide) {
+            let mut held = held.into_iter();
+            if let Some(first) = held.next() {
+                self.perform(vec![first], now);
+            }
+            self.crash_coordinator(now);
+            return;
+        }
+        self.perform(held, now);
+    }
+
+    /// The acting coordinator dies: every in-flight cross-shard
+    /// transaction is orphaned (its client-side state and the
+    /// in-memory [`XCoordinator`] state vanish, exactly as if the
+    /// coordinator process had been SIGKILLed), and a successor
+    /// incarnation is scheduled to take over after the vote timeout.
+    fn crash_coordinator(&mut self, now: Instant) {
+        self.kill_point = None;
+        self.crashes += 1;
+        self.metrics_base = add_metrics(self.metrics_base, self.xcoord.metrics);
+        self.orphans.extend(self.cross.keys().copied());
+        self.cross.clear();
+        self.xcoord = XCoordinator::new(self.spec);
+        self.crash_state = Some(CrashRecovery {
+            crashed_at: now,
+            takeover_at: now + self.vote_timeout,
+            query: None,
+        });
+    }
+
+    /// Drive a pending takeover: start the quorum read once the vote
+    /// timeout has passed, retry the (droppable) query, and complete
+    /// the takeover once a quorum of replicas replied.
+    fn tick_takeover(&mut self, now: Instant) {
+        enum Step {
+            Start,
+            Resend,
+            Complete,
+        }
+        let step = match &self.crash_state {
+            None => return,
+            Some(cr) => match &cr.query {
+                None if now >= cr.takeover_at => Step::Start,
+                None => return,
+                Some(q) if q.replies.len() >= self.log_quorum() => Step::Complete,
+                Some(q) if now >= q.next_send => Step::Resend,
+                Some(_) => return,
+            },
+        };
+        match step {
+            Step::Start => {
+                // The successor fences the dead incarnation off with a
+                // fresh epoch before reading the log back.
+                self.coord_epoch = next_epoch(self.coord_epoch);
+                for member in self.spec.group_members(LOG_GROUP) {
+                    self.send_xlog(
+                        member,
+                        Message::XLogQuery {
+                            epoch: self.coord_epoch,
+                        },
+                    );
+                }
+                if let Some(cr) = &mut self.crash_state {
+                    cr.query = Some(TakeoverQuery {
+                        replies: HashMap::new(),
+                        next_send: now + self.redrive_interval,
+                    });
+                }
+            }
+            Step::Resend => {
+                for member in self.spec.group_members(LOG_GROUP) {
+                    self.send_xlog(
+                        member,
+                        Message::XLogQuery {
+                            epoch: self.coord_epoch,
+                        },
+                    );
+                }
+                if let Some(CrashRecovery { query: Some(q), .. }) = &mut self.crash_state {
+                    q.next_send = now + self.redrive_interval;
+                }
+            }
+            Step::Complete => self.complete_takeover(now),
+        }
+    }
+
+    /// A quorum of log replicas replied: adopt every unresolved
+    /// record — commit records are re-driven, begin records presume
+    /// abort — and finish orphans the log never heard of (their
+    /// prepares were still held when the coordinator died, so nothing
+    /// is parked anywhere).
+    fn complete_takeover(&mut self, now: Instant) {
+        let Some(cr) = self.crash_state.take() else {
+            return;
+        };
+        let Some(query) = cr.query else {
+            return;
+        };
+        // Merge the replies: one record per transaction, commit
+        // outcome winning (quorum intersection guarantees a released
+        // decision is visible in any majority read).
+        let mut merged: HashMap<TxnId, XDecisionRecord> = HashMap::new();
+        for (_, records) in query.replies {
+            for record in records {
+                if self.resolved.contains(&record.txn) {
+                    continue;
+                }
+                match merged.get(&record.txn) {
+                    Some(existing) if existing.outcome.is_some() => {}
+                    _ => {
+                        merged.insert(record.txn, record);
+                    }
+                }
+            }
+        }
+        let orphans: Vec<TxnId> = self.orphans.drain().collect();
+        for (txn, record) in merged {
+            self.orphans.remove(&txn);
+            let commit = record.outcome == Some(true);
+            self.adopt(txn, record, commit, now);
+        }
+        for txn in orphans {
+            if self.resolved.contains(&txn) || self.cross.contains_key(&txn) {
+                continue;
+            }
+            // Never logged: the begin record missed its quorum, so the
+            // prepares were never released — abort locally.
+            self.emit(txn, EventKind::XTakeover { commit: false });
+            self.traces.remove(&txn);
+            self.resolved.insert(txn);
+            self.metrics_base.aborted += 1;
+            self.finished.insert(
+                txn,
+                ShardedReport {
+                    txn,
+                    cross_shard: true,
+                    outcome: TxnOutcome::Aborted(AbortReason::GlobalAbort),
+                    read_results: Vec::new(),
+                },
+            );
+        }
+        self.takeover_latency
+            .record(now.duration_since(cr.crashed_at).as_micros() as u64);
+    }
+
+    /// Adopt one in-doubt transaction from the decision log into the
+    /// successor coordinator.
+    fn adopt(&mut self, txn: TxnId, record: XDecisionRecord, commit: bool, now: Instant) {
+        self.emit(txn, EventKind::XTakeover { commit });
+        if commit {
+            // Re-enter Committing: the commit record is re-replicated
+            // under the successor's epoch, the re-announced decides
+            // are held behind its quorum, and the ordinary re-drive
+            // machinery (which broadcasts the decision to every group
+            // member and re-submits write-only residues) confirms the
+            // branches.
+            let held = self.xcoord.adopt_record(record.branches.clone(), true);
+            self.cross.insert(
+                txn,
+                CrossState {
+                    started: now,
+                    stage: XStage::CommitPending,
+                    branches: record.branches.clone(),
+                    held,
+                    votes: record.votes.clone(),
+                    acks: HashSet::new(),
+                    next_append: now + self.redrive_interval,
+                    vote_deadline: now + self.vote_timeout,
+                    next_redrive: now,
+                    branch_coord: HashMap::new(),
+                    cursor: HashMap::new(),
+                    decided: false,
+                },
+            );
+            self.append_to_log(XDecisionRecord {
+                txn,
+                branches: record.branches,
+                votes: record.votes,
+                outcome: Some(true),
+            });
+        } else {
+            // Presumed abort. The dead coordinator may have parked
+            // branches at any member, so the abort is broadcast to the
+            // whole group rather than a remembered coordinator.
+            let actions = self.xcoord.adopt_record(record.branches.clone(), false);
+            for (group, _) in &record.branches {
+                for member in self.spec.group_members(*group) {
+                    self.send(member, *group, Message::ShardDecide { txn, commit: false });
+                }
+            }
+            let finishes: Vec<XAction> = actions
+                .into_iter()
+                .filter(|a| matches!(a, XAction::Finished { .. }))
+                .collect();
+            self.perform(finishes, now);
+        }
+    }
+
+    /// Re-send the current stage's decision record for transactions
+    /// whose append has not reached a quorum yet (the frames are
+    /// management-plane: droppable, so retried).
+    fn tick_appends(&mut self, now: Instant) {
+        let due: Vec<(TxnId, Option<bool>)> = self
+            .cross
+            .iter()
+            .filter(|(_, s)| now >= s.next_append)
+            .filter_map(|(txn, s)| match s.stage {
+                XStage::BeginPending => Some((*txn, None)),
+                XStage::CommitPending => Some((*txn, Some(true))),
+                _ => None,
+            })
+            .collect();
+        for (txn, outcome) in due {
+            let record = {
+                let Some(state) = self.cross.get_mut(&txn) else {
+                    continue;
+                };
+                state.next_append = now + self.redrive_interval;
+                XDecisionRecord {
+                    txn,
+                    branches: state.branches.clone(),
+                    votes: state.votes.clone(),
+                    outcome,
+                }
+            };
+            self.append_to_log(record);
+        }
+    }
+
+    /// Fire internal deadlines: takeover progress, decision-record
+    /// append retries, vote timeouts (missing votes become no), and
+    /// re-drive rounds for committed-but-unconfirmed branches whose
+    /// decides have been released.
     fn tick(&mut self) {
         let now = Instant::now();
+        self.tick_takeover(now);
+        self.tick_appends(now);
         let ids: Vec<TxnId> = self.cross.keys().copied().collect();
         for txn in ids {
             match self.xcoord.phase(txn) {
@@ -758,7 +1393,9 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
                 }
                 Some(XPhase::Committing) => {
                     let due = match self.cross.get_mut(&txn) {
-                        Some(state) if now >= state.next_redrive => {
+                        Some(state)
+                            if state.stage == XStage::Released && now >= state.next_redrive =>
+                        {
                             state.next_redrive = now + self.redrive_interval;
                             true
                         }

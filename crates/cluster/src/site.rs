@@ -11,6 +11,7 @@ use miniraid_core::messages::{Command, Message};
 use miniraid_core::session::SiteStatus;
 use miniraid_core::trace::EventKind;
 use miniraid_net::{Mailbox, RecvError, Transport};
+use miniraid_shard::XLogStore;
 use miniraid_storage::DurableStore;
 
 use crate::obs::{render_plain, SiteObs};
@@ -269,6 +270,21 @@ fn serve_metrics<T: Transport>(
     let _ = transport.send(from, &Message::MetricsResponse { text });
 }
 
+/// Serve the site's `XDecisionLog` replica without touching the engine
+/// state machine: like metrics scrapes, decision-log appends and
+/// queries are answered even while the site is "down" — the log plays
+/// the role of the site's stable storage, which survives an engine
+/// crash the way the WAL does, and the quorum rule covers replicas
+/// whose whole host is unreachable.
+fn serve_xlog<T: Transport>(transport: &T, xlog: &mut XLogStore, from: SiteId, msg: Message) {
+    let reply = match msg {
+        Message::XLogAppend { epoch, record } => xlog.append(epoch, record),
+        Message::XLogQuery { epoch } => xlog.query(epoch),
+        _ => return,
+    };
+    let _ = transport.send(from, &reply);
+}
+
 /// Full-featured site loop: optional durable store, optional
 /// observability ([`SiteObs`]). When observability is attached the site
 /// answers [`Message::MetricsRequest`] with a Prometheus-style text
@@ -288,6 +304,9 @@ pub fn run_site_full<T: Transport, M: Mailbox>(
     let mut timers: BinaryHeap<Reverse<Armed>> = BinaryHeap::new();
     let mut timer_seq = 0u64;
     let mut out: Vec<Output> = Vec::new();
+    // This site's XDecisionLog replica (populated only when it belongs
+    // to the designated log group of a sharded topology).
+    let mut xlog = XLogStore::new();
     // Per-peer outbound frames under construction, and the buffer pool
     // they recycle through (no per-drain allocation in steady state).
     let mut outbound: Vec<(SiteId, Vec<Message>)> = Vec::new();
@@ -341,16 +360,24 @@ pub fn run_site_full<T: Transport, M: Mailbox>(
         match mailbox.recv_timeout(wait) {
             Ok((from, msg)) => {
                 drained = true;
-                if matches!(msg, Message::MetricsRequest) {
-                    serve_metrics(&mut engine, &transport, &obs, &durable, from);
-                } else {
-                    engine.handle(Input::Deliver { from, msg }, &mut out);
+                match msg {
+                    Message::MetricsRequest => {
+                        serve_metrics(&mut engine, &transport, &obs, &durable, from)
+                    }
+                    msg @ (Message::XLogAppend { .. } | Message::XLogQuery { .. }) => {
+                        serve_xlog(&transport, &mut xlog, from, msg)
+                    }
+                    msg => engine.handle(Input::Deliver { from, msg }, &mut out),
                 }
                 loop {
                     match mailbox.try_recv() {
                         Ok((from, Message::MetricsRequest)) => {
                             serve_metrics(&mut engine, &transport, &obs, &durable, from)
                         }
+                        Ok((
+                            from,
+                            msg @ (Message::XLogAppend { .. } | Message::XLogQuery { .. }),
+                        )) => serve_xlog(&transport, &mut xlog, from, msg),
                         Ok((from, msg)) => engine.handle(Input::Deliver { from, msg }, &mut out),
                         Err(RecvError::Timeout) => break,
                         Err(RecvError::Disconnected) => return,

@@ -248,3 +248,38 @@ fn sharded_chaos_run_holds_invariants() {
         "schedule committed nothing — not a meaningful run"
     );
 }
+
+/// The tentpole scenario of the decision-log work: the cross-shard
+/// coordinator is repeatedly killed *between prepare and decide*
+/// (`after-votes` — the classic 2PC blocking window) and a successor
+/// must take over from the replicated decision log. Atomicity and
+/// convergence must hold, no transaction may stay in doubt, and the
+/// run must actually have exercised takeovers.
+#[test]
+fn sharded_chaos_survives_coordinator_kills() {
+    let outcome = miniraid_cluster::run_sharded_chaos(miniraid_cluster::ShardChaosOptions {
+        seed: 5,
+        steps: 30,
+        kill_coordinator: Some(miniraid_cluster::CoordKillPoint::AfterVotes),
+        ..Default::default()
+    });
+    assert!(
+        outcome.passed(),
+        "coordinator-kill chaos violations: {:?}\ntrace tail: {:?}",
+        outcome.violations,
+        outcome.trace.iter().rev().take(20).collect::<Vec<_>>()
+    );
+    let crashed = outcome
+        .trace
+        .iter()
+        .any(|l| l.contains("\"observed\":\"coordinator_crash\""));
+    assert!(
+        crashed,
+        "schedule never killed the coordinator — not a meaningful run"
+    );
+    let summary = outcome.trace.last().expect("summary line");
+    assert!(
+        !summary.contains("\"takeovers\":0,"),
+        "coordinator died but no takeover ran: {summary}"
+    );
+}

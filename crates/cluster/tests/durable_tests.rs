@@ -10,6 +10,22 @@ use miniraid_core::ops::{Operation, Transaction};
 
 const WAIT: Duration = Duration::from_secs(5);
 
+/// Generous protocol timers: these tests exercise durability and
+/// restart, not failure detection, and the default 150/500 ms timeouts
+/// misfire as false failure suspicions when the whole workspace's test
+/// binaries compete for cores (an unscheduled site loop looks dead).
+fn timing() -> ClusterTiming {
+    ClusterTiming {
+        ack_timeout: Duration::from_millis(600),
+        commit_ack_timeout: Duration::from_millis(600),
+        participant_timeout: Duration::from_millis(2000),
+        copier_timeout: Duration::from_millis(600),
+        read_timeout: Duration::from_millis(600),
+        recovery_timeout: Duration::from_millis(400),
+        ..ClusterTiming::default()
+    }
+}
+
 fn config() -> ProtocolConfig {
     ProtocolConfig {
         db_size: 12,
@@ -38,8 +54,7 @@ fn committed_writes_survive_a_full_cluster_restart() {
 
     // First incarnation: commit some writes, shut down cleanly.
     {
-        let (cluster, mut client) =
-            Cluster::launch_durable(config(), ClusterTiming::default(), &dir).unwrap();
+        let (cluster, mut client) = Cluster::launch_durable(config(), timing(), &dir).unwrap();
         for item in 0..5u32 {
             let id = client.next_txn_id();
             let report = client
@@ -58,19 +73,30 @@ fn committed_writes_survive_a_full_cluster_restart() {
     // Second incarnation: the bootstrap site serves immediately; the
     // others rejoin through recovery.
     {
-        let (cluster, mut client) =
-            Cluster::launch_durable(config(), ClusterTiming::default(), &dir).unwrap();
-        // Bring the two non-bootstrap sites back.
-        let mut recovered = 0;
-        for s in 0..3u8 {
-            // recover() on an already-up site times out harmlessly at the
-            // engine level — only send to sites that need it. We cannot
-            // inspect engines here, so try each and count successes.
-            if client.recover(SiteId(s), Duration::from_secs(2)).is_ok() {
-                recovered += 1;
+        let (cluster, mut client) = Cluster::launch_durable(config(), timing(), &dir).unwrap();
+        // Bring the two non-bootstrap sites back. recover() on the
+        // already-up bootstrap site times out harmlessly at the engine
+        // level, and a site mid-rejoin can miss one fixed-size window
+        // when the whole workspace's tests run in parallel — so the
+        // wait is condition-based: keep retrying every site until two
+        // distinct sites have rejoined, bounded only by an overall
+        // deadline.
+        let mut recovered = std::collections::HashSet::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while recovered.len() < 2 && std::time::Instant::now() < deadline {
+            for s in 0..3u8 {
+                if !recovered.contains(&s)
+                    && client.recover(SiteId(s), Duration::from_secs(2)).is_ok()
+                {
+                    recovered.insert(s);
+                }
             }
         }
-        assert_eq!(recovered, 2, "two restarted sites rejoined");
+        assert_eq!(
+            recovered.len(),
+            2,
+            "two restarted sites rejoined (got {recovered:?})"
+        );
         // Every site (including restarted ones) serves the durable data.
         for s in 0..3u8 {
             for item in 0..5u32 {
@@ -109,7 +135,7 @@ fn instant_restart_serves_reads_during_background_replay() {
     // hydration chunk replays per loop iteration.
     {
         let (cluster, mut client) =
-            Cluster::launch_durable(config.clone(), ClusterTiming::default(), &dir).unwrap();
+            Cluster::launch_durable(config.clone(), timing(), &dir).unwrap();
         for k in 0..100u32 {
             let id = client.next_txn_id();
             let writes: Vec<Operation> = (0..6)
@@ -133,8 +159,7 @@ fn instant_restart_serves_reads_during_background_replay() {
     // target items the background sweep reaches last — must already see
     // the committed values (on-demand chain replay).
     {
-        let (cluster, mut client) =
-            Cluster::launch_durable(config, ClusterTiming::default(), &dir).unwrap();
+        let (cluster, mut client) = Cluster::launch_durable(config, timing(), &dir).unwrap();
         let bootstrap = (0..3u8)
             .find(|s| {
                 let id = client.next_txn_id();
@@ -178,8 +203,7 @@ fn restart_after_missing_commits_refreshes_via_recovery() {
     // Incarnation 1: write v1 everywhere, then keep writing while one
     // site is "failed" so its durable image goes stale.
     {
-        let (cluster, mut client) =
-            Cluster::launch_durable(config(), ClusterTiming::default(), &dir).unwrap();
+        let (cluster, mut client) = Cluster::launch_durable(config(), timing(), &dir).unwrap();
         let id = client.next_txn_id();
         client
             .run_txn(
@@ -206,8 +230,7 @@ fn restart_after_missing_commits_refreshes_via_recovery() {
     // authority (site 0 or 1, which saw txn further) serves v2, and site
     // 2's recovery + batch copiers bring it to v2.
     {
-        let (cluster, mut client) =
-            Cluster::launch_durable(config(), ClusterTiming::default(), &dir).unwrap();
+        let (cluster, mut client) = Cluster::launch_durable(config(), timing(), &dir).unwrap();
         for s in 0..3u8 {
             let _ = client.recover(SiteId(s), Duration::from_secs(2));
         }

@@ -774,8 +774,15 @@ impl SiteEngine {
             Message::ShardDecide { txn, commit } => self.on_shard_decide(txn, commit, out),
             // Votes are consumed by the top-level shard coordinator (the
             // router), never by an engine; a shard envelope is unwrapped
-            // by the sharded site host before delivery.
-            Message::ShardVote { .. } | Message::ShardEnv { .. } => {}
+            // by the sharded site host before delivery. Decision-log
+            // traffic is served by the site loop (the log replica lives
+            // beside the engine, like metrics serving), not the engine.
+            Message::ShardVote { .. }
+            | Message::ShardEnv { .. }
+            | Message::XLogAppend { .. }
+            | Message::XLogAck { .. }
+            | Message::XLogQuery { .. }
+            | Message::XLogReply { .. } => {}
             // `Mgmt` is intercepted in `handle`; reports and metrics
             // scrapes are driver business
             Message::Mgmt(_)

@@ -89,6 +89,32 @@ pub struct TxnReport {
     pub read_results: Vec<(ItemId, ItemValue)>,
 }
 
+/// One cross-shard transaction's entry in the replicated coordinator
+/// decision log (`XDecisionLog` protocol). The coordinator appends a
+/// *begin* record (`outcome = None`, branches only) before releasing any
+/// `ShardPrepare`, and a *commit* record (`outcome = Some(true)`, votes
+/// included) before sending any `ShardDecide { commit: true }`. A
+/// successor that reads the log back can therefore always classify an
+/// in-doubt transaction: no record → prepares never left the
+/// coordinator; begin record only → presumed abort (no participant has
+/// committed); commit record → re-drive the commit idempotently.
+/// Aborts are never logged (presumed abort).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XDecisionRecord {
+    /// The cross-shard transaction id (shared by every branch).
+    pub txn: TxnId,
+    /// The per-group branch transactions, `(group, branch)`, exactly as
+    /// handed to the coordinator — enough for a successor to re-drive
+    /// write-only residues to a failed branch coordinator's peers.
+    pub branches: Vec<(u8, crate::ops::Transaction)>,
+    /// PREPARED votes collected so far, `(group, ok)`.
+    pub votes: Vec<(u8, bool)>,
+    /// `None` while in doubt at the coordinator, `Some(true)` once the
+    /// global commit decision is made. (`Some(false)` is representable
+    /// for completeness but never replicated — aborts are presumed.)
+    pub outcome: Option<bool>,
+}
+
 /// Messages exchanged between sites (and, for `Mgmt`/`MgmtReport`,
 /// between the managing site and database sites over a real transport).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -320,6 +346,53 @@ pub enum Message {
         commit: bool,
     },
 
+    // ---- XDecisionLog: replicated coordinator decision log --------------
+    /// Append (or supersede) one transaction's decision record at a log
+    /// replica. Sent by the acting cross-shard coordinator to every
+    /// member of the designated log group; the coordinator proceeds only
+    /// once a quorum has acknowledged. A record with `outcome = Some`
+    /// supersedes the begin record of the same transaction. `epoch`
+    /// fences: replicas reject appends from a coordinator older than the
+    /// highest epoch they have seen.
+    XLogAppend {
+        /// The appending coordinator's epoch.
+        epoch: u64,
+        /// The record.
+        record: XDecisionRecord,
+    },
+    /// A log replica's acknowledgement of `XLogAppend`. `ok = false`
+    /// means the append was fenced off by a higher coordinator epoch.
+    XLogAck {
+        /// The appended transaction.
+        txn: TxnId,
+        /// The highest coordinator epoch the replica has seen.
+        epoch: u64,
+        /// Accepted?
+        ok: bool,
+        /// Whether the acknowledged record carried an outcome (commit
+        /// record) or not (begin record). Management frames are
+        /// retried, not sequenced, so a duplicated begin append's ack
+        /// can arrive while the coordinator is counting the *commit*
+        /// record's quorum — without this bit the two are
+        /// indistinguishable and a begin-only replica could be counted
+        /// toward the commit quorum.
+        decided: bool,
+    },
+    /// A successor coordinator's log read: announce `epoch` (fencing off
+    /// any older coordinator still running) and ask for every stored
+    /// decision record.
+    XLogQuery {
+        /// The successor's epoch.
+        epoch: u64,
+    },
+    /// A log replica's reply to `XLogQuery`: everything it holds.
+    XLogReply {
+        /// The highest coordinator epoch the replica has seen.
+        epoch: u64,
+        /// All stored records, in unspecified order.
+        records: Vec<XDecisionRecord>,
+    },
+
     // ---- Causal trace propagation (observability plane) -----------------
     /// A protocol message annotated with the causal [`TraceId`] of the
     /// client-submitted transaction it belongs to. Purely additive: a
@@ -396,6 +469,10 @@ impl Message {
             Message::ShardPrepare { .. } => "ShardPrepare",
             Message::ShardVote { .. } => "ShardVote",
             Message::ShardDecide { .. } => "ShardDecide",
+            Message::XLogAppend { .. } => "XLogAppend",
+            Message::XLogAck { .. } => "XLogAck",
+            Message::XLogQuery { .. } => "XLogQuery",
+            Message::XLogReply { .. } => "XLogReply",
             Message::Traced { .. } => "Traced",
             Message::Seq { .. } => "Seq",
             Message::SeqAck { .. } => "SeqAck",
@@ -414,7 +491,9 @@ impl Message {
             | Message::CommitAck { txn }
             | Message::AbortTxn { txn }
             | Message::ShardVote { txn, .. }
-            | Message::ShardDecide { txn, .. } => Some(*txn),
+            | Message::ShardDecide { txn, .. }
+            | Message::XLogAck { txn, .. } => Some(*txn),
+            Message::XLogAppend { record, .. } => Some(record.txn),
             Message::ShardPrepare { txn } => Some(txn.id),
             Message::Mgmt(Command::Begin(txn)) => Some(txn.id),
             Message::MgmtReport(report) => Some(report.txn),
@@ -441,11 +520,14 @@ impl std::fmt::Display for Message {
 /// Helper: is this a management-plane message?
 ///
 /// The cross-shard 2PC trio (`ShardPrepare`/`ShardVote`/`ShardDecide`)
-/// counts as management traffic: like the paper's managing site, the
-/// top-level shard coordinator sits outside the site failure model, and
-/// its exchange with branch coordinators must not be sequenced into a
-/// per-link session that dies with the site. A `ShardEnv` is whatever
-/// its payload is.
+/// and the `XDecisionLog` quartet count as management traffic: the
+/// acting coordinator's exchange with branch coordinators and log
+/// replicas must not be sequenced into a per-link session that dies
+/// with a site — the coordinator itself can now crash and be replaced
+/// (its successor speaks from a new epoch), so these frames carry their
+/// own idempotence (version-stamped re-drives, epoch-fenced appends)
+/// and are simply retried rather than retransmitted. A `ShardEnv` is
+/// whatever its payload is.
 pub fn is_management(msg: &Message) -> bool {
     match msg {
         Message::Mgmt(_)
@@ -456,7 +538,11 @@ pub fn is_management(msg: &Message) -> bool {
         | Message::MetricsResponse { .. }
         | Message::ShardPrepare { .. }
         | Message::ShardVote { .. }
-        | Message::ShardDecide { .. } => true,
+        | Message::ShardDecide { .. }
+        | Message::XLogAppend { .. }
+        | Message::XLogAck { .. }
+        | Message::XLogQuery { .. }
+        | Message::XLogReply { .. } => true,
         Message::ShardEnv { inner, .. } | Message::Traced { inner, .. } => is_management(inner),
         _ => false,
     }
@@ -559,6 +645,38 @@ mod tests {
         assert!(!is_management(&nested));
         assert_eq!(nested.txn_id(), Some(TxnId(8)));
         assert_eq!(Message::MetricsRequest.txn_id(), None);
+    }
+
+    #[test]
+    fn xlog_frames_are_management_and_carry_txn_ids() {
+        let record = XDecisionRecord {
+            txn: TxnId(12),
+            branches: vec![(0, crate::ops::Transaction::new(TxnId(12), vec![]))],
+            votes: vec![(0, true)],
+            outcome: Some(true),
+        };
+        let append = Message::XLogAppend {
+            epoch: 7,
+            record: record.clone(),
+        };
+        let ack = Message::XLogAck {
+            txn: TxnId(12),
+            epoch: 7,
+            ok: true,
+            decided: true,
+        };
+        let query = Message::XLogQuery { epoch: 8 };
+        let reply = Message::XLogReply {
+            epoch: 8,
+            records: vec![record],
+        };
+        for m in [&append, &ack, &query, &reply] {
+            assert!(is_management(m), "{} must be management-plane", m.kind());
+        }
+        assert_eq!(append.txn_id(), Some(TxnId(12)));
+        assert_eq!(ack.txn_id(), Some(TxnId(12)));
+        assert_eq!(query.txn_id(), None);
+        assert_eq!(reply.txn_id(), None);
     }
 
     #[test]

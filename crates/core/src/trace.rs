@@ -254,6 +254,23 @@ pub enum EventKind {
         /// Commit (`true`) or global abort.
         commit: bool,
     },
+    /// The acting coordinator's decision record for this transaction
+    /// reached a quorum of log replicas (`XDecisionLog` protocol): the
+    /// point after which prepares (begin record) or decides (commit
+    /// record) may leave the coordinator.
+    XLogReplicate {
+        /// Replicas that acknowledged, at the moment quorum was reached.
+        replicas: u8,
+        /// True for the commit record, false for the begin record.
+        decided: bool,
+    },
+    /// A successor coordinator adopted this in-doubt transaction from
+    /// the replicated decision log after the original coordinator died.
+    XTakeover {
+        /// The outcome the successor derived: re-driven commit (`true`)
+        /// or presumed abort (`false`).
+        commit: bool,
+    },
     /// The group-commit fsync covering this transaction's commit record
     /// durably retired it (PR 6's WAL): the point after which the
     /// commit's outbound messages may leave the site.
@@ -338,6 +355,8 @@ impl EventKind {
             EventKind::XPrepare { .. } => "x_prepare",
             EventKind::XVote { .. } => "x_vote",
             EventKind::XDecide { .. } => "x_decide",
+            EventKind::XLogReplicate { .. } => "x_log_replicate",
+            EventKind::XTakeover { .. } => "x_takeover",
             EventKind::WalFsync { .. } => "wal_fsync",
             EventKind::Chaos { .. } => "chaos",
         }

@@ -7,6 +7,9 @@
 //! condition resolved is a no-op); repeat until no deliveries remain and
 //! firing timers produces none.
 
+// Each test binary compiles this module and uses its own API subset.
+#![allow(dead_code)]
+
 use std::collections::VecDeque;
 
 use miniraid_core::engine::{Input, Output, SiteEngine, TimerId};
@@ -99,6 +102,18 @@ impl Pump {
                 None => break,
             }
         }
+    }
+
+    /// Inject one protocol message as if delivered from `from`, then
+    /// drain all resulting deliveries WITHOUT firing timers — for paths
+    /// where a timer firing would be premature rather than stale-safe: a
+    /// cross-shard branch parked at its local commit point is a
+    /// legitimate indefinite wait, and firing the participant timeout
+    /// there models a coordinator failure, not quiescence.
+    #[allow(dead_code)] // each test binary uses its own subset of the API
+    pub fn deliver(&mut self, to: SiteId, from: SiteId, msg: Message) {
+        self.queue.push_back((to, from, msg));
+        self.drain_deliveries();
     }
 
     pub fn command(&mut self, site: SiteId, cmd: Command) {

@@ -1,0 +1,154 @@
+//! Cross-shard branch idempotency at the engine level: a branch
+//! coordinator parked at its local commit point must apply exactly one
+//! outcome no matter how many `ShardDecide` frames reach it — the
+//! original coordinator's decide, the original's redrive retries, and a
+//! successor coordinator's takeover re-drive all overlap on the wire
+//! (management frames are retried, not sequenced).
+
+mod harness;
+
+use harness::Pump;
+use miniraid_core::config::ProtocolConfig;
+use miniraid_core::messages::Message;
+use miniraid_core::ops::{Operation, Transaction};
+use miniraid_core::{ItemId, SiteId, TxnId};
+
+fn cfg() -> ProtocolConfig {
+    ProtocolConfig {
+        db_size: 8,
+        n_sites: 3,
+        ..ProtocolConfig::default()
+    }
+}
+
+#[test]
+fn duplicate_shard_decides_from_two_coordinators_are_idempotent() {
+    let mut pump = Pump::new(cfg());
+    let txn_id = TxnId(77);
+    let branch = Transaction::new(txn_id, vec![Operation::Write(ItemId(0), 42)]);
+
+    // The original coordinator (standing in at site 1) ships the branch;
+    // site 0 runs phase one and parks at the local commit point, voting
+    // yes. Parked means: no report, no commit applied.
+    pump.deliver(
+        SiteId(0),
+        SiteId(1),
+        Message::ShardPrepare {
+            txn: branch.clone(),
+        },
+    );
+    assert!(
+        pump.observed.reports.iter().all(|r| r.txn != txn_id),
+        "parked branch must not report before the global decision"
+    );
+
+    // A duplicated prepare while parked is absorbed (the retry path of a
+    // coordinator that never saw the vote).
+    pump.deliver(SiteId(0), SiteId(1), Message::ShardPrepare { txn: branch });
+
+    // The original coordinator's decide commits the branch.
+    pump.deliver(
+        SiteId(0),
+        SiteId(1),
+        Message::ShardDecide {
+            txn: txn_id,
+            commit: true,
+        },
+    );
+    let committed = |pump: &Pump| {
+        pump.observed
+            .reports
+            .iter()
+            .filter(|r| r.txn == txn_id && r.outcome.is_committed())
+            .count()
+    };
+    assert_eq!(committed(&pump), 1, "decide commits the parked branch once");
+    let version_after_commit = pump.engine(SiteId(0)).db().get(0).unwrap().version;
+
+    // Now the overlap: the original coordinator's redrive retry, a
+    // successor coordinator's takeover re-drive (different sender), and
+    // finally a stale abort from a fenced-off coordinator. None may
+    // re-apply the write, duplicate the report, or undo the commit.
+    pump.deliver(
+        SiteId(0),
+        SiteId(1),
+        Message::ShardDecide {
+            txn: txn_id,
+            commit: true,
+        },
+    );
+    pump.deliver(
+        SiteId(0),
+        SiteId(2),
+        Message::ShardDecide {
+            txn: txn_id,
+            commit: true,
+        },
+    );
+    pump.deliver(
+        SiteId(0),
+        SiteId(2),
+        Message::ShardDecide {
+            txn: txn_id,
+            commit: false,
+        },
+    );
+
+    let reports: Vec<_> = pump
+        .observed
+        .reports
+        .iter()
+        .filter(|r| r.txn == txn_id)
+        .collect();
+    assert_eq!(reports.len(), 1, "exactly one report: {reports:?}");
+    assert!(reports[0].outcome.is_committed(), "the commit stood");
+    for engine in &pump.engines {
+        let value = engine.db().get(0).unwrap();
+        assert_eq!(value.data, 42, "committed data at {}", engine.id());
+        assert_eq!(
+            value.version,
+            version_after_commit,
+            "duplicate decides re-applied the write at {}",
+            engine.id()
+        );
+    }
+    pump.assert_up_sites_converged();
+}
+
+#[test]
+fn duplicate_abort_decides_are_idempotent() {
+    let mut pump = Pump::new(cfg());
+    let txn_id = TxnId(78);
+    let branch = Transaction::new(txn_id, vec![Operation::Write(ItemId(1), 7)]);
+    let baseline = pump.engine(SiteId(0)).db().get(1).unwrap();
+
+    pump.deliver(SiteId(0), SiteId(1), Message::ShardPrepare { txn: branch });
+    // Presumed abort from the original, then the successor's broadcast
+    // abort (it cannot know which site parked, so every group member
+    // gets one), then one more retry.
+    for from in [1u8, 2, 1] {
+        pump.deliver(
+            SiteId(0),
+            SiteId(from),
+            Message::ShardDecide {
+                txn: txn_id,
+                commit: false,
+            },
+        );
+    }
+
+    let reports: Vec<_> = pump
+        .observed
+        .reports
+        .iter()
+        .filter(|r| r.txn == txn_id)
+        .collect();
+    assert_eq!(reports.len(), 1, "exactly one report: {reports:?}");
+    assert!(!reports[0].outcome.is_committed(), "the abort stood");
+    assert_eq!(
+        pump.engine(SiteId(0)).db().get(1).unwrap(),
+        baseline,
+        "aborted branch must leave the item untouched"
+    );
+    pump.assert_up_sites_converged();
+}

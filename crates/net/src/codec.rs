@@ -10,6 +10,7 @@ use miniraid_core::error::AbortReason;
 use miniraid_core::ids::{ItemId, ReqId, SessionNumber, SiteId, TxnId};
 use miniraid_core::messages::{
     status_code, status_from_code, Command, Message, TxnOutcome, TxnReport, TxnStats,
+    XDecisionRecord,
 };
 use miniraid_core::ops::{Operation, Transaction};
 use miniraid_core::session::SiteRecord;
@@ -61,6 +62,15 @@ const TAG_SHARD_DECIDE: u8 = 30;
 /// bit-compatible. Legal nesting, outermost first:
 /// `Seq{ShardEnv{Traced{..}}}`.
 const TAG_TRACED: u8 = 31;
+/// XDecisionLog append: coordinator replicates a decision record.
+const TAG_XLOG_APPEND: u8 = 32;
+/// XDecisionLog append acknowledgement (epoch-fenced).
+const TAG_XLOG_ACK: u8 = 33;
+/// XDecisionLog read: a successor coordinator announces its epoch and
+/// asks a replica for every stored record.
+const TAG_XLOG_QUERY: u8 = 34;
+/// XDecisionLog read reply: all stored records.
+const TAG_XLOG_REPLY: u8 = 35;
 
 fn err(reason: &'static str) -> NetError {
     NetError::Codec(reason)
@@ -226,6 +236,57 @@ fn abort_from_code(code: u8) -> Result<AbortReason, NetError> {
         4 => AbortReason::SiteNotOperational,
         5 => AbortReason::GlobalAbort,
         _ => return Err(err("unknown abort reason")),
+    })
+}
+
+fn put_xdecision_record(buf: &mut BytesMut, record: &XDecisionRecord) {
+    buf.put_u64_le(record.txn.0);
+    put_len(buf, record.branches.len());
+    for (group, branch) in &record.branches {
+        buf.put_u8(*group);
+        put_transaction(buf, branch);
+    }
+    put_len(buf, record.votes.len());
+    for (group, ok) in &record.votes {
+        buf.put_u8(*group);
+        buf.put_u8(*ok as u8);
+    }
+    buf.put_u8(match record.outcome {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    });
+}
+
+fn get_xdecision_record(buf: &mut impl Buf) -> Result<XDecisionRecord, NetError> {
+    need(buf, 8)?;
+    let txn = TxnId(buf.get_u64_le());
+    let n = get_len(buf, 256)?;
+    let mut branches = Vec::with_capacity(n);
+    for _ in 0..n {
+        need(buf, 1)?;
+        let group = buf.get_u8();
+        branches.push((group, get_transaction(buf)?));
+    }
+    let n = get_len(buf, 256)?;
+    let mut votes = Vec::with_capacity(n);
+    for _ in 0..n {
+        need(buf, 2)?;
+        let group = buf.get_u8();
+        votes.push((group, buf.get_u8() != 0));
+    }
+    need(buf, 1)?;
+    let outcome = match buf.get_u8() {
+        0 => None,
+        1 => Some(true),
+        2 => Some(false),
+        _ => return Err(err("unknown decision outcome")),
+    };
+    Ok(XDecisionRecord {
+        txn,
+        branches,
+        votes,
+        outcome,
     })
 }
 
@@ -449,6 +510,35 @@ pub fn encode_into(buf: &mut BytesMut, msg: &Message) {
             buf.put_u8(TAG_SHARD_DECIDE);
             buf.put_u64_le(txn.0);
             buf.put_u8(*commit as u8);
+        }
+        Message::XLogAppend { epoch, record } => {
+            buf.put_u8(TAG_XLOG_APPEND);
+            buf.put_u64_le(*epoch);
+            put_xdecision_record(buf, record);
+        }
+        Message::XLogAck {
+            txn,
+            epoch,
+            ok,
+            decided,
+        } => {
+            buf.put_u8(TAG_XLOG_ACK);
+            buf.put_u64_le(txn.0);
+            buf.put_u64_le(*epoch);
+            buf.put_u8(*ok as u8);
+            buf.put_u8(*decided as u8);
+        }
+        Message::XLogQuery { epoch } => {
+            buf.put_u8(TAG_XLOG_QUERY);
+            buf.put_u64_le(*epoch);
+        }
+        Message::XLogReply { epoch, records } => {
+            buf.put_u8(TAG_XLOG_REPLY);
+            buf.put_u64_le(*epoch);
+            put_len(buf, records.len());
+            for record in records {
+                put_xdecision_record(buf, record);
+            }
         }
         Message::Traced { trace, inner } => {
             buf.put_u8(TAG_TRACED);
@@ -740,6 +830,39 @@ pub fn decode(mut buf: &[u8]) -> Result<Message, NetError> {
                 commit: buf.get_u8() != 0,
             }
         }
+        TAG_XLOG_APPEND => {
+            need(&buf, 8)?;
+            let epoch = buf.get_u64_le();
+            Message::XLogAppend {
+                epoch,
+                record: get_xdecision_record(&mut buf)?,
+            }
+        }
+        TAG_XLOG_ACK => {
+            need(&buf, 18)?;
+            Message::XLogAck {
+                txn: TxnId(buf.get_u64_le()),
+                epoch: buf.get_u64_le(),
+                ok: buf.get_u8() != 0,
+                decided: buf.get_u8() != 0,
+            }
+        }
+        TAG_XLOG_QUERY => {
+            need(&buf, 8)?;
+            Message::XLogQuery {
+                epoch: buf.get_u64_le(),
+            }
+        }
+        TAG_XLOG_REPLY => {
+            need(&buf, 8)?;
+            let epoch = buf.get_u64_le();
+            let n = get_len(&mut buf, 1 << 16)?;
+            let mut records = Vec::with_capacity(n.min(256));
+            for _ in 0..n {
+                records.push(get_xdecision_record(&mut buf)?);
+            }
+            Message::XLogReply { epoch, records }
+        }
         TAG_TRACED => {
             need(&buf, 9)?;
             let trace = buf.get_u64_le();
@@ -937,9 +1060,98 @@ mod tests {
                 txn: TxnId(13),
                 commit: false,
             },
+            Message::XLogAppend {
+                epoch: 3,
+                record: XDecisionRecord {
+                    txn: TxnId(13),
+                    branches: vec![
+                        (
+                            0,
+                            Transaction::new(TxnId(13), vec![Operation::Write(ItemId(1), 5)]),
+                        ),
+                        (
+                            2,
+                            Transaction::new(TxnId(13), vec![Operation::Read(ItemId(0))]),
+                        ),
+                    ],
+                    votes: vec![(0, true), (2, false)],
+                    outcome: None,
+                },
+            },
+            Message::XLogAck {
+                txn: TxnId(13),
+                epoch: 3,
+                ok: false,
+                decided: false,
+            },
+            Message::XLogQuery { epoch: 4 },
+            Message::XLogReply {
+                epoch: 4,
+                records: vec![XDecisionRecord {
+                    txn: TxnId(13),
+                    branches: vec![(1, Transaction::new(TxnId(13), vec![]))],
+                    votes: vec![],
+                    outcome: Some(true),
+                }],
+            },
         ];
         for msg in msgs {
             roundtrip(msg);
+        }
+    }
+
+    #[test]
+    fn xlog_frames_nest_in_envelopes_and_reject_garbage() {
+        let record = XDecisionRecord {
+            txn: TxnId(6),
+            branches: vec![(
+                0,
+                Transaction::new(TxnId(6), vec![Operation::Write(ItemId(3), 1)]),
+            )],
+            votes: vec![(0, true), (1, true)],
+            outcome: Some(true),
+        };
+        // Legal stack: the coordinator's appends ride the same shard
+        // envelope (and optionally the session layer) as 2PC traffic.
+        roundtrip(Message::Seq {
+            epoch: 1,
+            seq: 5,
+            inner: Box::new(Message::ShardEnv {
+                shard: 0,
+                inner: Box::new(Message::XLogAppend {
+                    epoch: 2,
+                    record: record.clone(),
+                }),
+            }),
+        });
+        roundtrip(Message::Traced {
+            trace: 44,
+            inner: Box::new(Message::XLogAck {
+                txn: TxnId(6),
+                epoch: 2,
+                ok: true,
+                decided: true,
+            }),
+        });
+        // An unknown outcome byte is rejected, not misread.
+        let mut raw = BytesMut::new();
+        encode_into(
+            &mut raw,
+            &Message::XLogAppend {
+                epoch: 2,
+                record: record.clone(),
+            },
+        );
+        let last = raw.len() - 1;
+        raw[last] = 9;
+        assert!(decode(&raw).is_err());
+        // Truncations error cleanly.
+        let enc = encode(&Message::XLogReply {
+            epoch: 4,
+            records: vec![record],
+        });
+        for cut in 0..enc.len() {
+            assert!(decode(&enc[..cut]).is_err(), "truncation at {cut} accepted");
         }
     }
 

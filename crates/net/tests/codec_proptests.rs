@@ -4,7 +4,7 @@
 use bytes::BytesMut;
 use miniraid_core::error::AbortReason;
 use miniraid_core::ids::{ItemId, ReqId, SessionNumber, SiteId, TxnId};
-use miniraid_core::messages::{Command, Message, TxnOutcome, TxnReport, TxnStats};
+use miniraid_core::messages::{Command, Message, TxnOutcome, TxnReport, TxnStats, XDecisionRecord};
 use miniraid_core::ops::{Operation, Transaction};
 use miniraid_core::session::{SiteRecord, SiteStatus};
 use miniraid_net::codec::{decode, decode_many, encode, encode_batch_into, encode_into};
@@ -232,12 +232,65 @@ fn arb_wire_message() -> impl Strategy<Value = Message> {
     ]
 }
 
-/// Payloads legal inside a shard envelope: any plain protocol message
-/// or one of the cross-shard 2PC frames (TAG 28–30). Never another
-/// envelope or session frame — the codec rejects that nesting.
+/// A cross-shard decision record as the coordinator replicates it: the
+/// begin form (`outcome = None`, no votes yet) through the commit form
+/// (`outcome = Some(true)`, full vote set) — and the representable-but-
+/// never-replicated `Some(false)`, which the codec must still carry.
+fn arb_xdecision_record() -> impl Strategy<Value = XDecisionRecord> {
+    (
+        any::<u64>(),
+        proptest::collection::vec(
+            (
+                any::<u8>(),
+                any::<u64>(),
+                proptest::collection::vec(arb_operation(), 0..6),
+            )
+                .prop_map(|(g, id, ops)| (g, Transaction::new(TxnId(id), ops))),
+            0..4,
+        ),
+        proptest::collection::vec((any::<u8>(), any::<bool>()), 0..4),
+        prop_oneof![Just(None), any::<bool>().prop_map(Some)],
+    )
+        .prop_map(|(txn, branches, votes, outcome)| XDecisionRecord {
+            txn: TxnId(txn),
+            branches,
+            votes,
+            outcome,
+        })
+}
+
+/// The decision-log protocol frames (TAG 32–35): replicated append and
+/// its disambiguating ack, plus the successor's query/reply pair.
+fn arb_xlog_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u64>(), arb_xdecision_record())
+            .prop_map(|(epoch, record)| Message::XLogAppend { epoch, record }),
+        (any::<u64>(), any::<u64>(), any::<bool>(), any::<bool>()).prop_map(
+            |(txn, epoch, ok, decided)| Message::XLogAck {
+                txn: TxnId(txn),
+                epoch,
+                ok,
+                decided,
+            }
+        ),
+        any::<u64>().prop_map(|epoch| Message::XLogQuery { epoch }),
+        (
+            any::<u64>(),
+            proptest::collection::vec(arb_xdecision_record(), 0..4)
+        )
+            .prop_map(|(epoch, records)| Message::XLogReply { epoch, records }),
+    ]
+}
+
+/// Payloads legal inside a shard envelope: any plain protocol message,
+/// one of the cross-shard 2PC frames (TAG 28–30), or one of the
+/// decision-log frames (TAG 32–35, which travel in the log group's
+/// envelope). Never another envelope or session frame — the codec
+/// rejects that nesting.
 fn arb_shard_payload() -> impl Strategy<Value = Message> {
     prop_oneof![
         arb_message(),
+        arb_xlog_message(),
         (
             any::<u64>(),
             proptest::collection::vec(arb_operation(), 0..12)
@@ -393,6 +446,82 @@ proptest! {
         };
         let encoded = encode(&msg);
         prop_assert!(decode(&encoded).is_err());
+    }
+
+    #[test]
+    fn xlog_frames_roundtrip(msg in arb_xlog_message()) {
+        let encoded = encode(&msg);
+        let decoded = decode(&encoded).expect("well-formed xlog frame decodes");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn xlog_frames_roundtrip_under_envelopes(
+        shard in any::<u8>(),
+        epoch in any::<u64>(),
+        seq in any::<u64>(),
+        msg in arb_xlog_message(),
+    ) {
+        // The coordinator ships log frames in the log group's envelope;
+        // the session layer may wrap that on a reliable link — the full
+        // legal stack being `Seq { ShardEnv { XLog* } }`.
+        let enveloped = Message::ShardEnv {
+            shard,
+            inner: Box::new(msg),
+        };
+        let encoded = encode(&enveloped);
+        prop_assert_eq!(&decode(&encoded).expect("enveloped xlog frame decodes"), &enveloped);
+
+        let sequenced = Message::Seq {
+            epoch,
+            seq,
+            inner: Box::new(enveloped),
+        };
+        let encoded = encode(&sequenced);
+        prop_assert_eq!(decode(&encoded).expect("sequenced xlog frame decodes"), sequenced);
+    }
+
+    #[test]
+    fn xlog_frames_interleave_in_batches(
+        xlog_frames in proptest::collection::vec(arb_xlog_message(), 1..4),
+        plain_frames in proptest::collection::vec(arb_wire_message(), 1..4),
+    ) {
+        // Append/query retries share coalesced batches with ordinary
+        // replication traffic; interleaving must round-trip in order.
+        let mut msgs = Vec::new();
+        let mut xlogs = xlog_frames.into_iter();
+        let mut plains = plain_frames.into_iter();
+        loop {
+            match (xlogs.next(), plains.next()) {
+                (None, None) => break,
+                (x, p) => {
+                    msgs.extend(x);
+                    msgs.extend(p);
+                }
+            }
+        }
+        let mut buf = BytesMut::new();
+        encode_batch_into(&mut buf, &msgs);
+        let decoded = decode_many(&buf).expect("interleaved xlog batch decodes");
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn xlog_frames_reject_nested_envelopes(
+        outer in any::<u8>(),
+        shard in any::<u8>(),
+        msg in arb_xlog_message(),
+    ) {
+        // A log frame rides in exactly one envelope; envelope-in-envelope
+        // around it is malformed like any other nested envelope.
+        let nested = Message::ShardEnv {
+            shard: outer,
+            inner: Box::new(Message::ShardEnv {
+                shard,
+                inner: Box::new(msg),
+            }),
+        };
+        prop_assert!(decode(&encode(&nested)).is_err());
     }
 
     #[test]

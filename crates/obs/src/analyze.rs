@@ -414,6 +414,22 @@ fn kind_detail(kind: &EventKind) -> String {
         EventKind::XPrepare { shard } => format!("(shard {shard})"),
         EventKind::XVote { shard, ok } => format!("(shard {shard}, ok={ok})"),
         EventKind::XDecide { commit } => format!("({})", if *commit { "commit" } else { "abort" }),
+        EventKind::XLogReplicate { replicas, decided } => {
+            format!(
+                "({} record, {replicas} replicas)",
+                if *decided { "commit" } else { "begin" }
+            )
+        }
+        EventKind::XTakeover { commit } => {
+            format!(
+                "({})",
+                if *commit {
+                    "re-drive"
+                } else {
+                    "presumed abort"
+                }
+            )
+        }
         EventKind::WalFsync { retired } => format!("({retired} retired)"),
         EventKind::Chaos { action, target } => format!("({} site {})", action.name(), target.0),
         _ => String::new(),
@@ -427,6 +443,8 @@ fn is_client_kind(kind: &EventKind) -> bool {
             | EventKind::XPrepare { .. }
             | EventKind::XVote { .. }
             | EventKind::XDecide { .. }
+            | EventKind::XLogReplicate { .. }
+            | EventKind::XTakeover { .. }
     )
 }
 

@@ -129,6 +129,12 @@ pub fn encode_event_into(event: &TraceEvent, s: &mut String) {
         EventKind::XDecide { commit } => {
             let _ = write!(s, ",\"commit\":{commit}");
         }
+        EventKind::XLogReplicate { replicas, decided } => {
+            let _ = write!(s, ",\"replicas\":{replicas},\"decided\":{decided}");
+        }
+        EventKind::XTakeover { commit } => {
+            let _ = write!(s, ",\"commit\":{commit}");
+        }
         EventKind::WalFsync { retired } => {
             let _ = write!(s, ",\"retired\":{retired}");
         }
@@ -351,6 +357,13 @@ pub fn parse_event(line: &str) -> Result<TraceEvent, String> {
         "x_decide" => EventKind::XDecide {
             commit: get_bool("commit").ok_or("x_decide missing \"commit\"")?,
         },
+        "x_log_replicate" => EventKind::XLogReplicate {
+            replicas: get_num("replicas").ok_or("x_log_replicate missing \"replicas\"")? as u8,
+            decided: get_bool("decided").ok_or("x_log_replicate missing \"decided\"")?,
+        },
+        "x_takeover" => EventKind::XTakeover {
+            commit: get_bool("commit").ok_or("x_takeover missing \"commit\"")?,
+        },
         "wal_fsync" => EventKind::WalFsync {
             retired: get_num("retired").ok_or("wal_fsync missing \"retired\"")? as u32,
         },
@@ -489,6 +502,16 @@ mod tests {
                 ok: false,
             },
             EventKind::XDecide { commit: true },
+            EventKind::XLogReplicate {
+                replicas: 2,
+                decided: false,
+            },
+            EventKind::XLogReplicate {
+                replicas: 3,
+                decided: true,
+            },
+            EventKind::XTakeover { commit: true },
+            EventKind::XTakeover { commit: false },
             EventKind::WalFsync { retired: 3 },
             EventKind::Chaos {
                 action: miniraid_core::trace::ChaosAction::Kill,

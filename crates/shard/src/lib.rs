@@ -16,6 +16,10 @@
 //! - [`xcoord`]: the cross-shard coordinator — collects branch votes,
 //!   announces the global decision, and repairs committed branches
 //!   whose group coordinator failed mid-protocol.
+//! - [`xlog`]: the replica side of the `XDecisionLog` protocol — the
+//!   quorum-replicated decision records that let a successor
+//!   coordinator take over in-doubt transactions when the acting
+//!   coordinator itself dies (DESIGN.md §13).
 //!
 //! Failure independence is structural: groups share no session
 //! vectors, fail-locks or control transactions, so a site failure in
@@ -25,7 +29,9 @@
 pub mod router;
 pub mod spec;
 pub mod xcoord;
+pub mod xlog;
 
 pub use router::{classify, write_only_branch, Route};
 pub use spec::ShardSpec;
 pub use xcoord::{XAction, XCoordinator, XMetrics, XPhase};
+pub use xlog::XLogStore;

@@ -6,12 +6,17 @@
 //! branch runs the full intra-group protocol (phase one to all
 //! available copies, session-vector checks, fail-lock maintenance) but
 //! parks at its local commit point instead of committing, votes, and
-//! waits for the global decision. The cross-shard coordinator lives at
-//! the managing site — like the paper's managing site it sits outside
-//! the failure model, so the classic "coordinator failed after
-//! prepare" blocking case of 2PC does not arise at the top level.
-//! Branch coordinators *are* inside the failure model; a branch that
-//! dies after voting yes is repaired by re-driving its write-only
+//! waits for the global decision. The cross-shard coordinator is
+//! *inside* the failure model: before releasing prepares or decides it
+//! replicates a decision record to a quorum of log replicas (the
+//! `XDecisionLog` protocol — see [`crate::xlog`] and DESIGN.md §13),
+//! so a successor can adopt any in-doubt transaction via
+//! [`XCoordinator::adopt_record`] after the original coordinator dies,
+//! re-derive the outcome, and idempotently re-drive the decision. The
+//! classic "coordinator failed after prepare" blocking case of 2PC is
+//! therefore bounded by the vote timeout rather than unbounded.
+//! Branch coordinators are likewise inside the failure model; a branch
+//! that dies after voting yes is repaired by re-driving its write-only
 //! residue (see [`XCoordinator::redrive_targets`]), which is safe
 //! because writes are versioned by transaction id and sites install
 //! only fresher versions.
@@ -97,6 +102,9 @@ pub struct XMetrics {
     /// Write-only branch re-submissions issued while repairing
     /// committed transactions whose branch coordinator failed.
     pub redrives: u64,
+    /// In-doubt transactions adopted from the replicated decision log
+    /// by a successor coordinator (see [`XCoordinator::adopt_record`]).
+    pub takeovers: u64,
 }
 
 /// The top-level two-phase coordinator for multi-group transactions.
@@ -269,6 +277,68 @@ impl XCoordinator {
                 Vec::new()
             }
         }
+    }
+
+    /// Adopt an in-doubt transaction recovered from the replicated
+    /// decision log (successor-coordinator takeover). `commit = true`
+    /// re-drives a decided commit: the transaction enters `Committing`
+    /// with no branch confirmed, the returned actions announce the
+    /// decision to every group, and the ordinary report/re-drive
+    /// machinery carries it to `Finished` — branches that already
+    /// committed under the dead coordinator are confirmed by the
+    /// version-stamped write-only residues the re-drive loop submits.
+    /// `commit = false` is the presumed-abort path (a begin record with
+    /// no outcome): nothing can have committed anywhere, so the abort
+    /// is announced and finished in one step.
+    pub fn adopt_record(&mut self, branches: Vec<(u8, Transaction)>, commit: bool) -> Vec<XAction> {
+        assert!(!branches.is_empty(), "adopted record has no branches");
+        let id = branches[0].1.id;
+        assert!(
+            branches.iter().all(|(_, b)| b.id == id),
+            "branches must share the global transaction id"
+        );
+        assert!(
+            !self.txns.contains_key(&id),
+            "transaction {id} already in flight"
+        );
+        self.metrics.begun += 1;
+        self.metrics.takeovers += 1;
+        if !commit {
+            self.metrics.aborted += 1;
+            let mut actions: Vec<XAction> = branches
+                .iter()
+                .map(|(group, _)| XAction::Decide {
+                    group: *group,
+                    txn: id,
+                    commit: false,
+                })
+                .collect();
+            actions.push(XAction::Finished {
+                txn: id,
+                committed: false,
+                read_results: Vec::new(),
+            });
+            return actions;
+        }
+        let votes = branches.iter().map(|(g, _)| (*g, true)).collect();
+        self.txns.insert(
+            id,
+            XTxn {
+                phase: XPhase::Committing,
+                branches,
+                votes,
+                confirmed: Vec::new(),
+                read_results: Vec::new(),
+            },
+        );
+        self.txns[&id]
+            .groups()
+            .map(|group| XAction::Decide {
+                group,
+                txn: id,
+                commit: true,
+            })
+            .collect()
     }
 
     /// Branches of a committed-but-unconfirmed transaction, as
@@ -557,6 +627,74 @@ mod tests {
                 ..
             }]
         ));
+    }
+
+    #[test]
+    fn adopted_commit_record_redrives_to_completion() {
+        let mut xc = XCoordinator::new(spec());
+        // A successor coordinator adopts a commit record the dead
+        // coordinator replicated: every group gets the decision again.
+        let actions = xc.adopt_record(branches(20), true);
+        assert_eq!(
+            actions,
+            vec![
+                XAction::Decide {
+                    group: 0,
+                    txn: TxnId(20),
+                    commit: true
+                },
+                XAction::Decide {
+                    group: 1,
+                    txn: TxnId(20),
+                    commit: true
+                },
+            ]
+        );
+        assert_eq!(xc.phase(TxnId(20)), Some(XPhase::Committing));
+        assert_eq!(xc.metrics.takeovers, 1);
+        // Unconfirmed branches are re-driven as write-only residues,
+        // exactly like a branch-coordinator failure.
+        assert_eq!(xc.redrive_targets(TxnId(20)).len(), 2);
+        xc.on_branch_report(0, TxnId(20), true, &[]);
+        let done = xc.on_branch_report(1, TxnId(20), true, &[]);
+        assert!(matches!(
+            &done[..],
+            [XAction::Finished {
+                committed: true,
+                ..
+            }]
+        ));
+        assert_eq!(xc.metrics.committed, 1);
+    }
+
+    #[test]
+    fn adopted_begin_record_presumes_abort() {
+        let mut xc = XCoordinator::new(spec());
+        let actions = xc.adopt_record(branches(21), false);
+        assert_eq!(
+            actions,
+            vec![
+                XAction::Decide {
+                    group: 0,
+                    txn: TxnId(21),
+                    commit: false
+                },
+                XAction::Decide {
+                    group: 1,
+                    txn: TxnId(21),
+                    commit: false
+                },
+                XAction::Finished {
+                    txn: TxnId(21),
+                    committed: false,
+                    read_results: vec![]
+                },
+            ]
+        );
+        // Presumed aborts finish immediately: nothing stays in flight.
+        assert_eq!(xc.pending(), 0);
+        assert_eq!(xc.metrics.aborted, 1);
+        assert_eq!(xc.metrics.takeovers, 1);
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! The replica side of the `XDecisionLog` protocol: per-site storage
+//! for the cross-shard coordinator's replicated decision records.
+//!
+//! Every member of the designated log group (group 0 by convention)
+//! hosts one [`XLogStore`] in its site loop, beside the metrics server
+//! and *outside* the engine state machine — the log must answer
+//! appends and queries even while the engine is down, the way the WAL
+//! survives a crashed process. The store is pure state: the loop feeds
+//! it [`Message::XLogAppend`]/[`Message::XLogQuery`] frames and sends
+//! back whatever it returns.
+//!
+//! Fencing: a coordinator speaks from an *epoch* (the same wall-clock
+//! scheme as the reliable session layer's restart epochs). A replica
+//! tracks the highest epoch it has seen and rejects appends from
+//! anything older, so a deposed coordinator that was merely slow — not
+//! dead — cannot overwrite a successor's records; its quorum breaks
+//! and its transaction is finished by the successor instead.
+//!
+//! Supersession: the coordinator appends at most two records per
+//! transaction — a *begin* record (`outcome = None`) before any
+//! prepare leaves, then a *commit* record (`outcome = Some(true)`)
+//! before any decide leaves. Management-plane frames are retried, not
+//! sequenced, so a duplicated begin append can arrive after the commit
+//! append; a record with an outcome is therefore never replaced by one
+//! without.
+
+use std::collections::HashMap;
+
+use miniraid_core::messages::{Message, XDecisionRecord};
+
+/// One log replica's store: epoch high-water mark plus the latest
+/// surviving record per transaction.
+///
+/// Records are retired with [`XLogStore::retire`] once the acting
+/// coordinator reports the transaction finished; a store that is never
+/// told grows with the number of in-doubt transactions, which chaos
+/// runs bound by their step count.
+#[derive(Debug, Default)]
+pub struct XLogStore {
+    highest_epoch: u64,
+    records: HashMap<u64, (u64, XDecisionRecord)>,
+}
+
+impl XLogStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The highest coordinator epoch this replica has acknowledged.
+    pub fn highest_epoch(&self) -> u64 {
+        self.highest_epoch
+    }
+
+    /// Stored records (latest per transaction).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Apply an append from a coordinator at `epoch`; returns the
+    /// [`Message::XLogAck`] to send back. Appends from an epoch below
+    /// the high-water mark are fenced off (`ok = false`); accepted
+    /// appends store the record unless a decided record would be
+    /// downgraded to an undecided one (stale duplicate).
+    pub fn append(&mut self, epoch: u64, record: XDecisionRecord) -> Message {
+        // The ack echoes whether the *incoming* record carried an
+        // outcome, so the coordinator can tell begin-acks from
+        // commit-acks when counting quorums (retried frames reorder).
+        let decided = record.outcome.is_some();
+        if epoch < self.highest_epoch {
+            return Message::XLogAck {
+                txn: record.txn,
+                epoch: self.highest_epoch,
+                ok: false,
+                decided,
+            };
+        }
+        self.highest_epoch = epoch;
+        let txn = record.txn;
+        let supersedes = match self.records.get(&txn.0) {
+            // Never lose a decided outcome to a late begin-record dup.
+            Some((_, existing)) => record.outcome.is_some() || existing.outcome.is_none(),
+            None => true,
+        };
+        if supersedes {
+            self.records.insert(txn.0, (epoch, record));
+        }
+        Message::XLogAck {
+            txn,
+            epoch: self.highest_epoch,
+            ok: true,
+            decided,
+        }
+    }
+
+    /// Serve a successor's query: fence off everything older than
+    /// `epoch` and return every stored record. The returned
+    /// [`Message::XLogReply`] carries the (possibly raised) high-water
+    /// mark.
+    pub fn query(&mut self, epoch: u64) -> Message {
+        if epoch > self.highest_epoch {
+            self.highest_epoch = epoch;
+        }
+        Message::XLogReply {
+            epoch: self.highest_epoch,
+            records: self.records.values().map(|(_, r)| r.clone()).collect(),
+        }
+    }
+
+    /// Drop a finished transaction's record (log garbage collection).
+    pub fn retire(&mut self, txn: miniraid_core::ids::TxnId) {
+        self.records.remove(&txn.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miniraid_core::ids::TxnId;
+    use miniraid_core::ops::{Operation, Transaction};
+
+    fn record(txn: u64, outcome: Option<bool>) -> XDecisionRecord {
+        XDecisionRecord {
+            txn: TxnId(txn),
+            branches: vec![
+                (
+                    0,
+                    Transaction::new(
+                        TxnId(txn),
+                        vec![Operation::Write(miniraid_core::ids::ItemId(1), 5)],
+                    ),
+                ),
+                (1, Transaction::new(TxnId(txn), vec![])),
+            ],
+            votes: vec![(0, true)],
+            outcome,
+        }
+    }
+
+    fn ack_ok(msg: &Message) -> bool {
+        match msg {
+            Message::XLogAck { ok, .. } => *ok,
+            other => panic!("expected XLogAck, got {other:?}"),
+        }
+    }
+
+    fn reply_records(msg: Message) -> Vec<XDecisionRecord> {
+        match msg {
+            Message::XLogReply { records, .. } => records,
+            other => panic!("expected XLogReply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn appends_store_and_commit_supersedes_begin() {
+        let mut store = XLogStore::new();
+        assert!(ack_ok(&store.append(1, record(7, None))));
+        assert!(ack_ok(&store.append(1, record(7, Some(true)))));
+        let records = reply_records(store.query(1));
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].outcome, Some(true));
+    }
+
+    #[test]
+    fn late_begin_duplicate_cannot_downgrade_a_decision() {
+        let mut store = XLogStore::new();
+        store.append(1, record(7, Some(true)));
+        // A duplicated begin append (management frames are retried, not
+        // sequenced) arrives late: acked, but the decision survives.
+        assert!(ack_ok(&store.append(1, record(7, None))));
+        let records = reply_records(store.query(1));
+        assert_eq!(records[0].outcome, Some(true));
+    }
+
+    #[test]
+    fn older_epochs_are_fenced_off() {
+        let mut store = XLogStore::new();
+        store.append(5, record(1, None));
+        let ack = store.append(3, record(2, Some(true)));
+        assert!(!ack_ok(&ack));
+        match ack {
+            Message::XLogAck { epoch, .. } => assert_eq!(epoch, 5),
+            _ => unreachable!(),
+        }
+        // The fenced record was not stored.
+        assert_eq!(store.len(), 1);
+        // A query from a newer successor raises the fence for everyone.
+        store.query(9);
+        assert!(!ack_ok(&store.append(5, record(3, None))));
+        assert_eq!(store.highest_epoch(), 9);
+    }
+
+    #[test]
+    fn retire_drops_records() {
+        let mut store = XLogStore::new();
+        store.append(1, record(4, Some(true)));
+        store.append(1, record(5, None));
+        store.retire(TxnId(4));
+        let records = reply_records(store.query(1));
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].txn, TxnId(5));
+        assert!(!store.is_empty());
+    }
+}

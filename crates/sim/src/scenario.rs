@@ -11,6 +11,7 @@
 
 use miniraid_core::ids::SiteId;
 use miniraid_core::ProtocolConfig;
+use miniraid_shard::{ShardSpec, XAction, XCoordinator, XLogStore};
 use miniraid_txn::workload::UniformGen;
 
 use crate::cost::ProcessorModel;
@@ -517,6 +518,198 @@ pub fn sharded_failure_independence(seed: u64, n_groups: u8) -> ShardIndependenc
     }
 }
 
+// ------------------------------------------------- coordinator takeover
+
+/// Where the cross-shard coordinator dies in the takeover scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TakeoverKillPoint {
+    /// After the begin record reached a log quorum and the prepares went
+    /// out, before any vote arrived. Nothing decided → presumed abort.
+    AfterPrepare,
+    /// After every vote arrived and the commit record's append was
+    /// *sent*, but before it reached a log quorum — no decide has left,
+    /// so either outcome is safe for the successor.
+    AfterVotes,
+    /// After the commit record reached a log quorum and the first
+    /// `ShardDecide { commit: true }` left — the successor MUST see the
+    /// commit record (quorum intersection) and re-drive the commit.
+    MidDecide,
+}
+
+/// Result of the deterministic takeover scenario.
+#[derive(Debug, Clone)]
+pub struct TakeoverResult {
+    /// The outcome the successor adopted from the merged log read.
+    pub adopted_commit: bool,
+    /// Groups the successor (re-)drove a `ShardDecide` to, sorted.
+    pub redriven_groups: Vec<u8>,
+    /// The decision matched the kill-point's only safe outcome (for
+    /// `AfterVotes` both outcomes are safe, so this is always true).
+    pub decision_safe: bool,
+    /// The deposed coordinator's late append was fenced off (`ok =
+    /// false`) after the successor's query raised the epoch fence.
+    pub old_coordinator_fenced: bool,
+    /// Takeovers counted by the successor coordinator (must be 1).
+    pub takeovers: u64,
+}
+
+/// Deterministic coordinator-takeover scenario: the decision-log
+/// protocol driven as pure state machines — no clocks, threads, or
+/// transports — through one cross-shard transaction whose coordinator
+/// dies at `kill`.
+///
+/// Three log replicas (quorum 2). The original coordinator writes to the
+/// majority `{0, 1}`; the successor deliberately reads the *other*
+/// majority `{1, 2}`, so the scenario proves the quorum-intersection
+/// argument rather than assuming it: any record the original released a
+/// decision on is visible through replica 1, and records that never
+/// reached quorum (the `AfterVotes` commit append stopped at replica 0
+/// alone) may legitimately be invisible — safe exactly because the
+/// matching decide never left.
+pub fn coordinator_takeover(kill: TakeoverKillPoint) -> TakeoverResult {
+    use miniraid_core::ids::{ItemId, TxnId};
+    use miniraid_core::messages::{Message, XDecisionRecord};
+    use miniraid_core::ops::{Operation, Transaction};
+
+    let spec = ShardSpec::new(2, 3, 8);
+    let mut replicas = [XLogStore::new(), XLogStore::new(), XLogStore::new()];
+    let quorum = 2usize;
+
+    let txn = TxnId(1);
+    let branches = vec![
+        (
+            0u8,
+            Transaction::new(txn, vec![Operation::Write(ItemId(0), 11)]),
+        ),
+        (
+            1u8,
+            Transaction::new(txn, vec![Operation::Write(ItemId(1), 22)]),
+        ),
+    ];
+
+    // ---- The original coordinator, epoch 1 --------------------------
+    let epoch_old = 1u64;
+    let mut original = XCoordinator::new(spec);
+    let begin = XDecisionRecord {
+        txn,
+        branches: branches.clone(),
+        votes: Vec::new(),
+        outcome: None,
+    };
+    // Begin record to the write majority {0, 1}; prepares release only
+    // after both acks (the replicate-then-act staging).
+    for replica in replicas.iter_mut().take(quorum) {
+        let ack = replica.append(epoch_old, begin.clone());
+        assert!(matches!(ack, Message::XLogAck { ok: true, .. }));
+    }
+    let prepares = original.begin(branches.clone());
+    assert_eq!(prepares.len(), 2, "one prepare per branch");
+
+    let mut first_decide_delivered = false;
+    match kill {
+        TakeoverKillPoint::AfterPrepare => {
+            // Dies here: no votes, no commit record, no decide.
+        }
+        TakeoverKillPoint::AfterVotes | TakeoverKillPoint::MidDecide => {
+            let _ = original.on_vote(0, txn, true);
+            let decides = original.on_vote(1, txn, true);
+            assert!(
+                decides
+                    .iter()
+                    .any(|a| matches!(a, XAction::Decide { commit: true, .. })),
+                "unanimous yes votes decide commit"
+            );
+            let commit_record = XDecisionRecord {
+                txn,
+                branches: branches.clone(),
+                votes: vec![(0, true), (1, true)],
+                outcome: Some(true),
+            };
+            match kill {
+                TakeoverKillPoint::AfterVotes => {
+                    // The commit append reaches replica 0 only — below
+                    // quorum, so the decides stay held and never leave.
+                    replicas[0].append(epoch_old, commit_record);
+                }
+                TakeoverKillPoint::MidDecide => {
+                    // Commit record on the full write majority, then the
+                    // first decide leaves before the crash.
+                    for replica in replicas.iter_mut().take(quorum) {
+                        replica.append(epoch_old, commit_record.clone());
+                    }
+                    first_decide_delivered = true;
+                }
+                TakeoverKillPoint::AfterPrepare => unreachable!(),
+            }
+        }
+    }
+
+    // ---- The successor, epoch 2 -------------------------------------
+    let epoch_new = epoch_old + 1;
+    let mut successor = XCoordinator::new(spec);
+    // Quorum read from the OTHER majority {1, 2}; the query raises the
+    // fence on every replica it touches.
+    let mut merged: Option<XDecisionRecord> = None;
+    for r in [1usize, 2] {
+        let Message::XLogReply { records, .. } = replicas[r].query(epoch_new) else {
+            unreachable!("query always replies");
+        };
+        for record in records {
+            merged = match merged.take() {
+                // A record with an outcome wins the merge.
+                Some(seen) if seen.outcome.is_some() => Some(seen),
+                _ => Some(record),
+            };
+        }
+    }
+    let record = merged.expect("begin record reached a quorum before any prepare left");
+    let adopted_commit = record.outcome == Some(true);
+    let actions = successor.adopt_record(record.branches, adopted_commit);
+    let mut redriven_groups: Vec<u8> = actions
+        .iter()
+        .filter_map(|a| match a {
+            XAction::Decide { group, commit, .. } => {
+                assert_eq!(*commit, adopted_commit, "one outcome, everywhere");
+                Some(*group)
+            }
+            _ => None,
+        })
+        .collect();
+    redriven_groups.sort_unstable();
+
+    // ---- Safety oracle ----------------------------------------------
+    let decision_safe = match kill {
+        // Nothing was decided; only abort is safe.
+        TakeoverKillPoint::AfterPrepare => !adopted_commit,
+        // No decide ever left; both outcomes are safe.
+        TakeoverKillPoint::AfterVotes => true,
+        // A commit decide may have been applied; only commit is safe —
+        // and quorum intersection must have made the record visible.
+        TakeoverKillPoint::MidDecide => adopted_commit && first_decide_delivered,
+    };
+
+    // The deposed coordinator wakes up and retries its append: every
+    // replica the successor read has raised its fence.
+    let late = replicas[1].append(
+        epoch_old,
+        XDecisionRecord {
+            txn,
+            branches: Vec::new(),
+            votes: Vec::new(),
+            outcome: Some(true),
+        },
+    );
+    let old_coordinator_fenced = matches!(late, Message::XLogAck { ok: false, .. });
+
+    TakeoverResult {
+        adopted_commit,
+        redriven_groups,
+        decision_safe,
+        old_coordinator_fenced,
+        takeovers: successor.metrics.takeovers,
+    }
+}
+
 // ---------------------------------------------------------- scaling
 
 /// One row of the scaling study: control-transaction costs at a given
@@ -667,6 +860,46 @@ mod tests {
             result.group0_peak_faillocks
         );
         assert!(result.fully_recovered);
+    }
+
+    #[test]
+    fn takeover_after_prepare_presumes_abort() {
+        let result = coordinator_takeover(TakeoverKillPoint::AfterPrepare);
+        assert!(!result.adopted_commit, "begin-only record → presumed abort");
+        assert!(result.decision_safe);
+        assert_eq!(result.redriven_groups, vec![0, 1], "abort to every branch");
+        assert!(result.old_coordinator_fenced);
+        assert_eq!(result.takeovers, 1);
+    }
+
+    #[test]
+    fn takeover_after_votes_is_safe_either_way() {
+        let result = coordinator_takeover(TakeoverKillPoint::AfterVotes);
+        // The commit record missed the read majority, so this successor
+        // presumes abort — safe precisely because the below-quorum
+        // append also kept every decide held at the original.
+        assert!(!result.adopted_commit);
+        assert!(result.decision_safe);
+        assert_eq!(result.redriven_groups, vec![0, 1]);
+        assert!(result.old_coordinator_fenced);
+        assert_eq!(result.takeovers, 1);
+    }
+
+    #[test]
+    fn takeover_mid_decide_redrives_the_commit() {
+        let result = coordinator_takeover(TakeoverKillPoint::MidDecide);
+        assert!(
+            result.adopted_commit,
+            "quorum intersection must surface the commit record"
+        );
+        assert!(result.decision_safe);
+        assert_eq!(
+            result.redriven_groups,
+            vec![0, 1],
+            "commit re-driven idempotently to every branch"
+        );
+        assert!(result.old_coordinator_fenced);
+        assert_eq!(result.takeovers, 1);
     }
 
     #[test]
