@@ -8,6 +8,7 @@
 //! chaos thread [--seed N] [--steps N] [--sites N] [--drop P] [--dup P]
 //!              [--shards N] [--sites-per-group N] [--cross-pct N]
 //!              [--kill-coordinator] [--kill-point POINT]
+//!              [--reshard] [--reshard-kill donor|recipient|resharder]
 //!              [--vote-timeout-ms N] [--redrive-ms N]
 //!              [--no-reliable] [--trace-out FILE]
 //! chaos proc   [--seed N] [--kills N] [--sites N] [--drop P] [--dup P]
@@ -23,7 +24,12 @@
 //! repeatedly killed at `--kill-point` (`after-prepare`, `after-votes`,
 //! or `mid-decide`; default `after-votes`) and a successor must take
 //! over from the replicated decision log — the atomicity oracle still
-//! has to hold.
+//! has to hold. With `--reshard` it runs a *live resharding* schedule
+//! instead: a mapped cluster migrates a seed-chosen item range between
+//! groups under foreground traffic, optionally killing a donor member,
+//! a recipient member, or the resharder itself mid-copy
+//! (`--reshard-kill`); the oracle checks no item is lost and no item
+//! ends up double-owned.
 //! `proc` drives real `miniraid-site` OS processes over TCP with
 //! WAL-backed stores: kills are SIGKILL mid-transaction, restarts
 //! replay the WAL — the paper's site failure model made literal.
@@ -31,10 +37,10 @@
 use std::path::PathBuf;
 
 use miniraid_cluster::chaos::{
-    run_process_chaos, run_sharded_chaos, run_thread_chaos, ChaosOptions, ChaosOutcome,
-    ProcChaosOptions, ShardChaosOptions,
+    run_process_chaos, run_reshard_chaos, run_sharded_chaos, run_thread_chaos, ChaosOptions,
+    ChaosOutcome, ProcChaosOptions, ReshardChaosOptions, ShardChaosOptions,
 };
-use miniraid_cluster::CoordKillPoint;
+use miniraid_cluster::{CoordKillPoint, ReshardKillPoint};
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     args.iter()
@@ -88,6 +94,45 @@ fn main() {
     match mode {
         "thread" => {
             let shards: u8 = parse_flag(&args, "--shards").unwrap_or(1);
+            if args.iter().any(|a| a == "--reshard") {
+                let kill_name: Option<String> = parse_flag(&args, "--reshard-kill");
+                let kill = match kill_name.as_deref() {
+                    None => None,
+                    Some(name) => match ReshardKillPoint::parse(name) {
+                        Some(kp) => Some(kp),
+                        None => {
+                            eprintln!(
+                                "chaos: unknown --reshard-kill {name:?} \
+                                 (use donor, recipient, or resharder)"
+                            );
+                            std::process::exit(2);
+                        }
+                    },
+                };
+                let opts = ReshardChaosOptions {
+                    seed,
+                    n_groups: shards.max(2),
+                    sites_per_group: parse_flag(&args, "--sites-per-group").unwrap_or(2),
+                    db_size: parse_flag(&args, "--db-size").unwrap_or(48),
+                    kill,
+                    // Reshard runs default to a clean network: the
+                    // schedule's faults are the kills, and the oracle's
+                    // read rounds assume recoveries eventually land.
+                    drop: parse_flag(&args, "--drop").unwrap_or(0.0),
+                    duplicate: parse_flag(&args, "--dup").unwrap_or(0.0),
+                    with_reliable,
+                };
+                eprintln!("chaos: reshard thread mode, {opts:?}");
+                let outcome = run_reshard_chaos(opts);
+                println!(
+                    "chaos: reshard items_migrated={} map_epoch={} stale_bounces={} resumes={}",
+                    outcome.items_migrated,
+                    outcome.map_epoch,
+                    outcome.stale_bounces,
+                    outcome.resharder_resumes
+                );
+                finish(outcome, trace_out, seed);
+            }
             if shards > 1 {
                 let kill_name: Option<String> = parse_flag(&args, "--kill-point");
                 let kill_coordinator =

@@ -8,7 +8,7 @@
 //! miniraid-ctl <n_sites> <base_port> metrics <site>       # Prometheus-style text
 //! miniraid-ctl <n_sites> <base_port> watch [interval_ms] [rounds] [--jsonl]
 //! miniraid-ctl <n_sites> <base_port> terminate
-//! miniraid-ctl trace <file.jsonl>                         # offline trace analysis
+//! miniraid-ctl trace <file.jsonl | trace-dir/>            # offline trace analysis
 //! ```
 //!
 //! `trace` is offline: it replays a JSONL trace (written by a site run
@@ -152,10 +152,17 @@ where
     }
 }
 
-/// Analyze a JSONL trace file: per-transaction phase breakdown,
+/// Analyze a JSONL trace: per-transaction phase breakdown,
 /// critical-path summary, and a commit-latency-over-time ASCII chart.
+/// A directory argument reads the whole stream set (`site-N.jsonl`
+/// re-stamped with physical ids, plus `client.jsonl`) — the layout
+/// `trace-smoke --sharded` and `MINIRAID_CHAOS_TRACE_DIR` write.
 fn trace_report(path: &str) -> Result<String, String> {
-    let events = miniraid_obs::read_trace(path)?;
+    let events = if std::path::Path::new(path).is_dir() {
+        miniraid_obs::read_trace_dir(path)?
+    } else {
+        miniraid_obs::read_trace(path)?
+    };
     let analysis = miniraid_obs::analyze(&events);
     let mut out = miniraid_obs::render_report(&analysis);
     let (series, window) = miniraid_obs::analyze::latency_over_time(&analysis, 20);

@@ -242,29 +242,18 @@ fn sharded_smoke(dir: std::path::PathBuf) {
     assert!(committed > 0, "no cross-shard transactions committed");
 
     // Sharded engines run under group-local site ids (each group has its
-    // own SiteId(0)); the physical identity lives in the stream's file
-    // name, so remap before reassembly or the two groups' participants
-    // would collapse onto each other in the span tree.
-    let n_physical = spec.n_physical_sites();
-    let mut all_events = Vec::new();
-    for i in 0..n_physical {
-        let path = dir.join(format!("site-{i}.jsonl"));
-        let mut events = miniraid_obs::read_trace(&path)
-            .unwrap_or_else(|e| panic!("trace validation failed: {e}"));
-        for e in &mut events {
-            e.site = SiteId(i);
-        }
-        eprintln!(
-            "site {i}: {} events parsed from {}",
-            events.len(),
-            path.display()
-        );
-        all_events.extend(events);
-    }
-    let client_events = miniraid_obs::read_trace(dir.join("client.jsonl"))
-        .unwrap_or_else(|e| panic!("client trace validation failed: {e}"));
-    eprintln!("client: {} events parsed", client_events.len());
-    all_events.extend(client_events);
+    // own SiteId(0)); `read_trace_dir` re-stamps each stream with the
+    // physical id from its file name before reassembly, so the two
+    // groups' participants don't collapse onto each other in the span
+    // tree.
+    let all_events = miniraid_obs::read_trace_dir(&dir)
+        .unwrap_or_else(|e| panic!("trace validation failed: {e}"));
+    eprintln!(
+        "{} events parsed from {} streams in {}",
+        all_events.len(),
+        spec.n_physical_sites() + 1,
+        dir.display()
+    );
 
     // The chaos schedule annotations landed in the same stream set.
     let kills = all_events

@@ -51,10 +51,11 @@ use miniraid_net::{Mailbox, Transport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use miniraid_shard::ShardSpec;
+use miniraid_shard::{MigrationPlan, PlanOp, ShardMap, ShardSpec};
 
 use crate::cluster::Cluster;
 use crate::control::{ControlError, ManagingClient};
+use crate::resharder::{ReshardKillPoint, ReshardStats, Resharder};
 use crate::shard_client::{CoordKillPoint, ShardedClient};
 use crate::site::ClusterTiming;
 
@@ -122,6 +123,14 @@ pub struct ChaosOutcome {
     pub takeover_p50_us: u64,
     /// Takeover latency, 99th percentile, µs.
     pub takeover_p99_us: u64,
+    /// Copy legs the resharder installed (reshard runs; zero otherwise).
+    pub items_migrated: u64,
+    /// The shard-map epoch the cluster ended on (reshard runs).
+    pub map_epoch: u64,
+    /// `WrongEpoch` bounces the client retried (reshard runs).
+    pub stale_bounces: u64,
+    /// Times an abandoned resharder was resumed by a successor.
+    pub resharder_resumes: u64,
 }
 
 impl ChaosOutcome {
@@ -147,6 +156,22 @@ impl ItemOracle {
             return self.last_committed.is_none();
         }
         self.last_committed == Some((version, data)) || self.in_doubt.contains(&(version, data))
+    }
+
+    /// `acceptable`, widened for mapped-mode retries: a bounced write
+    /// re-stamped with a fresh (later) transaction id may commit under
+    /// a version the oracle never learned (the report itself can be
+    /// lost to a kill). Harness write data is the *original* txn id —
+    /// globally unique per logical write — so a value whose data
+    /// matches an in-doubt write and whose version is no older than
+    /// that write's original id can only be that write's re-stamped
+    /// resolution.
+    fn acceptable_retried(&self, version: u64, data: u64) -> bool {
+        self.acceptable(version, data)
+            || self
+                .in_doubt
+                .iter()
+                .any(|&(v, d)| d == data && version >= v)
     }
 
     fn describe(&self) -> String {
@@ -1444,6 +1469,714 @@ pub fn run_sharded_chaos(opts: ShardChaosOptions) -> ChaosOutcome {
         cross_hist.quantile(0.5),
         xm.takeovers,
         takeover_hist.quantile(0.5),
+        outcome.violations.len()
+    ));
+    outcome
+}
+
+/// Knobs for a reshard chaos run: a *mapped* threaded cluster (items
+/// named globally, ownership decided by an epoch-versioned
+/// [`ShardMap`]) migrating live under foreground traffic, with a kill
+/// scheduled mid-migration.
+#[derive(Debug, Clone, Copy)]
+pub struct ReshardChaosOptions {
+    /// Seed for the foreground schedule, the migration plan, the kill
+    /// point placement and the fault plan.
+    pub seed: u64,
+    /// Replication groups (at least 2 — a migration needs somewhere to
+    /// go).
+    pub n_groups: u8,
+    /// Sites per group.
+    pub sites_per_group: u8,
+    /// Global keyspace size (rounded up to a multiple of `n_groups`).
+    pub db_size: u32,
+    /// What to kill mid-migration (`None`: fault-free migration).
+    pub kill: Option<ReshardKillPoint>,
+    /// Per-message drop probability on non-management frames.
+    pub drop: f64,
+    /// Per-message duplicate probability.
+    pub duplicate: f64,
+    /// Re-send dropped 2PC frames (the reliable-delivery layer).
+    pub with_reliable: bool,
+}
+
+impl Default for ReshardChaosOptions {
+    fn default() -> Self {
+        ReshardChaosOptions {
+            seed: 7,
+            n_groups: 2,
+            sites_per_group: 2,
+            db_size: 48,
+            kill: None,
+            drop: 0.0,
+            duplicate: 0.0,
+            with_reliable: true,
+        }
+    }
+}
+
+/// Oracle + schedule state for a reshard run. Deliberately does *not*
+/// own the client: the resharder's interleave hook receives the client
+/// by parameter while the closure captures this context, so both can
+/// be borrowed mutably at once.
+struct ReshardCtx {
+    spec: ShardSpec,
+    /// Global keyspace size.
+    db_size: u32,
+    /// Oracle keyed by global item id.
+    oracle: HashMap<u32, ItemOracle>,
+    /// Write sets of transactions whose final outcome is unrecorded:
+    /// `txn id → [(item, data)]`.
+    pending_writes: HashMap<u64, Vec<(u32, u64)>>,
+    /// Per-physical-site up/down belief (the harness's own kills).
+    up: Vec<bool>,
+    outcome: ChaosOutcome,
+    /// Foreground step counter (for trace lines).
+    step: u32,
+}
+
+impl ReshardCtx {
+    fn trace(&mut self, line: String) {
+        self.outcome.trace.push(line);
+    }
+
+    fn violation(&mut self, what: String) {
+        let step = self.step;
+        self.outcome
+            .trace
+            .push(format!("{{\"step\":{step},\"violation\":\"{what}\"}}"));
+        self.outcome.violations.push(format!("step {step}: {what}"));
+    }
+
+    /// Record a transaction's final outcome against the oracle (same
+    /// newer-id-wins promotion as the sharded harness: a bounced write
+    /// can resolve late, after a younger write to the same item).
+    /// `version` is the id the write finally committed under
+    /// (`committed_as`) — it differs from `txn` when a `WrongEpoch`
+    /// bounce re-stamped the retry with a fresh, later id, and it is
+    /// the version stamp the copies actually carry.
+    fn record_outcome(&mut self, txn: u64, version: u64, committed: bool) {
+        let Some(writes) = self.pending_writes.remove(&txn) else {
+            return;
+        };
+        let step = self.step;
+        if committed {
+            for &(item, data) in &writes {
+                let oracle = self.oracle.entry(item).or_default();
+                let newer = match oracle.last_committed {
+                    Some((v, _)) => version > v,
+                    None => true,
+                };
+                if newer {
+                    oracle.last_committed = Some((version, data));
+                }
+                oracle.in_doubt.retain(|(v, _)| *v != txn);
+            }
+            self.outcome.committed_writes += 1;
+            self.trace(format!(
+                "{{\"step\":{step},\"observed\":\"committed\",\"txn\":{txn},\"as\":{version}}}"
+            ));
+        } else {
+            for &(item, _) in &writes {
+                self.oracle
+                    .entry(item)
+                    .or_default()
+                    .in_doubt
+                    .retain(|(v, _)| *v != txn);
+            }
+            self.outcome.aborted += 1;
+            self.trace(format!(
+                "{{\"step\":{step},\"observed\":\"aborted\",\"txn\":{txn}}}"
+            ));
+        }
+    }
+
+    /// Harvest outcomes that arrived after their submitter gave up
+    /// waiting (bounced writes re-routed post-cutover, late commits).
+    fn harvest<T: Transport, M: Mailbox>(&mut self, client: &mut ShardedClient<T, M>) {
+        for report in client.drain_finished() {
+            self.record_outcome(report.txn.0, report.committed_as.0, report.committed());
+        }
+    }
+
+    /// One foreground step: a single-item write or read through mapped
+    /// routing, checked against the oracle.
+    fn fg_step<T: Transport, M: Mailbox>(
+        &mut self,
+        client: &mut ShardedClient<T, M>,
+        rng: &mut StdRng,
+    ) {
+        self.step += 1;
+        let step = self.step;
+        let item = rng.random_range(0..self.db_size);
+        if rng.random_range(0..100u32) < 65 {
+            let id = client.next_txn_id();
+            let data = id.0;
+            self.pending_writes.insert(id.0, vec![(item, data)]);
+            self.trace(format!(
+                "{{\"step\":{step},\"action\":\"write\",\"txn\":{},\"item\":{item}}}",
+                id.0
+            ));
+            let txn = Transaction::new(id, vec![Operation::Write(ItemId(item), data)]);
+            match client.run_txn(txn, TXN_WAIT) {
+                Ok(report) => self.record_outcome(id.0, report.committed_as.0, report.committed()),
+                Err(ControlError::Timeout(_)) => {
+                    // In doubt: the write set stays pending, so a late
+                    // resolution (a bounce retried past cutover) still
+                    // settles the oracle either way.
+                    self.oracle
+                        .entry(item)
+                        .or_default()
+                        .in_doubt
+                        .push((id.0, data));
+                    self.outcome.in_doubt_writes += 1;
+                    self.trace(format!(
+                        "{{\"step\":{step},\"observed\":\"in_doubt\",\"txn\":{}}}",
+                        id.0
+                    ));
+                }
+                Err(ControlError::Disconnected) => {
+                    self.violation("manager disconnected".into());
+                }
+            }
+        } else {
+            let id = client.next_txn_id();
+            self.trace(format!(
+                "{{\"step\":{step},\"action\":\"read\",\"item\":{item},\"txn\":{}}}",
+                id.0
+            ));
+            let txn = Transaction::new(id, vec![Operation::Read(ItemId(item))]);
+            match client.run_txn(txn, TXN_WAIT) {
+                Ok(report) if report.committed() => {
+                    let (version, data) = report
+                        .read_results
+                        .first()
+                        .map(|(_, v)| (v.version, v.data))
+                        .unwrap_or((0, 0));
+                    let oracle = self.oracle.entry(item).or_default().clone();
+                    if !oracle.acceptable_retried(version, data) {
+                        self.violation(format!(
+                            "read of item {item} returned version={version} \
+                             data={data}, outside the acceptable set ({})",
+                            oracle.describe()
+                        ));
+                    }
+                }
+                Ok(_) => self.outcome.aborted += 1,
+                Err(ControlError::Timeout(_)) => {
+                    self.trace(format!("{{\"step\":{step},\"observed\":\"read_timeout\"}}"));
+                }
+                Err(ControlError::Disconnected) => {
+                    self.violation("manager disconnected".into());
+                }
+            }
+        }
+    }
+
+    /// Kill one up member of `group`, keeping at least one member
+    /// alive (recovery needs an in-group donor).
+    fn kill_member<T: Transport, M: Mailbox>(
+        &mut self,
+        client: &mut ShardedClient<T, M>,
+        rng: &mut StdRng,
+        group: u8,
+    ) {
+        let ups: Vec<SiteId> = self
+            .spec
+            .group_members(group)
+            .into_iter()
+            .filter(|m| self.up[m.index()])
+            .collect();
+        if ups.len() < 2 {
+            self.trace(format!(
+                "{{\"step\":{},\"observed\":\"kill_skipped\",\"group\":{group}}}",
+                self.step
+            ));
+            return;
+        }
+        let victim = ups[rng.random_range(0..ups.len())];
+        client.tracer().emit_traced(
+            None,
+            0,
+            EventKind::Chaos {
+                action: ChaosAction::Kill,
+                target: victim,
+            },
+        );
+        client.fail(victim);
+        self.up[victim.index()] = false;
+        self.trace(format!(
+            "{{\"step\":{},\"action\":\"kill\",\"site\":{},\"group\":{group}}}",
+            self.step, victim.0
+        ));
+    }
+
+    /// Read `items` through every member of `group` (mapped routing,
+    /// identity names) and compare. `Ok` carries the agreed image;
+    /// `Err` describes the first divergence.
+    fn read_group_mapped<T: Transport, M: Mailbox>(
+        &mut self,
+        client: &mut ShardedClient<T, M>,
+        group: u8,
+        items: &[u32],
+    ) -> Result<Vec<(u32, u64, u64)>, String> {
+        type ItemImage = Vec<(u32, u64, u64)>;
+        let ops: Vec<Operation> = items.iter().map(|&i| Operation::Read(ItemId(i))).collect();
+        let mut reference: Option<(SiteId, ItemImage)> = None;
+        for member in self.spec.group_members(group) {
+            let id = client.next_txn_id();
+            let report = client
+                .run_mapped_at(member, Transaction::new(id, ops.clone()), false, MGMT_WAIT)
+                .map_err(|e| format!("mapped read via site {member}: {e}"))?;
+            if !report.committed() {
+                return Err(format!(
+                    "mapped read via site {member} aborted: {:?}",
+                    report.outcome
+                ));
+            }
+            let image: Vec<(u32, u64, u64)> = report
+                .read_results
+                .iter()
+                .map(|(item, v)| (item.0, v.version, v.data))
+                .collect();
+            self.trace(format!(
+                "{{\"step\":{},\"observed\":\"full_read\",\"group\":{group},\"site\":{},\"items\":{}}}",
+                self.step,
+                member.0,
+                image.len()
+            ));
+            match &reference {
+                None => reference = Some((member, image)),
+                Some((ref_site, ref_image)) => {
+                    if *ref_image != image {
+                        let detail = ref_image
+                            .iter()
+                            .zip(&image)
+                            .find(|(a, b)| a != b)
+                            .map(|(a, b)| {
+                                format!(
+                                    "item {}: site {ref_site} has (v{},d{}), site {} has (v{},d{})",
+                                    a.0, a.1, a.2, member.0, b.1, b.2
+                                )
+                            })
+                            .unwrap_or_else(|| "length mismatch".into());
+                        return Err(detail);
+                    }
+                }
+            }
+        }
+        Ok(reference.map(|(_, image)| image).unwrap_or_default())
+    }
+
+    /// Post-migration convergence: recover the kills, drain the mapped
+    /// pipeline, then check the run's two invariants — **no item lost**
+    /// (every copy agrees with the oracle's acceptable set under the
+    /// final map) and **no item double-owned** (the old donor rejects a
+    /// post-cutover write of a migrated item with `StaleShardMap`,
+    /// while the new owner commits one).
+    fn converge<T: Transport, M: Mailbox>(
+        &mut self,
+        client: &mut ShardedClient<T, M>,
+        migrated: &[u32],
+        donor_group: u8,
+    ) {
+        self.trace(format!(
+            "{{\"step\":{},\"action\":\"converge\"}}",
+            self.step
+        ));
+        for i in 0..self.spec.n_physical_sites() {
+            if self.up[i as usize] {
+                continue;
+            }
+            client.tracer().emit_traced(
+                None,
+                0,
+                EventKind::Chaos {
+                    action: ChaosAction::Recover,
+                    target: SiteId(i),
+                },
+            );
+            match client.recover(SiteId(i), MGMT_WAIT) {
+                Ok(session) => {
+                    self.up[i as usize] = true;
+                    self.trace(format!(
+                        "{{\"step\":{},\"action\":\"rejoin\",\"site\":{i},\"session\":{}}}",
+                        self.step, session.0
+                    ));
+                }
+                Err(e) => {
+                    self.violation(format!("site {i} failed to rejoin: {e}"));
+                    return;
+                }
+            }
+        }
+
+        // Drain in-flight and bounced mapped transactions. Entries
+        // whose coordinator died with the Begin can never report —
+        // after the deadline those stay in doubt, which the oracle's
+        // acceptable set already covers.
+        let drain_deadline = Instant::now() + Duration::from_secs(10);
+        while client.pending_mapped() > 0 && Instant::now() < drain_deadline {
+            let _ = client.pump_for(Duration::from_millis(100));
+            self.harvest(client);
+        }
+        self.harvest(client);
+        if client.pending_mapped() > 0 {
+            self.trace(format!(
+                "{{\"step\":{},\"observed\":\"stranded_mapped\",\"count\":{}}}",
+                self.step,
+                client.pending_mapped()
+            ));
+        }
+
+        let map = match client.map() {
+            Some(m) => m.clone(),
+            None => {
+                self.violation("client lost its shard map".into());
+                return;
+            }
+        };
+        if !map.migrating.is_empty() {
+            self.violation(format!(
+                "migration still in flight after convergence (epoch {})",
+                map.epoch
+            ));
+            return;
+        }
+        self.outcome.map_epoch = map.epoch;
+
+        // No item lost: member-compare reads of every group's owned
+        // slice under the final map, each value inside the oracle's
+        // acceptable set. Up to two rounds (the first may race a
+        // just-resolved in-doubt transaction).
+        let mut final_db: Vec<(u32, u64, u64)> = Vec::new();
+        for group in 0..self.spec.n_groups {
+            let items: Vec<u32> = (0..self.db_size)
+                .filter(|&i| map.owner(i) == group)
+                .collect();
+            if items.is_empty() {
+                // A merged-away donor owns nothing; its copies serve no
+                // reads and cannot lose an item.
+                continue;
+            }
+            let image = match self.read_group_mapped(client, group, &items) {
+                Ok(image) => image,
+                Err(divergence) => {
+                    self.trace(format!(
+                        "{{\"step\":{},\"observed\":\"divergence_retry\",\"group\":{group},\"detail\":\"{divergence}\"}}",
+                        self.step
+                    ));
+                    std::thread::sleep(Duration::from_millis(1000));
+                    self.harvest(client);
+                    match self.read_group_mapped(client, group, &items) {
+                        Ok(image) => image,
+                        Err(divergence) => {
+                            self.violation(format!("group {group} copies diverged: {divergence}"));
+                            return;
+                        }
+                    }
+                }
+            };
+            final_db.extend(image);
+        }
+        final_db.sort_by_key(|&(item, _, _)| item);
+        for &(item, version, data) in &final_db {
+            let oracle = self.oracle.entry(item).or_default().clone();
+            if !oracle.acceptable_retried(version, data) {
+                self.violation(format!(
+                    "item lost: converged item {item} has version={version} \
+                     data={data}, outside the acceptable set ({})",
+                    oracle.describe()
+                ));
+            }
+        }
+        self.outcome.final_db = final_db;
+
+        // No item double-owned: the old donor must bounce a write of a
+        // migrated item — a commit would mean two groups accept writes
+        // for the same item under the final epoch.
+        if let Some(&probe_item) = migrated.first() {
+            if map.owner(probe_item) != donor_group {
+                let member = self.spec.group_members(donor_group)[0];
+                let id = client.next_txn_id();
+                let txn = Transaction::new(id, vec![Operation::Write(ItemId(probe_item), 0)]);
+                match client.run_mapped_at(member, txn, false, MGMT_WAIT) {
+                    Ok(report) if report.committed() => {
+                        self.violation(format!(
+                            "double owner: donor group {donor_group} committed a write \
+                             of migrated item {probe_item} after cutover"
+                        ));
+                    }
+                    Ok(report) => {
+                        let stale = matches!(
+                            report.outcome,
+                            TxnOutcome::Aborted(AbortReason::StaleShardMap)
+                        );
+                        self.trace(format!(
+                            "{{\"step\":{},\"observed\":\"donor_probe_rejected\",\"item\":{probe_item},\"stale_shard_map\":{stale}}}",
+                            self.step
+                        ));
+                    }
+                    Err(e) => {
+                        self.violation(format!("double-owner probe at the donor: {e}"));
+                    }
+                }
+            }
+            // ...and the new owner must serve one (cutover liveness).
+            let id = client.next_txn_id();
+            self.pending_writes.insert(id.0, vec![(probe_item, id.0)]);
+            let txn = Transaction::new(id, vec![Operation::Write(ItemId(probe_item), id.0)]);
+            match client.run_txn(txn, TXN_WAIT) {
+                Ok(report) if report.committed() => {
+                    self.record_outcome(id.0, report.committed_as.0, true)
+                }
+                Ok(report) => {
+                    self.violation(format!(
+                        "post-cutover write of migrated item {probe_item} aborted: {:?}",
+                        report.outcome
+                    ));
+                }
+                Err(e) => {
+                    self.violation(format!(
+                        "post-cutover write of migrated item {probe_item}: {e}"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Run one randomized reshard chaos schedule: launch a mapped cluster,
+/// derive a seed-dependent migration plan (a range move, a split, or a
+/// whole-group merge), drive it with the [`Resharder`] while foreground
+/// transactions interleave with every copy leg, kill the configured
+/// target mid-copy, then converge and check the two migration
+/// invariants — no item lost, no item double-owned. A killed resharder
+/// is resumed by a successor from the installed epochs
+/// ([`Resharder::resume`]).
+pub fn run_reshard_chaos(opts: ReshardChaosOptions) -> ChaosOutcome {
+    assert!(opts.n_groups >= 2, "a migration needs at least two groups");
+    let per = opts.db_size.div_ceil(opts.n_groups as u32).max(2);
+    let db_size = per * opts.n_groups as u32;
+    let spec = ShardSpec::new(opts.n_groups, opts.sites_per_group, per);
+    let fault_plan = FaultPlan {
+        drop: opts.drop,
+        duplicate: opts.duplicate,
+        ..FaultPlan::none(opts.seed)
+    };
+    let defaults = ProtocolConfig::default();
+    let config = ProtocolConfig {
+        emit_persistence: std::env::var_os("MINIRAID_CHAOS_TRACE_DIR").is_some(),
+        ..defaults
+    };
+    let mut timing = ClusterTiming::default();
+    let takeover_budget =
+        Duration::from_millis(2 * config.shard_vote_timeout_ms + config.shard_redrive_interval_ms);
+    if timing.participant_timeout < takeover_budget {
+        timing.participant_timeout = takeover_budget;
+    }
+    let initial = ShardMap::blocked(opts.n_groups, db_size);
+    let (cluster, mut client, _controls) = Cluster::launch_mapped_faulty(
+        spec,
+        config,
+        timing,
+        fault_plan,
+        opts.with_reliable,
+        initial.clone(),
+    );
+
+    let mut ctx = ReshardCtx {
+        spec,
+        db_size,
+        oracle: HashMap::new(),
+        pending_writes: HashMap::new(),
+        up: vec![true; spec.n_physical_sites() as usize],
+        outcome: ChaosOutcome::default(),
+        step: 0,
+    };
+    ctx.trace(format!(
+        "{{\"mode\":\"reshard\",\"seed\":{},\"groups\":{},\"sites_per_group\":{},\"db_size\":{db_size},\"kill\":{:?},\"drop\":{},\"duplicate\":{},\"reliable\":{}}}",
+        opts.seed,
+        opts.n_groups,
+        opts.sites_per_group,
+        opts.kill.map(|k| k.name()),
+        opts.drop,
+        opts.duplicate,
+        opts.with_reliable
+    ));
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // Warm up: one committed write per item, so every migrating item
+    // carries real state the copier must not lose.
+    for item in 0..db_size {
+        let id = client.next_txn_id();
+        ctx.pending_writes.insert(id.0, vec![(item, id.0)]);
+        let txn = Transaction::new(id, vec![Operation::Write(ItemId(item), id.0)]);
+        match client.run_txn(txn, TXN_WAIT) {
+            Ok(report) => ctx.record_outcome(id.0, report.committed_as.0, report.committed()),
+            Err(_) => {
+                ctx.oracle
+                    .entry(item)
+                    .or_default()
+                    .in_doubt
+                    .push((id.0, id.0));
+                ctx.outcome.in_doubt_writes += 1;
+            }
+        }
+    }
+
+    // A seed-dependent plan over the blocked layout: move half a
+    // block, split a block at its midpoint, or merge a whole group
+    // into its neighbour.
+    let g = rng.random_range(0..opts.n_groups);
+    let to = (g + 1) % opts.n_groups;
+    let (lo, hi) = (g as u32 * per, g as u32 * per + per);
+    let op = match rng.random_range(0..3u32) {
+        0 => PlanOp::Move {
+            lo,
+            hi: lo + per / 2,
+            to,
+        },
+        1 => PlanOp::Split {
+            lo,
+            hi,
+            at: lo + per / 2,
+            to,
+        },
+        _ => PlanOp::Merge { from: g, to },
+    };
+    let plan = MigrationPlan { ops: vec![op] };
+    ctx.trace(format!(
+        "{{\"action\":\"plan\",\"detail\":\"{:?}\"}}",
+        plan.ops
+    ));
+
+    let base = client.map().cloned().unwrap_or(initial);
+    let mut resharder = match Resharder::plan(&base, &plan, opts.n_groups, TXN_WAIT) {
+        Ok(r) => r,
+        Err(e) => {
+            ctx.violation(format!("plan rejected: {e}"));
+            let outcome = std::mem::take(&mut ctx.outcome);
+            client.terminate_all();
+            cluster.join(Duration::from_secs(5));
+            return outcome_summary(outcome, 0, 0, 0);
+        }
+    };
+    let migrated = resharder.map().migrating_items();
+    let donor_group = resharder.map().migrating[0].donor;
+    let recipient_group = resharder.map().migrating[0].recipient;
+    let total = migrated.len() as u64;
+    let kill_at = rng.random_range(1..=total.max(1));
+    let mut killed = opts.kill.is_none();
+
+    let run = resharder.run(&mut client, |client, copied, _total| {
+        ctx.harvest(client);
+        ctx.fg_step(client, &mut rng);
+        if !killed && copied >= kill_at {
+            killed = true;
+            match opts.kill.expect("kill point armed") {
+                ReshardKillPoint::Resharder => {
+                    ctx.trace(format!(
+                        "{{\"step\":{},\"action\":\"kill_resharder\",\"copied\":{copied}}}",
+                        ctx.step
+                    ));
+                    return false;
+                }
+                ReshardKillPoint::Donor => ctx.kill_member(client, &mut rng, donor_group),
+                ReshardKillPoint::Recipient => ctx.kill_member(client, &mut rng, recipient_group),
+            }
+        }
+        true
+    });
+    let mut stats = match run {
+        Ok(s) => s,
+        Err(e) => {
+            ctx.violation(format!("resharder failed: {e}"));
+            ReshardStats::default()
+        }
+    };
+
+    // A killed resharder's successor adopts the installed epochs and
+    // replays the migration from wherever it stands.
+    let mut revivals = 0;
+    while !stats.completed && ctx.outcome.violations.is_empty() && revivals < 3 {
+        revivals += 1;
+        for _ in 0..4 {
+            ctx.fg_step(&mut client, &mut rng);
+        }
+        match Resharder::resume(&mut client, MGMT_WAIT) {
+            Ok(Some(mut successor)) => {
+                ctx.outcome.resharder_resumes += 1;
+                ctx.trace(format!(
+                    "{{\"step\":{},\"action\":\"resume\",\"epoch\":{}}}",
+                    ctx.step,
+                    successor.map().epoch
+                ));
+                match successor.run(&mut client, |client, _, _| {
+                    ctx.harvest(client);
+                    true
+                }) {
+                    Ok(s2) => {
+                        stats.items_copied += s2.items_copied;
+                        stats.items_skipped += s2.items_skipped;
+                        stats.map_epoch = s2.map_epoch;
+                        stats.completed = s2.completed;
+                    }
+                    Err(e) => {
+                        ctx.violation(format!("resumed resharder failed: {e}"));
+                    }
+                }
+            }
+            Ok(None) => stats.completed = true,
+            Err(e) => {
+                ctx.violation(format!("resume probe failed: {e}"));
+            }
+        }
+    }
+    if !stats.completed && ctx.outcome.violations.is_empty() {
+        ctx.violation("migration never completed".into());
+    }
+
+    // Post-cutover foreground traffic, then the convergence checks.
+    if ctx.outcome.violations.is_empty() {
+        for _ in 0..8 {
+            ctx.fg_step(&mut client, &mut rng);
+        }
+        ctx.converge(&mut client, &migrated, donor_group);
+    }
+
+    let mut outcome = std::mem::take(&mut ctx.outcome);
+    outcome.items_migrated = stats.items_copied;
+    if outcome.map_epoch == 0 {
+        outcome.map_epoch = stats.map_epoch;
+    }
+    outcome.stale_bounces = client.stale_bounces;
+    client.terminate_all();
+    cluster.join(Duration::from_secs(5));
+    outcome_summary(
+        outcome,
+        stats.items_total,
+        stats.items_copied,
+        stats.items_skipped,
+    )
+}
+
+/// Append the run's summary trace line and return the outcome.
+fn outcome_summary(
+    mut outcome: ChaosOutcome,
+    items_total: u64,
+    items_copied: u64,
+    items_skipped: u64,
+) -> ChaosOutcome {
+    outcome.trace.push(format!(
+        "{{\"summary\":{{\"committed\":{},\"in_doubt\":{},\"aborted\":{},\"items_total\":{items_total},\"items_copied\":{items_copied},\"items_skipped\":{items_skipped},\"map_epoch\":{},\"stale_bounces\":{},\"resumes\":{},\"violations\":{}}}}}",
+        outcome.committed_writes,
+        outcome.in_doubt_writes,
+        outcome.aborted,
+        outcome.map_epoch,
+        outcome.stale_bounces,
+        outcome.resharder_resumes,
         outcome.violations.len()
     ));
     outcome

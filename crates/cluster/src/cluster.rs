@@ -432,6 +432,128 @@ impl Cluster {
         (Cluster { handles }, client, controls)
     }
 
+    /// Launch a *mapped* sharded topology: like
+    /// [`launch_sharded_faulty`], but item placement is governed by a
+    /// live, epoch-versioned [`ShardMap`] instead of the spec's frozen
+    /// modulo stripe. Every group engine is configured over the full
+    /// global keyspace (identity item naming — see
+    /// [`ShardSpec::mapped_config`]), each site carries a
+    /// [`MapStore`] preloaded with `initial`, and the site loop gates
+    /// incoming transactions through it: a begin routed under a stale
+    /// map bounces with `WrongEpoch` instead of reaching the engine.
+    /// This is the topology the resharder migrates live — see
+    /// `Resharder`.
+    ///
+    /// [`launch_sharded_faulty`]: Cluster::launch_sharded_faulty
+    /// [`ShardMap`]: miniraid_shard::ShardMap
+    /// [`MapStore`]: miniraid_shard::MapStore
+    pub fn launch_mapped_faulty(
+        spec: ShardSpec,
+        config: ProtocolConfig,
+        timing: ClusterTiming,
+        plan: FaultPlan,
+        with_reliable: bool,
+        initial: miniraid_shard::ShardMap,
+    ) -> (
+        Cluster,
+        ShardedClient<ChannelTransport, ChannelMailbox>,
+        Vec<FaultControl>,
+    ) {
+        let n = spec.n_physical_sites();
+        let mut endpoints = ChannelNetwork::new(n as usize + 1);
+        let (mgr_transport, mgr_mailbox) = endpoints.pop().expect("manager endpoint");
+
+        let trace_dir = std::env::var_os("MINIRAID_CHAOS_TRACE_DIR").map(std::path::PathBuf::from);
+        if let Some(dir) = &trace_dir {
+            let _ = std::fs::create_dir_all(dir);
+        }
+
+        let mapped_config = spec.mapped_config(&config);
+        let mut handles = Vec::with_capacity(n as usize);
+        let mut controls = Vec::with_capacity(n as usize);
+        for (i, (transport, mailbox)) in endpoints.into_iter().enumerate() {
+            let (group, local) = spec.local_site(SiteId(i as u8));
+            let mut engine = SiteEngine::new(local, mapped_config.clone());
+            let obs = trace_dir.as_ref().and_then(|dir| {
+                SiteObs::attach(
+                    &mut engine,
+                    Some(dir.join(format!("site-{i}.jsonl")).as_path()),
+                )
+                .ok()
+            });
+            let site_plan = FaultPlan {
+                seed: plan
+                    .seed
+                    .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1)),
+                ..plan
+            };
+            let (transport, control) = FaultTransport::new(transport, site_plan);
+            controls.push(control);
+            let manager = spec.local_manager_alias();
+            let mut map_store = miniraid_shard::MapStore::new(group);
+            map_store.install(
+                initial.epoch,
+                initial.assignment.clone(),
+                initial.migrating.clone(),
+            );
+            let handle = if with_reliable {
+                let cfg = ReliableConfig {
+                    epoch: Some(1),
+                    ..ReliableConfig::default()
+                };
+                let (transport, mailbox) = reliable(transport, mailbox, cfg);
+                let transport = ShardTransport::new(transport, spec, group);
+                let mailbox = ShardMailbox::new(mailbox, spec, group);
+                std::thread::Builder::new()
+                    .name(format!("miniraid-mapped-{group}-{}", local.0))
+                    .spawn(move || {
+                        crate::site::run_site_mapped(
+                            engine,
+                            transport,
+                            mailbox,
+                            manager,
+                            timing,
+                            None,
+                            obs,
+                            Some(map_store),
+                        )
+                    })
+                    .expect("spawn site thread")
+            } else {
+                let transport = ShardTransport::new(transport, spec, group);
+                let mailbox = ShardMailbox::new(mailbox, spec, group);
+                std::thread::Builder::new()
+                    .name(format!("miniraid-mapped-{group}-{}", local.0))
+                    .spawn(move || {
+                        crate::site::run_site_mapped(
+                            engine,
+                            transport,
+                            mailbox,
+                            manager,
+                            timing,
+                            None,
+                            obs,
+                            Some(map_store),
+                        )
+                    })
+                    .expect("spawn site thread")
+            };
+            handles.push(handle);
+        }
+        let mut client = ShardedClient::with_config(mgr_transport, mgr_mailbox, spec, &config);
+        client.set_map(initial);
+        if let Some(dir) = &trace_dir {
+            if let Ok(sink) = miniraid_obs::json::JsonlSink::create(dir.join("client.jsonl")) {
+                client.set_tracer(miniraid_core::trace::Tracer::new(
+                    SiteId(n),
+                    std::sync::Arc::new(miniraid_core::trace::SystemClock::new()),
+                    std::sync::Arc::new(sink),
+                ));
+            }
+        }
+        (Cluster { handles }, client, controls)
+    }
+
     /// Launch with WAL-backed durable storage under `dir/site-<i>/`.
     ///
     /// Each site recovers its committed database image from disk before

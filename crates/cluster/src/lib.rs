@@ -13,17 +13,19 @@ pub mod chaos;
 pub mod cluster;
 pub mod control;
 pub mod obs;
+pub mod resharder;
 pub mod shard_client;
 pub mod shard_site;
 pub mod site;
 
 pub use chaos::{
-    run_process_chaos, run_sharded_chaos, run_thread_chaos, ChaosOptions, ChaosOutcome,
-    ProcChaosOptions, ShardChaosOptions,
+    run_process_chaos, run_reshard_chaos, run_sharded_chaos, run_thread_chaos, ChaosOptions,
+    ChaosOutcome, ProcChaosOptions, ReshardChaosOptions, ShardChaosOptions,
 };
 pub use cluster::Cluster;
 pub use control::{ControlError, ManagingClient};
 pub use obs::SiteObs;
+pub use resharder::{ReshardKillPoint, ReshardStats, Resharder};
 pub use shard_client::{CoordKillPoint, ShardedClient, ShardedReport};
 pub use shard_site::{ShardMailbox, ShardTransport};
 pub use site::ClusterTiming;

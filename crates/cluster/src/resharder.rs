@@ -1,0 +1,332 @@
+//! The resharding driver: executes a [`MigrationPlan`] against a live
+//! mapped cluster.
+//!
+//! The resharder is the cluster-scope version of the paper's §3.2
+//! copier machinery: `MapChange` announcements are its control
+//! transactions (type 3 — replication-map changes), and the per-item
+//! copy legs are its copier transactions, streaming each migrating
+//! item's *committed* state from donor to recipient. One migration
+//! walks the four-epoch state machine of [`ShardMap`]:
+//!
+//! 1. **Announce** (`e+1`): broadcast the migrating map and wait until
+//!    every site acknowledges it. Donors keep serving reads and writes;
+//!    recipients start admitting write-only copy legs; the client
+//!    writes committed donor writes through as they happen.
+//! 2. **Copy**: for every migrating item, read its committed value at
+//!    the donor and install it at the recipient under the original
+//!    version stamp (the writing transaction's id), so copies are
+//!    idempotent and never clobber a fresher write-through.
+//! 3. **Freeze** (`e+2`): donors go read-only on the migrating ranges.
+//! 4. **Sweep**: re-copy every migrating item from the now
+//!    write-quiesced donor — this pass closes the race where a write
+//!    committed at the donor after the copier read it but its
+//!    write-through leg was lost to a dying recipient coordinator.
+//! 5. **Cutover** (`e+3`): recipients own the ranges outright; donors
+//!    bounce every stale route with `WrongEpoch`. Finally the
+//!    coordinator fence is raised through the decision log, so a
+//!    resharder presumed dead cannot reap or append records later.
+//!
+//! Every step is idempotent and map installs are monotonic, so a
+//! resharder killed anywhere in the middle is resumed by reading the
+//! highest installed epoch back ([`Resharder::resume`]) and replaying
+//! from the phase that epoch implies.
+
+use std::time::Duration;
+
+use miniraid_core::ids::{ItemId, TxnId};
+use miniraid_core::ops::{Operation, Transaction};
+use miniraid_core::trace::EventKind;
+use miniraid_net::{Mailbox, Transport};
+use miniraid_shard::{MigrationPlan, ShardMap};
+
+use crate::control::ControlError;
+use crate::shard_client::ShardedClient;
+
+/// Named points in a migration where a chaos schedule kills something
+/// (the CI matrix iterates these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReshardKillPoint {
+    /// Kill an operational member of a donor group mid-copy.
+    Donor,
+    /// Kill an operational member of a recipient group mid-copy.
+    Recipient,
+    /// Abandon the resharder itself between announce and cutover; a
+    /// successor resumes from the installed epochs.
+    Resharder,
+}
+
+impl ReshardKillPoint {
+    /// Stable CLI/trace name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReshardKillPoint::Donor => "donor",
+            ReshardKillPoint::Recipient => "recipient",
+            ReshardKillPoint::Resharder => "resharder",
+        }
+    }
+
+    /// Parse a CLI name (the inverse of [`ReshardKillPoint::name`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "donor" => Some(ReshardKillPoint::Donor),
+            "recipient" => Some(ReshardKillPoint::Recipient),
+            "resharder" => Some(ReshardKillPoint::Resharder),
+            _ => None,
+        }
+    }
+
+    /// All kill-points, in protocol order.
+    pub fn all() -> [ReshardKillPoint; 3] {
+        [
+            ReshardKillPoint::Donor,
+            ReshardKillPoint::Recipient,
+            ReshardKillPoint::Resharder,
+        ]
+    }
+}
+
+/// What a finished (or abandoned) migration did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReshardStats {
+    /// Items inside the plan's migrating ranges.
+    pub items_total: u64,
+    /// Copy legs that installed state at a recipient (both passes).
+    pub items_copied: u64,
+    /// Copy legs skipped because a live foreground transaction's
+    /// write-through already covered the item.
+    pub items_skipped: u64,
+    /// The map epoch the cluster ended on.
+    pub map_epoch: u64,
+    /// False when the run was abandoned by the interleave hook (the
+    /// resharder "died"; resume to finish).
+    pub completed: bool,
+}
+
+/// Continue/abandon verdict from the interleave hook.
+pub type KeepGoing = bool;
+
+/// The migration driver. Holds the copying-phase map (epoch `e+1`) and
+/// replays the remaining phases against a [`ShardedClient`].
+#[derive(Debug, Clone)]
+pub struct Resharder {
+    copying: ShardMap,
+    stats: ReshardStats,
+    /// Per-step deadline for announcements and copy transactions.
+    op_deadline: Duration,
+}
+
+impl Resharder {
+    /// Derive a migration from `plan` against `base` (the currently
+    /// installed steady-state map). Fails on a malformed plan.
+    pub fn plan(
+        base: &ShardMap,
+        plan: &MigrationPlan,
+        n_groups: u8,
+        op_deadline: Duration,
+    ) -> Result<Resharder, String> {
+        let ranges = base.plan_ranges(plan, n_groups)?;
+        if ranges.is_empty() {
+            return Err("plan migrates nothing".to_string());
+        }
+        Ok(Resharder::from_copying(
+            base.begin_migration(ranges),
+            op_deadline,
+        ))
+    }
+
+    /// Adopt an in-flight migration from its installed copying-phase
+    /// (or frozen-phase) map — the resume path after a resharder death.
+    pub fn from_copying(copying: ShardMap, op_deadline: Duration) -> Resharder {
+        let total = copying.migrating_items().len() as u64;
+        Resharder {
+            copying,
+            stats: ReshardStats {
+                items_total: total,
+                ..ReshardStats::default()
+            },
+            op_deadline,
+        }
+    }
+
+    /// Resume an interrupted migration: read the highest installed
+    /// epoch back from the cluster and replay from the phase it
+    /// implies. Returns `None` when no migration is in flight (it
+    /// finished, or never started).
+    pub fn resume<T: Transport, M: Mailbox>(
+        client: &mut ShardedClient<T, M>,
+        op_deadline: Duration,
+    ) -> Result<Option<Resharder>, ControlError> {
+        client.refresh_map(op_deadline)?;
+        match client.map() {
+            Some(map) if !map.migrating.is_empty() => {
+                Ok(Some(Resharder::from_copying(map.clone(), op_deadline)))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// The migrating map this driver announces (epoch `e+1`, or the
+    /// frozen `e+2` map when resumed from the frozen window).
+    pub fn map(&self) -> &ShardMap {
+        &self.copying
+    }
+
+    /// Drive the migration to cutover. `interleave` runs after the
+    /// announce and between item copies — the chaos harness uses it to
+    /// push foreground traffic and schedule kills; returning `false`
+    /// abandons the run exactly where it stands (the resharder's own
+    /// death), leaving the cluster consistent and resumable.
+    pub fn run<T, M, F>(
+        &mut self,
+        client: &mut ShardedClient<T, M>,
+        mut interleave: F,
+    ) -> Result<ReshardStats, ControlError>
+    where
+        T: Transport,
+        M: Mailbox,
+        F: FnMut(&mut ShardedClient<T, M>, u64, u64) -> KeepGoing,
+    {
+        let frozen_already = self.copying.migrating.iter().all(|r| r.frozen);
+        let deadline = self.op_deadline;
+
+        // Phase 1: announce. Idempotent — a resumed resharder simply
+        // re-announces the epoch every site already has.
+        client.announce_map(&self.copying.clone(), deadline)?;
+        if client.tracer().is_enabled() {
+            client.tracer().emit(
+                None,
+                EventKind::MigrateStart {
+                    epoch: self.copying.epoch,
+                },
+            );
+        }
+        if !interleave(client, self.stats.items_copied, self.stats.items_total) {
+            return Ok(self.abandoned(client));
+        }
+
+        // Phase 2: copy the backlog (skipped when resuming into the
+        // frozen window — the sweep below re-copies everything anyway).
+        if !frozen_already {
+            let items = self.copying.migrating_items();
+            for item in items {
+                self.copy_item(client, item)?;
+                if !interleave(client, self.stats.items_copied, self.stats.items_total) {
+                    return Ok(self.abandoned(client));
+                }
+            }
+        }
+
+        // Phase 3: freeze. From here the donors are read-only on the
+        // migrating ranges, so the sweep reads a quiesced state.
+        let frozen = if frozen_already {
+            self.copying.clone()
+        } else {
+            self.copying.freeze()
+        };
+        client.announce_map(&frozen, deadline)?;
+        if !interleave(client, self.stats.items_copied, self.stats.items_total) {
+            return Ok(self.abandoned(client));
+        }
+
+        // Phase 4: sweep — re-copy every migrating item from the
+        // quiesced donor. Installs are version-stamped, so re-copying
+        // an already current item is a no-op.
+        for item in frozen.migrating_items() {
+            self.copy_item(client, item)?;
+        }
+
+        // Phase 5: cutover, then raise the coordinator fence.
+        let done = frozen.cutover();
+        client.announce_map(&done, deadline)?;
+        if client.tracer().is_enabled() {
+            client
+                .tracer()
+                .emit(None, EventKind::MigrateCutover { epoch: done.epoch });
+        }
+        client.fence_stale_coordinators();
+        self.stats.map_epoch = done.epoch;
+        self.stats.completed = true;
+        Ok(self.stats)
+    }
+
+    /// Copy one item's committed donor state to its recipient. Retries
+    /// transient failures (a donor or recipient coordinator dying under
+    /// the copier) a few times before giving up.
+    fn copy_item<T: Transport, M: Mailbox>(
+        &mut self,
+        client: &mut ShardedClient<T, M>,
+        item: u32,
+    ) -> Result<(), ControlError> {
+        let recipient = match self.copying.migration_for(item) {
+            Some(range) => range.recipient,
+            None => return Ok(()),
+        };
+        let mut last = ControlError::Timeout("copy transaction");
+        for _ in 0..5 {
+            // Read the committed value at the donor (mapped routing
+            // sends reads of a migrating item to its donor).
+            let read_id = client.next_txn_id();
+            let report = match client.run_txn(
+                Transaction::new(read_id, vec![Operation::Read(ItemId(item))]),
+                self.op_deadline,
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    last = e;
+                    continue;
+                }
+            };
+            let Some((_, value)) = report.read_results.first().copied() else {
+                // Aborted read (coordinator mid-failure): try again.
+                continue;
+            };
+            if value.version == 0 {
+                // Never written: both copies still hold the initial
+                // value, nothing to stream.
+                return Ok(());
+            }
+            // Install at the recipient under the original version
+            // stamp — the writing transaction's id — so the copy can
+            // never clobber a fresher write-through.
+            match client.run_copy(
+                recipient,
+                Transaction::new(
+                    TxnId(value.version),
+                    vec![Operation::Write(ItemId(item), value.data)],
+                ),
+                self.op_deadline,
+            ) {
+                Ok(None) => {
+                    // The id is live in the client: that very version's
+                    // foreground transaction is still in flight and its
+                    // commit-time write-through covers the item.
+                    self.stats.items_skipped += 1;
+                    return Ok(());
+                }
+                Ok(Some(r)) if r.committed() => {
+                    self.stats.items_copied += 1;
+                    if client.tracer().is_enabled() {
+                        client.tracer().emit(None, EventKind::MigrateCopy { item });
+                    }
+                    return Ok(());
+                }
+                Ok(Some(_)) => continue,
+                Err(e) => {
+                    last = e;
+                    continue;
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// Bookkeeping for an interleave-hook abandonment.
+    fn abandoned<T: Transport, M: Mailbox>(
+        &mut self,
+        client: &mut ShardedClient<T, M>,
+    ) -> ReshardStats {
+        self.stats.map_epoch = client.map().map_or(0, |m| m.epoch);
+        self.stats.completed = false;
+        self.stats
+    }
+}

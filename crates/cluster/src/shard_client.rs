@@ -45,11 +45,13 @@ use miniraid_core::config::ProtocolConfig;
 use miniraid_core::error::AbortReason;
 use miniraid_core::ids::{ItemId, SessionNumber, SiteId, TxnId};
 use miniraid_core::messages::{Command, Message, TxnOutcome, XDecisionRecord};
-use miniraid_core::ops::Transaction;
+use miniraid_core::ops::{Operation, Transaction};
 use miniraid_core::trace::{EventKind, TraceId, TraceIdGen, Tracer};
 use miniraid_net::{Mailbox, RecvError, Transport};
 use miniraid_obs::LatencyHistogram;
-use miniraid_shard::{classify, Route, ShardSpec, XAction, XCoordinator, XMetrics, XPhase};
+use miniraid_shard::{
+    classify, RangeState, Route, ShardMap, ShardSpec, XAction, XCoordinator, XMetrics, XPhase,
+};
 use miniraid_storage::ItemValue;
 
 use crate::control::ControlError;
@@ -61,8 +63,14 @@ const LOG_GROUP: u8 = 0;
 /// The final outcome of a routed transaction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardedReport {
-    /// The (global) transaction.
+    /// The (global) transaction, as submitted.
     pub txn: TxnId,
+    /// The id the transaction finally resolved under. Differs from
+    /// `txn` only when a mapped-mode `WrongEpoch` bounce re-stamped the
+    /// retry with a fresh id (versions are transaction ids, so a
+    /// bounced write replayed after younger commits must serialize as a
+    /// *later* transaction) — the data lands under *this* version.
+    pub committed_as: TxnId,
     /// Whether it spanned more than one group.
     pub cross_shard: bool,
     /// Commit or abort. Cross-shard aborts carry
@@ -308,6 +316,39 @@ pub struct ShardedClient<T: Transport, M: Mailbox> {
     trace_gen: TraceIdGen,
     /// Trace id of every in-flight submitted transaction.
     traces: HashMap<TxnId, TraceId>,
+    /// Mapped mode: the client's installed epoch-versioned shard map.
+    /// `None` leaves the client in spec-striped mode (classify +
+    /// localize); `Some` routes whole transactions by the map with
+    /// identity item names (see DESIGN.md §14).
+    map: Option<ShardMap>,
+    /// Original (global-name) transactions of in-flight mapped
+    /// submissions, kept until the final outcome so a `WrongEpoch`
+    /// bounce can be re-routed after a map refresh and a committed
+    /// write inside a migrating range can be written through to the
+    /// recipient.
+    mapped_ops: HashMap<TxnId, Transaction>,
+    /// Mapped transactions bounced by a stale route, awaiting the next
+    /// refresh-and-retry round (original ids).
+    retries: Vec<TxnId>,
+    /// Fresh id → original id for re-stamped retries: a bounced write
+    /// replayed after younger commits must carry a *later* transaction
+    /// id, or its version-ordered apply would land on some copies and
+    /// be rejected on others.
+    retry_alias: HashMap<TxnId, TxnId>,
+    /// When the next refresh-and-retry round may run.
+    next_retry: Instant,
+    /// Mapped transactions whose `WrongEpoch` bounce should surface as
+    /// an `Aborted(StaleShardMap)` report instead of being retried —
+    /// the chaos double-owner probe needs the rejection itself.
+    no_retry: HashSet<TxnId>,
+    /// Sites that acknowledged each announced map epoch.
+    map_acks: HashMap<u64, HashSet<SiteId>>,
+    /// Total `MapReply` frames received (refresh progress).
+    map_replies: u64,
+    /// Replies of an in-flight decision-log probe, when one is open.
+    xlog_probe: Option<HashMap<SiteId, Vec<XDecisionRecord>>>,
+    /// `WrongEpoch` bounces observed (stale routes caught by the gate).
+    pub stale_bounces: u64,
 }
 
 impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
@@ -351,6 +392,16 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
             tracer: Tracer::disabled(),
             trace_gen: TraceIdGen::new(spec.n_physical_sites() as u64),
             traces: HashMap::new(),
+            map: None,
+            mapped_ops: HashMap::new(),
+            retries: Vec::new(),
+            retry_alias: HashMap::new(),
+            next_retry: Instant::now(),
+            no_retry: HashSet::new(),
+            map_acks: HashMap::new(),
+            map_replies: 0,
+            xlog_probe: None,
+            stale_bounces: 0,
         }
     }
 
@@ -398,6 +449,12 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
     /// takeover.
     pub fn pending_cross(&self) -> usize {
         self.xcoord.pending() + self.orphans.len()
+    }
+
+    /// Mapped-mode transactions still unresolved — awaiting a report,
+    /// or bounced by `WrongEpoch` and queued for a retried route.
+    pub fn pending_mapped(&self) -> usize {
+        self.singles.len() + self.retries.len()
     }
 
     /// The cross-shard coordinator's own counters, cumulative across
@@ -451,6 +508,10 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
         if self.tracer.is_enabled() {
             let trace = self.trace_gen.next_id();
             self.traces.insert(txn.id, trace);
+        }
+        if self.map.is_some() {
+            self.route_mapped(txn, now);
+            return;
         }
         match classify(&self.spec, &txn) {
             Route::Single { group, txn } => {
@@ -548,6 +609,290 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
         }
     }
 
+    // ---- mapped mode (live resharding) -------------------------------
+
+    /// Install a shard map into the client (newer epochs win). From
+    /// then on submissions route by the map with identity item names
+    /// instead of the spec's stripe, and `WrongEpoch` bounces are
+    /// retried after a map refresh.
+    pub fn set_map(&mut self, map: ShardMap) {
+        if self.map.as_ref().is_none_or(|m| map.epoch > m.epoch) {
+            self.map = Some(map);
+        }
+    }
+
+    /// The client's installed shard map, if any.
+    pub fn map(&self) -> Option<&ShardMap> {
+        self.map.as_ref()
+    }
+
+    /// Route a mapped transaction: every item must resolve to the same
+    /// group under the installed map — the owner, or the donor while
+    /// the item's range is in flight (the donor stays authoritative for
+    /// reads and writes until cutover; committed writes are written
+    /// through). Panics on a transaction spanning owners: mapped mode
+    /// trades cross-shard atomicity for live reconfiguration.
+    fn route_mapped(&mut self, txn: Transaction, now: Instant) {
+        let map = self.map.as_ref().expect("mapped routing requires a map");
+        let mut group: Option<u8> = None;
+        for op in &txn.ops {
+            let item = match op {
+                Operation::Read(i) | Operation::Write(i, _) => i.0,
+            };
+            let g = match map.state(item) {
+                RangeState::Owned(g) => g,
+                RangeState::Migrating { donor, .. } => donor,
+            };
+            match group {
+                None => group = Some(g),
+                Some(prev) => {
+                    assert_eq!(prev, g, "mapped mode routes single-owner transactions only")
+                }
+            }
+        }
+        let group = group.expect("transaction with no operations");
+        let coordinator = self.pick_coordinator(group);
+        self.mapped_ops.insert(txn.id, txn.clone());
+        self.singles.insert(
+            txn.id,
+            SingleState {
+                group,
+                started: now,
+            },
+        );
+        self.send(coordinator, group, Message::Mgmt(Command::Begin(txn)));
+    }
+
+    /// Announce `map` to every physical site and wait until *all* of
+    /// them acknowledge the epoch, then install it into the client.
+    /// Full (not majority) acknowledgement is what makes cutover safe:
+    /// no site is left admitting writes under a stale epoch. It is also
+    /// reachable — map frames are management-plane (exempt from fault
+    /// drops) and served by the site loop even while the engine is
+    /// down, and installs re-ack idempotently, so the announcement is
+    /// simply retried until everyone has answered.
+    pub fn announce_map(&mut self, map: &ShardMap, deadline: Duration) -> Result<(), ControlError> {
+        let epoch = map.epoch;
+        let until = Instant::now() + deadline;
+        let mut next_send = Instant::now();
+        loop {
+            let acked = self.map_acks.get(&epoch).map_or(0, |s| s.len());
+            if acked >= self.spec.n_physical_sites() as usize {
+                self.set_map(map.clone());
+                return Ok(());
+            }
+            if Instant::now() >= until {
+                return Err(ControlError::Timeout("map-change acknowledgements"));
+            }
+            if Instant::now() >= next_send {
+                next_send = Instant::now() + self.redrive_interval;
+                for i in 0..self.spec.n_physical_sites() {
+                    let site = SiteId(i);
+                    let group = self.spec.local_site(site).0;
+                    self.send(
+                        site,
+                        group,
+                        Message::MapChange {
+                            epoch,
+                            assignment: map.assignment.clone(),
+                            migrating: map.migrating.clone(),
+                        },
+                    );
+                }
+            }
+            self.pump(Duration::from_millis(5))?;
+            self.tick();
+        }
+    }
+
+    /// Ask every site for its installed map and adopt the newest reply.
+    /// Returns the epoch the client ends up on — used by a restarted
+    /// resharder to re-derive where the migration stands, and by
+    /// stale-route recovery. Waits for every site's reply or the
+    /// deadline, whichever first (a reply quorum is not enough: the
+    /// newest epoch may live on exactly the sites that answer last).
+    pub fn refresh_map(&mut self, deadline: Duration) -> Result<u64, ControlError> {
+        let start = self.map_replies;
+        let want = self.spec.n_physical_sites() as u64;
+        self.broadcast_map_query();
+        let until = Instant::now() + deadline;
+        while Instant::now() < until && self.map_replies - start < want {
+            self.pump(Duration::from_millis(5))?;
+            self.tick();
+        }
+        Ok(self.map.as_ref().map_or(0, |m| m.epoch))
+    }
+
+    /// Run a write-only copy leg at `group` and wait for its report.
+    /// Returns `Ok(None)` without sending when `txn.id` is still live
+    /// in the client — a foreground transaction owns that id, and its
+    /// own commit-time write-through already covers the item. A
+    /// `WrongEpoch` bounce surfaces as `Aborted(StaleShardMap)` (the
+    /// resharder re-derives rather than re-routes).
+    pub fn run_copy(
+        &mut self,
+        group: u8,
+        txn: Transaction,
+        deadline: Duration,
+    ) -> Result<Option<ShardedReport>, ControlError> {
+        let id = txn.id;
+        if self.singles.contains_key(&id)
+            || self.cross.contains_key(&id)
+            || self.finished.contains_key(&id)
+        {
+            return Ok(None);
+        }
+        let coordinator = self.pick_coordinator(group);
+        self.no_retry.insert(id);
+        self.mapped_ops.insert(id, txn.clone());
+        self.singles.insert(
+            id,
+            SingleState {
+                group,
+                started: Instant::now(),
+            },
+        );
+        self.send(coordinator, group, Message::Mgmt(Command::Begin(txn)));
+        self.wait_report(id, deadline).map(Some)
+    }
+
+    /// Run a mapped transaction at a *specific* physical site (the
+    /// mapped-mode analogue of [`run_txn_at`](Self::run_txn_at), for
+    /// convergence checks). With `retry` false, a `WrongEpoch` bounce
+    /// surfaces as an `Aborted(StaleShardMap)` report instead of being
+    /// re-routed — the chaos double-owner probe needs the rejection
+    /// itself as evidence.
+    pub fn run_mapped_at(
+        &mut self,
+        site: SiteId,
+        txn: Transaction,
+        retry: bool,
+        deadline: Duration,
+    ) -> Result<ShardedReport, ControlError> {
+        let id = txn.id;
+        let (group, _) = self.spec.local_site(site);
+        if !retry {
+            self.no_retry.insert(id);
+        }
+        self.mapped_ops.insert(id, txn.clone());
+        self.singles.insert(
+            id,
+            SingleState {
+                group,
+                started: Instant::now(),
+            },
+        );
+        self.send(site, group, Message::Mgmt(Command::Begin(txn)));
+        self.wait_report(id, deadline)
+    }
+
+    /// Read the decision log back from the log group under a fresh
+    /// coordinator epoch and return the merged records (one per
+    /// transaction, decided outcomes winning), sorted by id. Used by
+    /// retirement tests and post-migration audits; raising the epoch
+    /// also fences any stale coordinator's later appends.
+    pub fn probe_xlog(&mut self, deadline: Duration) -> Result<Vec<XDecisionRecord>, ControlError> {
+        self.coord_epoch = next_epoch(self.coord_epoch);
+        self.xlog_probe = Some(HashMap::new());
+        let until = Instant::now() + deadline;
+        let mut next_send = Instant::now();
+        loop {
+            let done = self
+                .xlog_probe
+                .as_ref()
+                .is_some_and(|p| p.len() >= self.log_quorum());
+            if done || Instant::now() >= until {
+                let replies = self.xlog_probe.take().unwrap_or_default();
+                if !done {
+                    return Err(ControlError::Timeout("decision-log probe"));
+                }
+                let mut merged: HashMap<TxnId, XDecisionRecord> = HashMap::new();
+                for (_, records) in replies {
+                    for record in records {
+                        match merged.get(&record.txn) {
+                            Some(existing) if existing.outcome.is_some() => {}
+                            _ => {
+                                merged.insert(record.txn, record);
+                            }
+                        }
+                    }
+                }
+                let mut out: Vec<XDecisionRecord> = merged.into_values().collect();
+                out.sort_by_key(|r| r.txn);
+                return Ok(out);
+            }
+            if Instant::now() >= next_send {
+                next_send = Instant::now() + self.redrive_interval;
+                for member in self.spec.group_members(LOG_GROUP) {
+                    self.send_xlog(
+                        member,
+                        Message::XLogQuery {
+                            epoch: self.coord_epoch,
+                        },
+                    );
+                }
+            }
+            self.pump(Duration::from_millis(5))?;
+            self.tick();
+        }
+    }
+
+    /// Bump the coordinator epoch and push the new fence to the log
+    /// group: any coordinator still speaking from an older epoch (a
+    /// resharder presumed dead, a superseded client) has its later
+    /// appends rejected by the replicas. Fire-and-forget — the fence is
+    /// raised as the queries land.
+    pub fn fence_stale_coordinators(&mut self) {
+        self.coord_epoch = next_epoch(self.coord_epoch);
+        for member in self.spec.group_members(LOG_GROUP) {
+            self.send_xlog(
+                member,
+                Message::XLogQuery {
+                    epoch: self.coord_epoch,
+                },
+            );
+        }
+    }
+
+    /// Broadcast a `MapQuery` to every physical site.
+    fn broadcast_map_query(&mut self) {
+        for i in 0..self.spec.n_physical_sites() {
+            let site = SiteId(i);
+            let group = self.spec.local_site(site).0;
+            self.send(site, group, Message::MapQuery);
+        }
+    }
+
+    /// One refresh-and-retry round for bounced mapped transactions:
+    /// ask the cluster for a newer map (replies install asynchronously)
+    /// and re-route every bounced transaction under whatever the client
+    /// believes now. A transaction bounced again simply re-queues — the
+    /// rounds are paced by the re-drive interval, and the route
+    /// converges once the migration's terminal epoch reaches the
+    /// client.
+    fn tick_mapped(&mut self, now: Instant) {
+        if self.retries.is_empty() || now < self.next_retry {
+            return;
+        }
+        self.next_retry = now + self.redrive_interval;
+        self.broadcast_map_query();
+        let due: Vec<TxnId> = std::mem::take(&mut self.retries);
+        for orig in due {
+            let Some(t) = self.mapped_ops.get(&orig).cloned() else {
+                continue;
+            };
+            // Versions are transaction ids, so a bounced write retried
+            // after younger commits must serialize as a *later*
+            // transaction: replaying the original id would be accepted
+            // by copies still behind it and rejected by copies past it,
+            // permanently diverging the group. Re-stamp the retry with
+            // a fresh id and resolve the report under the original.
+            let fresh = self.next_txn_id();
+            self.retry_alias.insert(fresh, orig);
+            self.route_mapped(Transaction::new(fresh, t.ops), now);
+        }
+    }
+
     /// Wait for a previously submitted transaction's final outcome,
     /// driving votes, decisions and re-drives while waiting.
     pub fn wait_report(
@@ -576,6 +921,22 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
         let mut reports: Vec<ShardedReport> = self.finished.drain().map(|(_, r)| r).collect();
         reports.sort_by_key(|r| r.txn);
         reports
+    }
+
+    /// Process every message currently queued, without blocking — a
+    /// zero-wait [`pump_for`](Self::pump_for). Benchmarks use this to
+    /// drain background traffic (copy-leg reports, write-through acks)
+    /// between measured operations without parking the thread.
+    pub fn poll(&mut self) -> Result<(), ControlError> {
+        loop {
+            match self.mailbox.try_recv() {
+                Ok((from, msg)) => self.process(from, msg),
+                Err(RecvError::Timeout) => break,
+                Err(RecvError::Disconnected) => return Err(ControlError::Disconnected),
+            }
+        }
+        self.tick();
+        Ok(())
     }
 
     /// Process inbox traffic and internal deadlines for `duration` —
@@ -846,22 +1207,80 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
                     self.last_commit_coord[group as usize] = Some(from);
                 }
                 if let Some(single) = self.singles.remove(&report.txn) {
+                    // A re-stamped retry resolves under its fresh id;
+                    // the caller waits on the original.
+                    let orig = self.retry_alias.remove(&report.txn).unwrap_or(report.txn);
                     self.traces.remove(&report.txn);
+                    self.traces.remove(&orig);
+                    self.no_retry.remove(&orig);
+                    self.retries.retain(|t| *t != orig);
+                    let mapped = self.mapped_ops.remove(&report.txn);
+                    if orig != report.txn {
+                        self.mapped_ops.remove(&orig);
+                    }
                     if report.outcome.is_committed() {
                         let micros = now.duration_since(single.started).as_micros() as u64;
                         self.single_commit_latency.record(micros);
                         self.per_group_commit_latency[single.group as usize].record(micros);
                     }
-                    let mut read_results: Vec<(ItemId, ItemValue)> = report
-                        .read_results
-                        .iter()
-                        .map(|(i, v)| (self.spec.globalize(single.group, *i), *v))
-                        .collect();
+                    // Mapped transactions use identity item names; the
+                    // spec's localize/globalize stripe applies only to
+                    // the static sharded deployment.
+                    let mut read_results: Vec<(ItemId, ItemValue)> = if mapped.is_some() {
+                        report.read_results.clone()
+                    } else {
+                        report
+                            .read_results
+                            .iter()
+                            .map(|(i, v)| (self.spec.globalize(single.group, *i), *v))
+                            .collect()
+                    };
                     read_results.sort_by_key(|(i, _)| *i);
+                    // Commit-time write-through: a committed write
+                    // inside a migrating range is immediately installed
+                    // at the recipient under the same transaction id
+                    // (same version stamp ⇒ idempotent against the
+                    // copier), so the copier only covers the backlog
+                    // instead of chasing the live write stream. A
+                    // commit whose report raced past cutover chases the
+                    // item to its new owner the same way.
+                    let mut legs: Vec<(u8, Vec<Operation>)> = Vec::new();
+                    if let (Some(src), true, Some(map)) =
+                        (&mapped, report.outcome.is_committed(), self.map.as_ref())
+                    {
+                        for op in &src.ops {
+                            if let Operation::Write(item, v) = op {
+                                let to = match map.state(item.0) {
+                                    RangeState::Migrating {
+                                        donor, recipient, ..
+                                    } if donor == single.group => Some(recipient),
+                                    RangeState::Owned(owner) if owner != single.group => {
+                                        Some(owner)
+                                    }
+                                    _ => None,
+                                };
+                                if let Some(g) = to {
+                                    match legs.iter_mut().find(|(lg, _)| *lg == g) {
+                                        Some((_, ops)) => ops.push(Operation::Write(*item, *v)),
+                                        None => legs.push((g, vec![Operation::Write(*item, *v)])),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for (g, ops) in legs {
+                        let coordinator = self.pick_coordinator(g);
+                        self.send(
+                            coordinator,
+                            g,
+                            Message::Mgmt(Command::Begin(Transaction::new(report.txn, ops))),
+                        );
+                    }
                     self.finished.insert(
-                        report.txn,
+                        orig,
                         ShardedReport {
-                            txn: report.txn,
+                            txn: orig,
+                            committed_as: report.txn,
                             cross_shard: false,
                             outcome: report.outcome,
                             read_results,
@@ -904,9 +1323,56 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
             Message::XLogReply { epoch, records } if epoch == self.coord_epoch => {
                 if let Some(CrashRecovery { query: Some(q), .. }) = &mut self.crash_state {
                     q.replies.insert(from, records);
+                } else if let Some(probe) = &mut self.xlog_probe {
+                    probe.insert(from, records);
                 }
             }
             Message::XLogReply { .. } => {}
+            Message::WrongEpoch { txn, epoch: _ } => {
+                self.stale_bounces += 1;
+                self.singles.remove(&txn);
+                // A bounced re-stamped retry re-queues under its
+                // *original* id; the fresh id is spent (the next retry
+                // round allocates another).
+                let orig = self.retry_alias.remove(&txn).unwrap_or(txn);
+                if orig != txn {
+                    self.mapped_ops.remove(&txn);
+                }
+                if self.no_retry.remove(&orig) {
+                    self.mapped_ops.remove(&orig);
+                    self.traces.remove(&orig);
+                    self.finished.insert(
+                        orig,
+                        ShardedReport {
+                            txn: orig,
+                            committed_as: txn,
+                            cross_shard: false,
+                            outcome: TxnOutcome::Aborted(AbortReason::StaleShardMap),
+                            read_results: Vec::new(),
+                        },
+                    );
+                } else if self.mapped_ops.contains_key(&orig) && !self.retries.contains(&orig) {
+                    self.retries.push(orig);
+                }
+            }
+            Message::MapChangeAck { epoch, ok } if ok => {
+                self.map_acks.entry(epoch).or_default().insert(from);
+            }
+            Message::MapChangeAck { .. } => {}
+            Message::MapReply {
+                epoch,
+                assignment,
+                migrating,
+            } => {
+                self.map_replies += 1;
+                if epoch > 0 && self.map.as_ref().is_none_or(|m| epoch > m.epoch) {
+                    self.map = Some(ShardMap {
+                        epoch,
+                        assignment,
+                        migrating,
+                    });
+                }
+            }
             Message::MgmtRecovered { session } => {
                 self.events.push(CtlEvent::Recovered {
                     site: from,
@@ -989,6 +1455,21 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
                 } => {
                     self.traces.remove(&txn);
                     self.resolved.insert(txn);
+                    // The outcome is confirmed at every branch: nothing
+                    // will ever need this decision record again, so
+                    // retire it from the log replicas (quorum-acked
+                    // garbage collection; the replicas fence retires by
+                    // epoch, so a superseded coordinator cannot reap a
+                    // successor's records).
+                    for member in self.spec.group_members(LOG_GROUP) {
+                        self.send_xlog(
+                            member,
+                            Message::XLogRetire {
+                                epoch: self.coord_epoch,
+                                txn,
+                            },
+                        );
+                    }
                     if let Some(state) = self.cross.remove(&txn) {
                         if committed {
                             self.cross_commit_latency
@@ -1004,6 +1485,7 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
                         txn,
                         ShardedReport {
                             txn,
+                            committed_as: txn,
                             cross_shard: true,
                             outcome,
                             read_results,
@@ -1279,6 +1761,7 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
                 txn,
                 ShardedReport {
                     txn,
+                    committed_as: txn,
                     cross_shard: true,
                     outcome: TxnOutcome::Aborted(AbortReason::GlobalAbort),
                     read_results: Vec::new(),
@@ -1381,6 +1864,7 @@ impl<T: Transport, M: Mailbox> ShardedClient<T, M> {
         let now = Instant::now();
         self.tick_takeover(now);
         self.tick_appends(now);
+        self.tick_mapped(now);
         let ids: Vec<TxnId> = self.cross.keys().copied().collect();
         for txn in ids {
             match self.xcoord.phase(txn) {

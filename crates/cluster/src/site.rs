@@ -11,7 +11,7 @@ use miniraid_core::messages::{Command, Message};
 use miniraid_core::session::SiteStatus;
 use miniraid_core::trace::EventKind;
 use miniraid_net::{Mailbox, RecvError, Transport};
-use miniraid_shard::XLogStore;
+use miniraid_shard::{MapStore, XLogStore};
 use miniraid_storage::DurableStore;
 
 use crate::obs::{render_plain, SiteObs};
@@ -255,6 +255,7 @@ fn serve_metrics<T: Transport>(
     transport: &T,
     obs: &Option<SiteObs>,
     durable: &Option<DurableCtx>,
+    map: &Option<MapStore>,
     from: SiteId,
 ) {
     let stats = transport.stats();
@@ -263,10 +264,18 @@ fn serve_metrics<T: Transport>(
         let c = d.store.counters();
         engine.note_wal(c.fsyncs(), c.commits(), c.records());
     }
-    let text = match obs {
+    let mut text = match obs {
         Some(obs) => obs.render(engine),
         None => render_plain(engine),
     };
+    if let Some(store) = map {
+        text.push_str(&miniraid_obs::expo::render_reshard(
+            engine.id(),
+            store.epoch(),
+            store.migrating_items(),
+            store.copy_installs(),
+        ));
+    }
     let _ = transport.send(from, &Message::MetricsResponse { text });
 }
 
@@ -285,6 +294,78 @@ fn serve_xlog<T: Transport>(transport: &T, xlog: &mut XLogStore, from: SiteId, m
     let _ = transport.send(from, &reply);
 }
 
+/// Serve the site's shard-map store without touching the engine state
+/// machine. Map installs and queries are answered even while the site
+/// is "down" (like metrics scrapes and the decision log — the map is
+/// routing state, not database state), `XLogRetire` garbage-collects
+/// the decision-log replica once a cross-shard outcome is fully
+/// acknowledged, and `Mgmt(Begin)` frames pass the admission gate: a
+/// transaction routed under a stale or wrong-owner map is answered
+/// with `WrongEpoch` instead of ever reaching the engine, which is
+/// what makes stale-map coordinators unable to commit after a cutover.
+///
+/// Returns the message the engine should still see, or `None` when it
+/// was fully handled (or rejected) here.
+fn gate_map<T: Transport>(
+    transport: &T,
+    map: &mut Option<MapStore>,
+    xlog: &mut XLogStore,
+    from: SiteId,
+    msg: Message,
+) -> Option<Message> {
+    match msg {
+        Message::MapChange {
+            epoch,
+            assignment,
+            migrating,
+        } => {
+            if let Some(store) = map.as_mut() {
+                let ack = store.install(epoch, assignment, migrating);
+                let _ = transport.send(from, &ack);
+            }
+            None
+        }
+        Message::MapQuery => {
+            if let Some(store) = map.as_ref() {
+                let _ = transport.send(from, &store.serve_query());
+            }
+            None
+        }
+        Message::XLogRetire { epoch, txn } => {
+            // GC is fenced like appends: only the current coordinator
+            // epoch (or a newer one) may drop a decision record.
+            if epoch >= xlog.highest_epoch() {
+                xlog.retire(txn);
+            }
+            None
+        }
+        msg @ (Message::Mgmt(Command::Begin(_)) | Message::Traced { .. }) => {
+            let Some(store) = map.as_mut() else {
+                return Some(msg);
+            };
+            let txn = match &msg {
+                Message::Mgmt(Command::Begin(txn)) => Some(txn),
+                Message::Traced { inner, .. } => match inner.as_ref() {
+                    Message::Mgmt(Command::Begin(txn)) => Some(txn),
+                    _ => None,
+                },
+                _ => None,
+            };
+            match txn {
+                Some(t) => match store.admits(t) {
+                    Ok(()) => Some(msg),
+                    Err(epoch) => {
+                        let _ = transport.send(from, &Message::WrongEpoch { txn: t.id, epoch });
+                        None
+                    }
+                },
+                None => Some(msg),
+            }
+        }
+        msg => Some(msg),
+    }
+}
+
 /// Full-featured site loop: optional durable store, optional
 /// observability ([`SiteObs`]). When observability is attached the site
 /// answers [`Message::MetricsRequest`] with a Prometheus-style text
@@ -293,7 +374,7 @@ fn serve_xlog<T: Transport>(transport: &T, xlog: &mut XLogStore, from: SiteId, m
 /// "down" — the observer is outside the failure model, like the paper's
 /// measurement harness.
 pub fn run_site_full<T: Transport, M: Mailbox>(
-    mut engine: SiteEngine,
+    engine: SiteEngine,
     transport: T,
     mailbox: M,
     manager: SiteId,
@@ -301,12 +382,36 @@ pub fn run_site_full<T: Transport, M: Mailbox>(
     store: Option<DurableStore>,
     obs: Option<SiteObs>,
 ) {
+    run_site_mapped(
+        engine, transport, mailbox, manager, timing, store, obs, None,
+    )
+}
+
+/// [`run_site_full`] plus a live shard-map store: the site answers
+/// `MapChange`/`MapQuery`, GC's its decision-log replica on
+/// `XLogRetire`, gates every incoming `Mgmt(Begin)` through the
+/// installed map (stale routes bounce with `WrongEpoch`), and appends
+/// the `miniraid_reshard_*` family to its metrics exposition. Used by
+/// mapped (live-reshardable) deployments — see
+/// `Cluster::launch_mapped_faulty`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_site_mapped<T: Transport, M: Mailbox>(
+    mut engine: SiteEngine,
+    transport: T,
+    mailbox: M,
+    manager: SiteId,
+    timing: ClusterTiming,
+    store: Option<DurableStore>,
+    obs: Option<SiteObs>,
+    map: Option<MapStore>,
+) {
     let mut timers: BinaryHeap<Reverse<Armed>> = BinaryHeap::new();
     let mut timer_seq = 0u64;
     let mut out: Vec<Output> = Vec::new();
     // This site's XDecisionLog replica (populated only when it belongs
     // to the designated log group of a sharded topology).
     let mut xlog = XLogStore::new();
+    let mut map = map;
     // Per-peer outbound frames under construction, and the buffer pool
     // they recycle through (no per-drain allocation in steady state).
     let mut outbound: Vec<(SiteId, Vec<Message>)> = Vec::new();
@@ -362,23 +467,32 @@ pub fn run_site_full<T: Transport, M: Mailbox>(
                 drained = true;
                 match msg {
                     Message::MetricsRequest => {
-                        serve_metrics(&mut engine, &transport, &obs, &durable, from)
+                        serve_metrics(&mut engine, &transport, &obs, &durable, &map, from)
                     }
                     msg @ (Message::XLogAppend { .. } | Message::XLogQuery { .. }) => {
                         serve_xlog(&transport, &mut xlog, from, msg)
                     }
-                    msg => engine.handle(Input::Deliver { from, msg }, &mut out),
+                    msg => {
+                        if let Some(msg) = gate_map(&transport, &mut map, &mut xlog, from, msg) {
+                            engine.handle(Input::Deliver { from, msg }, &mut out)
+                        }
+                    }
                 }
                 loop {
                     match mailbox.try_recv() {
                         Ok((from, Message::MetricsRequest)) => {
-                            serve_metrics(&mut engine, &transport, &obs, &durable, from)
+                            serve_metrics(&mut engine, &transport, &obs, &durable, &map, from)
                         }
                         Ok((
                             from,
                             msg @ (Message::XLogAppend { .. } | Message::XLogQuery { .. }),
                         )) => serve_xlog(&transport, &mut xlog, from, msg),
-                        Ok((from, msg)) => engine.handle(Input::Deliver { from, msg }, &mut out),
+                        Ok((from, msg)) => {
+                            if let Some(msg) = gate_map(&transport, &mut map, &mut xlog, from, msg)
+                            {
+                                engine.handle(Input::Deliver { from, msg }, &mut out)
+                            }
+                        }
                         Err(RecvError::Timeout) => break,
                         Err(RecvError::Disconnected) => return,
                     }

@@ -433,3 +433,45 @@ fn four_group_topology_commits_across_all_groups() {
     client.terminate_all();
     cluster.join(WAIT);
 }
+
+#[test]
+fn confirmed_cross_shard_decisions_are_retired_from_the_log() {
+    let (cluster, mut client) =
+        Cluster::launch_sharded(spec(), base_config(), ClusterTiming::default());
+
+    // A cross-shard commit appends its decision record to the log
+    // group; once every branch confirms, the coordinator broadcasts
+    // `XLogRetire` and the replicas garbage-collect it.
+    let id = client.next_txn_id();
+    let report = client
+        .run_txn(
+            Transaction::new(
+                id,
+                vec![
+                    Operation::Write(ItemId(2), 1), // group 0
+                    Operation::Write(ItemId(3), 2), // group 1
+                ],
+            ),
+            WAIT,
+        )
+        .unwrap();
+    assert!(report.committed() && report.cross_shard, "{report:?}");
+
+    // The retire broadcast is fire-and-forget, racing this probe to
+    // the replicas; poll until a quorum read shows the record gone.
+    let deadline = std::time::Instant::now() + WAIT;
+    loop {
+        let records = client.probe_xlog(WAIT).unwrap();
+        if records.iter().all(|r| r.txn != id) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "decision record for {id} still replicated after quorum-ack: {records:?}"
+        );
+        client.pump_for(Duration::from_millis(50)).unwrap();
+    }
+
+    client.terminate_all();
+    cluster.join(WAIT);
+}

@@ -777,12 +777,20 @@ impl SiteEngine {
             // by the sharded site host before delivery. Decision-log
             // traffic is served by the site loop (the log replica lives
             // beside the engine, like metrics serving), not the engine.
+            // Live-reshard map frames are likewise site-loop business:
+            // the map store answers them even while the engine is down.
             Message::ShardVote { .. }
             | Message::ShardEnv { .. }
             | Message::XLogAppend { .. }
             | Message::XLogAck { .. }
             | Message::XLogQuery { .. }
-            | Message::XLogReply { .. } => {}
+            | Message::XLogReply { .. }
+            | Message::XLogRetire { .. }
+            | Message::MapChange { .. }
+            | Message::MapChangeAck { .. }
+            | Message::MapQuery
+            | Message::MapReply { .. }
+            | Message::WrongEpoch { .. } => {}
             // `Mgmt` is intercepted in `handle`; reports and metrics
             // scrapes are driver business
             Message::Mgmt(_)

@@ -28,6 +28,11 @@ pub enum AbortReason {
     /// of the multi-shard transaction voted no or timed out, so this
     /// branch — locally prepared and ready to commit — must discard.
     GlobalAbort,
+    /// The transaction was routed under a shard map older than the one
+    /// the receiving group has installed (live resharding, §3.2's type-3
+    /// map changes generalized to ranges): the submitter must refresh
+    /// its map and retry against the current owner.
+    StaleShardMap,
 }
 
 impl std::fmt::Display for AbortReason {
@@ -39,6 +44,7 @@ impl std::fmt::Display for AbortReason {
             AbortReason::SessionMismatch => "session vector mismatch",
             AbortReason::SiteNotOperational => "coordinating site not operational",
             AbortReason::GlobalAbort => "aborted by cross-shard coordinator",
+            AbortReason::StaleShardMap => "rejected by a newer shard-map epoch",
         };
         f.write_str(s)
     }
@@ -103,6 +109,7 @@ mod tests {
             AbortReason::SessionMismatch,
             AbortReason::SiteNotOperational,
             AbortReason::GlobalAbort,
+            AbortReason::StaleShardMap,
         ] {
             assert!(!r.to_string().is_empty());
         }

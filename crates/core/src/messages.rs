@@ -115,6 +115,35 @@ pub struct XDecisionRecord {
     pub outcome: Option<bool>,
 }
 
+/// One key range in flight between two replication groups during a live
+/// reshard: items `lo..hi` (half-open, global names) are moving from
+/// group `donor` to group `recipient`. The range passes through two
+/// wire-visible sub-states — copying (`frozen = false`: the donor still
+/// serves reads *and* writes, every committed write is written through
+/// to the recipient) and frozen (`frozen = true`: the donor is
+/// read-only so the resharder's final sweep races no writer) — before
+/// the cutover map retires it and the recipient owns the range alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigratingRange {
+    /// First item of the range (inclusive, global id).
+    pub lo: u32,
+    /// One past the last item of the range (exclusive, global id).
+    pub hi: u32,
+    /// The group that owns the range today.
+    pub donor: u8,
+    /// The group the range is moving to.
+    pub recipient: u8,
+    /// True once the donor has been made read-only for the final sweep.
+    pub frozen: bool,
+}
+
+impl MigratingRange {
+    /// True when `item` falls inside this range.
+    pub fn contains(&self, item: u32) -> bool {
+        self.lo <= item && item < self.hi
+    }
+}
+
 /// Messages exchanged between sites (and, for `Mgmt`/`MgmtReport`,
 /// between the managing site and database sites over a real transport).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -393,6 +422,67 @@ pub enum Message {
         records: Vec<XDecisionRecord>,
     },
 
+    // ---- Live resharding: epoch-versioned shard maps --------------------
+    /// Control-transaction-type-3-style map announcement (§3.2 scaled to
+    /// key ranges): install shard map `epoch` with the given per-item
+    /// group assignment and in-flight migrating ranges. Served by the
+    /// site loop beside the metrics server — a down engine still learns
+    /// the new map. Installs are idempotent and monotonic: a site
+    /// accepts iff `epoch` is newer than what it holds, so the resharder
+    /// can retry announcements indefinitely and resume after a crash.
+    MapChange {
+        /// The new map's epoch.
+        epoch: u64,
+        /// Owning group per item, indexed by global item id.
+        assignment: Vec<u8>,
+        /// Ranges currently in flight between groups.
+        migrating: Vec<MigratingRange>,
+    },
+    /// A site's acknowledgement of `MapChange`. `ok = false` means the
+    /// site already holds this epoch or a newer one (the install was a
+    /// stale duplicate — harmless, but not counted toward the
+    /// announcement quorum at the older epoch).
+    MapChangeAck {
+        /// The epoch the site now holds.
+        epoch: u64,
+        /// Did this frame advance the site's map?
+        ok: bool,
+    },
+    /// Ask a site for its installed shard map (clients refresh through
+    /// this after a `WrongEpoch` rejection; a restarted resharder
+    /// re-derives the plan phase from the highest installed epoch).
+    MapQuery,
+    /// Reply to `MapQuery`: the site's installed map, if any.
+    MapReply {
+        /// The installed map's epoch (0 = no map installed).
+        epoch: u64,
+        /// Owning group per item.
+        assignment: Vec<u8>,
+        /// Ranges in flight.
+        migrating: Vec<MigratingRange>,
+    },
+    /// Rejection of a `Mgmt(Begin)` routed under a stale shard map: the
+    /// receiving group's installed epoch says this site no longer (or
+    /// not yet) owns some item the transaction touches. The submitter
+    /// refreshes its map and retries against the current owner.
+    WrongEpoch {
+        /// The rejected transaction.
+        txn: TxnId,
+        /// The rejecting site's installed map epoch.
+        epoch: u64,
+    },
+    /// Garbage-collect a finished transaction's decision record at a log
+    /// replica (`XLogStore::retire`): sent by the acting coordinator
+    /// once every branch of the transaction has confirmed its outcome.
+    /// Carries the coordinator's epoch so a deposed coordinator cannot
+    /// retire a record its successor still needs.
+    XLogRetire {
+        /// The retiring coordinator's epoch.
+        epoch: u64,
+        /// The finished transaction.
+        txn: TxnId,
+    },
+
     // ---- Causal trace propagation (observability plane) -----------------
     /// A protocol message annotated with the causal [`TraceId`] of the
     /// client-submitted transaction it belongs to. Purely additive: a
@@ -473,6 +563,12 @@ impl Message {
             Message::XLogAck { .. } => "XLogAck",
             Message::XLogQuery { .. } => "XLogQuery",
             Message::XLogReply { .. } => "XLogReply",
+            Message::MapChange { .. } => "MapChange",
+            Message::MapChangeAck { .. } => "MapChangeAck",
+            Message::MapQuery => "MapQuery",
+            Message::MapReply { .. } => "MapReply",
+            Message::WrongEpoch { .. } => "WrongEpoch",
+            Message::XLogRetire { .. } => "XLogRetire",
             Message::Traced { .. } => "Traced",
             Message::Seq { .. } => "Seq",
             Message::SeqAck { .. } => "SeqAck",
@@ -492,7 +588,9 @@ impl Message {
             | Message::AbortTxn { txn }
             | Message::ShardVote { txn, .. }
             | Message::ShardDecide { txn, .. }
-            | Message::XLogAck { txn, .. } => Some(*txn),
+            | Message::XLogAck { txn, .. }
+            | Message::WrongEpoch { txn, .. }
+            | Message::XLogRetire { txn, .. } => Some(*txn),
             Message::XLogAppend { record, .. } => Some(record.txn),
             Message::ShardPrepare { txn } => Some(txn.id),
             Message::Mgmt(Command::Begin(txn)) => Some(txn.id),
@@ -542,7 +640,13 @@ pub fn is_management(msg: &Message) -> bool {
         | Message::XLogAppend { .. }
         | Message::XLogAck { .. }
         | Message::XLogQuery { .. }
-        | Message::XLogReply { .. } => true,
+        | Message::XLogReply { .. }
+        | Message::MapChange { .. }
+        | Message::MapChangeAck { .. }
+        | Message::MapQuery
+        | Message::MapReply { .. }
+        | Message::WrongEpoch { .. }
+        | Message::XLogRetire { .. } => true,
         Message::ShardEnv { inner, .. } | Message::Traced { inner, .. } => is_management(inner),
         _ => false,
     }
@@ -676,6 +780,46 @@ mod tests {
         assert_eq!(append.txn_id(), Some(TxnId(12)));
         assert_eq!(ack.txn_id(), Some(TxnId(12)));
         assert_eq!(query.txn_id(), None);
+        assert_eq!(reply.txn_id(), None);
+    }
+
+    #[test]
+    fn map_frames_are_management_and_carry_txn_ids() {
+        let range = MigratingRange {
+            lo: 4,
+            hi: 8,
+            donor: 0,
+            recipient: 1,
+            frozen: false,
+        };
+        assert!(range.contains(4) && range.contains(7));
+        assert!(!range.contains(8) && !range.contains(3));
+        let change = Message::MapChange {
+            epoch: 3,
+            assignment: vec![0, 0, 1, 1],
+            migrating: vec![range],
+        };
+        let ack = Message::MapChangeAck { epoch: 3, ok: true };
+        let query = Message::MapQuery;
+        let reply = Message::MapReply {
+            epoch: 3,
+            assignment: vec![0, 0, 1, 1],
+            migrating: vec![range],
+        };
+        let wrong = Message::WrongEpoch {
+            txn: TxnId(9),
+            epoch: 3,
+        };
+        let retire = Message::XLogRetire {
+            epoch: 5,
+            txn: TxnId(9),
+        };
+        for m in [&change, &ack, &query, &reply, &wrong, &retire] {
+            assert!(is_management(m), "{} must be management-plane", m.kind());
+        }
+        assert_eq!(wrong.txn_id(), Some(TxnId(9)));
+        assert_eq!(retire.txn_id(), Some(TxnId(9)));
+        assert_eq!(change.txn_id(), None);
         assert_eq!(reply.txn_id(), None);
     }
 

@@ -19,6 +19,9 @@ pub struct AbortBreakdown {
     pub site_not_operational: u64,
     /// A cross-shard coordinator decided global abort for this branch.
     pub global_abort: u64,
+    /// The transaction was routed under a stale shard map (live
+    /// resharding) and rejected for retry at the current owner.
+    pub stale_shard_map: u64,
 }
 
 impl AbortBreakdown {
@@ -36,6 +39,7 @@ impl AbortBreakdown {
             AbortReason::SessionMismatch => self.session_mismatch,
             AbortReason::SiteNotOperational => self.site_not_operational,
             AbortReason::GlobalAbort => self.global_abort,
+            AbortReason::StaleShardMap => self.stale_shard_map,
         }
     }
 
@@ -47,6 +51,7 @@ impl AbortBreakdown {
             + self.session_mismatch
             + self.site_not_operational
             + self.global_abort
+            + self.stale_shard_map
     }
 
     /// `(short label, count)` pairs for non-zero reasons, in enum order.
@@ -58,6 +63,7 @@ impl AbortBreakdown {
             ("session-mismatch", self.session_mismatch),
             ("site-down", self.site_not_operational),
             ("global-abort", self.global_abort),
+            ("stale-map", self.stale_shard_map),
         ]
         .into_iter()
         .filter(|(_, n)| *n > 0)
@@ -72,6 +78,7 @@ impl AbortBreakdown {
             AbortReason::SessionMismatch => &mut self.session_mismatch,
             AbortReason::SiteNotOperational => &mut self.site_not_operational,
             AbortReason::GlobalAbort => &mut self.global_abort,
+            AbortReason::StaleShardMap => &mut self.stale_shard_map,
         }
     }
 }

@@ -286,6 +286,24 @@ pub enum EventKind {
         /// The site it did it to.
         target: SiteId,
     },
+    /// The resharder announced a migration: shard map `epoch` installed
+    /// with ranges in the `Migrating` state (copying begins).
+    MigrateStart {
+        /// The announced map epoch.
+        epoch: u64,
+    },
+    /// A copier transaction streamed one migrating item's committed
+    /// state from donor to recipient.
+    MigrateCopy {
+        /// The copied item (global id).
+        item: u32,
+    },
+    /// The resharder installed the cutover map: the recipients own
+    /// their ranges alone from `epoch` on.
+    MigrateCutover {
+        /// The cutover map epoch.
+        epoch: u64,
+    },
 }
 
 /// What a chaos-schedule entry did to a site (see [`EventKind::Chaos`]).
@@ -359,6 +377,9 @@ impl EventKind {
             EventKind::XTakeover { .. } => "x_takeover",
             EventKind::WalFsync { .. } => "wal_fsync",
             EventKind::Chaos { .. } => "chaos",
+            EventKind::MigrateStart { .. } => "migrate_start",
+            EventKind::MigrateCopy { .. } => "migrate_copy",
+            EventKind::MigrateCutover { .. } => "migrate_cutover",
         }
     }
 }

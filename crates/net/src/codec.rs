@@ -9,8 +9,8 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use miniraid_core::error::AbortReason;
 use miniraid_core::ids::{ItemId, ReqId, SessionNumber, SiteId, TxnId};
 use miniraid_core::messages::{
-    status_code, status_from_code, Command, Message, TxnOutcome, TxnReport, TxnStats,
-    XDecisionRecord,
+    status_code, status_from_code, Command, Message, MigratingRange, TxnOutcome, TxnReport,
+    TxnStats, XDecisionRecord,
 };
 use miniraid_core::ops::{Operation, Transaction};
 use miniraid_core::session::SiteRecord;
@@ -71,6 +71,18 @@ const TAG_XLOG_ACK: u8 = 33;
 const TAG_XLOG_QUERY: u8 = 34;
 /// XDecisionLog read reply: all stored records.
 const TAG_XLOG_REPLY: u8 = 35;
+/// Live-reshard map announcement: install an epoch-versioned shard map.
+const TAG_MAP_CHANGE: u8 = 36;
+/// Map-install acknowledgement (monotonic epoch check).
+const TAG_MAP_CHANGE_ACK: u8 = 37;
+/// Ask a site for its installed shard map.
+const TAG_MAP_QUERY: u8 = 38;
+/// Reply carrying a site's installed shard map.
+const TAG_MAP_REPLY: u8 = 39;
+/// Stale-map rejection of a routed transaction.
+const TAG_WRONG_EPOCH: u8 = 40;
+/// XDecisionLog garbage collection: drop a finished txn's record.
+const TAG_XLOG_RETIRE: u8 = 41;
 
 fn err(reason: &'static str) -> NetError {
     NetError::Codec(reason)
@@ -224,6 +236,7 @@ fn abort_code(reason: AbortReason) -> u8 {
         AbortReason::SessionMismatch => 3,
         AbortReason::SiteNotOperational => 4,
         AbortReason::GlobalAbort => 5,
+        AbortReason::StaleShardMap => 6,
     }
 }
 
@@ -235,6 +248,7 @@ fn abort_from_code(code: u8) -> Result<AbortReason, NetError> {
         3 => AbortReason::SessionMismatch,
         4 => AbortReason::SiteNotOperational,
         5 => AbortReason::GlobalAbort,
+        6 => AbortReason::StaleShardMap,
         _ => return Err(err("unknown abort reason")),
     })
 }
@@ -288,6 +302,40 @@ fn get_xdecision_record(buf: &mut impl Buf) -> Result<XDecisionRecord, NetError>
         votes,
         outcome,
     })
+}
+
+fn put_shard_map(buf: &mut BytesMut, assignment: &[u8], migrating: &[MigratingRange]) {
+    put_len(buf, assignment.len());
+    buf.put_slice(assignment);
+    put_len(buf, migrating.len());
+    for r in migrating {
+        buf.put_u32_le(r.lo);
+        buf.put_u32_le(r.hi);
+        buf.put_u8(r.donor);
+        buf.put_u8(r.recipient);
+        buf.put_u8(r.frozen as u8);
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn get_shard_map(buf: &mut impl Buf) -> Result<(Vec<u8>, Vec<MigratingRange>), NetError> {
+    let n = get_len(buf, 1 << 24)?;
+    need(buf, n)?;
+    let mut assignment = vec![0u8; n];
+    buf.copy_to_slice(&mut assignment);
+    let n = get_len(buf, 1 << 16)?;
+    let mut migrating = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        need(buf, 11)?;
+        migrating.push(MigratingRange {
+            lo: buf.get_u32_le(),
+            hi: buf.get_u32_le(),
+            donor: buf.get_u8(),
+            recipient: buf.get_u8(),
+            frozen: buf.get_u8() != 0,
+        });
+    }
+    Ok((assignment, migrating))
 }
 
 fn put_report(buf: &mut BytesMut, report: &TxnReport) {
@@ -539,6 +587,42 @@ pub fn encode_into(buf: &mut BytesMut, msg: &Message) {
             for record in records {
                 put_xdecision_record(buf, record);
             }
+        }
+        Message::MapChange {
+            epoch,
+            assignment,
+            migrating,
+        } => {
+            buf.put_u8(TAG_MAP_CHANGE);
+            buf.put_u64_le(*epoch);
+            put_shard_map(buf, assignment, migrating);
+        }
+        Message::MapChangeAck { epoch, ok } => {
+            buf.put_u8(TAG_MAP_CHANGE_ACK);
+            buf.put_u64_le(*epoch);
+            buf.put_u8(*ok as u8);
+        }
+        Message::MapQuery => {
+            buf.put_u8(TAG_MAP_QUERY);
+        }
+        Message::MapReply {
+            epoch,
+            assignment,
+            migrating,
+        } => {
+            buf.put_u8(TAG_MAP_REPLY);
+            buf.put_u64_le(*epoch);
+            put_shard_map(buf, assignment, migrating);
+        }
+        Message::WrongEpoch { txn, epoch } => {
+            buf.put_u8(TAG_WRONG_EPOCH);
+            buf.put_u64_le(txn.0);
+            buf.put_u64_le(*epoch);
+        }
+        Message::XLogRetire { epoch, txn } => {
+            buf.put_u8(TAG_XLOG_RETIRE);
+            buf.put_u64_le(*epoch);
+            buf.put_u64_le(txn.0);
         }
         Message::Traced { trace, inner } => {
             buf.put_u8(TAG_TRACED);
@@ -863,6 +947,48 @@ pub fn decode(mut buf: &[u8]) -> Result<Message, NetError> {
             }
             Message::XLogReply { epoch, records }
         }
+        TAG_MAP_CHANGE => {
+            need(&buf, 8)?;
+            let epoch = buf.get_u64_le();
+            let (assignment, migrating) = get_shard_map(&mut buf)?;
+            Message::MapChange {
+                epoch,
+                assignment,
+                migrating,
+            }
+        }
+        TAG_MAP_CHANGE_ACK => {
+            need(&buf, 9)?;
+            Message::MapChangeAck {
+                epoch: buf.get_u64_le(),
+                ok: buf.get_u8() != 0,
+            }
+        }
+        TAG_MAP_QUERY => Message::MapQuery,
+        TAG_MAP_REPLY => {
+            need(&buf, 8)?;
+            let epoch = buf.get_u64_le();
+            let (assignment, migrating) = get_shard_map(&mut buf)?;
+            Message::MapReply {
+                epoch,
+                assignment,
+                migrating,
+            }
+        }
+        TAG_WRONG_EPOCH => {
+            need(&buf, 16)?;
+            Message::WrongEpoch {
+                txn: TxnId(buf.get_u64_le()),
+                epoch: buf.get_u64_le(),
+            }
+        }
+        TAG_XLOG_RETIRE => {
+            need(&buf, 16)?;
+            Message::XLogRetire {
+                epoch: buf.get_u64_le(),
+                txn: TxnId(buf.get_u64_le()),
+            }
+        }
         TAG_TRACED => {
             need(&buf, 9)?;
             let trace = buf.get_u64_le();
@@ -1094,6 +1220,32 @@ mod tests {
                     outcome: Some(true),
                 }],
             },
+            Message::MapChange {
+                epoch: 6,
+                assignment: vec![0, 0, 1, 1, 2],
+                migrating: vec![MigratingRange {
+                    lo: 2,
+                    hi: 4,
+                    donor: 1,
+                    recipient: 2,
+                    frozen: true,
+                }],
+            },
+            Message::MapChangeAck { epoch: 6, ok: true },
+            Message::MapQuery,
+            Message::MapReply {
+                epoch: 0,
+                assignment: vec![],
+                migrating: vec![],
+            },
+            Message::WrongEpoch {
+                txn: TxnId(14),
+                epoch: 6,
+            },
+            Message::XLogRetire {
+                epoch: 4,
+                txn: TxnId(13),
+            },
         ];
         for msg in msgs {
             roundtrip(msg);
@@ -1153,6 +1305,62 @@ mod tests {
         for cut in 0..enc.len() {
             assert!(decode(&enc[..cut]).is_err(), "truncation at {cut} accepted");
         }
+    }
+
+    #[test]
+    fn map_frames_nest_in_envelopes_and_reject_garbage() {
+        let change = Message::MapChange {
+            epoch: 9,
+            assignment: vec![0, 1, 1, 0],
+            migrating: vec![MigratingRange {
+                lo: 1,
+                hi: 3,
+                donor: 1,
+                recipient: 0,
+                frozen: false,
+            }],
+        };
+        // Legal stack: map announcements ride the same shard envelope
+        // (and optionally the session layer) as everything else.
+        roundtrip(Message::Seq {
+            epoch: 1,
+            seq: 3,
+            inner: Box::new(Message::ShardEnv {
+                shard: 1,
+                inner: Box::new(change.clone()),
+            }),
+        });
+        roundtrip(Message::Traced {
+            trace: 17,
+            inner: Box::new(Message::WrongEpoch {
+                txn: TxnId(5),
+                epoch: 9,
+            }),
+        });
+        // Illegal: envelopes inside a shard envelope still rejected with
+        // the new frames in the batch position.
+        let mut raw = BytesMut::new();
+        raw.put_u8(TAG_SHARD_ENV);
+        raw.put_u8(0);
+        encode_batch_into(&mut raw, std::slice::from_ref(&change));
+        assert!(decode(&raw).is_err());
+        // Truncations error cleanly.
+        let enc = encode(&change);
+        for cut in 0..enc.len() {
+            assert!(decode(&enc[..cut]).is_err(), "truncation at {cut} accepted");
+        }
+        let enc = encode(&Message::XLogRetire {
+            epoch: 2,
+            txn: TxnId(8),
+        });
+        for cut in 0..enc.len() {
+            assert!(decode(&enc[..cut]).is_err(), "truncation at {cut} accepted");
+        }
+        // An absurd assignment length is rejected, not allocated.
+        let mut raw = vec![TAG_MAP_REPLY];
+        raw.extend_from_slice(&1u64.to_le_bytes());
+        raw.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(decode(&raw).is_err());
     }
 
     #[test]

@@ -4,7 +4,9 @@
 use bytes::BytesMut;
 use miniraid_core::error::AbortReason;
 use miniraid_core::ids::{ItemId, ReqId, SessionNumber, SiteId, TxnId};
-use miniraid_core::messages::{Command, Message, TxnOutcome, TxnReport, TxnStats, XDecisionRecord};
+use miniraid_core::messages::{
+    Command, Message, MigratingRange, TxnOutcome, TxnReport, TxnStats, XDecisionRecord,
+};
 use miniraid_core::ops::{Operation, Transaction};
 use miniraid_core::session::{SiteRecord, SiteStatus};
 use miniraid_net::codec::{decode, decode_many, encode, encode_batch_into, encode_into};
@@ -46,6 +48,8 @@ fn arb_reason() -> impl Strategy<Value = AbortReason> {
         Just(AbortReason::ParticipantFailed),
         Just(AbortReason::SessionMismatch),
         Just(AbortReason::SiteNotOperational),
+        Just(AbortReason::GlobalAbort),
+        Just(AbortReason::StaleShardMap),
     ]
 }
 
@@ -282,6 +286,65 @@ fn arb_xlog_message() -> impl Strategy<Value = Message> {
     ]
 }
 
+fn arb_migrating_ranges() -> impl Strategy<Value = Vec<MigratingRange>> {
+    proptest::collection::vec(
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u8>(),
+            any::<u8>(),
+            any::<bool>(),
+        )
+            .prop_map(|(lo, hi, donor, recipient, frozen)| MigratingRange {
+                lo,
+                hi,
+                donor,
+                recipient,
+                frozen,
+            }),
+        0..4,
+    )
+}
+
+/// The live-resharding map frames (TAG 36–41): the epoch-versioned map
+/// announcement and its ack, the query/reply pair a restarted client
+/// refreshes from, the stale-route rejection, and the decision-log GC
+/// frame that rides the same paths.
+fn arb_map_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..32),
+            arb_migrating_ranges(),
+        )
+            .prop_map(|(epoch, assignment, migrating)| Message::MapChange {
+                epoch,
+                assignment,
+                migrating,
+            }),
+        (any::<u64>(), any::<bool>()).prop_map(|(epoch, ok)| Message::MapChangeAck { epoch, ok }),
+        Just(Message::MapQuery),
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..32),
+            arb_migrating_ranges(),
+        )
+            .prop_map(|(epoch, assignment, migrating)| Message::MapReply {
+                epoch,
+                assignment,
+                migrating,
+            }),
+        (any::<u64>(), any::<u64>()).prop_map(|(txn, epoch)| Message::WrongEpoch {
+            txn: TxnId(txn),
+            epoch,
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(epoch, txn)| Message::XLogRetire {
+            epoch,
+            txn: TxnId(txn),
+        }),
+    ]
+}
+
 /// Payloads legal inside a shard envelope: any plain protocol message,
 /// one of the cross-shard 2PC frames (TAG 28–30), or one of the
 /// decision-log frames (TAG 32–35, which travel in the log group's
@@ -291,6 +354,7 @@ fn arb_shard_payload() -> impl Strategy<Value = Message> {
     prop_oneof![
         arb_message(),
         arb_xlog_message(),
+        arb_map_message(),
         (
             any::<u64>(),
             proptest::collection::vec(arb_operation(), 0..12)
@@ -514,6 +578,83 @@ proptest! {
     ) {
         // A log frame rides in exactly one envelope; envelope-in-envelope
         // around it is malformed like any other nested envelope.
+        let nested = Message::ShardEnv {
+            shard: outer,
+            inner: Box::new(Message::ShardEnv {
+                shard,
+                inner: Box::new(msg),
+            }),
+        };
+        prop_assert!(decode(&encode(&nested)).is_err());
+    }
+
+    #[test]
+    fn map_frames_roundtrip(msg in arb_map_message()) {
+        let encoded = encode(&msg);
+        let decoded = decode(&encoded).expect("well-formed map frame decodes");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn map_frames_roundtrip_under_envelopes(
+        shard in any::<u8>(),
+        epoch in any::<u64>(),
+        seq in any::<u64>(),
+        msg in arb_map_message(),
+    ) {
+        // The resharder announces maps in the target group's envelope;
+        // the session layer may wrap that on a reliable link — the full
+        // legal stack being `Seq { ShardEnv { Map* } }`.
+        let enveloped = Message::ShardEnv {
+            shard,
+            inner: Box::new(msg),
+        };
+        let encoded = encode(&enveloped);
+        prop_assert_eq!(&decode(&encoded).expect("enveloped map frame decodes"), &enveloped);
+
+        let sequenced = Message::Seq {
+            epoch,
+            seq,
+            inner: Box::new(enveloped),
+        };
+        let encoded = encode(&sequenced);
+        prop_assert_eq!(decode(&encoded).expect("sequenced map frame decodes"), sequenced);
+    }
+
+    #[test]
+    fn map_frames_interleave_in_batches(
+        map_frames in proptest::collection::vec(arb_map_message(), 1..4),
+        plain_frames in proptest::collection::vec(arb_wire_message(), 1..4),
+    ) {
+        // Map announcements and WrongEpoch rejections share coalesced
+        // batches with foreground replication traffic during a live
+        // migration; interleaving must round-trip in order.
+        let mut msgs = Vec::new();
+        let mut maps = map_frames.into_iter();
+        let mut plains = plain_frames.into_iter();
+        loop {
+            match (maps.next(), plains.next()) {
+                (None, None) => break,
+                (m, p) => {
+                    msgs.extend(m);
+                    msgs.extend(p);
+                }
+            }
+        }
+        let mut buf = BytesMut::new();
+        encode_batch_into(&mut buf, &msgs);
+        let decoded = decode_many(&buf).expect("interleaved map batch decodes");
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn map_frames_reject_nested_envelopes(
+        outer in any::<u8>(),
+        shard in any::<u8>(),
+        msg in arb_map_message(),
+    ) {
+        // Like every other payload, a map frame rides in exactly one
+        // envelope; envelope-in-envelope around it is malformed.
         let nested = Message::ShardEnv {
             shard: outer,
             inner: Box::new(Message::ShardEnv {

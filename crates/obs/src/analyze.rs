@@ -101,6 +101,52 @@ pub fn read_trace(path: impl AsRef<Path>) -> Result<Vec<TraceEvent>, String> {
     Ok(events)
 }
 
+/// Read a JSONL trace stream and stamp every event with `site` — the
+/// stream's *physical* identity. Sharded engines run under group-local
+/// site ids (each group has its own `SiteId(0)`); the physical identity
+/// lives only in the stream's file name, so it must be re-stamped at
+/// read time or two groups' participants collapse onto each other in
+/// the span tree.
+pub fn read_trace_sited(path: impl AsRef<Path>, site: SiteId) -> Result<Vec<TraceEvent>, String> {
+    let mut events = read_trace(path)?;
+    for e in &mut events {
+        e.site = site;
+    }
+    Ok(events)
+}
+
+/// Read a whole trace directory — every `site-N.jsonl` stream (stamped
+/// with its physical site id `N`) plus `client.jsonl` if present — into
+/// one merged event stream ready for [`analyze`] or [`assemble_spans`].
+/// Errors if the directory holds no streams at all.
+pub fn read_trace_dir(dir: impl AsRef<Path>) -> Result<Vec<TraceEvent>, String> {
+    let dir = dir.as_ref();
+    let mut all = Vec::new();
+    let mut streams = 0u32;
+    // Site ids are dense from 0; probe upward until the first gap
+    // rather than trusting directory iteration order.
+    for i in 0..=u8::MAX {
+        let path = dir.join(format!("site-{i}.jsonl"));
+        if !path.is_file() {
+            break;
+        }
+        all.extend(read_trace_sited(&path, SiteId(i))?);
+        streams += 1;
+    }
+    let client = dir.join("client.jsonl");
+    if client.is_file() {
+        all.extend(read_trace(&client)?);
+        streams += 1;
+    }
+    if streams == 0 {
+        return Err(format!(
+            "{}: no site-N.jsonl or client.jsonl trace streams",
+            dir.display()
+        ));
+    }
+    Ok(all)
+}
+
 /// Replay events (any site order; sorted internally by site's logical
 /// stamp) into per-transaction breakdowns.
 pub fn analyze(events: &[TraceEvent]) -> TraceAnalysis {

@@ -35,6 +35,7 @@ pub fn reason_name(reason: AbortReason) -> &'static str {
         AbortReason::SessionMismatch => "session_mismatch",
         AbortReason::SiteNotOperational => "site_not_operational",
         AbortReason::GlobalAbort => "global_abort",
+        AbortReason::StaleShardMap => "stale_shard_map",
     }
 }
 
@@ -46,6 +47,7 @@ fn reason_from_name(name: &str) -> Option<AbortReason> {
         "session_mismatch" => AbortReason::SessionMismatch,
         "site_not_operational" => AbortReason::SiteNotOperational,
         "global_abort" => AbortReason::GlobalAbort,
+        "stale_shard_map" => AbortReason::StaleShardMap,
         _ => return None,
     })
 }
@@ -137,6 +139,12 @@ pub fn encode_event_into(event: &TraceEvent, s: &mut String) {
         }
         EventKind::WalFsync { retired } => {
             let _ = write!(s, ",\"retired\":{retired}");
+        }
+        EventKind::MigrateStart { epoch } | EventKind::MigrateCutover { epoch } => {
+            let _ = write!(s, ",\"epoch\":{epoch}");
+        }
+        EventKind::MigrateCopy { item } => {
+            let _ = write!(s, ",\"item\":{item}");
         }
         EventKind::Chaos { action, target } => {
             let _ = write!(
@@ -367,6 +375,15 @@ pub fn parse_event(line: &str) -> Result<TraceEvent, String> {
         "wal_fsync" => EventKind::WalFsync {
             retired: get_num("retired").ok_or("wal_fsync missing \"retired\"")? as u32,
         },
+        "migrate_start" => EventKind::MigrateStart {
+            epoch: get_num("epoch").ok_or("migrate_start missing \"epoch\"")?,
+        },
+        "migrate_copy" => EventKind::MigrateCopy {
+            item: get_num("item").ok_or("migrate_copy missing \"item\"")? as u32,
+        },
+        "migrate_cutover" => EventKind::MigrateCutover {
+            epoch: get_num("epoch").ok_or("migrate_cutover missing \"epoch\"")?,
+        },
         "chaos" => EventKind::Chaos {
             action: get_str("action")
                 .and_then(miniraid_core::trace::ChaosAction::from_name)
@@ -513,6 +530,9 @@ mod tests {
             EventKind::XTakeover { commit: true },
             EventKind::XTakeover { commit: false },
             EventKind::WalFsync { retired: 3 },
+            EventKind::MigrateStart { epoch: 4 },
+            EventKind::MigrateCopy { item: 17 },
+            EventKind::MigrateCutover { epoch: 6 },
             EventKind::Chaos {
                 action: miniraid_core::trace::ChaosAction::Kill,
                 target: SiteId(2),

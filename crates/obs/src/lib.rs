@@ -30,8 +30,8 @@ pub mod sink;
 pub mod watch;
 
 pub use analyze::{
-    analyze, assemble_spans, read_trace, render_report, render_spans, SpanNode, TraceAnalysis,
-    TraceSpanTree, TxnBreakdown, TxnEnd,
+    analyze, assemble_spans, read_trace, read_trace_dir, read_trace_sited, render_report,
+    render_spans, SpanNode, TraceAnalysis, TraceSpanTree, TxnBreakdown, TxnEnd,
 };
 pub use hist::{LatencyHistogram, OpenLoopRecorder};
 pub use hub::{HubSnapshot, MetricsHub, ShardEngineStats, ShardedSnapshot};

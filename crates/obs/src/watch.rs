@@ -39,6 +39,15 @@ pub struct SiteSample {
     pub wal_fsyncs: u64,
     /// Cumulative reliable-transport retransmissions.
     pub retransmits: u64,
+    /// `miniraid_reshard_map_epoch` gauge: the installed shard-map
+    /// epoch (0 when the site runs unmapped).
+    pub map_epoch: u64,
+    /// `miniraid_reshard_migrating_items` gauge: items still inside
+    /// in-flight ranges under the installed map.
+    pub migrating_items: u64,
+    /// `miniraid_reshard_copy_installs` counter: copy/write-through
+    /// legs admitted as a migration recipient.
+    pub copy_installs: u64,
 }
 
 impl SiteSample {
@@ -119,6 +128,9 @@ pub fn parse_site_sample(site: u8, text: &str) -> SiteSample {
             }
             "miniraid_wal_fsyncs" => sample.wal_fsyncs = value as u64,
             "miniraid_transport_retransmits" => sample.retransmits = value as u64,
+            "miniraid_reshard_map_epoch" => sample.map_epoch = value as u64,
+            "miniraid_reshard_migrating_items" => sample.migrating_items = value as u64,
+            "miniraid_reshard_copy_installs" => sample.copy_installs = value as u64,
             _ => {}
         }
     }
@@ -150,7 +162,7 @@ pub fn render_watch(header: &str, samples: &[SiteSample], prev: &[SiteSample]) -
     let _ = writeln!(out, "{header}");
     let _ = writeln!(
         out,
-        "{:<5} {:<6} {:<8} {:>10} {:>10} {:>12} {:>10} {:>10} {:>8}  aborts (Δ)",
+        "{:<5} {:<6} {:<8} {:>10} {:>10} {:>12} {:>10} {:>10} {:>8} {:>10}  aborts (Δ)",
         "site",
         "state",
         "session",
@@ -160,10 +172,18 @@ pub fn render_watch(header: &str, samples: &[SiteSample], prev: &[SiteSample]) -
         "commits",
         "fsync/txn",
         "rexmit",
+        "map/migr",
     );
     for s in samples {
         let before = prev.iter().find(|p| p.site == s.site);
-        let deltas = abort_deltas(before, s);
+        let mut deltas = abort_deltas(before, s);
+        // Copy-install progress rides the delta column: a recipient
+        // mid-migration shows `copies+N` each round the copier (or the
+        // commit-time write-through) lands legs on it.
+        let copied_before = before.map(|p| p.copy_installs).unwrap_or(0);
+        if s.copy_installs > copied_before {
+            deltas.push(("copies".into(), s.copy_installs - copied_before));
+        }
         let delta_str = if deltas.is_empty() {
             "-".to_string()
         } else {
@@ -173,9 +193,16 @@ pub fn render_watch(header: &str, samples: &[SiteSample], prev: &[SiteSample]) -
                 .collect::<Vec<_>>()
                 .join(" ")
         };
+        // `-` for an unmapped site; `e<epoch>:<migrating>` once a shard
+        // map is installed (migrating drops to 0 at cutover).
+        let reshard = if s.map_epoch == 0 {
+            "-".to_string()
+        } else {
+            format!("e{}:{}", s.map_epoch, s.migrating_items)
+        };
         let _ = writeln!(
             out,
-            "{:<5} {:<6} {:<8} {:>10} {:>10} {:>12} {:>10} {:>10.2} {:>8}  {}",
+            "{:<5} {:<6} {:<8} {:>10} {:>10} {:>12} {:>10} {:>10.2} {:>8} {:>10}  {}",
             s.site,
             if s.up { "up" } else { "DOWN" },
             s.session,
@@ -185,6 +212,7 @@ pub fn render_watch(header: &str, samples: &[SiteSample], prev: &[SiteSample]) -
             s.txns_committed,
             s.fsyncs_per_txn(),
             s.retransmits,
+            reshard,
             delta_str
         );
     }
@@ -201,7 +229,8 @@ pub fn render_watch_jsonl(round: u64, sample: &SiteSample, prev: Option<&SiteSam
         out,
         "{{\"round\":{round},\"site\":{},\"up\":{},\"session\":{},\
          \"commit_p50_us\":{},\"commit_p99_us\":{},\"lock_wait_p99_us\":{},\
-         \"txns_committed\":{},\"wal_fsyncs\":{},\"retransmits\":{},\"abort_deltas\":{{",
+         \"txns_committed\":{},\"wal_fsyncs\":{},\"retransmits\":{},\
+         \"map_epoch\":{},\"migrating_items\":{},\"copy_installs\":{},\"abort_deltas\":{{",
         sample.site,
         sample.up,
         sample.session,
@@ -211,6 +240,9 @@ pub fn render_watch_jsonl(round: u64, sample: &SiteSample, prev: Option<&SiteSam
         sample.txns_committed,
         sample.wal_fsyncs,
         sample.retransmits,
+        sample.map_epoch,
+        sample.migrating_items,
+        sample.copy_installs,
     );
     for (i, (reason, n)) in deltas.iter().enumerate() {
         if i > 0 {
@@ -246,6 +278,12 @@ miniraid_commit_latency_us{site=\"2\",quantile=\"0.9\"} 300
 miniraid_commit_latency_us{site=\"2\",quantile=\"0.99\"} 900
 # TYPE miniraid_lock_wait_us summary
 miniraid_lock_wait_us{site=\"2\",quantile=\"0.99\"} 55
+# TYPE miniraid_reshard_map_epoch gauge
+miniraid_reshard_map_epoch{site=\"2\"} 3
+# TYPE miniraid_reshard_migrating_items gauge
+miniraid_reshard_migrating_items{site=\"2\"} 12
+# TYPE miniraid_reshard_copy_installs counter
+miniraid_reshard_copy_installs{site=\"2\"} 9
 ";
 
     #[test]
@@ -261,6 +299,9 @@ miniraid_lock_wait_us{site=\"2\",quantile=\"0.99\"} 55
         assert_eq!(s.retransmits, 5);
         assert_eq!(s.aborts_total(), 4);
         assert!((s.fsyncs_per_txn() - 0.25).abs() < 1e-9);
+        assert_eq!(s.map_epoch, 3);
+        assert_eq!(s.migrating_items, 12);
+        assert_eq!(s.copy_installs, 9);
     }
 
     #[test]
@@ -298,6 +339,21 @@ miniraid_lock_wait_us{site=\"2\",quantile=\"0.99\"} 55
         assert!(table.starts_with("header line\n"));
         assert!(table.contains("DOWN"));
         assert!(table.contains("data_unavailable+2"));
+    }
+
+    #[test]
+    fn migration_progress_has_a_column_and_delta() {
+        let s = parse_site_sample(2, EXPO);
+        let mut prev = s.clone();
+        prev.copy_installs = 4;
+        let table = render_watch("h", std::slice::from_ref(&s), std::slice::from_ref(&prev));
+        assert!(table.contains("map/migr"));
+        assert!(table.contains("e3:12"));
+        assert!(table.contains("copies+5"));
+        // An unmapped site renders a dash, not a zero epoch.
+        let bare = parse_site_sample(0, "# nothing\n");
+        let table = render_watch("h", &[bare], &[]);
+        assert!(table.contains(" -"));
     }
 
     #[test]

@@ -26,11 +26,13 @@
 //! one group triggers recovery machinery only there. See DESIGN.md
 //! §10 for the full argument.
 
+pub mod map;
 pub mod router;
 pub mod spec;
 pub mod xcoord;
 pub mod xlog;
 
+pub use map::{MapStore, MigrationPlan, PlanOp, RangeState, ShardMap};
 pub use router::{classify, write_only_branch, Route};
 pub use spec::ShardSpec;
 pub use xcoord::{XAction, XCoordinator, XMetrics, XPhase};

@@ -1,0 +1,758 @@
+//! Epoch-versioned, live-reconfigurable shard maps.
+//!
+//! [`ShardSpec`]'s striped assignment is frozen at launch; a cluster
+//! that can *grow* needs the paper's §3.2 machinery at cluster scope —
+//! control transactions that announce replication-map changes and
+//! copier transactions that stream committed state to its new home.
+//! [`ShardMap`] is that replication map made first-class: an explicit
+//! per-item group assignment plus the set of key ranges currently in
+//! flight between groups, versioned by a monotonically increasing
+//! epoch.
+//!
+//! A migration walks each range through a four-epoch state machine:
+//!
+//! ```text
+//! e   Owned(donor)                 — steady state
+//! e+1 Migrating{frozen: false}     — donor serves reads AND writes;
+//!                                    committed writes are written
+//!                                    through to the recipient; the
+//!                                    resharder's copier streams the
+//!                                    backlog
+//! e+2 Migrating{frozen: true}      — donor read-only; the final sweep
+//!                                    re-copies from a write-quiesced
+//!                                    donor, so no writer races it
+//! e+3 Owned(recipient)             — cutover; the donor rejects
+//! ```
+//!
+//! Installs are monotonic and idempotent (a site accepts a map iff its
+//! epoch is newer than the installed one), so announcements can be
+//! retried forever and a crashed resharder resumes by reading the
+//! highest installed epoch back. The *no-double-owner* invariant falls
+//! out of the state machine: in every epoch, at most one group accepts
+//! general writes for an item (the donor until freeze, nobody during
+//! the frozen window, the recipient after cutover — the recipient's
+//! copy legs are version-stamped installs of *already committed* donor
+//! state, not independent commits).
+//!
+//! [`ShardSpec`]: crate::spec::ShardSpec
+
+use miniraid_core::messages::{Message, MigratingRange};
+use miniraid_core::ops::{Operation, Transaction};
+
+/// Where one item stands under a [`ShardMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeState {
+    /// Owned outright by one group.
+    Owned(u8),
+    /// In flight between two groups.
+    Migrating {
+        /// The group that owns the item today.
+        donor: u8,
+        /// The group the item is moving to.
+        recipient: u8,
+        /// True once the donor is read-only for the final sweep.
+        frozen: bool,
+    },
+}
+
+/// One operation of a migration plan, expressed over global key ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOp {
+    /// Move items `lo..hi` to group `to`.
+    Move {
+        /// First item (inclusive).
+        lo: u32,
+        /// One past the last item (exclusive).
+        hi: u32,
+        /// Destination group.
+        to: u8,
+    },
+    /// Split `lo..hi` at `at`: the upper half `at..hi` moves to `to`,
+    /// the lower half stays put.
+    Split {
+        /// First item (inclusive).
+        lo: u32,
+        /// One past the last item (exclusive).
+        hi: u32,
+        /// The split point (`lo < at < hi`).
+        at: u32,
+        /// Destination group for the upper half.
+        to: u8,
+    },
+    /// Merge everything group `from` owns into group `to` (the donor
+    /// group ends the plan empty).
+    Merge {
+        /// The group being emptied.
+        from: u8,
+        /// The group absorbing its items.
+        to: u8,
+    },
+}
+
+/// A migration plan: a list of range operations applied against the
+/// current map to derive the set of [`MigratingRange`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// The operations, applied in order.
+    pub ops: Vec<PlanOp>,
+}
+
+/// The epoch-versioned shard map: who owns each item, and which ranges
+/// are currently in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Version; higher epochs supersede lower ones everywhere.
+    pub epoch: u64,
+    /// Owning group per item, indexed by global item id.
+    pub assignment: Vec<u8>,
+    /// Ranges in flight (disjoint; empty in steady state).
+    pub migrating: Vec<MigratingRange>,
+}
+
+impl ShardMap {
+    /// The launch map: `k` items partitioned into `n_groups` contiguous
+    /// blocks (block partition, not the [`ShardSpec`] stripe — plan
+    /// ranges read naturally over blocks), at epoch 1.
+    ///
+    /// [`ShardSpec`]: crate::spec::ShardSpec
+    pub fn blocked(n_groups: u8, k: u32) -> Self {
+        assert!(n_groups > 0, "at least one group");
+        let per = k.div_ceil(n_groups as u32).max(1);
+        let assignment = (0..k)
+            .map(|i| ((i / per) as u8).min(n_groups - 1))
+            .collect();
+        ShardMap {
+            epoch: 1,
+            assignment,
+            migrating: Vec::new(),
+        }
+    }
+
+    /// Total items the map covers.
+    pub fn len(&self) -> u32 {
+        self.assignment.len() as u32
+    }
+
+    /// True when the map covers no items.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// The group that owns `item` under this map's assignment (the
+    /// donor while a migration is in flight).
+    pub fn owner(&self, item: u32) -> u8 {
+        self.assignment[item as usize]
+    }
+
+    /// The group that will own `item` once every in-flight migration
+    /// completes (the recipient for migrating items).
+    pub fn post_plan_owner(&self, item: u32) -> u8 {
+        match self.migration_for(item) {
+            Some(range) => range.recipient,
+            None => self.owner(item),
+        }
+    }
+
+    /// The in-flight range containing `item`, if any.
+    pub fn migration_for(&self, item: u32) -> Option<&MigratingRange> {
+        self.migrating.iter().find(|r| r.contains(item))
+    }
+
+    /// Where `item` stands: owned outright or in flight.
+    pub fn state(&self, item: u32) -> RangeState {
+        match self.migration_for(item) {
+            Some(r) => RangeState::Migrating {
+                donor: r.donor,
+                recipient: r.recipient,
+                frozen: r.frozen,
+            },
+            None => RangeState::Owned(self.owner(item)),
+        }
+    }
+
+    /// Every item currently inside an in-flight range.
+    pub fn migrating_items(&self) -> Vec<u32> {
+        let mut items: Vec<u32> = self.migrating.iter().flat_map(|r| r.lo..r.hi).collect();
+        items.sort_unstable();
+        items.dedup();
+        items
+    }
+
+    /// Derive the migrating ranges a plan implies against this map.
+    /// Every op is split at current-owner boundaries (one range has one
+    /// donor), ranges where donor and recipient coincide are dropped,
+    /// and overlapping results are rejected — a key can be in at most
+    /// one migration at a time.
+    pub fn plan_ranges(
+        &self,
+        plan: &MigrationPlan,
+        n_groups: u8,
+    ) -> Result<Vec<MigratingRange>, String> {
+        let mut out: Vec<MigratingRange> = Vec::new();
+        let mut push_span = |this: &ShardMap, lo: u32, hi: u32, to: u8| {
+            // Split [lo, hi) into runs of one current owner each.
+            let mut run_lo = lo;
+            while run_lo < hi {
+                let donor = this.owner(run_lo);
+                let mut run_hi = run_lo + 1;
+                while run_hi < hi && this.owner(run_hi) == donor {
+                    run_hi += 1;
+                }
+                if donor != to {
+                    out.push(MigratingRange {
+                        lo: run_lo,
+                        hi: run_hi,
+                        donor,
+                        recipient: to,
+                        frozen: false,
+                    });
+                }
+                run_lo = run_hi;
+            }
+        };
+        for op in &plan.ops {
+            match *op {
+                PlanOp::Move { lo, hi, to } => {
+                    if lo >= hi || hi > self.len() {
+                        return Err(format!("move range {lo}..{hi} out of bounds"));
+                    }
+                    if to >= n_groups {
+                        return Err(format!("move target group {to} does not exist"));
+                    }
+                    push_span(self, lo, hi, to);
+                }
+                PlanOp::Split { lo, hi, at, to } => {
+                    if lo >= hi || hi > self.len() || at <= lo || at >= hi {
+                        return Err(format!("split {lo}..{hi} at {at} malformed"));
+                    }
+                    if to >= n_groups {
+                        return Err(format!("split target group {to} does not exist"));
+                    }
+                    push_span(self, at, hi, to);
+                }
+                PlanOp::Merge { from, to } => {
+                    if from >= n_groups || to >= n_groups || from == to {
+                        return Err(format!("merge {from}→{to} malformed"));
+                    }
+                    // Runs owned by `from` across the whole keyspace.
+                    let mut i = 0u32;
+                    while i < self.len() {
+                        if self.owner(i) != from {
+                            i += 1;
+                            continue;
+                        }
+                        let lo = i;
+                        while i < self.len() && self.owner(i) == from {
+                            i += 1;
+                        }
+                        push_span(self, lo, i, to);
+                    }
+                }
+            }
+        }
+        // Disjointness: a key may be part of at most one migration.
+        let mut sorted = out.clone();
+        sorted.sort_by_key(|r| r.lo);
+        for pair in sorted.windows(2) {
+            if pair[1].lo < pair[0].hi {
+                return Err(format!(
+                    "plan ranges overlap at item {} (ranges {}..{} and {}..{})",
+                    pair[1].lo, pair[0].lo, pair[0].hi, pair[1].lo, pair[1].hi
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Epoch `e+1`: the plan's ranges enter `Migrating{frozen: false}`.
+    pub fn begin_migration(&self, ranges: Vec<MigratingRange>) -> ShardMap {
+        ShardMap {
+            epoch: self.epoch + 1,
+            assignment: self.assignment.clone(),
+            migrating: ranges,
+        }
+    }
+
+    /// Epoch `e+2`: every in-flight range freezes (donor read-only).
+    pub fn freeze(&self) -> ShardMap {
+        ShardMap {
+            epoch: self.epoch + 1,
+            assignment: self.assignment.clone(),
+            migrating: self
+                .migrating
+                .iter()
+                .map(|r| MigratingRange { frozen: true, ..*r })
+                .collect(),
+        }
+    }
+
+    /// Epoch `e+3`: cutover — recipients own their ranges outright.
+    pub fn cutover(&self) -> ShardMap {
+        let mut assignment = self.assignment.clone();
+        for r in &self.migrating {
+            for slot in assignment
+                .iter_mut()
+                .take(r.hi as usize)
+                .skip(r.lo as usize)
+            {
+                *slot = r.recipient;
+            }
+        }
+        ShardMap {
+            epoch: self.epoch + 1,
+            assignment,
+            migrating: Vec::new(),
+        }
+    }
+}
+
+/// True when every operation of `txn` is a write.
+pub fn is_write_only(txn: &Transaction) -> bool {
+    txn.ops
+        .iter()
+        .all(|op| matches!(op, Operation::Write(_, _)))
+}
+
+/// True when every operation of `txn` is a read.
+pub fn is_read_only(txn: &Transaction) -> bool {
+    txn.ops.iter().all(|op| matches!(op, Operation::Read(_)))
+}
+
+/// The site-side map holder: installed map plus the admission gate the
+/// site loop runs over every incoming `Mgmt(Begin)`. Lives beside the
+/// engine (like the metrics server and the decision-log replica), so a
+/// down engine still learns new maps and keeps rejecting stale routes.
+#[derive(Debug)]
+pub struct MapStore {
+    group: u8,
+    map: Option<ShardMap>,
+    /// Write-through/copy legs admitted while this group was a
+    /// recipient — the "items copied so far" gauge.
+    copy_installs: u64,
+}
+
+impl MapStore {
+    /// An empty store for the site hosting group `group`'s engine.
+    pub fn new(group: u8) -> Self {
+        MapStore {
+            group,
+            map: None,
+            copy_installs: 0,
+        }
+    }
+
+    /// The hosted group.
+    pub fn group(&self) -> u8 {
+        self.group
+    }
+
+    /// The installed map's epoch (0 = none installed).
+    pub fn epoch(&self) -> u64 {
+        self.map.as_ref().map_or(0, |m| m.epoch)
+    }
+
+    /// The installed map, if any.
+    pub fn map(&self) -> Option<&ShardMap> {
+        self.map.as_ref()
+    }
+
+    /// Items currently migrating under the installed map.
+    pub fn migrating_items(&self) -> u64 {
+        self.map
+            .as_ref()
+            .map_or(0, |m| m.migrating_items().len() as u64)
+    }
+
+    /// Copy/write-through legs admitted while this group was recipient.
+    pub fn copy_installs(&self) -> u64 {
+        self.copy_installs
+    }
+
+    /// Apply a `MapChange`: accept iff `epoch` is strictly newer than
+    /// the installed one (monotonic), re-acknowledge the already
+    /// installed epoch positively (idempotent — announcements are
+    /// retried until every site acks), and refuse anything older.
+    /// Returns the `MapChangeAck` to send back.
+    pub fn install(
+        &mut self,
+        epoch: u64,
+        assignment: Vec<u8>,
+        migrating: Vec<MigratingRange>,
+    ) -> Message {
+        if epoch == self.epoch() {
+            return Message::MapChangeAck { epoch, ok: true };
+        }
+        if epoch < self.epoch() {
+            return Message::MapChangeAck {
+                epoch: self.epoch(),
+                ok: false,
+            };
+        }
+        self.map = Some(ShardMap {
+            epoch,
+            assignment,
+            migrating,
+        });
+        Message::MapChangeAck { epoch, ok: true }
+    }
+
+    /// Serve a `MapQuery`: the installed map, or epoch 0 when none.
+    pub fn serve_query(&self) -> Message {
+        match &self.map {
+            Some(m) => Message::MapReply {
+                epoch: m.epoch,
+                assignment: m.assignment.clone(),
+                migrating: m.migrating.clone(),
+            },
+            None => Message::MapReply {
+                epoch: 0,
+                assignment: Vec::new(),
+                migrating: Vec::new(),
+            },
+        }
+    }
+
+    /// The admission gate: may this site's engine coordinate `txn`
+    /// under the installed map? `Err(epoch)` means reject — the site
+    /// loop answers with `WrongEpoch{txn, epoch}` instead of delivering
+    /// the begin to the engine.
+    ///
+    /// Per item, against this group `g`:
+    /// - `Owned(g)` → admit.
+    /// - `Migrating{donor: g, frozen: false}` → admit (the donor serves
+    ///   reads and writes through the copy window).
+    /// - `Migrating{donor: g, frozen: true}` → reads only (the frozen
+    ///   donor is write-quiesced for the final sweep).
+    /// - `Migrating{recipient: g}` → write-only transactions only (the
+    ///   resharder's copy legs and the client's write-throughs install
+    ///   committed donor state; independent reads would see
+    ///   not-yet-copied items).
+    /// - anything else → reject.
+    pub fn admits(&mut self, txn: &Transaction) -> Result<(), u64> {
+        let Some(map) = &self.map else {
+            return Ok(()); // no map installed: spec-striped deployment
+        };
+        let epoch = map.epoch;
+        let write_only = is_write_only(txn);
+        let read_only = is_read_only(txn);
+        let mut recipient_leg = false;
+        for op in &txn.ops {
+            let item = match op {
+                Operation::Read(item) | Operation::Write(item, _) => item.0,
+            };
+            if item >= map.len() {
+                return Err(epoch);
+            }
+            let admit = match map.state(item) {
+                RangeState::Owned(g) => g == self.group,
+                RangeState::Migrating {
+                    donor,
+                    recipient,
+                    frozen,
+                } => {
+                    if donor == self.group {
+                        !frozen || read_only
+                    } else if recipient == self.group && write_only {
+                        recipient_leg = true;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if !admit {
+                return Err(epoch);
+            }
+        }
+        if recipient_leg {
+            self.copy_installs += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miniraid_core::ids::{ItemId, TxnId};
+
+    fn write(item: u32) -> Operation {
+        Operation::Write(ItemId(item), 1)
+    }
+
+    fn read(item: u32) -> Operation {
+        Operation::Read(ItemId(item))
+    }
+
+    fn txn(ops: Vec<Operation>) -> Transaction {
+        Transaction::new(TxnId(1), ops)
+    }
+
+    #[test]
+    fn blocked_map_partitions_contiguously() {
+        let map = ShardMap::blocked(2, 10);
+        assert_eq!(map.epoch, 1);
+        assert_eq!(map.assignment, vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1]);
+        let map = ShardMap::blocked(4, 10);
+        assert_eq!(map.owner(0), 0);
+        assert_eq!(map.owner(9), 3);
+        assert!(map.migrating.is_empty());
+        // Every group id stays in range even when k % n != 0.
+        let map = ShardMap::blocked(3, 7);
+        assert!(map.assignment.iter().all(|&g| g < 3));
+    }
+
+    #[test]
+    fn plan_ranges_split_at_owner_boundaries() {
+        let map = ShardMap::blocked(2, 10); // 0..5 → g0, 5..10 → g1
+        let plan = MigrationPlan {
+            ops: vec![PlanOp::Move {
+                lo: 3,
+                hi: 8,
+                to: 1,
+            }],
+        };
+        let ranges = map.plan_ranges(&plan, 2).expect("plan");
+        // 3..5 moves g0→g1; 5..8 already belongs to g1 and is dropped.
+        assert_eq!(
+            ranges,
+            vec![MigratingRange {
+                lo: 3,
+                hi: 5,
+                donor: 0,
+                recipient: 1,
+                frozen: false,
+            }]
+        );
+    }
+
+    #[test]
+    fn split_and_merge_derive_ranges() {
+        let map = ShardMap::blocked(2, 8); // 0..4 → g0, 4..8 → g1
+        let split = MigrationPlan {
+            ops: vec![PlanOp::Split {
+                lo: 0,
+                hi: 4,
+                at: 2,
+                to: 1,
+            }],
+        };
+        assert_eq!(
+            map.plan_ranges(&split, 2).expect("split"),
+            vec![MigratingRange {
+                lo: 2,
+                hi: 4,
+                donor: 0,
+                recipient: 1,
+                frozen: false,
+            }]
+        );
+        let merge = MigrationPlan {
+            ops: vec![PlanOp::Merge { from: 1, to: 0 }],
+        };
+        assert_eq!(
+            map.plan_ranges(&merge, 2).expect("merge"),
+            vec![MigratingRange {
+                lo: 4,
+                hi: 8,
+                donor: 1,
+                recipient: 0,
+                frozen: false,
+            }]
+        );
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        let map = ShardMap::blocked(2, 8);
+        for plan in [
+            MigrationPlan {
+                ops: vec![PlanOp::Move {
+                    lo: 5,
+                    hi: 3,
+                    to: 1,
+                }],
+            },
+            MigrationPlan {
+                ops: vec![PlanOp::Move {
+                    lo: 0,
+                    hi: 9,
+                    to: 1,
+                }],
+            },
+            MigrationPlan {
+                ops: vec![PlanOp::Move {
+                    lo: 0,
+                    hi: 2,
+                    to: 7,
+                }],
+            },
+            MigrationPlan {
+                ops: vec![PlanOp::Merge { from: 0, to: 0 }],
+            },
+            // Overlap: both ops claim item 1.
+            MigrationPlan {
+                ops: vec![
+                    PlanOp::Move {
+                        lo: 0,
+                        hi: 2,
+                        to: 1,
+                    },
+                    PlanOp::Move {
+                        lo: 1,
+                        hi: 3,
+                        to: 1,
+                    },
+                ],
+            },
+        ] {
+            assert!(map.plan_ranges(&plan, 2).is_err(), "{plan:?} accepted");
+        }
+    }
+
+    #[test]
+    fn migration_walks_the_four_epoch_state_machine() {
+        let map = ShardMap::blocked(2, 6); // 0..3 → g0, 3..6 → g1
+        let plan = MigrationPlan {
+            ops: vec![PlanOp::Move {
+                lo: 0,
+                hi: 2,
+                to: 1,
+            }],
+        };
+        let ranges = map.plan_ranges(&plan, 2).expect("plan");
+        let copying = map.begin_migration(ranges);
+        assert_eq!(copying.epoch, 2);
+        assert_eq!(
+            copying.state(0),
+            RangeState::Migrating {
+                donor: 0,
+                recipient: 1,
+                frozen: false,
+            }
+        );
+        assert_eq!(copying.state(2), RangeState::Owned(0));
+        assert_eq!(copying.migrating_items(), vec![0, 1]);
+        assert_eq!(copying.post_plan_owner(0), 1);
+        assert_eq!(copying.post_plan_owner(2), 0);
+
+        let frozen = copying.freeze();
+        assert_eq!(frozen.epoch, 3);
+        assert_eq!(
+            frozen.state(1),
+            RangeState::Migrating {
+                donor: 0,
+                recipient: 1,
+                frozen: true,
+            }
+        );
+
+        let done = frozen.cutover();
+        assert_eq!(done.epoch, 4);
+        assert_eq!(done.state(0), RangeState::Owned(1));
+        assert_eq!(done.state(2), RangeState::Owned(0));
+        assert!(done.migrating.is_empty());
+    }
+
+    #[test]
+    fn installs_are_monotonic_and_idempotent() {
+        let mut store = MapStore::new(0);
+        assert_eq!(store.epoch(), 0);
+        let ack = store.install(2, vec![0, 1], vec![]);
+        assert_eq!(ack, Message::MapChangeAck { epoch: 2, ok: true });
+        // A duplicate of the installed epoch re-acks positively but
+        // changes nothing (retried announcements must converge on a
+        // full acknowledgement).
+        let ack = store.install(2, vec![1, 0], vec![]);
+        assert_eq!(ack, Message::MapChangeAck { epoch: 2, ok: true });
+        assert_eq!(store.map().unwrap().assignment, vec![0, 1]);
+        // An older epoch is refused, answering with the newer one.
+        let ack = store.install(1, vec![1, 1], vec![]);
+        assert_eq!(
+            ack,
+            Message::MapChangeAck {
+                epoch: 2,
+                ok: false,
+            }
+        );
+        let ack = store.install(5, vec![1, 1], vec![]);
+        assert_eq!(ack, Message::MapChangeAck { epoch: 5, ok: true });
+        match store.serve_query() {
+            Message::MapReply { epoch, .. } => assert_eq!(epoch, 5),
+            other => panic!("expected MapReply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_admits_by_range_state() {
+        let base = ShardMap::blocked(2, 6); // 0..3 → g0, 3..6 → g1
+        let plan = MigrationPlan {
+            ops: vec![PlanOp::Move {
+                lo: 0,
+                hi: 2,
+                to: 1,
+            }],
+        };
+        let ranges = base.plan_ranges(&plan, 2).expect("plan");
+        let copying = base.begin_migration(ranges);
+
+        let mut donor = MapStore::new(0);
+        let mut recipient = MapStore::new(1);
+        donor.install(
+            copying.epoch,
+            copying.assignment.clone(),
+            copying.migrating.clone(),
+        );
+        recipient.install(
+            copying.epoch,
+            copying.assignment.clone(),
+            copying.migrating.clone(),
+        );
+
+        // Copying window: donor serves reads and writes on the range;
+        // the recipient admits only write-only legs.
+        assert!(donor.admits(&txn(vec![read(0), write(1)])).is_ok());
+        assert!(recipient.admits(&txn(vec![write(0)])).is_ok());
+        assert_eq!(recipient.copy_installs(), 1);
+        assert_eq!(
+            recipient.admits(&txn(vec![read(0)])),
+            Err(copying.epoch),
+            "recipient must not serve reads of a not-yet-cutover item"
+        );
+        // Non-migrating items still route by assignment.
+        assert!(donor.admits(&txn(vec![write(2)])).is_ok());
+        assert_eq!(recipient.admits(&txn(vec![write(2)])), Err(copying.epoch));
+        assert!(recipient.admits(&txn(vec![read(4)])).is_ok());
+
+        // Frozen window: donor is read-only on the range.
+        let frozen = copying.freeze();
+        donor.install(
+            frozen.epoch,
+            frozen.assignment.clone(),
+            frozen.migrating.clone(),
+        );
+        assert!(donor.admits(&txn(vec![read(0)])).is_ok());
+        assert_eq!(donor.admits(&txn(vec![write(0)])), Err(frozen.epoch));
+
+        // Cutover: the donor rejects outright, the recipient owns.
+        let done = frozen.cutover();
+        donor.install(done.epoch, done.assignment.clone(), done.migrating.clone());
+        recipient.install(done.epoch, done.assignment.clone(), done.migrating.clone());
+        assert_eq!(donor.admits(&txn(vec![write(0)])), Err(done.epoch));
+        assert!(recipient.admits(&txn(vec![read(0), write(0)])).is_ok());
+        assert_eq!(donor.migrating_items(), 0);
+    }
+
+    #[test]
+    fn gate_without_a_map_admits_everything() {
+        let mut store = MapStore::new(3);
+        assert!(store.admits(&txn(vec![read(0), write(99)])).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_items_are_rejected() {
+        let mut store = MapStore::new(0);
+        store.install(1, vec![0, 0], vec![]);
+        assert_eq!(store.admits(&txn(vec![write(2)])), Err(1));
+    }
+}

@@ -118,6 +118,20 @@ impl ShardSpec {
         cfg
     }
 
+    /// The protocol configuration for one group of a *mapped* (live-
+    /// reshardable) deployment: site count narrowed to the group, but
+    /// the database kept at the full global size with identity item
+    /// naming — any group engine can host any item, and the shard map's
+    /// admission gate (not the engine) decides which ones it currently
+    /// owns. That is what lets a migration hand items between groups
+    /// without renaming them.
+    pub fn mapped_config(&self, base: &ProtocolConfig) -> ProtocolConfig {
+        let mut cfg = base.clone();
+        cfg.n_sites = self.sites_per_group;
+        cfg.db_size = self.global_db_size();
+        cfg
+    }
+
     /// The replication map of the whole sharded database over physical
     /// site ids: every item is held by exactly the members of its
     /// group. Used by the invariant oracle to know which sites must
